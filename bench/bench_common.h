@@ -1,0 +1,154 @@
+// Shared infrastructure for the MaskSearch benchmark harness.
+//
+// Every bench binary reproduces one table/figure of the paper's §4. They
+// share scaled-down dataset stand-ins (DESIGN.md §3) cached on disk across
+// binaries, and a DiskThrottle modelling the paper's EBS gp3 volume
+// (125 MiB/s, §4.1) so that mask-loading dominates exactly as in the paper.
+//
+// Common flags (all binaries):
+//   --data-dir=PATH        dataset cache (default /tmp/masksearch_bench_data)
+//   --wilds-scale=F        fraction of the real WILDS size   (default 0.05)
+//   --imagenet-scale=F     fraction of the real ImageNet size (default 0.0025)
+//   --bandwidth-mib=F      modeled disk bandwidth, MiB/s      (default 125)
+//   --latency-us=F         modeled per-request latency, µs    (default 200)
+
+#ifndef MASKSEARCH_BENCH_BENCH_COMMON_H_
+#define MASKSEARCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "masksearch/masksearch.h"
+
+namespace masksearch {
+namespace bench {
+
+struct BenchFlags {
+  std::string data_dir = "/tmp/masksearch_bench_data";
+  double wilds_scale = 0.05;
+  double imagenet_scale = 0.0025;
+  double bandwidth_mib = 125.0;
+  double latency_us = 200.0;
+  int queries = 60;          ///< randomized-query count (Fig 8/9)
+  int workload_queries = 40; ///< multi-query workload length (Fig 11)
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags f;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto eat = [&](const char* name, auto setter) {
+        const std::string prefix = std::string("--") + name + "=";
+        if (arg.rfind(prefix, 0) == 0) {
+          setter(arg.substr(prefix.size()));
+          return true;
+        }
+        return false;
+      };
+      bool ok =
+          eat("data-dir", [&](const std::string& v) { f.data_dir = v; }) ||
+          eat("wilds-scale",
+              [&](const std::string& v) { f.wilds_scale = std::stod(v); }) ||
+          eat("imagenet-scale",
+              [&](const std::string& v) { f.imagenet_scale = std::stod(v); }) ||
+          eat("bandwidth-mib",
+              [&](const std::string& v) { f.bandwidth_mib = std::stod(v); }) ||
+          eat("latency-us",
+              [&](const std::string& v) { f.latency_us = std::stod(v); }) ||
+          eat("queries",
+              [&](const std::string& v) { f.queries = std::stoi(v); }) ||
+          eat("workload-queries", [&](const std::string& v) {
+            f.workload_queries = std::stoi(v);
+          });
+      if (!ok && arg.rfind("--benchmark", 0) != 0) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return f;
+  }
+};
+
+enum class BenchDataset { kWilds, kImageNet };
+
+inline const char* DatasetName(BenchDataset d) {
+  return d == BenchDataset::kWilds ? "WILDS-sim" : "ImageNet-sim";
+}
+
+inline DatasetSpec SpecFor(BenchDataset d, const BenchFlags& flags) {
+  return d == BenchDataset::kWilds ? WildsSimSpec(flags.wilds_scale)
+                                   : ImageNetSimSpec(flags.imagenet_scale);
+}
+
+inline std::string DatasetDir(BenchDataset d, const BenchFlags& flags) {
+  return flags.data_dir + "/" +
+         (d == BenchDataset::kWilds ? "wilds" : "imagenet");
+}
+
+/// Paper §4.1 index configuration: cell size = mask_side / 8 (the paper's
+/// 224/28), 16 value buckets.
+inline ChiConfig PaperChiConfig(const DatasetSpec& spec) {
+  ChiConfig cfg;
+  cfg.cell_width = std::max(1, spec.saliency.width / 8);
+  cfg.cell_height = std::max(1, spec.saliency.height / 8);
+  cfg.num_bins = 16;
+  return cfg;
+}
+
+/// A dataset opened twice: unthrottled (for ETL / index building outside the
+/// measured region) and throttled (the modeled disk queries run against).
+struct BenchData {
+  DatasetSpec spec;
+  std::string dir;
+  std::shared_ptr<DiskThrottle> throttle;
+  std::unique_ptr<MaskStore> store;        ///< throttled
+  std::unique_ptr<MaskStore> etl_store;    ///< unthrottled
+};
+
+inline BenchData OpenDataset(BenchDataset d, const BenchFlags& flags) {
+  BenchData data;
+  data.spec = SpecFor(d, flags);
+  data.dir = DatasetDir(d, flags);
+  EnsureDataset(data.dir, data.spec).CheckOK();
+  data.throttle = std::make_shared<DiskThrottle>(
+      flags.bandwidth_mib * 1024 * 1024, flags.latency_us);
+  MaskStore::Options topts;
+  topts.throttle = data.throttle;
+  data.store = MaskStore::Open(data.dir, topts).ValueOrDie();
+  data.etl_store = MaskStore::Open(data.dir).ValueOrDie();
+  return data;
+}
+
+/// Builds (or loads the cached) CHI set for a dataset using the
+/// paper-default configuration. Index construction reads through the
+/// unthrottled store: it is preprocessing, not query execution (its cost is
+/// studied separately in Figure 11).
+inline std::unique_ptr<IndexManager> BuildOrLoadIndex(const BenchData& data) {
+  const ChiConfig cfg = PaperChiConfig(data.spec);
+  auto index =
+      std::make_unique<IndexManager>(data.etl_store->num_masks(), cfg);
+  const std::string path = data.dir + "/paper_default.chi";
+  if (PathExists(path) && index->LoadFromFile(path).ok() &&
+      index->num_built() ==
+          static_cast<size_t>(data.etl_store->num_masks())) {
+    return index;
+  }
+  index->BuildAll(*data.etl_store).CheckOK();
+  index->SaveToFile(path).CheckOK();
+  return index;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_BENCH_BENCH_COMMON_H_

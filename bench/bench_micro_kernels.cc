@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels: the CP scan, CHI
+// construction (the §3.1 O(w·h) preprocessing), bound computation (the
+// per-mask filter-stage cost), and the compression codec.
+
+#include <benchmark/benchmark.h>
+
+#include "masksearch/masksearch.h"
+
+namespace masksearch {
+namespace {
+
+Mask MakeBlobMask(int32_t side, uint64_t seed) {
+  Rng rng(seed);
+  SaliencySpec spec;
+  spec.width = side;
+  spec.height = side;
+  const ROI box = GenerateObjectBox(&rng, side, side);
+  return GenerateSaliencyMask(&rng, spec, box, false);
+}
+
+ChiConfig DefaultConfig(int32_t side) {
+  ChiConfig cfg;
+  cfg.cell_width = std::max(1, side / 8);
+  cfg.cell_height = std::max(1, side / 8);
+  cfg.num_bins = 16;
+  return cfg;
+}
+
+void BM_CpScanFullMask(benchmark::State& state) {
+  const int32_t side = static_cast<int32_t>(state.range(0));
+  const Mask mask = MakeBlobMask(side, 1);
+  const ValueRange range(0.6, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountPixels(mask, range));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          mask.ByteSize());
+}
+BENCHMARK(BM_CpScanFullMask)->Arg(112)->Arg(224)->Arg(448);
+
+void BM_CpScanRoi(benchmark::State& state) {
+  const int32_t side = static_cast<int32_t>(state.range(0));
+  const Mask mask = MakeBlobMask(side, 2);
+  const ROI roi(side / 4, side / 4, 3 * side / 4, 3 * side / 4);
+  const ValueRange range(0.8, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountPixels(mask, roi, range));
+  }
+}
+BENCHMARK(BM_CpScanRoi)->Arg(112)->Arg(224);
+
+void BM_ChiBuild(benchmark::State& state) {
+  const int32_t side = static_cast<int32_t>(state.range(0));
+  const Mask mask = MakeBlobMask(side, 3);
+  const ChiConfig cfg = DefaultConfig(side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildChi(mask, cfg));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          mask.ByteSize());
+}
+BENCHMARK(BM_ChiBuild)->Arg(112)->Arg(224)->Arg(448);
+
+void BM_BoundComputation(benchmark::State& state) {
+  const int32_t side = static_cast<int32_t>(state.range(0));
+  const Mask mask = MakeBlobMask(side, 4);
+  const Chi chi = BuildChi(mask, DefaultConfig(side));
+  Rng rng(5);
+  const ROI roi = GenerateObjectBox(&rng, side, side);
+  const ValueRange range(0.6, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCpBounds(chi, roi, range));
+  }
+}
+BENCHMARK(BM_BoundComputation)->Arg(112)->Arg(224)->Arg(448);
+
+void BM_CodecEncode(benchmark::State& state) {
+  const Mask mask = MakeBlobMask(224, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeMask(mask));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          mask.ByteSize());
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  const Mask mask = MakeBlobMask(224, 7);
+  const std::string blob = EncodeMask(mask);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeMask(blob));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          mask.ByteSize());
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_PredicateBoundEval(benchmark::State& state) {
+  // Full per-mask filter-stage work for a two-term predicate.
+  const Mask mask = MakeBlobMask(224, 8);
+  const Chi chi = BuildChi(mask, DefaultConfig(224));
+  MaskMeta meta;
+  meta.width = meta.height = 224;
+  meta.object_box = ROI(40, 40, 180, 180);
+  CpTerm t0;
+  t0.roi_source = RoiSource::kObjectBox;
+  t0.range = ValueRange(0.8, 1.0);
+  CpTerm t1;
+  t1.roi_source = RoiSource::kFullMask;
+  t1.range = ValueRange(0.8, 1.0);
+  const Predicate pred = Predicate::Compare(
+      CpExpr::Term(0) - CpExpr::Constant(0.5) * CpExpr::Term(1),
+      CompareOp::kLt, 0.0);
+  for (auto _ : state) {
+    std::vector<Interval> bounds;
+    bounds.push_back(Interval::FromBounds(
+        ComputeCpBounds(chi, ResolveRoi(t0, meta), t0.range)));
+    bounds.push_back(Interval::FromBounds(
+        ComputeCpBounds(chi, ResolveRoi(t1, meta), t1.range)));
+    benchmark::DoNotOptimize(pred.EvalBounds(bounds));
+  }
+}
+BENCHMARK(BM_PredicateBoundEval);
+
+}  // namespace
+}  // namespace masksearch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Scenario 1 of the paper (§1): Bob monitors an image classifier whose
+// accuracy dropped. Saliency maps of misclassified images show high-value
+// pixels diffused across the background instead of concentrated on the
+// foreground object — a signature of maliciously modified inputs. He
+// retrieves all images whose salient pixels are dispersed across large
+// fractions of the image, then compares the hit rate against model errors.
+//
+//   ./adversarial_audit [workdir]
+
+#include <cstdio>
+
+#include "masksearch/masksearch.h"
+
+using namespace masksearch;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/masksearch_example_adv";
+
+  DatasetSpec spec;
+  spec.name = "production-traffic-sim";
+  spec.num_images = 500;
+  spec.num_models = 1;
+  spec.saliency.width = 112;
+  spec.saliency.height = 112;
+  spec.dispersed_fraction = 0.12;  // the attacked examples
+  spec.error_rate = 0.05;
+  spec.seed = 31;
+  EnsureDataset(dir, spec).CheckOK();
+  auto store = MaskStore::Open(dir).ValueOrDie();
+
+  SessionOptions opts;
+  opts.chi.cell_width = 14;
+  opts.chi.cell_height = 14;
+  opts.chi.num_bins = 16;
+  auto session = Session::Open(store.get(), opts).ValueOrDie();
+
+  // "High-value pixels dispersed across large fractions of the image":
+  // many salient pixels overall, but fewer than half of them on the
+  // foreground object. Multiple CP terms combine in one predicate (§3.3).
+  FilterQuery query;
+  CpTerm on_object;
+  on_object.roi_source = RoiSource::kObjectBox;
+  on_object.range = ValueRange(0.7, 1.0);
+  CpTerm overall;
+  overall.roi_source = RoiSource::kFullMask;
+  overall.range = ValueRange(0.7, 1.0);
+  query.terms = {on_object, overall};
+
+  const double min_salient = 0.04 * 112 * 112;  // "large fractions"
+  std::vector<Predicate> conjuncts;
+  conjuncts.push_back(
+      Predicate::Compare(CpExpr::Term(1), CompareOp::kGt, min_salient));
+  // on_object - 0.5 * overall < 0  ⇔  less than half the mass is on-object.
+  conjuncts.push_back(Predicate::Compare(
+      CpExpr::Term(0) - CpExpr::Constant(0.5) * CpExpr::Term(1),
+      CompareOp::kLt, 0.0));
+  query.predicate = Predicate::And(std::move(conjuncts));
+
+  auto result = session->Filter(query);
+  result.status().CheckOK();
+
+  // Audit: how well does the mask property predict model errors?
+  int64_t flagged = static_cast<int64_t>(result->mask_ids.size());
+  int64_t flagged_and_wrong = 0;
+  for (MaskId id : result->mask_ids) {
+    const MaskMeta& meta = store->meta(id);
+    if (meta.label != meta.predicted_label) ++flagged_and_wrong;
+  }
+  int64_t wrong_total = 0;
+  for (MaskId id = 0; id < store->num_masks(); ++id) {
+    const MaskMeta& meta = store->meta(id);
+    if (meta.label != meta.predicted_label) ++wrong_total;
+  }
+
+  std::printf("suspicious (dispersed-saliency) examples: %lld of %lld\n",
+              static_cast<long long>(flagged),
+              static_cast<long long>(store->num_masks()));
+  std::printf("model errors among flagged examples: %lld (%.0f%%)\n",
+              static_cast<long long>(flagged_and_wrong),
+              flagged > 0 ? 100.0 * flagged_and_wrong / flagged : 0.0);
+  std::printf("model error rate overall: %.0f%%\n",
+              100.0 * wrong_total / store->num_masks());
+  std::printf("\nexecution: %s\n", result->stats.ToString().c_str());
+  std::printf("the filter stage decided %lld of %lld masks without touching "
+              "the data file\n",
+              static_cast<long long>(result->stats.pruned +
+                                     result->stats.accepted_by_bounds),
+              static_cast<long long>(result->stats.masks_targeted));
+
+  // Drill-down: among the flagged ones, the 10 most dispersed.
+  TopKQuery drill;
+  drill.terms = query.terms;
+  drill.selection.mask_ids = result->mask_ids;
+  drill.order_expr =
+      CpExpr::Term(0) / (CpExpr::Term(1) + CpExpr::Constant(1.0));
+  drill.k = 10;
+  drill.descending = false;
+  auto worst = session->TopK(drill);
+  worst.status().CheckOK();
+  std::printf("\nmost dispersed examples (lowest on-object ratio):\n");
+  for (const ScoredMask& item : worst->items) {
+    std::printf("  mask %lld  ratio=%.3f\n",
+                static_cast<long long>(item.mask_id), item.value);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Common interface of the comparison systems of §4.1. Every baseline
+// answers the same queries as MaskSearch, exactly, by loading each targeted
+// mask and computing CP values — they differ only in physical layout and
+// access pattern, which is precisely what the paper's comparison isolates.
+
+#ifndef MASKSEARCH_BASELINES_BASELINE_H_
+#define MASKSEARCH_BASELINES_BASELINE_H_
+
+#include <string>
+
+#include "masksearch/exec/query_spec.h"
+
+namespace masksearch {
+
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Result<FilterResult> Filter(const FilterQuery& q) = 0;
+  virtual Result<TopKResult> TopK(const TopKQuery& q) = 0;
+  virtual Result<AggResult> Aggregate(const AggregationQuery& q) = 0;
+  virtual Result<AggResult> MaskAggregate(const MaskAggQuery& q) = 0;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_BASELINES_BASELINE_H_

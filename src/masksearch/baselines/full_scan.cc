@@ -1,0 +1,11 @@
+#include "masksearch/baselines/full_scan.h"
+
+namespace masksearch {
+
+FullScanBaseline::FullScanBaseline(const MaskStore* store)
+    : eval_(store, [store](MaskId id, int64_t* bytes) -> Result<Mask> {
+        *bytes = static_cast<int64_t>(store->BlobSize(id));
+        return store->LoadMask(id);
+      }) {}
+
+}  // namespace masksearch

@@ -1,0 +1,39 @@
+// FullScanBaseline — the paper's NumPy baseline (§4.1).
+//
+// Masks live in the MaskStore exactly as MaskSearch sees them; every query
+// loads each targeted mask in full and computes CP with the vectorized scan
+// kernel. No indexing, no pruning: query time is dominated by moving mask
+// bytes from disk, which is the behaviour the paper measures for NumPy.
+
+#ifndef MASKSEARCH_BASELINES_FULL_SCAN_H_
+#define MASKSEARCH_BASELINES_FULL_SCAN_H_
+
+#include "masksearch/baselines/baseline.h"
+#include "masksearch/baselines/reference.h"
+
+namespace masksearch {
+
+class FullScanBaseline : public Baseline {
+ public:
+  explicit FullScanBaseline(const MaskStore* store);
+
+  std::string name() const override { return "FullScan(NumPy)"; }
+
+  Result<FilterResult> Filter(const FilterQuery& q) override {
+    return eval_.Filter(q);
+  }
+  Result<TopKResult> TopK(const TopKQuery& q) override { return eval_.TopK(q); }
+  Result<AggResult> Aggregate(const AggregationQuery& q) override {
+    return eval_.Aggregate(q);
+  }
+  Result<AggResult> MaskAggregate(const MaskAggQuery& q) override {
+    return eval_.MaskAggregate(q);
+  }
+
+ private:
+  ReferenceEvaluator eval_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_BASELINES_FULL_SCAN_H_

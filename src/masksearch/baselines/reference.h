@@ -1,0 +1,42 @@
+// Brute-force exact query evaluation over a mask loader.
+//
+// This is the shared engine of all baselines (they differ only in how mask
+// bytes reach memory) and the ground truth the test suite compares
+// MaskSearch's filter–verification results against. Result ordering and
+// tie-breaking match the executors exactly: (value, mask_id/group ascending).
+
+#ifndef MASKSEARCH_BASELINES_REFERENCE_H_
+#define MASKSEARCH_BASELINES_REFERENCE_H_
+
+#include <functional>
+
+#include "masksearch/exec/query_spec.h"
+#include "masksearch/storage/mask_store.h"
+
+namespace masksearch {
+
+/// \brief Loads mask `id`, reporting the bytes read through `bytes`.
+using MaskLoader = std::function<Result<Mask>(MaskId id, int64_t* bytes)>;
+
+/// \brief Exact evaluator: loads every targeted mask through `loader`.
+class ReferenceEvaluator {
+ public:
+  /// `store` supplies metadata only; all data reads go through `loader`.
+  ReferenceEvaluator(const MaskStore* store, MaskLoader loader)
+      : store_(store), loader_(std::move(loader)) {}
+
+  Result<FilterResult> Filter(const FilterQuery& q) const;
+  Result<TopKResult> TopK(const TopKQuery& q) const;
+  Result<AggResult> Aggregate(const AggregationQuery& q) const;
+  Result<AggResult> MaskAggregate(const MaskAggQuery& q) const;
+
+ private:
+  Result<Mask> Load(MaskId id, ExecStats* stats) const;
+
+  const MaskStore* store_;
+  MaskLoader loader_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_BASELINES_REFERENCE_H_

@@ -1,0 +1,117 @@
+#include "masksearch/baselines/row_store.h"
+
+#include "masksearch/common/serialize.h"
+
+namespace masksearch {
+
+namespace {
+constexpr uint32_t kHeapMagic = 0x4d534850;  // "MSHP"
+constexpr uint8_t kHeapVersion = 1;
+
+std::string HeapPath(const std::string& dir) { return dir + "/tuples.dat"; }
+std::string HeapIndexPath(const std::string& dir) { return dir + "/tuples.idx"; }
+
+/// Serialized tuple: catalog columns + blob, as a row store would lay out a
+/// row with a large attribute.
+std::string EncodeTuple(const MaskMeta& m, const Mask& mask) {
+  BufferWriter w;
+  w.PutI64(m.mask_id);
+  w.PutI64(m.image_id);
+  w.PutI32(m.model_id);
+  w.PutI32(static_cast<int32_t>(m.mask_type));
+  w.PutI32(m.width);
+  w.PutI32(m.height);
+  w.PutI32(m.label);
+  w.PutI32(m.predicted_label);
+  w.PutI32(m.object_box.x0);
+  w.PutI32(m.object_box.y0);
+  w.PutI32(m.object_box.x1);
+  w.PutI32(m.object_box.y1);
+  w.PutBytes(mask.data().data(), mask.ByteSize());
+  return w.Release();
+}
+
+// Catalog columns preceding the blob.
+constexpr size_t kTupleHeaderBytes = 8 * 2 + 4 * 10;
+
+}  // namespace
+
+Status RowStoreBaseline::CreateFiles(const std::string& dir,
+                                     const MaskStore& source) {
+  MS_RETURN_NOT_OK(CreateDirs(dir));
+  MS_ASSIGN_OR_RETURN(auto data, FileWriter::Create(HeapPath(dir)));
+  BufferWriter idx;
+  idx.PutU32(kHeapMagic);
+  idx.PutU8(kHeapVersion);
+  idx.PutU64(static_cast<uint64_t>(source.num_masks()));
+  for (MaskId id = 0; id < source.num_masks(); ++id) {
+    MS_ASSIGN_OR_RETURN(Mask mask, source.LoadMask(id));
+    const std::string tuple = EncodeTuple(source.meta(id), mask);
+    idx.PutU64(data->bytes_written());
+    idx.PutU64(tuple.size());
+    MS_RETURN_NOT_OK(data->Append(tuple));
+  }
+  MS_RETURN_NOT_OK(data->Close());
+  return WriteFile(HeapIndexPath(dir), idx.buffer());
+}
+
+Result<std::unique_ptr<RowStoreBaseline>> RowStoreBaseline::Open(
+    const std::string& dir, const MaskStore* meta_store,
+    std::shared_ptr<DiskThrottle> throttle) {
+  MS_ASSIGN_OR_RETURN(std::string idx_bytes, ReadFile(HeapIndexPath(dir)));
+  BufferReader r(idx_bytes);
+  MS_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kHeapMagic) return Status::Corruption("bad heap index magic");
+  MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kHeapVersion) return Status::Corruption("bad heap version");
+  MS_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  if (meta_store == nullptr ||
+      count != static_cast<uint64_t>(meta_store->num_masks())) {
+    return Status::InvalidArgument("heap file does not match catalog store");
+  }
+
+  auto b = std::unique_ptr<RowStoreBaseline>(new RowStoreBaseline());
+  b->offsets_.reserve(count);
+  b->sizes_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MS_ASSIGN_OR_RETURN(uint64_t off, r.GetU64());
+    MS_ASSIGN_OR_RETURN(uint64_t sz, r.GetU64());
+    b->offsets_.push_back(off);
+    b->sizes_.push_back(sz);
+  }
+  MS_ASSIGN_OR_RETURN(b->file_, RandomAccessFile::Open(HeapPath(dir)));
+  b->throttle_ = std::move(throttle);
+  b->meta_store_ = meta_store;
+  RowStoreBaseline* raw = b.get();
+  b->eval_ = std::make_unique<ReferenceEvaluator>(
+      meta_store, [raw](MaskId id, int64_t* bytes) -> Result<Mask> {
+        return raw->LoadTuple(id, bytes);
+      });
+  return b;
+}
+
+Result<Mask> RowStoreBaseline::LoadTuple(MaskId id, int64_t* bytes) const {
+  if (id < 0 || static_cast<size_t>(id) >= offsets_.size()) {
+    return Status::NotFound("tuple " + std::to_string(id));
+  }
+  const uint64_t nbytes = sizes_[id];
+  if (throttle_) throttle_->Acquire(nbytes);
+  *bytes = static_cast<int64_t>(nbytes);
+
+  std::string tuple;
+  tuple.resize(nbytes);
+  MS_RETURN_NOT_OK(file_->ReadAt(offsets_[id], nbytes, tuple.data()));
+
+  BufferReader r(tuple);
+  MS_RETURN_NOT_OK(r.Skip(kTupleHeaderBytes - 4 * 10));
+  int32_t width, height;
+  MS_RETURN_NOT_OK(r.Skip(4 * 2));  // model_id, mask_type
+  MS_ASSIGN_OR_RETURN(width, r.GetI32());
+  MS_ASSIGN_OR_RETURN(height, r.GetI32());
+  MS_RETURN_NOT_OK(r.Skip(4 * 6));  // labels + object box
+  std::vector<float> values(static_cast<size_t>(width) * height);
+  MS_RETURN_NOT_OK(r.GetBytes(values.data(), values.size() * sizeof(float)));
+  return Mask::FromData(width, height, std::move(values));
+}
+
+}  // namespace masksearch

@@ -1,0 +1,65 @@
+// RowStoreBaseline — the paper's PostgreSQL baseline (§4.1).
+//
+// Masks are tuples of a heap file: a fixed header (the MasksDatabaseView
+// catalog columns) followed by the mask blob, exactly like a row store with
+// the CP function as a C UDF. Query execution is tuple-at-a-time: each
+// targeted tuple is fetched (one I/O request per tuple) and the UDF is
+// evaluated on its blob. Catalog predicates (model_id, mask_type) are
+// applied before fetching the blob, which is why the paper's Table 2 shows
+// PostgreSQL loading the targeted masks rather than the whole table.
+
+#ifndef MASKSEARCH_BASELINES_ROW_STORE_H_
+#define MASKSEARCH_BASELINES_ROW_STORE_H_
+
+#include <memory>
+
+#include "masksearch/baselines/baseline.h"
+#include "masksearch/baselines/reference.h"
+#include "masksearch/common/io.h"
+#include "masksearch/storage/disk_throttle.h"
+
+namespace masksearch {
+
+class RowStoreBaseline : public Baseline {
+ public:
+  /// \brief Materializes the heap file at `dir` from `source` (which should
+  /// be opened unthrottled; this is one-time ETL, not query execution).
+  static Status CreateFiles(const std::string& dir, const MaskStore& source);
+
+  /// \brief Opens an existing heap file. `meta_store` supplies the catalog;
+  /// reads are charged to `throttle`.
+  static Result<std::unique_ptr<RowStoreBaseline>> Open(
+      const std::string& dir, const MaskStore* meta_store,
+      std::shared_ptr<DiskThrottle> throttle);
+
+  std::string name() const override { return "RowStore(PostgreSQL)"; }
+
+  Result<FilterResult> Filter(const FilterQuery& q) override {
+    return eval_->Filter(q);
+  }
+  Result<TopKResult> TopK(const TopKQuery& q) override {
+    return eval_->TopK(q);
+  }
+  Result<AggResult> Aggregate(const AggregationQuery& q) override {
+    return eval_->Aggregate(q);
+  }
+  Result<AggResult> MaskAggregate(const MaskAggQuery& q) override {
+    return eval_->MaskAggregate(q);
+  }
+
+ private:
+  RowStoreBaseline() = default;
+
+  Result<Mask> LoadTuple(MaskId id, int64_t* bytes) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint64_t> sizes_;
+  std::shared_ptr<DiskThrottle> throttle_;
+  const MaskStore* meta_store_ = nullptr;
+  std::unique_ptr<ReferenceEvaluator> eval_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_BASELINES_ROW_STORE_H_

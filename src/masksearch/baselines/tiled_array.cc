@@ -1,0 +1,213 @@
+#include "masksearch/baselines/tiled_array.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "masksearch/common/serialize.h"
+
+namespace masksearch {
+
+namespace {
+constexpr uint32_t kTiledMagic = 0x4d535441;  // "MSTA"
+constexpr uint8_t kTiledVersion = 1;
+
+std::string ArrayPath(const std::string& dir) { return dir + "/array3d.dat"; }
+std::string HeaderPath(const std::string& dir) { return dir + "/array3d.hdr"; }
+}  // namespace
+
+Status TiledArrayBaseline::CreateFiles(const std::string& dir,
+                                       const MaskStore& source,
+                                       const Options& opts) {
+  if (source.num_masks() == 0) {
+    return Status::InvalidArgument("empty source store");
+  }
+  const int32_t w = source.meta(0).width;
+  const int32_t h = source.meta(0).height;
+  for (MaskId id = 0; id < source.num_masks(); ++id) {
+    if (source.meta(id).width != w || source.meta(id).height != h) {
+      return Status::InvalidArgument(
+          "tiled array requires homogeneous mask shapes");
+    }
+  }
+  const int32_t tile_w = opts.tile_width > 0 ? opts.tile_width : w;
+  const int32_t tile_h = opts.tile_height > 0 ? opts.tile_height : h;
+  const int32_t tiles_x = (w + tile_w - 1) / tile_w;
+  const int32_t tiles_y = (h + tile_h - 1) / tile_h;
+
+  MS_RETURN_NOT_OK(CreateDirs(dir));
+  MS_ASSIGN_OR_RETURN(auto data, FileWriter::Create(ArrayPath(dir)));
+
+  // Tiles are written mask-major, row-major within a mask; edge tiles are
+  // zero-padded to the fixed tile extent (dense-array semantics).
+  std::vector<float> tile(static_cast<size_t>(tile_w) * tile_h);
+  for (MaskId id = 0; id < source.num_masks(); ++id) {
+    MS_ASSIGN_OR_RETURN(Mask mask, source.LoadMask(id));
+    for (int32_t ty = 0; ty < tiles_y; ++ty) {
+      for (int32_t tx = 0; tx < tiles_x; ++tx) {
+        std::fill(tile.begin(), tile.end(), 0.0f);
+        const int32_t x0 = tx * tile_w;
+        const int32_t y0 = ty * tile_h;
+        const int32_t cols = std::min(tile_w, w - x0);
+        const int32_t rows = std::min(tile_h, h - y0);
+        for (int32_t r = 0; r < rows; ++r) {
+          std::memcpy(tile.data() + static_cast<size_t>(r) * tile_w,
+                      mask.row(y0 + r) + x0,
+                      static_cast<size_t>(cols) * sizeof(float));
+        }
+        MS_RETURN_NOT_OK(
+            data->Append(tile.data(), tile.size() * sizeof(float)));
+      }
+    }
+  }
+  MS_RETURN_NOT_OK(data->Close());
+
+  BufferWriter hdr;
+  hdr.PutU32(kTiledMagic);
+  hdr.PutU8(kTiledVersion);
+  hdr.PutU64(static_cast<uint64_t>(source.num_masks()));
+  hdr.PutI32(w);
+  hdr.PutI32(h);
+  hdr.PutI32(tile_w);
+  hdr.PutI32(tile_h);
+  return WriteFile(HeaderPath(dir), hdr.buffer());
+}
+
+Result<std::unique_ptr<TiledArrayBaseline>> TiledArrayBaseline::Open(
+    const std::string& dir, const MaskStore* meta_store,
+    std::shared_ptr<DiskThrottle> throttle) {
+  MS_ASSIGN_OR_RETURN(std::string hdr_bytes, ReadFile(HeaderPath(dir)));
+  BufferReader r(hdr_bytes);
+  MS_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kTiledMagic) return Status::Corruption("bad tiled-array magic");
+  MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kTiledVersion) return Status::Corruption("bad version");
+  MS_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  if (meta_store == nullptr ||
+      count != static_cast<uint64_t>(meta_store->num_masks())) {
+    return Status::InvalidArgument("tiled array does not match catalog store");
+  }
+  auto b = std::unique_ptr<TiledArrayBaseline>(new TiledArrayBaseline());
+  MS_ASSIGN_OR_RETURN(b->width_, r.GetI32());
+  MS_ASSIGN_OR_RETURN(b->height_, r.GetI32());
+  MS_ASSIGN_OR_RETURN(b->tile_w_, r.GetI32());
+  MS_ASSIGN_OR_RETURN(b->tile_h_, r.GetI32());
+  b->tiles_x_ = (b->width_ + b->tile_w_ - 1) / b->tile_w_;
+  b->tiles_y_ = (b->height_ + b->tile_h_ - 1) / b->tile_h_;
+  MS_ASSIGN_OR_RETURN(b->file_, RandomAccessFile::Open(ArrayPath(dir)));
+  b->throttle_ = std::move(throttle);
+  b->meta_store_ = meta_store;
+  return b;
+}
+
+bool TiledArrayBaseline::HasMaskSpecificRoi(const std::vector<CpTerm>& terms) {
+  for (const CpTerm& t : terms) {
+    if (t.roi_source == RoiSource::kObjectBox) return true;
+  }
+  return false;
+}
+
+Result<Mask> TiledArrayBaseline::LoadRegion(MaskId id, const ROI& needed,
+                                            bool coalesced,
+                                            int64_t* bytes) const {
+  const ROI region = needed.ClampTo(width_, height_);
+  if (region.Empty()) {
+    *bytes = 0;
+    return Mask(width_, height_);
+  }
+  const int32_t tx0 = region.x0 / tile_w_;
+  const int32_t tx1 = (region.x1 - 1) / tile_w_ + 1;
+  const int32_t ty0 = region.y0 / tile_h_;
+  const int32_t ty1 = (region.y1 - 1) / tile_h_ + 1;
+
+  const size_t tile_bytes =
+      static_cast<size_t>(tile_w_) * tile_h_ * sizeof(float);
+  const uint64_t mask_base = static_cast<uint64_t>(id) * tiles_x_ * tiles_y_ *
+                             tile_bytes;
+
+  const int64_t num_tiles =
+      static_cast<int64_t>(tx1 - tx0) * (ty1 - ty0);
+  const int64_t total_bytes = num_tiles * static_cast<int64_t>(tile_bytes);
+  *bytes = total_bytes;
+  if (throttle_) {
+    if (coalesced) {
+      // Constant-ROI slicing: the reads of one mask coalesce into one
+      // sequential request (TileDB slicing the same subarray across masks).
+      throttle_->Acquire(static_cast<uint64_t>(total_bytes));
+    } else {
+      // Mask-specific ROI: one random read per tile.
+      for (int64_t i = 0; i < num_tiles; ++i) {
+        throttle_->Acquire(tile_bytes);
+      }
+    }
+  }
+
+  Mask out(width_, height_);
+  std::vector<float> tile(static_cast<size_t>(tile_w_) * tile_h_);
+  for (int32_t ty = ty0; ty < ty1; ++ty) {
+    for (int32_t tx = tx0; tx < tx1; ++tx) {
+      const uint64_t off =
+          mask_base +
+          (static_cast<uint64_t>(ty) * tiles_x_ + tx) * tile_bytes;
+      MS_RETURN_NOT_OK(file_->ReadAt(off, tile_bytes, tile.data()));
+      const int32_t x0 = tx * tile_w_;
+      const int32_t y0 = ty * tile_h_;
+      const int32_t cols = std::min(tile_w_, width_ - x0);
+      const int32_t rows = std::min(tile_h_, height_ - y0);
+      for (int32_t r = 0; r < rows; ++r) {
+        std::memcpy(out.mutable_row(y0 + r) + x0,
+                    tile.data() + static_cast<size_t>(r) * tile_w_,
+                    static_cast<size_t>(cols) * sizeof(float));
+      }
+    }
+  }
+  return out;
+}
+
+ReferenceEvaluator TiledArrayBaseline::MakeEvaluator(std::vector<CpTerm> terms,
+                                                     bool coalesced) {
+  const TiledArrayBaseline* self = this;
+  const MaskStore* store = meta_store_;
+  return ReferenceEvaluator(
+      meta_store_,
+      [self, store, terms = std::move(terms), coalesced](
+          MaskId id, int64_t* bytes) -> Result<Mask> {
+        // Union bounding box of all term ROIs for this mask.
+        const MaskMeta& meta = store->meta(id);
+        ROI needed;
+        bool first = true;
+        for (const CpTerm& t : terms) {
+          const ROI r = ResolveRoi(t, meta).ClampTo(meta.width, meta.height);
+          if (r.Empty()) continue;
+          if (first) {
+            needed = r;
+            first = false;
+          } else {
+            needed = ROI(std::min(needed.x0, r.x0), std::min(needed.y0, r.y0),
+                         std::max(needed.x1, r.x1), std::max(needed.y1, r.y1));
+          }
+        }
+        if (first) needed = ROI::Full(meta.width, meta.height);
+        return self->LoadRegion(id, needed, coalesced, bytes);
+      });
+}
+
+Result<FilterResult> TiledArrayBaseline::Filter(const FilterQuery& q) {
+  return MakeEvaluator(q.terms, !HasMaskSpecificRoi(q.terms)).Filter(q);
+}
+
+Result<TopKResult> TiledArrayBaseline::TopK(const TopKQuery& q) {
+  return MakeEvaluator(q.terms, !HasMaskSpecificRoi(q.terms)).TopK(q);
+}
+
+Result<AggResult> TiledArrayBaseline::Aggregate(const AggregationQuery& q) {
+  const std::vector<CpTerm> terms{q.term};
+  return MakeEvaluator(terms, !HasMaskSpecificRoi(terms)).Aggregate(q);
+}
+
+Result<AggResult> TiledArrayBaseline::MaskAggregate(const MaskAggQuery& q) {
+  // The derived mask needs the members' pixels over the CP term's ROI.
+  const std::vector<CpTerm> terms{q.term};
+  return MakeEvaluator(terms, !HasMaskSpecificRoi(terms)).MaskAggregate(q);
+}
+
+}  // namespace masksearch

@@ -1,0 +1,80 @@
+// TiledArrayBaseline — the paper's TileDB baseline (§4.1).
+//
+// Masks are stored as one dense 3D array (mask_id × height × width) split
+// into fixed-size spatial tiles, zero-padded at the edges, laid out
+// mask-major. Queries read only the tiles intersecting the needed region:
+//
+//   * constant-ROI queries slice the same tile set from every mask; the
+//     per-mask tile reads coalesce into a single sequential I/O request;
+//   * mask-specific-ROI queries (roi = object) must issue per-tile random
+//     reads, under-utilizing the disk — reproducing the paper's observation
+//     that TileDB is slower on Q2/Q4/Q5 (§4.2).
+//
+// The paper found tile size = mask size performed best; that is the default
+// (tile_width/height = 0).
+
+#ifndef MASKSEARCH_BASELINES_TILED_ARRAY_H_
+#define MASKSEARCH_BASELINES_TILED_ARRAY_H_
+
+#include <memory>
+
+#include "masksearch/baselines/baseline.h"
+#include "masksearch/baselines/reference.h"
+#include "masksearch/common/io.h"
+#include "masksearch/storage/disk_throttle.h"
+
+namespace masksearch {
+
+class TiledArrayBaseline : public Baseline {
+ public:
+  struct Options {
+    /// Tile extents; 0 means "whole mask" (the paper's best setting).
+    int32_t tile_width = 0;
+    int32_t tile_height = 0;
+  };
+
+  /// \brief Materializes the 3D tiled array from `source` (all masks must
+  /// share one shape, as in the paper's datasets).
+  static Status CreateFiles(const std::string& dir, const MaskStore& source,
+                            const Options& opts);
+
+  static Result<std::unique_ptr<TiledArrayBaseline>> Open(
+      const std::string& dir, const MaskStore* meta_store,
+      std::shared_ptr<DiskThrottle> throttle);
+
+  std::string name() const override { return "TiledArray(TileDB)"; }
+
+  Result<FilterResult> Filter(const FilterQuery& q) override;
+  Result<TopKResult> TopK(const TopKQuery& q) override;
+  Result<AggResult> Aggregate(const AggregationQuery& q) override;
+  Result<AggResult> MaskAggregate(const MaskAggQuery& q) override;
+
+ private:
+  TiledArrayBaseline() = default;
+
+  /// Builds an evaluator whose loader reads, for each mask, only the tiles
+  /// covering the union of the query's (resolved) term ROIs. `coalesced`
+  /// selects the sequential-slice I/O pattern (constant ROI across masks).
+  ReferenceEvaluator MakeEvaluator(std::vector<CpTerm> terms, bool coalesced);
+
+  /// Reads the tiles of mask `id` covering `needed` into a full-size,
+  /// zero-backed mask (tiles outside `needed` stay zero).
+  Result<Mask> LoadRegion(MaskId id, const ROI& needed, bool coalesced,
+                          int64_t* bytes) const;
+
+  static bool HasMaskSpecificRoi(const std::vector<CpTerm>& terms);
+
+  int32_t width_ = 0;
+  int32_t height_ = 0;
+  int32_t tile_w_ = 0;
+  int32_t tile_h_ = 0;
+  int32_t tiles_x_ = 0;
+  int32_t tiles_y_ = 0;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::shared_ptr<DiskThrottle> throttle_;
+  const MaskStore* meta_store_ = nullptr;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_BASELINES_TILED_ARRAY_H_

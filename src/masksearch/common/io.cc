@@ -1,0 +1,128 @@
+#include "masksearch/common/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace masksearch {
+
+namespace fs = std::filesystem;
+
+namespace {
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  MS_ASSIGN_OR_RETURN(auto w, FileWriter::Create(path));
+  MS_RETURN_NOT_OK(w->Append(contents));
+  return w->Close();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  MS_ASSIGN_OR_RETURN(auto f, RandomAccessFile::Open(path));
+  std::string out;
+  out.resize(f->size());
+  if (f->size() > 0) {
+    MS_RETURN_NOT_OK(f->ReadAt(0, out.size(), out.data()));
+  }
+  return out;
+}
+
+bool PathExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t n = fs::file_size(path, ec);
+  if (ec) return Status::IOError("file_size '" + path + "': " + ec.message());
+  return n;
+}
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("create_directories '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IOError("remove '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("fstat", path));
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new RandomAccessFile(fd, static_cast<uint64_t>(st.st_size), path));
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RandomAccessFile::ReadAt(uint64_t offset, size_t n, void* out) const {
+  char* dst = static_cast<char*>(out);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, dst + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("pread", path_));
+    }
+    if (r == 0) {
+      return Status::IOError("pread '" + path_ + "': unexpected EOF at offset " +
+                             std::to_string(offset + done));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileWriter>> FileWriter::Create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError(Errno("fopen", path));
+  return std::unique_ptr<FileWriter>(new FileWriter(f, path));
+}
+
+FileWriter::~FileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileWriter::Append(const void* data, size_t n) {
+  if (file_ == nullptr) return Status::Internal("append after close");
+  if (n == 0) return Status::OK();
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::IOError(Errno("fwrite", path_));
+  }
+  bytes_written_ += n;
+  return Status::OK();
+}
+
+Status FileWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError(Errno("fclose", path_));
+  return Status::OK();
+}
+
+}  // namespace masksearch

@@ -1,0 +1,82 @@
+// Minimal file I/O helpers shared by all on-disk components.
+
+#ifndef MASKSEARCH_COMMON_IO_H_
+#define MASKSEARCH_COMMON_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "masksearch/common/result.h"
+#include "masksearch/common/status.h"
+
+namespace masksearch {
+
+/// \brief Writes `contents` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+/// \brief Reads the entire file at `path`.
+Result<std::string> ReadFile(const std::string& path);
+
+/// \brief True if a regular file or directory exists at `path`.
+bool PathExists(const std::string& path);
+
+/// \brief Size in bytes of the file at `path`.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// \brief Creates `path` and any missing parents (mkdir -p).
+Status CreateDirs(const std::string& path);
+
+/// \brief Removes a file if it exists; OK if it does not.
+Status RemoveFileIfExists(const std::string& path);
+
+/// \brief Random-access read-only file handle.
+///
+/// Thread-compatible: concurrent ReadAt calls are safe (pread).
+class RandomAccessFile {
+ public:
+  static Result<std::unique_ptr<RandomAccessFile>> Open(const std::string& path);
+  ~RandomAccessFile();
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// \brief Reads exactly `n` bytes at `offset` into `out`.
+  Status ReadAt(uint64_t offset, size_t n, void* out) const;
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  RandomAccessFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  int fd_;
+  uint64_t size_;
+  std::string path_;
+};
+
+/// \brief Append-only file writer with explicit flush/close.
+class FileWriter {
+ public:
+  static Result<std::unique_ptr<FileWriter>> Create(const std::string& path);
+  ~FileWriter();
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  Status Append(const void* data, size_t n);
+  Status Append(const std::string& data) { return Append(data.data(), data.size()); }
+  Status Close();
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  FileWriter(std::FILE* f, std::string path) : file_(f), path_(std::move(path)) {}
+  std::FILE* file_;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_COMMON_IO_H_

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every randomized component (synthetic masks, query generators, workload
+// generators) takes an explicit seed, so all experiments are reproducible
+// bit-for-bit across runs and platforms.
+
+#ifndef MASKSEARCH_COMMON_RANDOM_H_
+#define MASKSEARCH_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace masksearch {
+
+/// \brief xoshiro256** generator (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// \brief Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// \brief Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextU64() % span);
+  }
+
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// \brief Standard normal via Box–Muller.
+  double NextGaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  /// \brief Bernoulli(p).
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// \brief A fresh generator whose stream is independent of this one.
+  Rng Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_COMMON_RANDOM_H_

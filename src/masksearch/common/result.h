@@ -1,0 +1,68 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#ifndef MASKSEARCH_COMMON_RESULT_H_
+#define MASKSEARCH_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "masksearch/common/status.h"
+
+namespace masksearch {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Constructing a Result from an OK status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status st) : v_(std::move(st)) {  // NOLINT(google-explicit-constructor)
+    if (status().ok()) {
+      Status::Internal("Result constructed from OK status").CheckOK();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// \brief The error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+  /// \brief The held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    status().CheckOK();
+    return std::get<T>(v_);
+  }
+  T& ValueOrDie() & {
+    status().CheckOK();
+    return std::get<T>(v_);
+  }
+  T ValueOrDie() && {
+    status().CheckOK();
+    return std::move(std::get<T>(v_));
+  }
+
+  /// \brief The held value without checking; caller must have checked ok().
+  const T& ValueUnsafe() const& { return std::get<T>(v_); }
+  T& ValueUnsafe() & { return std::get<T>(v_); }
+  T ValueUnsafe() && { return std::move(std::get<T>(v_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_COMMON_RESULT_H_

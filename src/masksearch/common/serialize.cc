@@ -1,0 +1,4 @@
+#include "masksearch/common/serialize.h"
+
+// Header-only today; this TU anchors the component and keeps the build graph
+// stable if out-of-line definitions are added later.

@@ -1,0 +1,168 @@
+// Little-endian binary serialization over in-memory buffers.
+//
+// All on-disk formats in MaskSearch (mask store, CHI store, row store, tiled
+// array) are written through these helpers so every format is
+// endianness-stable and versioned the same way.
+
+#ifndef MASKSEARCH_COMMON_SERIALIZE_H_
+#define MASKSEARCH_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "masksearch/common/result.h"
+#include "masksearch/common/status.h"
+
+namespace masksearch {
+
+/// \brief Appends fixed-width little-endian values to a growable buffer.
+class BufferWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI32(int32_t v) { PutFixed(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+  void PutF32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed(bits);
+  }
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed(bits);
+  }
+  /// \brief Length-prefixed (u32) string.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  /// \brief Raw bytes, no length prefix.
+  void PutBytes(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  /// \brief Length-prefixed (u64) vector of trivially-copyable elements.
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutU64(v.size());
+    if (!v.empty()) PutBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    char tmp[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    buf_.append(tmp, sizeof(T));
+  }
+
+  std::string buf_;
+};
+
+/// \brief Reads fixed-width little-endian values from a byte span.
+///
+/// Readers never over-read: every accessor returns Corruption on exhaustion.
+class BufferReader {
+ public:
+  BufferReader(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  explicit BufferReader(const std::string& s) : BufferReader(s.data(), s.size()) {}
+
+  Result<uint8_t> GetU8() {
+    MS_RETURN_NOT_OK(Require(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint16_t> GetU16() { return GetFixed<uint16_t>(); }
+  Result<uint32_t> GetU32() { return GetFixed<uint32_t>(); }
+  Result<uint64_t> GetU64() { return GetFixed<uint64_t>(); }
+  Result<int32_t> GetI32() {
+    MS_ASSIGN_OR_RETURN(uint32_t bits, GetFixed<uint32_t>());
+    return static_cast<int32_t>(bits);
+  }
+  Result<int64_t> GetI64() {
+    MS_ASSIGN_OR_RETURN(uint64_t bits, GetFixed<uint64_t>());
+    return static_cast<int64_t>(bits);
+  }
+  Result<float> GetF32() {
+    MS_ASSIGN_OR_RETURN(uint32_t bits, GetFixed<uint32_t>());
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<double> GetF64() {
+    MS_ASSIGN_OR_RETURN(uint64_t bits, GetFixed<uint64_t>());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<std::string> GetString() {
+    MS_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+    MS_RETURN_NOT_OK(Require(n));
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  Status GetBytes(void* out, size_t n) {
+    MS_RETURN_NOT_OK(Require(n));
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  template <typename T>
+  Result<std::vector<T>> GetVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MS_ASSIGN_OR_RETURN(uint64_t n, GetU64());
+    if (n > size_ - pos_) {
+      return Status::Corruption("vector length exceeds buffer");
+    }
+    std::vector<T> v(n);
+    if (n > 0) MS_RETURN_NOT_OK(GetBytes(v.data(), n * sizeof(T)));
+    return v;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  Status Skip(size_t n) {
+    MS_RETURN_NOT_OK(Require(n));
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  Status Require(size_t n) const {
+    if (size_ - pos_ < n) {
+      return Status::Corruption("buffer exhausted: need " + std::to_string(n) +
+                                " bytes, have " + std::to_string(size_ - pos_));
+    }
+    return Status::OK();
+  }
+  template <typename T>
+  Result<T> GetFixed() {
+    MS_RETURN_NOT_OK(Require(sizeof(T)));
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_COMMON_SERIALIZE_H_

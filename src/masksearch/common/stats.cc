@@ -1,0 +1,77 @@
+#include "masksearch/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace masksearch {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+DistributionSummary Summarize(std::vector<double> values) {
+  DistributionSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.p25 = Percentile(values, 0.25);
+  s.median = Percentile(values, 0.50);
+  s.p75 = Percentile(values, 0.75);
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+
+  double iqr = s.p75 - s.p25;
+  double lo_fence = s.p25 - 1.5 * iqr;
+  double hi_fence = s.p75 + 1.5 * iqr;
+  s.whisker_lo = s.max;
+  s.whisker_hi = s.min;
+  for (double v : values) {
+    if (v >= lo_fence && v < s.whisker_lo) s.whisker_lo = v;
+    if (v <= hi_fence && v > s.whisker_hi) s.whisker_hi = v;
+    if (v < lo_fence || v > hi_fence) ++s.num_outliers;
+  }
+  return s;
+}
+
+std::string DistributionSummary::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g mean=%.4g "
+                "whiskers=[%.4g,%.4g] outliers=%zu",
+                count, min, p25, median, p75, max, mean, whisker_lo, whisker_hi,
+                num_outliers);
+  return buf;
+}
+
+double PearsonR(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double n = static_cast<double>(x.size());
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace masksearch

@@ -1,0 +1,43 @@
+// Small statistics helpers used by the evaluation harness (§4.3–§4.5):
+// percentile summaries for box plots (Figure 8) and Pearson correlation
+// (Figure 9).
+
+#ifndef MASKSEARCH_COMMON_STATS_H_
+#define MASKSEARCH_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace masksearch {
+
+/// \brief Five-number-style summary of a sample (for box plots).
+struct DistributionSummary {
+  size_t count = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+  double mean = 0;
+  /// Largest/smallest observations within 1.5*IQR of the quartiles
+  /// (matplotlib-style whiskers, as in Figure 8).
+  double whisker_lo = 0;
+  double whisker_hi = 0;
+  size_t num_outliers = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Computes the summary of `values` (copied and sorted internally).
+DistributionSummary Summarize(std::vector<double> values);
+
+/// \brief Linear-interpolated percentile of a *sorted* sample, q in [0,1].
+double Percentile(const std::vector<double>& sorted, double q);
+
+/// \brief Pearson's correlation coefficient; 0 if either side is constant.
+double PearsonR(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_COMMON_STATS_H_

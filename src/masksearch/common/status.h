@@ -1,0 +1,124 @@
+// Status: lightweight error propagation in the style of Arrow / RocksDB.
+//
+// Library code never throws across the public API boundary; fallible
+// operations return Status (or Result<T>, see result.h). Ok statuses carry no
+// allocation.
+
+#ifndef MASKSEARCH_COMMON_STATUS_H_
+#define MASKSEARCH_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace masksearch {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kCorruption = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("OK", "IOError"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus a message.
+///
+/// The OK status is represented by a null internal state so that returning
+/// Status::OK() never allocates.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process with the status message if not OK.
+  /// Use only in examples/benchmarks and tests, never in library code.
+  void CheckOK() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // shared_ptr keeps Status cheaply copyable; statuses are immutable.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace masksearch
+
+/// \brief Propagates a non-OK Status to the caller.
+#define MS_RETURN_NOT_OK(expr)                   \
+  do {                                           \
+    ::masksearch::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define MS_CONCAT_IMPL(a, b) a##b
+#define MS_CONCAT(a, b) MS_CONCAT_IMPL(a, b)
+
+/// \brief Evaluates a Result<T> expression; on success binds the value to
+/// `lhs`, otherwise returns the error Status.
+#define MS_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto MS_CONCAT(_res_, __LINE__) = (rexpr);                     \
+  if (!MS_CONCAT(_res_, __LINE__).ok())                          \
+    return MS_CONCAT(_res_, __LINE__).status();                  \
+  lhs = std::move(MS_CONCAT(_res_, __LINE__)).ValueUnsafe()
+
+#endif  // MASKSEARCH_COMMON_STATUS_H_

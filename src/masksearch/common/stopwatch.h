@@ -1,0 +1,36 @@
+// Monotonic wall-clock timer used by the benchmark harness.
+
+#ifndef MASKSEARCH_COMMON_STOPWATCH_H_
+#define MASKSEARCH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace masksearch {
+
+/// \brief Measures elapsed wall time with steady_clock precision.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_COMMON_STOPWATCH_H_

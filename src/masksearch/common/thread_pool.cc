@@ -1,0 +1,99 @@
+#include "masksearch/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace masksearch {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool pool(0);
+  return &pool;
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // 4 chunks per worker balances skewed per-item costs (e.g. some masks
+  // verified, most pruned) against scheduling overhead.
+  size_t num_chunks = std::min(n, pool->num_threads() * 4);
+  size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> pending{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  size_t launched = 0;
+  for (size_t c = 0; c * chunk < n; ++c) ++launched;
+  pending.store(launched);
+  for (size_t c = 0; c < launched; ++c) {
+    pool->Submit([&, c] {
+      size_t begin = c * chunk;
+      size_t end = std::min(n, begin + chunk);
+      for (size_t i = begin; i < end; ++i) fn(i);
+      if (pending.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending.load() == 0; });
+  (void)next;
+}
+
+}  // namespace masksearch

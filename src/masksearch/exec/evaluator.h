@@ -1,0 +1,67 @@
+// Internal per-mask evaluation helpers shared by the executors.
+// Not part of the public API.
+
+#ifndef MASKSEARCH_EXEC_EVALUATOR_H_
+#define MASKSEARCH_EXEC_EVALUATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "masksearch/exec/options.h"
+#include "masksearch/exec/query_spec.h"
+#include "masksearch/index/bounds.h"
+#include "masksearch/index/chi.h"
+#include "masksearch/index/chi_builder.h"
+#include "masksearch/index/index_manager.h"
+#include "masksearch/query/cp.h"
+
+namespace masksearch {
+namespace internal {
+
+/// \brief Interval bounds of every CP term of a query for one mask, computed
+/// from its CHI without touching the data file.
+inline std::vector<Interval> TermBoundsFromChi(const Chi& chi,
+                                               const MaskMeta& meta,
+                                               const std::vector<CpTerm>& terms) {
+  std::vector<Interval> out;
+  out.reserve(terms.size());
+  for (const CpTerm& t : terms) {
+    out.push_back(
+        Interval::FromBounds(ComputeCpBounds(chi, ResolveRoi(t, meta), t.range)));
+  }
+  return out;
+}
+
+/// \brief Exact CP term values from a loaded mask (verification stage).
+inline std::vector<double> TermExactFromMask(const Mask& mask,
+                                             const MaskMeta& meta,
+                                             const std::vector<CpTerm>& terms) {
+  std::vector<double> out;
+  out.reserve(terms.size());
+  for (const CpTerm& t : terms) {
+    out.push_back(static_cast<double>(
+        CountPixels(mask, ResolveRoi(t, meta), t.range)));
+  }
+  return out;
+}
+
+/// \brief Loads a mask (counted in `stats`) and, under incremental indexing,
+/// builds and registers its CHI (§3.6).
+inline Result<Mask> LoadForVerification(const MaskStore& store,
+                                        IndexManager* index,
+                                        const EngineOptions& opts, MaskId id,
+                                        ExecStats* stats) {
+  MS_ASSIGN_OR_RETURN(Mask mask, store.LoadMask(id));
+  stats->masks_loaded += 1;
+  stats->bytes_read += static_cast<int64_t>(store.BlobSize(id));
+  if (opts.build_missing && index != nullptr && !index->Has(id)) {
+    index->BuildAndPut(id, mask);
+    stats->chis_built += 1;
+  }
+  return mask;
+}
+
+}  // namespace internal
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_EXEC_EVALUATOR_H_

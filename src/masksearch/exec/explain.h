@@ -1,0 +1,28 @@
+// Human-readable plan descriptions for MaskSearch queries.
+//
+// Explain output shows how the filter–verification framework will attack a
+// query: the catalog selection, every CP term with its ROI source and value
+// range, the predicate/ordering, and the pruning strategy the executor will
+// apply. Used by the CLI's EXPLAIN mode and by examples.
+
+#ifndef MASKSEARCH_EXEC_EXPLAIN_H_
+#define MASKSEARCH_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "masksearch/exec/query_spec.h"
+
+namespace masksearch {
+
+std::string ExplainSelection(const Selection& sel);
+std::string ExplainFilter(const FilterQuery& q);
+std::string ExplainTopK(const TopKQuery& q);
+std::string ExplainAggregation(const AggregationQuery& q);
+std::string ExplainMaskAgg(const MaskAggQuery& q);
+
+/// \brief One-line summary of what a finished query did (for CLI output).
+std::string SummarizeStats(const ExecStats& stats);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_EXEC_EXPLAIN_H_

@@ -1,0 +1,114 @@
+#include "masksearch/exec/filter_executor.h"
+
+#include <atomic>
+
+#include "masksearch/common/stopwatch.h"
+#include "masksearch/exec/evaluator.h"
+
+namespace masksearch {
+
+namespace {
+
+enum class Outcome : uint8_t { kPruned, kAccepted, kVerifiedPass, kVerifiedFail, kError };
+
+}  // namespace
+
+Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
+                                   const FilterQuery& query,
+                                   const EngineOptions& opts) {
+  if (query.predicate.Empty()) {
+    return Status::InvalidArgument("filter query has no predicate");
+  }
+  const int32_t max_term = query.predicate.MaxTermIndex();
+  if (max_term >= static_cast<int32_t>(query.terms.size())) {
+    return Status::InvalidArgument(
+        "predicate references CP term " + std::to_string(max_term) +
+        " but query defines only " + std::to_string(query.terms.size()));
+  }
+
+  Stopwatch timer;
+  const std::vector<MaskId> ids = ResolveSelection(store, query.selection);
+
+  std::vector<Outcome> outcomes(ids.size(), Outcome::kPruned);
+  std::atomic<int64_t> loaded{0};
+  std::atomic<int64_t> bytes{0};
+  std::atomic<int64_t> built{0};
+  std::atomic<bool> failed{false};
+
+  // Filter and verification are fused per mask: a mask that cannot be
+  // decided from bounds is loaded immediately. This keeps the two stages of
+  // §3.2 pipelined across masks while preserving their semantics.
+  ParallelFor(opts.pool, ids.size(), [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const MaskId id = ids[i];
+    const MaskMeta& meta = store.meta(id);
+
+    if (opts.use_index && index != nullptr) {
+      if (const Chi* chi = index->Get(id)) {
+        const std::vector<Interval> bounds =
+            internal::TermBoundsFromChi(*chi, meta, query.terms);
+        switch (query.predicate.EvalBounds(bounds)) {
+          case Tri::kFalse:
+            outcomes[i] = Outcome::kPruned;  // Case 1
+            return;
+          case Tri::kTrue:
+            outcomes[i] = Outcome::kAccepted;  // Case 2
+            return;
+          case Tri::kUnknown:
+            break;  // Case 3: verify below
+        }
+      }
+    }
+
+    // Verification stage (or index-less path): load and evaluate exactly.
+    ExecStats local;
+    auto mask = internal::LoadForVerification(
+        store, opts.use_index ? index : nullptr, opts, id, &local);
+    loaded.fetch_add(local.masks_loaded, std::memory_order_relaxed);
+    bytes.fetch_add(local.bytes_read, std::memory_order_relaxed);
+    built.fetch_add(local.chis_built, std::memory_order_relaxed);
+    if (!mask.ok()) {
+      failed.store(true, std::memory_order_relaxed);
+      outcomes[i] = Outcome::kError;
+      return;
+    }
+    const std::vector<double> exact =
+        internal::TermExactFromMask(*mask, meta, query.terms);
+    outcomes[i] = query.predicate.EvalExact(exact) ? Outcome::kVerifiedPass
+                                                   : Outcome::kVerifiedFail;
+  });
+
+  if (failed.load()) {
+    return Status::IOError("mask load failed during filter execution");
+  }
+
+  FilterResult result;
+  result.stats.masks_targeted = static_cast<int64_t>(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    switch (outcomes[i]) {
+      case Outcome::kPruned:
+        ++result.stats.pruned;
+        break;
+      case Outcome::kAccepted:
+        ++result.stats.accepted_by_bounds;
+        result.mask_ids.push_back(ids[i]);
+        break;
+      case Outcome::kVerifiedPass:
+        ++result.stats.candidates;
+        result.mask_ids.push_back(ids[i]);
+        break;
+      case Outcome::kVerifiedFail:
+        ++result.stats.candidates;
+        break;
+      case Outcome::kError:
+        break;
+    }
+  }
+  result.stats.masks_loaded = loaded.load();
+  result.stats.bytes_read = bytes.load();
+  result.stats.chis_built = built.load();
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace masksearch

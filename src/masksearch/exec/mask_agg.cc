@@ -1,0 +1,335 @@
+#include "masksearch/exec/mask_agg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "masksearch/common/stopwatch.h"
+#include "masksearch/exec/evaluator.h"
+#include "masksearch/index/chi_builder.h"
+
+namespace masksearch {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+struct Better {
+  bool descending;
+  bool operator()(const ScoredGroup& a, const ScoredGroup& b) const {
+    if (a.value != b.value) {
+      return descending ? a.value > b.value : a.value < b.value;
+    }
+    return a.group < b.group;
+  }
+};
+
+/// Bounds on CP(derived, roi, range) from the members' individual CHIs, for
+/// thresholded INTERSECT / UNION (§3.4's monotone-aggregation extension).
+/// Returns an unbounded interval when the aggregation is not count-monotone
+/// or a member CHI is missing.
+Interval BoundsFromMembers(const MaskAggQuery& query, const MaskStore& store,
+                           IndexManager* index,
+                           const std::vector<MaskId>& members) {
+  if (query.op == MaskAggOp::kAverage || index == nullptr) {
+    return Interval{-kInf, kInf};
+  }
+  const MaskMeta& first = store.meta(members.front());
+  const ROI roi = ResolveRoi(query.term, first).ClampTo(first.width, first.height);
+  const int64_t area = roi.Area();
+  const ValueRange above{query.agg_threshold, 1.0};
+
+  // Per-member bounds on the count of pixels above the aggregation
+  // threshold inside the ROI.
+  int64_t min_upper = std::numeric_limits<int64_t>::max();
+  int64_t max_lower = 0;
+  int64_t sum_lower = 0;
+  int64_t sum_upper = 0;
+  for (MaskId id : members) {
+    const Chi* chi = index->Get(id);
+    if (chi == nullptr) return Interval{-kInf, kInf};
+    const CpBounds b = ComputeCpBounds(*chi, roi, above);
+    min_upper = std::min(min_upper, b.upper);
+    max_lower = std::max(max_lower, b.lower);
+    sum_lower += b.lower;
+    sum_upper += b.upper;
+  }
+  const int64_t n = static_cast<int64_t>(members.size());
+
+  // Bounds on the number of "1" pixels of the derived mask inside the ROI.
+  Interval ones;
+  if (query.op == MaskAggOp::kIntersectThreshold) {
+    // All members above t: at most the scarcest member, at least the
+    // inclusion–exclusion floor.
+    ones.hi = static_cast<double>(min_upper);
+    ones.lo = static_cast<double>(
+        std::max<int64_t>(0, sum_lower - (n - 1) * area));
+  } else {  // kUnionThreshold
+    ones.hi = static_cast<double>(std::min(area, sum_upper));
+    ones.lo = static_cast<double>(max_lower);
+  }
+
+  // Translate 1-counts into CP(derived, roi, range): derived pixels are
+  // exactly {0, DerivedMaskOne()}.
+  const bool counts_ones = query.term.range.Contains(DerivedMaskOne());
+  const bool counts_zeros = query.term.range.Contains(0.0);
+  Interval cp = Interval::Point(0.0);
+  if (counts_ones) cp = cp + ones;
+  if (counts_zeros) {
+    cp = cp + (Interval::Point(static_cast<double>(area)) - ones);
+  }
+  return cp;
+}
+
+}  // namespace
+
+Result<Mask> ComputeDerivedMask(MaskAggOp op, double threshold,
+                                const std::vector<Mask>& masks) {
+  if (masks.empty()) {
+    return Status::InvalidArgument("MASK_AGG of an empty group");
+  }
+  const int32_t w = masks[0].width();
+  const int32_t h = masks[0].height();
+  for (const Mask& m : masks) {
+    if (m.width() != w || m.height() != h) {
+      return Status::InvalidArgument("MASK_AGG inputs must share one shape");
+    }
+  }
+  const float one = DerivedMaskOne();
+  const float t = static_cast<float>(threshold);
+  Mask out(w, h);
+  const size_t n = static_cast<size_t>(out.NumPixels());
+  switch (op) {
+    case MaskAggOp::kIntersectThreshold:
+      for (size_t i = 0; i < n; ++i) {
+        bool all = true;
+        for (const Mask& m : masks) {
+          if (!(m.data()[i] > t)) {
+            all = false;
+            break;
+          }
+        }
+        out.mutable_data()[i] = all ? one : 0.0f;
+      }
+      break;
+    case MaskAggOp::kUnionThreshold:
+      for (size_t i = 0; i < n; ++i) {
+        bool any = false;
+        for (const Mask& m : masks) {
+          if (m.data()[i] > t) {
+            any = true;
+            break;
+          }
+        }
+        out.mutable_data()[i] = any ? one : 0.0f;
+      }
+      break;
+    case MaskAggOp::kAverage: {
+      const float inv = 1.0f / static_cast<float>(masks.size());
+      for (size_t i = 0; i < n; ++i) {
+        float acc = 0.0f;
+        for (const Mask& m : masks) acc += m.data()[i];
+        out.mutable_data()[i] = acc * inv;
+      }
+      out.ClampToDomain();
+      break;
+    }
+  }
+  return out;
+}
+
+const Chi* DerivedIndexCache::Get(int64_t group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = chis_.find(group);
+  return it == chis_.end() ? nullptr : it->second.get();
+}
+
+void DerivedIndexCache::Put(int64_t group, Chi chi) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = chis_[group];
+  if (slot == nullptr) slot = std::make_unique<const Chi>(std::move(chi));
+}
+
+size_t DerivedIndexCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chis_.size();
+}
+
+Status BuildDerivedIndexes(const MaskStore& store, const Selection& selection,
+                           MaskAggOp op, double threshold, GroupKey group_key,
+                           DerivedIndexCache* cache) {
+  if (cache == nullptr) return Status::InvalidArgument("null derived cache");
+  const std::vector<MaskId> ids = ResolveSelection(store, selection);
+  std::map<int64_t, std::vector<MaskId>> groups;
+  for (MaskId id : ids) {
+    groups[GroupKeyValue(group_key, store.meta(id))].push_back(id);
+  }
+  for (const auto& [key, members] : groups) {
+    if (cache->Get(key) != nullptr) continue;
+    std::vector<Mask> masks;
+    masks.reserve(members.size());
+    for (MaskId id : members) {
+      MS_ASSIGN_OR_RETURN(Mask mask, store.LoadMask(id));
+      masks.push_back(std::move(mask));
+    }
+    MS_ASSIGN_OR_RETURN(Mask derived, ComputeDerivedMask(op, threshold, masks));
+    cache->Put(key, BuildChi(derived, cache->config()));
+  }
+  return Status::OK();
+}
+
+Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
+                                 DerivedIndexCache* derived_cache,
+                                 const MaskAggQuery& query,
+                                 const EngineOptions& opts) {
+  if (!query.k.has_value() && !query.having_op.has_value()) {
+    return Status::InvalidArgument(
+        "mask-agg query needs a HAVING predicate and/or ORDER BY LIMIT k");
+  }
+  if (query.k.has_value() && *query.k == 0) {
+    return Status::InvalidArgument("mask-agg query requires k > 0");
+  }
+
+  Stopwatch timer;
+  const std::vector<MaskId> ids = ResolveSelection(store, query.selection);
+
+  std::map<int64_t, std::vector<MaskId>> groups;
+  for (MaskId id : ids) {
+    groups[GroupKeyValue(query.group_key, store.meta(id))].push_back(id);
+  }
+
+  AggResult result;
+  result.stats.masks_targeted = static_cast<int64_t>(ids.size());
+
+  struct GroupState {
+    int64_t key;
+    const std::vector<MaskId>* members;
+    Interval bounds;
+  };
+  std::vector<GroupState> states;
+  states.reserve(groups.size());
+  for (const auto& [key, members] : groups) {
+    GroupState gs{key, &members, Interval{-kInf, kInf}};
+    if (opts.use_index) {
+      // Prefer the derived mask's own CHI; fall back to member-CHI bounds.
+      const Chi* dchi =
+          derived_cache != nullptr ? derived_cache->Get(key) : nullptr;
+      if (dchi != nullptr) {
+        const ROI roi = ResolveRoi(query.term, store.meta(members.front()));
+        gs.bounds = Interval::FromBounds(
+            ComputeCpBounds(*dchi, roi, query.term.range));
+      } else {
+        gs.bounds = BoundsFromMembers(query, store, index, members);
+      }
+    }
+    states.push_back(gs);
+  }
+
+  // Verification: load members, materialize the derived mask, CP exactly;
+  // register the derived CHI (and member CHIs under incremental indexing).
+  auto VerifyGroup = [&](const GroupState& gs) -> Result<double> {
+    std::vector<Mask> masks;
+    masks.reserve(gs.members->size());
+    for (MaskId id : *gs.members) {
+      MS_ASSIGN_OR_RETURN(
+          Mask mask, internal::LoadForVerification(
+                         store, opts.use_index ? index : nullptr, opts, id,
+                         &result.stats));
+      masks.push_back(std::move(mask));
+    }
+    MS_ASSIGN_OR_RETURN(Mask derived,
+                        ComputeDerivedMask(query.op, query.agg_threshold, masks));
+    const MaskMeta& first = store.meta(gs.members->front());
+    const double value = static_cast<double>(
+        CountPixels(derived, ResolveRoi(query.term, first), query.term.range));
+    // Derived-mask CHIs are always built incrementally when a cache is
+    // supplied: the derived mask was materialized anyway, and §3.4 treats
+    // aggregated masks as "new masks" indexed ahead of time or on first use.
+    if (derived_cache != nullptr && opts.use_index) {
+      derived_cache->Put(gs.key, BuildChi(derived, derived_cache->config()));
+      result.stats.chis_built += 1;
+    }
+    return value;
+  };
+
+  if (!query.k.has_value()) {
+    for (const GroupState& gs : states) {
+      const Tri t =
+          CompareBounds(gs.bounds, *query.having_op, query.having_threshold);
+      if (t == Tri::kFalse) {
+        ++result.stats.pruned;
+        continue;
+      }
+      if (t == Tri::kTrue) {
+        ++result.stats.accepted_by_bounds;
+        result.groups.push_back(
+            ScoredGroup{gs.key, gs.bounds.Tight() ? gs.bounds.lo : kNaN});
+        continue;
+      }
+      ++result.stats.candidates;
+      MS_ASSIGN_OR_RETURN(double v, VerifyGroup(gs));
+      if (CompareExact(v, *query.having_op, query.having_threshold)) {
+        result.groups.push_back(ScoredGroup{gs.key, v});
+      }
+    }
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  const Better better{query.descending};
+  std::set<ScoredGroup, Better> heap(better);
+
+  std::vector<size_t> order(states.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (opts.sort_by_bound) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const double oa = query.descending ? states[a].bounds.hi : -states[a].bounds.lo;
+      const double ob = query.descending ? states[b].bounds.hi : -states[b].bounds.lo;
+      if (oa != ob) return oa > ob;
+      return states[a].key < states[b].key;
+    });
+  }
+
+  for (size_t oi : order) {
+    const GroupState& gs = states[oi];
+    if (query.having_op.has_value() &&
+        CompareBounds(gs.bounds, *query.having_op, query.having_threshold) ==
+            Tri::kFalse) {
+      ++result.stats.pruned;
+      continue;
+    }
+    const double optimistic = query.descending ? gs.bounds.hi : gs.bounds.lo;
+    if (heap.size() >= *query.k &&
+        !better(ScoredGroup{gs.key, optimistic}, *heap.rbegin())) {
+      ++result.stats.pruned;
+      continue;
+    }
+    double value;
+    if (gs.bounds.Tight() && std::isfinite(gs.bounds.lo)) {
+      value = gs.bounds.lo;
+      ++result.stats.accepted_by_bounds;
+    } else {
+      ++result.stats.candidates;
+      MS_ASSIGN_OR_RETURN(value, VerifyGroup(gs));
+    }
+    if (query.having_op.has_value() &&
+        !CompareExact(value, *query.having_op, query.having_threshold)) {
+      continue;
+    }
+    const ScoredGroup cand{gs.key, value};
+    if (heap.size() < *query.k) {
+      heap.insert(cand);
+    } else if (better(cand, *heap.rbegin())) {
+      heap.erase(std::prev(heap.end()));
+      heap.insert(cand);
+    }
+  }
+
+  result.groups.assign(heap.begin(), heap.end());
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace masksearch

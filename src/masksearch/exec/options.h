@@ -1,0 +1,35 @@
+// Execution options shared by all executors.
+
+#ifndef MASKSEARCH_EXEC_OPTIONS_H_
+#define MASKSEARCH_EXEC_OPTIONS_H_
+
+#include "masksearch/common/thread_pool.h"
+
+namespace masksearch {
+
+/// \brief Knobs selecting between the paper's execution regimes.
+struct EngineOptions {
+  /// Thread pool for the parallel filter stage (§3.2.1); null = inline.
+  ThreadPool* pool = nullptr;
+
+  /// If false, the filter stage is skipped entirely and every targeted mask
+  /// is loaded and evaluated — the behaviour of the baselines. Used to run
+  /// apples-to-apples comparisons through the same executor code.
+  bool use_index = true;
+
+  /// Incremental indexing (§3.6): when a mask without a CHI must be loaded
+  /// anyway, build and register its CHI for future queries (MS-II). When
+  /// false, masks without CHIs are still answered correctly (loaded and
+  /// scanned) but no index is built.
+  bool build_missing = true;
+
+  /// Top-k processing order: when true, masks are processed in decreasing
+  /// upper-bound order (increasing lower bound for ASC queries), which
+  /// tightens the running threshold faster than the paper's sequential
+  /// order. The ablation bench quantifies the difference.
+  bool sort_by_bound = true;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_EXEC_OPTIONS_H_

@@ -1,0 +1,84 @@
+#include "masksearch/exec/session.h"
+
+#include <cmath>
+
+#include "masksearch/common/io.h"
+#include "masksearch/common/stopwatch.h"
+
+namespace masksearch {
+
+Session::Session(const MaskStore* store, SessionOptions options,
+                 std::unique_ptr<IndexManager> index)
+    : store_(store), options_(std::move(options)), index_(std::move(index)) {}
+
+Result<std::unique_ptr<Session>> Session::Open(const MaskStore* store,
+                                               const SessionOptions& options) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  if (!options.chi.Valid()) {
+    return Status::InvalidArgument("invalid CHI config: " +
+                                   options.chi.ToString());
+  }
+  auto index = std::make_unique<IndexManager>(store->num_masks(), options.chi);
+  auto session = std::unique_ptr<Session>(
+      new Session(store, options, std::move(index)));
+
+  if (options.use_index) {
+    const bool have_file =
+        !options.index_path.empty() && PathExists(options.index_path);
+    if (options.attach_index) {
+      if (!have_file) {
+        return Status::InvalidArgument(
+            "attach_index requires an existing index_path file");
+      }
+      MS_RETURN_NOT_OK(session->index_->AttachFile(options.index_path));
+      return session;
+    }
+    if (have_file) {
+      MS_RETURN_NOT_OK(session->index_->LoadFromFile(options.index_path));
+    }
+    if (!options.incremental) {
+      Stopwatch timer;
+      MS_RETURN_NOT_OK(session->index_->BuildAll(*store, options.pool));
+      session->index_build_seconds_ = timer.ElapsedSeconds();
+    }
+  }
+  return session;
+}
+
+Result<FilterResult> Session::Filter(const FilterQuery& q) {
+  return ExecuteFilter(*store_, index_.get(), q, engine_options());
+}
+
+Result<TopKResult> Session::TopK(const TopKQuery& q) {
+  return ExecuteTopK(*store_, index_.get(), q, engine_options());
+}
+
+Result<AggResult> Session::Aggregate(const AggregationQuery& q) {
+  return ExecuteAggregation(*store_, index_.get(), q, engine_options());
+}
+
+Result<AggResult> Session::MaskAggregate(const MaskAggQuery& q) {
+  DerivedIndexCache* cache =
+      options_.use_index ? derived_cache(q.op, q.agg_threshold) : nullptr;
+  return ExecuteMaskAgg(*store_, index_.get(), cache, q, engine_options());
+}
+
+DerivedIndexCache* Session::derived_cache(MaskAggOp op, double threshold) {
+  // Quantize the threshold so fp noise does not fragment the cache.
+  const auto key = std::make_pair(
+      static_cast<int>(op), static_cast<int64_t>(std::llround(threshold * 1e9)));
+  auto& slot = derived_caches_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<DerivedIndexCache>(options_.chi);
+  }
+  return slot.get();
+}
+
+Status Session::Save() {
+  if (options_.index_path.empty()) {
+    return Status::InvalidArgument("session has no index_path configured");
+  }
+  return index_->SaveToFile(options_.index_path);
+}
+
+}  // namespace masksearch

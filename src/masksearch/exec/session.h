@@ -1,0 +1,100 @@
+// Session: the top-level MaskSearch handle.
+//
+// A session owns the in-memory CHI collection for a mask store and runs
+// queries through the filter–verification executors. It implements the three
+// regimes compared in the paper's evaluation:
+//
+//   * vanilla MaskSearch (MS): indexes are bulk-built when the session opens
+//     (§3.1); the build cost is reported so multi-query experiments can
+//     amortize it (Figure 11).
+//   * incremental MaskSearch (MS-II): the session starts with no indexes and
+//     builds the CHI of each mask the first time a query loads it (§3.6).
+//   * index-less execution (use_index = false): every query degenerates to
+//     load-and-scan — the behaviour of the NumPy/PostgreSQL baselines —
+//     through the exact same executor code.
+//
+// Session end: Save() persists the CHI set for future sessions (§3.6).
+
+#ifndef MASKSEARCH_EXEC_SESSION_H_
+#define MASKSEARCH_EXEC_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "masksearch/exec/agg_executor.h"
+#include "masksearch/exec/filter_executor.h"
+#include "masksearch/exec/mask_agg.h"
+#include "masksearch/exec/options.h"
+#include "masksearch/exec/topk_executor.h"
+#include "masksearch/index/index_manager.h"
+
+namespace masksearch {
+
+struct SessionOptions {
+  ChiConfig chi;
+  /// false: bulk-build all CHIs at open (MS). true: start empty and index
+  /// incrementally (MS-II).
+  bool incremental = false;
+  /// false: never consult or build indexes (baseline behaviour).
+  bool use_index = true;
+  ThreadPool* pool = nullptr;
+  bool sort_by_bound = true;
+  /// Optional CHI persistence file. If it exists it is loaded at open;
+  /// Save() writes it.
+  std::string index_path;
+  /// With index_path set and the file present: attach it in on-demand mode
+  /// (§3.2 — CHIs read from disk on first use) instead of loading every CHI
+  /// into memory up front. No bulk index build happens at open.
+  bool attach_index = false;
+};
+
+class Session {
+ public:
+  static Result<std::unique_ptr<Session>> Open(const MaskStore* store,
+                                               const SessionOptions& options);
+
+  Result<FilterResult> Filter(const FilterQuery& q);
+  Result<TopKResult> TopK(const TopKQuery& q);
+  Result<AggResult> Aggregate(const AggregationQuery& q);
+  Result<AggResult> MaskAggregate(const MaskAggQuery& q);
+
+  /// \brief Wall seconds spent bulk-building indexes at open (0 for MS-II).
+  double index_build_seconds() const { return index_build_seconds_; }
+
+  /// \brief Persists the current (possibly partial) CHI set (§3.6).
+  Status Save();
+
+  const MaskStore& store() const { return *store_; }
+  IndexManager& index() { return *index_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// \brief Derived-mask CHI cache for a MASK_AGG template; caches persist
+  /// across queries within the session.
+  DerivedIndexCache* derived_cache(MaskAggOp op, double threshold);
+
+ private:
+  Session(const MaskStore* store, SessionOptions options,
+          std::unique_ptr<IndexManager> index);
+
+  EngineOptions engine_options() const {
+    EngineOptions e;
+    e.pool = options_.pool;
+    e.use_index = options_.use_index;
+    e.build_missing = options_.use_index && options_.incremental;
+    e.sort_by_bound = options_.sort_by_bound;
+    return e;
+  }
+
+  const MaskStore* store_;
+  SessionOptions options_;
+  std::unique_ptr<IndexManager> index_;
+  std::map<std::pair<int, int64_t>, std::unique_ptr<DerivedIndexCache>>
+      derived_caches_;
+  double index_build_seconds_ = 0.0;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_EXEC_SESSION_H_

@@ -1,0 +1,74 @@
+#include "masksearch/index/bounds.h"
+
+#include <algorithm>
+
+namespace masksearch {
+
+CpBoundsDetail ComputeCpBoundsDetail(const Chi& chi, const ROI& roi_in,
+                                     const ValueRange& range) {
+  CpBoundsDetail d;
+  const ROI roi = roi_in.ClampTo(chi.width(), chi.height());
+  if (roi.Empty() || !(range.lv < range.uv)) {
+    // CP is identically zero: empty ROI or empty value interval.
+    return d;
+  }
+  const int64_t roi_area = roi.Area();
+
+  // Aligned value ranges. Outer ⊇ [lv, uv), inner ⊆ [lv, uv).
+  const int32_t lo_out = chi.BinFloor(range.lv);
+  const int32_t hi_out = chi.BinCeil(range.uv);
+  const int32_t lo_in = chi.BinCeil(range.lv);
+  const int32_t hi_in = chi.BinFloor(range.uv);
+
+  // roi⁺: smallest available region covering the ROI.
+  const int32_t ox0 = chi.FloorBoundaryX(roi.x0);
+  const int32_t oy0 = chi.FloorBoundaryY(roi.y0);
+  const int32_t ox1 = chi.CeilBoundaryX(roi.x1);
+  const int32_t oy1 = chi.CeilBoundaryY(roi.y1);
+  const int64_t outer_area = chi.RegionArea(ox0, oy0, ox1, oy1);
+
+  // roi⁻: largest available region covered by the ROI (possibly empty).
+  const int32_t ix0 = chi.CeilBoundaryX(roi.x0);
+  const int32_t iy0 = chi.CeilBoundaryY(roi.y0);
+  const int32_t ix1 = chi.FloorBoundaryX(roi.x1);
+  const int32_t iy1 = chi.FloorBoundaryY(roi.y1);
+  const bool has_inner = ix0 < ix1 && iy0 < iy1;
+  const int64_t inner_area = has_inner ? chi.RegionArea(ix0, iy0, ix1, iy1) : 0;
+
+  // ---- Upper bounds ----
+  // Eq. 3: all pixels of the outer region in the outer value range.
+  d.upper1 = chi.RegionCount(ox0, oy0, ox1, oy1, lo_out, hi_out);
+  // Eq. 4: pixels of the inner region in the outer range, plus every pixel of
+  // roi \ roi⁻ (each could match).
+  const int64_t inner_outer_count =
+      has_inner ? chi.RegionCount(ix0, iy0, ix1, iy1, lo_out, hi_out) : 0;
+  d.upper2 = inner_outer_count + (roi_area - inner_area);
+
+  int64_t upper = std::min(d.upper1, d.upper2);
+  upper = std::min(upper, roi_area);
+
+  // ---- Lower bounds ----
+  int64_t lower = 0;
+  if (lo_in < hi_in) {
+    // Approach 1': pixels certainly inside the ROI and certainly in range.
+    d.lower1 =
+        has_inner ? chi.RegionCount(ix0, iy0, ix1, iy1, lo_in, hi_in) : 0;
+    // Approach 2': in-range pixels of the outer region; at most
+    // |roi⁺ \ roi| of them can fall outside the ROI.
+    const int64_t outer_inner_count =
+        chi.RegionCount(ox0, oy0, ox1, oy1, lo_in, hi_in);
+    d.lower2 = std::max<int64_t>(0, outer_inner_count - (outer_area - roi_area));
+    lower = std::max(d.lower1, d.lower2);
+  }
+  lower = std::min(lower, upper);  // guard against fp-degenerate ranges
+
+  d.combined = CpBounds{lower, upper};
+  return d;
+}
+
+CpBounds ComputeCpBounds(const Chi& chi, const ROI& roi,
+                         const ValueRange& range) {
+  return ComputeCpBoundsDetail(chi, roi, range).combined;
+}
+
+}  // namespace masksearch

@@ -1,0 +1,143 @@
+#include "masksearch/index/chi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace masksearch {
+
+std::string ChiConfig::ToString() const {
+  return "cell=" + std::to_string(cell_width) + "x" +
+         std::to_string(cell_height) + " bins=" + std::to_string(num_bins) +
+         (equi_width() ? " (equi-width)" : " (equi-depth)") + " domain=[" +
+         std::to_string(pmin) + "," + std::to_string(pmax) + ")";
+}
+
+Chi::Chi(int32_t width, int32_t height, ChiConfig config,
+         std::vector<uint32_t> counts)
+    : width_(width),
+      height_(height),
+      config_(config),
+      xs_(MakeBoundaries(width, config.cell_width)),
+      ys_(MakeBoundaries(height, config.cell_height)),
+      counts_(std::move(counts)) {}
+
+std::vector<int32_t> Chi::MakeBoundaries(int32_t extent, int32_t cell) {
+  std::vector<int32_t> bs;
+  bs.push_back(0);
+  for (int32_t x = cell; x < extent; x += cell) bs.push_back(x);
+  bs.push_back(extent);
+  return bs;
+}
+
+int32_t Chi::FloorBoundary(const std::vector<int32_t>& bs, int32_t cell,
+                           int32_t x) {
+  const int32_t last = static_cast<int32_t>(bs.size()) - 1;
+  if (x >= bs[last]) return last;
+  // Boundaries below the edge are exact multiples of the cell size.
+  int32_t i = x / cell;
+  return std::min(i, last);
+}
+
+int32_t Chi::CeilBoundary(const std::vector<int32_t>& bs, int32_t cell,
+                          int32_t x) {
+  const int32_t last = static_cast<int32_t>(bs.size()) - 1;
+  if (x <= 0) return 0;
+  if (x >= bs[last]) return last;
+  int32_t i = (x + cell - 1) / cell;
+  // If i points past the last interior multiple, the mask edge is the
+  // smallest boundary >= x.
+  return std::min(i, last);
+}
+
+int32_t Chi::BinFloor(double v) const {
+  if (config_.equi_width()) {
+    const double delta = config_.BinWidth();
+    double k = std::floor((v - config_.pmin) / delta);
+    if (k < 0) return 0;
+    if (k > config_.num_bins) return config_.num_bins;
+    return static_cast<int32_t>(k);
+  }
+  // Largest edge index whose value is <= v.
+  int32_t lo = 0, hi = config_.num_bins;
+  while (lo < hi) {
+    const int32_t mid = (lo + hi + 1) / 2;
+    if (config_.EdgeValue(mid) <= v) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+int32_t Chi::BinCeil(double v) const {
+  if (config_.equi_width()) {
+    const double delta = config_.BinWidth();
+    double k = std::ceil((v - config_.pmin) / delta);
+    if (k < 0) return 0;
+    if (k > config_.num_bins) return config_.num_bins;
+    return static_cast<int32_t>(k);
+  }
+  // Smallest edge index whose value is >= v.
+  int32_t lo = 0, hi = config_.num_bins;
+  while (lo < hi) {
+    const int32_t mid = (lo + hi) / 2;
+    if (config_.EdgeValue(mid) >= v) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+void Chi::RegionHistogram(int32_t cx0, int32_t cy0, int32_t cx1, int32_t cy1,
+                          int64_t* out) const {
+  const int32_t nb = config_.num_bins;
+  const uint32_t* a = counts_.data() + Offset(cx1, cy1);
+  const uint32_t* b = counts_.data() + Offset(cx0, cy1);
+  const uint32_t* c = counts_.data() + Offset(cx1, cy0);
+  const uint32_t* d = counts_.data() + Offset(cx0, cy0);
+  for (int32_t i = 0; i <= nb; ++i) {
+    out[i] = static_cast<int64_t>(a[i]) - b[i] - c[i] + d[i];
+  }
+}
+
+void Chi::Serialize(BufferWriter* w) const {
+  w->PutI32(width_);
+  w->PutI32(height_);
+  w->PutI32(config_.cell_width);
+  w->PutI32(config_.cell_height);
+  w->PutI32(config_.num_bins);
+  w->PutF64(config_.pmin);
+  w->PutF64(config_.pmax);
+  w->PutVector(config_.custom_edges);
+  w->PutVector(counts_);
+}
+
+Result<Chi> Chi::Deserialize(BufferReader* r) {
+  int32_t width, height;
+  ChiConfig cfg;
+  MS_ASSIGN_OR_RETURN(width, r->GetI32());
+  MS_ASSIGN_OR_RETURN(height, r->GetI32());
+  MS_ASSIGN_OR_RETURN(cfg.cell_width, r->GetI32());
+  MS_ASSIGN_OR_RETURN(cfg.cell_height, r->GetI32());
+  MS_ASSIGN_OR_RETURN(cfg.num_bins, r->GetI32());
+  MS_ASSIGN_OR_RETURN(cfg.pmin, r->GetF64());
+  MS_ASSIGN_OR_RETURN(cfg.pmax, r->GetF64());
+  MS_ASSIGN_OR_RETURN(cfg.custom_edges, r->GetVector<double>());
+  if (width <= 0 || height <= 0 || !cfg.Valid()) {
+    return Status::Corruption("invalid CHI header");
+  }
+  MS_ASSIGN_OR_RETURN(std::vector<uint32_t> counts, r->GetVector<uint32_t>());
+  Chi chi(width, height, cfg, std::move(counts));
+  const size_t expected = static_cast<size_t>(chi.num_boundaries_x()) *
+                          chi.num_boundaries_y() *
+                          (static_cast<size_t>(cfg.num_bins) + 1);
+  if (chi.counts_.size() != expected) {
+    return Status::Corruption("CHI counts size mismatch");
+  }
+  return chi;
+}
+
+}  // namespace masksearch

@@ -1,0 +1,183 @@
+// Cumulative Histogram Index (CHI) — the paper's core indexing technique
+// (§3.1).
+//
+// For each mask, CHI discretizes the spatial dimensions into a grid of
+// wc × hc cells and the pixel value domain [pmin, pmax) into b equi-width
+// bins, then stores, for every grid *boundary* (cx, cy) and every bin edge,
+// the reverse-cumulative count
+//
+//   H(cx, cy, bin) = CP(mask, ((1,1),(cx*wc, cy*hc)), (pmin + bin*Δ, pmax))
+//
+// i.e. a 2D summed-area table over the spatial prefix crossed with a suffix
+// sum over value bins (Eq. 1). The structure is a flat uint32 array addressed
+// by offset arithmetic — the paper's "optimized index structure": no keys,
+// no B-tree/hash lookup, no pointer chasing.
+//
+// Boundary index 0 (the empty prefix) is stored explicitly as zeros and bin
+// index b is the always-zero sentinel (C[⌈pmax/Δ⌉] = 0), so Eq. 2 and the
+// bound formulas need no special cases.
+//
+// Ragged edges: the paper assumes wc | w; we additionally append the mask
+// edge itself (w, h) as a final boundary so arbitrary mask sizes are indexed
+// exactly. Available regions (Def. 3.1) are those whose corners lie on
+// boundaries.
+
+#ifndef MASKSEARCH_INDEX_CHI_H_
+#define MASKSEARCH_INDEX_CHI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "masksearch/common/result.h"
+#include "masksearch/common/serialize.h"
+#include "masksearch/query/roi.h"
+
+namespace masksearch {
+
+/// \brief Index discretization parameters (§3.1; defaults follow §4.1).
+struct ChiConfig {
+  /// Spatial cell size in pixels (wc × hc).
+  int32_t cell_width = 28;
+  int32_t cell_height = 28;
+  /// Number of pixel value buckets, b.
+  int32_t num_bins = 16;
+  /// Pixel value domain. Masks are defined on [0, 1) (§2.1).
+  double pmin = 0.0;
+  double pmax = 1.0;
+  /// Interior bin edges (num_bins − 1 strictly increasing values in
+  /// (pmin, pmax)). Empty = equi-width buckets (the paper's prototype);
+  /// non-empty enables the equi-depth alternative §3.1 mentions — edges at
+  /// dataset value quantiles concentrate resolution where pixel mass lives
+  /// (see ComputeEquiDepthEdges in chi_builder.h).
+  std::vector<double> custom_edges;
+
+  double BinWidth() const { return (pmax - pmin) / num_bins; }
+  bool equi_width() const { return custom_edges.empty(); }
+  /// \brief Value of bin edge i, i in [0, num_bins].
+  double EdgeValue(int32_t i) const {
+    if (i <= 0) return pmin;
+    if (i >= num_bins) return pmax;
+    return equi_width() ? pmin + i * BinWidth() : custom_edges[i - 1];
+  }
+  bool Valid() const {
+    if (!(cell_width > 0 && cell_height > 0 && num_bins > 0 && pmin < pmax)) {
+      return false;
+    }
+    if (custom_edges.empty()) return true;
+    if (static_cast<int32_t>(custom_edges.size()) != num_bins - 1) return false;
+    double prev = pmin;
+    for (double e : custom_edges) {
+      if (!(e > prev && e < pmax)) return false;
+      prev = e;
+    }
+    return true;
+  }
+  bool operator==(const ChiConfig& o) const {
+    return cell_width == o.cell_width && cell_height == o.cell_height &&
+           num_bins == o.num_bins && pmin == o.pmin && pmax == o.pmax &&
+           custom_edges == o.custom_edges;
+  }
+  std::string ToString() const;
+};
+
+/// \brief The CHI of a single mask.
+///
+/// Immutable after construction; thread-safe for concurrent reads.
+class Chi {
+ public:
+  Chi() = default;
+
+  /// \brief Constructs from precomputed boundary counts (used by the
+  /// builder and the deserializer). `counts` is indexed
+  /// [(cy * num_boundaries_x + cx) * (num_bins+1) + bin].
+  Chi(int32_t width, int32_t height, ChiConfig config,
+      std::vector<uint32_t> counts);
+
+  int32_t width() const { return width_; }
+  int32_t height() const { return height_; }
+  const ChiConfig& config() const { return config_; }
+  bool Empty() const { return counts_.empty(); }
+
+  /// Number of grid boundaries along x/y, including boundary 0 and the mask
+  /// edge.
+  int32_t num_boundaries_x() const { return static_cast<int32_t>(xs_.size()); }
+  int32_t num_boundaries_y() const { return static_cast<int32_t>(ys_.size()); }
+  /// Pixel coordinate of boundary `i`.
+  int32_t boundary_x(int32_t i) const { return xs_[i]; }
+  int32_t boundary_y(int32_t i) const { return ys_[i]; }
+
+  /// \brief H(cx, cy, bin): pixels with x < boundary_x(cx), y < boundary_y(cy)
+  /// and value >= pmin + bin * Δ. bin ranges over [0, num_bins] (the last is
+  /// the zero sentinel).
+  uint32_t H(int32_t cx, int32_t cy, int32_t bin) const {
+    return counts_[Offset(cx, cy) + static_cast<size_t>(bin)];
+  }
+
+  /// \brief Eq. 2: reverse-cumulative count for the available region between
+  /// boundaries [cx0, cx1) × [cy0, cy1), for one bin edge.
+  int64_t RegionCumulative(int32_t cx0, int32_t cy0, int32_t cx1, int32_t cy1,
+                           int32_t bin) const {
+    return static_cast<int64_t>(H(cx1, cy1, bin)) - H(cx0, cy1, bin) -
+           H(cx1, cy0, bin) + H(cx0, cy0, bin);
+  }
+
+  /// \brief Eq. 2 for all bin edges: fills out[0 .. num_bins] with
+  /// C(region)[i]. `out` must have num_bins+1 slots.
+  void RegionHistogram(int32_t cx0, int32_t cy0, int32_t cx1, int32_t cy1,
+                       int64_t* out) const;
+
+  /// \brief Pixel count in the available region with values in bin interval
+  /// [bin_lo, bin_hi): C(region)[bin_lo] - C(region)[bin_hi].
+  int64_t RegionCount(int32_t cx0, int32_t cy0, int32_t cx1, int32_t cy1,
+                      int32_t bin_lo, int32_t bin_hi) const {
+    return RegionCumulative(cx0, cy0, cx1, cy1, bin_lo) -
+           RegionCumulative(cx0, cy0, cx1, cy1, bin_hi);
+  }
+
+  /// \brief Area in pixels of the region between boundary indexes.
+  int64_t RegionArea(int32_t cx0, int32_t cy0, int32_t cx1, int32_t cy1) const {
+    return static_cast<int64_t>(xs_[cx1] - xs_[cx0]) * (ys_[cy1] - ys_[cy0]);
+  }
+
+  /// \brief Largest boundary index whose coordinate is <= x. x in [0, width].
+  int32_t FloorBoundaryX(int32_t x) const { return FloorBoundary(xs_, config_.cell_width, x); }
+  int32_t FloorBoundaryY(int32_t y) const { return FloorBoundary(ys_, config_.cell_height, y); }
+  /// \brief Smallest boundary index whose coordinate is >= x. x in [0, width].
+  int32_t CeilBoundaryX(int32_t x) const { return CeilBoundary(xs_, config_.cell_width, x); }
+  int32_t CeilBoundaryY(int32_t y) const { return CeilBoundary(ys_, config_.cell_height, y); }
+
+  /// \brief Largest bin edge index with edge value <= v, clamped to [0, b].
+  int32_t BinFloor(double v) const;
+  /// \brief Smallest bin edge index with edge value >= v, clamped to [0, b].
+  int32_t BinCeil(double v) const;
+
+  /// \brief In-memory footprint of the counts array (the 4·b·(w·h)/(wc·hc)
+  /// bytes of §3.1, plus the explicit zero boundaries).
+  size_t MemoryBytes() const { return counts_.size() * sizeof(uint32_t); }
+
+  void Serialize(BufferWriter* w) const;
+  static Result<Chi> Deserialize(BufferReader* r);
+
+ private:
+  size_t Offset(int32_t cx, int32_t cy) const {
+    return (static_cast<size_t>(cy) * xs_.size() + cx) *
+           (static_cast<size_t>(config_.num_bins) + 1);
+  }
+  static std::vector<int32_t> MakeBoundaries(int32_t extent, int32_t cell);
+  static int32_t FloorBoundary(const std::vector<int32_t>& bs, int32_t cell,
+                               int32_t x);
+  static int32_t CeilBoundary(const std::vector<int32_t>& bs, int32_t cell,
+                              int32_t x);
+
+  int32_t width_ = 0;
+  int32_t height_ = 0;
+  ChiConfig config_;
+  std::vector<int32_t> xs_;  ///< boundary pixel coords: 0, wc, 2wc, ..., width
+  std::vector<int32_t> ys_;
+  std::vector<uint32_t> counts_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_INDEX_CHI_H_

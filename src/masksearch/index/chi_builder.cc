@@ -1,0 +1,153 @@
+#include "masksearch/index/chi_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "masksearch/common/random.h"
+
+namespace masksearch {
+
+Result<std::vector<double>> ComputeEquiDepthEdges(const MaskStore& store,
+                                                  int32_t num_bins,
+                                                  int64_t sample_masks,
+                                                  uint64_t seed) {
+  if (num_bins < 2) {
+    return Status::InvalidArgument("equi-depth edges need num_bins >= 2");
+  }
+  if (store.num_masks() == 0) {
+    return Status::InvalidArgument("cannot sample an empty store");
+  }
+  Rng rng(seed);
+  const int64_t n = std::min<int64_t>(sample_masks, store.num_masks());
+  // Subsample pixels within each sampled mask to bound memory.
+  constexpr size_t kPixelsPerMask = 4096;
+  std::vector<float> values;
+  values.reserve(static_cast<size_t>(n) * kPixelsPerMask);
+  for (int64_t i = 0; i < n; ++i) {
+    const MaskId id = rng.UniformInt(0, store.num_masks() - 1);
+    MS_ASSIGN_OR_RETURN(Mask mask, store.LoadMask(id));
+    const size_t total = mask.data().size();
+    const size_t step = std::max<size_t>(1, total / kPixelsPerMask);
+    for (size_t p = 0; p < total; p += step) values.push_back(mask.data()[p]);
+  }
+  std::sort(values.begin(), values.end());
+
+  std::vector<double> edges;
+  edges.reserve(static_cast<size_t>(num_bins) - 1);
+  double prev = 0.0;  // pmin
+  for (int32_t i = 1; i < num_bins; ++i) {
+    const size_t idx = static_cast<size_t>(
+        static_cast<double>(i) / num_bins * (values.size() - 1));
+    double e = values[idx];
+    // Enforce strict monotonicity inside (pmin, pmax): constant regions of
+    // the value distribution would otherwise collapse edges.
+    const double min_step = 1e-7;
+    if (e <= prev + min_step) e = prev + min_step;
+    if (e >= 1.0) e = std::nextafter(1.0, 0.0);
+    edges.push_back(e);
+    prev = e;
+  }
+  // The nudging above keeps edges increasing but could in pathological cases
+  // push past pmax; validate through ChiConfig.
+  ChiConfig probe;
+  probe.num_bins = num_bins;
+  probe.custom_edges = edges;
+  if (!probe.Valid()) {
+    return Status::Internal("sampled value distribution too degenerate for " +
+                            std::to_string(num_bins) + " equi-depth bins");
+  }
+  return edges;
+}
+
+Chi BuildChi(const Mask& mask, const ChiConfig& config) {
+  const int32_t w = mask.width();
+  const int32_t h = mask.height();
+  const int32_t wc = config.cell_width;
+  const int32_t hc = config.cell_height;
+  const int32_t nb = config.num_bins;
+  // Number of cells (not boundaries) along each axis; the last cell may be
+  // ragged.
+  const int32_t ncx = (w + wc - 1) / wc;
+  const int32_t ncy = (h + hc - 1) / hc;
+  // Boundary counts include boundary 0 and the mask edge.
+  const int32_t nbx = ncx + 1;
+  const int32_t nby = ncy + 1;
+  const size_t stride = static_cast<size_t>(nb) + 1;
+
+  // Step 1: raw per-cell histograms, laid out like the final structure but
+  // with cell (i, j) stored at boundary slot (i+1, j+1). Bin index is
+  // clamped into [0, nb-1]: the data model guarantees v ∈ [pmin, pmax), and
+  // clamping keeps the index correct (bounds stay conservative) even for
+  // out-of-domain values produced by user-defined MASK_AGGs.
+  std::vector<uint32_t> acc(static_cast<size_t>(nbx) * nby * stride, 0);
+  if (config.equi_width()) {
+    const double inv_delta = 1.0 / config.BinWidth();
+    for (int32_t y = 0; y < h; ++y) {
+      const float* row = mask.row(y);
+      const int32_t cj = y / hc;
+      uint32_t* cell_row =
+          acc.data() + (static_cast<size_t>(cj + 1) * nbx) * stride;
+      for (int32_t x = 0; x < w; ++x) {
+        int32_t bin = static_cast<int32_t>(
+            std::floor((row[x] - config.pmin) * inv_delta));
+        bin = std::clamp(bin, 0, nb - 1);
+        const int32_t ci = x / wc;
+        ++cell_row[(static_cast<size_t>(ci) + 1) * stride + bin];
+      }
+    }
+  } else {
+    // Equi-depth buckets: bin = largest edge <= value, via binary search
+    // over the (small) edge array.
+    std::vector<double> edges(static_cast<size_t>(nb) + 1);
+    for (int32_t i = 0; i <= nb; ++i) edges[i] = config.EdgeValue(i);
+    for (int32_t y = 0; y < h; ++y) {
+      const float* row = mask.row(y);
+      const int32_t cj = y / hc;
+      uint32_t* cell_row =
+          acc.data() + (static_cast<size_t>(cj + 1) * nbx) * stride;
+      for (int32_t x = 0; x < w; ++x) {
+        const auto it =
+            std::upper_bound(edges.begin(), edges.end(), row[x]);
+        int32_t bin = static_cast<int32_t>(it - edges.begin()) - 1;
+        bin = std::clamp(bin, 0, nb - 1);
+        const int32_t ci = x / wc;
+        ++cell_row[(static_cast<size_t>(ci) + 1) * stride + bin];
+      }
+    }
+  }
+
+  // Step 2: suffix sum over bins within each cell, so slot `bin` holds the
+  // count of pixels with value >= pmin + bin·Δ. Slot nb stays 0 (sentinel).
+  for (int32_t cj = 1; cj < nby; ++cj) {
+    for (int32_t ci = 1; ci < nbx; ++ci) {
+      uint32_t* cell =
+          acc.data() + (static_cast<size_t>(cj) * nbx + ci) * stride;
+      for (int32_t bin = nb - 1; bin >= 0; --bin) {
+        cell[bin] += cell[bin + 1];
+      }
+    }
+  }
+
+  // Step 3: 2D prefix sum over the grid for each bin edge; after this,
+  // slot (cx, cy, bin) = H(cx, cy, bin) per Eq. 1. Row 0 and column 0 are
+  // already zero (the empty prefix).
+  for (int32_t cj = 1; cj < nby; ++cj) {
+    for (int32_t ci = 1; ci < nbx; ++ci) {
+      uint32_t* cur =
+          acc.data() + (static_cast<size_t>(cj) * nbx + ci) * stride;
+      const uint32_t* left =
+          acc.data() + (static_cast<size_t>(cj) * nbx + ci - 1) * stride;
+      const uint32_t* up =
+          acc.data() + (static_cast<size_t>(cj - 1) * nbx + ci) * stride;
+      const uint32_t* diag =
+          acc.data() + (static_cast<size_t>(cj - 1) * nbx + ci - 1) * stride;
+      for (int32_t bin = 0; bin < nb; ++bin) {
+        cur[bin] += left[bin] + up[bin] - diag[bin];
+      }
+    }
+  }
+
+  return Chi(w, h, config, std::move(acc));
+}
+
+}  // namespace masksearch

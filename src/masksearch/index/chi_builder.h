@@ -1,0 +1,32 @@
+// Builds the CHI of a mask (§3.1): per-cell histograms, suffix-summed over
+// value bins, prefix-summed over the spatial grid. O(w·h) per mask.
+
+#ifndef MASKSEARCH_INDEX_CHI_BUILDER_H_
+#define MASKSEARCH_INDEX_CHI_BUILDER_H_
+
+#include "masksearch/common/result.h"
+#include "masksearch/index/chi.h"
+#include "masksearch/storage/mask.h"
+#include "masksearch/storage/mask_store.h"
+
+namespace masksearch {
+
+/// \brief Computes the CHI of `mask` under `config`.
+///
+/// Cost is one pass over the pixels plus O(cells · bins) accumulation — the
+/// 𝑂(N·w·h) preprocessing cost of §3.1, incurred per mask so it can be
+/// amortized by incremental indexing (§3.6).
+Chi BuildChi(const Mask& mask, const ChiConfig& config);
+
+/// \brief Computes equi-depth bin edges (the §3.1 alternative to equi-width
+/// buckets) from a sample of the store's masks: the interior edges are the
+/// i/num_bins quantiles of sampled pixel values, nudged to be strictly
+/// increasing. Assign the result to ChiConfig::custom_edges.
+Result<std::vector<double>> ComputeEquiDepthEdges(const MaskStore& store,
+                                                  int32_t num_bins,
+                                                  int64_t sample_masks = 64,
+                                                  uint64_t seed = 1);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_INDEX_CHI_BUILDER_H_

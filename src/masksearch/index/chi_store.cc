@@ -1,0 +1,143 @@
+#include "masksearch/index/chi_store.h"
+
+#include <algorithm>
+
+#include "masksearch/common/io.h"
+#include "masksearch/common/serialize.h"
+
+namespace masksearch {
+
+namespace {
+constexpr uint32_t kChiStoreMagic = 0x4d534349;  // "MSCI"
+// Version 2 prefixes each entry with its byte size, enabling on-demand
+// per-mask loads (§3.2: CHI kept on disk when it cannot be held in memory).
+constexpr uint8_t kChiStoreVersion = 2;
+}  // namespace
+
+size_t ChiSet::num_present() const {
+  size_t n = 0;
+  for (const auto& c : chis) {
+    if (c != nullptr) ++n;
+  }
+  return n;
+}
+
+Status SaveChiSet(const std::string& path, const ChiConfig& config,
+                  const std::vector<const Chi*>& chis) {
+  BufferWriter w;
+  w.PutU32(kChiStoreMagic);
+  w.PutU8(kChiStoreVersion);
+  w.PutI32(config.cell_width);
+  w.PutI32(config.cell_height);
+  w.PutI32(config.num_bins);
+  w.PutF64(config.pmin);
+  w.PutF64(config.pmax);
+  w.PutVector(config.custom_edges);
+  w.PutU64(chis.size());
+  uint64_t present = 0;
+  for (const Chi* c : chis) {
+    if (c != nullptr) ++present;
+  }
+  w.PutU64(present);
+  for (size_t i = 0; i < chis.size(); ++i) {
+    if (chis[i] == nullptr) continue;
+    w.PutU64(i);
+    BufferWriter entry;
+    chis[i]->Serialize(&entry);
+    w.PutU64(entry.size());
+    w.PutBytes(entry.buffer().data(), entry.size());
+  }
+  return WriteFile(path, w.buffer());
+}
+
+Result<ChiSetIndex> ScanChiSetIndex(const std::string& path) {
+  MS_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
+  // The header (config + counts) is small; 64 KiB covers any realistic
+  // custom-edge vector.
+  const size_t header_budget =
+      std::min<uint64_t>(file->size(), 64 * 1024);
+  std::string head(header_budget, '\0');
+  MS_RETURN_NOT_OK(file->ReadAt(0, head.size(), head.data()));
+  BufferReader r(head);
+  MS_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kChiStoreMagic) {
+    return Status::Corruption("bad CHI store magic in " + path);
+  }
+  MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kChiStoreVersion) {
+    return Status::Corruption("unsupported CHI store version");
+  }
+  ChiSetIndex index;
+  MS_ASSIGN_OR_RETURN(index.config.cell_width, r.GetI32());
+  MS_ASSIGN_OR_RETURN(index.config.cell_height, r.GetI32());
+  MS_ASSIGN_OR_RETURN(index.config.num_bins, r.GetI32());
+  MS_ASSIGN_OR_RETURN(index.config.pmin, r.GetF64());
+  MS_ASSIGN_OR_RETURN(index.config.pmax, r.GetF64());
+  MS_ASSIGN_OR_RETURN(index.config.custom_edges, r.GetVector<double>());
+  if (!index.config.Valid()) return Status::Corruption("invalid CHI config");
+  MS_ASSIGN_OR_RETURN(index.total, r.GetU64());
+  MS_ASSIGN_OR_RETURN(uint64_t present, r.GetU64());
+  index.entries.assign(index.total, {0, 0});
+
+  // Walk the entry table, skipping payloads (16-byte reads per entry).
+  uint64_t pos = r.position();
+  for (uint64_t i = 0; i < present; ++i) {
+    char pair_bytes[16];
+    if (pos + sizeof(pair_bytes) > file->size()) {
+      return Status::Corruption("truncated CHI entry table");
+    }
+    MS_RETURN_NOT_OK(file->ReadAt(pos, sizeof(pair_bytes), pair_bytes));
+    BufferReader pr(pair_bytes, sizeof(pair_bytes));
+    MS_ASSIGN_OR_RETURN(uint64_t slot, pr.GetU64());
+    MS_ASSIGN_OR_RETURN(uint64_t size, pr.GetU64());
+    if (slot >= index.total) return Status::Corruption("CHI slot out of range");
+    pos += sizeof(pair_bytes);
+    if (pos + size > file->size()) {
+      return Status::Corruption("CHI entry overruns file");
+    }
+    index.entries[slot] = {pos, size};
+    pos += size;
+  }
+  return index;
+}
+
+Result<ChiSet> LoadChiSet(const std::string& path) {
+  MS_ASSIGN_OR_RETURN(std::string bytes, ReadFile(path));
+  BufferReader r(bytes);
+  MS_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kChiStoreMagic) {
+    return Status::Corruption("bad CHI store magic in " + path);
+  }
+  MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kChiStoreVersion) {
+    return Status::Corruption("unsupported CHI store version");
+  }
+  ChiSet set;
+  MS_ASSIGN_OR_RETURN(set.config.cell_width, r.GetI32());
+  MS_ASSIGN_OR_RETURN(set.config.cell_height, r.GetI32());
+  MS_ASSIGN_OR_RETURN(set.config.num_bins, r.GetI32());
+  MS_ASSIGN_OR_RETURN(set.config.pmin, r.GetF64());
+  MS_ASSIGN_OR_RETURN(set.config.pmax, r.GetF64());
+  MS_ASSIGN_OR_RETURN(set.config.custom_edges, r.GetVector<double>());
+  if (!set.config.Valid()) return Status::Corruption("invalid CHI config");
+  MS_ASSIGN_OR_RETURN(uint64_t total, r.GetU64());
+  MS_ASSIGN_OR_RETURN(uint64_t present, r.GetU64());
+  set.chis.resize(total);
+  for (uint64_t i = 0; i < present; ++i) {
+    MS_ASSIGN_OR_RETURN(uint64_t slot, r.GetU64());
+    if (slot >= total) return Status::Corruption("CHI slot out of range");
+    MS_ASSIGN_OR_RETURN(uint64_t entry_size, r.GetU64());
+    const size_t entry_start = r.position();
+    MS_ASSIGN_OR_RETURN(Chi chi, Chi::Deserialize(&r));
+    if (r.position() - entry_start != entry_size) {
+      return Status::Corruption("CHI entry size mismatch");
+    }
+    if (!(chi.config() == set.config)) {
+      return Status::Corruption("CHI entry config mismatch");
+    }
+    set.chis[slot] = std::make_unique<const Chi>(std::move(chi));
+  }
+  return set;
+}
+
+}  // namespace masksearch

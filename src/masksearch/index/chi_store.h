@@ -1,0 +1,55 @@
+// Persistence of CHI collections (§3.2: "When a session of MaskSearch
+// starts, the CHI of each mask is loaded from disk to memory"; §3.6: "When a
+// MaskSearch session ends, the CHI for all the masks in the session is
+// persisted to disk").
+//
+// The file holds a possibly-partial set: incremental sessions persist only
+// the CHIs built so far.
+
+#ifndef MASKSEARCH_INDEX_CHI_STORE_H_
+#define MASKSEARCH_INDEX_CHI_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "masksearch/common/result.h"
+#include "masksearch/index/chi.h"
+
+namespace masksearch {
+
+/// \brief A deserialized CHI collection.
+struct ChiSet {
+  ChiConfig config;
+  /// Slot i holds the CHI of mask_id i, or null if not present in the file.
+  std::vector<std::unique_ptr<const Chi>> chis;
+
+  size_t num_present() const;
+};
+
+/// \brief Writes a (possibly partial) CHI collection.
+/// `chis[i]` may be null to indicate mask i has no CHI yet.
+Status SaveChiSet(const std::string& path, const ChiConfig& config,
+                  const std::vector<const Chi*>& chis);
+
+/// \brief Reads a CHI collection saved by SaveChiSet.
+Result<ChiSet> LoadChiSet(const std::string& path);
+
+/// \brief Byte locations of each CHI inside a chi-set file, obtained without
+/// reading the payloads. Enables the on-demand loading mode of §3.2 ("in
+/// cases where CHI cannot be held in memory, MaskSearch loads the CHI of a
+/// mask from disk on demand").
+struct ChiSetIndex {
+  ChiConfig config;
+  uint64_t total = 0;
+  /// Per-slot (offset, size) of the serialized Chi record; size 0 = absent.
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+};
+
+/// \brief Scans a chi-set file's entry table (payloads are skipped).
+Result<ChiSetIndex> ScanChiSetIndex(const std::string& path);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_INDEX_CHI_STORE_H_

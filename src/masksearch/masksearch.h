@@ -1,0 +1,52 @@
+// Umbrella header: the public API of the MaskSearch library.
+//
+// Typical usage:
+//
+//   #include "masksearch/masksearch.h"
+//
+//   auto store = masksearch::MaskStore::Open(dir).ValueOrDie();
+//   masksearch::SessionOptions opts;
+//   opts.chi.cell_width = opts.chi.cell_height = 28;
+//   opts.chi.num_bins = 16;
+//   auto session = masksearch::Session::Open(store.get(), opts).ValueOrDie();
+//
+//   auto bound = masksearch::sql::ParseAndBind(
+//       "SELECT mask_id FROM MasksDatabaseView "
+//       "WHERE CP(mask, object, (0.8, 1.0)) > 5000;").ValueOrDie();
+//   auto result = session->Filter(bound.filter).ValueOrDie();
+
+#ifndef MASKSEARCH_MASKSEARCH_H_
+#define MASKSEARCH_MASKSEARCH_H_
+
+#include "masksearch/common/random.h"
+#include "masksearch/common/result.h"
+#include "masksearch/common/stats.h"
+#include "masksearch/common/status.h"
+#include "masksearch/common/stopwatch.h"
+#include "masksearch/common/thread_pool.h"
+#include "masksearch/exec/agg_executor.h"
+#include "masksearch/exec/filter_executor.h"
+#include "masksearch/exec/mask_agg.h"
+#include "masksearch/exec/query_spec.h"
+#include "masksearch/exec/session.h"
+#include "masksearch/exec/topk_executor.h"
+#include "masksearch/index/bounds.h"
+#include "masksearch/index/chi.h"
+#include "masksearch/index/chi_builder.h"
+#include "masksearch/index/index_manager.h"
+#include "masksearch/query/cp.h"
+#include "masksearch/query/expression.h"
+#include "masksearch/query/predicate.h"
+#include "masksearch/query/roi.h"
+#include "masksearch/sql/binder.h"
+#include "masksearch/sql/parser.h"
+#include "masksearch/storage/codec.h"
+#include "masksearch/storage/disk_throttle.h"
+#include "masksearch/storage/mask.h"
+#include "masksearch/storage/mask_store.h"
+#include "masksearch/workload/datasets.h"
+#include "masksearch/workload/query_gen.h"
+#include "masksearch/workload/synthetic.h"
+#include "masksearch/workload/workload_gen.h"
+
+#endif  // MASKSEARCH_MASKSEARCH_H_

@@ -1,0 +1,34 @@
+#include "masksearch/query/cp.h"
+
+namespace masksearch {
+
+int64_t CountPixelsRaw(const float* data, int32_t width, int32_t height,
+                       const ROI& roi, const ValueRange& range) {
+  ROI r = roi.ClampTo(width, height);
+  if (r.Empty() || !range.Valid()) return 0;
+  const float lv = static_cast<float>(range.lv);
+  const float uv = static_cast<float>(range.uv);
+  int64_t count = 0;
+  for (int32_t y = r.y0; y < r.y1; ++y) {
+    const float* row = data + static_cast<size_t>(y) * width;
+    // Branchless comparison loop: compiles to vectorized compares.
+    int64_t row_count = 0;
+    for (int32_t x = r.x0; x < r.x1; ++x) {
+      row_count += (row[x] >= lv) & (row[x] < uv);
+    }
+    count += row_count;
+  }
+  return count;
+}
+
+int64_t CountPixels(const Mask& mask, const ROI& roi, const ValueRange& range) {
+  if (mask.Empty()) return 0;
+  return CountPixelsRaw(mask.data().data(), mask.width(), mask.height(), roi,
+                        range);
+}
+
+int64_t CountPixels(const Mask& mask, const ValueRange& range) {
+  return CountPixels(mask, mask.Extent(), range);
+}
+
+}  // namespace masksearch

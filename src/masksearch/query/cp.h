@@ -1,0 +1,35 @@
+// CP: the core aggregate of every MaskSearch query (§2.1).
+//
+//   CP(mask, roi, (lv, uv)) = #{ (x, y) ∈ roi : lv <= mask[x][y] < uv }
+//
+// This file provides the exact scan kernels used by the verification stage
+// and by every baseline. The kernels are branch-light and vectorizable; the
+// whole-mask variant is what the paper's NumPy baseline computes.
+
+#ifndef MASKSEARCH_QUERY_CP_H_
+#define MASKSEARCH_QUERY_CP_H_
+
+#include <cstdint>
+
+#include "masksearch/query/roi.h"
+#include "masksearch/storage/mask.h"
+
+namespace masksearch {
+
+/// \brief Exact pixel count in `roi` of `mask` with values in [lv, uv).
+///
+/// The ROI is clamped to the mask extent first (out-of-range ROIs contribute
+/// no pixels), matching the semantics of slicing in the paper's prototype.
+int64_t CountPixels(const Mask& mask, const ROI& roi, const ValueRange& range);
+
+/// \brief CP over the full mask, i.e. the paper's `CP(mask, -, (lv, uv))`.
+int64_t CountPixels(const Mask& mask, const ValueRange& range);
+
+/// \brief Exact CP over a raw row-major buffer (used by baselines that read
+/// mask bytes without materializing a Mask).
+int64_t CountPixelsRaw(const float* data, int32_t width, int32_t height,
+                       const ROI& roi, const ValueRange& range);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_QUERY_CP_H_

@@ -1,0 +1,175 @@
+#include "masksearch/query/predicate.h"
+
+#include <algorithm>
+
+namespace masksearch {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Tri TriAnd(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+
+Tri TriOr(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+Tri TriNot(Tri a) {
+  if (a == Tri::kTrue) return Tri::kFalse;
+  if (a == Tri::kFalse) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+
+bool CompareExact(double v, CompareOp op, double threshold) {
+  switch (op) {
+    case CompareOp::kLt:
+      return v < threshold;
+    case CompareOp::kLe:
+      return v <= threshold;
+    case CompareOp::kGt:
+      return v > threshold;
+    case CompareOp::kGe:
+      return v >= threshold;
+  }
+  return false;
+}
+
+Tri CompareBounds(const Interval& v, CompareOp op, double threshold) {
+  switch (op) {
+    case CompareOp::kLt:
+      if (v.hi < threshold) return Tri::kTrue;
+      if (v.lo >= threshold) return Tri::kFalse;
+      return Tri::kUnknown;
+    case CompareOp::kLe:
+      if (v.hi <= threshold) return Tri::kTrue;
+      if (v.lo > threshold) return Tri::kFalse;
+      return Tri::kUnknown;
+    case CompareOp::kGt:
+      if (v.lo > threshold) return Tri::kTrue;
+      if (v.hi <= threshold) return Tri::kFalse;
+      return Tri::kUnknown;
+    case CompareOp::kGe:
+      if (v.lo >= threshold) return Tri::kTrue;
+      if (v.hi < threshold) return Tri::kFalse;
+      return Tri::kUnknown;
+  }
+  return Tri::kUnknown;
+}
+
+Predicate Predicate::Compare(CpExpr expr, CompareOp op, double threshold) {
+  Predicate p;
+  p.kind_ = Kind::kCompare;
+  p.expr_ = std::move(expr);
+  p.op_ = op;
+  p.threshold_ = threshold;
+  return p;
+}
+
+Predicate Predicate::And(std::vector<Predicate> children) {
+  Predicate p;
+  p.kind_ = Kind::kAnd;
+  p.children_ = std::move(children);
+  return p;
+}
+
+Predicate Predicate::Or(std::vector<Predicate> children) {
+  Predicate p;
+  p.kind_ = Kind::kOr;
+  p.children_ = std::move(children);
+  return p;
+}
+
+Predicate Predicate::Not(Predicate child) {
+  Predicate p;
+  p.kind_ = Kind::kNot;
+  p.children_.push_back(std::move(child));
+  return p;
+}
+
+Tri Predicate::EvalBounds(const std::vector<Interval>& term_bounds) const {
+  switch (kind_) {
+    case Kind::kCompare:
+      return CompareBounds(expr_.EvalBounds(term_bounds), op_, threshold_);
+    case Kind::kAnd: {
+      Tri acc = Tri::kTrue;
+      for (const auto& c : children_) acc = TriAnd(acc, c.EvalBounds(term_bounds));
+      return acc;
+    }
+    case Kind::kOr: {
+      Tri acc = Tri::kFalse;
+      for (const auto& c : children_) acc = TriOr(acc, c.EvalBounds(term_bounds));
+      return acc;
+    }
+    case Kind::kNot:
+      return TriNot(children_[0].EvalBounds(term_bounds));
+  }
+  return Tri::kUnknown;
+}
+
+bool Predicate::EvalExact(const std::vector<double>& term_values) const {
+  switch (kind_) {
+    case Kind::kCompare:
+      return CompareExact(expr_.EvalExact(term_values), op_, threshold_);
+    case Kind::kAnd:
+      for (const auto& c : children_) {
+        if (!c.EvalExact(term_values)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_) {
+        if (c.EvalExact(term_values)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return !children_[0].EvalExact(term_values);
+  }
+  return false;
+}
+
+int32_t Predicate::MaxTermIndex() const {
+  int32_t m = -1;
+  if (kind_ == Kind::kCompare) {
+    m = expr_.MaxTermIndex();
+  }
+  for (const auto& c : children_) m = std::max(m, c.MaxTermIndex());
+  return m;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kCompare:
+      return expr_.ToString() + " " + CompareOpToString(op_) + " " +
+             std::to_string(threshold_);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind_ == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "NOT (" + children_[0].ToString() + ")";
+  }
+  return "<invalid>";
+}
+
+}  // namespace masksearch

@@ -1,0 +1,72 @@
+// Filter predicates over CP expressions (§2.1 WHERE clause, §3.3 generic
+// predicates): comparisons `expr op T` combined with AND / OR / NOT.
+//
+// The filter stage evaluates predicates under *bounds* using three-valued
+// logic: a mask is pruned when the predicate is certainly false, accepted
+// without loading when certainly true, and verified otherwise (§3.2.1
+// Cases 1–3).
+
+#ifndef MASKSEARCH_QUERY_PREDICATE_H_
+#define MASKSEARCH_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "masksearch/query/expression.h"
+
+namespace masksearch {
+
+enum class CompareOp : uint8_t { kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// \brief Three-valued truth for bound-based evaluation.
+enum class Tri : uint8_t { kFalse, kTrue, kUnknown };
+
+Tri TriAnd(Tri a, Tri b);
+Tri TriOr(Tri a, Tri b);
+Tri TriNot(Tri a);
+
+/// \brief Boolean combination tree of comparisons on CP expressions.
+class Predicate {
+ public:
+  enum class Kind : uint8_t { kCompare, kAnd, kOr, kNot };
+
+  Predicate() = default;
+
+  static Predicate Compare(CpExpr expr, CompareOp op, double threshold);
+  static Predicate And(std::vector<Predicate> children);
+  static Predicate Or(std::vector<Predicate> children);
+  static Predicate Not(Predicate child);
+
+  bool Empty() const { return kind_ == Kind::kCompare && expr_.Empty(); }
+  Kind kind() const { return kind_; }
+
+  /// \brief Certain/uncertain evaluation from per-term bound intervals.
+  Tri EvalBounds(const std::vector<Interval>& term_bounds) const;
+
+  /// \brief Exact evaluation from per-term exact values.
+  bool EvalExact(const std::vector<double>& term_values) const;
+
+  /// \brief Largest CP-term index referenced anywhere in the tree, -1 if none.
+  int32_t MaxTermIndex() const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kCompare;
+  // kCompare payload:
+  CpExpr expr_;
+  CompareOp op_ = CompareOp::kGt;
+  double threshold_ = 0.0;
+  // kAnd / kOr / kNot payload:
+  std::vector<Predicate> children_;
+};
+
+/// \brief Bound-based decision for a single comparison interval `v op T`.
+Tri CompareBounds(const Interval& v, CompareOp op, double threshold);
+bool CompareExact(double v, CompareOp op, double threshold);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_QUERY_PREDICATE_H_

@@ -1,0 +1,97 @@
+// Region of interest (ROI): an axis-aligned bounding box over mask pixels.
+//
+// The paper (§2.1) writes ROIs as pairs of 1-based inclusive corner
+// coordinates ((x1, y1), (x2, y2)). Internally we use the equivalent 0-based
+// half-open convention [x0, x1) × [y0, y1): the paper's ((a, b), (c, d)) maps
+// to ROI{a-1, b-1, c, d}. Half-open boxes make the available-region algebra
+// (Def. 3.1) and the grid arithmetic of Eq. 2 branch-free.
+
+#ifndef MASKSEARCH_QUERY_ROI_H_
+#define MASKSEARCH_QUERY_ROI_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace masksearch {
+
+/// \brief Half-open pixel rectangle [x0, x1) × [y0, y1).
+struct ROI {
+  int32_t x0 = 0;
+  int32_t y0 = 0;
+  int32_t x1 = 0;  ///< exclusive
+  int32_t y1 = 0;  ///< exclusive
+
+  ROI() = default;
+  ROI(int32_t x0_, int32_t y0_, int32_t x1_, int32_t y1_)
+      : x0(x0_), y0(y0_), x1(x1_), y1(y1_) {}
+
+  /// \brief Converts the paper's 1-based inclusive corners to an ROI.
+  static ROI FromInclusiveCorners(int32_t cx1, int32_t cy1, int32_t cx2,
+                                  int32_t cy2) {
+    return ROI(cx1 - 1, cy1 - 1, cx2, cy2);
+  }
+
+  /// \brief The full extent of a w × h mask.
+  static ROI Full(int32_t w, int32_t h) { return ROI(0, 0, w, h); }
+
+  int32_t width() const { return x1 > x0 ? x1 - x0 : 0; }
+  int32_t height() const { return y1 > y0 ? y1 - y0 : 0; }
+  /// \brief |roi|: the number of pixels in the box.
+  int64_t Area() const {
+    return static_cast<int64_t>(width()) * static_cast<int64_t>(height());
+  }
+  bool Empty() const { return width() == 0 || height() == 0; }
+
+  /// \brief Intersection with another box (possibly empty).
+  ROI Intersect(const ROI& o) const {
+    ROI r(std::max(x0, o.x0), std::max(y0, o.y0), std::min(x1, o.x1),
+          std::min(y1, o.y1));
+    if (r.x1 < r.x0) r.x1 = r.x0;
+    if (r.y1 < r.y0) r.y1 = r.y0;
+    return r;
+  }
+
+  /// \brief True if `o` lies entirely within this box.
+  bool Contains(const ROI& o) const {
+    return o.x0 >= x0 && o.y0 >= y0 && o.x1 <= x1 && o.y1 <= y1;
+  }
+  bool ContainsPoint(int32_t x, int32_t y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+
+  /// \brief Clamps the box into the extent of a w × h mask.
+  ROI ClampTo(int32_t w, int32_t h) const {
+    return Intersect(ROI(0, 0, w, h));
+  }
+
+  bool operator==(const ROI& o) const {
+    return x0 == o.x0 && y0 == o.y0 && x1 == o.x1 && y1 == o.y1;
+  }
+  bool operator!=(const ROI& o) const { return !(*this == o); }
+
+  std::string ToString() const {
+    return "[" + std::to_string(x0) + "," + std::to_string(y0) + ")x[" +
+           std::to_string(x1) + "," + std::to_string(y1) + ")";
+  }
+};
+
+/// \brief Half-open pixel value interval [lv, uv), as in the CP definition.
+struct ValueRange {
+  double lv = 0.0;
+  double uv = 1.0;
+
+  ValueRange() = default;
+  ValueRange(double lv_, double uv_) : lv(lv_), uv(uv_) {}
+
+  bool Valid() const { return lv <= uv; }
+  bool Contains(double v) const { return v >= lv && v < uv; }
+
+  std::string ToString() const {
+    return "[" + std::to_string(lv) + "," + std::to_string(uv) + ")";
+  }
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_QUERY_ROI_H_

@@ -1,0 +1,70 @@
+#include "masksearch/sql/ast.h"
+
+namespace masksearch {
+namespace sql {
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kNumber: {
+      std::string s = std::to_string(number);
+      return s;
+    }
+    case Kind::kIdent:
+      return ident;
+    case Kind::kCall: {
+      std::string s = ident + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+    case Kind::kBinary: {
+      if (args.size() == 1) {
+        return std::string(1, op) + "(" + args[0]->ToString() + ")";
+      }
+      const char* name;
+      switch (op) {
+        case '&': name = " AND "; break;
+        case '|': name = " OR "; break;
+        case 'l': name = " <= "; break;
+        case 'g': name = " >= "; break;
+        case 'n': name = " != "; break;
+        case 'i': name = " IN "; break;
+        default: {
+          std::string s = "(" + args[0]->ToString() + " " + std::string(1, op) +
+                          " " + args[1]->ToString() + ")";
+          return s;
+        }
+      }
+      return "(" + args[0]->ToString() + name + args[1]->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+std::string SelectStmt::ToString() const {
+  std::string s = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) s += ", ";
+    if (items[i].star) {
+      s += "*";
+    } else {
+      s += items[i].expr->ToString();
+      if (!items[i].alias.empty()) s += " AS " + items[i].alias;
+    }
+  }
+  s += " FROM " + table;
+  if (where) s += " WHERE " + where->ToString();
+  if (!group_by.empty()) s += " GROUP BY " + group_by;
+  if (having) s += " HAVING " + having->ToString();
+  if (order_by) {
+    s += " ORDER BY " + order_by->ToString();
+    s += ascending ? " ASC" : " DESC";
+  }
+  if (limit >= 0) s += " LIMIT " + std::to_string(limit);
+  return s;
+}
+
+}  // namespace sql
+}  // namespace masksearch

@@ -1,0 +1,101 @@
+// Abstract syntax tree for the MaskSearch SQL dialect (§2.1).
+//
+// The dialect covers the paper's query surface:
+//
+//   SELECT <cols / CP expressions [AS alias]>
+//   FROM MasksDatabaseView
+//   [WHERE <catalog predicates AND CP predicates>]
+//   [GROUP BY image_id | model_id | mask_type]
+//   [HAVING <predicate on the aggregate>]
+//   [ORDER BY <expr|alias> [ASC|DESC]] [LIMIT k];
+//
+// with CP(mask | MASK_AGG(mask > t), roi, (lv, uv)) where roi is `-` (full
+// mask), `object` (per-mask foreground box), ((x1,y1),(x2,y2)) in the
+// paper's 1-based inclusive convention, or rect(x0,y0,x1,y1) half-open.
+
+#ifndef MASKSEARCH_SQL_AST_H_
+#define MASKSEARCH_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace masksearch {
+namespace sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// \brief Expression node. `op` encodes binary/unary operators:
+/// '+','-','*','/' arithmetic; '<','>','l'(<=),'g'(>=),'=' comparisons;
+/// '&' AND, '|' OR, '!' NOT (unary), 'i' IN (rhs is a "list" call).
+struct Expr {
+  enum class Kind { kNumber, kIdent, kBinary, kCall };
+
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string ident;  ///< identifier, or function name for kCall
+  char op = 0;
+  std::vector<ExprPtr> args;
+
+  static ExprPtr Number(double v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kNumber;
+    e->number = v;
+    return e;
+  }
+  static ExprPtr Ident(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kIdent;
+    e->ident = std::move(name);
+    return e;
+  }
+  static ExprPtr Call(std::string fn, std::vector<ExprPtr> args) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kCall;
+    e->ident = std::move(fn);
+    e->args = std::move(args);
+    return e;
+  }
+  static ExprPtr Binary(char op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kBinary;
+    e->op = op;
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(rhs));
+    return e;
+  }
+  static ExprPtr Unary(char op, ExprPtr operand) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kBinary;
+    e->op = op;
+    e->args.push_back(std::move(operand));
+    return e;
+  }
+
+  std::string ToString() const;
+};
+
+struct SelectItem {
+  bool star = false;
+  ExprPtr expr;       ///< null when star
+  std::string alias;  ///< optional AS name
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::string table;
+  ExprPtr where;         ///< may be null
+  std::string group_by;  ///< empty when absent
+  ExprPtr having;        ///< may be null
+  ExprPtr order_by;      ///< may be null
+  bool ascending = false;
+  int64_t limit = -1;  ///< -1 when absent
+
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_SQL_AST_H_

@@ -1,0 +1,660 @@
+#include "masksearch/sql/binder.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "masksearch/sql/parser.h"
+
+namespace masksearch {
+namespace sql {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+/// Constant-folds pure-arithmetic expressions; nullopt if the expression
+/// references anything non-constant.
+std::optional<double> EvalConst(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      return e.number;
+    case Expr::Kind::kBinary: {
+      if (e.args.size() != 2) return std::nullopt;
+      auto l = EvalConst(*e.args[0]);
+      auto r = EvalConst(*e.args[1]);
+      if (!l || !r) return std::nullopt;
+      switch (e.op) {
+        case '+':
+          return *l + *r;
+        case '-':
+          return *l - *r;
+        case '*':
+          return *l * *r;
+        case '/':
+          return *l / *r;
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+bool IsCatalogColumn(const std::string& name) {
+  const std::string n = Lower(name);
+  return n == "model_id" || n == "mask_type" || n == "mask_id" ||
+         n == "predicted_label";
+}
+
+/// True if the expression tree touches only catalog columns and constants.
+bool IsCatalogPredicate(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      return true;
+    case Expr::Kind::kIdent:
+      return IsCatalogColumn(e.ident);
+    case Expr::Kind::kCall:
+      if (Lower(e.ident) == "list") {
+        for (const auto& a : e.args) {
+          if (!IsCatalogPredicate(*a)) return false;
+        }
+        return true;
+      }
+      return false;
+    case Expr::Kind::kBinary:
+      for (const auto& a : e.args) {
+        if (!IsCatalogPredicate(*a)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+/// Binder working state: accumulates CP terms and the alias environment.
+class Binder {
+ public:
+  explicit Binder(const SelectStmt& stmt) : stmt_(stmt) {
+    for (const auto& item : stmt.items) {
+      if (!item.star && !item.alias.empty() && item.expr != nullptr) {
+        aliases_[Lower(item.alias)] = item.expr.get();
+      }
+    }
+  }
+
+  Result<BoundQuery> Bind();
+
+ private:
+  struct MaskAggInfo {
+    MaskAggOp op;
+    double threshold;
+  };
+
+  // ---- Expression binding ----
+
+  /// Binds an arithmetic expression over plain-mask CP calls into a CpExpr,
+  /// registering terms in `terms_`.
+  Result<CpExpr> BindCpExpr(const Expr& e, int depth = 0) {
+    if (depth > 64) return Status::InvalidArgument("expression too deep");
+    switch (e.kind) {
+      case Expr::Kind::kNumber:
+        return CpExpr::Constant(e.number);
+      case Expr::Kind::kIdent: {
+        auto it = aliases_.find(Lower(e.ident));
+        if (it == aliases_.end()) {
+          return Status::InvalidArgument("unknown identifier '" + e.ident +
+                                         "' in expression");
+        }
+        return BindCpExpr(*it->second, depth + 1);
+      }
+      case Expr::Kind::kCall: {
+        if (Lower(e.ident) == "cp") {
+          MS_ASSIGN_OR_RETURN(int32_t idx, BindCpTerm(e, /*allow_agg=*/false,
+                                                      nullptr));
+          return CpExpr::Term(idx);
+        }
+        return Status::NotImplemented("function '" + e.ident +
+                                      "' not supported in this context");
+      }
+      case Expr::Kind::kBinary: {
+        if (e.args.size() != 2) {
+          return Status::InvalidArgument("unary operator in CP expression");
+        }
+        MS_ASSIGN_OR_RETURN(CpExpr l, BindCpExpr(*e.args[0], depth + 1));
+        MS_ASSIGN_OR_RETURN(CpExpr r, BindCpExpr(*e.args[1], depth + 1));
+        switch (e.op) {
+          case '+':
+            return l + r;
+          case '-':
+            return l - r;
+          case '*':
+            return l * r;
+          case '/':
+            return l / r;
+          default:
+            return Status::InvalidArgument(
+                std::string("operator '") + e.op +
+                "' not valid in a CP expression");
+        }
+      }
+    }
+    return Status::Internal("unreachable expression kind");
+  }
+
+  /// Binds one CP(...) call; returns the term index. When `allow_agg` and the
+  /// mask argument is a MASK_AGG call, *agg_out is filled instead of
+  /// treating it as a plain term.
+  Result<int32_t> BindCpTerm(const Expr& cp, bool allow_agg,
+                             std::optional<MaskAggInfo>* agg_out) {
+    if (cp.args.size() != 4) {
+      return Status::InvalidArgument("CP() expects (mask, roi, (lv, uv))");
+    }
+    // Mask argument.
+    const Expr& mask_arg = *cp.args[0];
+    if (mask_arg.kind == Expr::Kind::kIdent) {
+      if (Lower(mask_arg.ident) != "mask") {
+        return Status::InvalidArgument("first CP argument must be 'mask'");
+      }
+    } else if (mask_arg.kind == Expr::Kind::kCall) {
+      if (!allow_agg || agg_out == nullptr) {
+        return Status::NotImplemented(
+            "MASK_AGG is only supported as the outer aggregate of a GROUP BY "
+            "query");
+      }
+      MS_ASSIGN_OR_RETURN(MaskAggInfo info, BindMaskAgg(mask_arg));
+      *agg_out = info;
+    } else {
+      return Status::InvalidArgument("invalid mask argument to CP()");
+    }
+
+    CpTerm term;
+    // ROI argument.
+    const Expr& roi_arg = *cp.args[1];
+    if (roi_arg.kind == Expr::Kind::kIdent) {
+      const std::string r = Lower(roi_arg.ident);
+      if (r == "full" || r == "-") {
+        term.roi_source = RoiSource::kFullMask;
+      } else if (r == "object") {
+        term.roi_source = RoiSource::kObjectBox;
+      } else {
+        return Status::InvalidArgument("unknown ROI name '" + roi_arg.ident +
+                                       "' (use object, full, a box literal, "
+                                       "or rect(...))");
+      }
+    } else if (roi_arg.kind == Expr::Kind::kCall) {
+      const std::string fn = Lower(roi_arg.ident);
+      std::vector<double> coords;
+      for (const auto& a : roi_arg.args) {
+        auto v = EvalConst(*a);
+        if (!v) return Status::InvalidArgument("ROI coordinates must be constant");
+        coords.push_back(*v);
+      }
+      if (coords.size() != 4) {
+        return Status::InvalidArgument("ROI needs 4 coordinates");
+      }
+      term.roi_source = RoiSource::kConstant;
+      if (fn == "box") {
+        // Paper convention: 1-based inclusive corners.
+        term.constant_roi = ROI::FromInclusiveCorners(
+            static_cast<int32_t>(coords[0]), static_cast<int32_t>(coords[1]),
+            static_cast<int32_t>(coords[2]), static_cast<int32_t>(coords[3]));
+      } else if (fn == "rect") {
+        term.constant_roi =
+            ROI(static_cast<int32_t>(coords[0]), static_cast<int32_t>(coords[1]),
+                static_cast<int32_t>(coords[2]), static_cast<int32_t>(coords[3]));
+      } else {
+        return Status::InvalidArgument("unknown ROI constructor '" +
+                                       roi_arg.ident + "'");
+      }
+    } else {
+      return Status::InvalidArgument("invalid ROI argument to CP()");
+    }
+
+    // Value range.
+    auto lv = EvalConst(*cp.args[2]);
+    auto uv = EvalConst(*cp.args[3]);
+    if (!lv || !uv) {
+      return Status::InvalidArgument("CP value range must be constant");
+    }
+    term.range = ValueRange(*lv, *uv);
+    if (!term.range.Valid()) {
+      return Status::InvalidArgument("CP value range has lv > uv");
+    }
+
+    terms_.push_back(term);
+    return static_cast<int32_t>(terms_.size()) - 1;
+  }
+
+  Result<MaskAggInfo> BindMaskAgg(const Expr& call) {
+    const std::string fn = Lower(call.ident);
+    MaskAggInfo info;
+    if (fn == "intersect") {
+      info.op = MaskAggOp::kIntersectThreshold;
+    } else if (fn == "union") {
+      info.op = MaskAggOp::kUnionThreshold;
+    } else if (fn == "average") {
+      info.op = MaskAggOp::kAverage;
+    } else {
+      return Status::NotImplemented("unknown MASK_AGG function '" +
+                                    call.ident + "'");
+    }
+    info.threshold = 0.0;
+    if (info.op != MaskAggOp::kAverage) {
+      // Expect a single argument of the form `mask > t`.
+      if (call.args.size() != 1 ||
+          call.args[0]->kind != Expr::Kind::kBinary ||
+          call.args[0]->op != '>') {
+        return Status::InvalidArgument(
+            std::string(MaskAggOpToString(info.op)) +
+            " expects a single 'mask > t' argument");
+      }
+      auto t = EvalConst(*call.args[0]->args[1]);
+      if (!t) return Status::InvalidArgument("MASK_AGG threshold must be constant");
+      info.threshold = *t;
+    } else if (call.args.size() != 1 ||
+               call.args[0]->kind != Expr::Kind::kIdent ||
+               Lower(call.args[0]->ident) != "mask") {
+      return Status::InvalidArgument("AVERAGE expects the single argument 'mask'");
+    }
+    return info;
+  }
+
+  // ---- Predicate binding ----
+
+  Result<Predicate> BindPredicate(const Expr& e) {
+    if (e.kind != Expr::Kind::kBinary) {
+      return Status::InvalidArgument("expected a boolean predicate");
+    }
+    switch (e.op) {
+      case '&': {
+        std::vector<Predicate> children;
+        MS_ASSIGN_OR_RETURN(Predicate l, BindPredicate(*e.args[0]));
+        MS_ASSIGN_OR_RETURN(Predicate r, BindPredicate(*e.args[1]));
+        children.push_back(std::move(l));
+        children.push_back(std::move(r));
+        return Predicate::And(std::move(children));
+      }
+      case '|': {
+        std::vector<Predicate> children;
+        MS_ASSIGN_OR_RETURN(Predicate l, BindPredicate(*e.args[0]));
+        MS_ASSIGN_OR_RETURN(Predicate r, BindPredicate(*e.args[1]));
+        children.push_back(std::move(l));
+        children.push_back(std::move(r));
+        return Predicate::Or(std::move(children));
+      }
+      case '!': {
+        MS_ASSIGN_OR_RETURN(Predicate c, BindPredicate(*e.args[0]));
+        return Predicate::Not(std::move(c));
+      }
+      default:
+        return BindComparison(e);
+    }
+  }
+
+  Result<Predicate> BindComparison(const Expr& e) {
+    if (e.args.size() != 2) {
+      return Status::InvalidArgument("malformed comparison");
+    }
+    CompareOp op;
+    switch (e.op) {
+      case '<':
+        op = CompareOp::kLt;
+        break;
+      case '>':
+        op = CompareOp::kGt;
+        break;
+      case 'l':
+        op = CompareOp::kLe;
+        break;
+      case 'g':
+        op = CompareOp::kGe;
+        break;
+      default:
+        return Status::NotImplemented(
+            std::string("comparison operator '") + e.op +
+            "' is not supported on CP expressions");
+    }
+    // One side must be constant; normalize to expr-op-constant.
+    auto rc = EvalConst(*e.args[1]);
+    if (rc) {
+      MS_ASSIGN_OR_RETURN(CpExpr lhs, BindCpExpr(*e.args[0]));
+      return Predicate::Compare(std::move(lhs), op, *rc);
+    }
+    auto lc = EvalConst(*e.args[0]);
+    if (lc) {
+      // c op expr  ≡  expr (mirrored op) c
+      CompareOp mirrored;
+      switch (op) {
+        case CompareOp::kLt:
+          mirrored = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          mirrored = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          mirrored = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          mirrored = CompareOp::kLe;
+          break;
+        default:
+          return Status::Internal("unreachable");
+      }
+      MS_ASSIGN_OR_RETURN(CpExpr rhs, BindCpExpr(*e.args[1]));
+      return Predicate::Compare(std::move(rhs), mirrored, *lc);
+    }
+    // expr op expr: rewrite as (lhs - rhs) op 0 (valid: both integers CP).
+    MS_ASSIGN_OR_RETURN(CpExpr lhs, BindCpExpr(*e.args[0]));
+    MS_ASSIGN_OR_RETURN(CpExpr rhs, BindCpExpr(*e.args[1]));
+    return Predicate::Compare(lhs - rhs, op, 0.0);
+  }
+
+  // ---- Catalog (Selection) binding ----
+
+  Status BindCatalogConjunct(const Expr& e, Selection* sel) {
+    if (e.kind != Expr::Kind::kBinary) {
+      return Status::InvalidArgument("malformed catalog predicate");
+    }
+    if (e.op == '&') {
+      MS_RETURN_NOT_OK(BindCatalogConjunct(*e.args[0], sel));
+      return BindCatalogConjunct(*e.args[1], sel);
+    }
+    const Expr* col = e.args[0].get();
+    if (col->kind != Expr::Kind::kIdent) {
+      return Status::InvalidArgument("catalog predicate must start with a column");
+    }
+    const std::string name = Lower(col->ident);
+    std::vector<double> values;
+    if (e.op == '=') {
+      auto v = EvalConst(*e.args[1]);
+      if (!v) return Status::InvalidArgument("catalog value must be constant");
+      values.push_back(*v);
+    } else if (e.op == 'i') {
+      const Expr& list = *e.args[1];
+      for (const auto& a : list.args) {
+        auto v = EvalConst(*a);
+        if (!v) return Status::InvalidArgument("IN list must be constant");
+        values.push_back(*v);
+      }
+    } else {
+      return Status::NotImplemented(
+          "only = and IN are supported on catalog columns");
+    }
+    if (name == "model_id") {
+      for (double v : values) sel->model_ids.push_back(static_cast<ModelId>(v));
+    } else if (name == "mask_type") {
+      for (double v : values) {
+        sel->mask_types.push_back(static_cast<MaskType>(static_cast<int>(v)));
+      }
+    } else if (name == "mask_id") {
+      for (double v : values) sel->mask_ids.push_back(static_cast<MaskId>(v));
+    } else if (name == "predicted_label") {
+      for (double v : values) {
+        sel->predicted_labels.push_back(static_cast<int32_t>(v));
+      }
+    } else {
+      return Status::InvalidArgument("unknown catalog column '" + col->ident +
+                                     "'");
+    }
+    return Status::OK();
+  }
+
+  /// Splits the WHERE tree into catalog conjuncts and CP conjuncts. Mixing
+  /// the two under OR is rejected (catalog filters must be conjunctive).
+  Status SplitWhere(const Expr& e, Selection* sel,
+                    std::vector<const Expr*>* cp_conjuncts) {
+    if (e.kind == Expr::Kind::kBinary && e.op == '&') {
+      MS_RETURN_NOT_OK(SplitWhere(*e.args[0], sel, cp_conjuncts));
+      return SplitWhere(*e.args[1], sel, cp_conjuncts);
+    }
+    if (IsCatalogPredicate(e)) {
+      return BindCatalogConjunct(e, sel);
+    }
+    cp_conjuncts->push_back(&e);
+    return Status::OK();
+  }
+
+  // ---- Aggregate detection ----
+
+  /// Finds the CP(...) / SCALAR_AGG(CP(...)) call that defines the grouped
+  /// aggregate: prefer ORDER BY (resolving aliases), else the HAVING LHS,
+  /// else a select item.
+  Result<const Expr*> FindAggregateExpr() {
+    const Expr* e = nullptr;
+    if (stmt_.order_by != nullptr) {
+      e = Resolve(stmt_.order_by.get());
+    } else if (stmt_.having != nullptr &&
+               stmt_.having->kind == Expr::Kind::kBinary &&
+               stmt_.having->args.size() == 2) {
+      e = Resolve(stmt_.having->args[0].get());
+    } else {
+      for (const auto& item : stmt_.items) {
+        if (item.star || item.expr == nullptr) continue;
+        const Expr* cand = Resolve(item.expr.get());
+        if (cand->kind == Expr::Kind::kCall) {
+          e = cand;
+          break;
+        }
+      }
+    }
+    if (e == nullptr) {
+      return Status::InvalidArgument(
+          "GROUP BY query needs an aggregate in ORDER BY, HAVING, or the "
+          "select list");
+    }
+    return e;
+  }
+
+  /// Follows alias references.
+  const Expr* Resolve(const Expr* e) const {
+    int hops = 0;
+    while (e->kind == Expr::Kind::kIdent && hops++ < 16) {
+      auto it = aliases_.find(Lower(e->ident));
+      if (it == aliases_.end()) break;
+      e = it->second;
+    }
+    return e;
+  }
+
+  const SelectStmt& stmt_;
+  std::map<std::string, const Expr*> aliases_;
+  std::vector<CpTerm> terms_;
+};
+
+Result<BoundQuery> Binder::Bind() {
+  const std::string table = Lower(stmt_.table);
+  if (table != "masksdatabaseview" && table != "masks") {
+    return Status::InvalidArgument("unknown table '" + stmt_.table +
+                                   "' (expected MasksDatabaseView)");
+  }
+
+  Selection sel;
+  std::vector<const Expr*> cp_conjuncts;
+  if (stmt_.where != nullptr) {
+    MS_RETURN_NOT_OK(SplitWhere(*stmt_.where, &sel, &cp_conjuncts));
+  }
+
+  BoundQuery out;
+
+  if (stmt_.group_by.empty()) {
+    if (stmt_.order_by != nullptr) {
+      // ---- Top-k ----
+      if (!cp_conjuncts.empty()) {
+        return Status::NotImplemented(
+            "combining a CP filter with ORDER BY LIMIT is not supported");
+      }
+      if (stmt_.limit < 0) {
+        return Status::InvalidArgument("ORDER BY requires LIMIT k");
+      }
+      out.kind = BoundQuery::Kind::kTopK;
+      MS_ASSIGN_OR_RETURN(out.topk.order_expr,
+                          BindCpExpr(*Resolve(stmt_.order_by.get())));
+      out.topk.terms = terms_;
+      out.topk.selection = sel;
+      out.topk.k = static_cast<size_t>(stmt_.limit);
+      out.topk.descending = !stmt_.ascending;
+      return out;
+    }
+    // ---- Filter ----
+    if (cp_conjuncts.empty()) {
+      return Status::InvalidArgument(
+          "filter query needs a CP predicate in WHERE");
+    }
+    std::vector<Predicate> preds;
+    for (const Expr* c : cp_conjuncts) {
+      MS_ASSIGN_OR_RETURN(Predicate p, BindPredicate(*c));
+      preds.push_back(std::move(p));
+    }
+    out.kind = BoundQuery::Kind::kFilter;
+    out.filter.predicate = preds.size() == 1 ? std::move(preds[0])
+                                             : Predicate::And(std::move(preds));
+    out.filter.terms = terms_;
+    out.filter.selection = sel;
+    return out;
+  }
+
+  // ---- Grouped queries ----
+  if (!cp_conjuncts.empty()) {
+    return Status::NotImplemented(
+        "per-mask CP predicates in WHERE of GROUP BY queries are not "
+        "supported; use HAVING");
+  }
+  GroupKey group_key;
+  const std::string gb = Lower(stmt_.group_by);
+  if (gb == "image_id") {
+    group_key = GroupKey::kImageId;
+  } else if (gb == "model_id") {
+    group_key = GroupKey::kModelId;
+  } else if (gb == "mask_type") {
+    group_key = GroupKey::kMaskType;
+  } else {
+    return Status::InvalidArgument("cannot GROUP BY '" + stmt_.group_by + "'");
+  }
+
+  MS_ASSIGN_OR_RETURN(const Expr* agg_expr, FindAggregateExpr());
+  if (agg_expr->kind != Expr::Kind::kCall) {
+    return Status::InvalidArgument("grouped aggregate must be a function call");
+  }
+
+  // HAVING: comparison against a constant.
+  std::optional<CompareOp> having_op;
+  double having_threshold = 0.0;
+  if (stmt_.having != nullptr) {
+    const Expr& h = *stmt_.having;
+    if (h.kind != Expr::Kind::kBinary || h.args.size() != 2) {
+      return Status::InvalidArgument("malformed HAVING clause");
+    }
+    auto rhs = EvalConst(*h.args[1]);
+    if (!rhs) return Status::InvalidArgument("HAVING threshold must be constant");
+    switch (h.op) {
+      case '<':
+        having_op = CompareOp::kLt;
+        break;
+      case '>':
+        having_op = CompareOp::kGt;
+        break;
+      case 'l':
+        having_op = CompareOp::kLe;
+        break;
+      case 'g':
+        having_op = CompareOp::kGe;
+        break;
+      default:
+        return Status::NotImplemented("unsupported HAVING operator");
+    }
+    having_threshold = *rhs;
+  }
+
+  const std::string fn = Lower(agg_expr->ident);
+  if (fn == "cp") {
+    // CP over a MASK_AGG → Q5 shape.
+    std::optional<MaskAggInfo> agg_info;
+    MS_RETURN_NOT_OK(
+        BindCpTerm(*agg_expr, /*allow_agg=*/true, &agg_info).status());
+    if (!agg_info.has_value()) {
+      return Status::InvalidArgument(
+          "grouped CP must aggregate masks, e.g. CP(INTERSECT(mask > 0.8), "
+          "...)");
+    }
+    out.kind = BoundQuery::Kind::kMaskAgg;
+    out.mask_agg.selection = sel;
+    out.mask_agg.op = agg_info->op;
+    out.mask_agg.agg_threshold = agg_info->threshold;
+    out.mask_agg.term = terms_.back();
+    out.mask_agg.group_key = group_key;
+    if (stmt_.limit >= 0) {
+      out.mask_agg.k = static_cast<size_t>(stmt_.limit);
+      out.mask_agg.descending = !stmt_.ascending;
+    }
+    out.mask_agg.having_op = having_op;
+    out.mask_agg.having_threshold = having_threshold;
+    if (!out.mask_agg.k.has_value() && !having_op.has_value()) {
+      return Status::InvalidArgument(
+          "grouped query needs HAVING or ORDER BY LIMIT");
+    }
+    return out;
+  }
+
+  // SCALAR_AGG(CP(...)) → Q4 shape.
+  ScalarAggOp op;
+  if (fn == "sum") {
+    op = ScalarAggOp::kSum;
+  } else if (fn == "avg" || fn == "mean") {
+    op = ScalarAggOp::kAvg;
+  } else if (fn == "min") {
+    op = ScalarAggOp::kMin;
+  } else if (fn == "max") {
+    op = ScalarAggOp::kMax;
+  } else {
+    return Status::NotImplemented("unknown aggregate function '" +
+                                  agg_expr->ident + "'");
+  }
+  if (agg_expr->args.size() != 1 ||
+      agg_expr->args[0]->kind != Expr::Kind::kCall ||
+      Lower(agg_expr->args[0]->ident) != "cp") {
+    return Status::InvalidArgument(
+        std::string(ScalarAggOpToString(op)) +
+        " expects a single CP(...) argument");
+  }
+  MS_RETURN_NOT_OK(
+      BindCpTerm(*agg_expr->args[0], /*allow_agg=*/false, nullptr).status());
+  out.kind = BoundQuery::Kind::kAggregation;
+  out.agg.selection = sel;
+  out.agg.term = terms_.back();
+  out.agg.op = op;
+  out.agg.group_key = group_key;
+  if (stmt_.limit >= 0) {
+    out.agg.k = static_cast<size_t>(stmt_.limit);
+    out.agg.descending = !stmt_.ascending;
+  }
+  out.agg.having_op = having_op;
+  out.agg.having_threshold = having_threshold;
+  if (!out.agg.k.has_value() && !having_op.has_value()) {
+    return Status::InvalidArgument(
+        "grouped query needs HAVING or ORDER BY LIMIT");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BoundQuery> Bind(const SelectStmt& stmt) {
+  Binder binder(stmt);
+  return binder.Bind();
+}
+
+Result<BoundQuery> ParseAndBind(const std::string& sqltext) {
+  MS_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sqltext));
+  return Bind(stmt);
+}
+
+}  // namespace sql
+}  // namespace masksearch

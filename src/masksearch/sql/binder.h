@@ -1,0 +1,42 @@
+// Binder: resolves a parsed SelectStmt into an executable query spec.
+//
+// Classification follows the paper's query taxonomy (§2, §4.2):
+//   * no GROUP BY, no ORDER BY            → FilterQuery (Q1, Q2)
+//   * no GROUP BY, ORDER BY ... LIMIT k   → TopKQuery (Q3, Example 1)
+//   * GROUP BY + SCALAR_AGG(CP(...))      → AggregationQuery (Q4)
+//   * GROUP BY + CP(MASK_AGG(mask > t))   → MaskAggQuery (Q5, Example 2)
+//
+// Catalog predicates in WHERE (model_id / mask_type / mask_id = or IN) bind
+// to the Selection and never touch mask data; CP predicates become the
+// filter predicate.
+
+#ifndef MASKSEARCH_SQL_BINDER_H_
+#define MASKSEARCH_SQL_BINDER_H_
+
+#include <string>
+
+#include "masksearch/exec/query_spec.h"
+#include "masksearch/sql/ast.h"
+
+namespace masksearch {
+namespace sql {
+
+struct BoundQuery {
+  enum class Kind { kFilter, kTopK, kAggregation, kMaskAgg };
+  Kind kind = Kind::kFilter;
+  FilterQuery filter;
+  TopKQuery topk;
+  AggregationQuery agg;
+  MaskAggQuery mask_agg;
+};
+
+/// \brief Binds a parsed statement.
+Result<BoundQuery> Bind(const SelectStmt& stmt);
+
+/// \brief Convenience: tokenize + parse + bind.
+Result<BoundQuery> ParseAndBind(const std::string& sql);
+
+}  // namespace sql
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_SQL_BINDER_H_

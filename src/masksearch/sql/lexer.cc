@@ -1,0 +1,110 @@
+#include "masksearch/sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace masksearch {
+namespace sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  if (type != TokenType::kIdent) return false;
+  const std::string& t = text;
+  size_t i = 0;
+  for (; kw[i] != '\0'; ++i) {
+    if (i >= t.size()) return false;
+    if (std::toupper(static_cast<unsigned char>(t[i])) !=
+        std::toupper(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return i == t.size();
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (!seen_dot && input[j] == '.'))) {
+        if (input[j] == '.') seen_dot = true;
+        ++j;
+      }
+      // Exponent part.
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          ++k;
+          while (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+            ++k;
+          }
+          j = k;
+        }
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = input.substr(i, j - i);
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+      i = j;
+    } else {
+      // Two-char operators first.
+      static const char* kTwo[] = {"<=", ">=", "!=", "<>"};
+      bool matched = false;
+      for (const char* op : kTwo) {
+        if (c == op[0] && i + 1 < n && input[i + 1] == op[1]) {
+          tok.type = TokenType::kSymbol;
+          tok.text = op;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kSingle = "(),;*+-/<>=.";
+        if (kSingle.find(c) == std::string::npos) {
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at offset " +
+              std::to_string(i));
+        }
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace masksearch

@@ -1,0 +1,40 @@
+// Tokenizer for the MaskSearch SQL dialect.
+
+#ifndef MASKSEARCH_SQL_LEXER_H_
+#define MASKSEARCH_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "masksearch/common/result.h"
+
+namespace masksearch {
+namespace sql {
+
+enum class TokenType {
+  kIdent,    ///< identifiers and keywords (case preserved, matched case-insensitively)
+  kNumber,
+  kSymbol,   ///< single/double-char punctuation: ( ) , ; * + - / < > <= >= = != .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t position = 0;  ///< byte offset in the input, for error messages
+
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword match.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// \brief Tokenizes `input`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_SQL_LEXER_H_

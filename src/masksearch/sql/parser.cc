@@ -1,0 +1,323 @@
+#include "masksearch/sql/parser.h"
+
+#include "masksearch/sql/lexer.h"
+
+namespace masksearch {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> Parse() {
+    SelectStmt stmt;
+    MS_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    MS_RETURN_NOT_OK(ParseSelectList(&stmt));
+    MS_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (Cur().type != TokenType::kIdent) {
+      return Err("expected table name after FROM");
+    }
+    stmt.table = Cur().text;
+    Advance();
+
+    if (AcceptKeyword("WHERE")) {
+      MS_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      MS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      if (Cur().type != TokenType::kIdent) {
+        return Err("expected column after GROUP BY");
+      }
+      stmt.group_by = Cur().text;
+      Advance();
+    }
+    if (AcceptKeyword("HAVING")) {
+      MS_ASSIGN_OR_RETURN(stmt.having, ParseOr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      MS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      MS_ASSIGN_OR_RETURN(stmt.order_by, ParseAdditive());
+      if (AcceptKeyword("ASC")) {
+        stmt.ascending = true;
+      } else if (AcceptKeyword("DESC")) {
+        stmt.ascending = false;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Cur().type != TokenType::kNumber) {
+        return Err("expected number after LIMIT");
+      }
+      stmt.limit = static_cast<int64_t>(Cur().number);
+      Advance();
+    }
+    if (Cur().IsSymbol(";")) Advance();
+    if (Cur().type != TokenType::kEnd) {
+      return Err("unexpected trailing input '" + Cur().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("SQL parse error at offset " +
+                                   std::to_string(Cur().position) + ": " + msg);
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (Cur().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Err(std::string("expected keyword ") + kw + ", got '" +
+                 Cur().text + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(const char* s) {
+    if (Cur().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) {
+      return Err(std::string("expected '") + s + "', got '" + Cur().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectList(SelectStmt* stmt) {
+    do {
+      SelectItem item;
+      if (Cur().IsSymbol("*")) {
+        item.star = true;
+        Advance();
+      } else {
+        MS_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+        if (AcceptKeyword("AS")) {
+          if (Cur().type != TokenType::kIdent) {
+            return Err("expected alias after AS");
+          }
+          item.alias = Cur().text;
+          Advance();
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  // Boolean grammar: or := and (OR and)*, and := not (AND not)*,
+  // not := NOT not | comparison.
+  Result<ExprPtr> ParseOr() {
+    MS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Cur().IsKeyword("OR")) {
+      Advance();
+      MS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary('|', std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+  Result<ExprPtr> ParseAnd() {
+    MS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Cur().IsKeyword("AND")) {
+      Advance();
+      MS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary('&', std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+  Result<ExprPtr> ParseNot() {
+    if (Cur().IsKeyword("NOT")) {
+      Advance();
+      MS_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Unary('!', std::move(operand));
+    }
+    return ParseComparison();
+  }
+  Result<ExprPtr> ParseComparison() {
+    MS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (Cur().IsKeyword("IN")) {
+      Advance();
+      MS_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<ExprPtr> values;
+      do {
+        MS_ASSIGN_OR_RETURN(ExprPtr v, ParseAdditive());
+        values.push_back(std::move(v));
+      } while (AcceptSymbol(","));
+      MS_RETURN_NOT_OK(ExpectSymbol(")"));
+      return Expr::Binary('i', std::move(lhs),
+                          Expr::Call("list", std::move(values)));
+    }
+    char op = 0;
+    if (Cur().IsSymbol("<")) op = '<';
+    else if (Cur().IsSymbol(">")) op = '>';
+    else if (Cur().IsSymbol("<=")) op = 'l';
+    else if (Cur().IsSymbol(">=")) op = 'g';
+    else if (Cur().IsSymbol("=")) op = '=';
+    else if (Cur().IsSymbol("!=") || Cur().IsSymbol("<>")) op = 'n';
+    if (op == 0) {
+      // A bare boolean expression (e.g. parenthesized sub-predicate).
+      return lhs;
+    }
+    Advance();
+    MS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  // Arithmetic grammar.
+  Result<ExprPtr> ParseAdditive() {
+    MS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      char op = 0;
+      if (Cur().IsSymbol("+")) op = '+';
+      else if (Cur().IsSymbol("-")) op = '-';
+      if (op == 0) return lhs;
+      Advance();
+      MS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+  Result<ExprPtr> ParseMultiplicative() {
+    MS_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    for (;;) {
+      char op = 0;
+      if (Cur().IsSymbol("*")) op = '*';
+      else if (Cur().IsSymbol("/")) op = '/';
+      if (op == 0) return lhs;
+      Advance();
+      MS_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+  Result<ExprPtr> ParsePrimary() {
+    if (Cur().type == TokenType::kNumber) {
+      ExprPtr e = Expr::Number(Cur().number);
+      Advance();
+      return e;
+    }
+    if (Cur().IsSymbol("-")) {  // unary minus
+      Advance();
+      MS_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+      return Expr::Binary('-', Expr::Number(0.0), std::move(operand));
+    }
+    if (Cur().IsSymbol("(")) {
+      Advance();
+      MS_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+      MS_RETURN_NOT_OK(ExpectSymbol(")"));
+      return e;
+    }
+    if (Cur().type == TokenType::kIdent) {
+      std::string name = Cur().text;
+      Advance();
+      if (Cur().IsSymbol("(")) {
+        if (name == "CP" || name == "cp" || name == "Cp") {
+          return ParseCpCall();
+        }
+        Advance();  // consume '('
+        std::vector<ExprPtr> args;
+        if (!Cur().IsSymbol(")")) {
+          do {
+            MS_ASSIGN_OR_RETURN(ExprPtr a, ParseOr());
+            args.push_back(std::move(a));
+          } while (AcceptSymbol(","));
+        }
+        MS_RETURN_NOT_OK(ExpectSymbol(")"));
+        return Expr::Call(std::move(name), std::move(args));
+      }
+      return Expr::Ident(std::move(name));
+    }
+    return Err("unexpected token '" + Cur().text + "' in expression");
+  }
+
+  /// CP(mask_arg, roi_arg, (lv, uv)) — roi_arg is '-', an identifier
+  /// ('object', 'full', or a user name), ((x1,y1),(x2,y2)), or
+  /// rect(x0,y0,x1,y1). Flattened into CP(mask_arg, roi_expr, lv, uv).
+  Result<ExprPtr> ParseCpCall() {
+    MS_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<ExprPtr> args;
+
+    // Mask argument: `mask` or MASK_AGG(mask > t).
+    MS_ASSIGN_OR_RETURN(ExprPtr mask_arg, ParseAdditive());
+    args.push_back(std::move(mask_arg));
+    MS_RETURN_NOT_OK(ExpectSymbol(","));
+
+    // ROI argument.
+    if (AcceptSymbol("-")) {
+      args.push_back(Expr::Ident("full"));
+    } else if (Cur().IsSymbol("(")) {
+      // ((x1, y1), (x2, y2)) in the paper's 1-based inclusive convention.
+      Advance();
+      MS_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<ExprPtr> corners;
+      for (int c = 0; c < 2; ++c) {
+        if (c == 1) {
+          MS_RETURN_NOT_OK(ExpectSymbol(","));
+          MS_RETURN_NOT_OK(ExpectSymbol("("));
+        }
+        MS_ASSIGN_OR_RETURN(ExprPtr x, ParseAdditive());
+        MS_RETURN_NOT_OK(ExpectSymbol(","));
+        MS_ASSIGN_OR_RETURN(ExprPtr y, ParseAdditive());
+        MS_RETURN_NOT_OK(ExpectSymbol(")"));
+        corners.push_back(std::move(x));
+        corners.push_back(std::move(y));
+      }
+      MS_RETURN_NOT_OK(ExpectSymbol(")"));
+      args.push_back(Expr::Call("box", std::move(corners)));
+    } else if (Cur().type == TokenType::kIdent) {
+      std::string name = Cur().text;
+      Advance();
+      if (Cur().IsSymbol("(")) {
+        // rect(x0, y0, x1, y1) half-open.
+        Advance();
+        std::vector<ExprPtr> coords;
+        do {
+          MS_ASSIGN_OR_RETURN(ExprPtr v, ParseAdditive());
+          coords.push_back(std::move(v));
+        } while (AcceptSymbol(","));
+        MS_RETURN_NOT_OK(ExpectSymbol(")"));
+        args.push_back(Expr::Call(std::move(name), std::move(coords)));
+      } else {
+        args.push_back(Expr::Ident(std::move(name)));
+      }
+    } else {
+      return Err("expected ROI argument in CP()");
+    }
+    MS_RETURN_NOT_OK(ExpectSymbol(","));
+
+    // Value range: (lv, uv).
+    MS_RETURN_NOT_OK(ExpectSymbol("("));
+    MS_ASSIGN_OR_RETURN(ExprPtr lv, ParseAdditive());
+    MS_RETURN_NOT_OK(ExpectSymbol(","));
+    MS_ASSIGN_OR_RETURN(ExprPtr uv, ParseAdditive());
+    MS_RETURN_NOT_OK(ExpectSymbol(")"));
+    MS_RETURN_NOT_OK(ExpectSymbol(")"));
+    args.push_back(std::move(lv));
+    args.push_back(std::move(uv));
+    return Expr::Call("CP", std::move(args));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& input) {
+  MS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace sql
+}  // namespace masksearch

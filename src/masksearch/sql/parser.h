@@ -1,0 +1,21 @@
+// Recursive-descent parser for the MaskSearch SQL dialect (grammar in
+// ast.h). Produces a SelectStmt; semantic resolution happens in the binder.
+
+#ifndef MASKSEARCH_SQL_PARSER_H_
+#define MASKSEARCH_SQL_PARSER_H_
+
+#include <string>
+
+#include "masksearch/common/result.h"
+#include "masksearch/sql/ast.h"
+
+namespace masksearch {
+namespace sql {
+
+/// \brief Parses one SELECT statement (optionally ';'-terminated).
+Result<SelectStmt> ParseSelect(const std::string& input);
+
+}  // namespace sql
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_SQL_PARSER_H_

@@ -1,0 +1,135 @@
+#include "masksearch/storage/codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "masksearch/common/serialize.h"
+
+namespace masksearch {
+
+namespace {
+
+constexpr uint32_t kCodecMagic = 0x4d534b43;  // "MSKC"
+constexpr uint8_t kCodecVersion = 1;
+
+// Varint (LEB128) helpers for run lengths.
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> GetVarint(BufferReader* reader) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    MS_ASSIGN_OR_RETURN(uint8_t byte, reader->GetU8());
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) return Status::Corruption("varint too long");
+  }
+  return v;
+}
+
+// Run-length encodes a sequence of fixed-width symbols.
+template <typename T>
+void RleEncode(const T* data, size_t n, std::string* out) {
+  size_t i = 0;
+  while (i < n) {
+    T v = data[i];
+    size_t run = 1;
+    while (i + run < n && data[i + run] == v) ++run;
+    out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+    PutVarint(out, run);
+    i += run;
+  }
+}
+
+template <typename T>
+Status RleDecode(BufferReader* reader, size_t n, T* out) {
+  size_t i = 0;
+  while (i < n) {
+    T v;
+    MS_RETURN_NOT_OK(reader->GetBytes(&v, sizeof(T)));
+    MS_ASSIGN_OR_RETURN(uint64_t run, GetVarint(reader));
+    if (run == 0 || run > n - i) {
+      return Status::Corruption("RLE run overflows mask payload");
+    }
+    std::fill(out + i, out + i + run, v);
+    i += run;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeMask(const Mask& mask, const CodecOptions& opts) {
+  BufferWriter header;
+  header.PutU32(kCodecMagic);
+  header.PutU8(kCodecVersion);
+  header.PutU8(static_cast<uint8_t>(opts.bits));
+  header.PutI32(mask.width());
+  header.PutI32(mask.height());
+
+  std::string out = header.Release();
+  const size_t n = static_cast<size_t>(mask.NumPixels());
+  if (opts.bits == QuantBits::k8) {
+    std::vector<uint8_t> q(n);
+    for (size_t i = 0; i < n; ++i) {
+      q[i] = static_cast<uint8_t>(
+          std::min(255.0f, mask.data()[i] * 256.0f));
+    }
+    RleEncode(q.data(), n, &out);
+  } else {
+    std::vector<uint16_t> q(n);
+    for (size_t i = 0; i < n; ++i) {
+      q[i] = static_cast<uint16_t>(
+          std::min(65535.0f, mask.data()[i] * 65536.0f));
+    }
+    RleEncode(q.data(), n, &out);
+  }
+  return out;
+}
+
+Result<Mask> DecodeMask(const void* data, size_t size) {
+  BufferReader reader(data, size);
+  MS_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic != kCodecMagic) return Status::Corruption("bad codec magic");
+  MS_ASSIGN_OR_RETURN(uint8_t version, reader.GetU8());
+  if (version != kCodecVersion) {
+    return Status::Corruption("unsupported codec version " +
+                              std::to_string(version));
+  }
+  MS_ASSIGN_OR_RETURN(uint8_t bits, reader.GetU8());
+  MS_ASSIGN_OR_RETURN(int32_t w, reader.GetI32());
+  MS_ASSIGN_OR_RETURN(int32_t h, reader.GetI32());
+  if (w <= 0 || h <= 0) return Status::Corruption("bad mask dimensions");
+
+  const size_t n = static_cast<size_t>(w) * static_cast<size_t>(h);
+  std::vector<float> values(n);
+  if (bits == 8) {
+    std::vector<uint8_t> q(n);
+    MS_RETURN_NOT_OK(RleDecode(&reader, n, q.data()));
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = (static_cast<float>(q[i]) + 0.5f) / 256.0f;
+    }
+  } else if (bits == 16) {
+    std::vector<uint16_t> q(n);
+    MS_RETURN_NOT_OK(RleDecode(&reader, n, q.data()));
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = (static_cast<float>(q[i]) + 0.5f) / 65536.0f;
+    }
+  } else {
+    return Status::Corruption("unsupported quantization width");
+  }
+  return Mask::FromData(w, h, std::move(values));
+}
+
+Result<Mask> DecodeMask(const std::string& blob) {
+  return DecodeMask(blob.data(), blob.size());
+}
+
+}  // namespace masksearch

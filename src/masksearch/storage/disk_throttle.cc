@@ -1,0 +1,47 @@
+#include "masksearch/storage/disk_throttle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace masksearch {
+
+namespace {
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+DiskThrottle::DiskThrottle(double bytes_per_sec, double latency_us)
+    : bytes_per_sec_(bytes_per_sec), latency_us_(latency_us) {}
+
+void DiskThrottle::Acquire(uint64_t bytes) {
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!enabled()) return;
+
+  int64_t transfer_ns = 0;
+  if (bytes_per_sec_ > 0.0) {
+    transfer_ns = static_cast<int64_t>(
+        static_cast<double>(bytes) / bytes_per_sec_ * 1e9);
+  }
+  transfer_ns += static_cast<int64_t>(latency_us_ * 1e3);
+
+  int64_t deadline;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t now = NowNanos();
+    // A request starts when the disk becomes free (requests serialize on the
+    // single modeled device) and occupies it for transfer_ns.
+    next_free_ns_ = std::max(next_free_ns_, now) + transfer_ns;
+    deadline = next_free_ns_;
+  }
+  int64_t now = NowNanos();
+  if (deadline > now) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(deadline - now));
+  }
+}
+
+}  // namespace masksearch

@@ -1,0 +1,114 @@
+// Mask: a dense 2D array of float pixel values in [0, 1).
+//
+// This is the `mask REAL[][]` column of the paper's MasksDatabaseView
+// (§2.1). Masks are row-major float32 arrays; all scan kernels and the CHI
+// builder operate on this representation.
+
+#ifndef MASKSEARCH_STORAGE_MASK_H_
+#define MASKSEARCH_STORAGE_MASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "masksearch/common/result.h"
+#include "masksearch/query/roi.h"
+
+namespace masksearch {
+
+/// \brief Identifier types mirroring MasksDatabaseView columns.
+using MaskId = int64_t;
+using ImageId = int64_t;
+using ModelId = int32_t;
+
+/// \brief Kind of mask, mirroring the paper's mask_type ENUM.
+enum class MaskType : int32_t {
+  kSaliencyMap = 0,
+  kHumanAttention = 1,
+  kSegmentation = 2,
+  kDepth = 3,
+  kPoseHeatmap = 4,
+  kDerived = 5,  ///< result of a MASK_AGG aggregation
+};
+
+const char* MaskTypeToString(MaskType t);
+
+/// \brief Dense 2D float array with values in [0, 1).
+class Mask {
+ public:
+  Mask() = default;
+  /// \brief Zero-filled w × h mask.
+  Mask(int32_t width, int32_t height)
+      : width_(width), height_(height),
+        data_(static_cast<size_t>(width) * height, 0.0f) {}
+
+  /// \brief Adopts row-major `data` of size width*height; validates shape and
+  /// the [0, 1) value domain.
+  static Result<Mask> FromData(int32_t width, int32_t height,
+                               std::vector<float> data);
+
+  int32_t width() const { return width_; }
+  int32_t height() const { return height_; }
+  int64_t NumPixels() const {
+    return static_cast<int64_t>(width_) * height_;
+  }
+  bool Empty() const { return data_.empty(); }
+
+  float at(int32_t x, int32_t y) const {
+    return data_[static_cast<size_t>(y) * width_ + x];
+  }
+  void set(int32_t x, int32_t y, float v) {
+    data_[static_cast<size_t>(y) * width_ + x] = v;
+  }
+  /// \brief Pointer to the first pixel of row y.
+  const float* row(int32_t y) const {
+    return data_.data() + static_cast<size_t>(y) * width_;
+  }
+  float* mutable_row(int32_t y) {
+    return data_.data() + static_cast<size_t>(y) * width_;
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+  /// \brief The full-mask ROI.
+  ROI Extent() const { return ROI::Full(width_, height_); }
+
+  /// \brief Clamps every pixel into [0, 1) (1.0 maps to the largest float
+  /// below 1). Used by generators to enforce the data model.
+  void ClampToDomain();
+
+  /// \brief Serialized byte size of the raw float32 payload.
+  size_t ByteSize() const { return data_.size() * sizeof(float); }
+
+ private:
+  Mask(int32_t width, int32_t height, std::vector<float> data)
+      : width_(width), height_(height), data_(std::move(data)) {}
+
+  int32_t width_ = 0;
+  int32_t height_ = 0;
+  std::vector<float> data_;
+};
+
+/// \brief Per-mask metadata row of MasksDatabaseView (everything except the
+/// mask array itself).
+struct MaskMeta {
+  MaskId mask_id = -1;
+  ImageId image_id = -1;
+  ModelId model_id = -1;
+  MaskType mask_type = MaskType::kSaliencyMap;
+  int32_t width = 0;
+  int32_t height = 0;
+  /// Ground-truth and predicted class labels (extra columns, §2.1).
+  int32_t label = -1;
+  int32_t predicted_label = -1;
+  /// Foreground-object bounding box for this mask's image (the YOLOv5-derived
+  /// box used when a query sets roi = object, Table 1).
+  ROI object_box;
+
+  std::string ToString() const;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_STORAGE_MASK_H_

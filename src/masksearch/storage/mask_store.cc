@@ -1,0 +1,232 @@
+#include "masksearch/storage/mask_store.h"
+
+#include <cstring>
+
+#include "masksearch/common/serialize.h"
+
+namespace masksearch {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x4d534d46;  // "MSMF"
+constexpr uint8_t kManifestVersion = 1;
+
+void PutMeta(BufferWriter* w, const MaskMeta& m) {
+  w->PutI64(m.mask_id);
+  w->PutI64(m.image_id);
+  w->PutI32(m.model_id);
+  w->PutI32(static_cast<int32_t>(m.mask_type));
+  w->PutI32(m.width);
+  w->PutI32(m.height);
+  w->PutI32(m.label);
+  w->PutI32(m.predicted_label);
+  w->PutI32(m.object_box.x0);
+  w->PutI32(m.object_box.y0);
+  w->PutI32(m.object_box.x1);
+  w->PutI32(m.object_box.y1);
+}
+
+Result<MaskMeta> GetMeta(BufferReader* r) {
+  MaskMeta m;
+  MS_ASSIGN_OR_RETURN(m.mask_id, r->GetI64());
+  MS_ASSIGN_OR_RETURN(m.image_id, r->GetI64());
+  MS_ASSIGN_OR_RETURN(m.model_id, r->GetI32());
+  MS_ASSIGN_OR_RETURN(int32_t type, r->GetI32());
+  m.mask_type = static_cast<MaskType>(type);
+  MS_ASSIGN_OR_RETURN(m.width, r->GetI32());
+  MS_ASSIGN_OR_RETURN(m.height, r->GetI32());
+  MS_ASSIGN_OR_RETURN(m.label, r->GetI32());
+  MS_ASSIGN_OR_RETURN(m.predicted_label, r->GetI32());
+  MS_ASSIGN_OR_RETURN(m.object_box.x0, r->GetI32());
+  MS_ASSIGN_OR_RETURN(m.object_box.y0, r->GetI32());
+  MS_ASSIGN_OR_RETURN(m.object_box.x1, r->GetI32());
+  MS_ASSIGN_OR_RETURN(m.object_box.y1, r->GetI32());
+  return m;
+}
+}  // namespace
+
+std::string MaskStoreManifestPath(const std::string& dir) {
+  return dir + "/masks.msm";
+}
+std::string MaskStoreDataPath(const std::string& dir) {
+  return dir + "/masks.dat";
+}
+
+MaskStoreWriter::MaskStoreWriter(std::string dir, Options opts,
+                                 std::unique_ptr<FileWriter> data)
+    : dir_(std::move(dir)), opts_(opts), data_(std::move(data)) {}
+
+MaskStoreWriter::~MaskStoreWriter() = default;
+
+Result<std::unique_ptr<MaskStoreWriter>> MaskStoreWriter::Create(
+    const std::string& dir) {
+  return Create(dir, Options{});
+}
+
+Result<std::unique_ptr<MaskStoreWriter>> MaskStoreWriter::Create(
+    const std::string& dir, const Options& opts) {
+  MS_RETURN_NOT_OK(CreateDirs(dir));
+  MS_ASSIGN_OR_RETURN(auto data, FileWriter::Create(MaskStoreDataPath(dir)));
+  return std::unique_ptr<MaskStoreWriter>(
+      new MaskStoreWriter(dir, opts, std::move(data)));
+}
+
+Result<MaskId> MaskStoreWriter::Append(MaskMeta meta, const Mask& mask) {
+  if (finished_) return Status::Internal("Append after Finish");
+  if (mask.Empty()) return Status::InvalidArgument("cannot append empty mask");
+  meta.mask_id = static_cast<MaskId>(metas_.size());
+  meta.width = mask.width();
+  meta.height = mask.height();
+
+  uint64_t offset = data_->bytes_written();
+  if (opts_.kind == StorageKind::kRawFloat32) {
+    MS_RETURN_NOT_OK(
+        data_->Append(mask.data().data(), mask.ByteSize()));
+  } else {
+    std::string blob = EncodeMask(mask, opts_.codec);
+    MS_RETURN_NOT_OK(data_->Append(blob));
+  }
+  offsets_.push_back(offset);
+  sizes_.push_back(data_->bytes_written() - offset);
+  metas_.push_back(meta);
+  return meta.mask_id;
+}
+
+Status MaskStoreWriter::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  MS_RETURN_NOT_OK(data_->Close());
+
+  BufferWriter w;
+  w.PutU32(kManifestMagic);
+  w.PutU8(kManifestVersion);
+  w.PutU8(static_cast<uint8_t>(opts_.kind));
+  w.PutU64(metas_.size());
+  for (size_t i = 0; i < metas_.size(); ++i) {
+    PutMeta(&w, metas_[i]);
+    w.PutU64(offsets_[i]);
+    w.PutU64(sizes_[i]);
+  }
+  return WriteFile(MaskStoreManifestPath(dir_), w.buffer());
+}
+
+MaskStore::MaskStore(std::string dir, Options opts, StorageKind kind,
+                     std::vector<MaskMeta> metas, std::vector<uint64_t> offsets,
+                     std::vector<uint64_t> sizes,
+                     std::unique_ptr<RandomAccessFile> data)
+    : dir_(std::move(dir)),
+      opts_(std::move(opts)),
+      kind_(kind),
+      metas_(std::move(metas)),
+      offsets_(std::move(offsets)),
+      sizes_(std::move(sizes)),
+      data_(std::move(data)) {}
+
+Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir) {
+  return Open(dir, Options{});
+}
+
+Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir,
+                                                   const Options& opts) {
+  MS_ASSIGN_OR_RETURN(std::string manifest,
+                      ReadFile(MaskStoreManifestPath(dir)));
+  BufferReader r(manifest);
+  MS_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kManifestMagic) {
+    return Status::Corruption("bad mask store manifest magic in " + dir);
+  }
+  MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kManifestVersion) {
+    return Status::Corruption("unsupported manifest version");
+  }
+  MS_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  MS_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+
+  std::vector<MaskMeta> metas;
+  std::vector<uint64_t> offsets;
+  std::vector<uint64_t> sizes;
+  metas.reserve(count);
+  offsets.reserve(count);
+  sizes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MS_ASSIGN_OR_RETURN(MaskMeta m, GetMeta(&r));
+    if (m.mask_id != static_cast<MaskId>(i)) {
+      return Status::Corruption("non-dense mask_id in manifest");
+    }
+    metas.push_back(m);
+    MS_ASSIGN_OR_RETURN(uint64_t off, r.GetU64());
+    MS_ASSIGN_OR_RETURN(uint64_t sz, r.GetU64());
+    offsets.push_back(off);
+    sizes.push_back(sz);
+  }
+
+  MS_ASSIGN_OR_RETURN(auto data, RandomAccessFile::Open(MaskStoreDataPath(dir)));
+  return std::unique_ptr<MaskStore>(
+      new MaskStore(dir, opts, static_cast<StorageKind>(kind), std::move(metas),
+                    std::move(offsets), std::move(sizes), std::move(data)));
+}
+
+Status MaskStore::CheckId(MaskId id) const {
+  if (id < 0 || id >= num_masks()) {
+    return Status::NotFound("mask_id " + std::to_string(id) +
+                            " out of range [0, " + std::to_string(num_masks()) +
+                            ")");
+  }
+  return Status::OK();
+}
+
+Result<Mask> MaskStore::LoadMask(MaskId id) const {
+  MS_RETURN_NOT_OK(CheckId(id));
+  const MaskMeta& m = metas_[id];
+  const uint64_t nbytes = sizes_[id];
+
+  if (opts_.throttle) opts_.throttle->Acquire(nbytes);
+  masks_loaded_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
+
+  if (kind_ == StorageKind::kRawFloat32) {
+    std::vector<float> values(static_cast<size_t>(m.width) * m.height);
+    if (values.size() * sizeof(float) != nbytes) {
+      return Status::Corruption("blob size mismatch for mask " +
+                                std::to_string(id));
+    }
+    MS_RETURN_NOT_OK(data_->ReadAt(offsets_[id], nbytes, values.data()));
+    return Mask::FromData(m.width, m.height, std::move(values));
+  }
+  std::string blob;
+  blob.resize(nbytes);
+  MS_RETURN_NOT_OK(data_->ReadAt(offsets_[id], nbytes, blob.data()));
+  return DecodeMask(blob);
+}
+
+Result<Mask> MaskStore::LoadMaskRows(MaskId id, int32_t y0, int32_t y1) const {
+  MS_RETURN_NOT_OK(CheckId(id));
+  if (kind_ != StorageKind::kRawFloat32) {
+    return Status::NotImplemented(
+        "partial reads require raw storage (compressed blobs decode whole)");
+  }
+  const MaskMeta& m = metas_[id];
+  if (y0 < 0 || y1 > m.height || y0 >= y1) {
+    return Status::InvalidArgument("row range [" + std::to_string(y0) + "," +
+                                   std::to_string(y1) + ") outside mask of height " +
+                                   std::to_string(m.height));
+  }
+  const size_t row_bytes = static_cast<size_t>(m.width) * sizeof(float);
+  const uint64_t offset = offsets_[id] + static_cast<uint64_t>(y0) * row_bytes;
+  const uint64_t nbytes = static_cast<uint64_t>(y1 - y0) * row_bytes;
+
+  if (opts_.throttle) opts_.throttle->Acquire(nbytes);
+  masks_loaded_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
+
+  std::vector<float> values(static_cast<size_t>(m.width) * (y1 - y0));
+  MS_RETURN_NOT_OK(data_->ReadAt(offset, nbytes, values.data()));
+  return Mask::FromData(m.width, y1 - y0, std::move(values));
+}
+
+uint64_t MaskStore::TotalDataBytes() const {
+  uint64_t total = 0;
+  for (uint64_t s : sizes_) total += s;
+  return total;
+}
+
+}  // namespace masksearch

@@ -1,0 +1,144 @@
+// MaskStore: the on-disk database of masks.
+//
+// This is the physical realization of MasksDatabaseView (§2.1): a packed
+// data file holding one blob per mask (raw float32 or codec-compressed) plus
+// a manifest with per-mask metadata and blob offsets. Mask ids are dense
+// indexes [0, N), assigned at append time.
+//
+// All reads pass through an optional DiskThrottle (see disk_throttle.h) and
+// are counted, which is how the evaluation harness measures "# masks loaded"
+// (Table 2) and FML (§4.4).
+
+#ifndef MASKSEARCH_STORAGE_MASK_STORE_H_
+#define MASKSEARCH_STORAGE_MASK_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "masksearch/common/io.h"
+#include "masksearch/common/result.h"
+#include "masksearch/storage/codec.h"
+#include "masksearch/storage/disk_throttle.h"
+#include "masksearch/storage/mask.h"
+
+namespace masksearch {
+
+/// \brief Physical encoding of mask blobs in the store.
+enum class StorageKind : uint8_t {
+  kRawFloat32 = 0,   ///< 4 bytes/pixel, no decode cost
+  kCompressed = 1,   ///< codec.h blobs; cheaper I/O, decode cost on load
+};
+
+/// \brief Creates a mask store directory; append masks then Finish().
+class MaskStoreWriter {
+ public:
+  struct Options {
+    StorageKind kind = StorageKind::kRawFloat32;
+    CodecOptions codec;
+  };
+
+  /// \brief Starts a new store at `dir` (created if missing; existing store
+  /// files are replaced).
+  static Result<std::unique_ptr<MaskStoreWriter>> Create(
+      const std::string& dir, const Options& opts);
+  static Result<std::unique_ptr<MaskStoreWriter>> Create(const std::string& dir);
+
+  ~MaskStoreWriter();
+
+  /// \brief Appends a mask; meta.mask_id is overwritten with the assigned
+  /// dense id, which is also returned.
+  Result<MaskId> Append(MaskMeta meta, const Mask& mask);
+
+  /// \brief Writes the manifest and closes the data file.
+  Status Finish();
+
+  int64_t num_masks() const { return static_cast<int64_t>(metas_.size()); }
+
+ private:
+  MaskStoreWriter(std::string dir, Options opts,
+                  std::unique_ptr<FileWriter> data);
+
+  std::string dir_;
+  Options opts_;
+  std::unique_ptr<FileWriter> data_;
+  std::vector<MaskMeta> metas_;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint64_t> sizes_;
+  bool finished_ = false;
+};
+
+/// \brief Read-only handle to a mask store. Thread-safe for concurrent loads.
+class MaskStore {
+ public:
+  struct Options {
+    /// Shared disk model; null means unthrottled.
+    std::shared_ptr<DiskThrottle> throttle;
+  };
+
+  static Result<std::unique_ptr<MaskStore>> Open(const std::string& dir,
+                                                 const Options& opts);
+  static Result<std::unique_ptr<MaskStore>> Open(const std::string& dir);
+
+  int64_t num_masks() const { return static_cast<int64_t>(metas_.size()); }
+  StorageKind kind() const { return kind_; }
+  const std::string& dir() const { return dir_; }
+
+  /// \brief Metadata access never touches the data file (metadata lives in
+  /// the catalog, §2.1).
+  const MaskMeta& meta(MaskId id) const { return metas_[id]; }
+  const std::vector<MaskMeta>& metas() const { return metas_; }
+
+  /// \brief Loads a full mask from disk (throttled + counted).
+  Result<Mask> LoadMask(MaskId id) const;
+
+  /// \brief Loads only the rows [y0, y1) of a raw-format mask — a contiguous
+  /// byte range. Returns a Mask of height y1-y0 whose row 0 is mask row y0.
+  /// Counts as a (partial) load. Compressed stores do not support partial
+  /// reads (the whole blob must be decoded), mirroring real codecs.
+  Result<Mask> LoadMaskRows(MaskId id, int32_t y0, int32_t y1) const;
+
+  /// \brief Stored blob size in bytes for mask `id`.
+  uint64_t BlobSize(MaskId id) const { return sizes_[id]; }
+
+  /// \brief Total bytes of all mask blobs (the "dataset size" of §4.1).
+  uint64_t TotalDataBytes() const;
+
+  /// \brief Cumulative number of LoadMask/LoadMaskRows calls.
+  uint64_t masks_loaded() const { return masks_loaded_.load(); }
+  /// \brief Cumulative bytes read from the data file.
+  uint64_t bytes_read() const { return bytes_read_.load(); }
+  void ResetCounters() {
+    masks_loaded_.store(0);
+    bytes_read_.store(0);
+  }
+
+  DiskThrottle* throttle() const { return opts_.throttle.get(); }
+
+ private:
+  MaskStore(std::string dir, Options opts, StorageKind kind,
+            std::vector<MaskMeta> metas, std::vector<uint64_t> offsets,
+            std::vector<uint64_t> sizes, std::unique_ptr<RandomAccessFile> data);
+
+  Status CheckId(MaskId id) const;
+
+  std::string dir_;
+  Options opts_;
+  StorageKind kind_;
+  std::vector<MaskMeta> metas_;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint64_t> sizes_;
+  std::unique_ptr<RandomAccessFile> data_;
+  mutable std::atomic<uint64_t> masks_loaded_{0};
+  mutable std::atomic<uint64_t> bytes_read_{0};
+};
+
+/// \brief Manifest and data file names inside a store directory.
+std::string MaskStoreManifestPath(const std::string& dir);
+std::string MaskStoreDataPath(const std::string& dir);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_STORAGE_MASK_STORE_H_

@@ -1,0 +1,145 @@
+#include "masksearch/storage/npy.h"
+
+#include <cstring>
+
+#include "masksearch/common/io.h"
+
+namespace masksearch {
+
+namespace {
+
+constexpr char kNpyMagic[] = "\x93NUMPY";
+constexpr size_t kNpyMagicLen = 6;
+
+/// Extracts the value of a python-dict-style key from the NPY header, e.g.
+/// Find(header, "'descr':") -> "'<f4'".
+Result<std::string> HeaderField(const std::string& header,
+                                const std::string& key) {
+  const size_t pos = header.find(key);
+  if (pos == std::string::npos) {
+    return Status::Corruption("NPY header missing " + key);
+  }
+  size_t start = pos + key.size();
+  while (start < header.size() && header[start] == ' ') ++start;
+  size_t end = start;
+  // Value ends at the next top-level comma or closing brace; tuples nest one
+  // level of parentheses.
+  int depth = 0;
+  while (end < header.size()) {
+    const char c = header[end];
+    if (c == '(') ++depth;
+    if (c == ')') {
+      if (depth == 0) break;
+      --depth;
+      ++end;
+      if (depth == 0) break;
+      continue;
+    }
+    if (depth == 0 && (c == ',' || c == '}')) break;
+    ++end;
+  }
+  return header.substr(start, end - start);
+}
+
+}  // namespace
+
+std::string EncodeNpy(const Mask& mask) {
+  char dict[128];
+  std::snprintf(dict, sizeof(dict),
+                "{'descr': '<f4', 'fortran_order': False, 'shape': (%d, %d), }",
+                mask.height(), mask.width());
+  std::string header = dict;
+  // Total header (magic + version + len + dict + padding) must be a
+  // multiple of 64; dict is padded with spaces and ends in '\n'.
+  const size_t base = kNpyMagicLen + 2 + 2;
+  size_t total = base + header.size() + 1;
+  const size_t padded = (total + 63) / 64 * 64;
+  header.append(padded - total, ' ');
+  header.push_back('\n');
+
+  std::string out;
+  out.reserve(padded + mask.ByteSize());
+  out.append(kNpyMagic, kNpyMagicLen);
+  out.push_back('\x01');  // major version
+  out.push_back('\x00');  // minor version
+  const uint16_t hlen = static_cast<uint16_t>(header.size());
+  out.push_back(static_cast<char>(hlen & 0xff));
+  out.push_back(static_cast<char>(hlen >> 8));
+  out.append(header);
+  out.append(reinterpret_cast<const char*>(mask.data().data()),
+             mask.ByteSize());
+  return out;
+}
+
+Result<Mask> DecodeNpy(const std::string& blob) {
+  if (blob.size() < kNpyMagicLen + 4 ||
+      std::memcmp(blob.data(), kNpyMagic, kNpyMagicLen) != 0) {
+    return Status::Corruption("not an NPY file");
+  }
+  const uint8_t major = static_cast<uint8_t>(blob[kNpyMagicLen]);
+  if (major != 1) {
+    return Status::NotImplemented("NPY format version " +
+                                  std::to_string(major) + " not supported");
+  }
+  const uint16_t hlen =
+      static_cast<uint8_t>(blob[kNpyMagicLen + 2]) |
+      (static_cast<uint16_t>(static_cast<uint8_t>(blob[kNpyMagicLen + 3]))
+       << 8);
+  const size_t data_start = kNpyMagicLen + 4 + hlen;
+  if (blob.size() < data_start) return Status::Corruption("truncated NPY header");
+  const std::string header = blob.substr(kNpyMagicLen + 4, hlen);
+
+  MS_ASSIGN_OR_RETURN(std::string descr, HeaderField(header, "'descr':"));
+  MS_ASSIGN_OR_RETURN(std::string order, HeaderField(header, "'fortran_order':"));
+  MS_ASSIGN_OR_RETURN(std::string shape, HeaderField(header, "'shape':"));
+  if (order.find("False") == std::string::npos) {
+    return Status::NotImplemented("fortran-order NPY arrays not supported");
+  }
+  const bool f4 = descr.find("<f4") != std::string::npos;
+  const bool f8 = descr.find("<f8") != std::string::npos;
+  if (!f4 && !f8) {
+    return Status::NotImplemented("NPY dtype " + descr +
+                                  " not supported (need <f4 or <f8)");
+  }
+  // shape like "(224, 224)".
+  int64_t rows = 0, cols = 0;
+  if (std::sscanf(shape.c_str(), " ( %lld , %lld",
+                  reinterpret_cast<long long*>(&rows),
+                  reinterpret_cast<long long*>(&cols)) != 2 ||
+      rows <= 0 || cols <= 0) {
+    return Status::NotImplemented("NPY shape " + shape +
+                                  " not supported (need 2D)");
+  }
+
+  const size_t n = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  const size_t elem = f4 ? 4 : 8;
+  if (blob.size() - data_start < n * elem) {
+    return Status::Corruption("truncated NPY payload");
+  }
+  std::vector<float> values(n);
+  const char* src = blob.data() + data_start;
+  if (f4) {
+    std::memcpy(values.data(), src, n * sizeof(float));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      double d;
+      std::memcpy(&d, src + i * 8, 8);
+      values[i] = static_cast<float>(d);
+    }
+  }
+  Mask mask(static_cast<int32_t>(cols), static_cast<int32_t>(rows));
+  mask.mutable_data() = std::move(values);
+  mask.ClampToDomain();  // imported values may graze the [0,1) boundary
+  return mask;
+}
+
+Status WriteNpyFile(const std::string& path, const Mask& mask) {
+  return WriteFile(path, EncodeNpy(mask));
+}
+
+Result<Mask> ReadNpyFile(const std::string& path) {
+  MS_ASSIGN_OR_RETURN(std::string blob, ReadFile(path));
+  return DecodeNpy(blob);
+}
+
+}  // namespace masksearch

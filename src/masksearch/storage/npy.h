@@ -1,0 +1,33 @@
+// Minimal NumPy .npy interchange for masks.
+//
+// The paper's NumPy baseline stores masks as .npy arrays on disk (§4.1);
+// real mask-producing pipelines (GradCAM & friends) emit the same format.
+// This reader/writer covers the subset needed for masks: 2D arrays of
+// float32/float64 in C order, NPY format version 1.0.
+
+#ifndef MASKSEARCH_STORAGE_NPY_H_
+#define MASKSEARCH_STORAGE_NPY_H_
+
+#include <string>
+
+#include "masksearch/common/result.h"
+#include "masksearch/storage/mask.h"
+
+namespace masksearch {
+
+/// \brief Serializes a mask as an NPY v1.0 blob (dtype '<f4', C order).
+std::string EncodeNpy(const Mask& mask);
+
+/// \brief Parses an NPY blob into a Mask. Accepts '<f4' and '<f8' dtypes,
+/// 2D shapes, C order; values are clamped into the [0, 1) mask domain.
+Result<Mask> DecodeNpy(const std::string& blob);
+
+/// \brief Writes `mask` to a .npy file.
+Status WriteNpyFile(const std::string& path, const Mask& mask);
+
+/// \brief Reads a .npy file into a Mask.
+Result<Mask> ReadNpyFile(const std::string& path);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_STORAGE_NPY_H_

@@ -1,0 +1,112 @@
+#include "masksearch/workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "masksearch/common/io.h"
+
+namespace masksearch {
+
+DatasetSpec WildsSimSpec(double scale) {
+  DatasetSpec spec;
+  spec.name = "wilds-sim";
+  spec.num_images = std::max<int64_t>(64, static_cast<int64_t>(22275 * scale));
+  spec.num_models = 2;
+  spec.saliency.width = 224;
+  spec.saliency.height = 224;
+  spec.seed = 20230436;
+  return spec;
+}
+
+DatasetSpec ImageNetSimSpec(double scale) {
+  DatasetSpec spec;
+  spec.name = "imagenet-sim";
+  spec.num_images =
+      std::max<int64_t>(64, static_cast<int64_t>(1331167 * scale));
+  spec.num_models = 2;
+  spec.saliency.width = 112;
+  spec.saliency.height = 112;
+  spec.num_classes = 100;
+  spec.seed = 20230437;
+  return spec;
+}
+
+namespace {
+
+std::string SpecFingerprint(const DatasetSpec& spec) {
+  // The leading token is a generator version: bump it whenever the synthetic
+  // mask generator changes, so cached datasets are rebuilt.
+  return std::string("gen-v4|") + spec.name + "|" +
+         std::to_string(spec.num_images) + "|" +
+         std::to_string(spec.num_models) + "|" +
+         std::to_string(spec.saliency.width) + "x" +
+         std::to_string(spec.saliency.height) + "|" +
+         std::to_string(spec.dispersed_fraction) + "|" +
+         std::to_string(spec.num_classes) + "|" +
+         std::to_string(spec.error_rate) + "|" + std::to_string(spec.seed) +
+         "|" + std::to_string(static_cast<int>(spec.storage));
+}
+
+std::string FingerprintPath(const std::string& dir) {
+  return dir + "/dataset.fingerprint";
+}
+
+}  // namespace
+
+Status BuildDataset(const std::string& dir, const DatasetSpec& spec) {
+  MaskStoreWriter::Options wopts;
+  wopts.kind = spec.storage;
+  MS_ASSIGN_OR_RETURN(auto writer, MaskStoreWriter::Create(dir, wopts));
+
+  Rng rng(spec.seed);
+  for (int64_t image = 0; image < spec.num_images; ++image) {
+    const ROI object_box = GenerateObjectBox(&rng, spec.saliency.width,
+                                             spec.saliency.height);
+    const bool dispersed = rng.NextBool(spec.dispersed_fraction);
+    const int32_t label =
+        static_cast<int32_t>(rng.UniformInt(0, spec.num_classes - 1));
+    const double err = dispersed ? std::min(1.0, spec.error_rate * 4)
+                                 : spec.error_rate;
+    const int32_t predicted =
+        rng.NextBool(err)
+            ? static_cast<int32_t>(rng.UniformInt(0, spec.num_classes - 1))
+            : label;
+
+    // All models share the image's blob structure with jittered geometry:
+    // spatially correlated maps with identical value distributions.
+    const std::vector<SaliencyBlob> blobs =
+        SampleSaliencyBlobs(&rng, spec.saliency, object_box, dispersed);
+    for (int32_t model = 0; model < spec.num_models; ++model) {
+      const std::vector<SaliencyBlob> model_blobs =
+          model == 0 ? blobs
+                     : JitterSaliencyBlobs(&rng, blobs, /*jitter=*/0.25,
+                                           spec.saliency.width,
+                                           spec.saliency.height);
+      Mask mask = RenderSaliencyMask(&rng, spec.saliency, model_blobs);
+
+      MaskMeta meta;
+      meta.image_id = image;
+      meta.model_id = model;
+      meta.mask_type = MaskType::kSaliencyMap;
+      meta.label = label;
+      meta.predicted_label = predicted;
+      meta.object_box = object_box;
+      MS_RETURN_NOT_OK(writer->Append(meta, mask).status());
+    }
+  }
+  MS_RETURN_NOT_OK(writer->Finish());
+  return WriteFile(FingerprintPath(dir), SpecFingerprint(spec));
+}
+
+Status EnsureDataset(const std::string& dir, const DatasetSpec& spec) {
+  if (PathExists(FingerprintPath(dir)) &&
+      PathExists(MaskStoreManifestPath(dir))) {
+    auto existing = ReadFile(FingerprintPath(dir));
+    if (existing.ok() && *existing == SpecFingerprint(spec)) {
+      return Status::OK();
+    }
+  }
+  return BuildDataset(dir, spec);
+}
+
+}  // namespace masksearch

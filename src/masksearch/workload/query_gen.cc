@@ -1,0 +1,86 @@
+#include "masksearch/workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace masksearch {
+
+ValueRange RandomValueRange(Rng* rng, const QueryGenOptions& opts) {
+  const int steps = static_cast<int>(std::round(
+      (opts.value_grid_max - opts.value_grid_min) / opts.value_grid_step));
+  // Pick two distinct grid points; the smaller is lv.
+  int a = static_cast<int>(rng->UniformInt(0, steps));
+  int b = static_cast<int>(rng->UniformInt(0, steps));
+  while (b == a) b = static_cast<int>(rng->UniformInt(0, steps));
+  if (a > b) std::swap(a, b);
+  return ValueRange(opts.value_grid_min + a * opts.value_grid_step,
+                    opts.value_grid_min + b * opts.value_grid_step);
+}
+
+ROI RandomRectangle(Rng* rng, int32_t width, int32_t height) {
+  const int32_t x0 = static_cast<int32_t>(rng->UniformInt(0, width - 1));
+  const int32_t y0 = static_cast<int32_t>(rng->UniformInt(0, height - 1));
+  const int32_t x1 = static_cast<int32_t>(rng->UniformInt(x0 + 1, width));
+  const int32_t y1 = static_cast<int32_t>(rng->UniformInt(y0 + 1, height));
+  return ROI(x0, y0, x1, y1);
+}
+
+namespace {
+/// Dimensions of the first mask: datasets are homogeneous per store.
+void StoreMaskShape(const MaskStore& store, int32_t* w, int32_t* h) {
+  *w = store.num_masks() > 0 ? store.meta(0).width : 1;
+  *h = store.num_masks() > 0 ? store.meta(0).height : 1;
+}
+}  // namespace
+
+FilterQuery GenerateFilterQuery(Rng* rng, const MaskStore& store,
+                                const QueryGenOptions& opts) {
+  int32_t w, h;
+  StoreMaskShape(store, &w, &h);
+  FilterQuery q;
+  CpTerm term;
+  term.roi_source = RoiSource::kObjectBox;
+  term.range = RandomValueRange(rng, opts);
+  q.terms.push_back(term);
+  const int64_t total_pixels = static_cast<int64_t>(w) * h;
+  const int64_t max_threshold = std::max<int64_t>(
+      1, static_cast<int64_t>(opts.threshold_fraction_max * total_pixels));
+  const double threshold =
+      static_cast<double>(rng->UniformInt(0, max_threshold));
+  q.predicate =
+      Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, threshold);
+  return q;
+}
+
+TopKQuery GenerateTopKQuery(Rng* rng, const MaskStore& store,
+                            const QueryGenOptions& opts) {
+  int32_t w, h;
+  StoreMaskShape(store, &w, &h);
+  TopKQuery q;
+  CpTerm term;
+  term.roi_source = RoiSource::kConstant;
+  term.constant_roi = RandomRectangle(rng, w, h);
+  term.range = RandomValueRange(rng, opts);
+  q.terms.push_back(term);
+  q.order_expr = CpExpr::Term(0);
+  q.k = opts.k;
+  q.descending = rng->NextBool();
+  return q;
+}
+
+AggregationQuery GenerateAggQuery(Rng* rng, const MaskStore& store,
+                                  const QueryGenOptions& opts) {
+  int32_t w, h;
+  StoreMaskShape(store, &w, &h);
+  AggregationQuery q;
+  q.term.roi_source = RoiSource::kConstant;
+  q.term.constant_roi = RandomRectangle(rng, w, h);
+  q.term.range = RandomValueRange(rng, opts);
+  q.op = ScalarAggOp::kAvg;
+  q.group_key = GroupKey::kImageId;
+  q.k = opts.k;
+  q.descending = rng->NextBool();
+  return q;
+}
+
+}  // namespace masksearch

@@ -1,0 +1,50 @@
+// Randomized query generation, mirroring §4.3:
+//
+//   * Filter: CP(mask, roi, (lv, uv)) > T with roi = the per-mask foreground
+//     object box; lv, uv drawn from {0.1, ..., 0.9} with uv > lv; T uniform
+//     in [0, mask pixels].
+//   * Top-K: rank by CP over one random rectangle (constant across masks),
+//     k = 25, random ASC/DESC.
+//   * Aggregation: images ranked by mean CP of their (two) masks; random
+//     roi, (lv, uv), order; k = 25.
+
+#ifndef MASKSEARCH_WORKLOAD_QUERY_GEN_H_
+#define MASKSEARCH_WORKLOAD_QUERY_GEN_H_
+
+#include "masksearch/common/random.h"
+#include "masksearch/exec/query_spec.h"
+#include "masksearch/storage/mask_store.h"
+
+namespace masksearch {
+
+struct QueryGenOptions {
+  size_t k = 25;
+  /// lv/uv grid, as in §4.3.
+  double value_grid_min = 0.1;
+  double value_grid_max = 0.9;
+  double value_grid_step = 0.1;
+  /// Filter thresholds are drawn uniformly from
+  /// [0, threshold_fraction_max · |mask|]. 1.0 reproduces §4.3 exactly
+  /// ("T is randomly chosen from [0, 1, ..., total # pixels]"); examples use
+  /// smaller values to keep result sets non-empty.
+  double threshold_fraction_max = 1.0;
+};
+
+/// \brief Random (lv, uv) from the §4.3 grid with uv > lv.
+ValueRange RandomValueRange(Rng* rng, const QueryGenOptions& opts);
+
+/// \brief Random rectangle within a w × h mask (non-empty).
+ROI RandomRectangle(Rng* rng, int32_t width, int32_t height);
+
+FilterQuery GenerateFilterQuery(Rng* rng, const MaskStore& store,
+                                const QueryGenOptions& opts = {});
+
+TopKQuery GenerateTopKQuery(Rng* rng, const MaskStore& store,
+                            const QueryGenOptions& opts = {});
+
+AggregationQuery GenerateAggQuery(Rng* rng, const MaskStore& store,
+                                  const QueryGenOptions& opts = {});
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_WORKLOAD_QUERY_GEN_H_

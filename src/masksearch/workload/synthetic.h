@@ -1,0 +1,88 @@
+// Synthetic mask generation.
+//
+// Stand-in for the paper's GradCAM saliency maps over WILDS / ImageNet
+// (§4.1) — see DESIGN.md §3 for the substitution rationale. The generator
+// reproduces the distributional properties the evaluation depends on:
+//
+//   * each image has a foreground-object bounding box (the YOLOv5 stand-in);
+//   * "focused" masks concentrate salient (high-value) pixels on the object,
+//     with smooth Gaussian bumps like CAM-style heat maps;
+//   * a configurable fraction of masks is "dispersed": salient mass spread
+//     across the background — the adversarial/spurious-correlation pattern
+//     of Scenarios 1–2 that queries are designed to retrieve;
+//   * per-image masks from different "models" share blob structure with
+//     jittered geometry, so they are spatially correlated while keeping the
+//     same pixel-value distribution (cross-model aggregation queries Q4/Q5
+//     stay selective and high-value ranges stay populated for every model).
+
+#ifndef MASKSEARCH_WORKLOAD_SYNTHETIC_H_
+#define MASKSEARCH_WORKLOAD_SYNTHETIC_H_
+
+#include <vector>
+
+#include "masksearch/common/random.h"
+#include "masksearch/query/roi.h"
+#include "masksearch/storage/mask.h"
+
+namespace masksearch {
+
+/// \brief Shape parameters for saliency-map generation.
+struct SaliencySpec {
+  int32_t width = 224;
+  int32_t height = 224;
+  /// Gaussian bumps rendered on the foreground object / background.
+  int32_t num_object_blobs = 4;
+  int32_t num_background_blobs = 2;
+  /// Peak amplitude scale of object blobs; individual blob amplitudes are
+  /// drawn around it so every decile of [0, 1) is populated.
+  double object_strength = 0.95;
+  double background_strength = 0.4;
+  /// Uniform noise floor added everywhere.
+  double noise = 0.05;
+};
+
+/// \brief One Gaussian bump of a saliency map.
+struct SaliencyBlob {
+  double cx = 0;
+  double cy = 0;
+  double sigma = 1;
+  double amplitude = 0;
+};
+
+/// \brief Random plausible foreground-object box: 25–60% of each dimension,
+/// uniformly placed.
+ROI GenerateObjectBox(Rng* rng, int32_t width, int32_t height);
+
+/// \brief Samples the blob structure of one image's saliency map.
+///
+/// \param dispersed if true, salient blobs avoid concentrating on the object
+///        (the pattern the paper's scenarios hunt for).
+std::vector<SaliencyBlob> SampleSaliencyBlobs(Rng* rng,
+                                              const SaliencySpec& spec,
+                                              const ROI& object_box,
+                                              bool dispersed);
+
+/// \brief Perturbs blob geometry to simulate a different model attending to
+/// the same image: centers shift, widths and amplitudes rescale. `jitter`
+/// in [0, 1]; 0 reproduces the input exactly.
+std::vector<SaliencyBlob> JitterSaliencyBlobs(Rng* rng,
+                                              std::vector<SaliencyBlob> blobs,
+                                              double jitter, int32_t width,
+                                              int32_t height);
+
+/// \brief Renders blobs (max-composited) plus the noise floor into a mask.
+Mask RenderSaliencyMask(Rng* rng, const SaliencySpec& spec,
+                        const std::vector<SaliencyBlob>& blobs);
+
+/// \brief Convenience: sample + render in one step.
+Mask GenerateSaliencyMask(Rng* rng, const SaliencySpec& spec,
+                          const ROI& object_box, bool dispersed);
+
+/// \brief Segmentation-style mask: near-binary object-vs-background values
+/// with soft edges (used by examples and mask_type variety tests).
+Mask GenerateSegmentationMask(Rng* rng, const SaliencySpec& spec,
+                              const ROI& object_box);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,129 @@
+#include "masksearch/workload/workload_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace masksearch {
+
+namespace {
+
+/// Class-exploration variant: queries select masks by predicted class; the
+/// seen/unseen pools hold class ids instead of mask ids.
+Workload GenerateClassWorkload(const MaskStore& store,
+                               const WorkloadOptions& opts) {
+  Workload workload;
+  Rng rng(opts.seed);
+
+  // Distinct predicted classes and per-class mask counts.
+  std::map<int32_t, int64_t> class_sizes;
+  for (MaskId id = 0; id < store.num_masks(); ++id) {
+    ++class_sizes[store.meta(id).predicted_label];
+  }
+  std::vector<int32_t> unseen;
+  for (const auto& [cls, n] : class_sizes) unseen.push_back(cls);
+  for (size_t i = unseen.size(); i > 1; --i) {
+    std::swap(unseen[i - 1],
+              unseen[static_cast<size_t>(rng.UniformInt(0, i - 1))]);
+  }
+  std::vector<int32_t> seen;
+  std::set<int32_t> ever_seen;
+  int64_t distinct_masks = 0;
+
+  for (int qi = 0; qi < opts.num_queries; ++qi) {
+    // 2–5 classes per query, p_seen of them from the explored pool.
+    const int64_t n_classes = rng.UniformInt(2, 5);
+    std::vector<int32_t> classes;
+    for (int64_t i = 0; i < n_classes; ++i) {
+      const bool take_seen =
+          !seen.empty() && (unseen.empty() || rng.NextBool(opts.p_seen));
+      if (take_seen) {
+        classes.push_back(
+            seen[static_cast<size_t>(rng.UniformInt(0, seen.size() - 1))]);
+      } else if (!unseen.empty()) {
+        const int32_t cls = unseen.back();
+        unseen.pop_back();
+        seen.push_back(cls);
+        classes.push_back(cls);
+        if (ever_seen.insert(cls).second) {
+          distinct_masks += class_sizes[cls];
+        }
+      }
+    }
+    FilterQuery q = GenerateFilterQuery(&rng, store, opts.query);
+    q.selection.predicted_labels.assign(classes.begin(), classes.end());
+    workload.queries.push_back(std::move(q));
+  }
+  workload.distinct_targeted = distinct_masks;
+  return workload;
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const MaskStore& store,
+                          const WorkloadOptions& opts) {
+  if (opts.by_predicted_class) return GenerateClassWorkload(store, opts);
+  Workload workload;
+  Rng rng(opts.seed);
+  const int64_t total = store.num_masks();
+
+  // Partition of mask ids into seen / unseen pools. Pools are kept shuffled;
+  // sampling without replacement pops from the back.
+  std::vector<MaskId> unseen(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) unseen[i] = i;
+  // Fisher–Yates shuffle.
+  for (size_t i = unseen.size(); i > 1; --i) {
+    std::swap(unseen[i - 1],
+              unseen[static_cast<size_t>(rng.UniformInt(0, i - 1))]);
+  }
+  std::vector<MaskId> seen;
+
+  for (int qi = 0; qi < opts.num_queries; ++qi) {
+    const double frac = opts.target_fractions[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(opts.target_fractions.size()) - 1))];
+    const int64_t n = std::max<int64_t>(1, static_cast<int64_t>(frac * total));
+
+    // §4.5: when the remaining unseen pool is smaller than requested, take
+    // all of it and fill from seen masks; symmetrically, when the seen pool
+    // cannot supply its share (e.g. the first queries of Workload 4 with
+    // p_seen = 1), the remainder comes from unseen masks — which is how the
+    // paper's Workload 4 ends up targeting exactly the largest query size
+    // (30% of the dataset).
+    int64_t want_seen = static_cast<int64_t>(std::llround(n * opts.p_seen));
+    want_seen = std::min<int64_t>(want_seen, static_cast<int64_t>(seen.size()));
+    int64_t want_unseen =
+        std::min<int64_t>(n - want_seen, static_cast<int64_t>(unseen.size()));
+    want_seen = std::min<int64_t>(n - want_unseen,
+                                  static_cast<int64_t>(seen.size()));
+
+    std::vector<MaskId> target;
+    target.reserve(static_cast<size_t>(want_unseen + want_seen));
+
+    // Draw seen masks first (without replacement within this query) so they
+    // cannot collide with the unseen masks drawn below.
+    if (want_seen > 0) {
+      // Partial Fisher–Yates over the seen pool.
+      for (int64_t i = 0; i < want_seen; ++i) {
+        const size_t j = static_cast<size_t>(
+            rng.UniformInt(i, static_cast<int64_t>(seen.size()) - 1));
+        std::swap(seen[static_cast<size_t>(i)], seen[j]);
+        target.push_back(seen[static_cast<size_t>(i)]);
+      }
+    }
+    // Draw unseen masks (they move into the seen pool).
+    for (int64_t i = 0; i < want_unseen; ++i) {
+      target.push_back(unseen.back());
+      seen.push_back(unseen.back());
+      unseen.pop_back();
+    }
+
+    FilterQuery q = GenerateFilterQuery(&rng, store, opts.query);
+    q.selection.mask_ids = std::move(target);
+    workload.queries.push_back(std::move(q));
+  }
+
+  workload.distinct_targeted = static_cast<int64_t>(seen.size());
+  return workload;
+}
+
+}  // namespace masksearch

@@ -1,0 +1,50 @@
+// Multi-query workload generation (§4.5).
+//
+// A workload is a sequence of Filter queries, each targeting a subset of
+// masks: n ∈ {0.1, 0.2, 0.3}·N masks per query, of which p_seen are sampled
+// from previously-targeted masks and (1 − p_seen) from unseen ones. When
+// fewer unseen masks remain than requested, all remaining unseen masks are
+// included and subsequent queries sample only seen masks — exactly the
+// construction the paper describes.
+
+#ifndef MASKSEARCH_WORKLOAD_WORKLOAD_GEN_H_
+#define MASKSEARCH_WORKLOAD_WORKLOAD_GEN_H_
+
+#include <vector>
+
+#include "masksearch/common/random.h"
+#include "masksearch/exec/query_spec.h"
+#include "masksearch/storage/mask_store.h"
+#include "masksearch/workload/query_gen.h"
+
+namespace masksearch {
+
+struct WorkloadOptions {
+  int num_queries = 200;
+  /// Probability mass of previously-targeted masks in each query
+  /// (Workloads 1–4 use 0.2 / 0.5 / 0.8 / 1.0).
+  double p_seen = 0.5;
+  /// Per-query target sizes as fractions of the dataset.
+  std::vector<double> target_fractions = {0.1, 0.2, 0.3};
+  /// If true, queries target masks through predicted-class selections —
+  /// §4.5's motivating behaviour ("the user may issue queries to retrieve
+  /// images predicted as those classes"): each query picks a mix of
+  /// already-explored and fresh classes with probability p_seen, and the
+  /// selection uses predicted_label instead of an explicit id list.
+  bool by_predicted_class = false;
+  QueryGenOptions query;
+  uint64_t seed = 7;
+};
+
+struct Workload {
+  std::vector<FilterQuery> queries;
+  /// Masks ever targeted by the workload (distinct ids).
+  int64_t distinct_targeted = 0;
+};
+
+/// \brief Generates a §4.5 workload over `store`.
+Workload GenerateWorkload(const MaskStore& store, const WorkloadOptions& opts);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_WORKLOAD_WORKLOAD_GEN_H_

@@ -1,0 +1,195 @@
+// Tests for the comparison systems: every baseline must return exactly the
+// same results as the full-scan reference and as MaskSearch, differing only
+// in I/O pattern.
+
+#include <gtest/gtest.h>
+
+#include "masksearch/baselines/full_scan.h"
+#include "masksearch/baselines/row_store.h"
+#include "masksearch/baselines/tiled_array.h"
+#include "masksearch/workload/query_gen.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::MakeStore;
+using testing_util::TempDir;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("base");
+    store_ = MakeStore(dir_->path(), 12, 2, 32, 32, /*seed=*/88);
+
+    MS_ASSERT_OK(RowStoreBaseline::CreateFiles(dir_->file("rowstore"), *store_));
+    row_ = RowStoreBaseline::Open(dir_->file("rowstore"), store_.get(), nullptr)
+               .ValueOrDie();
+
+    TiledArrayBaseline::Options topts;  // tile = whole mask
+    MS_ASSERT_OK(
+        TiledArrayBaseline::CreateFiles(dir_->file("tiled"), *store_, topts));
+    tiled_ = TiledArrayBaseline::Open(dir_->file("tiled"), store_.get(), nullptr)
+                 .ValueOrDie();
+
+    full_ = std::make_unique<FullScanBaseline>(store_.get());
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<MaskStore> store_;
+  std::unique_ptr<RowStoreBaseline> row_;
+  std::unique_ptr<TiledArrayBaseline> tiled_;
+  std::unique_ptr<FullScanBaseline> full_;
+};
+
+TEST_F(BaselinesTest, FilterQueriesAgree) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const FilterQuery q = GenerateFilterQuery(&rng, *store_);
+    auto a = full_->Filter(q);
+    auto b = row_->Filter(q);
+    auto c = tiled_->Filter(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok()) << b.status();
+    ASSERT_TRUE(c.ok()) << c.status();
+    EXPECT_EQ(a->mask_ids, b->mask_ids) << "query " << i;
+    EXPECT_EQ(a->mask_ids, c->mask_ids) << "query " << i;
+  }
+}
+
+TEST_F(BaselinesTest, TopKQueriesAgree) {
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const TopKQuery q = GenerateTopKQuery(&rng, *store_);
+    auto a = full_->TopK(q);
+    auto b = row_->TopK(q);
+    auto c = tiled_->TopK(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(c.ok());
+    ASSERT_EQ(a->items.size(), b->items.size());
+    for (size_t j = 0; j < a->items.size(); ++j) {
+      EXPECT_EQ(a->items[j].mask_id, b->items[j].mask_id);
+      EXPECT_EQ(a->items[j].mask_id, c->items[j].mask_id);
+      EXPECT_DOUBLE_EQ(a->items[j].value, c->items[j].value);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, AggregationQueriesAgree) {
+  Rng rng(3);
+  for (int i = 0; i < 6; ++i) {
+    const AggregationQuery q = GenerateAggQuery(&rng, *store_);
+    auto a = full_->Aggregate(q);
+    auto b = row_->Aggregate(q);
+    auto c = tiled_->Aggregate(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(c.ok());
+    ASSERT_EQ(a->groups.size(), b->groups.size());
+    ASSERT_EQ(a->groups.size(), c->groups.size());
+    for (size_t j = 0; j < a->groups.size(); ++j) {
+      EXPECT_EQ(a->groups[j].group, b->groups[j].group);
+      EXPECT_EQ(a->groups[j].group, c->groups[j].group);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, MaskAggQueriesAgree) {
+  MaskAggQuery q;
+  q.op = MaskAggOp::kIntersectThreshold;
+  q.agg_threshold = 0.7;
+  q.term.roi_source = RoiSource::kObjectBox;
+  q.term.range = ValueRange(0.7, 1.0);
+  q.k = 5;
+  auto a = full_->MaskAggregate(q);
+  auto b = row_->MaskAggregate(q);
+  auto c = tiled_->MaskAggregate(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(a->groups.size(), b->groups.size());
+  for (size_t j = 0; j < a->groups.size(); ++j) {
+    EXPECT_EQ(a->groups[j].group, b->groups[j].group);
+    EXPECT_DOUBLE_EQ(a->groups[j].value, b->groups[j].value);
+    EXPECT_EQ(a->groups[j].group, c->groups[j].group);
+  }
+}
+
+TEST_F(BaselinesTest, BaselinesLoadEveryTargetedMask) {
+  Rng rng(4);
+  FilterQuery q = GenerateFilterQuery(&rng, *store_);
+  q.selection.model_ids = {0};
+  auto a = full_->Filter(q);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->stats.masks_loaded, store_->num_masks() / 2);
+  auto b = row_->Filter(q);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->stats.masks_loaded, store_->num_masks() / 2);
+}
+
+TEST_F(BaselinesTest, TiledArrayReadsOnlyRoiTilesWhenTiled) {
+  // With 8×8 tiles, a small constant ROI touches a strict subset of tiles,
+  // so the tiled baseline reads fewer bytes than a whole-mask load.
+  TiledArrayBaseline::Options topts;
+  topts.tile_width = 8;
+  topts.tile_height = 8;
+  MS_ASSERT_OK(
+      TiledArrayBaseline::CreateFiles(dir_->file("tiled8"), *store_, topts));
+  auto tiled8 =
+      TiledArrayBaseline::Open(dir_->file("tiled8"), store_.get(), nullptr)
+          .ValueOrDie();
+
+  TopKQuery q;
+  CpTerm t;
+  t.roi_source = RoiSource::kConstant;
+  t.constant_roi = ROI(0, 0, 8, 8);  // exactly one tile
+  t.range = ValueRange(0.5, 1.0);
+  q.terms.push_back(t);
+  q.order_expr = CpExpr::Term(0);
+  q.k = 3;
+
+  auto small = tiled8->TopK(q);
+  ASSERT_TRUE(small.ok());
+  auto whole = tiled_->TopK(q);
+  ASSERT_TRUE(whole.ok());
+  // Same answer, fewer bytes.
+  ASSERT_EQ(small->items.size(), whole->items.size());
+  for (size_t j = 0; j < small->items.size(); ++j) {
+    EXPECT_EQ(small->items[j].mask_id, whole->items[j].mask_id);
+  }
+  EXPECT_LT(small->stats.bytes_read, whole->stats.bytes_read);
+  EXPECT_EQ(small->stats.bytes_read,
+            static_cast<int64_t>(store_->num_masks()) * 8 * 8 * 4);
+}
+
+TEST_F(BaselinesTest, TiledArrayRequiresHomogeneousShapes) {
+  TempDir other("hetero");
+  auto writer = MaskStoreWriter::Create(other.path()).ValueOrDie();
+  Rng rng(5);
+  writer->Append(MaskMeta{}, testing_util::RandomMask(&rng, 8, 8)).ValueOrDie();
+  writer->Append(MaskMeta{}, testing_util::RandomMask(&rng, 9, 9)).ValueOrDie();
+  MS_ASSERT_OK(writer->Finish());
+  auto store = MaskStore::Open(other.path()).ValueOrDie();
+  TiledArrayBaseline::Options topts;
+  EXPECT_TRUE(TiledArrayBaseline::CreateFiles(other.file("t"), *store, topts)
+                  .IsInvalidArgument());
+}
+
+TEST_F(BaselinesTest, OpenValidatesCatalogMatch) {
+  TempDir other("mismatch");
+  auto small = MakeStore(other.path(), 3, 1, 32, 32);
+  EXPECT_FALSE(
+      RowStoreBaseline::Open(dir_->file("rowstore"), small.get(), nullptr).ok());
+  EXPECT_FALSE(
+      TiledArrayBaseline::Open(dir_->file("tiled"), small.get(), nullptr).ok());
+}
+
+TEST_F(BaselinesTest, NamesAreDescriptive) {
+  EXPECT_NE(full_->name().find("NumPy"), std::string::npos);
+  EXPECT_NE(row_->name().find("PostgreSQL"), std::string::npos);
+  EXPECT_NE(tiled_->name().find("TileDB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace masksearch

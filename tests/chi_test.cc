@@ -1,0 +1,343 @@
+// Unit and property tests for the Cumulative Histogram Index (§3.1),
+// including the paper's Figure 4 worked example.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "masksearch/index/chi.h"
+#include "masksearch/index/chi_builder.h"
+#include "masksearch/query/cp.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::BlobMask;
+using testing_util::RandomMask;
+
+/// The 6×6 mask of Figures 4/6: consistent with every value the paper
+/// states — H(M,1,1) = [4, 0], H(M,2,2) = [16, 3], C(M, roi⁺)[1] = 8 for
+/// roi⁺ = [2,6)², C(M, roi⁻)[1] = 2 for roi⁻ = [2,4)². "High" pixels carry
+/// 0.9, the rest 0.1; cell size 2×2, b = 2 bins over [0, 1).
+Mask PaperFigureMask() {
+  Mask m(6, 6);
+  for (float& v : m.mutable_data()) v = 0.1f;
+  const int32_t high[][2] = {{2, 2}, {3, 3}, {3, 0}, {4, 2}, {5, 2},
+                             {4, 3}, {4, 4}, {5, 5}, {2, 4}};
+  for (const auto& p : high) m.set(p[0], p[1], 0.9f);
+  return m;
+}
+
+ChiConfig PaperConfig() {
+  ChiConfig cfg;
+  cfg.cell_width = 2;
+  cfg.cell_height = 2;
+  cfg.num_bins = 2;
+  return cfg;
+}
+
+TEST(ChiTest, PaperFigure4Example) {
+  const Mask m = PaperFigureMask();
+  const Chi chi = BuildChi(m, PaperConfig());
+
+  // "for cell (2,2), we have H(M,1,1)[0] = 4 ... and H(M,1,1)[1] = 0".
+  EXPECT_EQ(chi.H(1, 1, 0), 4u);
+  EXPECT_EQ(chi.H(1, 1, 1), 0u);
+  // "For cell (4,4), H(M,2,2) = [16, 3]".
+  EXPECT_EQ(chi.H(2, 2, 0), 16u);
+  EXPECT_EQ(chi.H(2, 2, 1), 3u);
+  // Full prefix: all 36 pixels; 9 high ones.
+  EXPECT_EQ(chi.H(3, 3, 0), 36u);
+  EXPECT_EQ(chi.H(3, 3, 1), 9u);
+  // Sentinel bin is always zero (C[⌈pmax/Δ⌉] = 0).
+  EXPECT_EQ(chi.H(3, 3, 2), 0u);
+  // Boundary 0 row/column: the empty prefix.
+  EXPECT_EQ(chi.H(0, 3, 0), 0u);
+  EXPECT_EQ(chi.H(3, 0, 1), 0u);
+}
+
+TEST(ChiTest, PaperFigure4RegionC) {
+  // C(M, ((3,3),(4,6))) from Figure 4: region [2,4)×[2,6) in half-open
+  // coordinates, i.e. boundaries (1,1)..(2,3).
+  const Mask m = PaperFigureMask();
+  const Chi chi = BuildChi(m, PaperConfig());
+  // Exact check against the CP definition for every bin edge.
+  const ROI region(2, 2, 4, 6);
+  for (int32_t bin = 0; bin <= 2; ++bin) {
+    const int64_t expected =
+        CountPixels(m, region, ValueRange(bin * 0.5, 1.0));
+    EXPECT_EQ(chi.RegionCumulative(1, 1, 2, 3, bin), expected) << "bin " << bin;
+  }
+}
+
+TEST(ChiTest, BoundariesExactGrid) {
+  Rng rng(1);
+  const Chi chi = BuildChi(RandomMask(&rng, 8, 6), PaperConfig());
+  EXPECT_EQ(chi.num_boundaries_x(), 5);  // 0,2,4,6,8
+  EXPECT_EQ(chi.num_boundaries_y(), 4);  // 0,2,4,6
+  EXPECT_EQ(chi.boundary_x(0), 0);
+  EXPECT_EQ(chi.boundary_x(4), 8);
+}
+
+TEST(ChiTest, BoundariesRaggedEdge) {
+  Rng rng(2);
+  ChiConfig cfg;
+  cfg.cell_width = 4;
+  cfg.cell_height = 4;
+  cfg.num_bins = 4;
+  const Chi chi = BuildChi(RandomMask(&rng, 10, 7), cfg);
+  // x boundaries: 0, 4, 8, 10; y: 0, 4, 7.
+  ASSERT_EQ(chi.num_boundaries_x(), 4);
+  EXPECT_EQ(chi.boundary_x(2), 8);
+  EXPECT_EQ(chi.boundary_x(3), 10);
+  ASSERT_EQ(chi.num_boundaries_y(), 3);
+  EXPECT_EQ(chi.boundary_y(2), 7);
+
+  // Floor/Ceil across the ragged edge.
+  EXPECT_EQ(chi.FloorBoundaryX(9), 2);
+  EXPECT_EQ(chi.CeilBoundaryX(9), 3);
+  EXPECT_EQ(chi.FloorBoundaryX(10), 3);
+  EXPECT_EQ(chi.CeilBoundaryX(10), 3);
+  EXPECT_EQ(chi.FloorBoundaryX(0), 0);
+  EXPECT_EQ(chi.CeilBoundaryX(0), 0);
+  EXPECT_EQ(chi.FloorBoundaryX(4), 1);
+  EXPECT_EQ(chi.CeilBoundaryX(4), 1);
+  EXPECT_EQ(chi.CeilBoundaryX(5), 2);
+}
+
+TEST(ChiTest, AvailableRegionDefinition) {
+  // Figure 4: ((3,3),(4,6)) is available; ((4,4),(5,5)) is not. In half-open
+  // 0-based terms: [2,4)×[2,6) has all corners on boundaries; [3,5)×[3,5)
+  // does not.
+  Rng rng(3);
+  const Chi chi = BuildChi(RandomMask(&rng, 6, 6), PaperConfig());
+  EXPECT_EQ(chi.FloorBoundaryX(2), chi.CeilBoundaryX(2));  // 2 is a boundary
+  EXPECT_NE(chi.FloorBoundaryX(3), chi.CeilBoundaryX(3));  // 3 is not
+}
+
+TEST(ChiTest, BinIndexMath) {
+  Rng rng(4);
+  ChiConfig cfg;
+  cfg.cell_width = 2;
+  cfg.cell_height = 2;
+  cfg.num_bins = 10;  // Δ = 0.1
+  const Chi chi = BuildChi(RandomMask(&rng, 4, 4), cfg);
+  EXPECT_EQ(chi.BinFloor(0.0), 0);
+  EXPECT_EQ(chi.BinCeil(0.0), 0);
+  EXPECT_EQ(chi.BinFloor(0.35), 3);
+  EXPECT_EQ(chi.BinCeil(0.35), 4);
+  EXPECT_EQ(chi.BinFloor(1.0), 10);
+  EXPECT_EQ(chi.BinCeil(1.0), 10);
+  // Clamping outside the domain.
+  EXPECT_EQ(chi.BinFloor(-0.5), 0);
+  EXPECT_EQ(chi.BinCeil(2.0), 10);
+}
+
+/// Property: H matches the CP definition for every boundary pair and bin.
+class ChiPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<int32_t, int32_t, int32_t, int32_t>> {};
+
+TEST_P(ChiPropertyTest, PrefixCountsMatchCpDefinition) {
+  const auto [w, h, cell, bins] = GetParam();
+  Rng rng(100 + w + h * 3 + cell * 7 + bins * 11);
+  const Mask m = BlobMask(&rng, w, h);
+  ChiConfig cfg;
+  cfg.cell_width = cell;
+  cfg.cell_height = cell;
+  cfg.num_bins = bins;
+  const Chi chi = BuildChi(m, cfg);
+  const double delta = cfg.BinWidth();
+  for (int32_t bj = 0; bj < chi.num_boundaries_y(); ++bj) {
+    for (int32_t bi = 0; bi < chi.num_boundaries_x(); ++bi) {
+      const ROI prefix(0, 0, chi.boundary_x(bi), chi.boundary_y(bj));
+      for (int32_t bin = 0; bin <= bins; ++bin) {
+        const int64_t expected =
+            CountPixels(m, prefix, ValueRange(bin * delta, 1.0));
+        ASSERT_EQ(chi.H(bi, bj, bin), static_cast<uint32_t>(expected))
+            << "boundary (" << bi << "," << bj << ") bin " << bin;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ChiPropertyTest,
+    ::testing::Values(std::make_tuple(16, 16, 4, 4),
+                      std::make_tuple(17, 13, 4, 8),   // ragged both axes
+                      std::make_tuple(32, 8, 8, 16),
+                      std::make_tuple(9, 9, 16, 2),    // cell > mask
+                      std::make_tuple(28, 28, 7, 12)));
+
+TEST(ChiTest, RegionHistogramMatchesEq2) {
+  // Eq. 2 (inclusion–exclusion) must hold for *every* available region.
+  Rng rng(5);
+  const Mask m = BlobMask(&rng, 20, 20);
+  ChiConfig cfg;
+  cfg.cell_width = 5;
+  cfg.cell_height = 5;
+  cfg.num_bins = 8;
+  const Chi chi = BuildChi(m, cfg);
+  std::vector<int64_t> hist(cfg.num_bins + 1);
+  for (int32_t x0 = 0; x0 < chi.num_boundaries_x(); ++x0) {
+    for (int32_t x1 = x0 + 1; x1 < chi.num_boundaries_x(); ++x1) {
+      for (int32_t y0 = 0; y0 < chi.num_boundaries_y(); ++y0) {
+        for (int32_t y1 = y0 + 1; y1 < chi.num_boundaries_y(); ++y1) {
+          chi.RegionHistogram(x0, y0, x1, y1, hist.data());
+          const ROI region(chi.boundary_x(x0), chi.boundary_y(y0),
+                           chi.boundary_x(x1), chi.boundary_y(y1));
+          for (int32_t bin = 0; bin <= cfg.num_bins; ++bin) {
+            const int64_t expected = CountPixels(
+                m, region, ValueRange(bin * cfg.BinWidth(), 1.0));
+            ASSERT_EQ(hist[bin], expected);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ChiTest, SerializeRoundTrip) {
+  Rng rng(6);
+  const Mask m = BlobMask(&rng, 30, 22);
+  ChiConfig cfg;
+  cfg.cell_width = 7;
+  cfg.cell_height = 5;
+  cfg.num_bins = 6;
+  const Chi chi = BuildChi(m, cfg);
+
+  BufferWriter w;
+  chi.Serialize(&w);
+  BufferReader r(w.buffer());
+  auto restored = Chi::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->width(), chi.width());
+  EXPECT_EQ(restored->height(), chi.height());
+  EXPECT_TRUE(restored->config() == cfg);
+  for (int32_t bj = 0; bj < chi.num_boundaries_y(); ++bj) {
+    for (int32_t bi = 0; bi < chi.num_boundaries_x(); ++bi) {
+      for (int32_t bin = 0; bin <= cfg.num_bins; ++bin) {
+        ASSERT_EQ(restored->H(bi, bj, bin), chi.H(bi, bj, bin));
+      }
+    }
+  }
+}
+
+TEST(ChiTest, DeserializeRejectsTruncation) {
+  Rng rng(7);
+  const Chi chi = BuildChi(RandomMask(&rng, 8, 8), PaperConfig());
+  BufferWriter w;
+  chi.Serialize(&w);
+  std::string bytes = w.buffer();
+  bytes.resize(bytes.size() - 5);
+  BufferReader r(bytes);
+  EXPECT_FALSE(Chi::Deserialize(&r).ok());
+}
+
+TEST(ChiTest, MemoryFootprintMatchesFormula) {
+  // §3.1: 4·b bytes per cell; our layout stores (b+1) edges per boundary
+  // including the explicit zero row/column.
+  Rng rng(8);
+  ChiConfig cfg;
+  cfg.cell_width = 28;
+  cfg.cell_height = 28;
+  cfg.num_bins = 16;
+  const Chi chi = BuildChi(RandomMask(&rng, 224, 224), cfg);
+  const size_t boundaries = 9;  // 224/28 + 1
+  EXPECT_EQ(chi.MemoryBytes(), boundaries * boundaries * 17 * 4);
+  // Far smaller than the mask itself (224·224·4 = 200 KiB).
+  EXPECT_LT(chi.MemoryBytes(), size_t{224 * 224 * 4} / 30);
+}
+
+TEST(ChiTest, EquiDepthConfigValidation) {
+  ChiConfig cfg;
+  cfg.num_bins = 4;
+  cfg.custom_edges = {0.1, 0.5, 0.9};
+  EXPECT_TRUE(cfg.Valid());
+  EXPECT_FALSE(cfg.equi_width());
+  EXPECT_DOUBLE_EQ(cfg.EdgeValue(0), 0.0);
+  EXPECT_DOUBLE_EQ(cfg.EdgeValue(1), 0.1);
+  EXPECT_DOUBLE_EQ(cfg.EdgeValue(3), 0.9);
+  EXPECT_DOUBLE_EQ(cfg.EdgeValue(4), 1.0);
+
+  cfg.custom_edges = {0.5, 0.1, 0.9};  // not increasing
+  EXPECT_FALSE(cfg.Valid());
+  cfg.custom_edges = {0.1, 0.5};  // wrong count
+  EXPECT_FALSE(cfg.Valid());
+  cfg.custom_edges = {0.0, 0.5, 0.9};  // touches pmin
+  EXPECT_FALSE(cfg.Valid());
+}
+
+TEST(ChiTest, EquiDepthBinSearch) {
+  Rng rng(21);
+  ChiConfig cfg;
+  cfg.cell_width = cfg.cell_height = 4;
+  cfg.num_bins = 4;
+  cfg.custom_edges = {0.1, 0.5, 0.9};
+  const Chi chi = BuildChi(RandomMask(&rng, 8, 8), cfg);
+  // BinFloor: largest edge <= v; BinCeil: smallest edge >= v.
+  EXPECT_EQ(chi.BinFloor(0.05), 0);
+  EXPECT_EQ(chi.BinCeil(0.05), 1);
+  EXPECT_EQ(chi.BinFloor(0.1), 1);
+  EXPECT_EQ(chi.BinCeil(0.1), 1);
+  EXPECT_EQ(chi.BinFloor(0.7), 2);
+  EXPECT_EQ(chi.BinCeil(0.7), 3);
+  EXPECT_EQ(chi.BinFloor(1.0), 4);
+  EXPECT_EQ(chi.BinCeil(0.95), 4);
+  EXPECT_EQ(chi.BinFloor(-1.0), 0);
+  EXPECT_EQ(chi.BinCeil(2.0), 4);
+}
+
+TEST(ChiTest, EquiDepthPrefixCountsMatchCpDefinition) {
+  Rng rng(22);
+  const Mask m = BlobMask(&rng, 24, 24);
+  ChiConfig cfg;
+  cfg.cell_width = cfg.cell_height = 6;
+  cfg.num_bins = 5;
+  cfg.custom_edges = {0.05, 0.2, 0.45, 0.8};
+  const Chi chi = BuildChi(m, cfg);
+  for (int32_t bj = 0; bj < chi.num_boundaries_y(); ++bj) {
+    for (int32_t bi = 0; bi < chi.num_boundaries_x(); ++bi) {
+      const ROI prefix(0, 0, chi.boundary_x(bi), chi.boundary_y(bj));
+      for (int32_t bin = 0; bin <= cfg.num_bins; ++bin) {
+        const int64_t expected =
+            CountPixels(m, prefix, ValueRange(cfg.EdgeValue(bin), 1.0));
+        ASSERT_EQ(chi.H(bi, bj, bin), static_cast<uint32_t>(expected))
+            << "boundary (" << bi << "," << bj << ") bin " << bin;
+      }
+    }
+  }
+}
+
+TEST(ChiTest, EquiDepthSerializeRoundTrip) {
+  Rng rng(23);
+  ChiConfig cfg;
+  cfg.cell_width = cfg.cell_height = 8;
+  cfg.num_bins = 3;
+  cfg.custom_edges = {0.3, 0.7};
+  const Chi chi = BuildChi(BlobMask(&rng, 16, 16), cfg);
+  BufferWriter w;
+  chi.Serialize(&w);
+  BufferReader r(w.buffer());
+  auto restored = Chi::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->config() == cfg);
+  EXPECT_FALSE(restored->config().equi_width());
+}
+
+TEST(ChiTest, MaskSmallerThanOneCell) {
+  Rng rng(9);
+  ChiConfig cfg;
+  cfg.cell_width = 64;
+  cfg.cell_height = 64;
+  cfg.num_bins = 4;
+  const Mask m = RandomMask(&rng, 10, 12);
+  const Chi chi = BuildChi(m, cfg);
+  EXPECT_EQ(chi.num_boundaries_x(), 2);  // 0 and 10
+  EXPECT_EQ(chi.num_boundaries_y(), 2);
+  EXPECT_EQ(chi.H(1, 1, 0), 120u);
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -1,0 +1,99 @@
+// Unit tests for the mask compression codec.
+
+#include <gtest/gtest.h>
+
+#include "masksearch/storage/codec.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::BlobMask;
+using testing_util::RandomMask;
+
+TEST(CodecTest, RoundTripWithinQuantizationError8Bit) {
+  Rng rng(3);
+  Mask m = RandomMask(&rng, 32, 24);
+  const std::string blob = EncodeMask(m);
+  auto decoded = DecodeMask(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->width(), 32);
+  EXPECT_EQ(decoded->height(), 24);
+  for (size_t i = 0; i < m.data().size(); ++i) {
+    EXPECT_NEAR(decoded->data()[i], m.data()[i], 1.0 / 256.0 + 1e-6);
+  }
+}
+
+TEST(CodecTest, RoundTripWithinQuantizationError16Bit) {
+  Rng rng(4);
+  Mask m = RandomMask(&rng, 17, 9);
+  CodecOptions opts;
+  opts.bits = QuantBits::k16;
+  auto decoded = DecodeMask(EncodeMask(m, opts));
+  ASSERT_TRUE(decoded.ok());
+  for (size_t i = 0; i < m.data().size(); ++i) {
+    EXPECT_NEAR(decoded->data()[i], m.data()[i], 1.0 / 65536.0 + 1e-7);
+  }
+}
+
+TEST(CodecTest, Idempotent) {
+  // Decoded values are bin midpoints, so re-encoding is lossless.
+  Rng rng(5);
+  Mask m = RandomMask(&rng, 16, 16);
+  auto once = DecodeMask(EncodeMask(m));
+  ASSERT_TRUE(once.ok());
+  auto twice = DecodeMask(EncodeMask(*once));
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once->data(), twice->data());
+}
+
+TEST(CodecTest, CompressesSmoothMasks) {
+  // Saliency-like masks have large flat regions; RLE on quantized bytes
+  // should beat raw float32 comfortably.
+  Rng rng(6);
+  Mask m = BlobMask(&rng, 112, 112);
+  const std::string blob = EncodeMask(m);
+  EXPECT_LT(blob.size(), m.ByteSize() / 2)
+      << "compressed " << blob.size() << " vs raw " << m.ByteSize();
+}
+
+TEST(CodecTest, ConstantMaskCompressesExtremely) {
+  Mask m(64, 64);  // all zeros
+  const std::string blob = EncodeMask(m);
+  EXPECT_LT(blob.size(), 64u);
+}
+
+TEST(CodecTest, DecodedValuesStayInDomain) {
+  Rng rng(7);
+  Mask m = RandomMask(&rng, 20, 20);
+  auto decoded = DecodeMask(EncodeMask(m));
+  ASSERT_TRUE(decoded.ok());
+  for (float v : decoded->data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(CodecTest, RejectsGarbage) {
+  EXPECT_TRUE(DecodeMask(std::string("not a mask")).status().IsCorruption());
+  EXPECT_TRUE(DecodeMask(std::string()).status().IsCorruption());
+}
+
+TEST(CodecTest, RejectsTruncatedBlob) {
+  Rng rng(8);
+  Mask m = RandomMask(&rng, 16, 16);
+  std::string blob = EncodeMask(m);
+  blob.resize(blob.size() / 2);
+  EXPECT_TRUE(DecodeMask(blob).status().IsCorruption());
+}
+
+TEST(CodecTest, RejectsCorruptHeader) {
+  Rng rng(9);
+  Mask m = RandomMask(&rng, 8, 8);
+  std::string blob = EncodeMask(m);
+  blob[0] ^= 0x5a;  // break magic
+  EXPECT_TRUE(DecodeMask(blob).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -1,0 +1,294 @@
+// Unit tests for common/: Status, Result, serialization, RNG, thread pool,
+// and statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "masksearch/common/random.h"
+#include "masksearch/common/result.h"
+#include "masksearch/common/serialize.h"
+#include "masksearch/common/stats.h"
+#include "masksearch/common/status.h"
+#include "masksearch/common/thread_pool.h"
+
+namespace masksearch {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::IOError("disk on fire");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.message(), "disk on fire");
+  EXPECT_EQ(st.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopiesShareState) {
+  Status a = Status::NotFound("gone");
+  Status b = a;
+  EXPECT_EQ(b.message(), "gone");
+  EXPECT_TRUE(b.IsNotFound());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  MS_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubledOrError(int x) {
+  MS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*DoubledOrError(21), 42);
+  EXPECT_TRUE(DoubledOrError(-1).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).ValueUnsafe();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(SerializeTest, RoundTripsAllWidths) {
+  BufferWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeefu);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutI32(-12345);
+  w.PutI64(-9876543210123LL);
+  w.PutF32(3.25f);
+  w.PutF64(-2.5e-10);
+  w.PutString("hello");
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU16(), 0xbeef);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefull);
+  EXPECT_EQ(*r.GetI32(), -12345);
+  EXPECT_EQ(*r.GetI64(), -9876543210123LL);
+  EXPECT_FLOAT_EQ(*r.GetF32(), 3.25f);
+  EXPECT_DOUBLE_EQ(*r.GetF64(), -2.5e-10);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, LittleEndianLayout) {
+  BufferWriter w;
+  w.PutU32(0x01020304u);
+  const std::string& b = w.buffer();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(b[3]), 0x01);
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  BufferWriter w;
+  std::vector<uint32_t> v = {1, 2, 3, 0xffffffffu};
+  w.PutVector(v);
+  BufferReader r(w.buffer());
+  auto got = r.GetVector<uint32_t>();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, v);
+}
+
+TEST(SerializeTest, ExhaustionIsCorruption) {
+  BufferWriter w;
+  w.PutU16(7);
+  BufferReader r(w.buffer());
+  EXPECT_TRUE(r.GetU32().status().IsCorruption());
+}
+
+TEST(SerializeTest, OversizedVectorLengthRejected) {
+  BufferWriter w;
+  w.PutU64(1ull << 60);  // absurd element count
+  BufferReader r(w.buffer());
+  EXPECT_TRUE(r.GetVector<uint32_t>().status().IsCorruption());
+}
+
+TEST(SerializeTest, StringLengthBeyondBufferRejected) {
+  BufferWriter w;
+  w.PutU32(1000);  // length prefix with no payload
+  BufferReader r(w.buffer());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng a(42);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.NextU64(), fork.NextU64());
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWithNullPool) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(&pool, 0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2);
+}
+
+TEST(StatsTest, SummaryBasics) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  v.push_back(1000);  // outlier
+  DistributionSummary s = Summarize(v);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 1000);
+  EXPECT_NEAR(s.median, 51, 1);
+  EXPECT_EQ(s.num_outliers, 1u);
+  EXPECT_LT(s.whisker_hi, 1000);
+}
+
+TEST(StatsTest, SummaryEmpty) {
+  DistributionSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonR(x, y), 1.0, 1e-12);
+  std::vector<double> yn = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonR(x, yn), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateCases) {
+  EXPECT_DOUBLE_EQ(PearsonR({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonR({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonR({1, 2}, {1, 2, 3}), 0.0);
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -1,0 +1,126 @@
+// Unit and property tests for the CP scan kernel (§2.1).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "masksearch/query/cp.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::RandomMask;
+
+/// Straight-line reference implementation of the CP definition.
+int64_t NaiveCp(const Mask& m, const ROI& roi, const ValueRange& range) {
+  int64_t count = 0;
+  for (int32_t y = 0; y < m.height(); ++y) {
+    for (int32_t x = 0; x < m.width(); ++x) {
+      if (!roi.ContainsPoint(x, y)) continue;
+      const float v = m.at(x, y);
+      if (v >= range.lv && v < range.uv) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(CpTest, PaperFigure3Example) {
+  // Figure 3: "# pixels in the ROI with values in (0.85, 1.0) is 2".
+  Mask m(4, 4);
+  m.set(1, 1, 0.9f);
+  m.set(2, 2, 0.88f);
+  m.set(3, 3, 0.95f);  // outside the ROI below
+  const ROI roi(1, 1, 3, 3);
+  EXPECT_EQ(CountPixels(m, roi, ValueRange(0.85, 1.0)), 2);
+}
+
+TEST(CpTest, FullMaskOverload) {
+  Mask m(3, 3);
+  m.set(0, 0, 0.5f);
+  m.set(2, 2, 0.5f);
+  EXPECT_EQ(CountPixels(m, ValueRange(0.4, 0.6)), 2);
+  EXPECT_EQ(CountPixels(m, ValueRange(0.0, 1.0)), 9);
+}
+
+TEST(CpTest, HalfOpenRangeBoundaries) {
+  Mask m(2, 1);
+  m.set(0, 0, 0.3f);
+  m.set(1, 0, 0.7f);
+  EXPECT_EQ(CountPixels(m, ValueRange(0.3, 0.7)), 1);  // lv inclusive
+  EXPECT_EQ(CountPixels(m, ValueRange(0.30001, 0.7)), 0);
+  EXPECT_EQ(CountPixels(m, ValueRange(0.3, 0.70001)), 2);  // uv exclusive
+}
+
+TEST(CpTest, EmptyRoiAndInvalidRange) {
+  Rng rng(1);
+  Mask m = RandomMask(&rng, 8, 8);
+  EXPECT_EQ(CountPixels(m, ROI(3, 3, 3, 6), ValueRange(0, 1)), 0);
+  EXPECT_EQ(CountPixels(m, m.Extent(), ValueRange(0.8, 0.2)), 0);
+  EXPECT_EQ(CountPixels(m, m.Extent(), ValueRange(0.5, 0.5)), 0);
+}
+
+TEST(CpTest, RoiClampedToMask) {
+  Mask m(4, 4);
+  m.set(3, 3, 0.9f);
+  EXPECT_EQ(CountPixels(m, ROI(-10, -10, 100, 100), ValueRange(0.5, 1.0)), 1);
+  EXPECT_EQ(CountPixels(m, ROI(10, 10, 20, 20), ValueRange(0.0, 1.0)), 0);
+}
+
+TEST(CpTest, EmptyMask) {
+  Mask m;
+  EXPECT_EQ(CountPixels(m, ROI(0, 0, 4, 4), ValueRange(0, 1)), 0);
+}
+
+TEST(CpTest, SinglePixelRoi) {
+  Mask m(5, 5);
+  m.set(2, 3, 0.42f);
+  EXPECT_EQ(CountPixels(m, ROI(2, 3, 3, 4), ValueRange(0.4, 0.5)), 1);
+  EXPECT_EQ(CountPixels(m, ROI(2, 3, 3, 4), ValueRange(0.5, 0.9)), 0);
+}
+
+/// Property sweep: kernel equals the naive definition over random masks,
+/// ROIs and ranges, across mask shapes including non-square and tiny ones.
+class CpPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int32_t, int32_t>> {};
+
+TEST_P(CpPropertyTest, MatchesNaiveDefinition) {
+  const auto [w, h] = GetParam();
+  Rng rng(1000 + w * 31 + h);
+  Mask m = RandomMask(&rng, w, h);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int32_t x0 = static_cast<int32_t>(rng.UniformInt(-2, w));
+    const int32_t y0 = static_cast<int32_t>(rng.UniformInt(-2, h));
+    const int32_t x1 = static_cast<int32_t>(rng.UniformInt(x0, w + 2));
+    const int32_t y1 = static_cast<int32_t>(rng.UniformInt(y0, h + 2));
+    const ROI roi(x0, y0, x1, y1);
+    double a = rng.NextDouble(), b = rng.NextDouble();
+    if (a > b) std::swap(a, b);
+    const ValueRange range(a, b);
+    EXPECT_EQ(CountPixels(m, roi, range), NaiveCp(m, roi, range))
+        << "shape " << w << "x" << h << " roi " << roi.ToString() << " range "
+        << range.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CpPropertyTest,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(7, 3),
+                                           std::make_tuple(16, 16),
+                                           std::make_tuple(33, 17),
+                                           std::make_tuple(64, 1),
+                                           std::make_tuple(1, 64),
+                                           std::make_tuple(100, 100)));
+
+TEST(CpTest, RawVariantMatchesMaskVariant) {
+  Rng rng(77);
+  Mask m = RandomMask(&rng, 20, 30);
+  const ROI roi(3, 4, 17, 25);
+  const ValueRange range(0.25, 0.75);
+  EXPECT_EQ(
+      CountPixelsRaw(m.data().data(), m.width(), m.height(), roi, range),
+      CountPixels(m, roi, range));
+}
+
+}  // namespace
+}  // namespace masksearch

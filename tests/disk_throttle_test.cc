@@ -1,0 +1,62 @@
+// Unit tests for the disk bandwidth model.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "masksearch/common/stopwatch.h"
+#include "masksearch/storage/disk_throttle.h"
+
+namespace masksearch {
+namespace {
+
+TEST(DiskThrottleTest, DisabledIsInstant) {
+  DiskThrottle t(0.0);
+  EXPECT_FALSE(t.enabled());
+  Stopwatch sw;
+  for (int i = 0; i < 100; ++i) t.Acquire(1 << 20);
+  EXPECT_LT(sw.ElapsedSeconds(), 0.5);
+  EXPECT_EQ(t.total_bytes(), 100u << 20);
+  EXPECT_EQ(t.total_requests(), 100u);
+}
+
+TEST(DiskThrottleTest, EnforcesBandwidth) {
+  // 10 MiB/s; 2 MiB should take ~0.2 s.
+  DiskThrottle t(10.0 * 1024 * 1024);
+  Stopwatch sw;
+  t.Acquire(2 * 1024 * 1024);
+  const double elapsed = sw.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.15);
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(DiskThrottleTest, SerializesConcurrentReaders) {
+  // Two threads each transfer 1 MiB at 10 MiB/s over one modeled device:
+  // total wall time must be ~0.2 s, not ~0.1 s.
+  DiskThrottle t(10.0 * 1024 * 1024);
+  Stopwatch sw;
+  std::thread a([&] { t.Acquire(1024 * 1024); });
+  std::thread b([&] { t.Acquire(1024 * 1024); });
+  a.join();
+  b.join();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.15);
+}
+
+TEST(DiskThrottleTest, PerRequestLatency) {
+  // Latency-only model: 20 requests at 5 ms each ≈ 100 ms.
+  DiskThrottle t(0.0, /*latency_us=*/5000.0);
+  EXPECT_TRUE(t.enabled());
+  Stopwatch sw;
+  for (int i = 0; i < 20; ++i) t.Acquire(1);
+  EXPECT_GE(sw.ElapsedSeconds(), 0.08);
+}
+
+TEST(DiskThrottleTest, ZeroByteAcquireCountsRequest) {
+  DiskThrottle t(0.0);
+  t.Acquire(0);
+  EXPECT_EQ(t.total_requests(), 1u);
+  EXPECT_EQ(t.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -1,0 +1,171 @@
+// Cross-cutting property tests: the filter–verification engine must return
+// exactly the brute-force answer for EVERY combination of index
+// configuration (granularity, bucket scheme), storage kind (raw /
+// compressed), and query shape. This is the correctness guarantee of §3.2
+// exercised as a parameterized sweep.
+
+#include <gtest/gtest.h>
+
+#include "masksearch/baselines/full_scan.h"
+#include "masksearch/exec/session.h"
+#include "masksearch/index/chi_builder.h"
+#include "masksearch/workload/query_gen.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::TempDir;
+
+struct SweepParam {
+  int32_t cell;
+  int32_t bins;
+  bool equi_depth;
+  StorageKind storage;
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+    return os << "cell" << p.cell << "_bins" << p.bins
+              << (p.equi_depth ? "_eqdepth" : "_eqwidth")
+              << (p.storage == StorageKind::kCompressed ? "_compressed"
+                                                        : "_raw");
+  }
+};
+
+class EnginePropertyTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    const SweepParam p = GetParam();
+    dir_ = std::make_unique<TempDir>("engine_prop");
+
+    // Build a store in the requested storage kind.
+    MaskStoreWriter::Options wopts;
+    wopts.kind = p.storage;
+    auto writer = MaskStoreWriter::Create(dir_->path(), wopts).ValueOrDie();
+    Rng rng(91);
+    SaliencySpec spec;
+    spec.width = 40;
+    spec.height = 40;
+    for (int64_t img = 0; img < 15; ++img) {
+      const ROI box = GenerateObjectBox(&rng, 40, 40);
+      const bool dispersed = rng.NextBool(0.3);
+      const auto blobs = SampleSaliencyBlobs(&rng, spec, box, dispersed);
+      for (int32_t model = 0; model < 2; ++model) {
+        const auto mb =
+            model == 0 ? blobs : JitterSaliencyBlobs(&rng, blobs, 0.25, 40, 40);
+        MaskMeta meta;
+        meta.image_id = img;
+        meta.model_id = model;
+        meta.object_box = box;
+        writer->Append(meta, RenderSaliencyMask(&rng, spec, mb)).ValueOrDie();
+      }
+    }
+    writer->Finish().CheckOK();
+    store_ = MaskStore::Open(dir_->path()).ValueOrDie();
+
+    ChiConfig cfg;
+    cfg.cell_width = cfg.cell_height = p.cell;
+    cfg.num_bins = p.bins;
+    if (p.equi_depth) {
+      cfg.custom_edges =
+          ComputeEquiDepthEdges(*store_, p.bins, 16).ValueOrDie();
+    }
+    index_ = std::make_unique<IndexManager>(store_->num_masks(), cfg);
+    MS_ASSERT_OK(index_->BuildAll(*store_));
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<MaskStore> store_;
+  std::unique_ptr<IndexManager> index_;
+};
+
+TEST_P(EnginePropertyTest, FilterMatchesReference) {
+  FullScanBaseline reference(store_.get());
+  Rng rng(17);
+  QueryGenOptions qopts;
+  qopts.threshold_fraction_max = 0.2;  // keep results mixed
+  for (int i = 0; i < 12; ++i) {
+    const FilterQuery q = GenerateFilterQuery(&rng, *store_, qopts);
+    auto got = ExecuteFilter(*store_, index_.get(), q);
+    ASSERT_TRUE(got.ok()) << got.status();
+    auto want = reference.Filter(q);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->mask_ids, want->mask_ids) << "query " << i;
+    // Accounting invariant: every targeted mask has exactly one outcome.
+    ASSERT_EQ(got->stats.pruned + got->stats.accepted_by_bounds +
+                  got->stats.candidates,
+              got->stats.masks_targeted);
+  }
+}
+
+TEST_P(EnginePropertyTest, TopKMatchesReference) {
+  FullScanBaseline reference(store_.get());
+  Rng rng(18);
+  for (int i = 0; i < 10; ++i) {
+    const TopKQuery q = GenerateTopKQuery(&rng, *store_);
+    auto got = ExecuteTopK(*store_, index_.get(), q);
+    ASSERT_TRUE(got.ok()) << got.status();
+    auto want = reference.TopK(q);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->items.size(), want->items.size());
+    for (size_t j = 0; j < got->items.size(); ++j) {
+      ASSERT_EQ(got->items[j].mask_id, want->items[j].mask_id)
+          << "query " << i << " rank " << j;
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, AggregationMatchesReference) {
+  FullScanBaseline reference(store_.get());
+  Rng rng(19);
+  for (int i = 0; i < 8; ++i) {
+    const AggregationQuery q = GenerateAggQuery(&rng, *store_);
+    auto got = ExecuteAggregation(*store_, index_.get(), q);
+    ASSERT_TRUE(got.ok()) << got.status();
+    auto want = reference.Aggregate(q);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->groups.size(), want->groups.size());
+    for (size_t j = 0; j < got->groups.size(); ++j) {
+      ASSERT_EQ(got->groups[j].group, want->groups[j].group);
+      ASSERT_NEAR(got->groups[j].value, want->groups[j].value, 1e-9);
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, MaskAggMatchesReference) {
+  FullScanBaseline reference(store_.get());
+  MaskAggQuery q;
+  q.op = MaskAggOp::kIntersectThreshold;
+  q.agg_threshold = 0.6;
+  q.term.roi_source = RoiSource::kObjectBox;
+  q.term.range = ValueRange(0.6, 1.0);
+  q.k = 6;
+  DerivedIndexCache cache(index_->config());
+  auto got = ExecuteMaskAgg(*store_, index_.get(), &cache, q);
+  ASSERT_TRUE(got.ok()) << got.status();
+  auto want = reference.MaskAggregate(q);
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(got->groups.size(), want->groups.size());
+  for (size_t j = 0; j < got->groups.size(); ++j) {
+    ASSERT_EQ(got->groups[j].group, want->groups[j].group);
+    ASSERT_DOUBLE_EQ(got->groups[j].value, want->groups[j].value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnginePropertyTest,
+    ::testing::Values(
+        SweepParam{4, 4, false, StorageKind::kRawFloat32},
+        SweepParam{8, 16, false, StorageKind::kRawFloat32},
+        SweepParam{16, 8, false, StorageKind::kRawFloat32},
+        SweepParam{7, 5, false, StorageKind::kRawFloat32},   // ragged
+        SweepParam{8, 8, true, StorageKind::kRawFloat32},    // equi-depth
+        SweepParam{8, 16, false, StorageKind::kCompressed},  // codec path
+        SweepParam{8, 8, true, StorageKind::kCompressed}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+}  // namespace
+}  // namespace masksearch

@@ -1,0 +1,157 @@
+// Failure-injection tests: corrupted or truncated on-disk state must surface
+// as clean Status errors from every layer — never crashes, never silently
+// wrong results. Also exercises concurrent query execution on one session.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "masksearch/exec/session.h"
+#include "masksearch/workload/query_gen.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::MakeStore;
+using testing_util::TempDir;
+
+FilterQuery EverythingQuery() {
+  FilterQuery q;
+  CpTerm term;
+  term.roi_source = RoiSource::kFullMask;
+  term.range = ValueRange(0.0, 1.0);
+  q.terms.push_back(term);
+  // Forces verification of every mask: the threshold sits inside (0, area).
+  q.predicate = Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, 1.0);
+  return q;
+}
+
+TEST(FailureInjectionTest, TruncatedDataFileFailsLoads) {
+  TempDir dir("fail");
+  auto store = MakeStore(dir.path(), 6, 1, 16, 16);
+  store.reset();
+  // Truncate the data file to half a mask.
+  std::filesystem::resize_file(MaskStoreDataPath(dir.path()), 100);
+  auto reopened = MaskStore::Open(dir.path()).ValueOrDie();
+  EXPECT_TRUE(reopened->LoadMask(0).status().IsIOError());
+  EXPECT_TRUE(reopened->LoadMask(5).status().IsIOError());
+}
+
+TEST(FailureInjectionTest, TruncatedDataFilePropagatesThroughExecutor) {
+  TempDir dir("fail");
+  auto store = MakeStore(dir.path(), 6, 1, 16, 16);
+  store.reset();
+  std::filesystem::resize_file(MaskStoreDataPath(dir.path()), 100);
+  auto reopened = MaskStore::Open(dir.path()).ValueOrDie();
+  // No index: the executor must load masks and must report the I/O failure.
+  auto r = ExecuteFilter(*reopened, nullptr, EverythingQuery());
+  EXPECT_TRUE(r.status().IsIOError()) << r.status();
+}
+
+TEST(FailureInjectionTest, CorruptChiFileRejectedAtSessionOpen) {
+  TempDir dir("fail");
+  auto store = MakeStore(dir.path(), 4, 1, 16, 16);
+  const std::string index_path = dir.file("bad.chi");
+  MS_ASSERT_OK(WriteFile(index_path, "definitely not a chi set"));
+  SessionOptions opts;
+  opts.chi.cell_width = opts.chi.cell_height = 8;
+  opts.chi.num_bins = 4;
+  opts.index_path = index_path;
+  EXPECT_FALSE(Session::Open(store.get(), opts).ok());
+}
+
+TEST(FailureInjectionTest, TruncatedChiFileRejected) {
+  TempDir dir("fail");
+  auto store = MakeStore(dir.path(), 4, 1, 16, 16);
+  ChiConfig cfg;
+  cfg.cell_width = cfg.cell_height = 8;
+  cfg.num_bins = 4;
+  IndexManager mgr(4, cfg);
+  MS_ASSERT_OK(mgr.BuildAll(*store));
+  const std::string path = dir.file("t.chi");
+  MS_ASSERT_OK(mgr.SaveToFile(path));
+  auto bytes = ReadFile(path).ValueOrDie();
+  MS_ASSERT_OK(WriteFile(path, bytes.substr(0, bytes.size() * 2 / 3)));
+  IndexManager restored(4, cfg);
+  EXPECT_FALSE(restored.LoadFromFile(path).ok());
+}
+
+TEST(FailureInjectionTest, MissingDataFile) {
+  TempDir dir("fail");
+  auto store = MakeStore(dir.path(), 3, 1, 16, 16);
+  store.reset();
+  MS_ASSERT_OK(RemoveFileIfExists(MaskStoreDataPath(dir.path())));
+  EXPECT_FALSE(MaskStore::Open(dir.path()).ok());
+}
+
+TEST(FailureInjectionTest, ManifestDataDisagreementDetectedOnLoad) {
+  // A manifest pointing past the end of the data file is caught per load.
+  TempDir dir("fail");
+  auto store = MakeStore(dir.path(), 3, 1, 16, 16);
+  store.reset();
+  const std::string data_path = MaskStoreDataPath(dir.path());
+  const auto size = ReadFile(data_path).ValueOrDie().size();
+  std::filesystem::resize_file(data_path, size - 64);
+  auto reopened = MaskStore::Open(dir.path()).ValueOrDie();
+  EXPECT_TRUE(reopened->LoadMask(0).ok());   // early masks intact
+  EXPECT_FALSE(reopened->LoadMask(2).ok());  // last mask truncated
+}
+
+TEST(ConcurrencyTest, ParallelQueriesOnOneSessionAgree) {
+  TempDir dir("conc");
+  auto store = MakeStore(dir.path(), 20, 2, 32, 32, /*seed=*/5);
+  SessionOptions opts;
+  opts.chi.cell_width = opts.chi.cell_height = 8;
+  opts.chi.num_bins = 8;
+  auto session = Session::Open(store.get(), opts).ValueOrDie();
+
+  // Sequential ground truth.
+  std::vector<FilterQuery> queries;
+  Rng rng(33);
+  for (int i = 0; i < 8; ++i) queries.push_back(GenerateFilterQuery(&rng, *store));
+  std::vector<std::vector<MaskId>> expected;
+  for (const auto& q : queries) expected.push_back(session->Filter(q)->mask_ids);
+
+  // The same queries issued concurrently from multiple threads.
+  std::vector<std::vector<MaskId>> got(queries.size());
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < queries.size(); i += 4) {
+        got[i] = session->Filter(queries[i])->mask_ids;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "query " << i;
+  }
+}
+
+TEST(ConcurrencyTest, IncrementalIndexingUnderConcurrentQueries) {
+  // MS-II builds CHIs from concurrent query threads; first-put-wins keeps
+  // the index consistent and every query exact.
+  TempDir dir("conc");
+  auto store = MakeStore(dir.path(), 16, 2, 32, 32, /*seed=*/6);
+  SessionOptions opts;
+  opts.chi.cell_width = opts.chi.cell_height = 8;
+  opts.chi.num_bins = 8;
+  opts.incremental = true;
+  auto session = Session::Open(store.get(), opts).ValueOrDie();
+
+  FilterQuery q = EverythingQuery();
+  std::vector<std::thread> threads;
+  std::vector<std::vector<MaskId>> results(4);
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = session->Filter(q)->mask_ids; });
+  }
+  for (auto& th : threads) th.join();
+  for (size_t t = 1; t < 4; ++t) EXPECT_EQ(results[t], results[0]);
+  EXPECT_EQ(static_cast<int64_t>(session->index().num_built()),
+            store->num_masks());
+}
+
+}  // namespace
+}  // namespace masksearch

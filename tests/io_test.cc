@@ -1,0 +1,102 @@
+// Unit tests for common/io: files, random-access reads, writers.
+
+#include <gtest/gtest.h>
+
+#include "masksearch/common/io.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::TempDir;
+
+TEST(IoTest, WriteAndReadFile) {
+  TempDir dir("io");
+  const std::string path = dir.file("f.bin");
+  MS_ASSERT_OK(WriteFile(path, "payload"));
+  auto contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "payload");
+}
+
+TEST(IoTest, ReadMissingFileIsIOError) {
+  EXPECT_TRUE(ReadFile("/nonexistent/definitely/missing").status().IsIOError());
+}
+
+TEST(IoTest, PathExists) {
+  TempDir dir("io");
+  EXPECT_TRUE(PathExists(dir.path()));
+  EXPECT_FALSE(PathExists(dir.file("missing")));
+  MS_ASSERT_OK(WriteFile(dir.file("x"), ""));
+  EXPECT_TRUE(PathExists(dir.file("x")));
+}
+
+TEST(IoTest, FileSize) {
+  TempDir dir("io");
+  MS_ASSERT_OK(WriteFile(dir.file("x"), std::string(1234, 'a')));
+  EXPECT_EQ(*FileSize(dir.file("x")), 1234u);
+}
+
+TEST(IoTest, CreateDirsNested) {
+  TempDir dir("io");
+  const std::string nested = dir.file("a/b/c");
+  MS_ASSERT_OK(CreateDirs(nested));
+  EXPECT_TRUE(PathExists(nested));
+  MS_ASSERT_OK(CreateDirs(nested));  // idempotent
+}
+
+TEST(IoTest, RemoveFileIfExists) {
+  TempDir dir("io");
+  MS_ASSERT_OK(WriteFile(dir.file("x"), "y"));
+  MS_ASSERT_OK(RemoveFileIfExists(dir.file("x")));
+  EXPECT_FALSE(PathExists(dir.file("x")));
+  MS_ASSERT_OK(RemoveFileIfExists(dir.file("x")));  // missing is OK
+}
+
+TEST(RandomAccessFileTest, ReadAtArbitraryOffsets) {
+  TempDir dir("io");
+  std::string data(4096, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i % 251);
+  }
+  MS_ASSERT_OK(WriteFile(dir.file("d"), data));
+
+  auto file = RandomAccessFile::Open(dir.file("d"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->size(), data.size());
+
+  char buf[100];
+  MS_ASSERT_OK((*file)->ReadAt(1000, sizeof(buf), buf));
+  EXPECT_EQ(std::string(buf, sizeof(buf)), data.substr(1000, sizeof(buf)));
+}
+
+TEST(RandomAccessFileTest, ReadPastEofFails) {
+  TempDir dir("io");
+  MS_ASSERT_OK(WriteFile(dir.file("d"), "abc"));
+  auto file = RandomAccessFile::Open(dir.file("d"));
+  ASSERT_TRUE(file.ok());
+  char buf[10];
+  EXPECT_TRUE((*file)->ReadAt(1, sizeof(buf), buf).IsIOError());
+}
+
+TEST(FileWriterTest, AppendsAndCounts) {
+  TempDir dir("io");
+  auto w = FileWriter::Create(dir.file("out"));
+  ASSERT_TRUE(w.ok());
+  MS_ASSERT_OK((*w)->Append("abc"));
+  MS_ASSERT_OK((*w)->Append("defg"));
+  EXPECT_EQ((*w)->bytes_written(), 7u);
+  MS_ASSERT_OK((*w)->Close());
+  EXPECT_EQ(*ReadFile(dir.file("out")), "abcdefg");
+}
+
+TEST(FileWriterTest, AppendAfterCloseFails) {
+  TempDir dir("io");
+  auto w = FileWriter::Create(dir.file("out"));
+  ASSERT_TRUE(w.ok());
+  MS_ASSERT_OK((*w)->Close());
+  EXPECT_FALSE((*w)->Append("late").ok());
+}
+
+}  // namespace
+}  // namespace masksearch

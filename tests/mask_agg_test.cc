@@ -1,0 +1,235 @@
+// Tests for mask aggregation (§3.4, Q5): derived masks, derived-index
+// caching, and the monotone-aggregation bounds extension.
+
+#include <gtest/gtest.h>
+
+#include "masksearch/baselines/full_scan.h"
+#include "masksearch/exec/mask_agg.h"
+#include "masksearch/index/chi_builder.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::MakeStore;
+using testing_util::RandomMask;
+using testing_util::TempDir;
+
+ChiConfig TestConfig() {
+  ChiConfig cfg;
+  cfg.cell_width = 8;
+  cfg.cell_height = 8;
+  cfg.num_bins = 8;
+  return cfg;
+}
+
+TEST(DerivedMaskTest, IntersectThreshold) {
+  Mask a(2, 2), b(2, 2);
+  a.set(0, 0, 0.9f);
+  b.set(0, 0, 0.85f);
+  a.set(1, 0, 0.9f);
+  b.set(1, 0, 0.5f);  // below threshold in b
+  auto d = ComputeDerivedMask(MaskAggOp::kIntersectThreshold, 0.8, {a, b});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->at(0, 0), DerivedMaskOne());
+  EXPECT_EQ(d->at(1, 0), 0.0f);
+  EXPECT_EQ(d->at(0, 1), 0.0f);
+}
+
+TEST(DerivedMaskTest, UnionThreshold) {
+  Mask a(2, 1), b(2, 1);
+  a.set(0, 0, 0.9f);
+  b.set(1, 0, 0.85f);
+  auto d = ComputeDerivedMask(MaskAggOp::kUnionThreshold, 0.8, {a, b});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->at(0, 0), DerivedMaskOne());
+  EXPECT_EQ(d->at(1, 0), DerivedMaskOne());
+}
+
+TEST(DerivedMaskTest, Average) {
+  Mask a(1, 1), b(1, 1);
+  a.set(0, 0, 0.2f);
+  b.set(0, 0, 0.6f);
+  auto d = ComputeDerivedMask(MaskAggOp::kAverage, 0.0, {a, b});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->at(0, 0), 0.4f, 1e-6);
+}
+
+TEST(DerivedMaskTest, ValidatesInputs) {
+  EXPECT_TRUE(ComputeDerivedMask(MaskAggOp::kAverage, 0, {})
+                  .status()
+                  .IsInvalidArgument());
+  Mask a(2, 2), b(3, 3);
+  EXPECT_TRUE(ComputeDerivedMask(MaskAggOp::kAverage, 0, {a, b})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DerivedIndexCacheTest, PutGetAndFirstWins) {
+  DerivedIndexCache cache(TestConfig());
+  EXPECT_EQ(cache.Get(7), nullptr);
+  Rng rng(1);
+  Mask m = RandomMask(&rng, 16, 16);
+  cache.Put(7, BuildChi(m, TestConfig()));
+  const Chi* first = cache.Get(7);
+  ASSERT_NE(first, nullptr);
+  cache.Put(7, BuildChi(RandomMask(&rng, 16, 16), TestConfig()));
+  EXPECT_EQ(cache.Get(7), first);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+class MaskAggExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("maskagg");
+    store_ = MakeStore(dir_->path(), 16, 2, 48, 48, /*seed=*/55);
+    index_ = std::make_unique<IndexManager>(store_->num_masks(), TestConfig());
+    MS_ASSERT_OK(index_->BuildAll(*store_));
+    store_->ResetCounters();
+  }
+
+  MaskAggQuery IntersectQuery(size_t k) const {
+    MaskAggQuery q;
+    q.op = MaskAggOp::kIntersectThreshold;
+    q.agg_threshold = 0.7;
+    q.term.roi_source = RoiSource::kObjectBox;
+    q.term.range = ValueRange(0.7, 1.0);  // counts the "1" pixels
+    q.group_key = GroupKey::kImageId;
+    q.k = k;
+    q.descending = true;
+    return q;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<MaskStore> store_;
+  std::unique_ptr<IndexManager> index_;
+};
+
+TEST_F(MaskAggExecTest, IntersectTopKMatchesReference) {
+  const MaskAggQuery q = IntersectQuery(5);
+  DerivedIndexCache cache(TestConfig());
+  auto got = ExecuteMaskAgg(*store_, index_.get(), &cache, q);
+  ASSERT_TRUE(got.ok()) << got.status();
+  FullScanBaseline reference(store_.get());
+  auto want = reference.MaskAggregate(q);
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(got->groups.size(), want->groups.size());
+  for (size_t i = 0; i < got->groups.size(); ++i) {
+    EXPECT_EQ(got->groups[i].group, want->groups[i].group) << "rank " << i;
+    EXPECT_DOUBLE_EQ(got->groups[i].value, want->groups[i].value);
+  }
+}
+
+TEST_F(MaskAggExecTest, UnionAndAverageMatchReference) {
+  FullScanBaseline reference(store_.get());
+  for (MaskAggOp op : {MaskAggOp::kUnionThreshold, MaskAggOp::kAverage}) {
+    MaskAggQuery q = IntersectQuery(4);
+    q.op = op;
+    if (op == MaskAggOp::kAverage) q.term.range = ValueRange(0.5, 1.0);
+    DerivedIndexCache cache(TestConfig());
+    auto got = ExecuteMaskAgg(*store_, index_.get(), &cache, q);
+    ASSERT_TRUE(got.ok());
+    auto want = reference.MaskAggregate(q);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->groups.size(), want->groups.size());
+    for (size_t i = 0; i < got->groups.size(); ++i) {
+      EXPECT_EQ(got->groups[i].group, want->groups[i].group);
+      EXPECT_DOUBLE_EQ(got->groups[i].value, want->groups[i].value);
+    }
+  }
+}
+
+TEST_F(MaskAggExecTest, MemberBoundsPruneWithoutDerivedIndex) {
+  // Even with no derived CHIs cached, the member-CHI bounds (§3.4 extension)
+  // must prune some groups for a selective having predicate.
+  MaskAggQuery q = IntersectQuery(0);
+  q.k.reset();
+  q.having_op = CompareOp::kGt;
+  q.having_threshold = 1e9;  // nothing passes; member upper bounds prove it
+  auto r = ExecuteMaskAgg(*store_, index_.get(), nullptr, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+  EXPECT_EQ(r->stats.masks_loaded, 0);
+}
+
+TEST_F(MaskAggExecTest, DerivedCacheAmortizesLoads) {
+  const MaskAggQuery q = IntersectQuery(5);
+  DerivedIndexCache cache(TestConfig());
+  auto first = ExecuteMaskAgg(*store_, index_.get(), &cache, q);
+  ASSERT_TRUE(first.ok());
+  const int64_t first_loads = first->stats.masks_loaded;
+  EXPECT_GT(cache.size(), 0u);
+
+  auto second = ExecuteMaskAgg(*store_, index_.get(), &cache, q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LE(second->stats.masks_loaded, first_loads);
+  ASSERT_EQ(second->groups.size(), first->groups.size());
+  for (size_t i = 0; i < first->groups.size(); ++i) {
+    EXPECT_EQ(second->groups[i].group, first->groups[i].group);
+    EXPECT_DOUBLE_EQ(second->groups[i].value, first->groups[i].value);
+  }
+}
+
+TEST_F(MaskAggExecTest, ZeroRangeCountsComplement) {
+  // CP over the derived mask counting *zero* pixels (range excludes the ONE
+  // value): complement accounting in the member-derived bounds.
+  MaskAggQuery q = IntersectQuery(4);
+  q.term.range = ValueRange(0.0, 0.5);
+  DerivedIndexCache cache(TestConfig());
+  auto got = ExecuteMaskAgg(*store_, index_.get(), &cache, q);
+  ASSERT_TRUE(got.ok());
+  FullScanBaseline reference(store_.get());
+  auto want = reference.MaskAggregate(q);
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(got->groups.size(), want->groups.size());
+  for (size_t i = 0; i < got->groups.size(); ++i) {
+    EXPECT_EQ(got->groups[i].group, want->groups[i].group);
+    EXPECT_DOUBLE_EQ(got->groups[i].value, want->groups[i].value);
+  }
+}
+
+TEST_F(MaskAggExecTest, AheadOfTimeDerivedIndexBuild) {
+  // §3.4: derived indexes "built ahead of time". After BuildDerivedIndexes,
+  // a selective HAVING query runs without loading any mask.
+  const MaskAggQuery q = IntersectQuery(5);
+  DerivedIndexCache cache(TestConfig());
+  MS_ASSERT_OK(BuildDerivedIndexes(*store_, q.selection, q.op,
+                                   q.agg_threshold, q.group_key, &cache));
+  EXPECT_EQ(cache.size(), 16u);  // one derived CHI per image
+
+  MaskAggQuery having = q;
+  having.k.reset();
+  having.having_op = CompareOp::kGt;
+  having.having_threshold = 1e9;  // certainly false from bounds
+  auto r = ExecuteMaskAgg(*store_, index_.get(), &cache, having);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.masks_loaded, 0);
+
+  // Results via the prebuilt cache equal the reference.
+  auto got = ExecuteMaskAgg(*store_, index_.get(), &cache, q);
+  ASSERT_TRUE(got.ok());
+  FullScanBaseline reference(store_.get());
+  auto want = reference.MaskAggregate(q);
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(got->groups.size(), want->groups.size());
+  for (size_t i = 0; i < got->groups.size(); ++i) {
+    EXPECT_EQ(got->groups[i].group, want->groups[i].group);
+    EXPECT_DOUBLE_EQ(got->groups[i].value, want->groups[i].value);
+  }
+  // Idempotent: a second build call touches nothing.
+  const uint64_t loads_before = store_->masks_loaded();
+  MS_ASSERT_OK(BuildDerivedIndexes(*store_, q.selection, q.op,
+                                   q.agg_threshold, q.group_key, &cache));
+  EXPECT_EQ(store_->masks_loaded(), loads_before);
+}
+
+TEST_F(MaskAggExecTest, InvalidQueriesRejected) {
+  MaskAggQuery neither = IntersectQuery(0);
+  neither.k.reset();
+  EXPECT_TRUE(ExecuteMaskAgg(*store_, index_.get(), nullptr, neither)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -1,0 +1,106 @@
+// Tests for NumPy .npy interchange.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "masksearch/storage/npy.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::RandomMask;
+using testing_util::TempDir;
+
+TEST(NpyTest, RoundTripFloat32) {
+  Rng rng(1);
+  const Mask m = RandomMask(&rng, 33, 17);
+  auto decoded = DecodeNpy(EncodeNpy(m));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->width(), 33);
+  EXPECT_EQ(decoded->height(), 17);
+  EXPECT_EQ(decoded->data(), m.data());
+}
+
+TEST(NpyTest, HeaderLayoutIsNumpyCompatible) {
+  Rng rng(2);
+  const std::string blob = EncodeNpy(RandomMask(&rng, 4, 3));
+  ASSERT_GE(blob.size(), 10u);
+  EXPECT_EQ(blob.compare(0, 6, "\x93NUMPY"), 0);
+  EXPECT_EQ(blob[6], '\x01');
+  EXPECT_EQ(blob[7], '\x00');
+  const uint16_t hlen = static_cast<uint8_t>(blob[8]) |
+                        (static_cast<uint16_t>(static_cast<uint8_t>(blob[9])) << 8);
+  // Magic + version + len + header must be 64-aligned, header ends in '\n'.
+  EXPECT_EQ((10 + hlen) % 64, 0u);
+  EXPECT_EQ(blob[10 + hlen - 1], '\n');
+  const std::string header = blob.substr(10, hlen);
+  EXPECT_NE(header.find("'descr': '<f4'"), std::string::npos);
+  EXPECT_NE(header.find("'fortran_order': False"), std::string::npos);
+  EXPECT_NE(header.find("(3, 4)"), std::string::npos);  // (rows, cols)
+}
+
+TEST(NpyTest, DecodesFloat64) {
+  // Hand-build a tiny <f8 NPY blob.
+  std::string header =
+      "{'descr': '<f8', 'fortran_order': False, 'shape': (1, 2), }";
+  size_t total = 10 + header.size() + 1;
+  header.append((total + 63) / 64 * 64 - total, ' ');
+  header.push_back('\n');
+  std::string blob("\x93NUMPY\x01\x00", 8);
+  blob.push_back(static_cast<char>(header.size() & 0xff));
+  blob.push_back(static_cast<char>(header.size() >> 8));
+  blob += header;
+  const double values[2] = {0.25, 0.75};
+  blob.append(reinterpret_cast<const char*>(values), sizeof(values));
+
+  auto mask = DecodeNpy(blob);
+  ASSERT_TRUE(mask.ok()) << mask.status();
+  EXPECT_EQ(mask->width(), 2);
+  EXPECT_EQ(mask->height(), 1);
+  EXPECT_FLOAT_EQ(mask->at(0, 0), 0.25f);
+  EXPECT_FLOAT_EQ(mask->at(1, 0), 0.75f);
+}
+
+TEST(NpyTest, OutOfDomainValuesClamped) {
+  // NPY import may carry values at or above 1.0; the mask domain is [0, 1).
+  Mask m(2, 1);
+  m.set(0, 0, 0.5f);
+  std::string blob = EncodeNpy(m);
+  // Patch the first payload float to 1.5.
+  const float big = 1.5f;
+  std::memcpy(blob.data() + blob.size() - 2 * sizeof(float), &big,
+              sizeof(big));
+  auto decoded = DecodeNpy(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_LT(decoded->at(0, 0), 1.0f);
+}
+
+TEST(NpyTest, FileRoundTrip) {
+  TempDir dir("npy");
+  Rng rng(3);
+  const Mask m = RandomMask(&rng, 12, 12);
+  MS_ASSERT_OK(WriteNpyFile(dir.file("m.npy"), m));
+  auto loaded = ReadNpyFile(dir.file("m.npy"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->data(), m.data());
+}
+
+TEST(NpyTest, RejectsGarbageAndUnsupported) {
+  EXPECT_TRUE(DecodeNpy("not numpy at all").status().IsCorruption());
+  EXPECT_TRUE(DecodeNpy(std::string()).status().IsCorruption());
+
+  Rng rng(4);
+  std::string blob = EncodeNpy(RandomMask(&rng, 4, 4));
+  // Truncate payload.
+  std::string truncated = blob.substr(0, blob.size() - 8);
+  EXPECT_TRUE(DecodeNpy(truncated).status().IsCorruption());
+  // Unsupported version.
+  std::string v2 = blob;
+  v2[6] = '\x02';
+  EXPECT_TRUE(DecodeNpy(v2).status().IsNotImplemented());
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -1,0 +1,165 @@
+// Unit tests for predicates and three-valued bound evaluation (§3.2.1 Step 2,
+// §3.3).
+
+#include <gtest/gtest.h>
+
+#include "masksearch/common/random.h"
+#include "masksearch/query/predicate.h"
+
+namespace masksearch {
+namespace {
+
+TEST(TriLogicTest, AndTable) {
+  EXPECT_EQ(TriAnd(Tri::kTrue, Tri::kTrue), Tri::kTrue);
+  EXPECT_EQ(TriAnd(Tri::kTrue, Tri::kFalse), Tri::kFalse);
+  EXPECT_EQ(TriAnd(Tri::kFalse, Tri::kUnknown), Tri::kFalse);
+  EXPECT_EQ(TriAnd(Tri::kTrue, Tri::kUnknown), Tri::kUnknown);
+  EXPECT_EQ(TriAnd(Tri::kUnknown, Tri::kUnknown), Tri::kUnknown);
+}
+
+TEST(TriLogicTest, OrTable) {
+  EXPECT_EQ(TriOr(Tri::kFalse, Tri::kFalse), Tri::kFalse);
+  EXPECT_EQ(TriOr(Tri::kTrue, Tri::kUnknown), Tri::kTrue);
+  EXPECT_EQ(TriOr(Tri::kFalse, Tri::kUnknown), Tri::kUnknown);
+  EXPECT_EQ(TriOr(Tri::kUnknown, Tri::kUnknown), Tri::kUnknown);
+}
+
+TEST(TriLogicTest, NotTable) {
+  EXPECT_EQ(TriNot(Tri::kTrue), Tri::kFalse);
+  EXPECT_EQ(TriNot(Tri::kFalse), Tri::kTrue);
+  EXPECT_EQ(TriNot(Tri::kUnknown), Tri::kUnknown);
+}
+
+TEST(CompareBoundsTest, GreaterThanCases) {
+  // §3.2.1 Step 2: the three cases for CP > T.
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kGt, 5), Tri::kTrue);
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kGt, 25), Tri::kFalse);
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kGt, 15), Tri::kUnknown);
+  // Boundary: upper == T means the strict predicate can never hold.
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kGt, 20), Tri::kFalse);
+  // lower == T is not enough for certainty under strict >.
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kGt, 10), Tri::kUnknown);
+}
+
+TEST(CompareBoundsTest, LessThanCases) {
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kLt, 25), Tri::kTrue);
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kLt, 5), Tri::kFalse);
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kLt, 15), Tri::kUnknown);
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kLt, 10), Tri::kFalse);
+}
+
+TEST(CompareBoundsTest, NonStrictVariants) {
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kGe, 20), Tri::kUnknown);
+  EXPECT_EQ(CompareBounds(Interval{20, 20}, CompareOp::kGe, 20), Tri::kTrue);
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kLe, 20), Tri::kTrue);
+  EXPECT_EQ(CompareBounds(Interval{10, 20}, CompareOp::kLe, 9), Tri::kFalse);
+}
+
+TEST(CompareExactTest, AllOps) {
+  EXPECT_TRUE(CompareExact(5, CompareOp::kLt, 6));
+  EXPECT_FALSE(CompareExact(6, CompareOp::kLt, 6));
+  EXPECT_TRUE(CompareExact(6, CompareOp::kLe, 6));
+  EXPECT_TRUE(CompareExact(7, CompareOp::kGt, 6));
+  EXPECT_FALSE(CompareExact(6, CompareOp::kGt, 6));
+  EXPECT_TRUE(CompareExact(6, CompareOp::kGe, 6));
+}
+
+TEST(PredicateTest, SimpleCompare) {
+  const Predicate p =
+      Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, 100.0);
+  EXPECT_TRUE(p.EvalExact({150.0}));
+  EXPECT_FALSE(p.EvalExact({50.0}));
+  EXPECT_EQ(p.EvalBounds({Interval{120, 200}}), Tri::kTrue);
+  EXPECT_EQ(p.EvalBounds({Interval{0, 50}}), Tri::kFalse);
+  EXPECT_EQ(p.EvalBounds({Interval{50, 150}}), Tri::kUnknown);
+  EXPECT_EQ(p.MaxTermIndex(), 0);
+}
+
+TEST(PredicateTest, ConjunctionShortCircuitsOnCertainFalse) {
+  std::vector<Predicate> children;
+  children.push_back(Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, 10));
+  children.push_back(Predicate::Compare(CpExpr::Term(1), CompareOp::kLt, 5));
+  const Predicate p = Predicate::And(std::move(children));
+  // Term 1 interval certainly fails → whole AND certainly false even though
+  // term 0 is unknown.
+  EXPECT_EQ(p.EvalBounds({Interval{5, 15}, Interval{10, 20}}), Tri::kFalse);
+  EXPECT_EQ(p.EvalBounds({Interval{15, 20}, Interval{0, 2}}), Tri::kTrue);
+  EXPECT_EQ(p.EvalBounds({Interval{5, 15}, Interval{0, 2}}), Tri::kUnknown);
+  EXPECT_TRUE(p.EvalExact({11, 4}));
+  EXPECT_FALSE(p.EvalExact({11, 6}));
+  EXPECT_EQ(p.MaxTermIndex(), 1);
+}
+
+TEST(PredicateTest, Disjunction) {
+  std::vector<Predicate> children;
+  children.push_back(Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, 10));
+  children.push_back(Predicate::Compare(CpExpr::Term(0), CompareOp::kLt, 2));
+  const Predicate p = Predicate::Or(std::move(children));
+  EXPECT_EQ(p.EvalBounds({Interval{20, 30}}), Tri::kTrue);
+  EXPECT_EQ(p.EvalBounds({Interval{4, 8}}), Tri::kFalse);
+  EXPECT_EQ(p.EvalBounds({Interval{4, 15}}), Tri::kUnknown);
+  EXPECT_TRUE(p.EvalExact({1}));
+  EXPECT_TRUE(p.EvalExact({11}));
+  EXPECT_FALSE(p.EvalExact({5}));
+}
+
+TEST(PredicateTest, Negation) {
+  const Predicate p = Predicate::Not(
+      Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, 10));
+  EXPECT_TRUE(p.EvalExact({5}));
+  EXPECT_FALSE(p.EvalExact({15}));
+  EXPECT_EQ(p.EvalBounds({Interval{20, 30}}), Tri::kFalse);
+  EXPECT_EQ(p.EvalBounds({Interval{0, 5}}), Tri::kTrue);
+  EXPECT_EQ(p.EvalBounds({Interval{5, 15}}), Tri::kUnknown);
+}
+
+TEST(PredicateTest, MultiCpComparisonViaDifference) {
+  // CP0 > CP1 expressed as (CP0 - CP1) > 0 (§3.3 monotone composition).
+  const Predicate p = Predicate::Compare(CpExpr::Term(0) - CpExpr::Term(1),
+                                         CompareOp::kGt, 0.0);
+  EXPECT_EQ(p.EvalBounds({Interval{100, 120}, Interval{10, 20}}), Tri::kTrue);
+  EXPECT_EQ(p.EvalBounds({Interval{0, 5}, Interval{10, 20}}), Tri::kFalse);
+  EXPECT_EQ(p.EvalBounds({Interval{10, 30}, Interval{20, 25}}), Tri::kUnknown);
+}
+
+TEST(PredicateTest, BoundEvalIsSoundForRandomPredicates) {
+  // If the bound evaluation returns certain true/false, the exact evaluation
+  // with any values inside the intervals must agree.
+  Rng rng = Rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const double t = rng.Uniform(0, 100);
+    std::vector<Predicate> kids;
+    kids.push_back(Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, t));
+    kids.push_back(
+        Predicate::Compare(CpExpr::Term(1), CompareOp::kLe, rng.Uniform(0, 100)));
+    const Predicate p = trial % 2 == 0 ? Predicate::And(std::move(kids))
+                                       : Predicate::Or(std::move(kids));
+    const double v0 = rng.Uniform(0, 100), v1 = rng.Uniform(0, 100);
+    const Interval i0{v0 - rng.Uniform(0, 10), v0 + rng.Uniform(0, 10)};
+    const Interval i1{v1 - rng.Uniform(0, 10), v1 + rng.Uniform(0, 10)};
+    const Tri tri = p.EvalBounds({i0, i1});
+    const bool exact = p.EvalExact({v0, v1});
+    if (tri == Tri::kTrue) ASSERT_TRUE(exact);
+    if (tri == Tri::kFalse) ASSERT_FALSE(exact);
+  }
+}
+
+TEST(PredicateTest, ToStringRendersTree) {
+  std::vector<Predicate> kids;
+  kids.push_back(Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, 5));
+  kids.push_back(Predicate::Compare(CpExpr::Term(1), CompareOp::kLt, 9));
+  const Predicate p = Predicate::And(std::move(kids));
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("AND"), std::string::npos);
+  EXPECT_NE(s.find("CP#0"), std::string::npos);
+}
+
+TEST(PredicateTest, EmptyDetection) {
+  Predicate p;
+  EXPECT_TRUE(p.Empty());
+  EXPECT_FALSE(
+      Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, 1).Empty());
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -1,0 +1,154 @@
+// Edge-case coverage for the SQL front end: precedence, parenthesization,
+// boolean composition, and malformed-input robustness.
+
+#include <gtest/gtest.h>
+
+#include "masksearch/sql/binder.h"
+#include "masksearch/sql/parser.h"
+
+namespace masksearch {
+namespace sql {
+namespace {
+
+TEST(SqlEdgeTest, ArithmeticPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  auto stmt = ParseSelect("SELECT 1 + 2 * 3 FROM masks");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->items[0].expr->ToString(),
+            "(1.000000 + (2.000000 * 3.000000))");
+}
+
+TEST(SqlEdgeTest, ParenthesesOverridePrecedence) {
+  auto stmt = ParseSelect("SELECT (1 + 2) * 3 FROM masks");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->items[0].expr->ToString(),
+            "((1.000000 + 2.000000) * 3.000000)");
+}
+
+TEST(SqlEdgeTest, BooleanPrecedenceAndBindsTighterThanOr) {
+  auto q = ParseAndBind(
+      "SELECT * FROM masks WHERE CP(mask, -, (0.1, 0.2)) > 1 OR "
+      "CP(mask, -, (0.3, 0.4)) > 2 AND CP(mask, -, (0.5, 0.6)) > 3;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // (A) OR (B AND C): A alone satisfies.
+  EXPECT_TRUE(q->filter.predicate.EvalExact({10, 0, 0}));
+  EXPECT_FALSE(q->filter.predicate.EvalExact({0, 10, 0}));
+  EXPECT_TRUE(q->filter.predicate.EvalExact({0, 10, 10}));
+}
+
+TEST(SqlEdgeTest, NotPredicate) {
+  auto q = ParseAndBind(
+      "SELECT * FROM masks WHERE NOT CP(mask, -, (0.1, 0.9)) > 100;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->filter.predicate.EvalExact({50}));
+  EXPECT_FALSE(q->filter.predicate.EvalExact({150}));
+}
+
+TEST(SqlEdgeTest, UnaryMinusInThreshold) {
+  auto q = ParseAndBind(
+      "SELECT * FROM masks WHERE CP(mask, -, (0.1, 0.9)) > -5;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->filter.predicate.EvalExact({0}));
+}
+
+TEST(SqlEdgeTest, CaseInsensitiveKeywords) {
+  auto stmt = ParseSelect(
+      "select mask_id from masks where cp(mask, object, (0.1, 0.2)) > 1 "
+      "order by cp(mask, object, (0.1, 0.2)) desc limit 3;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->limit, 3);
+}
+
+TEST(SqlEdgeTest, WhitespaceAndCommentsAnywhere) {
+  auto q = ParseAndBind(
+      "SELECT mask_id -- projection\n"
+      "FROM masks -- the view\n"
+      "WHERE CP(mask, -- the mask\n"
+      " object, (0.5, 1.0)) > 7;");
+  ASSERT_TRUE(q.ok()) << q.status();
+}
+
+TEST(SqlEdgeTest, MalformedInputsRejectedCleanly) {
+  const char* bad[] = {
+      "SELECT",
+      "SELECT * FROM",
+      "SELECT * FROM masks WHERE",
+      "SELECT * FROM masks WHERE CP(mask, object) > 1;",       // missing range
+      "SELECT * FROM masks WHERE CP(mask, object, (0.1)) > 1;", // half range
+      "SELECT * FROM masks WHERE CP(mask, object, (0.1, 0.2) > 1;",  // parens
+      "SELECT * FROM masks WHERE CP(, object, (0.1, 0.2)) > 1;",
+      "SELECT * FROM masks GROUP BY;",
+      "SELECT * FROM masks ORDER BY;",
+      "SELECT * FROM masks LIMIT;",
+      "SELECT * FROM masks WHERE model_id IN ();",
+      "SELECT * FROM masks; SELECT * FROM masks;",  // trailing statement
+  };
+  for (const char* sql : bad) {
+    auto r = ParseAndBind(sql);
+    EXPECT_FALSE(r.ok()) << "should reject: " << sql;
+  }
+}
+
+TEST(SqlEdgeTest, DeepParenthesesDoNotOverflow) {
+  std::string sql = "SELECT * FROM masks WHERE ";
+  for (int i = 0; i < 40; ++i) sql += "(";
+  sql += "CP(mask, -, (0.1, 0.9)) > 1";
+  for (int i = 0; i < 40; ++i) sql += ")";
+  sql += ";";
+  auto q = ParseAndBind(sql);
+  EXPECT_TRUE(q.ok()) << q.status();
+}
+
+TEST(SqlEdgeTest, SelfReferentialAliasRejected) {
+  // An alias that resolves to itself must not loop forever.
+  auto q = ParseAndBind("SELECT r AS r FROM masks ORDER BY r DESC LIMIT 3;");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(SqlEdgeTest, MultipleCpTermsShareTermTable) {
+  auto q = ParseAndBind(
+      "SELECT * FROM masks WHERE "
+      "CP(mask, object, (0.1, 0.5)) + CP(mask, object, (0.5, 0.9)) > 10 "
+      "AND CP(mask, -, (0.1, 0.9)) < 500;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->filter.terms.size(), 3u);
+  EXPECT_TRUE(q->filter.predicate.EvalExact({6, 5, 100}));
+  EXPECT_FALSE(q->filter.predicate.EvalExact({6, 5, 600}));
+}
+
+TEST(SqlEdgeTest, GroupByTopKAscending) {
+  auto q = ParseAndBind(
+      "SELECT image_id, MIN(CP(mask, object, (0.2, 0.8))) AS m FROM masks "
+      "GROUP BY image_id ORDER BY m ASC LIMIT 4;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->agg.op, ScalarAggOp::kMin);
+  EXPECT_FALSE(q->agg.descending);
+}
+
+TEST(SqlEdgeTest, UnionAndAverageMaskAggs) {
+  auto u = ParseAndBind(
+      "SELECT image_id, CP(UNION(mask > 0.5), -, (0.5, 1.0)) AS s FROM masks "
+      "GROUP BY image_id ORDER BY s DESC LIMIT 2;");
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->mask_agg.op, MaskAggOp::kUnionThreshold);
+
+  auto a = ParseAndBind(
+      "SELECT image_id, CP(AVERAGE(mask), -, (0.5, 1.0)) AS s FROM masks "
+      "GROUP BY image_id ORDER BY s DESC LIMIT 2;");
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(a->mask_agg.op, MaskAggOp::kAverage);
+
+  // Malformed MASK_AGG arguments.
+  EXPECT_FALSE(ParseAndBind("SELECT image_id, CP(INTERSECT(mask), -, (0,1)) "
+                            "AS s FROM masks GROUP BY image_id ORDER BY s "
+                            "DESC LIMIT 2;")
+                   .ok());
+  EXPECT_FALSE(ParseAndBind("SELECT image_id, CP(AVERAGE(mask > 0.5), -, "
+                            "(0,1)) AS s FROM masks GROUP BY image_id ORDER "
+                            "BY s DESC LIMIT 2;")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace masksearch

@@ -1,0 +1,285 @@
+// Tests for the SQL front end: lexer, parser, and binder, covering the
+// paper's Table 1 queries and Examples 1–2 (§2.1).
+
+#include <gtest/gtest.h>
+
+#include "masksearch/sql/binder.h"
+#include "masksearch/sql/lexer.h"
+#include "masksearch/sql/parser.h"
+
+namespace masksearch {
+namespace sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT cp_1 , 3.5 >= (7);");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 10u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdent);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_EQ((*tokens)[1].text, "cp_1");
+  EXPECT_TRUE((*tokens)[2].IsSymbol(","));
+  EXPECT_EQ((*tokens)[3].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 3.5);
+  EXPECT_TRUE((*tokens)[4].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[9].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT -- a comment\n 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens).size(), 3u);
+}
+
+TEST(LexerTest, ScientificNumbers) {
+  auto tokens = Tokenize("1e3 2.5E-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 0.025);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = ParseSelect("SELECT * FROM MasksDatabaseView;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->table, "MasksDatabaseView");
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_TRUE(stmt->items[0].star);
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, FullClauseSet) {
+  auto stmt = ParseSelect(
+      "SELECT image_id, CP(mask, object, (0.8, 1.0)) AS v "
+      "FROM masks WHERE model_id = 1 GROUP BY image_id "
+      "HAVING v > 10 ORDER BY v DESC LIMIT 25;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[1].alias, "v");
+  EXPECT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->group_by, "image_id");
+  EXPECT_NE(stmt->having, nullptr);
+  EXPECT_NE(stmt->order_by, nullptr);
+  EXPECT_FALSE(stmt->ascending);
+  EXPECT_EQ(stmt->limit, 25);
+}
+
+TEST(ParserTest, CpWithPaperBoxSyntax) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM masks WHERE "
+      "CP(mask, ((50, 50), (200, 200)), (0.6, 1.0)) > 5000;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const std::string s = stmt->where->ToString();
+  EXPECT_NE(s.find("CP("), std::string::npos);
+  EXPECT_NE(s.find("box("), std::string::npos);
+}
+
+TEST(ParserTest, CpWithDashRoi) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM masks WHERE CP(mask, -, (0.85, 1.0)) > 10;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_NE(stmt->where->ToString().find("full"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto stmt = ParseSelect("SELECT FROM masks;");
+  EXPECT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("offset"), std::string::npos);
+  EXPECT_FALSE(ParseSelect("SELECT * masks").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM masks LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("").ok());
+}
+
+// ---- Binder: the paper's queries ----
+
+TEST(BinderTest, PaperQ1) {
+  // Table 1 Q1: filter with constant ROI and model_id = 1.
+  auto q = ParseAndBind(
+      "SELECT mask_id FROM MasksDatabaseView "
+      "WHERE CP(mask, ((50, 50), (200, 200)), (0.6, 1.0)) > 5000 "
+      "AND model_id = 1;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind, BoundQuery::Kind::kFilter);
+  ASSERT_EQ(q->filter.terms.size(), 1u);
+  const CpTerm& t = q->filter.terms[0];
+  EXPECT_EQ(t.roi_source, RoiSource::kConstant);
+  EXPECT_EQ(t.constant_roi, ROI::FromInclusiveCorners(50, 50, 200, 200));
+  EXPECT_DOUBLE_EQ(t.range.lv, 0.6);
+  EXPECT_DOUBLE_EQ(t.range.uv, 1.0);
+  ASSERT_EQ(q->filter.selection.model_ids.size(), 1u);
+  EXPECT_EQ(q->filter.selection.model_ids[0], 1);
+}
+
+TEST(BinderTest, PaperQ2ObjectRoi) {
+  auto q = ParseAndBind(
+      "SELECT mask_id FROM masks "
+      "WHERE CP(mask, object, (0.8, 1.0)) > 15000 AND model_id = 1;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind, BoundQuery::Kind::kFilter);
+  EXPECT_EQ(q->filter.terms[0].roi_source, RoiSource::kObjectBox);
+}
+
+TEST(BinderTest, PaperQ3TopK) {
+  auto q = ParseAndBind(
+      "SELECT mask_id FROM masks WHERE model_id = 1 "
+      "ORDER BY CP(mask, ((50,50),(200,200)), (0.8, 1.0)) DESC LIMIT 25;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind, BoundQuery::Kind::kTopK);
+  EXPECT_EQ(q->topk.k, 25u);
+  EXPECT_TRUE(q->topk.descending);
+  EXPECT_TRUE(q->topk.order_expr.IsSingleTerm());
+}
+
+TEST(BinderTest, PaperQ4Aggregation) {
+  auto q = ParseAndBind(
+      "SELECT image_id, MEAN(CP(mask, object, (0.8, 1.0))) AS m "
+      "FROM masks WHERE model_id IN (0, 1) "
+      "GROUP BY image_id ORDER BY m DESC LIMIT 25;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind, BoundQuery::Kind::kAggregation);
+  EXPECT_EQ(q->agg.op, ScalarAggOp::kAvg);
+  EXPECT_EQ(q->agg.group_key, GroupKey::kImageId);
+  ASSERT_TRUE(q->agg.k.has_value());
+  EXPECT_EQ(*q->agg.k, 25u);
+  EXPECT_EQ(q->agg.selection.model_ids.size(), 2u);
+}
+
+TEST(BinderTest, PaperQ5MaskAgg) {
+  auto q = ParseAndBind(
+      "SELECT image_id, CP(INTERSECT(mask > 0.8), object, (0.8, 1.0)) AS s "
+      "FROM masks GROUP BY image_id ORDER BY s DESC LIMIT 25;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind, BoundQuery::Kind::kMaskAgg);
+  EXPECT_EQ(q->mask_agg.op, MaskAggOp::kIntersectThreshold);
+  EXPECT_DOUBLE_EQ(q->mask_agg.agg_threshold, 0.8);
+  ASSERT_TRUE(q->mask_agg.k.has_value());
+  EXPECT_EQ(*q->mask_agg.k, 25u);
+}
+
+TEST(BinderTest, Example1RatioTopK) {
+  // §2.1 Example 1: ratio of two CP functions, ascending top-25.
+  auto q = ParseAndBind(
+      "SELECT image_id, "
+      "CP(mask, ((10,10),(60,60)), (0.85, 1.0)) / CP(mask, -, (0.85, 1.0)) "
+      "AS r FROM MasksDatabaseView ORDER BY r ASC LIMIT 25;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind, BoundQuery::Kind::kTopK);
+  EXPECT_FALSE(q->topk.descending);
+  EXPECT_EQ(q->topk.terms.size(), 2u);
+  EXPECT_EQ(q->topk.terms[1].roi_source, RoiSource::kFullMask);
+  EXPECT_FALSE(q->topk.order_expr.IsSingleTerm());
+}
+
+TEST(BinderTest, Example2MaskTypeSelection) {
+  auto q = ParseAndBind(
+      "SELECT image_id, CP(INTERSECT(mask > 0.7), full, (0.7, 1.0)) AS s "
+      "FROM masks WHERE mask_type IN (0, 1) "
+      "GROUP BY image_id ORDER BY s DESC LIMIT 10;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind, BoundQuery::Kind::kMaskAgg);
+  EXPECT_EQ(q->mask_agg.selection.mask_types.size(), 2u);
+}
+
+TEST(BinderTest, HavingWithoutOrderBy) {
+  auto q = ParseAndBind(
+      "SELECT image_id, SUM(CP(mask, object, (0.5, 1.0))) AS s "
+      "FROM masks GROUP BY image_id HAVING s > 1000;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind, BoundQuery::Kind::kAggregation);
+  EXPECT_EQ(q->agg.op, ScalarAggOp::kSum);
+  EXPECT_FALSE(q->agg.k.has_value());
+  ASSERT_TRUE(q->agg.having_op.has_value());
+  EXPECT_EQ(*q->agg.having_op, CompareOp::kGt);
+  EXPECT_DOUBLE_EQ(q->agg.having_threshold, 1000.0);
+}
+
+TEST(BinderTest, RectRoiSyntax) {
+  auto q = ParseAndBind(
+      "SELECT * FROM masks WHERE CP(mask, rect(0, 0, 32, 32), (0.5, 1.0)) > 5;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->filter.terms[0].constant_roi, ROI(0, 0, 32, 32));
+}
+
+TEST(BinderTest, MirroredComparison) {
+  auto q = ParseAndBind(
+      "SELECT * FROM masks WHERE 100 > CP(mask, object, (0.5, 1.0));");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // 100 > CP  ≡  CP < 100; verified behaviourally.
+  EXPECT_TRUE(q->filter.predicate.EvalExact({50.0}));
+  EXPECT_FALSE(q->filter.predicate.EvalExact({150.0}));
+}
+
+TEST(BinderTest, CpVsCpComparison) {
+  auto q = ParseAndBind(
+      "SELECT * FROM masks WHERE "
+      "CP(mask, object, (0.7, 1.0)) > CP(mask, -, (0.9, 1.0));");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->filter.terms.size(), 2u);
+  EXPECT_TRUE(q->filter.predicate.EvalExact({10.0, 5.0}));
+  EXPECT_FALSE(q->filter.predicate.EvalExact({5.0, 10.0}));
+}
+
+TEST(BinderTest, ErrorCases) {
+  // Unknown table.
+  EXPECT_FALSE(ParseAndBind("SELECT * FROM unknown_table WHERE "
+                            "CP(mask, -, (0,1)) > 5;")
+                   .ok());
+  // No CP predicate in a filter query.
+  EXPECT_FALSE(ParseAndBind("SELECT * FROM masks WHERE model_id = 1;").ok());
+  // ORDER BY without LIMIT.
+  EXPECT_FALSE(ParseAndBind("SELECT * FROM masks ORDER BY "
+                            "CP(mask, -, (0,1)) DESC;")
+                   .ok());
+  // GROUP BY on a non-catalog column.
+  EXPECT_FALSE(ParseAndBind("SELECT image_id, MEAN(CP(mask, -, (0,1))) AS m "
+                            "FROM masks GROUP BY label ORDER BY m LIMIT 5;")
+                   .ok());
+  // MASK_AGG outside GROUP BY context.
+  EXPECT_FALSE(ParseAndBind("SELECT * FROM masks WHERE "
+                            "CP(INTERSECT(mask > 0.5), -, (0,1)) > 5;")
+                   .ok());
+  // Non-constant value range.
+  EXPECT_FALSE(ParseAndBind("SELECT * FROM masks WHERE "
+                            "CP(mask, -, (image_id, 1)) > 5;")
+                   .ok());
+  // Invalid range.
+  EXPECT_FALSE(ParseAndBind("SELECT * FROM masks WHERE "
+                            "CP(mask, -, (0.9, 0.1)) > 5;")
+                   .ok());
+}
+
+TEST(BinderTest, PredictedLabelSelection) {
+  // The §4.5 exploration pattern: masks of images predicted as a class.
+  auto q = ParseAndBind(
+      "SELECT mask_id FROM masks "
+      "WHERE CP(mask, object, (0.7, 1.0)) > 10 AND predicted_label IN (3, 5);");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->filter.selection.predicted_labels.size(), 2u);
+  EXPECT_EQ(q->filter.selection.predicted_labels[0], 3);
+  EXPECT_EQ(q->filter.selection.predicted_labels[1], 5);
+}
+
+TEST(BinderTest, AliasResolutionInOrderBy) {
+  auto q = ParseAndBind(
+      "SELECT mask_id, CP(mask, object, (0.6, 1.0)) AS score "
+      "FROM masks ORDER BY score DESC LIMIT 5;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->kind, BoundQuery::Kind::kTopK);
+  EXPECT_TRUE(q->topk.order_expr.IsSingleTerm());
+}
+
+TEST(BinderTest, ArithmeticOnCatalogConstantsFolds) {
+  auto q = ParseAndBind(
+      "SELECT * FROM masks WHERE CP(mask, -, (0.25 + 0.25, 1.0)) > 2 * 50;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_DOUBLE_EQ(q->filter.terms[0].range.lv, 0.5);
+  EXPECT_TRUE(q->filter.predicate.EvalExact({101.0}));
+  EXPECT_FALSE(q->filter.predicate.EvalExact({100.0}));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace masksearch

@@ -1,0 +1,105 @@
+// Shared helpers for the MaskSearch test suite.
+
+#ifndef MASKSEARCH_TESTS_TEST_UTIL_H_
+#define MASKSEARCH_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "masksearch/common/random.h"
+#include "masksearch/storage/mask.h"
+#include "masksearch/storage/mask_store.h"
+#include "masksearch/workload/synthetic.h"
+
+namespace masksearch {
+namespace testing_util {
+
+#define MS_ASSERT_OK(expr)                                   \
+  do {                                                       \
+    const ::masksearch::Status _st = (expr);                 \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                 \
+  } while (0)
+
+#define MS_EXPECT_OK(expr)                                   \
+  do {                                                       \
+    const ::masksearch::Status _st = (expr);                 \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                 \
+  } while (0)
+
+/// Unique scratch directory removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<uint64_t> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("masksearch_test_" + tag + "_" + std::to_string(::getpid()) +
+              "_" + std::to_string(counter.fetch_add(1))))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+/// Uniform-random mask with values in [0, 1).
+inline Mask RandomMask(Rng* rng, int32_t w, int32_t h) {
+  Mask m(w, h);
+  for (float& v : m.mutable_data()) v = rng->NextFloat();
+  return m;
+}
+
+/// Structured (blobby) mask, closer to real saliency maps than iid noise.
+inline Mask BlobMask(Rng* rng, int32_t w, int32_t h) {
+  SaliencySpec spec;
+  spec.width = w;
+  spec.height = h;
+  const ROI box = GenerateObjectBox(rng, w, h);
+  return GenerateSaliencyMask(rng, spec, box, rng->NextBool(0.3));
+}
+
+/// Builds a small store of random saliency-like masks: `num_images` images ×
+/// `num_models` models, with object boxes and deterministic content.
+inline std::unique_ptr<MaskStore> MakeStore(const std::string& dir,
+                                            int64_t num_images,
+                                            int32_t num_models, int32_t w,
+                                            int32_t h, uint64_t seed = 7) {
+  auto writer = MaskStoreWriter::Create(dir).ValueOrDie();
+  Rng rng(seed);
+  SaliencySpec spec;
+  spec.width = w;
+  spec.height = h;
+  for (int64_t img = 0; img < num_images; ++img) {
+    const ROI box = GenerateObjectBox(&rng, w, h);
+    const bool dispersed = rng.NextBool(0.25);
+    const std::vector<SaliencyBlob> blobs =
+        SampleSaliencyBlobs(&rng, spec, box, dispersed);
+    for (int32_t model = 0; model < num_models; ++model) {
+      const std::vector<SaliencyBlob> model_blobs =
+          model == 0 ? blobs : JitterSaliencyBlobs(&rng, blobs, 0.25, w, h);
+      Mask mask = RenderSaliencyMask(&rng, spec, model_blobs);
+      MaskMeta meta;
+      meta.image_id = img;
+      meta.model_id = model;
+      meta.mask_type = MaskType::kSaliencyMap;
+      meta.object_box = box;
+      writer->Append(meta, mask).ValueOrDie();
+    }
+  }
+  writer->Finish().CheckOK();
+  return MaskStore::Open(dir).ValueOrDie();
+}
+
+}  // namespace testing_util
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,206 @@
+// Tests for top-k execution (§3.5): exactness against brute force, pruning
+// effectiveness, ordering semantics, and MS-II behaviour.
+
+#include <gtest/gtest.h>
+
+#include "masksearch/baselines/full_scan.h"
+#include "masksearch/exec/topk_executor.h"
+#include "masksearch/workload/query_gen.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::MakeStore;
+using testing_util::TempDir;
+
+ChiConfig TestConfig() {
+  ChiConfig cfg;
+  cfg.cell_width = 8;
+  cfg.cell_height = 8;
+  cfg.num_bins = 8;
+  return cfg;
+}
+
+class TopKExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("topk");
+    store_ = MakeStore(dir_->path(), 25, 2, 48, 48, /*seed=*/21);
+    index_ = std::make_unique<IndexManager>(store_->num_masks(), TestConfig());
+    MS_ASSERT_OK(index_->BuildAll(*store_));
+    store_->ResetCounters();
+  }
+
+  TopKQuery ConstantRoiQuery(size_t k, bool descending) const {
+    TopKQuery q;
+    CpTerm term;
+    term.roi_source = RoiSource::kConstant;
+    term.constant_roi = ROI(10, 10, 40, 40);
+    term.range = ValueRange(0.7, 1.0);
+    q.terms.push_back(term);
+    q.order_expr = CpExpr::Term(0);
+    q.k = k;
+    q.descending = descending;
+    return q;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<MaskStore> store_;
+  std::unique_ptr<IndexManager> index_;
+};
+
+void ExpectSameItems(const TopKResult& got, const TopKResult& want) {
+  ASSERT_EQ(got.items.size(), want.items.size());
+  for (size_t i = 0; i < got.items.size(); ++i) {
+    EXPECT_EQ(got.items[i].mask_id, want.items[i].mask_id) << "rank " << i;
+    EXPECT_DOUBLE_EQ(got.items[i].value, want.items[i].value) << "rank " << i;
+  }
+}
+
+TEST_F(TopKExecutorTest, DescendingMatchesReference) {
+  const TopKQuery q = ConstantRoiQuery(10, /*descending=*/true);
+  auto got = ExecuteTopK(*store_, index_.get(), q);
+  ASSERT_TRUE(got.ok()) << got.status();
+  FullScanBaseline reference(store_.get());
+  auto want = reference.TopK(q);
+  ASSERT_TRUE(want.ok());
+  ExpectSameItems(*got, *want);
+  // Results are sorted best-first.
+  for (size_t i = 1; i < got->items.size(); ++i) {
+    EXPECT_GE(got->items[i - 1].value, got->items[i].value);
+  }
+}
+
+TEST_F(TopKExecutorTest, AscendingMatchesReference) {
+  const TopKQuery q = ConstantRoiQuery(10, /*descending=*/false);
+  auto got = ExecuteTopK(*store_, index_.get(), q);
+  ASSERT_TRUE(got.ok());
+  FullScanBaseline reference(store_.get());
+  auto want = reference.TopK(q);
+  ASSERT_TRUE(want.ok());
+  ExpectSameItems(*got, *want);
+  for (size_t i = 1; i < got->items.size(); ++i) {
+    EXPECT_LE(got->items[i - 1].value, got->items[i].value);
+  }
+}
+
+TEST_F(TopKExecutorTest, PruningLoadsFarFewerThanAllMasks) {
+  const TopKQuery q = ConstantRoiQuery(5, true);
+  auto r = ExecuteTopK(*store_, index_.get(), q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->stats.masks_loaded, store_->num_masks());
+  EXPECT_GT(r->stats.pruned, 0);
+}
+
+TEST_F(TopKExecutorTest, KLargerThanDatasetReturnsAll) {
+  const TopKQuery q = ConstantRoiQuery(1000, true);
+  auto r = ExecuteTopK(*store_, index_.get(), q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<int64_t>(r->items.size()), store_->num_masks());
+}
+
+TEST_F(TopKExecutorTest, TieBreakByMaskIdAscending) {
+  // A constant-valued dataset region makes all values tie; the winners must
+  // be the smallest mask ids.
+  TopKQuery q = ConstantRoiQuery(3, true);
+  q.terms[0].range = ValueRange(0.0, 1.0);  // value == |roi| for every mask
+  auto r = ExecuteTopK(*store_, index_.get(), q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->items.size(), 3u);
+  EXPECT_EQ(r->items[0].mask_id, 0);
+  EXPECT_EQ(r->items[1].mask_id, 1);
+  EXPECT_EQ(r->items[2].mask_id, 2);
+  // Every value is pinned by bounds → nothing needs loading.
+  EXPECT_EQ(r->stats.masks_loaded, 0);
+}
+
+TEST_F(TopKExecutorTest, SequentialOrderSameResult) {
+  // The paper's strict sequential processing (no bound-sorted order) must
+  // return the identical result, possibly loading more masks.
+  const TopKQuery q = ConstantRoiQuery(8, true);
+  EngineOptions sequential;
+  sequential.sort_by_bound = false;
+  auto a = ExecuteTopK(*store_, index_.get(), q);
+  auto b = ExecuteTopK(*store_, index_.get(), q, sequential);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameItems(*a, *b);
+  EXPECT_LE(a->stats.masks_loaded, b->stats.masks_loaded);
+}
+
+TEST_F(TopKExecutorTest, RatioExpressionTopK) {
+  // Example 1: top-k lowest ratio of salient pixels inside the object box to
+  // salient pixels overall.
+  TopKQuery q;
+  CpTerm obj;
+  obj.roi_source = RoiSource::kObjectBox;
+  obj.range = ValueRange(0.85, 1.0);
+  CpTerm full;
+  full.roi_source = RoiSource::kFullMask;
+  full.range = ValueRange(0.85, 1.0);
+  q.terms = {obj, full};
+  // Guard the denominator: ratio = obj / (full + 1).
+  q.order_expr =
+      CpExpr::Term(0) / (CpExpr::Term(1) + CpExpr::Constant(1.0));
+  q.k = 25;
+  q.descending = false;
+
+  auto got = ExecuteTopK(*store_, index_.get(), q);
+  ASSERT_TRUE(got.ok()) << got.status();
+  FullScanBaseline reference(store_.get());
+  auto want = reference.TopK(q);
+  ASSERT_TRUE(want.ok());
+  ExpectSameItems(*got, *want);
+}
+
+TEST_F(TopKExecutorTest, IncrementalIndexingStillExact) {
+  IndexManager empty(store_->num_masks(), TestConfig());
+  EngineOptions opts;
+  opts.build_missing = true;
+  const TopKQuery q = ConstantRoiQuery(7, true);
+  auto first = ExecuteTopK(*store_, &empty, q, opts);
+  ASSERT_TRUE(first.ok());
+  auto second = ExecuteTopK(*store_, &empty, q, opts);
+  ASSERT_TRUE(second.ok());
+  ExpectSameItems(*first, *second);
+  EXPECT_GT(first->stats.chis_built, 0);
+  EXPECT_LT(second->stats.masks_loaded, first->stats.masks_loaded);
+}
+
+TEST_F(TopKExecutorTest, RandomizedQueriesMatchReference) {
+  FullScanBaseline reference(store_.get());
+  Rng rng(31337);
+  for (int i = 0; i < 25; ++i) {
+    const TopKQuery q = GenerateTopKQuery(&rng, *store_);
+    auto got = ExecuteTopK(*store_, index_.get(), q);
+    ASSERT_TRUE(got.ok());
+    auto want = reference.TopK(q);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got->items.size(), want->items.size()) << "query " << i;
+    for (size_t j = 0; j < got->items.size(); ++j) {
+      ASSERT_EQ(got->items[j].mask_id, want->items[j].mask_id)
+          << "query " << i << " rank " << j;
+    }
+  }
+}
+
+TEST_F(TopKExecutorTest, InvalidQueriesRejected) {
+  TopKQuery no_expr;
+  no_expr.k = 5;
+  EXPECT_TRUE(
+      ExecuteTopK(*store_, index_.get(), no_expr).status().IsInvalidArgument());
+
+  TopKQuery zero_k = ConstantRoiQuery(0, true);
+  EXPECT_TRUE(
+      ExecuteTopK(*store_, index_.get(), zero_k).status().IsInvalidArgument());
+
+  TopKQuery bad_term = ConstantRoiQuery(5, true);
+  bad_term.order_expr = CpExpr::Term(9);
+  EXPECT_TRUE(ExecuteTopK(*store_, index_.get(), bad_term)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace masksearch

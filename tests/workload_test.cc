@@ -1,0 +1,283 @@
+// Tests for the synthetic data generators and §4.3/§4.5 workload machinery.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "masksearch/query/cp.h"
+#include "masksearch/workload/datasets.h"
+#include "masksearch/workload/query_gen.h"
+#include "masksearch/workload/workload_gen.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::TempDir;
+
+TEST(SyntheticTest, ObjectBoxWithinImage) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const ROI box = GenerateObjectBox(&rng, 224, 224);
+    EXPECT_GE(box.x0, 0);
+    EXPECT_GE(box.y0, 0);
+    EXPECT_LE(box.x1, 224);
+    EXPECT_LE(box.y1, 224);
+    EXPECT_GT(box.Area(), 0);
+  }
+}
+
+TEST(SyntheticTest, SaliencyMaskDomainAndShape) {
+  Rng rng(2);
+  SaliencySpec spec;
+  spec.width = 64;
+  spec.height = 48;
+  const ROI box = GenerateObjectBox(&rng, 64, 48);
+  const Mask m = GenerateSaliencyMask(&rng, spec, box, false);
+  EXPECT_EQ(m.width(), 64);
+  EXPECT_EQ(m.height(), 48);
+  for (float v : m.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(SyntheticTest, FocusedMasksConcentrateOnObject) {
+  // Averaged over many images, focused masks put a larger share of their
+  // salient pixels inside the object box than dispersed masks do.
+  Rng rng(3);
+  SaliencySpec spec;
+  spec.width = 96;
+  spec.height = 96;
+  double focused_ratio = 0, dispersed_ratio = 0;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    const ROI box = GenerateObjectBox(&rng, 96, 96);
+    const Mask focused = GenerateSaliencyMask(&rng, spec, box, false);
+    const Mask dispersed = GenerateSaliencyMask(&rng, spec, box, true);
+    const ValueRange salient(0.7, 1.0);
+    const auto ratio = [&](const Mask& m) {
+      const double inside = static_cast<double>(CountPixels(m, box, salient));
+      const double total = static_cast<double>(CountPixels(m, salient)) + 1;
+      return inside / total;
+    };
+    focused_ratio += ratio(focused);
+    dispersed_ratio += ratio(dispersed);
+  }
+  EXPECT_GT(focused_ratio / n, dispersed_ratio / n + 0.2);
+}
+
+TEST(SyntheticTest, CorrelatedModelsShareStructure) {
+  // A jittered re-render of the same blobs stays closer to the original than
+  // an independently sampled mask.
+  Rng rng(4);
+  SaliencySpec spec;
+  spec.width = 64;
+  spec.height = 64;
+  const ROI box = GenerateObjectBox(&rng, 64, 64);
+  const auto blobs = SampleSaliencyBlobs(&rng, spec, box, false);
+  const Mask a = RenderSaliencyMask(&rng, spec, blobs);
+  const Mask b = RenderSaliencyMask(
+      &rng, spec, JitterSaliencyBlobs(&rng, blobs, 0.25, 64, 64));
+  const Mask c = GenerateSaliencyMask(&rng, spec, box, false);
+  double dist_b = 0, dist_c = 0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    dist_b += std::abs(a.data()[i] - b.data()[i]);
+    dist_c += std::abs(a.data()[i] - c.data()[i]);
+  }
+  EXPECT_LT(dist_b, dist_c);
+}
+
+TEST(SyntheticTest, HighValueRangesPopulatedForEveryModel) {
+  // Regression test: jittered models keep the same pixel-value distribution,
+  // so (0.8, 1.0) queries remain non-degenerate on model 1 (a linear blend
+  // of two maps would cap values at the correlation weight).
+  testing_util::TempDir dir("hv");
+  auto store = testing_util::MakeStore(dir.path(), 40, 2, 64, 64, 17);
+  int64_t high[2] = {0, 0};
+  for (MaskId id = 0; id < store->num_masks(); ++id) {
+    const Mask m = store->LoadMask(id).ValueOrDie();
+    high[store->meta(id).model_id] += CountPixels(m, ValueRange(0.8, 1.0));
+  }
+  EXPECT_GT(high[1], 0);
+  // Jittered models keep comparable high-value mass (a value blend would
+  // collapse model 1 to near zero).
+  EXPECT_GT(high[1] * 3, high[0]);
+  EXPECT_GT(high[0] * 3, high[1]);
+}
+
+TEST(SyntheticTest, SegmentationMaskHighInsideObject) {
+  Rng rng(5);
+  SaliencySpec spec;
+  spec.width = 64;
+  spec.height = 64;
+  const ROI box(16, 16, 48, 48);
+  const Mask m = GenerateSegmentationMask(&rng, spec, box);
+  // Center of the object is near 1; far corner is near 0.
+  EXPECT_GT(m.at(32, 32), 0.7f);
+  EXPECT_LT(m.at(1, 1), 0.2f);
+}
+
+TEST(QueryGenTest, ValueRangeOnGrid) {
+  Rng rng(6);
+  QueryGenOptions opts;
+  for (int i = 0; i < 200; ++i) {
+    const ValueRange r = RandomValueRange(&rng, opts);
+    EXPECT_LT(r.lv, r.uv);
+    EXPECT_GE(r.lv, 0.1 - 1e-9);
+    EXPECT_LE(r.uv, 0.9 + 1e-9);
+    // On the 0.1 grid.
+    const double klv = r.lv * 10, kuv = r.uv * 10;
+    EXPECT_NEAR(klv, std::round(klv), 1e-9);
+    EXPECT_NEAR(kuv, std::round(kuv), 1e-9);
+  }
+}
+
+TEST(QueryGenTest, RandomRectangleNonEmptyAndInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const ROI r = RandomRectangle(&rng, 50, 30);
+    EXPECT_FALSE(r.Empty());
+    EXPECT_GE(r.x0, 0);
+    EXPECT_LE(r.x1, 50);
+    EXPECT_LE(r.y1, 30);
+  }
+}
+
+TEST(QueryGenTest, GeneratorsAreDeterministic) {
+  TempDir dir("wl");
+  auto store = testing_util::MakeStore(dir.path(), 6, 2, 32, 32);
+  Rng r1(99), r2(99);
+  const FilterQuery a = GenerateFilterQuery(&r1, *store);
+  const FilterQuery b = GenerateFilterQuery(&r2, *store);
+  EXPECT_EQ(a.terms[0].range.lv, b.terms[0].range.lv);
+  EXPECT_EQ(a.terms[0].range.uv, b.terms[0].range.uv);
+  EXPECT_EQ(a.predicate.ToString(), b.predicate.ToString());
+}
+
+TEST(WorkloadGenTest, PSeenOneNeverExceedsInitialTarget) {
+  // Workload 4 (p_seen = 1.0): only the first query introduces unseen masks,
+  // so the distinct-targeted count stays well below the dataset (§4.5: 30%).
+  TempDir dir("wl");
+  auto store = testing_util::MakeStore(dir.path(), 30, 2, 16, 16);
+  WorkloadOptions opts;
+  opts.num_queries = 20;
+  opts.p_seen = 1.0;
+  opts.seed = 5;
+  const Workload w = GenerateWorkload(*store, opts);
+  EXPECT_EQ(w.queries.size(), 20u);
+  EXPECT_LE(w.distinct_targeted,
+            static_cast<int64_t>(0.31 * store->num_masks()) + 1);
+}
+
+TEST(WorkloadGenTest, LowPSeenExploresWholeDataset) {
+  TempDir dir("wl");
+  auto store = testing_util::MakeStore(dir.path(), 30, 2, 16, 16);
+  WorkloadOptions opts;
+  opts.num_queries = 60;
+  opts.p_seen = 0.2;
+  opts.seed = 6;
+  const Workload w = GenerateWorkload(*store, opts);
+  EXPECT_EQ(w.distinct_targeted, store->num_masks());
+}
+
+TEST(WorkloadGenTest, QueriesTargetRequestedFractions) {
+  TempDir dir("wl");
+  auto store = testing_util::MakeStore(dir.path(), 40, 2, 16, 16);
+  WorkloadOptions opts;
+  opts.num_queries = 30;
+  opts.p_seen = 0.5;
+  const Workload w = GenerateWorkload(*store, opts);
+  const int64_t n = store->num_masks();
+  for (const FilterQuery& q : w.queries) {
+    const int64_t size = static_cast<int64_t>(q.selection.mask_ids.size());
+    EXPECT_GE(size, static_cast<int64_t>(0.05 * n));
+    EXPECT_LE(size, static_cast<int64_t>(0.3 * n) + 1);
+    // No duplicate targets within one query.
+    std::set<MaskId> uniq(q.selection.mask_ids.begin(),
+                          q.selection.mask_ids.end());
+    EXPECT_EQ(uniq.size(), q.selection.mask_ids.size());
+  }
+}
+
+TEST(WorkloadGenTest, ClassBasedWorkloadSelectsByPredictedLabel) {
+  TempDir dir("wl");
+  DatasetSpec spec;
+  spec.name = "classes";
+  spec.num_images = 60;
+  spec.num_models = 1;
+  spec.saliency.width = 16;
+  spec.saliency.height = 16;
+  spec.num_classes = 8;
+  MS_ASSERT_OK(BuildDataset(dir.path(), spec));
+  auto store = MaskStore::Open(dir.path()).ValueOrDie();
+
+  WorkloadOptions opts;
+  opts.num_queries = 20;
+  opts.p_seen = 0.5;
+  opts.by_predicted_class = true;
+  opts.seed = 9;
+  const Workload w = GenerateWorkload(*store, opts);
+  ASSERT_EQ(w.queries.size(), 20u);
+  for (const FilterQuery& q : w.queries) {
+    EXPECT_FALSE(q.selection.predicted_labels.empty());
+    EXPECT_TRUE(q.selection.mask_ids.empty());
+    // The selection must actually resolve to the classes' masks.
+    const auto ids = ResolveSelection(*store, q.selection);
+    for (MaskId id : ids) {
+      const int32_t label = store->meta(id).predicted_label;
+      EXPECT_NE(std::find(q.selection.predicted_labels.begin(),
+                          q.selection.predicted_labels.end(), label),
+                q.selection.predicted_labels.end());
+    }
+  }
+  EXPECT_GT(w.distinct_targeted, 0);
+  EXPECT_LE(w.distinct_targeted, store->num_masks());
+}
+
+TEST(DatasetTest, BuildAndEnsure) {
+  TempDir dir("ds");
+  DatasetSpec spec;
+  spec.name = "tiny";
+  spec.num_images = 10;
+  spec.num_models = 2;
+  spec.saliency.width = 24;
+  spec.saliency.height = 24;
+  MS_ASSERT_OK(BuildDataset(dir.path(), spec));
+
+  auto store = MaskStore::Open(dir.path()).ValueOrDie();
+  EXPECT_EQ(store->num_masks(), 20);
+  // Two masks per image, same object box, correct ids.
+  for (int64_t img = 0; img < 10; ++img) {
+    const MaskMeta& m0 = store->meta(img * 2);
+    const MaskMeta& m1 = store->meta(img * 2 + 1);
+    EXPECT_EQ(m0.image_id, img);
+    EXPECT_EQ(m1.image_id, img);
+    EXPECT_EQ(m0.model_id, 0);
+    EXPECT_EQ(m1.model_id, 1);
+    EXPECT_EQ(m0.object_box, m1.object_box);
+    EXPECT_EQ(m0.label, m1.label);
+  }
+
+  // EnsureDataset with the same spec is a no-op (fingerprint match)...
+  store.reset();
+  MS_ASSERT_OK(EnsureDataset(dir.path(), spec));
+  // ...and rebuilds when the spec changes.
+  spec.num_images = 12;
+  MS_ASSERT_OK(EnsureDataset(dir.path(), spec));
+  auto rebuilt = MaskStore::Open(dir.path()).ValueOrDie();
+  EXPECT_EQ(rebuilt->num_masks(), 24);
+}
+
+TEST(DatasetTest, SpecsHaveSensibleScales) {
+  const DatasetSpec wilds = WildsSimSpec(0.1);
+  EXPECT_EQ(wilds.saliency.width, 224);
+  EXPECT_GT(wilds.num_images, 2000);
+  const DatasetSpec imagenet = ImageNetSimSpec(0.005);
+  EXPECT_EQ(imagenet.saliency.width, 112);
+  EXPECT_GT(imagenet.num_images, 6000);
+  EXPECT_GT(imagenet.num_images, wilds.num_images);
+}
+
+}  // namespace
+}  // namespace masksearch

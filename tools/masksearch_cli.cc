@@ -1,0 +1,340 @@
+// masksearch_cli: command-line front end to a MaskSearch store.
+//
+//   masksearch_cli generate --dir D [--images N] [--models M] [--width W]
+//                           [--height H] [--seed S] [--compressed]
+//       Build a synthetic mask database (see workload/datasets.h).
+//
+//   masksearch_cli info --dir D
+//       Print store statistics.
+//
+//   masksearch_cli query --dir D --sql "SELECT ..." [--incremental]
+//                        [--cell C] [--bins B] [--index-path P] [--explain]
+//                        [--no-index] [--limit-print K]
+//       Parse, bind, (optionally explain,) and execute a query.
+//
+//   masksearch_cli explain --sql "SELECT ..."
+//       Show the bound plan without executing.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "masksearch/exec/explain.h"
+#include "masksearch/masksearch.h"
+#include "masksearch/storage/npy.h"
+
+namespace masksearch {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = options.find(key);
+    return it == options.end() ? def : std::stoll(it->second);
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args.options[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.options[arg] = argv[++i];
+    } else {
+      args.options[arg] = "1";
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: masksearch_cli <generate|info|query|explain> [options]\n"
+               "  generate --dir D [--images N] [--models M] [--width W]\n"
+               "           [--height H] [--seed S] [--compressed]\n"
+               "  info     --dir D\n"
+               "  query    --dir D --sql S [--incremental] [--no-index]\n"
+               "           [--cell C] [--bins B] [--index-path P] [--explain]\n"
+               "           [--limit-print K]\n"
+               "  explain  --sql S\n"
+               "  import   --dir D --npy-dir P [--models M]\n"
+               "  export   --dir D --mask-id N --out F.npy\n");
+  return 2;
+}
+
+int RunGenerate(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  DatasetSpec spec;
+  spec.name = "cli";
+  spec.num_images = args.GetInt("images", 500);
+  spec.num_models = static_cast<int32_t>(args.GetInt("models", 2));
+  spec.saliency.width = static_cast<int32_t>(args.GetInt("width", 112));
+  spec.saliency.height = static_cast<int32_t>(args.GetInt("height", 112));
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  if (args.Has("compressed")) spec.storage = StorageKind::kCompressed;
+  const Status st = BuildDataset(args.Get("dir"), spec);
+  if (!st.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %lld masks (%lld images x %d models) at %s\n",
+              static_cast<long long>(spec.num_masks()),
+              static_cast<long long>(spec.num_images), spec.num_models,
+              args.Get("dir").c_str());
+  return 0;
+}
+
+int RunInfo(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  auto store = MaskStore::Open(args.Get("dir"));
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  const MaskStore& s = **store;
+  std::printf("store: %s\n", s.dir().c_str());
+  std::printf("masks: %lld (%s)\n", static_cast<long long>(s.num_masks()),
+              s.kind() == StorageKind::kRawFloat32 ? "raw float32"
+                                                   : "compressed");
+  std::printf("data bytes: %.2f MiB\n", s.TotalDataBytes() / 1048576.0);
+  if (s.num_masks() > 0) {
+    std::printf("mask shape: %dx%d\n", s.meta(0).width, s.meta(0).height);
+    std::map<ModelId, int64_t> by_model;
+    std::map<ImageId, int64_t> images;
+    for (MaskId id = 0; id < s.num_masks(); ++id) {
+      ++by_model[s.meta(id).model_id];
+      ++images[s.meta(id).image_id];
+    }
+    std::printf("images: %zu\n", images.size());
+    for (const auto& [model, count] : by_model) {
+      std::printf("  model %d: %lld masks\n", model,
+                  static_cast<long long>(count));
+    }
+  }
+  return 0;
+}
+
+std::string ExplainBound(const sql::BoundQuery& bound) {
+  switch (bound.kind) {
+    case sql::BoundQuery::Kind::kFilter:
+      return ExplainFilter(bound.filter);
+    case sql::BoundQuery::Kind::kTopK:
+      return ExplainTopK(bound.topk);
+    case sql::BoundQuery::Kind::kAggregation:
+      return ExplainAggregation(bound.agg);
+    case sql::BoundQuery::Kind::kMaskAgg:
+      return ExplainMaskAgg(bound.mask_agg);
+  }
+  return "<unknown>";
+}
+
+int RunExplain(const Args& args) {
+  if (!args.Has("sql")) return Usage();
+  auto bound = sql::ParseAndBind(args.Get("sql"));
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", ExplainBound(*bound).c_str());
+  return 0;
+}
+
+/// Imports a directory of .npy saliency maps into a mask store. Files are
+/// taken in lexicographic order; `--models M` interprets consecutive runs of
+/// M files as the masks of one image.
+int RunImport(const Args& args) {
+  if (!args.Has("dir") || !args.Has("npy-dir")) return Usage();
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(args.Get("npy-dir"), ec)) {
+    if (entry.path().extension() == ".npy") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot list %s: %s\n", args.Get("npy-dir").c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "no .npy files in %s\n", args.Get("npy-dir").c_str());
+    return 1;
+  }
+  const int64_t models = std::max<int64_t>(1, args.GetInt("models", 1));
+  auto writer = MaskStoreWriter::Create(args.Get("dir"));
+  if (!writer.ok()) {
+    std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    auto mask = ReadNpyFile(files[i]);
+    if (!mask.ok()) {
+      std::fprintf(stderr, "%s: %s\n", files[i].c_str(),
+                   mask.status().ToString().c_str());
+      return 1;
+    }
+    MaskMeta meta;
+    meta.image_id = static_cast<ImageId>(i / models);
+    meta.model_id = static_cast<ModelId>(i % models);
+    meta.object_box = mask->Extent();  // unknown: default to the full mask
+    auto id = (*writer)->Append(meta, *mask);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const Status st = (*writer)->Finish();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("imported %zu masks into %s\n", files.size(),
+              args.Get("dir").c_str());
+  return 0;
+}
+
+/// Exports one mask back to .npy.
+int RunExport(const Args& args) {
+  if (!args.Has("dir") || !args.Has("mask-id") || !args.Has("out")) {
+    return Usage();
+  }
+  auto store = MaskStore::Open(args.Get("dir"));
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  auto mask = (*store)->LoadMask(args.GetInt("mask-id", 0));
+  if (!mask.ok()) {
+    std::fprintf(stderr, "%s\n", mask.status().ToString().c_str());
+    return 1;
+  }
+  const Status st = WriteNpyFile(args.Get("out"), *mask);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%dx%d)\n", args.Get("out").c_str(), mask->width(),
+              mask->height());
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  if (!args.Has("dir") || !args.Has("sql")) return Usage();
+  auto store = MaskStore::Open(args.Get("dir"));
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  auto bound = sql::ParseAndBind(args.Get("sql"));
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  if (args.Has("explain")) {
+    std::printf("%s\n", ExplainBound(*bound).c_str());
+  }
+
+  SessionOptions opts;
+  const int32_t side = (*store)->num_masks() > 0 ? (*store)->meta(0).width : 112;
+  opts.chi.cell_width = opts.chi.cell_height =
+      static_cast<int32_t>(args.GetInt("cell", std::max(1, side / 8)));
+  opts.chi.num_bins = static_cast<int32_t>(args.GetInt("bins", 16));
+  opts.incremental = args.Has("incremental");
+  opts.use_index = !args.Has("no-index");
+  opts.index_path = args.Get("index-path");
+  opts.attach_index = args.Has("attach-index");
+  auto session = Session::Open(store->get(), opts);
+  if (!session.ok()) {
+    std::fprintf(stderr, "session failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  if (!opts.incremental && opts.use_index) {
+    std::printf("-- index built in %.2fs\n", (*session)->index_build_seconds());
+  }
+
+  const size_t print_limit =
+      static_cast<size_t>(args.GetInt("limit-print", 20));
+  switch (bound->kind) {
+    case sql::BoundQuery::Kind::kFilter: {
+      auto r = (*session)->Filter(bound->filter);
+      if (!r.ok()) break;
+      std::printf("-- %zu masks match\n", r->mask_ids.size());
+      for (size_t i = 0; i < r->mask_ids.size() && i < print_limit; ++i) {
+        std::printf("%s\n", (*store)->meta(r->mask_ids[i]).ToString().c_str());
+      }
+      if (r->mask_ids.size() > print_limit) std::printf("...\n");
+      std::printf("-- %s\n", SummarizeStats(r->stats).c_str());
+      if (opts.incremental && !opts.index_path.empty()) {
+        (void)(*session)->Save();
+      }
+      return 0;
+    }
+    case sql::BoundQuery::Kind::kTopK: {
+      auto r = (*session)->TopK(bound->topk);
+      if (!r.ok()) break;
+      for (size_t i = 0; i < r->items.size() && i < print_limit; ++i) {
+        std::printf("%3zu. mask %lld  value %.4f\n", i + 1,
+                    static_cast<long long>(r->items[i].mask_id),
+                    r->items[i].value);
+      }
+      std::printf("-- %s\n", SummarizeStats(r->stats).c_str());
+      return 0;
+    }
+    case sql::BoundQuery::Kind::kAggregation: {
+      auto r = (*session)->Aggregate(bound->agg);
+      if (!r.ok()) break;
+      for (size_t i = 0; i < r->groups.size() && i < print_limit; ++i) {
+        std::printf("%3zu. group %lld  aggregate %.4f\n", i + 1,
+                    static_cast<long long>(r->groups[i].group),
+                    r->groups[i].value);
+      }
+      std::printf("-- %s\n", SummarizeStats(r->stats).c_str());
+      return 0;
+    }
+    case sql::BoundQuery::Kind::kMaskAgg: {
+      auto r = (*session)->MaskAggregate(bound->mask_agg);
+      if (!r.ok()) break;
+      for (size_t i = 0; i < r->groups.size() && i < print_limit; ++i) {
+        std::printf("%3zu. group %lld  CP(derived) %.0f\n", i + 1,
+                    static_cast<long long>(r->groups[i].group),
+                    r->groups[i].value);
+      }
+      std::printf("-- %s\n", SummarizeStats(r->stats).c_str());
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "query execution failed\n");
+  return 1;
+}
+
+}  // namespace
+}  // namespace masksearch
+
+int main(int argc, char** argv) {
+  using namespace masksearch;
+  const Args args = ParseArgs(argc, argv);
+  if (args.command == "generate") return RunGenerate(args);
+  if (args.command == "info") return RunInfo(args);
+  if (args.command == "query") return RunQuery(args);
+  if (args.command == "explain") return RunExplain(args);
+  if (args.command == "import") return RunImport(args);
+  if (args.command == "export") return RunExport(args);
+  return Usage();
+}
