@@ -1,0 +1,42 @@
+# Convenience wrapper around the CMake build. The canonical commands live in
+# README.md; this just saves typing. `make verify` is the tier-1 gate.
+
+BUILD_DIR ?= build
+JOBS ?= $(shell nproc)
+
+.PHONY: all configure build test tier1 slow verify asan tsan bench-smoke clean
+
+all: build
+
+configure:
+	cmake -B $(BUILD_DIR) -S .
+
+build: configure
+	cmake --build $(BUILD_DIR) -j$(JOBS)
+
+test: build
+	ctest --test-dir $(BUILD_DIR) --output-on-failure -j$(JOBS)
+
+tier1: build
+	ctest --test-dir $(BUILD_DIR) -L tier1 --output-on-failure -j$(JOBS)
+
+slow: build
+	ctest --test-dir $(BUILD_DIR) -L "slow|fuzz" --output-on-failure
+
+verify: test
+
+asan:
+	cmake -B $(BUILD_DIR)-asan -S . -DCMAKE_BUILD_TYPE=Debug -DMASKSEARCH_SANITIZE=address
+	cmake --build $(BUILD_DIR)-asan -j$(JOBS)
+	ctest --test-dir $(BUILD_DIR)-asan -L tier1 --output-on-failure -j$(JOBS)
+
+tsan:
+	cmake -B $(BUILD_DIR)-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DMASKSEARCH_SANITIZE=thread
+	cmake --build $(BUILD_DIR)-tsan -j$(JOBS)
+	ctest --test-dir $(BUILD_DIR)-tsan -L tier1 --output-on-failure -j$(JOBS)
+
+bench-smoke: build
+	tools/run_benchmarks.sh $(BUILD_DIR)
+
+clean:
+	rm -rf $(BUILD_DIR) $(BUILD_DIR)-asan $(BUILD_DIR)-tsan

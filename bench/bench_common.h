@@ -36,10 +36,23 @@ struct BenchFlags {
   int queries = 60;          ///< randomized-query count (Fig 8/9)
   int workload_queries = 40; ///< multi-query workload length (Fig 11)
 
+  static void PrintUsage(const char* prog) {
+    std::fprintf(stderr,
+                 "usage: %s [--data-dir=PATH] [--wilds-scale=F]\n"
+                 "          [--imagenet-scale=F] [--bandwidth-mib=F]\n"
+                 "          [--latency-us=F] [--queries=N]\n"
+                 "          [--workload-queries=N]\n",
+                 prog);
+  }
+
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags f;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        PrintUsage(argv[0]);
+        std::exit(0);
+      }
       auto eat = [&](const char* name, auto setter) {
         const std::string prefix = std::string("--") + name + "=";
         if (arg.rfind(prefix, 0) == 0) {

@@ -1,0 +1,63 @@
+# Shared compile options for every MaskSearch target.
+#
+# Usage: target_link_libraries(<tgt> PRIVATE masksearch_build_flags)
+# All first-party targets are created through the masksearch_add_* helpers
+# below, which apply the flags automatically.
+
+include_guard(GLOBAL)
+
+find_package(Threads REQUIRED)
+
+add_library(masksearch_build_flags INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  # The tree is clean under the stricter set too; keep it that way.
+  target_compile_options(masksearch_build_flags INTERFACE
+    -Wall -Wextra -Wpedantic -Wshadow -Wextra-semi -Wnon-virtual-dtor)
+  if(MASKSEARCH_WERROR)
+    target_compile_options(masksearch_build_flags INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(masksearch_build_flags INTERFACE /W4)
+  if(MASKSEARCH_WERROR)
+    target_compile_options(masksearch_build_flags INTERFACE /WX)
+  endif()
+endif()
+
+target_link_libraries(masksearch_build_flags INTERFACE Threads::Threads)
+
+# masksearch_add_layer(<name> SOURCES ... [DEPS ...])
+#
+# Declares one layer of the core library as a static library named
+# masksearch_<name> (with an alias masksearch::<name>), using the repo-wide
+# include root (src/) and warning flags. Header-only layers pass no SOURCES
+# and become INTERFACE targets.
+function(masksearch_add_layer name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  set(target masksearch_${name})
+  if(ARG_SOURCES)
+    add_library(${target} STATIC ${ARG_SOURCES})
+    target_include_directories(${target}
+      PUBLIC $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}/src>)
+    target_link_libraries(${target}
+      PUBLIC ${ARG_DEPS}
+      PRIVATE masksearch_build_flags)
+  else()
+    add_library(${target} INTERFACE)
+    target_include_directories(${target}
+      INTERFACE $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}/src>)
+    target_link_libraries(${target} INTERFACE ${ARG_DEPS})
+  endif()
+  add_library(masksearch::${name} ALIAS ${target})
+endfunction()
+
+# masksearch_add_executable(<name> SOURCES ... [DEPS ...])
+#
+# Declares a first-party executable linked against the umbrella library and
+# the shared warning flags.
+function(masksearch_add_executable name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name}
+    PRIVATE masksearch ${ARG_DEPS} masksearch_build_flags)
+endfunction()

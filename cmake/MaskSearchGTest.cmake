@@ -1,0 +1,36 @@
+# GoogleTest integration with an offline fallback chain:
+#
+#   1. System GTest via find_package(GTest) — works in the hermetic CI image,
+#      which bakes in libgtest-dev.
+#   2. FetchContent of googletest v1.14.0 — used on developer machines with
+#      network access but no system package.
+#
+# Either path yields the imported targets GTest::gtest and GTest::gtest_main
+# plus the gtest_discover_tests() helper from the GoogleTest module.
+
+include_guard(GLOBAL)
+
+find_package(GTest QUIET)
+
+if(GTest_FOUND)
+  message(STATUS "MaskSearch: using system GoogleTest (${GTEST_INCLUDE_DIRS})")
+else()
+  message(STATUS "MaskSearch: system GoogleTest not found, using FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  # Never install googletest with the project; keep gmock out of the build.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()
+
+include(GoogleTest)

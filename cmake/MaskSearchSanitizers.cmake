@@ -1,0 +1,38 @@
+# Opt-in sanitizer instrumentation.
+#
+#   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DMASKSEARCH_SANITIZE=thread
+#
+# Accepted values: address (ASan + LSan), thread (TSan), undefined (UBSan).
+# The flags are applied globally (via add_compile_options/add_link_options)
+# so the core library, tests, and benches are all instrumented consistently —
+# mixing instrumented and uninstrumented TUs produces false positives under
+# TSan.
+
+include_guard(GLOBAL)
+
+if(NOT MASKSEARCH_SANITIZE)
+  return()
+endif()
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  message(FATAL_ERROR
+    "MASKSEARCH_SANITIZE requires GCC or Clang (got ${CMAKE_CXX_COMPILER_ID})")
+endif()
+
+set(_ms_san_flags "")
+if(MASKSEARCH_SANITIZE STREQUAL "address")
+  set(_ms_san_flags -fsanitize=address -fno-omit-frame-pointer)
+elseif(MASKSEARCH_SANITIZE STREQUAL "thread")
+  set(_ms_san_flags -fsanitize=thread -fno-omit-frame-pointer)
+elseif(MASKSEARCH_SANITIZE STREQUAL "undefined")
+  set(_ms_san_flags -fsanitize=undefined -fno-sanitize-recover=all
+                    -fno-omit-frame-pointer)
+else()
+  message(FATAL_ERROR
+    "MASKSEARCH_SANITIZE must be address, thread, undefined, or empty "
+    "(got '${MASKSEARCH_SANITIZE}')")
+endif()
+
+message(STATUS "MaskSearch: building with -fsanitize=${MASKSEARCH_SANITIZE}")
+add_compile_options(${_ms_san_flags})
+add_link_options(${_ms_san_flags})

@@ -161,9 +161,9 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{8, 8, true, StorageKind::kRawFloat32},    // equi-depth
         SweepParam{8, 16, false, StorageKind::kCompressed},  // codec path
         SweepParam{8, 8, true, StorageKind::kCompressed}),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
       std::ostringstream os;
-      os << info.param;
+      os << param_info.param;
       return os.str();
     });
 

@@ -139,8 +139,12 @@ TEST(PredicateTest, BoundEvalIsSoundForRandomPredicates) {
     const Interval i1{v1 - rng.Uniform(0, 10), v1 + rng.Uniform(0, 10)};
     const Tri tri = p.EvalBounds({i0, i1});
     const bool exact = p.EvalExact({v0, v1});
-    if (tri == Tri::kTrue) ASSERT_TRUE(exact);
-    if (tri == Tri::kFalse) ASSERT_FALSE(exact);
+    if (tri == Tri::kTrue) {
+      ASSERT_TRUE(exact);
+    }
+    if (tri == Tri::kFalse) {
+      ASSERT_FALSE(exact);
+    }
   }
 }
 

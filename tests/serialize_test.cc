@@ -1,0 +1,190 @@
+// Round-trip coverage for common/serialize.h and the Chi / ChiConfig wire
+// format: primitives, strings, vectors, reader exhaustion, and
+// build -> serialize -> deserialize -> identical bounds on random ROIs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "masksearch/common/serialize.h"
+#include "masksearch/index/bounds.h"
+#include "masksearch/index/chi.h"
+#include "masksearch/index/chi_builder.h"
+#include "masksearch/query/cp.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::BlobMask;
+
+TEST(BufferRoundTripTest, Primitives) {
+  BufferWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeefu);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutI32(-12345);
+  w.PutI64(std::numeric_limits<int64_t>::min());
+  w.PutF32(3.5f);
+  w.PutF64(-2.25);
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.GetU8().ValueOrDie(), 0xab);
+  EXPECT_EQ(r.GetU16().ValueOrDie(), 0xbeef);
+  EXPECT_EQ(r.GetU32().ValueOrDie(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().ValueOrDie(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.GetI32().ValueOrDie(), -12345);
+  EXPECT_EQ(r.GetI64().ValueOrDie(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(r.GetF32().ValueOrDie(), 3.5f);
+  EXPECT_EQ(r.GetF64().ValueOrDie(), -2.25);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufferRoundTripTest, LittleEndianLayout) {
+  BufferWriter w;
+  w.PutU32(0x04030201u);
+  const std::string& buf = w.buffer();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(buf[1]), 0x02);
+  EXPECT_EQ(static_cast<uint8_t>(buf[2]), 0x03);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x04);
+}
+
+TEST(BufferRoundTripTest, StringsAndVectors) {
+  BufferWriter w;
+  w.PutString("");
+  w.PutString(std::string("bin\0ary", 7));
+  w.PutVector(std::vector<uint32_t>{});
+  w.PutVector(std::vector<double>{-1.5, 0.0, 2.75});
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.GetString().ValueOrDie(), "");
+  EXPECT_EQ(r.GetString().ValueOrDie(), std::string("bin\0ary", 7));
+  EXPECT_TRUE(r.GetVector<uint32_t>().ValueOrDie().empty());
+  EXPECT_EQ(r.GetVector<double>().ValueOrDie(),
+            (std::vector<double>{-1.5, 0.0, 2.75}));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufferRoundTripTest, ReaderNeverOverReads) {
+  BufferWriter w;
+  w.PutU16(7);
+  BufferReader r(w.buffer());
+  EXPECT_FALSE(r.GetU32().ok());  // only 2 bytes available
+  EXPECT_EQ(r.GetU16().ValueOrDie(), 7);
+  EXPECT_FALSE(r.GetU8().ok());
+  EXPECT_FALSE(r.GetString().ok());
+  EXPECT_FALSE(r.Skip(1).ok());
+}
+
+TEST(BufferRoundTripTest, VectorLengthBombRejected) {
+  // A corrupt u64 length must fail cleanly, not allocate.
+  BufferWriter w;
+  w.PutU64(std::numeric_limits<uint64_t>::max());
+  BufferReader r(w.buffer());
+  EXPECT_FALSE(r.GetVector<uint32_t>().ok());
+}
+
+ChiConfig EquiWidthConfig() {
+  ChiConfig cfg;
+  cfg.cell_width = 7;   // deliberately not dividing the mask width
+  cfg.cell_height = 9;
+  cfg.num_bins = 8;
+  return cfg;
+}
+
+ChiConfig EquiDepthConfig() {
+  ChiConfig cfg;
+  cfg.cell_width = 8;
+  cfg.cell_height = 8;
+  cfg.num_bins = 4;
+  cfg.custom_edges = {0.1, 0.4, 0.75};
+  return cfg;
+}
+
+TEST(ChiSerializeTest, ConfigSurvivesRoundTrip) {
+  for (const ChiConfig& cfg : {EquiWidthConfig(), EquiDepthConfig()}) {
+    Rng rng(99);
+    const Mask mask = BlobMask(&rng, 61, 45);
+    const Chi chi = BuildChi(mask, cfg);
+
+    BufferWriter w;
+    chi.Serialize(&w);
+    BufferReader r(w.buffer());
+    auto back = Chi::Deserialize(&r);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(r.remaining(), 0u);
+
+    EXPECT_EQ(back->width(), chi.width());
+    EXPECT_EQ(back->height(), chi.height());
+    EXPECT_TRUE(back->config() == cfg);
+    EXPECT_EQ(back->num_boundaries_x(), chi.num_boundaries_x());
+    EXPECT_EQ(back->num_boundaries_y(), chi.num_boundaries_y());
+    EXPECT_EQ(back->MemoryBytes(), chi.MemoryBytes());
+  }
+}
+
+TEST(ChiSerializeTest, IdenticalBoundsOnRandomRois) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int32_t w = static_cast<int32_t>(rng.UniformInt(20, 90));
+    const int32_t h = static_cast<int32_t>(rng.UniformInt(20, 90));
+    const Mask mask = BlobMask(&rng, w, h);
+    const ChiConfig cfg = trial % 2 == 0 ? EquiWidthConfig() : EquiDepthConfig();
+    const Chi chi = BuildChi(mask, cfg);
+
+    BufferWriter buf;
+    chi.Serialize(&buf);
+    BufferReader r(buf.buffer());
+    auto back = Chi::Deserialize(&r);
+    ASSERT_TRUE(back.ok()) << back.status();
+
+    for (int i = 0; i < 25; ++i) {
+      const int32_t x0 = static_cast<int32_t>(rng.UniformInt(0, w - 1));
+      const int32_t y0 = static_cast<int32_t>(rng.UniformInt(0, h - 1));
+      const int32_t x1 = static_cast<int32_t>(rng.UniformInt(x0 + 1, w));
+      const int32_t y1 = static_cast<int32_t>(rng.UniformInt(y0 + 1, h));
+      const ROI roi(x0, y0, x1, y1);
+      const double lv = rng.Uniform(0.0, 0.9);
+      const ValueRange range(lv, rng.Uniform(lv + 0.01, 1.0));
+
+      const CpBounds want = ComputeCpBounds(chi, roi, range);
+      const CpBounds got = ComputeCpBounds(*back, roi, range);
+      EXPECT_EQ(got.lower, want.lower) << roi.ToString();
+      EXPECT_EQ(got.upper, want.upper) << roi.ToString();
+
+      // And both must bracket the exact CP value (§3.2 guarantee).
+      const int64_t exact = CountPixels(mask, roi, range);
+      EXPECT_LE(got.lower, exact);
+      EXPECT_GE(got.upper, exact);
+    }
+  }
+}
+
+TEST(ChiSerializeTest, CorruptHeaderRejected) {
+  Rng rng(7);
+  const Chi chi = BuildChi(BlobMask(&rng, 32, 32), EquiWidthConfig());
+  BufferWriter w;
+  chi.Serialize(&w);
+  std::string bytes = w.buffer();
+
+  // Zero out the width: header validation must fire.
+  for (int i = 0; i < 4; ++i) bytes[i] = 0;
+  BufferReader r(bytes);
+  EXPECT_FALSE(Chi::Deserialize(&r).ok());
+
+  // Truncations anywhere must fail cleanly.
+  const std::string& full = w.buffer();
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{17}, full.size() - 1}) {
+    BufferReader t(full.data(), cut);
+    EXPECT_FALSE(Chi::Deserialize(&t).ok()) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace masksearch

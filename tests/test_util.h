@@ -4,7 +4,9 @@
 #define MASKSEARCH_TESTS_TEST_UTIL_H_
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <memory>
 #include <string>

@@ -25,6 +25,7 @@
 #include "masksearch/exec/explain.h"
 #include "masksearch/masksearch.h"
 #include "masksearch/storage/npy.h"
+#include "masksearch/version.h"
 
 namespace masksearch {
 namespace {
@@ -63,8 +64,9 @@ Args ParseArgs(int argc, char** argv) {
   return args;
 }
 
-int Usage() {
-  std::fprintf(stderr,
+int Usage(int exit_code = 2) {
+  std::fprintf(exit_code == 0 ? stdout : stderr,
+               "masksearch_cli %s\n"
                "usage: masksearch_cli <generate|info|query|explain> [options]\n"
                "  generate --dir D [--images N] [--models M] [--width W]\n"
                "           [--height H] [--seed S] [--compressed]\n"
@@ -74,8 +76,10 @@ int Usage() {
                "           [--limit-print K]\n"
                "  explain  --sql S\n"
                "  import   --dir D --npy-dir P [--models M]\n"
-               "  export   --dir D --mask-id N --out F.npy\n");
-  return 2;
+               "  export   --dir D --mask-id N --out F.npy\n"
+               "  --help | --version\n",
+               VersionString());
+  return exit_code;
 }
 
 int RunGenerate(const Args& args) {
@@ -330,6 +334,14 @@ int RunQuery(const Args& args) {
 int main(int argc, char** argv) {
   using namespace masksearch;
   const Args args = ParseArgs(argc, argv);
+  if (args.Has("help") || args.command == "help" || args.command == "--help") {
+    return Usage(0);
+  }
+  if (args.Has("version") || args.command == "version" ||
+      args.command == "--version") {
+    std::printf("masksearch_cli %s\n", VersionString());
+    return 0;
+  }
   if (args.command == "generate") return RunGenerate(args);
   if (args.command == "info") return RunInfo(args);
   if (args.command == "query") return RunQuery(args);

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Builds (if needed) and smoke-runs every bench driver for one tiny
+# iteration so benchmark bit-rot fails CI. Full paper-scale runs use the
+# drivers directly with their default flags.
+#
+# usage: tools/run_benchmarks.sh [BUILD_DIR] [-- extra flags...]
+set -euo pipefail
+
+BUILD_DIR="build"
+if [ $# -gt 0 ] && [ "$1" != "--" ]; then
+  BUILD_DIR="$1"
+  shift
+fi
+[ "${1:-}" = "--" ] && shift
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DMASKSEARCH_BUILD_BENCHMARKS=ON
+fi
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+DATA_DIR="$(mktemp -d "${TMPDIR:-/tmp}/masksearch_bench_smoke.XXXXXX")"
+trap 'rm -rf "$DATA_DIR"' EXIT
+
+# Tiny scales: each driver must finish in seconds, exercising the full
+# dataset-generation -> index-build -> query path.
+SMOKE_FLAGS=(
+  "--data-dir=$DATA_DIR"
+  "--wilds-scale=0.004"
+  "--imagenet-scale=0.0004"
+  "--queries=2"
+  "--workload-queries=2"
+  "$@"
+)
+
+status=0
+for driver in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$driver" ] && [ -f "$driver" ] || continue
+  name="$(basename "$driver")"
+  echo "==> $name"
+  "$driver" --help >/dev/null 2>&1
+  if [ "$name" = bench_micro_kernels ]; then
+    # google-benchmark harness: its own flag set. min_time=0 runs the
+    # minimum iteration count per kernel (the "1x" syntax needs >= 1.8).
+    args=(--benchmark_min_time=0)
+  else
+    args=("${SMOKE_FLAGS[@]}")
+  fi
+  if ! "$driver" "${args[@]}" >/dev/null; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+done
+
+exit $status
