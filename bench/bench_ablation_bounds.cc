@@ -113,7 +113,7 @@ void RunTopKOrder(const BenchData& data, IndexManager* index,
 int main(int argc, char** argv) {
   using namespace masksearch::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
-  PrintHeader("bench_ablation_bounds",
+  PrintHeader(flags, "bench_ablation_bounds",
               "§3.2.1 bound-approach ablation + §3.5 processing order");
   BenchData data = OpenDataset(BenchDataset::kWilds, flags);
   RunBoundApproaches(data);

@@ -83,7 +83,7 @@ void Run(const BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace masksearch::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
-  PrintHeader("bench_ablation_equidepth",
+  PrintHeader(flags, "bench_ablation_equidepth",
               "§3.1 bucket-scheme ablation (equi-width vs equi-depth)");
   Run(flags);
   return 0;

@@ -70,7 +70,7 @@ void Run(const BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace masksearch::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
-  PrintHeader("bench_ablation_granularity",
+  PrintHeader(flags, "bench_ablation_granularity",
               "§4.4 granularity trade-off (index size vs FML vs time)");
   Run(flags);
   return 0;

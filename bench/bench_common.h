@@ -11,6 +11,9 @@
 //   --imagenet-scale=F     fraction of the real ImageNet size (default 0.0025)
 //   --bandwidth-mib=F      modeled disk bandwidth, MiB/s      (default 125)
 //   --latency-us=F         modeled per-request latency, µs    (default 200)
+//   --json-out=DIR         write BENCH_<driver>.json with the recorded
+//                          metrics + wall time (machine-readable results for
+//                          the CI artifact / perf trajectory)
 
 #ifndef MASKSEARCH_BENCH_BENCH_COMMON_H_
 #define MASKSEARCH_BENCH_BENCH_COMMON_H_
@@ -35,13 +38,14 @@ struct BenchFlags {
   double latency_us = 200.0;
   int queries = 60;          ///< randomized-query count (Fig 8/9)
   int workload_queries = 40; ///< multi-query workload length (Fig 11)
+  std::string json_out;      ///< directory for BENCH_<driver>.json ("" = off)
 
   static void PrintUsage(const char* prog) {
     std::fprintf(stderr,
                  "usage: %s [--data-dir=PATH] [--wilds-scale=F]\n"
                  "          [--imagenet-scale=F] [--bandwidth-mib=F]\n"
                  "          [--latency-us=F] [--queries=N]\n"
-                 "          [--workload-queries=N]\n",
+                 "          [--workload-queries=N] [--json-out=DIR]\n",
                  prog);
   }
 
@@ -73,9 +77,9 @@ struct BenchFlags {
               [&](const std::string& v) { f.latency_us = std::stod(v); }) ||
           eat("queries",
               [&](const std::string& v) { f.queries = std::stoi(v); }) ||
-          eat("workload-queries", [&](const std::string& v) {
-            f.workload_queries = std::stoi(v);
-          });
+          eat("workload-queries",
+              [&](const std::string& v) { f.workload_queries = std::stoi(v); }) ||
+          eat("json-out", [&](const std::string& v) { f.json_out = v; });
       if (!ok && arg.rfind("--benchmark", 0) != 0) {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
         std::exit(2);
@@ -154,7 +158,77 @@ inline std::unique_ptr<IndexManager> BuildOrLoadIndex(const BenchData& data) {
   return index;
 }
 
-inline void PrintHeader(const char* title, const char* paper_ref) {
+/// Machine-readable results: each driver records named scalar metrics and a
+/// BENCH_<driver>.json file is written at process exit when --json-out=DIR
+/// is set. The CI bench-smoke lane uploads these as the perf-trajectory
+/// artifact, so numbers across PRs stay comparable.
+class JsonReport {
+ public:
+  static JsonReport& Instance() {
+    static JsonReport* r = new JsonReport();  // leaked: written via atexit
+    return *r;
+  }
+
+  /// Enables emission (no-op when `out_dir` is empty). Called by
+  /// PrintHeader with the driver name.
+  void Init(const std::string& driver, const std::string& out_dir) {
+    driver_ = driver;
+    out_dir_ = out_dir;
+    start_ = Stopwatch();
+    if (!out_dir_.empty()) {
+      std::atexit([] { JsonReport::Instance().Write(); });
+    }
+  }
+
+  /// Records one scalar result. Insertion-ordered; re-recording a name
+  /// overwrites its value (JSON objects cannot carry duplicate keys).
+  void Metric(const std::string& name, double value) {
+    for (auto& m : metrics_) {
+      if (m.first == name) {
+        m.second = value;
+        return;
+      }
+    }
+    metrics_.emplace_back(name, value);
+  }
+
+  void Write() {
+    if (out_dir_.empty() || written_) return;
+    written_ = true;
+    CreateDirs(out_dir_).CheckOK();
+    const std::string path = out_dir_ + "/BENCH_" + driver_ + ".json";
+    std::string json = "{\n  \"driver\": \"" + driver_ + "\",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", start_.ElapsedSeconds());
+    json += "  \"wall_seconds\": " + std::string(buf) + ",\n";
+    json += "  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.9g", metrics_[i].second);
+      json += (i == 0 ? "\n" : ",\n");
+      json += "    \"" + metrics_[i].first + "\": " + buf;
+    }
+    json += metrics_.empty() ? "}\n" : "\n  }\n";
+    json += "}\n";
+    WriteFile(path, json).CheckOK();
+    std::printf("json: wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string driver_;
+  std::string out_dir_;
+  Stopwatch start_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  bool written_ = false;
+};
+
+/// Convenience wrapper for JsonReport::Instance().Metric.
+inline void RecordMetric(const std::string& name, double value) {
+  JsonReport::Instance().Metric(name, value);
+}
+
+inline void PrintHeader(const BenchFlags& flags, const char* title,
+                        const char* paper_ref) {
+  JsonReport::Instance().Init(title, flags.json_out);
   std::printf("==============================================================\n");
   std::printf("%s\n", title);
   std::printf("reproduces: %s\n", paper_ref);

@@ -102,7 +102,7 @@ void RunDataset(BenchDataset d, const BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace masksearch::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
-  PrintHeader("bench_fig10_bound_distribution",
+  PrintHeader(flags, "bench_fig10_bound_distribution",
               "Figure 10 (distribution of CP bounds; FML vs threshold T)");
   RunDataset(BenchDataset::kWilds, flags);
   RunDataset(BenchDataset::kImageNet, flags);

@@ -146,7 +146,7 @@ void RunDataset(BenchDataset d, const BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace masksearch::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
-  PrintHeader("bench_fig11_workloads",
+  PrintHeader(flags, "bench_fig11_workloads",
               "Figure 11 (multi-query workloads; MS vs MS-II vs NumPy)");
   RunDataset(BenchDataset::kWilds, flags);
   RunDataset(BenchDataset::kImageNet, flags);

@@ -192,7 +192,7 @@ void RunDataset(BenchDataset d, const BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace masksearch::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
-  PrintHeader("bench_fig7_individual_queries",
+  PrintHeader(flags, "bench_fig7_individual_queries",
               "Figure 7 (query time Q1-Q5, 4 systems, 2 datasets) + Table 2");
   RunDataset(BenchDataset::kWilds, flags);
   RunDataset(BenchDataset::kImageNet, flags);

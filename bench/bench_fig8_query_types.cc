@@ -77,6 +77,9 @@ void RunDataset(BenchDataset d, const BenchFlags& flags) {
     const DistributionSummary s = Summarize(r.seconds);
     std::printf("%-12s %10.4f %10.4f %10.4f %10.4f %10.4f %9zu\n", r.name,
                 s.min, s.p25, s.median, s.p75, s.max, s.num_outliers);
+    RecordMetric(std::string(DatasetName(d)) + "/" + r.name + "/median_s",
+                 s.median);
+    RecordMetric(std::string(DatasetName(d)) + "/" + r.name + "/p75_s", s.p75);
   }
   // §4.3 reports prune counts at the 75th-percentile query time.
   for (const auto& r : results) {
@@ -98,7 +101,7 @@ void RunDataset(BenchDataset d, const BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace masksearch::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
-  PrintHeader("bench_fig8_query_types",
+  PrintHeader(flags, "bench_fig8_query_types",
               "Figure 8 (query-time distribution per query type, box plots)");
   RunDataset(BenchDataset::kWilds, flags);
   RunDataset(BenchDataset::kImageNet, flags);

@@ -62,7 +62,7 @@ void RunDataset(BenchDataset d, const BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace masksearch::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
-  PrintHeader("bench_fig9_fml_correlation",
+  PrintHeader(flags, "bench_fig9_fml_correlation",
               "Figure 9 (query time vs fraction of masks loaded)");
   RunDataset(BenchDataset::kWilds, flags);
   RunDataset(BenchDataset::kImageNet, flags);

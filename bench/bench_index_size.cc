@@ -62,6 +62,8 @@ void RunDataset(BenchDataset d, const BenchFlags& flags) {
     std::printf("%-20s %6d %12.2f %12.2f %12.2f\n", c.label, c.bins,
                 total_index / 1048576.0, 100.0 * total_index / raw_total,
                 100.0 * total_index / compressed_total);
+    RecordMetric(std::string(DatasetName(d)) + "/" + c.label + "/index_bytes",
+                 total_index);
   }
   std::printf("note: the index/mask size ratio scales inversely with mask "
               "area at fixed grid proportions — the 224x224 dataset is the "
@@ -78,7 +80,7 @@ void RunDataset(BenchDataset d, const BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace masksearch::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
-  PrintHeader("bench_index_size",
+  PrintHeader(flags, "bench_index_size",
               "§4.1 index-size claim (~5% of compressed dataset)");
   RunDataset(BenchDataset::kWilds, flags);
   RunDataset(BenchDataset::kImageNet, flags);

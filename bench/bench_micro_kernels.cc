@@ -1,8 +1,19 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels: the CP scan, CHI
-// construction (the §3.1 O(w·h) preprocessing), bound computation (the
-// per-mask filter-stage cost), and the compression codec.
+// construction (the §3.1 O(w·h) preprocessing) in blocked and reference
+// variants, the derived-mask aggregation kernels (fused vs reference), the
+// fused derived-CP count, batched mask I/O, bound computation (the per-mask
+// filter-stage cost), and the compression codec.
+//
+// The *Reference variants are the pre-kernel scalar code paths; comparing
+// them against the kernel variants in one run measures the kernel-layer
+// speedup directly. Emit machine-readable results with
+//   --benchmark_out=BENCH_micro_kernels.json --benchmark_out_format=json
+// (tools/run_benchmarks.sh does this for the CI artifact).
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 #include "masksearch/masksearch.h"
 
@@ -60,6 +71,180 @@ void BM_ChiBuild(benchmark::State& state) {
                           mask.ByteSize());
 }
 BENCHMARK(BM_ChiBuild)->Arg(112)->Arg(224)->Arg(448);
+
+void BM_ChiBuildReference(benchmark::State& state) {
+  const int32_t side = static_cast<int32_t>(state.range(0));
+  const Mask mask = MakeBlobMask(side, 3);
+  const ChiConfig cfg = DefaultConfig(side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildChiReference(mask, cfg));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          mask.ByteSize());
+}
+BENCHMARK(BM_ChiBuildReference)->Arg(112)->Arg(224)->Arg(448);
+
+// --- derived-mask aggregation kernels (§3.4) ---
+
+std::vector<Mask> MakeGroup(size_t members, int32_t side) {
+  std::vector<Mask> masks;
+  for (size_t i = 0; i < members; ++i) {
+    masks.push_back(MakeBlobMask(side, 40 + i));
+  }
+  return masks;
+}
+
+std::vector<const float*> GroupPtrs(const std::vector<Mask>& masks) {
+  std::vector<const float*> p;
+  for (const Mask& m : masks) p.push_back(m.data().data());
+  return p;
+}
+
+DerivedAggOp OpFromRange(int64_t r) {
+  return static_cast<DerivedAggOp>(r);
+}
+
+void BM_DerivedMaskKernel(benchmark::State& state) {
+  const DerivedAggOp op = OpFromRange(state.range(0));
+  const std::vector<Mask> masks = MakeGroup(8, 224);
+  const std::vector<const float*> ptrs = GroupPtrs(masks);
+  std::vector<float> out(masks[0].data().size());
+  for (auto _ : state) {
+    DerivedMaskKernel(op, 0.7f, DerivedMaskOne(), ptrs.data(), ptrs.size(),
+                      out.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          masks.size() * masks[0].ByteSize());
+}
+BENCHMARK(BM_DerivedMaskKernel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DerivedMaskReference(benchmark::State& state) {
+  const DerivedAggOp op = OpFromRange(state.range(0));
+  const std::vector<Mask> masks = MakeGroup(8, 224);
+  const std::vector<const float*> ptrs = GroupPtrs(masks);
+  std::vector<float> out(masks[0].data().size());
+  for (auto _ : state) {
+    DerivedMaskReference(op, 0.7f, DerivedMaskOne(), ptrs.data(), ptrs.size(),
+                         out.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          masks.size() * masks[0].ByteSize());
+}
+BENCHMARK(BM_DerivedMaskReference)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DerivedCpCountFused(benchmark::State& state) {
+  const DerivedAggOp op = OpFromRange(state.range(0));
+  const std::vector<Mask> masks = MakeGroup(8, 224);
+  const std::vector<const float*> ptrs = GroupPtrs(masks);
+  const ROI roi(28, 28, 196, 196);
+  const ValueRange range(0.7, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DerivedCpCount(op, 0.7f, DerivedMaskOne(),
+                                            ptrs.data(), ptrs.size(), 224,
+                                            224, roi, range));
+  }
+}
+BENCHMARK(BM_DerivedCpCountFused)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DerivedCpCountMaterialized(benchmark::State& state) {
+  // The pre-kernel path: materialize the derived mask, then scan it.
+  const DerivedAggOp op = OpFromRange(state.range(0));
+  const std::vector<Mask> masks = MakeGroup(8, 224);
+  const std::vector<const float*> ptrs = GroupPtrs(masks);
+  const ROI roi(28, 28, 196, 196);
+  const ValueRange range(0.7, 1.0);
+  std::vector<float> out(masks[0].data().size());
+  for (auto _ : state) {
+    DerivedMaskReference(op, 0.7f, DerivedMaskOne(), ptrs.data(), ptrs.size(),
+                         out.size(), out.data());
+    benchmark::DoNotOptimize(CountPixelsRaw(out.data(), 224, 224, roi, range));
+  }
+}
+BENCHMARK(BM_DerivedCpCountMaterialized)->Arg(0)->Arg(1)->Arg(2);
+
+// --- batched mask I/O ---
+
+/// Store of `count` small masks under a scratch dir, removed on destruction.
+/// latency_us > 0 opens it through a latency-only DiskThrottle.
+struct ScratchStore {
+  std::string dir;
+  std::unique_ptr<MaskStore> store;
+
+  ScratchStore(int count, double latency_us) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("masksearch_bench_batch_" + std::to_string(::getpid())))
+              .string();
+    std::filesystem::remove_all(dir);
+    auto writer = MaskStoreWriter::Create(dir).ValueOrDie();
+    Rng rng(77);
+    for (int i = 0; i < count; ++i) {
+      Mask m(112, 112);
+      for (float& v : m.mutable_data()) v = rng.NextFloat();
+      writer->Append(MaskMeta{}, m).ValueOrDie();
+    }
+    writer->Finish().CheckOK();
+    MaskStore::Options opts;
+    if (latency_us > 0) {
+      opts.throttle = std::make_shared<DiskThrottle>(0.0, latency_us);
+    }
+    store = MaskStore::Open(dir, opts).ValueOrDie();
+  }
+  ~ScratchStore() { std::filesystem::remove_all(dir); }
+};
+
+// Both variants materialize all 64 masks at once (what the mask-agg
+// verifier does for a group's members). The *Throttled pair runs against
+// the modeled disk (unlimited bandwidth, 50 µs per request — IOP-bound):
+// batching coalesces 64 requests into one.
+void BM_LoadMaskBatch(benchmark::State& state) {
+  ScratchStore s(64, 0.0);
+  std::vector<MaskId> ids(64);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<MaskId>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.store->LoadMaskBatch(ids).ValueOrDie());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          s.store->TotalDataBytes());
+}
+BENCHMARK(BM_LoadMaskBatch);
+
+void BM_LoadMaskSerial(benchmark::State& state) {
+  ScratchStore s(64, 0.0);
+  std::vector<Mask> masks(64);
+  for (auto _ : state) {
+    for (MaskId id = 0; id < s.store->num_masks(); ++id) {
+      masks[id] = s.store->LoadMask(id).ValueOrDie();
+    }
+    benchmark::DoNotOptimize(masks.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          s.store->TotalDataBytes());
+}
+BENCHMARK(BM_LoadMaskSerial);
+
+void BM_LoadMaskBatchThrottled(benchmark::State& state) {
+  ScratchStore s(64, 50.0);
+  std::vector<MaskId> ids(64);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<MaskId>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.store->LoadMaskBatch(ids).ValueOrDie());
+  }
+}
+BENCHMARK(BM_LoadMaskBatchThrottled);
+
+void BM_LoadMaskSerialThrottled(benchmark::State& state) {
+  ScratchStore s(64, 50.0);
+  std::vector<Mask> masks(64);
+  for (auto _ : state) {
+    for (MaskId id = 0; id < s.store->num_masks(); ++id) {
+      masks[id] = s.store->LoadMask(id).ValueOrDie();
+    }
+    benchmark::DoNotOptimize(masks.data());
+  }
+}
+BENCHMARK(BM_LoadMaskSerialThrottled);
 
 void BM_BoundComputation(benchmark::State& state) {
   const int32_t side = static_cast<int32_t>(state.range(0));

@@ -1,7 +1,9 @@
 #include "masksearch/common/io.h"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -93,6 +95,50 @@ Status RandomAccessFile::ReadAt(uint64_t offset, size_t n, void* out) const {
                              std::to_string(offset + done));
     }
     done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status RandomAccessFile::ReadVAt(uint64_t offset,
+                                 std::vector<IoSlice> slices) const {
+  // Drop empty slices up front; preadv rejects iovcnt == 0.
+  size_t idx = 0;
+  uint64_t off = offset;
+  while (idx < slices.size() && slices[idx].size == 0) ++idx;
+  while (idx < slices.size()) {
+    struct iovec iov[IOV_MAX];
+    int cnt = 0;
+    for (size_t i = idx; i < slices.size() && cnt < IOV_MAX; ++i) {
+      if (slices[i].size == 0) continue;
+      iov[cnt].iov_base = slices[i].data;
+      iov[cnt].iov_len = slices[i].size;
+      ++cnt;
+    }
+    const ssize_t r = ::preadv(fd_, iov, cnt, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("preadv", path_));
+    }
+    if (r == 0) {
+      return Status::IOError("preadv '" + path_ + "': unexpected EOF at offset " +
+                             std::to_string(off));
+    }
+    // Advance through the slices by the bytes actually read (preadv may
+    // return short).
+    off += static_cast<uint64_t>(r);
+    uint64_t adv = static_cast<uint64_t>(r);
+    while (adv > 0 && idx < slices.size()) {
+      IoSlice& s = slices[idx];
+      if (adv >= s.size) {
+        adv -= s.size;
+        ++idx;
+        while (idx < slices.size() && slices[idx].size == 0) ++idx;
+      } else {
+        s.data = static_cast<char*>(s.data) + adv;
+        s.size -= static_cast<size_t>(adv);
+        adv = 0;
+      }
+    }
   }
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "masksearch/common/result.h"
 #include "masksearch/common/status.h"
@@ -31,6 +32,12 @@ Status CreateDirs(const std::string& path);
 /// \brief Removes a file if it exists; OK if it does not.
 Status RemoveFileIfExists(const std::string& path);
 
+/// \brief One destination of a scatter read (see ReadVAt).
+struct IoSlice {
+  void* data = nullptr;
+  size_t size = 0;
+};
+
 /// \brief Random-access read-only file handle.
 ///
 /// Thread-compatible: concurrent ReadAt calls are safe (pread).
@@ -44,6 +51,12 @@ class RandomAccessFile {
 
   /// \brief Reads exactly `n` bytes at `offset` into `out`.
   Status ReadAt(uint64_t offset, size_t n, void* out) const;
+
+  /// \brief Scatter read: fills the slices with consecutive bytes starting
+  /// at `offset`, in order, with one syscall per IOV_MAX slices (preadv).
+  /// The batched mask loader uses this to coalesce many small blob reads
+  /// into one request without an intermediate copy.
+  Status ReadVAt(uint64_t offset, std::vector<IoSlice> slices) const;
 
   uint64_t size() const { return size_; }
   const std::string& path() const { return path_; }

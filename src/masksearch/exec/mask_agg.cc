@@ -8,6 +8,7 @@
 #include "masksearch/common/stopwatch.h"
 #include "masksearch/exec/evaluator.h"
 #include "masksearch/index/chi_builder.h"
+#include "masksearch/kernels/agg_kernels.h"
 
 namespace masksearch {
 
@@ -25,6 +26,39 @@ struct Better {
     return a.group < b.group;
   }
 };
+
+DerivedAggOp ToKernelOp(MaskAggOp op) {
+  switch (op) {
+    case MaskAggOp::kIntersectThreshold:
+      return DerivedAggOp::kIntersect;
+    case MaskAggOp::kUnionThreshold:
+      return DerivedAggOp::kUnion;
+    case MaskAggOp::kAverage:
+      return DerivedAggOp::kAverage;
+  }
+  return DerivedAggOp::kIntersect;
+}
+
+Status CheckSameShape(const std::vector<Mask>& masks) {
+  if (masks.empty()) {
+    return Status::InvalidArgument("MASK_AGG of an empty group");
+  }
+  const int32_t w = masks[0].width();
+  const int32_t h = masks[0].height();
+  for (const Mask& m : masks) {
+    if (m.width() != w || m.height() != h) {
+      return Status::InvalidArgument("MASK_AGG inputs must share one shape");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<const float*> MaskPointers(const std::vector<Mask>& masks) {
+  std::vector<const float*> ptrs;
+  ptrs.reserve(masks.size());
+  for (const Mask& m : masks) ptrs.push_back(m.data().data());
+  return ptrs;
+}
 
 /// Bounds on CP(derived, roi, range) from the members' individual CHIs, for
 /// thresholded INTERSECT / UNION (§3.4's monotone-aggregation extension).
@@ -87,56 +121,13 @@ Interval BoundsFromMembers(const MaskAggQuery& query, const MaskStore& store,
 
 Result<Mask> ComputeDerivedMask(MaskAggOp op, double threshold,
                                 const std::vector<Mask>& masks) {
-  if (masks.empty()) {
-    return Status::InvalidArgument("MASK_AGG of an empty group");
-  }
-  const int32_t w = masks[0].width();
-  const int32_t h = masks[0].height();
-  for (const Mask& m : masks) {
-    if (m.width() != w || m.height() != h) {
-      return Status::InvalidArgument("MASK_AGG inputs must share one shape");
-    }
-  }
-  const float one = DerivedMaskOne();
-  const float t = static_cast<float>(threshold);
-  Mask out(w, h);
-  const size_t n = static_cast<size_t>(out.NumPixels());
-  switch (op) {
-    case MaskAggOp::kIntersectThreshold:
-      for (size_t i = 0; i < n; ++i) {
-        bool all = true;
-        for (const Mask& m : masks) {
-          if (!(m.data()[i] > t)) {
-            all = false;
-            break;
-          }
-        }
-        out.mutable_data()[i] = all ? one : 0.0f;
-      }
-      break;
-    case MaskAggOp::kUnionThreshold:
-      for (size_t i = 0; i < n; ++i) {
-        bool any = false;
-        for (const Mask& m : masks) {
-          if (m.data()[i] > t) {
-            any = true;
-            break;
-          }
-        }
-        out.mutable_data()[i] = any ? one : 0.0f;
-      }
-      break;
-    case MaskAggOp::kAverage: {
-      const float inv = 1.0f / static_cast<float>(masks.size());
-      for (size_t i = 0; i < n; ++i) {
-        float acc = 0.0f;
-        for (const Mask& m : masks) acc += m.data()[i];
-        out.mutable_data()[i] = acc * inv;
-      }
-      out.ClampToDomain();
-      break;
-    }
-  }
+  MS_RETURN_NOT_OK(CheckSameShape(masks));
+  Mask out(masks[0].width(), masks[0].height());
+  const std::vector<const float*> ptrs = MaskPointers(masks);
+  DerivedMaskKernel(ToKernelOp(op), static_cast<float>(threshold),
+                    DerivedMaskOne(), ptrs.data(), ptrs.size(),
+                    static_cast<size_t>(out.NumPixels()),
+                    out.mutable_data().data());
   return out;
 }
 
@@ -168,12 +159,7 @@ Status BuildDerivedIndexes(const MaskStore& store, const Selection& selection,
   }
   for (const auto& [key, members] : groups) {
     if (cache->Get(key) != nullptr) continue;
-    std::vector<Mask> masks;
-    masks.reserve(members.size());
-    for (MaskId id : members) {
-      MS_ASSIGN_OR_RETURN(Mask mask, store.LoadMask(id));
-      masks.push_back(std::move(mask));
-    }
+    MS_ASSIGN_OR_RETURN(std::vector<Mask> masks, store.LoadMaskBatch(members));
     MS_ASSIGN_OR_RETURN(Mask derived, ComputeDerivedMask(op, threshold, masks));
     cache->Put(key, BuildChi(derived, cache->config()));
   }
@@ -227,51 +213,133 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
     states.push_back(gs);
   }
 
-  // Verification: load members, materialize the derived mask, CP exactly;
-  // register the derived CHI (and member CHIs under incremental indexing).
-  auto VerifyGroup = [&](const GroupState& gs) -> Result<double> {
+  // Loads a group's members — one coalesced LoadMaskBatch under batch_io,
+  // one ReadAt each otherwise — applying incremental indexing (§3.6).
+  auto LoadMembers =
+      [&](const std::vector<MaskId>& members,
+          ExecStats* stats) -> Result<std::vector<Mask>> {
+    if (opts.batch_io && members.size() > 1) {
+      MS_ASSIGN_OR_RETURN(std::vector<Mask> masks,
+                          store.LoadMaskBatch(members));
+      stats->masks_loaded += static_cast<int64_t>(members.size());
+      for (MaskId id : members) {
+        stats->bytes_read += static_cast<int64_t>(store.BlobSize(id));
+      }
+      if (opts.use_index && opts.build_missing && index != nullptr) {
+        for (size_t i = 0; i < members.size(); ++i) {
+          if (!index->Has(members[i])) {
+            index->BuildAndPut(members[i], masks[i]);
+            stats->chis_built += 1;
+          }
+        }
+      }
+      return masks;
+    }
     std::vector<Mask> masks;
-    masks.reserve(gs.members->size());
-    for (MaskId id : *gs.members) {
+    masks.reserve(members.size());
+    for (MaskId id : members) {
       MS_ASSIGN_OR_RETURN(
           Mask mask, internal::LoadForVerification(
                          store, opts.use_index ? index : nullptr, opts, id,
-                         &result.stats));
+                         stats));
       masks.push_back(std::move(mask));
     }
-    MS_ASSIGN_OR_RETURN(Mask derived,
-                        ComputeDerivedMask(query.op, query.agg_threshold, masks));
+    return masks;
+  };
+
+  // Verification: load members and compute CP(derived, roi, range) exactly.
+  // When the derived CHI is wanted but missing, the derived mask is
+  // materialized (it is needed for the CHI build anyway) and registered;
+  // otherwise the fused count kernel answers without materializing it.
+  // Only touches the caller-supplied stats — safe to run concurrently for
+  // distinct groups.
+  auto VerifyGroup = [&](const GroupState& gs,
+                         ExecStats* stats) -> Result<double> {
+    MS_ASSIGN_OR_RETURN(std::vector<Mask> masks,
+                        LoadMembers(*gs.members, stats));
+    MS_RETURN_NOT_OK(CheckSameShape(masks));
     const MaskMeta& first = store.meta(gs.members->front());
-    const double value = static_cast<double>(
-        CountPixels(derived, ResolveRoi(query.term, first), query.term.range));
-    // Derived-mask CHIs are always built incrementally when a cache is
-    // supplied: the derived mask was materialized anyway, and §3.4 treats
-    // aggregated masks as "new masks" indexed ahead of time or on first use.
-    if (derived_cache != nullptr && opts.use_index) {
+    const ROI roi = ResolveRoi(query.term, first);
+    const bool build_derived = derived_cache != nullptr && opts.use_index &&
+                               derived_cache->Get(gs.key) == nullptr;
+    if (build_derived) {
+      // §3.4 treats aggregated masks as "new masks" indexed ahead of time
+      // or on first use; skip the build when the key is already cached.
+      MS_ASSIGN_OR_RETURN(
+          Mask derived,
+          ComputeDerivedMask(query.op, query.agg_threshold, masks));
+      const double value = static_cast<double>(
+          CountPixels(derived, roi, query.term.range));
       derived_cache->Put(gs.key, BuildChi(derived, derived_cache->config()));
-      result.stats.chis_built += 1;
+      stats->chis_built += 1;
+      return value;
     }
-    return value;
+    const std::vector<const float*> ptrs = MaskPointers(masks);
+    return static_cast<double>(DerivedCpCount(
+        ToKernelOp(query.op), static_cast<float>(query.agg_threshold),
+        DerivedMaskOne(), ptrs.data(), ptrs.size(), masks[0].width(),
+        masks[0].height(), roi, query.term.range));
+  };
+
+  // Verifies the given states across the pool, one local stats block per
+  // group (merged serially below, so result.stats stays race-free).
+  auto VerifyStates = [&](const std::vector<size_t>& idxs,
+                          std::vector<double>* values) -> Status {
+    if (idxs.empty()) return Status::OK();
+    std::vector<ExecStats> local(idxs.size());
+    std::vector<Status> statuses(idxs.size(), Status::OK());
+    ParallelFor(idxs.size() > 1 ? opts.pool : nullptr, idxs.size(),
+                [&](size_t j) {
+                  Result<double> v = VerifyGroup(states[idxs[j]], &local[j]);
+                  if (v.ok()) {
+                    (*values)[j] = *v;
+                  } else {
+                    statuses[j] = v.status();
+                  }
+                });
+    for (const ExecStats& l : local) {
+      result.stats.masks_loaded += l.masks_loaded;
+      result.stats.bytes_read += l.bytes_read;
+      result.stats.chis_built += l.chis_built;
+    }
+    for (const Status& s : statuses) MS_RETURN_NOT_OK(s);
+    return Status::OK();
   };
 
   if (!query.k.has_value()) {
-    for (const GroupState& gs : states) {
-      const Tri t =
-          CompareBounds(gs.bounds, *query.having_op, query.having_threshold);
+    // HAVING-only: per-group decisions are independent, so classify every
+    // group first, verify the undecidable ones in parallel, and fold in
+    // group-key order — byte-identical to the serial schedule.
+    enum class Kind : uint8_t { kPruned, kAccepted, kVerify };
+    std::vector<Kind> kind(states.size(), Kind::kPruned);
+    std::vector<size_t> verify_idx;
+    for (size_t i = 0; i < states.size(); ++i) {
+      const Tri t = CompareBounds(states[i].bounds, *query.having_op,
+                                  query.having_threshold);
       if (t == Tri::kFalse) {
         ++result.stats.pruned;
-        continue;
-      }
-      if (t == Tri::kTrue) {
+      } else if (t == Tri::kTrue) {
+        kind[i] = Kind::kAccepted;
         ++result.stats.accepted_by_bounds;
-        result.groups.push_back(
-            ScoredGroup{gs.key, gs.bounds.Tight() ? gs.bounds.lo : kNaN});
-        continue;
+      } else {
+        kind[i] = Kind::kVerify;
+        ++result.stats.candidates;
+        verify_idx.push_back(i);
       }
-      ++result.stats.candidates;
-      MS_ASSIGN_OR_RETURN(double v, VerifyGroup(gs));
-      if (CompareExact(v, *query.having_op, query.having_threshold)) {
-        result.groups.push_back(ScoredGroup{gs.key, v});
+    }
+    std::vector<double> values(verify_idx.size(), 0.0);
+    MS_RETURN_NOT_OK(VerifyStates(verify_idx, &values));
+    size_t vi = 0;
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (kind[i] == Kind::kAccepted) {
+        result.groups.push_back(ScoredGroup{
+            states[i].key, states[i].bounds.Tight() ? states[i].bounds.lo
+                                                    : kNaN});
+      } else if (kind[i] == Kind::kVerify) {
+        const double v = values[vi++];
+        if (CompareExact(v, *query.having_op, query.having_threshold)) {
+          result.groups.push_back(ScoredGroup{states[i].key, v});
+        }
       }
     }
     result.stats.seconds = timer.ElapsedSeconds();
@@ -292,6 +360,44 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
     });
   }
 
+  // Top-k: walk groups in bound order, pruning against the running top-k,
+  // and verify survivors in batches across the pool. The top-k set is
+  // order-independent under the Better total order, and exact values never
+  // exceed their bounds, so batching only relaxes pruning conservatively:
+  // results are byte-identical to the serial schedule (batch 1, no pool),
+  // which this loop degenerates to exactly.
+  const size_t batch =
+      opts.agg_verify_batch > 0
+          ? opts.agg_verify_batch
+          : (opts.pool != nullptr
+                 ? std::max<size_t>(1, opts.pool->num_threads() * 2)
+                 : 1);
+
+  auto Fold = [&](int64_t key, double value) {
+    if (query.having_op.has_value() &&
+        !CompareExact(value, *query.having_op, query.having_threshold)) {
+      return;
+    }
+    const ScoredGroup cand{key, value};
+    if (heap.size() < *query.k) {
+      heap.insert(cand);
+    } else if (better(cand, *heap.rbegin())) {
+      heap.erase(std::prev(heap.end()));
+      heap.insert(cand);
+    }
+  };
+
+  std::vector<size_t> pending;
+  auto Flush = [&]() -> Status {
+    std::vector<double> values(pending.size(), 0.0);
+    MS_RETURN_NOT_OK(VerifyStates(pending, &values));
+    for (size_t j = 0; j < pending.size(); ++j) {
+      Fold(states[pending[j]].key, values[j]);
+    }
+    pending.clear();
+    return Status::OK();
+  };
+
   for (size_t oi : order) {
     const GroupState& gs = states[oi];
     if (query.having_op.has_value() &&
@@ -306,26 +412,16 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
       ++result.stats.pruned;
       continue;
     }
-    double value;
     if (gs.bounds.Tight() && std::isfinite(gs.bounds.lo)) {
-      value = gs.bounds.lo;
       ++result.stats.accepted_by_bounds;
-    } else {
-      ++result.stats.candidates;
-      MS_ASSIGN_OR_RETURN(value, VerifyGroup(gs));
-    }
-    if (query.having_op.has_value() &&
-        !CompareExact(value, *query.having_op, query.having_threshold)) {
+      Fold(gs.key, gs.bounds.lo);
       continue;
     }
-    const ScoredGroup cand{gs.key, value};
-    if (heap.size() < *query.k) {
-      heap.insert(cand);
-    } else if (better(cand, *heap.rbegin())) {
-      heap.erase(std::prev(heap.end()));
-      heap.insert(cand);
-    }
+    ++result.stats.candidates;
+    pending.push_back(oi);
+    if (pending.size() >= batch) MS_RETURN_NOT_OK(Flush());
   }
+  MS_RETURN_NOT_OK(Flush());
 
   result.groups.assign(heap.begin(), heap.end());
   result.stats.seconds = timer.ElapsedSeconds();

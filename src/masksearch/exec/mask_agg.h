@@ -59,6 +59,16 @@ Status BuildDerivedIndexes(const MaskStore& store, const Selection& selection,
 /// `derived_cache` may be null (every undecidable group is then verified by
 /// loading its members). `index` supplies individual-mask CHIs for the
 /// monotone-aggregation bounds.
+///
+/// Verification is batched and parallel: undecidable groups are verified
+/// across opts.pool in bound-ordered batches (EngineOptions::agg_verify_batch)
+/// with member masks loaded through MaskStore::LoadMaskBatch when
+/// EngineOptions::batch_io is set. Results are byte-identical to the serial
+/// schedule; batching only relaxes heap-based pruning conservatively, so a
+/// parallel run may verify a few extra groups (candidates up, pruned down by
+/// the same amount). When only the count is needed (derived CHI already
+/// cached or no cache supplied), the fused derived-CP kernel answers without
+/// materializing the derived mask.
 Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
                                  DerivedIndexCache* derived_cache,
                                  const MaskAggQuery& query,

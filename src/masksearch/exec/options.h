@@ -28,6 +28,18 @@ struct EngineOptions {
   /// tightens the running threshold faster than the paper's sequential
   /// order. The ablation bench quantifies the difference.
   bool sort_by_bound = true;
+
+  /// Batched member I/O for mask-agg verification: load a group's members
+  /// through MaskStore::LoadMaskBatch (offset-sorted, coalesced reads)
+  /// instead of one ReadAt per mask.
+  bool batch_io = true;
+
+  /// Group-verification batch size for ExecuteMaskAgg: undecidable groups
+  /// are verified across `pool` in bound-ordered batches of this size.
+  /// 0 = auto (2 × pool threads; 1 — the exact serial schedule — when pool
+  /// is null). Batching only relaxes pruning conservatively: results are
+  /// identical to the serial schedule, a few extra groups may be verified.
+  size_t agg_verify_batch = 0;
 };
 
 }  // namespace masksearch

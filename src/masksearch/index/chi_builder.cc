@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "masksearch/common/random.h"
+#include "masksearch/kernels/chi_kernels.h"
 
 namespace masksearch {
 
@@ -59,94 +60,54 @@ Result<std::vector<double>> ComputeEquiDepthEdges(const MaskStore& store,
   return edges;
 }
 
+namespace {
+
+/// Maps a ChiConfig onto the kernels layer's plain binning parameters.
+/// `edges` backs the equi-depth edge pointer and must outlive the scatter.
+ChiBinningSpec ToBinningSpec(const ChiConfig& config,
+                             std::vector<double>* edges) {
+  ChiBinningSpec spec;
+  spec.cell_width = config.cell_width;
+  spec.cell_height = config.cell_height;
+  spec.num_bins = config.num_bins;
+  spec.pmin = config.pmin;
+  if (config.equi_width()) {
+    spec.inv_delta = 1.0 / config.BinWidth();
+  } else {
+    edges->resize(static_cast<size_t>(config.num_bins) + 1);
+    for (int32_t i = 0; i <= config.num_bins; ++i) {
+      (*edges)[i] = config.EdgeValue(i);
+    }
+    spec.edges = edges->data();
+  }
+  return spec;
+}
+
+}  // namespace
+
 Chi BuildChi(const Mask& mask, const ChiConfig& config) {
   const int32_t w = mask.width();
   const int32_t h = mask.height();
-  const int32_t wc = config.cell_width;
-  const int32_t hc = config.cell_height;
-  const int32_t nb = config.num_bins;
-  // Number of cells (not boundaries) along each axis; the last cell may be
-  // ragged.
-  const int32_t ncx = (w + wc - 1) / wc;
-  const int32_t ncy = (h + hc - 1) / hc;
-  // Boundary counts include boundary 0 and the mask edge.
-  const int32_t nbx = ncx + 1;
-  const int32_t nby = ncy + 1;
-  const size_t stride = static_cast<size_t>(nb) + 1;
+  const int32_t nbx = ChiNumBoundaries(w, config.cell_width);
+  const int32_t nby = ChiNumBoundaries(h, config.cell_height);
+  std::vector<double> edges;
+  const ChiBinningSpec spec = ToBinningSpec(config, &edges);
+  std::vector<uint32_t> acc(ChiAccSize(w, h, spec), 0);
+  ChiCellScatter(mask.data().data(), w, h, spec, acc.data());
+  ChiFinalizeCounts(acc.data(), nbx, nby, config.num_bins);
+  return Chi(w, h, config, std::move(acc));
+}
 
-  // Step 1: raw per-cell histograms, laid out like the final structure but
-  // with cell (i, j) stored at boundary slot (i+1, j+1). Bin index is
-  // clamped into [0, nb-1]: the data model guarantees v ∈ [pmin, pmax), and
-  // clamping keeps the index correct (bounds stay conservative) even for
-  // out-of-domain values produced by user-defined MASK_AGGs.
-  std::vector<uint32_t> acc(static_cast<size_t>(nbx) * nby * stride, 0);
-  if (config.equi_width()) {
-    const double inv_delta = 1.0 / config.BinWidth();
-    for (int32_t y = 0; y < h; ++y) {
-      const float* row = mask.row(y);
-      const int32_t cj = y / hc;
-      uint32_t* cell_row =
-          acc.data() + (static_cast<size_t>(cj + 1) * nbx) * stride;
-      for (int32_t x = 0; x < w; ++x) {
-        int32_t bin = static_cast<int32_t>(
-            std::floor((row[x] - config.pmin) * inv_delta));
-        bin = std::clamp(bin, 0, nb - 1);
-        const int32_t ci = x / wc;
-        ++cell_row[(static_cast<size_t>(ci) + 1) * stride + bin];
-      }
-    }
-  } else {
-    // Equi-depth buckets: bin = largest edge <= value, via binary search
-    // over the (small) edge array.
-    std::vector<double> edges(static_cast<size_t>(nb) + 1);
-    for (int32_t i = 0; i <= nb; ++i) edges[i] = config.EdgeValue(i);
-    for (int32_t y = 0; y < h; ++y) {
-      const float* row = mask.row(y);
-      const int32_t cj = y / hc;
-      uint32_t* cell_row =
-          acc.data() + (static_cast<size_t>(cj + 1) * nbx) * stride;
-      for (int32_t x = 0; x < w; ++x) {
-        const auto it =
-            std::upper_bound(edges.begin(), edges.end(), row[x]);
-        int32_t bin = static_cast<int32_t>(it - edges.begin()) - 1;
-        bin = std::clamp(bin, 0, nb - 1);
-        const int32_t ci = x / wc;
-        ++cell_row[(static_cast<size_t>(ci) + 1) * stride + bin];
-      }
-    }
-  }
-
-  // Step 2: suffix sum over bins within each cell, so slot `bin` holds the
-  // count of pixels with value >= pmin + bin·Δ. Slot nb stays 0 (sentinel).
-  for (int32_t cj = 1; cj < nby; ++cj) {
-    for (int32_t ci = 1; ci < nbx; ++ci) {
-      uint32_t* cell =
-          acc.data() + (static_cast<size_t>(cj) * nbx + ci) * stride;
-      for (int32_t bin = nb - 1; bin >= 0; --bin) {
-        cell[bin] += cell[bin + 1];
-      }
-    }
-  }
-
-  // Step 3: 2D prefix sum over the grid for each bin edge; after this,
-  // slot (cx, cy, bin) = H(cx, cy, bin) per Eq. 1. Row 0 and column 0 are
-  // already zero (the empty prefix).
-  for (int32_t cj = 1; cj < nby; ++cj) {
-    for (int32_t ci = 1; ci < nbx; ++ci) {
-      uint32_t* cur =
-          acc.data() + (static_cast<size_t>(cj) * nbx + ci) * stride;
-      const uint32_t* left =
-          acc.data() + (static_cast<size_t>(cj) * nbx + ci - 1) * stride;
-      const uint32_t* up =
-          acc.data() + (static_cast<size_t>(cj - 1) * nbx + ci) * stride;
-      const uint32_t* diag =
-          acc.data() + (static_cast<size_t>(cj - 1) * nbx + ci - 1) * stride;
-      for (int32_t bin = 0; bin < nb; ++bin) {
-        cur[bin] += left[bin] + up[bin] - diag[bin];
-      }
-    }
-  }
-
+Chi BuildChiReference(const Mask& mask, const ChiConfig& config) {
+  const int32_t w = mask.width();
+  const int32_t h = mask.height();
+  const int32_t nbx = ChiNumBoundaries(w, config.cell_width);
+  const int32_t nby = ChiNumBoundaries(h, config.cell_height);
+  std::vector<double> edges;
+  const ChiBinningSpec spec = ToBinningSpec(config, &edges);
+  std::vector<uint32_t> acc(ChiAccSize(w, h, spec), 0);
+  ChiCellScatterReference(mask.data().data(), w, h, spec, acc.data());
+  ChiFinalizeCountsReference(acc.data(), nbx, nby, config.num_bins);
   return Chi(w, h, config, std::move(acc));
 }
 

@@ -15,8 +15,16 @@ namespace masksearch {
 ///
 /// Cost is one pass over the pixels plus O(cells · bins) accumulation — the
 /// 𝑂(N·w·h) preprocessing cost of §3.1, incurred per mask so it can be
-/// amortized by incremental indexing (§3.6).
+/// amortized by incremental indexing (§3.6). Built on the cell-blocked
+/// scatter kernel (kernels/chi_kernels.h): each grid cell's row-strips are
+/// walked contiguously with the bin transform hoisted, instead of paying an
+/// integer division and a floor per pixel.
 Chi BuildChi(const Mask& mask, const ChiConfig& config);
+
+/// \brief Scalar-reference CHI build (the pre-kernel pixel-major loop).
+/// Byte-identical to BuildChi; kept for the kernel equivalence suite and as
+/// the baseline in bench_micro_kernels.
+Chi BuildChiReference(const Mask& mask, const ChiConfig& config);
 
 /// \brief Computes equi-depth bin edges (the §3.1 alternative to equi-width
 /// buckets) from a sample of the store's masks: the interior edges are the

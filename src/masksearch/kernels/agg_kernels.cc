@@ -1,0 +1,201 @@
+#include "masksearch/kernels/agg_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace masksearch {
+
+namespace {
+
+/// Strip length in pixels: counters/sums stay L1-resident (4 KiB of uint16
+/// counters, 8 KiB of float sums) while each member contributes one
+/// contiguous, vectorizable segment per strip.
+constexpr size_t kStripPixels = 2048;
+
+/// Clamp of Mask::ClampToDomain, applied per pixel so the fused average
+/// matches materialize-then-clamp bit for bit.
+inline float ClampDomain(float v) {
+  if (std::isnan(v) || v < 0.0f) return 0.0f;
+  if (v >= 1.0f) return std::nextafter(1.0f, 0.0f);
+  return v;
+}
+
+/// Thresholded membership of one strip as a byte mask, with member-level
+/// early exit: once an INTERSECT strip has no surviving pixel (or a UNION
+/// strip is saturated), the remaining members are skipped entirely — the
+/// strip-granular analogue of the reference's per-pixel early exit, without
+/// giving up contiguous, vectorizable member reads. Returns the number of
+/// "one" pixels in the strip; `state[i]` holds 1/0 per pixel.
+size_t ThresholdStrip(DerivedAggOp op, float threshold,
+                      const float* const* masks, size_t num_masks,
+                      size_t offset, size_t len, uint8_t* state) {
+  const float* p0 = masks[0] + offset;
+  for (size_t i = 0; i < len; ++i) state[i] = p0[i] > threshold ? 1 : 0;
+  size_t active = 0;
+  for (size_t i = 0; i < len; ++i) active += state[i];
+  for (size_t m = 1; m < num_masks; ++m) {
+    if (op == DerivedAggOp::kIntersect ? active == 0 : active == len) break;
+    const float* p = masks[m] + offset;
+    if (op == DerivedAggOp::kIntersect) {
+      for (size_t i = 0; i < len; ++i) {
+        state[i] &= p[i] > threshold ? uint8_t{1} : uint8_t{0};
+      }
+    } else {
+      for (size_t i = 0; i < len; ++i) {
+        state[i] |= p[i] > threshold ? uint8_t{1} : uint8_t{0};
+      }
+    }
+    active = 0;
+    for (size_t i = 0; i < len; ++i) active += state[i];
+  }
+  return active;
+}
+
+/// Mask-major sum over one strip (addition order matches the pixel-major
+/// reference: member 0 first).
+void AccumulateSum(const float* const* masks, size_t num_masks, size_t offset,
+                   size_t len, float* sum) {
+  std::fill(sum, sum + len, 0.0f);
+  for (size_t m = 0; m < num_masks; ++m) {
+    const float* p = masks[m] + offset;
+    for (size_t i = 0; i < len; ++i) sum[i] += p[i];
+  }
+}
+
+void DerivedMaskThresholded(DerivedAggOp op, float threshold, float one,
+                            const float* const* masks, size_t num_masks,
+                            size_t num_pixels, float* out) {
+  uint8_t state[kStripPixels];
+  for (size_t s = 0; s < num_pixels; s += kStripPixels) {
+    const size_t len = std::min(kStripPixels, num_pixels - s);
+    ThresholdStrip(op, threshold, masks, num_masks, s, len, state);
+    for (size_t i = 0; i < len; ++i) out[s + i] = state[i] ? one : 0.0f;
+  }
+}
+
+/// Count of pixels in [offset, offset+len) whose derived thresholded value
+/// is "one".
+int64_t CountOnes(DerivedAggOp op, float threshold, const float* const* masks,
+                  size_t num_masks, size_t offset, size_t len) {
+  uint8_t state[kStripPixels];
+  int64_t ones = 0;
+  for (size_t s = 0; s < len; s += kStripPixels) {
+    const size_t n = std::min(kStripPixels, len - s);
+    ones += static_cast<int64_t>(
+        ThresholdStrip(op, threshold, masks, num_masks, offset + s, n, state));
+  }
+  return ones;
+}
+
+int64_t CountAverageInRange(const float* const* masks, size_t num_masks,
+                            size_t offset, size_t len, float lv, float uv) {
+  float sum[kStripPixels];
+  const float inv = 1.0f / static_cast<float>(num_masks);
+  int64_t count = 0;
+  for (size_t s = 0; s < len; s += kStripPixels) {
+    const size_t n = std::min(kStripPixels, len - s);
+    AccumulateSum(masks, num_masks, offset + s, n, sum);
+    for (size_t i = 0; i < n; ++i) {
+      const float v = ClampDomain(sum[i] * inv);
+      count += (v >= lv) & (v < uv);
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+void DerivedMaskKernel(DerivedAggOp op, float threshold, float one,
+                       const float* const* masks, size_t num_masks,
+                       size_t num_pixels, float* out) {
+  if (op == DerivedAggOp::kAverage) {
+    float sum[kStripPixels];
+    const float inv = 1.0f / static_cast<float>(num_masks);
+    for (size_t s = 0; s < num_pixels; s += kStripPixels) {
+      const size_t len = std::min(kStripPixels, num_pixels - s);
+      AccumulateSum(masks, num_masks, s, len, sum);
+      for (size_t i = 0; i < len; ++i) out[s + i] = ClampDomain(sum[i] * inv);
+    }
+    return;
+  }
+  DerivedMaskThresholded(op, threshold, one, masks, num_masks, num_pixels,
+                         out);
+}
+
+void DerivedMaskReference(DerivedAggOp op, float threshold, float one,
+                          const float* const* masks, size_t num_masks,
+                          size_t num_pixels, float* out) {
+  switch (op) {
+    case DerivedAggOp::kIntersect:
+      for (size_t i = 0; i < num_pixels; ++i) {
+        bool all = true;
+        for (size_t m = 0; m < num_masks; ++m) {
+          if (!(masks[m][i] > threshold)) {
+            all = false;
+            break;
+          }
+        }
+        out[i] = all ? one : 0.0f;
+      }
+      break;
+    case DerivedAggOp::kUnion:
+      for (size_t i = 0; i < num_pixels; ++i) {
+        bool any = false;
+        for (size_t m = 0; m < num_masks; ++m) {
+          if (masks[m][i] > threshold) {
+            any = true;
+            break;
+          }
+        }
+        out[i] = any ? one : 0.0f;
+      }
+      break;
+    case DerivedAggOp::kAverage: {
+      const float inv = 1.0f / static_cast<float>(num_masks);
+      for (size_t i = 0; i < num_pixels; ++i) {
+        float acc = 0.0f;
+        for (size_t m = 0; m < num_masks; ++m) acc += masks[m][i];
+        out[i] = ClampDomain(acc * inv);
+      }
+      break;
+    }
+  }
+}
+
+int64_t DerivedCpCount(DerivedAggOp op, float threshold, float one,
+                       const float* const* masks, size_t num_masks,
+                       int32_t width, int32_t height, const ROI& roi,
+                       const ValueRange& range) {
+  const ROI r = roi.ClampTo(width, height);
+  if (r.Empty() || !range.Valid()) return 0;
+  // Same float-domain comparisons as CountPixelsRaw.
+  const float lv = static_cast<float>(range.lv);
+  const float uv = static_cast<float>(range.uv);
+
+  if (op == DerivedAggOp::kAverage) {
+    int64_t count = 0;
+    for (int32_t y = r.y0; y < r.y1; ++y) {
+      const size_t offset = static_cast<size_t>(y) * width + r.x0;
+      count += CountAverageInRange(masks, num_masks, offset,
+                                   static_cast<size_t>(r.x1 - r.x0), lv, uv);
+    }
+    return count;
+  }
+
+  // Thresholded ops yield two-valued masks: count the "one" pixels, then
+  // weight ones and zeros by whether the range contains them.
+  const int64_t counts_one = (one >= lv) & (one < uv);
+  const int64_t counts_zero = (0.0f >= lv) & (0.0f < uv);
+  if (counts_one == 0 && counts_zero == 0) return 0;
+  int64_t ones = 0;
+  if (counts_one != counts_zero) {  // otherwise every ROI pixel counts
+    for (int32_t y = r.y0; y < r.y1; ++y) {
+      ones += CountOnes(op, threshold, masks, num_masks,
+                        static_cast<size_t>(y) * width + r.x0,
+                        static_cast<size_t>(r.x1 - r.x0));
+    }
+  }
+  return counts_one * ones + counts_zero * (r.Area() - ones);
+}
+
+}  // namespace masksearch

@@ -1,0 +1,62 @@
+// Derived-mask aggregation kernels (§3.4): pixel-wise INTERSECT / UNION /
+// AVG over a group's member masks, and a fused CP count that evaluates
+// CP(derived, roi, range) without materializing the derived mask.
+//
+// The fused variants are mask-major: they walk one member's contiguous
+// pixel strip at a time, accumulating into a small per-strip state buffer
+// that stays in L1, instead of the cache-hostile pixel-major walk that
+// touches every member per pixel. Thresholded ops keep the reference's
+// early-exit at strip granularity: a strip whose candidate set dies (or
+// saturates, for UNION) skips every remaining member. Each kernel has a
+// scalar reference implementation (the pre-kernel executor loops) and the
+// equivalence suite asserts bit-identical outputs, including for finite
+// out-of-domain member values produced by user-defined MASK_AGGs.
+//
+// The kernels are layered below exec/ and take the aggregation operator and
+// the derived "one" value as plain parameters; exec/mask_agg.cc maps its
+// MaskAggOp onto DerivedAggOp.
+
+#ifndef MASKSEARCH_KERNELS_AGG_KERNELS_H_
+#define MASKSEARCH_KERNELS_AGG_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "masksearch/query/roi.h"
+
+namespace masksearch {
+
+/// \brief Pixel-wise combination applied to a group of masks.
+enum class DerivedAggOp : uint8_t {
+  kIntersect,  ///< 1 where every member exceeds the threshold
+  kUnion,      ///< 1 where any member exceeds the threshold
+  kAverage,    ///< pixel-wise mean, clamped into [0, 1)
+};
+
+/// \brief Computes the derived mask of `num_masks` same-shape members, each
+/// a row-major buffer of `num_pixels` floats. Thresholded ops write `one`
+/// for true pixels and 0 otherwise; kAverage ignores `threshold`/`one` and
+/// clamps results into the mask domain (NaN and negatives to 0, >= 1 to the
+/// largest float below 1). Mask-major and strip-blocked.
+void DerivedMaskKernel(DerivedAggOp op, float threshold, float one,
+                       const float* const* masks, size_t num_masks,
+                       size_t num_pixels, float* out);
+
+/// \brief Reference implementation: pixel-major with per-pixel early exit.
+/// Bit-identical output to DerivedMaskKernel.
+void DerivedMaskReference(DerivedAggOp op, float threshold, float one,
+                          const float* const* masks, size_t num_masks,
+                          size_t num_pixels, float* out);
+
+/// \brief CP(derived, roi, range) without materializing the derived mask:
+/// bit-equivalent to DerivedMaskKernel into a w × h buffer followed by
+/// CountPixels over it, but touching only the ROI rows of each member. The
+/// ROI is clamped to the mask extent; an invalid range counts zero pixels.
+int64_t DerivedCpCount(DerivedAggOp op, float threshold, float one,
+                       const float* const* masks, size_t num_masks,
+                       int32_t width, int32_t height, const ROI& roi,
+                       const ValueRange& range);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_KERNELS_AGG_KERNELS_H_

@@ -1,0 +1,162 @@
+#include "masksearch/kernels/chi_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace masksearch {
+
+namespace {
+
+/// Equi-width bin of value `v`: floor((v - pmin) / Δ) clamped into
+/// [0, num_bins-1]. Clamping in the double domain before the integer cast
+/// gives the same result as floor-then-clamp for every finite input (cast
+/// truncation equals floor for non-negative values) without the libm call,
+/// and keeps huge out-of-domain values away from undefined casts.
+inline int32_t EquiWidthBin(float v, double pmin, double inv_delta,
+                            double max_bin) {
+  const double f = (v - pmin) * inv_delta;
+  return static_cast<int32_t>(std::clamp(f, 0.0, max_bin));
+}
+
+/// Equi-depth bin: the number of interior edges <= v, i.e. the same index
+/// the reference's upper_bound search yields after clamping. Constant trip
+/// count over the (small) edge array instead of a branchy binary search.
+inline int32_t EquiDepthBin(float v, const double* edges, int32_t num_bins) {
+  const double d = v;
+  int32_t bin = 0;
+  for (int32_t e = 1; e < num_bins; ++e) bin += d >= edges[e] ? 1 : 0;
+  return bin;
+}
+
+}  // namespace
+
+void ChiCellScatter(const float* data, int32_t width, int32_t height,
+                    const ChiBinningSpec& spec, uint32_t* acc) {
+  const int32_t wc = spec.cell_width;
+  const int32_t hc = spec.cell_height;
+  const int32_t nb = spec.num_bins;
+  const int32_t ncx = (width + wc - 1) / wc;
+  const int32_t ncy = (height + hc - 1) / hc;
+  const int32_t nbx = ncx + 1;
+  const size_t stride = static_cast<size_t>(nb) + 1;
+  const double max_bin = nb - 1;
+
+  for (int32_t cj = 0; cj < ncy; ++cj) {
+    const int32_t y0 = cj * hc;
+    const int32_t y1 = std::min(height, y0 + hc);
+    uint32_t* cell_row = acc + (static_cast<size_t>(cj + 1) * nbx) * stride;
+    for (int32_t ci = 0; ci < ncx; ++ci) {
+      const int32_t x0 = ci * wc;
+      const int32_t len = std::min(width, x0 + wc) - x0;
+      uint32_t* cell = cell_row + (static_cast<size_t>(ci) + 1) * stride;
+      if (spec.edges == nullptr) {
+        for (int32_t y = y0; y < y1; ++y) {
+          const float* p = data + static_cast<size_t>(y) * width + x0;
+          for (int32_t i = 0; i < len; ++i) {
+            ++cell[EquiWidthBin(p[i], spec.pmin, spec.inv_delta, max_bin)];
+          }
+        }
+      } else {
+        for (int32_t y = y0; y < y1; ++y) {
+          const float* p = data + static_cast<size_t>(y) * width + x0;
+          for (int32_t i = 0; i < len; ++i) {
+            ++cell[EquiDepthBin(p[i], spec.edges, nb)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void ChiCellScatterReference(const float* data, int32_t width, int32_t height,
+                             const ChiBinningSpec& spec, uint32_t* acc) {
+  const int32_t wc = spec.cell_width;
+  const int32_t hc = spec.cell_height;
+  const int32_t nb = spec.num_bins;
+  const int32_t nbx = (width + wc - 1) / wc + 1;
+  const size_t stride = static_cast<size_t>(nb) + 1;
+
+  if (spec.edges == nullptr) {
+    for (int32_t y = 0; y < height; ++y) {
+      const float* row = data + static_cast<size_t>(y) * width;
+      const int32_t cj = y / hc;
+      uint32_t* cell_row = acc + (static_cast<size_t>(cj + 1) * nbx) * stride;
+      for (int32_t x = 0; x < width; ++x) {
+        int32_t bin = static_cast<int32_t>(
+            std::floor((row[x] - spec.pmin) * spec.inv_delta));
+        bin = std::clamp(bin, 0, nb - 1);
+        const int32_t ci = x / wc;
+        ++cell_row[(static_cast<size_t>(ci) + 1) * stride + bin];
+      }
+    }
+  } else {
+    const double* edges_begin = spec.edges;
+    const double* edges_end = spec.edges + nb + 1;
+    for (int32_t y = 0; y < height; ++y) {
+      const float* row = data + static_cast<size_t>(y) * width;
+      const int32_t cj = y / hc;
+      uint32_t* cell_row = acc + (static_cast<size_t>(cj + 1) * nbx) * stride;
+      for (int32_t x = 0; x < width; ++x) {
+        const double* it = std::upper_bound(edges_begin, edges_end, row[x]);
+        int32_t bin = static_cast<int32_t>(it - edges_begin) - 1;
+        bin = std::clamp(bin, 0, nb - 1);
+        const int32_t ci = x / wc;
+        ++cell_row[(static_cast<size_t>(ci) + 1) * stride + bin];
+      }
+    }
+  }
+}
+
+void ChiFinalizeCounts(uint32_t* acc, int32_t nbx, int32_t nby,
+                       int32_t num_bins) {
+  const size_t stride = static_cast<size_t>(num_bins) + 1;
+  for (int32_t cj = 1; cj < nby; ++cj) {
+    for (int32_t ci = 1; ci < nbx; ++ci) {
+      uint32_t* cur = acc + (static_cast<size_t>(cj) * nbx + ci) * stride;
+      const uint32_t* left =
+          acc + (static_cast<size_t>(cj) * nbx + ci - 1) * stride;
+      const uint32_t* up =
+          acc + (static_cast<size_t>(cj - 1) * nbx + ci) * stride;
+      const uint32_t* diag =
+          acc + (static_cast<size_t>(cj - 1) * nbx + ci - 1) * stride;
+      // Suffix over bins first (this cell's raw histogram becomes its
+      // reverse-cumulative counts), then add the already-finalized
+      // neighbours — one pass instead of two full sweeps.
+      for (int32_t bin = num_bins - 1; bin >= 0; --bin) {
+        cur[bin] += cur[bin + 1];
+      }
+      for (int32_t bin = 0; bin < num_bins; ++bin) {
+        cur[bin] += left[bin] + up[bin] - diag[bin];
+      }
+    }
+  }
+}
+
+void ChiFinalizeCountsReference(uint32_t* acc, int32_t nbx, int32_t nby,
+                                int32_t num_bins) {
+  const size_t stride = static_cast<size_t>(num_bins) + 1;
+  for (int32_t cj = 1; cj < nby; ++cj) {
+    for (int32_t ci = 1; ci < nbx; ++ci) {
+      uint32_t* cell = acc + (static_cast<size_t>(cj) * nbx + ci) * stride;
+      for (int32_t bin = num_bins - 1; bin >= 0; --bin) {
+        cell[bin] += cell[bin + 1];
+      }
+    }
+  }
+  for (int32_t cj = 1; cj < nby; ++cj) {
+    for (int32_t ci = 1; ci < nbx; ++ci) {
+      uint32_t* cur = acc + (static_cast<size_t>(cj) * nbx + ci) * stride;
+      const uint32_t* left =
+          acc + (static_cast<size_t>(cj) * nbx + ci - 1) * stride;
+      const uint32_t* up =
+          acc + (static_cast<size_t>(cj - 1) * nbx + ci) * stride;
+      const uint32_t* diag =
+          acc + (static_cast<size_t>(cj - 1) * nbx + ci - 1) * stride;
+      for (int32_t bin = 0; bin < num_bins; ++bin) {
+        cur[bin] += left[bin] + up[bin] - diag[bin];
+      }
+    }
+  }
+}
+
+}  // namespace masksearch

@@ -1,0 +1,92 @@
+// CHI-construction kernels (§3.1): the histogram scatter and the
+// suffix/prefix finalization that turn a mask into its CHI counts array.
+//
+// Each kernel ships a scalar reference implementation; the equivalence suite
+// (tests/kernels_test.cc) asserts the fast variants produce byte-identical
+// counts on random, ragged, and out-of-domain inputs. BuildChi composes the
+// fast variants; the references double as the pre-optimization baseline for
+// bench_micro_kernels.
+//
+// The kernels layer sits below index/: binning is described by the plain
+// ChiBinningSpec below, which index/chi_builder.cc derives from its
+// ChiConfig (the same way exec/ maps MaskAggOp onto DerivedAggOp for
+// agg_kernels.h).
+//
+// Accumulator layout (shared with Chi): a flat uint32 array of
+// nbx × nby × (num_bins + 1) slots addressed
+//
+//   acc[(cy * nbx + cx) * (num_bins + 1) + bin]
+//
+// where nbx/nby count grid *boundaries* (boundary 0 plus one per cell; the
+// last cell may be ragged). The scatter writes the raw histogram of cell
+// (i, j) at boundary slot (i+1, j+1); row 0 and column 0 stay zero (the
+// empty prefix) and bin slot num_bins stays zero (the sentinel).
+
+#ifndef MASKSEARCH_KERNELS_CHI_KERNELS_H_
+#define MASKSEARCH_KERNELS_CHI_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace masksearch {
+
+/// \brief Grid and value-binning parameters of one CHI build.
+struct ChiBinningSpec {
+  int32_t cell_width = 0;
+  int32_t cell_height = 0;
+  int32_t num_bins = 0;
+  /// Lower edge of the value domain.
+  double pmin = 0.0;
+  /// Equi-width bins: 1 / bin width. Ignored when `edges` is set.
+  double inv_delta = 0.0;
+  /// Equi-depth bins: pointer to the num_bins + 1 edge values (edges[0] =
+  /// pmin, edges[num_bins] = pmax), or nullptr for equi-width binning.
+  const double* edges = nullptr;
+};
+
+/// \brief Number of boundary slots along an axis of `extent` pixels split
+/// into `cell`-pixel cells (boundary 0 + one per cell, ragged edge included).
+inline int32_t ChiNumBoundaries(int32_t extent, int32_t cell) {
+  return (extent + cell - 1) / cell + 1;
+}
+
+/// \brief Required accumulator size for a w × h mask under `spec`.
+inline size_t ChiAccSize(int32_t width, int32_t height,
+                         const ChiBinningSpec& spec) {
+  return static_cast<size_t>(ChiNumBoundaries(width, spec.cell_width)) *
+         ChiNumBoundaries(height, spec.cell_height) *
+         (static_cast<size_t>(spec.num_bins) + 1);
+}
+
+/// \brief Histogram scatter, blocked by grid cell: walks each cell's
+/// row-strips so the inner loop reads one contiguous pixel segment and
+/// increments one L1-resident histogram. Hoists the bin transform (no
+/// per-pixel integer division or floor call). Bin indexes are clamped into
+/// [0, num_bins-1], so finite out-of-domain values (user-defined MASK_AGGs)
+/// land in the edge bins and bounds stay conservative.
+///
+/// `acc` must hold ChiAccSize(...) zero-initialized slots.
+void ChiCellScatter(const float* data, int32_t width, int32_t height,
+                    const ChiBinningSpec& spec, uint32_t* acc);
+
+/// \brief Reference scatter: pixel-major row walk computing the cell index
+/// per pixel (the pre-kernel BuildChi inner loop). Byte-identical output to
+/// ChiCellScatter.
+void ChiCellScatterReference(const float* data, int32_t width, int32_t height,
+                             const ChiBinningSpec& spec, uint32_t* acc);
+
+/// \brief Finalization: per-cell suffix sum over bins (slot b holds the
+/// count of pixels with value >= edge b) followed by the 2D spatial prefix
+/// sum of Eq. 1, fused into one row-major pass (a cell's left/up/diagonal
+/// neighbours are already finalized when it is visited).
+void ChiFinalizeCounts(uint32_t* acc, int32_t nbx, int32_t nby,
+                       int32_t num_bins);
+
+/// \brief Reference finalization: the two sweeps kept separate.
+/// Byte-identical output to ChiFinalizeCounts.
+void ChiFinalizeCountsReference(uint32_t* acc, int32_t nbx, int32_t nby,
+                                int32_t num_bins);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_KERNELS_CHI_KERNELS_H_

@@ -34,6 +34,8 @@
 #include "masksearch/index/chi.h"
 #include "masksearch/index/chi_builder.h"
 #include "masksearch/index/index_manager.h"
+#include "masksearch/kernels/agg_kernels.h"
+#include "masksearch/kernels/chi_kernels.h"
 #include "masksearch/query/cp.h"
 #include "masksearch/query/expression.h"
 #include "masksearch/query/predicate.h"

@@ -1,6 +1,8 @@
 #include "masksearch/storage/mask_store.h"
 
+#include <algorithm>
 #include <cstring>
+#include <numeric>
 
 #include "masksearch/common/serialize.h"
 
@@ -119,7 +121,9 @@ MaskStore::MaskStore(std::string dir, Options opts, StorageKind kind,
       metas_(std::move(metas)),
       offsets_(std::move(offsets)),
       sizes_(std::move(sizes)),
-      data_(std::move(data)) {}
+      data_(std::move(data)) {
+  for (uint64_t s : sizes_) total_data_bytes_ += s;
+}
 
 Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir) {
   return Open(dir, Options{});
@@ -198,6 +202,131 @@ Result<Mask> MaskStore::LoadMask(MaskId id) const {
   return DecodeMask(blob);
 }
 
+Result<std::vector<Mask>> MaskStore::LoadMaskBatch(
+    const std::vector<MaskId>& ids) const {
+  std::vector<Mask> out(ids.size());
+  if (ids.empty()) return out;
+  for (MaskId id : ids) MS_RETURN_NOT_OK(CheckId(id));
+
+  // Sort by file offset: the store is append-ordered, so consecutive
+  // positions form contiguous (or nearly contiguous) runs; duplicate ids
+  // become adjacent and are decoded once.
+  std::vector<size_t> order(ids.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return offsets_[ids[a]] < offsets_[ids[b]];
+  });
+
+  masks_loaded_.fetch_add(ids.size(), std::memory_order_relaxed);
+
+  // Scratch for coalesced-over gap bytes. Gap slices may alias it: preadv
+  // fills destinations in order and the content is discarded.
+  std::vector<char> gap_buf;
+
+  struct RawDest {
+    size_t out_idx;
+    std::vector<float> values;
+  };
+  struct BlobDest {
+    size_t out_idx;
+    std::string bytes;
+  };
+
+  size_t pos = 0;
+  while (pos < order.size()) {
+    // Grow the run while the next blob starts within the gap threshold and
+    // the total span stays under the read cap (one oversized blob is still
+    // read whole).
+    const uint64_t run_start = offsets_[ids[order[pos]]];
+    uint64_t run_end = run_start + sizes_[ids[order[pos]]];
+    size_t end = pos + 1;
+    while (end < order.size()) {
+      const MaskId next = ids[order[end]];
+      if (offsets_[next] > run_end + opts_.batch_gap_bytes) break;
+      const uint64_t next_end =
+          std::max(run_end, offsets_[next] + sizes_[next]);
+      if (next_end - run_start > opts_.batch_max_bytes && next_end > run_end) {
+        break;
+      }
+      run_end = next_end;
+      ++end;
+    }
+
+    // One scatter read per run, directly into the destination buffers.
+    // All scratch is sized before any slice points into it: a reallocation
+    // would dangle the earlier slices.
+    uint64_t max_gap = 0;
+    {
+      uint64_t scan = run_start;
+      for (size_t p = pos; p < end; ++p) {
+        const MaskId id = ids[order[p]];
+        if (offsets_[id] > scan) {
+          max_gap = std::max(max_gap, offsets_[id] - scan);
+        }
+        scan = std::max(scan, offsets_[id] + sizes_[id]);
+      }
+    }
+    if (gap_buf.size() < max_gap) gap_buf.resize(max_gap);
+
+    std::vector<IoSlice> slices;
+    std::vector<RawDest> raw_dests;
+    std::vector<BlobDest> blob_dests;
+    raw_dests.reserve(end - pos);
+    blob_dests.reserve(end - pos);
+    std::vector<std::pair<size_t, size_t>> dups;  // (dup out idx, first idx)
+    uint64_t cursor = run_start;
+    size_t first_idx = order[pos];
+    for (size_t p = pos; p < end; ++p) {
+      const size_t i = order[p];
+      const MaskId id = ids[i];
+      if (p > pos && ids[order[p - 1]] == id) {
+        dups.emplace_back(i, first_idx);
+        continue;
+      }
+      first_idx = i;
+      if (offsets_[id] > cursor) {
+        slices.push_back(IoSlice{gap_buf.data(),
+                                 static_cast<size_t>(offsets_[id] - cursor)});
+      }
+      const size_t nbytes = sizes_[id];
+      if (kind_ == StorageKind::kRawFloat32) {
+        const MaskMeta& m = metas_[id];
+        std::vector<float> values(static_cast<size_t>(m.width) * m.height);
+        if (values.size() * sizeof(float) != nbytes) {
+          return Status::Corruption("blob size mismatch for mask " +
+                                    std::to_string(id));
+        }
+        raw_dests.push_back(RawDest{i, std::move(values)});
+        slices.push_back(IoSlice{raw_dests.back().values.data(), nbytes});
+      } else {
+        blob_dests.push_back(BlobDest{i, std::string(nbytes, '\0')});
+        slices.push_back(IoSlice{blob_dests.back().bytes.data(), nbytes});
+      }
+      cursor = offsets_[id] + nbytes;
+    }
+
+    const uint64_t span = run_end - run_start;
+    if (opts_.throttle) opts_.throttle->Acquire(span);
+    bytes_read_.fetch_add(span, std::memory_order_relaxed);
+    MS_RETURN_NOT_OK(data_->ReadVAt(run_start, std::move(slices)));
+
+    for (RawDest& d : raw_dests) {
+      const MaskMeta& m = metas_[ids[d.out_idx]];
+      MS_ASSIGN_OR_RETURN(out[d.out_idx], Mask::FromData(m.width, m.height,
+                                                         std::move(d.values)));
+    }
+    for (const BlobDest& d : blob_dests) {
+      MS_ASSIGN_OR_RETURN(out[d.out_idx],
+                          DecodeMask(d.bytes.data(), d.bytes.size()));
+    }
+    for (const auto& [dup_idx, src_idx] : dups) {
+      out[dup_idx] = out[src_idx];
+    }
+    pos = end;
+  }
+  return out;
+}
+
 Result<Mask> MaskStore::LoadMaskRows(MaskId id, int32_t y0, int32_t y1) const {
   MS_RETURN_NOT_OK(CheckId(id));
   if (kind_ != StorageKind::kRawFloat32) {
@@ -221,12 +350,6 @@ Result<Mask> MaskStore::LoadMaskRows(MaskId id, int32_t y0, int32_t y1) const {
   std::vector<float> values(static_cast<size_t>(m.width) * (y1 - y0));
   MS_RETURN_NOT_OK(data_->ReadAt(offset, nbytes, values.data()));
   return Mask::FromData(m.width, y1 - y0, std::move(values));
-}
-
-uint64_t MaskStore::TotalDataBytes() const {
-  uint64_t total = 0;
-  for (uint64_t s : sizes_) total += s;
-  return total;
 }
 
 }  // namespace masksearch

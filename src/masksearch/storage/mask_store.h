@@ -76,6 +76,12 @@ class MaskStore {
   struct Options {
     /// Shared disk model; null means unthrottled.
     std::shared_ptr<DiskThrottle> throttle;
+    /// Batch-I/O knobs for LoadMaskBatch: two blobs are coalesced into one
+    /// ReadAt when the byte gap between them is at most `batch_gap_bytes`,
+    /// and a coalesced read never exceeds `batch_max_bytes` (a single blob
+    /// larger than the cap is still read whole).
+    uint64_t batch_gap_bytes = 64 * 1024;
+    uint64_t batch_max_bytes = 8 * 1024 * 1024;
   };
 
   static Result<std::unique_ptr<MaskStore>> Open(const std::string& dir,
@@ -94,6 +100,14 @@ class MaskStore {
   /// \brief Loads a full mask from disk (throttled + counted).
   Result<Mask> LoadMask(MaskId id) const;
 
+  /// \brief Loads a batch of masks with coalesced I/O: ids are sorted by
+  /// file offset and blobs closer than Options::batch_gap_bytes are fetched
+  /// in a single ReadAt (one modeled disk request instead of one per mask).
+  /// Returns masks in the order of `ids`; duplicates are allowed. Each id
+  /// counts as one mask loaded; bytes_read counts the bytes actually read,
+  /// including coalesced-over gaps.
+  Result<std::vector<Mask>> LoadMaskBatch(const std::vector<MaskId>& ids) const;
+
   /// \brief Loads only the rows [y0, y1) of a raw-format mask — a contiguous
   /// byte range. Returns a Mask of height y1-y0 whose row 0 is mask row y0.
   /// Counts as a (partial) load. Compressed stores do not support partial
@@ -104,7 +118,8 @@ class MaskStore {
   uint64_t BlobSize(MaskId id) const { return sizes_[id]; }
 
   /// \brief Total bytes of all mask blobs (the "dataset size" of §4.1).
-  uint64_t TotalDataBytes() const;
+  /// Computed once at Open.
+  uint64_t TotalDataBytes() const { return total_data_bytes_; }
 
   /// \brief Cumulative number of LoadMask/LoadMaskRows calls.
   uint64_t masks_loaded() const { return masks_loaded_.load(); }
@@ -130,6 +145,7 @@ class MaskStore {
   std::vector<MaskMeta> metas_;
   std::vector<uint64_t> offsets_;
   std::vector<uint64_t> sizes_;
+  uint64_t total_data_bytes_ = 0;
   std::unique_ptr<RandomAccessFile> data_;
   mutable std::atomic<uint64_t> masks_loaded_{0};
   mutable std::atomic<uint64_t> bytes_read_{0};

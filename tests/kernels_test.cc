@@ -1,0 +1,262 @@
+// Kernel-vs-reference equivalence suite for the hot-path compute kernels
+// (kernels/): blocked CHI scatter + fused finalize vs the scalar reference,
+// and the mask-major derived-aggregation kernels vs the pixel-major
+// reference — on random masks, ragged shapes that don't divide the cell
+// size, and finite out-of-domain values from user MASK_AGGs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "masksearch/exec/mask_agg.h"
+#include "masksearch/index/chi_builder.h"
+#include "masksearch/kernels/agg_kernels.h"
+#include "masksearch/kernels/chi_kernels.h"
+#include "masksearch/query/cp.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::RandomMask;
+
+std::string SerializeChi(const Chi& chi) {
+  BufferWriter w;
+  chi.Serialize(&w);
+  return w.buffer();
+}
+
+void ExpectChiEquivalent(const Mask& mask, const ChiConfig& cfg,
+                         const std::string& label) {
+  const Chi fast = BuildChi(mask, cfg);
+  const Chi ref = BuildChiReference(mask, cfg);
+  EXPECT_EQ(SerializeChi(fast), SerializeChi(ref)) << label;
+}
+
+/// Mask with finite values outside [0, 1), as a user-defined MASK_AGG might
+/// produce (bypasses Mask::FromData validation on purpose).
+Mask OutOfDomainMask(Rng* rng, int32_t w, int32_t h) {
+  Mask m(w, h);
+  for (float& v : m.mutable_data()) {
+    const float u = rng->NextFloat();
+    if (u < 0.2f) {
+      v = -2.0f + 3.0f * rng->NextFloat();  // below pmin
+    } else if (u < 0.4f) {
+      v = 1.0f + 50.0f * rng->NextFloat();  // above pmax
+    } else {
+      v = rng->NextFloat();
+    }
+  }
+  return m;
+}
+
+TEST(ChiKernelTest, ScatterMatchesReferenceOnRandomMasks) {
+  Rng rng(11);
+  for (const auto& [w, h] : std::vector<std::pair<int32_t, int32_t>>{
+           {16, 16}, {64, 48}, {224, 224}}) {
+    const Mask m = RandomMask(&rng, w, h);
+    ChiBinningSpec spec;
+    spec.cell_width = 8;
+    spec.cell_height = 8;
+    spec.num_bins = 16;
+    spec.inv_delta = 16.0;  // 16 equi-width bins over [0, 1)
+    const int32_t nbx = ChiNumBoundaries(w, spec.cell_width);
+    const int32_t nby = ChiNumBoundaries(h, spec.cell_height);
+    std::vector<uint32_t> fast(ChiAccSize(w, h, spec), 0);
+    std::vector<uint32_t> ref(fast.size(), 0);
+    ChiCellScatter(m.data().data(), w, h, spec, fast.data());
+    ChiCellScatterReference(m.data().data(), w, h, spec, ref.data());
+    EXPECT_EQ(fast, ref) << w << "x" << h << " scatter";
+    ChiFinalizeCounts(fast.data(), nbx, nby, spec.num_bins);
+    ChiFinalizeCountsReference(ref.data(), nbx, nby, spec.num_bins);
+    EXPECT_EQ(fast, ref) << w << "x" << h << " finalize";
+  }
+}
+
+TEST(ChiKernelTest, RaggedShapesMatchReference) {
+  Rng rng(12);
+  // Shapes and cell sizes chosen so neither axis divides evenly, including
+  // cells wider than the mask.
+  const std::vector<std::tuple<int32_t, int32_t, int32_t, int32_t>> cases = {
+      {17, 13, 8, 8}, {100, 90, 28, 28}, {5, 37, 7, 4}, {3, 3, 8, 8},
+      {1, 1, 28, 28}, {33, 1, 4, 4}};
+  for (const auto& [w, h, cw, ch] : cases) {
+    ChiConfig cfg;
+    cfg.cell_width = cw;
+    cfg.cell_height = ch;
+    cfg.num_bins = 8;
+    ExpectChiEquivalent(RandomMask(&rng, w, h), cfg,
+                        std::to_string(w) + "x" + std::to_string(h));
+  }
+}
+
+TEST(ChiKernelTest, OutOfDomainValuesMatchReference) {
+  Rng rng(13);
+  ChiConfig cfg;
+  cfg.cell_width = 8;
+  cfg.cell_height = 8;
+  cfg.num_bins = 16;
+  ExpectChiEquivalent(OutOfDomainMask(&rng, 50, 46), cfg, "out-of-domain");
+}
+
+TEST(ChiKernelTest, EquiDepthEdgesMatchReference) {
+  Rng rng(14);
+  ChiConfig cfg;
+  cfg.cell_width = 8;
+  cfg.cell_height = 8;
+  cfg.num_bins = 8;
+  cfg.custom_edges = {0.05, 0.061, 0.2, 0.5, 0.7, 0.9, 0.97};
+  ASSERT_TRUE(cfg.Valid());
+  ExpectChiEquivalent(RandomMask(&rng, 61, 29), cfg, "equi-depth");
+  ExpectChiEquivalent(OutOfDomainMask(&rng, 40, 40), cfg,
+                      "equi-depth out-of-domain");
+}
+
+TEST(ChiKernelTest, BinCountVariationsMatchReference) {
+  Rng rng(15);
+  const Mask m = RandomMask(&rng, 47, 31);
+  for (int32_t bins : {1, 2, 5, 32}) {
+    ChiConfig cfg;
+    cfg.cell_width = 9;
+    cfg.cell_height = 5;
+    cfg.num_bins = bins;
+    ExpectChiEquivalent(m, cfg, "bins=" + std::to_string(bins));
+  }
+}
+
+class DerivedKernelTest : public ::testing::Test {
+ protected:
+  static std::vector<const float*> Ptrs(const std::vector<Mask>& masks) {
+    std::vector<const float*> p;
+    for (const Mask& m : masks) p.push_back(m.data().data());
+    return p;
+  }
+
+  static void ExpectDerivedEquivalent(const std::vector<Mask>& masks,
+                                      DerivedAggOp op, float threshold,
+                                      const std::string& label) {
+    const size_t n = static_cast<size_t>(masks[0].NumPixels());
+    std::vector<float> fast(n), ref(n);
+    const std::vector<const float*> ptrs = Ptrs(masks);
+    const float one = DerivedMaskOne();
+    DerivedMaskKernel(op, threshold, one, ptrs.data(), ptrs.size(), n,
+                      fast.data());
+    DerivedMaskReference(op, threshold, one, ptrs.data(), ptrs.size(), n,
+                         ref.data());
+    // Bit-identical, including NaN propagation through the average clamp.
+    EXPECT_EQ(std::memcmp(fast.data(), ref.data(), n * sizeof(float)), 0)
+        << label;
+  }
+};
+
+TEST_F(DerivedKernelTest, AllOpsMatchReference) {
+  Rng rng(21);
+  for (size_t members : {size_t{1}, size_t{2}, size_t{5}, size_t{16}}) {
+    for (const auto& [w, h] :
+         std::vector<std::pair<int32_t, int32_t>>{{33, 17}, {64, 64}}) {
+      std::vector<Mask> masks;
+      for (size_t i = 0; i < members; ++i) {
+        masks.push_back(RandomMask(&rng, w, h));
+      }
+      for (DerivedAggOp op : {DerivedAggOp::kIntersect, DerivedAggOp::kUnion,
+                              DerivedAggOp::kAverage}) {
+        ExpectDerivedEquivalent(
+            masks, op, 0.7f,
+            "op=" + std::to_string(static_cast<int>(op)) + " n=" +
+                std::to_string(members) + " " + std::to_string(w) + "x" +
+                std::to_string(h));
+      }
+    }
+  }
+}
+
+TEST_F(DerivedKernelTest, OutOfDomainInputsMatchReference) {
+  Rng rng(22);
+  std::vector<Mask> masks;
+  for (int i = 0; i < 4; ++i) masks.push_back(OutOfDomainMask(&rng, 29, 23));
+  for (DerivedAggOp op : {DerivedAggOp::kIntersect, DerivedAggOp::kUnion,
+                          DerivedAggOp::kAverage}) {
+    ExpectDerivedEquivalent(masks, op, 0.5f, "out-of-domain");
+  }
+}
+
+TEST_F(DerivedKernelTest, StripBoundaryShapes) {
+  // Pixel counts around the internal strip length (2048): exactly one
+  // strip, one short strip, strip+1.
+  Rng rng(23);
+  for (const auto& [w, h] : std::vector<std::pair<int32_t, int32_t>>{
+           {2048, 1}, {2047, 1}, {683, 3}, {1, 1}}) {
+    std::vector<Mask> masks;
+    for (int i = 0; i < 3; ++i) masks.push_back(RandomMask(&rng, w, h));
+    ExpectDerivedEquivalent(masks, DerivedAggOp::kIntersect, 0.6f,
+                            std::to_string(w) + "x" + std::to_string(h));
+  }
+}
+
+TEST_F(DerivedKernelTest, FusedCountMatchesMaterialized) {
+  Rng rng(24);
+  const int32_t w = 57, h = 43;
+  std::vector<Mask> masks;
+  for (int i = 0; i < 5; ++i) masks.push_back(RandomMask(&rng, w, h));
+  const std::vector<const float*> ptrs = Ptrs(masks);
+  const float one = DerivedMaskOne();
+
+  const std::vector<ROI> rois = {
+      ROI::Full(w, h), ROI(3, 5, 29, 31), ROI(-10, -10, 200, 200),
+      ROI(10, 10, 10, 30),  // empty
+      ROI(50, 40, 57, 43)};
+  const std::vector<ValueRange> ranges = {
+      ValueRange(0.5, 1.0),  // counts ones only
+      ValueRange(0.0, 0.5),  // counts zeros only
+      ValueRange(0.0, 1.0),  // counts everything
+      ValueRange(0.7, 0.2),  // invalid
+      ValueRange(0.25, 0.75)};
+
+  for (DerivedAggOp op : {DerivedAggOp::kIntersect, DerivedAggOp::kUnion,
+                          DerivedAggOp::kAverage}) {
+    std::vector<float> derived(static_cast<size_t>(w) * h);
+    DerivedMaskKernel(op, 0.6f, one, ptrs.data(), ptrs.size(), derived.size(),
+                      derived.data());
+    for (const ROI& roi : rois) {
+      for (const ValueRange& range : ranges) {
+        const int64_t fused =
+            DerivedCpCount(op, 0.6f, one, ptrs.data(), ptrs.size(), w, h, roi,
+                           range);
+        const int64_t want =
+            CountPixelsRaw(derived.data(), w, h, roi, range);
+        EXPECT_EQ(fused, want)
+            << "op=" << static_cast<int>(op) << " roi=" << roi.ToString()
+            << " range=" << range.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(DerivedKernelTest, ComputeDerivedMaskUsesKernels) {
+  // The public entry point must agree with the reference kernel end to end.
+  Rng rng(25);
+  std::vector<Mask> masks;
+  for (int i = 0; i < 3; ++i) masks.push_back(RandomMask(&rng, 21, 19));
+  for (MaskAggOp op : {MaskAggOp::kIntersectThreshold,
+                       MaskAggOp::kUnionThreshold, MaskAggOp::kAverage}) {
+    auto got = ComputeDerivedMask(op, 0.8, masks);
+    ASSERT_TRUE(got.ok());
+    const DerivedAggOp kop = op == MaskAggOp::kIntersectThreshold
+                                 ? DerivedAggOp::kIntersect
+                                 : (op == MaskAggOp::kUnionThreshold
+                                        ? DerivedAggOp::kUnion
+                                        : DerivedAggOp::kAverage);
+    std::vector<float> want(static_cast<size_t>(21) * 19);
+    const std::vector<const float*> ptrs = Ptrs(masks);
+    DerivedMaskReference(kop, 0.8f, DerivedMaskOne(), ptrs.data(),
+                         ptrs.size(), want.size(), want.data());
+    EXPECT_EQ(std::memcmp(got->data().data(), want.data(),
+                          want.size() * sizeof(float)),
+              0);
+  }
+}
+
+}  // namespace
+}  // namespace masksearch

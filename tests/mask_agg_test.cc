@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "masksearch/baselines/full_scan.h"
 #include "masksearch/exec/mask_agg.h"
 #include "masksearch/index/chi_builder.h"
@@ -229,6 +231,129 @@ TEST_F(MaskAggExecTest, InvalidQueriesRejected) {
   EXPECT_TRUE(ExecuteMaskAgg(*store_, index_.get(), nullptr, neither)
                   .status()
                   .IsInvalidArgument());
+}
+
+// Parallel batched verification must return byte-identical results to the
+// serial schedule, and its filter-stage stats must stay consistent: the
+// same groups are partitioned across pruned / accepted / candidates, with
+// batching only allowed to move groups from pruned to candidates (stale
+// heap at decision time — strictly conservative).
+class MaskAggParallelTest : public MaskAggExecTest {
+ protected:
+  void ExpectParallelMatchesSerial(const MaskAggQuery& q) {
+    EngineOptions serial;
+    serial.pool = nullptr;  // batch size degenerates to 1: exact serial path
+    DerivedIndexCache serial_cache(TestConfig());
+    auto want = ExecuteMaskAgg(*store_, index_.get(), &serial_cache, q, serial);
+    ASSERT_TRUE(want.ok()) << want.status();
+
+    ThreadPool pool(4);
+    EngineOptions parallel;
+    parallel.pool = &pool;
+    parallel.agg_verify_batch = 8;
+    DerivedIndexCache parallel_cache(TestConfig());
+    auto got =
+        ExecuteMaskAgg(*store_, index_.get(), &parallel_cache, q, parallel);
+    ASSERT_TRUE(got.ok()) << got.status();
+
+    ASSERT_EQ(got->groups.size(), want->groups.size());
+    for (size_t i = 0; i < want->groups.size(); ++i) {
+      EXPECT_EQ(got->groups[i].group, want->groups[i].group) << "rank " << i;
+      // Byte-identical values (both are exact integer counts or identical
+      // tight bounds).
+      EXPECT_EQ(std::memcmp(&got->groups[i].value, &want->groups[i].value,
+                            sizeof(double)),
+                0)
+          << "rank " << i;
+    }
+    const ExecStats& ps = got->stats;
+    const ExecStats& ss = want->stats;
+    EXPECT_EQ(ps.pruned + ps.accepted_by_bounds + ps.candidates,
+              ss.pruned + ss.accepted_by_bounds + ss.candidates);
+    // Batching can only move serial-pruned groups into the other buckets.
+    EXPECT_LE(ps.pruned, ss.pruned);
+    EXPECT_GE(ps.accepted_by_bounds, ss.accepted_by_bounds);
+    EXPECT_GE(ps.candidates, ss.candidates);
+    // Every group the serial run indexed is indexed by the parallel run too.
+    EXPECT_GE(parallel_cache.size(), serial_cache.size());
+  }
+};
+
+TEST_F(MaskAggParallelTest, TopKDeterministic) {
+  for (MaskAggOp op : {MaskAggOp::kIntersectThreshold,
+                       MaskAggOp::kUnionThreshold, MaskAggOp::kAverage}) {
+    MaskAggQuery q = IntersectQuery(5);
+    q.op = op;
+    ExpectParallelMatchesSerial(q);
+  }
+}
+
+TEST_F(MaskAggParallelTest, TopKAscendingWithHavingDeterministic) {
+  MaskAggQuery q = IntersectQuery(4);
+  q.descending = false;
+  q.having_op = CompareOp::kGt;
+  q.having_threshold = 10.0;
+  ExpectParallelMatchesSerial(q);
+}
+
+TEST_F(MaskAggParallelTest, HavingOnlyDeterministic) {
+  MaskAggQuery q = IntersectQuery(0);
+  q.k.reset();
+  q.having_op = CompareOp::kGt;
+  q.having_threshold = 50.0;
+  ExpectParallelMatchesSerial(q);
+}
+
+TEST_F(MaskAggParallelTest, ParallelMatchesFullScanReference) {
+  ThreadPool pool(3);
+  EngineOptions opts;
+  opts.pool = &pool;
+  const MaskAggQuery q = IntersectQuery(5);
+  DerivedIndexCache cache(TestConfig());
+  auto got = ExecuteMaskAgg(*store_, index_.get(), &cache, q, opts);
+  ASSERT_TRUE(got.ok());
+  FullScanBaseline reference(store_.get());
+  auto want = reference.MaskAggregate(q);
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(got->groups.size(), want->groups.size());
+  for (size_t i = 0; i < got->groups.size(); ++i) {
+    EXPECT_EQ(got->groups[i].group, want->groups[i].group);
+    EXPECT_DOUBLE_EQ(got->groups[i].value, want->groups[i].value);
+  }
+}
+
+TEST_F(MaskAggExecTest, RepeatedQueryDoesNotRebuildDerivedChis) {
+  const MaskAggQuery q = IntersectQuery(5);
+  DerivedIndexCache cache(TestConfig());
+  auto first = ExecuteMaskAgg(*store_, index_.get(), &cache, q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->stats.chis_built, 0);
+  const size_t cached = cache.size();
+
+  // Every verified group's derived CHI is now cached: a repeat of the same
+  // query must not pay any CHI build again.
+  auto second = ExecuteMaskAgg(*store_, index_.get(), &cache, q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.chis_built, 0);
+  EXPECT_EQ(cache.size(), cached);
+}
+
+TEST_F(MaskAggExecTest, UnbatchedIoMatchesBatched) {
+  MaskAggQuery q = IntersectQuery(6);
+  EngineOptions batched;
+  EngineOptions unbatched;
+  unbatched.batch_io = false;
+  DerivedIndexCache c1(TestConfig()), c2(TestConfig());
+  auto a = ExecuteMaskAgg(*store_, index_.get(), &c1, q, batched);
+  auto b = ExecuteMaskAgg(*store_, index_.get(), &c2, q, unbatched);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->groups.size(), b->groups.size());
+  for (size_t i = 0; i < a->groups.size(); ++i) {
+    EXPECT_EQ(a->groups[i].group, b->groups[i].group);
+    EXPECT_DOUBLE_EQ(a->groups[i].value, b->groups[i].value);
+  }
+  EXPECT_EQ(a->stats.masks_loaded, b->stats.masks_loaded);
 }
 
 }  // namespace

@@ -199,5 +199,112 @@ TEST(MaskStoreTest, ThrottleAccountsBytes) {
   EXPECT_EQ(opts.throttle->total_requests(), 1u);
 }
 
+std::unique_ptr<MaskStore> MakeBatchStore(const TempDir& dir, int count,
+                                          StorageKind kind,
+                                          const MaskStore::Options& opts) {
+  Rng rng(31);
+  MaskStoreWriter::Options wopts;
+  wopts.kind = kind;
+  auto writer = MaskStoreWriter::Create(dir.path(), wopts).ValueOrDie();
+  for (int i = 0; i < count; ++i) {
+    writer->Append(MaskMeta{}, RandomMask(&rng, 12, 10)).ValueOrDie();
+  }
+  writer->Finish().CheckOK();
+  return MaskStore::Open(dir.path(), opts).ValueOrDie();
+}
+
+TEST(MaskStoreBatchTest, MatchesSerialLoadsInInputOrder) {
+  for (StorageKind kind :
+       {StorageKind::kRawFloat32, StorageKind::kCompressed}) {
+    TempDir dir("batch");
+    auto store = MakeBatchStore(dir, 10, kind, {});
+    // Shuffled order with duplicates.
+    const std::vector<MaskId> ids = {7, 0, 7, 3, 9, 1, 1, 4};
+    auto batch = store->LoadMaskBatch(ids);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+    ASSERT_EQ(batch->size(), ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto want = store->LoadMask(ids[i]);
+      ASSERT_TRUE(want.ok());
+      EXPECT_EQ((*batch)[i].data(), want->data()) << "slot " << i;
+    }
+  }
+}
+
+TEST(MaskStoreBatchTest, CoalescesAdjacentBlobsIntoOneRequest) {
+  TempDir dir("batch");
+  MaskStore::Options opts;
+  opts.throttle = std::make_shared<DiskThrottle>(0.0);  // accounting only
+  auto store = MakeBatchStore(dir, 8, StorageKind::kRawFloat32, opts);
+  const std::vector<MaskId> all = {0, 1, 2, 3, 4, 5, 6, 7};
+  store->LoadMaskBatch(all).ValueOrDie();
+  // The store is densely packed: the whole batch is one modeled request of
+  // exactly the data bytes.
+  EXPECT_EQ(opts.throttle->total_requests(), 1u);
+  EXPECT_EQ(opts.throttle->total_bytes(), store->TotalDataBytes());
+  EXPECT_EQ(store->masks_loaded(), 8u);
+  EXPECT_EQ(store->bytes_read(), store->TotalDataBytes());
+}
+
+TEST(MaskStoreBatchTest, GapKnobControlsCoalescing) {
+  const uint64_t blob = 12 * 10 * sizeof(float);
+  const std::vector<MaskId> sparse = {0, 2, 4, 6};  // one-blob gaps
+  {
+    TempDir dir("batch");
+    MaskStore::Options opts;
+    opts.throttle = std::make_shared<DiskThrottle>(0.0);
+    opts.batch_gap_bytes = 0;  // never read over a gap
+    auto store = MakeBatchStore(dir, 8, StorageKind::kRawFloat32, opts);
+    store->LoadMaskBatch(sparse).ValueOrDie();
+    EXPECT_EQ(opts.throttle->total_requests(), 4u);
+    EXPECT_EQ(opts.throttle->total_bytes(), 4 * blob);
+  }
+  {
+    TempDir dir("batch");
+    MaskStore::Options opts;
+    opts.throttle = std::make_shared<DiskThrottle>(0.0);
+    opts.batch_gap_bytes = blob;  // gaps are exactly one blob wide
+    auto store = MakeBatchStore(dir, 8, StorageKind::kRawFloat32, opts);
+    store->LoadMaskBatch(sparse).ValueOrDie();
+    // One request spanning masks [0, 7): reads the gap blobs too.
+    EXPECT_EQ(opts.throttle->total_requests(), 1u);
+    EXPECT_EQ(opts.throttle->total_bytes(), 7 * blob);
+  }
+}
+
+TEST(MaskStoreBatchTest, MaxBytesCapSplitsRuns) {
+  const uint64_t blob = 12 * 10 * sizeof(float);
+  TempDir dir("batch");
+  MaskStore::Options opts;
+  opts.throttle = std::make_shared<DiskThrottle>(0.0);
+  opts.batch_max_bytes = 3 * blob;
+  auto store = MakeBatchStore(dir, 8, StorageKind::kRawFloat32, opts);
+  store->LoadMaskBatch({0, 1, 2, 3, 4, 5, 6, 7}).ValueOrDie();
+  EXPECT_EQ(opts.throttle->total_requests(), 3u);  // 3 + 3 + 2 masks
+  EXPECT_EQ(opts.throttle->total_bytes(), 8 * blob);
+}
+
+TEST(MaskStoreBatchTest, EmptyAndInvalidIds) {
+  TempDir dir("batch");
+  auto store = MakeBatchStore(dir, 3, StorageKind::kRawFloat32, {});
+  auto empty = store->LoadMaskBatch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_TRUE(store->LoadMaskBatch({0, 99}).status().IsNotFound());
+  EXPECT_TRUE(store->LoadMaskBatch({-1}).status().IsNotFound());
+  // A failed batch performs no reads.
+  EXPECT_EQ(store->masks_loaded(), 0u);
+}
+
+TEST(MaskStoreTest, TotalDataBytesMatchesBlobSizes) {
+  TempDir dir("batch");
+  auto store = MakeBatchStore(dir, 6, StorageKind::kRawFloat32, {});
+  uint64_t want = 0;
+  for (MaskId id = 0; id < store->num_masks(); ++id) {
+    want += store->BlobSize(id);
+  }
+  EXPECT_EQ(store->TotalDataBytes(), want);
+}
+
 }  // namespace
 }  // namespace masksearch

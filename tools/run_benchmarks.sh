@@ -24,6 +24,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 DATA_DIR="$(mktemp -d "${TMPDIR:-/tmp}/masksearch_bench_smoke.XXXXXX")"
 trap 'rm -rf "$DATA_DIR"' EXIT
 
+# Machine-readable results: every driver drops BENCH_<driver>.json here
+# (CI uploads the directory as the perf-trajectory artifact).
+JSON_DIR="${MASKSEARCH_BENCH_JSON_DIR:-$BUILD_DIR/bench_json}"
+mkdir -p "$JSON_DIR"
+
 # Tiny scales: each driver must finish in seconds, exercising the full
 # dataset-generation -> index-build -> query path.
 SMOKE_FLAGS=(
@@ -32,6 +37,7 @@ SMOKE_FLAGS=(
   "--imagenet-scale=0.0004"
   "--queries=2"
   "--workload-queries=2"
+  "--json-out=$JSON_DIR"
   "$@"
 )
 
@@ -44,7 +50,9 @@ for driver in "$BUILD_DIR"/bench/bench_*; do
   if [ "$name" = bench_micro_kernels ]; then
     # google-benchmark harness: its own flag set. min_time=0 runs the
     # minimum iteration count per kernel (the "1x" syntax needs >= 1.8).
-    args=(--benchmark_min_time=0)
+    args=(--benchmark_min_time=0
+          "--benchmark_out=$JSON_DIR/BENCH_micro_kernels.json"
+          --benchmark_out_format=json)
   else
     args=("${SMOKE_FLAGS[@]}")
   fi
@@ -53,5 +61,8 @@ for driver in "$BUILD_DIR"/bench/bench_*; do
     status=1
   fi
 done
+
+echo "bench JSON results:"
+ls -l "$JSON_DIR"/BENCH_*.json 2>/dev/null || echo "  (none written)"
 
 exit $status
