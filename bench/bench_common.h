@@ -11,6 +11,9 @@
 //   --imagenet-scale=F     fraction of the real ImageNet size (default 0.0025)
 //   --bandwidth-mib=F      modeled disk bandwidth, MiB/s      (default 125)
 //   --latency-us=F         modeled per-request latency, µs    (default 200)
+//   --queue-depth=N        modeled device queue depth         (default 1,
+//                          the paper's fully serialized single-stream disk;
+//                          raise to model NVMe-style request parallelism)
 //   --json-out=DIR         write BENCH_<driver>.json with the recorded
 //                          metrics + wall time (machine-readable results for
 //                          the CI artifact / perf trajectory)
@@ -36,6 +39,7 @@ struct BenchFlags {
   double imagenet_scale = 0.0025;
   double bandwidth_mib = 125.0;
   double latency_us = 200.0;
+  int queue_depth = 1;
   int queries = 60;          ///< randomized-query count (Fig 8/9)
   int workload_queries = 40; ///< multi-query workload length (Fig 11)
   std::string json_out;      ///< directory for BENCH_<driver>.json ("" = off)
@@ -44,7 +48,7 @@ struct BenchFlags {
     std::fprintf(stderr,
                  "usage: %s [--data-dir=PATH] [--wilds-scale=F]\n"
                  "          [--imagenet-scale=F] [--bandwidth-mib=F]\n"
-                 "          [--latency-us=F] [--queries=N]\n"
+                 "          [--latency-us=F] [--queue-depth=N] [--queries=N]\n"
                  "          [--workload-queries=N] [--json-out=DIR]\n",
                  prog);
   }
@@ -75,6 +79,8 @@ struct BenchFlags {
               [&](const std::string& v) { f.bandwidth_mib = std::stod(v); }) ||
           eat("latency-us",
               [&](const std::string& v) { f.latency_us = std::stod(v); }) ||
+          eat("queue-depth",
+              [&](const std::string& v) { f.queue_depth = std::stoi(v); }) ||
           eat("queries",
               [&](const std::string& v) { f.queries = std::stoi(v); }) ||
           eat("workload-queries",
@@ -131,7 +137,7 @@ inline BenchData OpenDataset(BenchDataset d, const BenchFlags& flags) {
   data.dir = DatasetDir(d, flags);
   EnsureDataset(data.dir, data.spec).CheckOK();
   data.throttle = std::make_shared<DiskThrottle>(
-      flags.bandwidth_mib * 1024 * 1024, flags.latency_us);
+      flags.bandwidth_mib * 1024 * 1024, flags.latency_us, flags.queue_depth);
   MaskStore::Options topts;
   topts.throttle = data.throttle;
   data.store = MaskStore::Open(data.dir, topts).ValueOrDie();

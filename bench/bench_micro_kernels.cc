@@ -246,6 +246,160 @@ void BM_LoadMaskSerialThrottled(benchmark::State& state) {
 }
 BENCHMARK(BM_LoadMaskSerialThrottled);
 
+// --- sharded store + overlapped verification (PR 3) ---
+
+/// Store of `count` small masks written with `num_shards` data files,
+/// opened against a latency-modeled disk with queue depth (an IOP-bound
+/// device with NVMe-style request parallelism) and an I/O pool for
+/// shard-parallel batch reads.
+struct ShardedScratchStore {
+  std::string dir;
+  std::unique_ptr<ThreadPool> io_pool;
+  std::unique_ptr<MaskStore> store;
+
+  ShardedScratchStore(int count, int32_t num_shards, double latency_us,
+                      int queue_depth, uint64_t max_bytes) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("masksearch_bench_shard_" + std::to_string(::getpid()) + "_" +
+            std::to_string(num_shards)))
+              .string();
+    std::filesystem::remove_all(dir);
+    MaskStoreWriter::Options wopts;
+    wopts.num_shards = num_shards;
+    auto writer = MaskStoreWriter::Create(dir, wopts).ValueOrDie();
+    Rng rng(78);
+    for (int i = 0; i < count; ++i) {
+      Mask m(112, 112);
+      for (float& v : m.mutable_data()) v = rng.NextFloat();
+      writer->Append(MaskMeta{}, m).ValueOrDie();
+    }
+    writer->Finish().CheckOK();
+    io_pool = std::make_unique<ThreadPool>(8);
+    MaskStore::Options opts;
+    opts.throttle =
+        std::make_shared<DiskThrottle>(0.0, latency_us, queue_depth);
+    opts.batch_max_bytes = max_bytes;
+    opts.io_pool = num_shards > 1 ? io_pool.get() : nullptr;
+    store = MaskStore::Open(dir, opts).ValueOrDie();
+  }
+  ~ShardedScratchStore() { std::filesystem::remove_all(dir); }
+};
+
+// 64-mask batch on an IOP-bound modeled disk (200 µs/request, queue depth
+// 8), with the coalescing cap set to one blob so the request count is
+// genuinely fixed at 64 for every shard count: wall time is driven purely
+// by how many request streams the loader keeps in flight. 1 shard issues
+// the requests sequentially; N shards run N concurrent per-shard streams
+// through the io_pool.
+void BM_ShardedBatchIopBound(benchmark::State& state) {
+  const int32_t shards = static_cast<int32_t>(state.range(0));
+  const uint64_t blob = 112 * 112 * sizeof(float);
+  ShardedScratchStore s(64, shards, /*latency_us=*/200.0, /*queue_depth=*/8,
+                        /*max_bytes=*/blob);
+  std::vector<MaskId> ids(64);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<MaskId>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.store->LoadMaskBatch(ids).ValueOrDie());
+  }
+}
+BENCHMARK(BM_ShardedBatchIopBound)->Arg(1)->Arg(4)->Arg(8);
+
+/// 16 groups × 8 members of 448² masks behind a latency-modeled disk
+/// (1 ms/request, queue depth 8) — a ≥64-mask verification workload where
+/// every group must be loaded and verified (no usable bounds) and each
+/// verification builds the group's derived CHI (real compute to overlap).
+/// `per_shard_devices` models the scale-out deployment: one modeled device
+/// per shard file instead of one shared device.
+struct AggPipelineFixture {
+  std::string dir;
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<ThreadPool> io_pool;
+  std::unique_ptr<MaskStore> store;
+
+  AggPipelineFixture(int32_t num_shards, bool shard_parallel_reads,
+                     bool per_shard_devices = false) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("masksearch_bench_aggpipe_" + std::to_string(::getpid()) + "_" +
+            std::to_string(num_shards)))
+              .string();
+    std::filesystem::remove_all(dir);
+    MaskStoreWriter::Options wopts;
+    wopts.num_shards = num_shards;
+    auto writer = MaskStoreWriter::Create(dir, wopts).ValueOrDie();
+    for (int64_t img = 0; img < 16; ++img) {
+      for (int32_t model = 0; model < 8; ++model) {
+        MaskMeta meta;
+        meta.image_id = img;
+        meta.model_id = model;
+        Mask m = MakeBlobMask(448, 100 + img * 8 + model);
+        meta.object_box = ROI(56, 56, 392, 392);
+        writer->Append(meta, m).ValueOrDie();
+      }
+    }
+    writer->Finish().CheckOK();
+    pool = std::make_unique<ThreadPool>(4);
+    io_pool = std::make_unique<ThreadPool>(4);
+    MaskStore::Options opts;
+    opts.throttle = std::make_shared<DiskThrottle>(0.0, /*latency_us=*/1000.0,
+                                                   /*queue_depth=*/8);
+    opts.io_pool = shard_parallel_reads ? io_pool.get() : nullptr;
+    opts.throttle_per_shard = per_shard_devices;
+    store = MaskStore::Open(dir, opts).ValueOrDie();
+  }
+  ~AggPipelineFixture() { std::filesystem::remove_all(dir); }
+
+  MaskAggQuery Query() const {
+    MaskAggQuery q;
+    q.op = MaskAggOp::kIntersectThreshold;
+    q.agg_threshold = 0.7;
+    q.term.roi_source = RoiSource::kObjectBox;
+    q.term.range = ValueRange(0.7, 1.0);
+    q.group_key = GroupKey::kImageId;
+    q.k = 8;
+    q.descending = true;
+    return q;
+  }
+
+  ChiConfig Config() const {
+    ChiConfig cfg;
+    cfg.cell_width = cfg.cell_height = 56;
+    cfg.num_bins = 16;
+    return cfg;
+  }
+};
+
+// arg 0: the PR 2 schedule — parallel batched verification, loads inside
+//        the verify tasks, single-file store.
+// arg 1: + overlapped pipeline (io_pool, double buffering + prefetch),
+//        single-file store.
+// arg 2: + 4-shard store with shard-parallel batch reads, one modeled
+//        device per shard — the full sharded + overlapped scale-out
+//        configuration.
+// Every iteration starts from an empty derived cache, so each of the 16
+// groups pays one load + one derived-CHI build: the compute the pipeline
+// overlaps with the next batch's I/O.
+void BM_MaskAggVerifyPipeline(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  AggPipelineFixture f(mode >= 2 ? 4 : 1, mode >= 2, mode >= 2);
+  const MaskAggQuery q = f.Query();
+  EngineOptions opts;
+  opts.pool = f.pool.get();
+  opts.agg_verify_batch = 4;
+  if (mode >= 1) {
+    opts.io_pool = f.io_pool.get();
+    opts.inflight_batches = 2;
+    opts.prefetch_depth = 2;
+  }
+  for (auto _ : state) {
+    DerivedIndexCache cache(f.Config());
+    auto r = ExecuteMaskAgg(*f.store, nullptr, &cache, q, opts);
+    r.status().CheckOK();
+    benchmark::DoNotOptimize(r->groups.data());
+  }
+}
+BENCHMARK(BM_MaskAggVerifyPipeline)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_BoundComputation(benchmark::State& state) {
   const int32_t side = static_cast<int32_t>(state.range(0));
   const Mask mask = MakeBlobMask(side, 4);

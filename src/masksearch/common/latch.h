@@ -1,0 +1,61 @@
+// One-shot countdown latch + drain guard for the overlapped I/O pipelines
+// (C++17 has no std::latch). Shared by the exec-layer prefetch pipelines so
+// their waiting semantics cannot drift apart.
+
+#ifndef MASKSEARCH_COMMON_LATCH_H_
+#define MASKSEARCH_COMMON_LATCH_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace masksearch {
+
+/// \brief Counts down from `count` to zero exactly once; Wait blocks until
+/// zero. Thread-safe; the final CountDown happens-before any Wait return.
+class Latch {
+ public:
+  explicit Latch(size_t count) : remaining_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+/// \brief Waits on every registered latch at scope exit. The prefetch
+/// pipelines register one latch per launched load; draining them before any
+/// return path keeps the loads' captured locals alive even on error exits.
+class LatchDrainGuard {
+ public:
+  LatchDrainGuard() = default;
+  ~LatchDrainGuard() {
+    for (auto& latch : latches_) latch->Wait();
+  }
+  LatchDrainGuard(const LatchDrainGuard&) = delete;
+  LatchDrainGuard& operator=(const LatchDrainGuard&) = delete;
+
+  /// \brief Registers a latch to drain; returns it for convenience.
+  const std::shared_ptr<Latch>& Add(std::shared_ptr<Latch> latch) {
+    latches_.push_back(std::move(latch));
+    return latches_.back();
+  }
+
+ private:
+  std::vector<std::shared_ptr<Latch>> latches_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_COMMON_LATCH_H_

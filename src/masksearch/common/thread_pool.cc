@@ -70,30 +70,52 @@ void ParallelFor(ThreadPool* pool, size_t n,
   }
   // 4 chunks per worker balances skewed per-item costs (e.g. some masks
   // verified, most pruned) against scheduling overhead.
-  size_t num_chunks = std::min(n, pool->num_threads() * 4);
-  size_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::atomic<size_t> next{0};
-  std::atomic<size_t> pending{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  const size_t num_chunks = std::min(n, pool->num_threads() * 4);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
 
-  size_t launched = 0;
-  for (size_t c = 0; c * chunk < n; ++c) ++launched;
-  pending.store(launched);
-  for (size_t c = 0; c < launched; ++c) {
-    pool->Submit([&, c] {
-      size_t begin = c * chunk;
-      size_t end = std::min(n, begin + chunk);
-      for (size_t i = begin; i < end; ++i) fn(i);
-      if (pending.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
+  // Chunks are claimed from a shared counter by pool workers AND by the
+  // calling thread. Caller participation makes nested ParallelFor calls on
+  // the same pool deadlock-free: a caller that is itself a pool worker
+  // drains its own chunks instead of blocking on workers that may all be
+  // waiting on nested loops of their own. Helpers capture the state by
+  // shared_ptr because a helper may still be scheduled (and find no chunks
+  // left) after the caller has returned.
+  struct State {
+    std::function<void(size_t)> fn;
+    size_t n, chunk, num_chunks;
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> done_chunks{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = fn;
+  state->n = n;
+  state->chunk = chunk;
+  state->num_chunks = num_chunks;
+
+  auto drain = [](const std::shared_ptr<State>& s) {
+    size_t c;
+    while ((c = s->next_chunk.fetch_add(1)) < s->num_chunks) {
+      const size_t begin = c * s->chunk;
+      const size_t end = std::min(s->n, begin + s->chunk);
+      for (size_t i = begin; i < end; ++i) s->fn(i);
+      if (s->done_chunks.fetch_add(1) + 1 == s->num_chunks) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
       }
-    });
+    }
+  };
+
+  // One helper per worker is enough: each drains chunks until none remain.
+  const size_t helpers = std::min(num_chunks - 1, pool->num_threads());
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state, drain] { drain(state); });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return pending.load() == 0; });
-  (void)next;
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done_chunks.load() == state->num_chunks; });
 }
 
 }  // namespace masksearch

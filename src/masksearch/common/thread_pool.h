@@ -53,9 +53,13 @@ class ThreadPool {
 
 /// \brief Runs fn(i) for i in [0, n) on `pool`, blocking until completion.
 ///
-/// Work is divided into contiguous chunks, one chunk batch per worker, so
-/// per-index overhead stays negligible even for millions of cheap items.
-/// With a null or single-threaded pool the loop runs inline.
+/// Work is divided into contiguous chunks claimed from a shared counter by
+/// the pool workers and by the calling thread, so per-index overhead stays
+/// negligible even for millions of cheap items. Caller participation also
+/// makes nested calls on the same pool deadlock-free: every loop's initiator
+/// can always drain its own chunks (the sharded batch loader runs inside
+/// prefetch tasks that way). With a null or single-threaded pool the loop
+/// runs inline.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
 

@@ -1,7 +1,10 @@
 #include "masksearch/exec/filter_executor.h"
 
 #include <atomic>
+#include <deque>
+#include <memory>
 
+#include "masksearch/common/latch.h"
 #include "masksearch/common/stopwatch.h"
 #include "masksearch/exec/evaluator.h"
 
@@ -10,6 +13,29 @@ namespace masksearch {
 namespace {
 
 enum class Outcome : uint8_t { kPruned, kAccepted, kVerifiedPass, kVerifiedFail, kError };
+
+/// Classifies mask i from its CHI bounds alone (no I/O). Returns kPruned /
+/// kAccepted when the predicate is decided, kVerifiedFail as the "must
+/// verify" placeholder otherwise.
+Outcome ClassifyFromBounds(const MaskStore& store, IndexManager* index,
+                           const FilterQuery& query, const EngineOptions& opts,
+                           MaskId id) {
+  if (opts.use_index && index != nullptr) {
+    if (const Chi* chi = index->Get(id)) {
+      const std::vector<Interval> bounds =
+          internal::TermBoundsFromChi(*chi, store.meta(id), query.terms);
+      switch (query.predicate.EvalBounds(bounds)) {
+        case Tri::kFalse:
+          return Outcome::kPruned;  // Case 1
+        case Tri::kTrue:
+          return Outcome::kAccepted;  // Case 2
+        case Tri::kUnknown:
+          break;  // Case 3: verify below
+      }
+    }
+  }
+  return Outcome::kVerifiedFail;  // placeholder: needs verification
+}
 
 }  // namespace
 
@@ -35,48 +61,137 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
   std::atomic<int64_t> built{0};
   std::atomic<bool> failed{false};
 
-  // Filter and verification are fused per mask: a mask that cannot be
-  // decided from bounds is loaded immediately. This keeps the two stages of
-  // §3.2 pipelined across masks while preserving their semantics.
-  ParallelFor(opts.pool, ids.size(), [&](size_t i) {
-    if (failed.load(std::memory_order_relaxed)) return;
-    const MaskId id = ids[i];
-    const MaskMeta& meta = store.meta(id);
+  if (!opts.batch_io) {
+    // Fused per-mask path: a mask that cannot be decided from bounds is
+    // loaded immediately by the same task. One modeled disk request per
+    // verified mask — the pre-batching schedule, kept for comparison runs.
+    ParallelFor(opts.pool, ids.size(), [&](size_t i) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const MaskId id = ids[i];
+      outcomes[i] = ClassifyFromBounds(store, index, query, opts, id);
+      if (outcomes[i] != Outcome::kVerifiedFail) return;
 
-    if (opts.use_index && index != nullptr) {
-      if (const Chi* chi = index->Get(id)) {
-        const std::vector<Interval> bounds =
-            internal::TermBoundsFromChi(*chi, meta, query.terms);
-        switch (query.predicate.EvalBounds(bounds)) {
-          case Tri::kFalse:
-            outcomes[i] = Outcome::kPruned;  // Case 1
-            return;
-          case Tri::kTrue:
-            outcomes[i] = Outcome::kAccepted;  // Case 2
-            return;
-          case Tri::kUnknown:
-            break;  // Case 3: verify below
-        }
+      ExecStats local;
+      auto mask = internal::LoadForVerification(
+          store, opts.use_index ? index : nullptr, opts, id, &local);
+      loaded.fetch_add(local.masks_loaded, std::memory_order_relaxed);
+      bytes.fetch_add(local.bytes_read, std::memory_order_relaxed);
+      built.fetch_add(local.chis_built, std::memory_order_relaxed);
+      if (!mask.ok()) {
+        failed.store(true, std::memory_order_relaxed);
+        outcomes[i] = Outcome::kError;
+        return;
       }
+      const std::vector<double> exact =
+          internal::TermExactFromMask(*mask, store.meta(id), query.terms);
+      outcomes[i] = query.predicate.EvalExact(exact) ? Outcome::kVerifiedPass
+                                                     : Outcome::kVerifiedFail;
+    });
+  } else {
+    // Staged path (default): classify every mask from bounds first (pure
+    // compute), then stream the undecided masks through
+    // MaskStore::LoadMaskBatch in batches — offset-sorted, coalesced,
+    // shard-parallel reads — and evaluate each batch across the pool. With
+    // opts.io_pool set the pipeline is double-buffered: batch k+1's reads
+    // are in flight while batch k is evaluated. Same outcomes and per-mask
+    // stats as the fused path; only the I/O request pattern differs.
+    //
+    // The orchestration (depth formula, start/finish split, bounded-deque
+    // refill, LatchDrainGuard) is the twin of ExecuteMaskAgg's pipeline in
+    // mask_agg.cc — the load unit here is a whole batch rather than a
+    // group and there is no fold/pruning interplay, but scheduling
+    // semantics changes must be mirrored there.
+    ParallelFor(opts.pool, ids.size(), [&](size_t i) {
+      outcomes[i] = ClassifyFromBounds(store, index, query, opts, ids[i]);
+    });
+    std::vector<size_t> verify_idx;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (outcomes[i] == Outcome::kVerifiedFail) verify_idx.push_back(i);
     }
 
-    // Verification stage (or index-less path): load and evaluate exactly.
-    ExecStats local;
-    auto mask = internal::LoadForVerification(
-        store, opts.use_index ? index : nullptr, opts, id, &local);
-    loaded.fetch_add(local.masks_loaded, std::memory_order_relaxed);
-    bytes.fetch_add(local.bytes_read, std::memory_order_relaxed);
-    built.fetch_add(local.chis_built, std::memory_order_relaxed);
-    if (!mask.ok()) {
-      failed.store(true, std::memory_order_relaxed);
-      outcomes[i] = Outcome::kError;
-      return;
+    const size_t batch =
+        opts.filter_verify_batch > 0
+            ? opts.filter_verify_batch
+            : std::max<size_t>(
+                  64, opts.pool != nullptr ? opts.pool->num_threads() * 4 : 0);
+
+    struct BatchLoad {
+      std::vector<size_t> idxs;  ///< indices into ids/outcomes
+      Result<std::vector<Mask>> masks = Status::Internal("not loaded");
+      std::shared_ptr<Latch> done;
+    };
+
+    LatchDrainGuard drain_on_exit;
+
+    auto StartLoad = [&](std::vector<size_t> idxs)
+        -> std::shared_ptr<BatchLoad> {
+      auto b = std::make_shared<BatchLoad>();
+      b->idxs = std::move(idxs);
+      std::vector<MaskId> batch_ids;
+      batch_ids.reserve(b->idxs.size());
+      for (size_t i : b->idxs) batch_ids.push_back(ids[i]);
+      if (opts.io_pool != nullptr) {
+        b->done = std::make_shared<Latch>(1);
+        drain_on_exit.Add(b->done);
+        opts.io_pool->Submit([&store, b, batch_ids] {
+          b->masks = store.LoadMaskBatch(batch_ids);
+          b->done->CountDown();
+        });
+      } else {
+        b->masks = store.LoadMaskBatch(batch_ids);
+      }
+      return b;
+    };
+
+    auto FinishLoad = [&](BatchLoad& b) {
+      if (b.done != nullptr) b.done->Wait();
+      const size_t n = b.idxs.size();
+      loaded.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+      int64_t blob_bytes = 0;
+      for (size_t i : b.idxs) {
+        blob_bytes += static_cast<int64_t>(store.BlobSize(ids[i]));
+      }
+      bytes.fetch_add(blob_bytes, std::memory_order_relaxed);
+      if (!b.masks.ok()) {
+        failed.store(true, std::memory_order_relaxed);
+        for (size_t i : b.idxs) outcomes[i] = Outcome::kError;
+        return;
+      }
+      std::vector<Mask>& masks = *b.masks;
+      ParallelFor(n > 1 ? opts.pool : nullptr, n, [&](size_t j) {
+        const size_t i = b.idxs[j];
+        const MaskId id = ids[i];
+        if (opts.use_index && opts.build_missing && index != nullptr &&
+            !index->Has(id)) {
+          index->BuildAndPut(id, masks[j]);
+          built.fetch_add(1, std::memory_order_relaxed);
+        }
+        const std::vector<double> exact =
+            internal::TermExactFromMask(masks[j], store.meta(id), query.terms);
+        outcomes[i] = query.predicate.EvalExact(exact)
+                          ? Outcome::kVerifiedPass
+                          : Outcome::kVerifiedFail;
+      });
+    };
+
+    const size_t depth =
+        opts.io_pool != nullptr
+            ? std::max({size_t{1}, opts.inflight_batches,
+                        opts.prefetch_depth + 1})
+            : 1;
+    size_t next = 0;
+    std::deque<std::shared_ptr<BatchLoad>> inflight;
+    while ((next < verify_idx.size() || !inflight.empty()) && !failed.load()) {
+      while (inflight.size() < depth && next < verify_idx.size()) {
+        const size_t take = std::min(batch, verify_idx.size() - next);
+        inflight.push_back(StartLoad(std::vector<size_t>(
+            verify_idx.begin() + next, verify_idx.begin() + next + take)));
+        next += take;
+      }
+      FinishLoad(*inflight.front());
+      inflight.pop_front();
     }
-    const std::vector<double> exact =
-        internal::TermExactFromMask(*mask, meta, query.terms);
-    outcomes[i] = query.predicate.EvalExact(exact) ? Outcome::kVerifiedPass
-                                                   : Outcome::kVerifiedFail;
-  });
+  }
 
   if (failed.load()) {
     return Status::IOError("mask load failed during filter execution");

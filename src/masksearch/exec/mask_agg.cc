@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <set>
 
+#include "masksearch/common/latch.h"
 #include "masksearch/common/stopwatch.h"
 #include "masksearch/exec/evaluator.h"
 #include "masksearch/index/chi_builder.h"
@@ -247,16 +249,14 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
     return masks;
   };
 
-  // Verification: load members and compute CP(derived, roi, range) exactly.
-  // When the derived CHI is wanted but missing, the derived mask is
-  // materialized (it is needed for the CHI build anyway) and registered;
-  // otherwise the fused count kernel answers without materializing it.
-  // Only touches the caller-supplied stats — safe to run concurrently for
-  // distinct groups.
-  auto VerifyGroup = [&](const GroupState& gs,
-                         ExecStats* stats) -> Result<double> {
-    MS_ASSIGN_OR_RETURN(std::vector<Mask> masks,
-                        LoadMembers(*gs.members, stats));
+  // Compute stage of verification: CP(derived, roi, range) exactly from the
+  // already-loaded members. When the derived CHI is wanted but missing, the
+  // derived mask is materialized (it is needed for the CHI build anyway) and
+  // registered; otherwise the fused count kernel answers without
+  // materializing it. Only touches the caller-supplied stats — safe to run
+  // concurrently for distinct groups.
+  auto ComputeGroup = [&](const GroupState& gs, std::vector<Mask> masks,
+                          ExecStats* stats) -> Result<double> {
     MS_RETURN_NOT_OK(CheckSameShape(masks));
     const MaskMeta& first = store.meta(gs.members->front());
     const ROI roi = ResolveRoi(query.term, first);
@@ -281,22 +281,103 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
         masks[0].height(), roi, query.term.range));
   };
 
-  // Verifies the given states across the pool, one local stats block per
-  // group (merged serially below, so result.stats stays race-free).
-  auto VerifyStates = [&](const std::vector<size_t>& idxs,
-                          std::vector<double>* values) -> Status {
-    if (idxs.empty()) return Status::OK();
-    std::vector<ExecStats> local(idxs.size());
-    std::vector<Status> statuses(idxs.size(), Status::OK());
-    ParallelFor(idxs.size() > 1 ? opts.pool : nullptr, idxs.size(),
-                [&](size_t j) {
-                  Result<double> v = VerifyGroup(states[idxs[j]], &local[j]);
-                  if (v.ok()) {
-                    (*values)[j] = *v;
-                  } else {
-                    statuses[j] = v.status();
-                  }
-                });
+  // Fused load + compute (the synchronous schedule).
+  auto VerifyGroup = [&](const GroupState& gs,
+                         ExecStats* stats) -> Result<double> {
+    MS_ASSIGN_OR_RETURN(std::vector<Mask> masks,
+                        LoadMembers(*gs.members, stats));
+    return ComputeGroup(gs, std::move(masks), stats);
+  };
+
+  // ---- overlapped verification pipeline ----
+  //
+  // With opts.io_pool set, a batch's member loads are issued as io_pool
+  // tasks when the batch is formed; verification of the batch at the front
+  // of the pipeline (compute on opts.pool) then overlaps the loads of the
+  // batches behind it. Without io_pool, loads happen inside the verify
+  // tasks — exactly the PR 2 schedule. The staged filter verification in
+  // filter_executor.cc runs the twin of this pipeline (per-batch loads, no
+  // fold interplay); scheduling semantics changes must be mirrored there.
+  const bool overlap = opts.io_pool != nullptr;
+  const size_t depth =
+      overlap ? std::max({size_t{1}, opts.inflight_batches,
+                          opts.prefetch_depth + 1})
+              : 1;
+
+  struct GroupLoad {
+    Result<std::vector<Mask>> masks = Status::Internal("not loaded");
+    ExecStats stats;
+  };
+  struct Batch {
+    std::vector<size_t> idxs;  ///< indices into `states`
+    /// Prefetched loads, one per idx (null: load at verify time). Tasks
+    /// hold their own shared_ptr, so Batch objects can move freely.
+    std::shared_ptr<std::vector<GroupLoad>> loads;
+    std::shared_ptr<Latch> done;
+  };
+
+  // Every launched load task counts down one latch; the guard waits on all
+  // of them before any return path, keeping the tasks' captured locals
+  // alive.
+  LatchDrainGuard drain_on_exit;
+
+  auto StartBatch = [&](std::vector<size_t> idxs) -> Batch {
+    Batch b;
+    b.idxs = std::move(idxs);
+    if (overlap && !b.idxs.empty()) {
+      b.loads = std::make_shared<std::vector<GroupLoad>>(b.idxs.size());
+      b.done = std::make_shared<Latch>(b.idxs.size());
+      drain_on_exit.Add(b.done);
+      for (size_t j = 0; j < b.idxs.size(); ++j) {
+        const std::vector<MaskId>* members = states[b.idxs[j]].members;
+        auto loads = b.loads;
+        auto done = b.done;
+        opts.io_pool->Submit([&, loads, done, members, j] {
+          GroupLoad& gl = (*loads)[j];
+          gl.masks = LoadMembers(*members, &gl.stats);
+          done->CountDown();
+        });
+      }
+    }
+    return b;
+  };
+
+  // Verifies one batch across the pool (one local stats block per group,
+  // merged serially, so result.stats stays race-free) and returns its
+  // values in batch order.
+  auto FinishBatch = [&](Batch& b, std::vector<double>* values) -> Status {
+    const size_t n = b.idxs.size();
+    values->assign(n, 0.0);
+    if (n == 0) return Status::OK();
+    std::vector<ExecStats> local(n);
+    std::vector<Status> statuses(n, Status::OK());
+    if (b.loads != nullptr) {
+      b.done->Wait();
+      ParallelFor(n > 1 ? opts.pool : nullptr, n, [&](size_t j) {
+        GroupLoad& gl = (*b.loads)[j];
+        local[j] = gl.stats;
+        if (!gl.masks.ok()) {
+          statuses[j] = gl.masks.status();
+          return;
+        }
+        Result<double> v =
+            ComputeGroup(states[b.idxs[j]], std::move(*gl.masks), &local[j]);
+        if (v.ok()) {
+          (*values)[j] = *v;
+        } else {
+          statuses[j] = v.status();
+        }
+      });
+    } else {
+      ParallelFor(n > 1 ? opts.pool : nullptr, n, [&](size_t j) {
+        Result<double> v = VerifyGroup(states[b.idxs[j]], &local[j]);
+        if (v.ok()) {
+          (*values)[j] = *v;
+        } else {
+          statuses[j] = v.status();
+        }
+      });
+    }
     for (const ExecStats& l : local) {
       result.stats.masks_loaded += l.masks_loaded;
       result.stats.bytes_read += l.bytes_read;
@@ -305,6 +386,15 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
     for (const Status& s : statuses) MS_RETURN_NOT_OK(s);
     return Status::OK();
   };
+
+  // Verification batch size (shared by both query shapes): bound-ordered
+  // batches of this many groups flow through the pipeline.
+  const size_t batch =
+      opts.agg_verify_batch > 0
+          ? opts.agg_verify_batch
+          : (opts.pool != nullptr
+                 ? std::max<size_t>(1, opts.pool->num_threads() * 2)
+                 : 1);
 
   if (!query.k.has_value()) {
     // HAVING-only: per-group decisions are independent, so classify every
@@ -327,8 +417,36 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
         verify_idx.push_back(i);
       }
     }
+    // Verify the undecidable groups. Without overlap, one full-width batch
+    // maximizes pool utilization; with overlap, fixed-size batches flow
+    // through the pipeline so batch k+1's reads hide behind batch k's
+    // compute. Values land in classification order either way.
     std::vector<double> values(verify_idx.size(), 0.0);
-    MS_RETURN_NOT_OK(VerifyStates(verify_idx, &values));
+    if (!overlap) {
+      Batch all;
+      all.idxs = verify_idx;
+      std::vector<double> vals;
+      MS_RETURN_NOT_OK(FinishBatch(all, &vals));
+      values = std::move(vals);
+    } else {
+      size_t next = 0;
+      size_t consumed = 0;
+      std::deque<Batch> inflight;
+      while (next < verify_idx.size() || !inflight.empty()) {
+        while (inflight.size() < depth && next < verify_idx.size()) {
+          const size_t take = std::min(batch, verify_idx.size() - next);
+          inflight.push_back(StartBatch(std::vector<size_t>(
+              verify_idx.begin() + next, verify_idx.begin() + next + take)));
+          next += take;
+        }
+        Batch b = std::move(inflight.front());
+        inflight.pop_front();
+        std::vector<double> vals;
+        MS_RETURN_NOT_OK(FinishBatch(b, &vals));
+        std::copy(vals.begin(), vals.end(), values.begin() + consumed);
+        consumed += vals.size();
+      }
+    }
     size_t vi = 0;
     for (size_t i = 0; i < states.size(); ++i) {
       if (kind[i] == Kind::kAccepted) {
@@ -361,18 +479,13 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
   }
 
   // Top-k: walk groups in bound order, pruning against the running top-k,
-  // and verify survivors in batches across the pool. The top-k set is
-  // order-independent under the Better total order, and exact values never
-  // exceed their bounds, so batching only relaxes pruning conservatively:
-  // results are byte-identical to the serial schedule (batch 1, no pool),
-  // which this loop degenerates to exactly.
-  const size_t batch =
-      opts.agg_verify_batch > 0
-          ? opts.agg_verify_batch
-          : (opts.pool != nullptr
-                 ? std::max<size_t>(1, opts.pool->num_threads() * 2)
-                 : 1);
-
+  // and verify survivors in batches across the pool — with overlap, batches
+  // behind the verify cursor already have their loads in flight. The top-k
+  // set is order-independent under the Better total order, and exact values
+  // never exceed their bounds, so batching and prefetch-ahead only relax
+  // pruning conservatively (decisions are made against the heap as of batch
+  // formation): results are byte-identical to the serial schedule (batch 1,
+  // depth 1, no pools), which this loop degenerates to exactly.
   auto Fold = [&](int64_t key, double value) {
     if (query.having_op.has_value() &&
         !CompareExact(value, *query.having_op, query.having_threshold)) {
@@ -387,41 +500,54 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
     }
   };
 
-  std::vector<size_t> pending;
-  auto Flush = [&]() -> Status {
-    std::vector<double> values(pending.size(), 0.0);
-    MS_RETURN_NOT_OK(VerifyStates(pending, &values));
-    for (size_t j = 0; j < pending.size(); ++j) {
-      Fold(states[pending[j]].key, values[j]);
+  // Forms the next verification batch: advances the cursor through the
+  // bound order, folding bound-decided groups and pruning against the
+  // current heap, until `batch` undecidable groups are collected.
+  size_t cursor = 0;
+  auto FormNextBatch = [&]() -> std::vector<size_t> {
+    std::vector<size_t> pending;
+    while (cursor < order.size() && pending.size() < batch) {
+      const size_t oi = order[cursor++];
+      const GroupState& gs = states[oi];
+      if (query.having_op.has_value() &&
+          CompareBounds(gs.bounds, *query.having_op, query.having_threshold) ==
+              Tri::kFalse) {
+        ++result.stats.pruned;
+        continue;
+      }
+      const double optimistic = query.descending ? gs.bounds.hi : gs.bounds.lo;
+      if (heap.size() >= *query.k &&
+          !better(ScoredGroup{gs.key, optimistic}, *heap.rbegin())) {
+        ++result.stats.pruned;
+        continue;
+      }
+      if (gs.bounds.Tight() && std::isfinite(gs.bounds.lo)) {
+        ++result.stats.accepted_by_bounds;
+        Fold(gs.key, gs.bounds.lo);
+        continue;
+      }
+      ++result.stats.candidates;
+      pending.push_back(oi);
     }
-    pending.clear();
-    return Status::OK();
+    return pending;
   };
 
-  for (size_t oi : order) {
-    const GroupState& gs = states[oi];
-    if (query.having_op.has_value() &&
-        CompareBounds(gs.bounds, *query.having_op, query.having_threshold) ==
-            Tri::kFalse) {
-      ++result.stats.pruned;
-      continue;
+  std::deque<Batch> inflight;
+  for (;;) {
+    while (inflight.size() < depth) {
+      std::vector<size_t> idxs = FormNextBatch();
+      if (idxs.empty()) break;
+      inflight.push_back(StartBatch(std::move(idxs)));
     }
-    const double optimistic = query.descending ? gs.bounds.hi : gs.bounds.lo;
-    if (heap.size() >= *query.k &&
-        !better(ScoredGroup{gs.key, optimistic}, *heap.rbegin())) {
-      ++result.stats.pruned;
-      continue;
+    if (inflight.empty()) break;
+    Batch b = std::move(inflight.front());
+    inflight.pop_front();
+    std::vector<double> values;
+    MS_RETURN_NOT_OK(FinishBatch(b, &values));
+    for (size_t j = 0; j < b.idxs.size(); ++j) {
+      Fold(states[b.idxs[j]].key, values[j]);
     }
-    if (gs.bounds.Tight() && std::isfinite(gs.bounds.lo)) {
-      ++result.stats.accepted_by_bounds;
-      Fold(gs.key, gs.bounds.lo);
-      continue;
-    }
-    ++result.stats.candidates;
-    pending.push_back(oi);
-    if (pending.size() >= batch) MS_RETURN_NOT_OK(Flush());
   }
-  MS_RETURN_NOT_OK(Flush());
 
   result.groups.assign(heap.begin(), heap.end());
   result.stats.seconds = timer.ElapsedSeconds();

@@ -60,15 +60,21 @@ Status BuildDerivedIndexes(const MaskStore& store, const Selection& selection,
 /// loading its members). `index` supplies individual-mask CHIs for the
 /// monotone-aggregation bounds.
 ///
-/// Verification is batched and parallel: undecidable groups are verified
-/// across opts.pool in bound-ordered batches (EngineOptions::agg_verify_batch)
-/// with member masks loaded through MaskStore::LoadMaskBatch when
-/// EngineOptions::batch_io is set. Results are byte-identical to the serial
-/// schedule; batching only relaxes heap-based pruning conservatively, so a
-/// parallel run may verify a few extra groups (candidates up, pruned down by
-/// the same amount). When only the count is needed (derived CHI already
-/// cached or no cache supplied), the fused derived-CP kernel answers without
-/// materializing the derived mask.
+/// Verification is batched, parallel, and (optionally) overlapped:
+/// undecidable groups are verified across opts.pool in bound-ordered batches
+/// (EngineOptions::agg_verify_batch) with member masks loaded through
+/// MaskStore::LoadMaskBatch when EngineOptions::batch_io is set. With
+/// EngineOptions::io_pool set the pipeline is double-buffered: while batch k
+/// is being verified, the member loads of up to
+/// max(inflight_batches - 1, prefetch_depth) following batches are
+/// already in flight, so the modeled disk and the verification kernels work
+/// concurrently. Results are byte-identical to the serial schedule; batching
+/// and prefetch-ahead only relax heap-based pruning conservatively (each
+/// decision uses the heap as of batch formation), so a pipelined run may
+/// verify a few extra groups (candidates up, pruned down by the same
+/// amount) — never fewer, and never different values. When only the count is
+/// needed (derived CHI already cached or no cache supplied), the fused
+/// derived-CP kernel answers without materializing the derived mask.
 Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
                                  DerivedIndexCache* derived_cache,
                                  const MaskAggQuery& query,

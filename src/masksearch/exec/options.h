@@ -29,9 +29,10 @@ struct EngineOptions {
   /// order. The ablation bench quantifies the difference.
   bool sort_by_bound = true;
 
-  /// Batched member I/O for mask-agg verification: load a group's members
-  /// through MaskStore::LoadMaskBatch (offset-sorted, coalesced reads)
-  /// instead of one ReadAt per mask.
+  /// Batched verification I/O: load mask batches (a mask-agg group's
+  /// members; the filter's undecided set) through MaskStore::LoadMaskBatch
+  /// — offset-sorted, coalesced, shard-parallel reads — instead of one
+  /// ReadAt per mask.
   bool batch_io = true;
 
   /// Group-verification batch size for ExecuteMaskAgg: undecidable groups
@@ -40,6 +41,39 @@ struct EngineOptions {
   /// is null). Batching only relaxes pruning conservatively: results are
   /// identical to the serial schedule, a few extra groups may be verified.
   size_t agg_verify_batch = 0;
+
+  /// Mask batch size for the staged filter-verification path (bounds
+  /// classification first, then undecided masks loaded through
+  /// MaskStore::LoadMaskBatch in batches of this size and evaluated across
+  /// `pool`). 0 = auto (64, or 4 × pool threads if larger). Only used when
+  /// batch_io is set; with batch_io = false the filter falls back to the
+  /// fused per-mask load-and-evaluate loop.
+  size_t filter_verify_batch = 0;
+
+  /// I/O pool for the overlapped verification pipelines (both
+  /// ExecuteMaskAgg group verification and the staged filter verification):
+  /// while batch k is being verified on `pool`, batch k+1's loads are
+  /// already in flight on this pool (double buffering). Null = loads run
+  /// synchronously inside the verify stage (the PR 2 schedule). May alias
+  /// `pool`; ParallelFor's caller participation keeps nested use
+  /// deadlock-free. Results stay byte-identical: prefetching only makes
+  /// pruning decisions on a slightly staler top-k heap, which is strictly
+  /// conservative.
+  ThreadPool* io_pool = nullptr;
+
+  /// Number of batches allowed in an overlapped pipeline at once (the one
+  /// being verified + those loading ahead); applies to every executor that
+  /// uses io_pool. 2 = classic double buffering. Only meaningful with
+  /// io_pool set; values < 2 disable overlap.
+  size_t inflight_batches = 2;
+
+  /// Extra batches formed (and their loads issued) ahead of the verify
+  /// cursor beyond the double buffer; the pipeline depth is
+  /// max(inflight_batches, prefetch_depth + 1), for every executor that
+  /// uses io_pool. Deeper prefetch hides longer I/O stalls at the cost of
+  /// staler pruning decisions and more memory in flight. 0 = no extra
+  /// depth.
+  size_t prefetch_depth = 0;
 };
 
 }  // namespace masksearch

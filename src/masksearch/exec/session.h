@@ -40,6 +40,11 @@ struct SessionOptions {
   /// false: never consult or build indexes (baseline behaviour).
   bool use_index = true;
   ThreadPool* pool = nullptr;
+  /// I/O pool for the overlapped verification pipeline (see
+  /// EngineOptions::io_pool): while one batch is verified, the next batch's
+  /// mask reads are already in flight. Null disables overlap. May alias
+  /// `pool`.
+  ThreadPool* io_pool = nullptr;
   bool sort_by_bound = true;
   /// Optional CHI persistence file. If it exists it is loaded at open;
   /// Save() writes it.
@@ -81,6 +86,7 @@ class Session {
   EngineOptions engine_options() const {
     EngineOptions e;
     e.pool = options_.pool;
+    e.io_pool = options_.io_pool;
     e.use_index = options_.use_index;
     e.build_missing = options_.use_index && options_.incremental;
     e.sort_by_bound = options_.sort_by_bound;

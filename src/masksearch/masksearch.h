@@ -46,6 +46,7 @@
 #include "masksearch/storage/disk_throttle.h"
 #include "masksearch/storage/mask.h"
 #include "masksearch/storage/mask_store.h"
+#include "masksearch/storage/sharded_mask_store.h"
 #include "masksearch/workload/datasets.h"
 #include "masksearch/workload/query_gen.h"
 #include "masksearch/workload/synthetic.h"

@@ -14,31 +14,40 @@ int64_t NowNanos() {
 }
 }  // namespace
 
-DiskThrottle::DiskThrottle(double bytes_per_sec, double latency_us)
-    : bytes_per_sec_(bytes_per_sec), latency_us_(latency_us) {}
+DiskThrottle::DiskThrottle(double bytes_per_sec, double latency_us,
+                           int queue_depth)
+    : bytes_per_sec_(bytes_per_sec),
+      latency_us_(latency_us),
+      slot_free_ns_(static_cast<size_t>(std::max(1, queue_depth)), 0) {}
 
 void DiskThrottle::Acquire(uint64_t bytes) {
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   total_requests_.fetch_add(1, std::memory_order_relaxed);
   if (!enabled()) return;
 
+  const int64_t latency_ns = static_cast<int64_t>(latency_us_ * 1e3);
   int64_t transfer_ns = 0;
   if (bytes_per_sec_ > 0.0) {
     transfer_ns = static_cast<int64_t>(
         static_cast<double>(bytes) / bytes_per_sec_ * 1e9);
   }
-  transfer_ns += static_cast<int64_t>(latency_us_ * 1e3);
 
   int64_t deadline;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    int64_t now = NowNanos();
-    // A request starts when the disk becomes free (requests serialize on the
-    // single modeled device) and occupies it for transfer_ns.
-    next_free_ns_ = std::max(next_free_ns_, now) + transfer_ns;
-    deadline = next_free_ns_;
+    const int64_t now = NowNanos();
+    // Claim the earliest-free device slot: the request starts when that slot
+    // opens up, pays the fixed latency there (latencies of up to queue_depth
+    // in-flight requests overlap), then its transfer serializes on the
+    // shared bus. With queue_depth == 1 slot and bus coincide, reproducing
+    // the fully serialized single-stream device.
+    auto slot = std::min_element(slot_free_ns_.begin(), slot_free_ns_.end());
+    const int64_t ready = std::max(*slot, now) + latency_ns;
+    bus_free_ns_ = std::max(bus_free_ns_, ready) + transfer_ns;
+    deadline = bus_free_ns_;
+    *slot = deadline;
   }
-  int64_t now = NowNanos();
+  const int64_t now = NowNanos();
   if (deadline > now) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(deadline - now));
   }

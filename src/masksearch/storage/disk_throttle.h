@@ -8,7 +8,22 @@
 // equally. The throttle restores the paper's I/O regime: every byte read
 // through a store passes through a token-bucket rate limiter shared by all
 // readers of that store (one disk, one bandwidth). Setting bytes_per_sec = 0
-// disables the model (used by unit tests).
+// disables the bandwidth model (used by unit tests).
+//
+// The device model has three parameters:
+//   * bytes_per_sec — sustained transfer bandwidth. Transfers serialize on a
+//     single shared bus regardless of queue depth (one link to the device).
+//   * latency_us    — fixed per-request cost (seek / IOP / network round
+//     trip), charged before the transfer.
+//   * queue_depth   — number of request slots the device services
+//     concurrently (NVMe queue pairs, EBS multi-queue). Latencies of up to
+//     `queue_depth` in-flight requests overlap; with queue_depth = 1 every
+//     request fully serializes, which is the paper's single-stream regime
+//     and the default.
+//
+// The queue-depth axis is what makes MaskStore sharding measurable on the
+// modeled disk: per-shard reads issued concurrently pay the request latency
+// once instead of once per shard (docs/PERFORMANCE.md).
 
 #ifndef MASKSEARCH_STORAGE_DISK_THROTTLE_H_
 #define MASKSEARCH_STORAGE_DISK_THROTTLE_H_
@@ -16,18 +31,25 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 namespace masksearch {
 
-/// \brief Token-bucket bandwidth limiter; thread-safe.
+/// \brief Token-bucket bandwidth + request-latency limiter; thread-safe.
+/// Every Acquire blocks the calling thread until the modeled request would
+/// have completed, so concurrent callers experience the modeled device's
+/// queueing behaviour in real time.
 class DiskThrottle {
  public:
-  /// \param bytes_per_sec sustained bandwidth; 0 disables throttling.
+  /// \param bytes_per_sec sustained bandwidth; 0 disables the bandwidth model.
   /// \param latency_us fixed per-request latency (seek/IOP cost), applied to
   ///        every Acquire call before the bandwidth charge.
-  explicit DiskThrottle(double bytes_per_sec = 0.0, double latency_us = 0.0);
+  /// \param queue_depth concurrent request slots (>= 1). Latencies overlap
+  ///        across slots; bandwidth is shared. 1 = fully serialized device.
+  explicit DiskThrottle(double bytes_per_sec = 0.0, double latency_us = 0.0,
+                        int queue_depth = 1);
 
-  /// \brief Charges `bytes` against the bandwidth budget, blocking the
+  /// \brief Charges one request of `bytes` against the model, blocking the
   /// calling thread until the modeled transfer would have completed.
   void Acquire(uint64_t bytes);
 
@@ -38,14 +60,19 @@ class DiskThrottle {
   uint64_t total_requests() const { return total_requests_.load(); }
 
   double bytes_per_sec() const { return bytes_per_sec_; }
+  double latency_us() const { return latency_us_; }
+  int queue_depth() const { return static_cast<int>(slot_free_ns_.size()); }
   bool enabled() const { return bytes_per_sec_ > 0.0 || latency_us_ > 0.0; }
 
  private:
   const double bytes_per_sec_;
   const double latency_us_;
   std::mutex mu_;
-  /// Next instant (steady_clock nanos) at which the modeled disk is free.
-  int64_t next_free_ns_ = 0;
+  /// Next instant (steady_clock nanos) at which each device slot is free.
+  /// A request claims the earliest-free slot, pays latency there, then
+  /// serializes its transfer on the shared bus (bus_free_ns_).
+  std::vector<int64_t> slot_free_ns_;
+  int64_t bus_free_ns_ = 0;
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<uint64_t> total_requests_{0};
 };

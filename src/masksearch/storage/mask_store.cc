@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <cstring>
-#include <numeric>
 
 #include "masksearch/common/serialize.h"
+#include "masksearch/storage/sharded_mask_store.h"
 
 namespace masksearch {
 
 namespace {
 constexpr uint32_t kManifestMagic = 0x4d534d46;  // "MSMF"
-constexpr uint8_t kManifestVersion = 1;
+constexpr uint8_t kManifestVersionSingle = 1;    // single-file layout
+constexpr uint8_t kManifestVersionSharded = 2;   // + u32 num_shards
+constexpr int32_t kMaxShards = 4096;
 
 void PutMeta(BufferWriter* w, const MaskMeta& m) {
   w->PutI64(m.mask_id);
@@ -52,10 +54,42 @@ std::string MaskStoreManifestPath(const std::string& dir) {
 std::string MaskStoreDataPath(const std::string& dir) {
   return dir + "/masks.dat";
 }
+std::string MaskStoreShardDataPath(const std::string& dir, int32_t shard,
+                                   int32_t num_shards) {
+  if (num_shards <= 1) return MaskStoreDataPath(dir);
+  return dir + "/masks." + std::to_string(shard) + ".dat";
+}
+
+namespace internal {
+
+Status WriteMaskStoreManifest(const std::string& dir, StorageKind kind,
+                              int32_t num_shards,
+                              const std::vector<MaskMeta>& metas,
+                              const std::vector<uint64_t>& offsets,
+                              const std::vector<uint64_t>& sizes) {
+  BufferWriter w;
+  w.PutU32(kManifestMagic);
+  w.PutU8(num_shards > 1 ? kManifestVersionSharded : kManifestVersionSingle);
+  w.PutU8(static_cast<uint8_t>(kind));
+  if (num_shards > 1) w.PutU32(static_cast<uint32_t>(num_shards));
+  w.PutU64(metas.size());
+  for (size_t i = 0; i < metas.size(); ++i) {
+    PutMeta(&w, metas[i]);
+    w.PutU64(offsets[i]);
+    w.PutU64(sizes[i]);
+  }
+  return WriteFile(MaskStoreManifestPath(dir), w.buffer());
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// MaskStoreWriter
+// ---------------------------------------------------------------------------
 
 MaskStoreWriter::MaskStoreWriter(std::string dir, Options opts,
-                                 std::unique_ptr<FileWriter> data)
-    : dir_(std::move(dir)), opts_(opts), data_(std::move(data)) {}
+                                 std::vector<std::unique_ptr<FileWriter>> shards)
+    : dir_(std::move(dir)), opts_(opts), shards_(std::move(shards)) {}
 
 MaskStoreWriter::~MaskStoreWriter() = default;
 
@@ -66,10 +100,30 @@ Result<std::unique_ptr<MaskStoreWriter>> MaskStoreWriter::Create(
 
 Result<std::unique_ptr<MaskStoreWriter>> MaskStoreWriter::Create(
     const std::string& dir, const Options& opts) {
+  if (opts.num_shards < 1 || opts.num_shards > kMaxShards) {
+    return Status::InvalidArgument("num_shards must be in [1, " +
+                                   std::to_string(kMaxShards) + "], got " +
+                                   std::to_string(opts.num_shards));
+  }
   MS_RETURN_NOT_OK(CreateDirs(dir));
-  MS_ASSIGN_OR_RETURN(auto data, FileWriter::Create(MaskStoreDataPath(dir)));
+  std::vector<std::unique_ptr<FileWriter>> shards;
+  shards.reserve(opts.num_shards);
+  for (int32_t s = 0; s < opts.num_shards; ++s) {
+    MS_ASSIGN_OR_RETURN(
+        auto data,
+        FileWriter::Create(MaskStoreShardDataPath(dir, s, opts.num_shards)));
+    shards.push_back(std::move(data));
+  }
   return std::unique_ptr<MaskStoreWriter>(
-      new MaskStoreWriter(dir, opts, std::move(data)));
+      new MaskStoreWriter(dir, opts, std::move(shards)));
+}
+
+Result<MaskId> MaskStoreWriter::Record(MaskMeta meta, uint64_t offset,
+                                       uint64_t size) {
+  offsets_.push_back(offset);
+  sizes_.push_back(size);
+  metas_.push_back(meta);
+  return meta.mask_id;
 }
 
 Result<MaskId> MaskStoreWriter::Append(MaskMeta meta, const Mask& mask) {
@@ -79,50 +133,63 @@ Result<MaskId> MaskStoreWriter::Append(MaskMeta meta, const Mask& mask) {
   meta.width = mask.width();
   meta.height = mask.height();
 
-  uint64_t offset = data_->bytes_written();
+  FileWriter* data = shards_[meta.mask_id % num_shards()].get();
+  const uint64_t offset = data->bytes_written();
   if (opts_.kind == StorageKind::kRawFloat32) {
-    MS_RETURN_NOT_OK(
-        data_->Append(mask.data().data(), mask.ByteSize()));
+    MS_RETURN_NOT_OK(data->Append(mask.data().data(), mask.ByteSize()));
   } else {
     std::string blob = EncodeMask(mask, opts_.codec);
-    MS_RETURN_NOT_OK(data_->Append(blob));
+    MS_RETURN_NOT_OK(data->Append(blob));
   }
-  offsets_.push_back(offset);
-  sizes_.push_back(data_->bytes_written() - offset);
-  metas_.push_back(meta);
-  return meta.mask_id;
+  return Record(meta, offset, data->bytes_written() - offset);
+}
+
+Result<MaskId> MaskStoreWriter::AppendBlob(MaskMeta meta,
+                                           const std::string& blob) {
+  if (finished_) return Status::Internal("Append after Finish");
+  if (blob.empty()) return Status::InvalidArgument("cannot append empty blob");
+  if (opts_.kind == StorageKind::kRawFloat32 &&
+      blob.size() != static_cast<size_t>(meta.width) * meta.height *
+                         sizeof(float)) {
+    return Status::InvalidArgument(
+        "raw blob size does not match meta width x height");
+  }
+  meta.mask_id = static_cast<MaskId>(metas_.size());
+  FileWriter* data = shards_[meta.mask_id % num_shards()].get();
+  const uint64_t offset = data->bytes_written();
+  MS_RETURN_NOT_OK(data->Append(blob));
+  return Record(meta, offset, blob.size());
 }
 
 Status MaskStoreWriter::Finish() {
   if (finished_) return Status::OK();
   finished_ = true;
-  MS_RETURN_NOT_OK(data_->Close());
-
-  BufferWriter w;
-  w.PutU32(kManifestMagic);
-  w.PutU8(kManifestVersion);
-  w.PutU8(static_cast<uint8_t>(opts_.kind));
-  w.PutU64(metas_.size());
-  for (size_t i = 0; i < metas_.size(); ++i) {
-    PutMeta(&w, metas_[i]);
-    w.PutU64(offsets_[i]);
-    w.PutU64(sizes_[i]);
-  }
-  return WriteFile(MaskStoreManifestPath(dir_), w.buffer());
+  for (auto& shard : shards_) MS_RETURN_NOT_OK(shard->Close());
+  return internal::WriteMaskStoreManifest(dir_, opts_.kind, num_shards(),
+                                          metas_, offsets_, sizes_);
 }
 
+// ---------------------------------------------------------------------------
+// MaskStore (abstract base + factory)
+// ---------------------------------------------------------------------------
+
 MaskStore::MaskStore(std::string dir, Options opts, StorageKind kind,
-                     std::vector<MaskMeta> metas, std::vector<uint64_t> offsets,
-                     std::vector<uint64_t> sizes,
-                     std::unique_ptr<RandomAccessFile> data)
+                     std::vector<MaskMeta> metas, std::vector<uint64_t> sizes)
     : dir_(std::move(dir)),
       opts_(std::move(opts)),
       kind_(kind),
       metas_(std::move(metas)),
-      offsets_(std::move(offsets)),
-      sizes_(std::move(sizes)),
-      data_(std::move(data)) {
+      sizes_(std::move(sizes)) {
   for (uint64_t s : sizes_) total_data_bytes_ += s;
+}
+
+Status MaskStore::CheckId(MaskId id) const {
+  if (id < 0 || id >= num_masks()) {
+    return Status::NotFound("mask_id " + std::to_string(id) +
+                            " out of range [0, " + std::to_string(num_masks()) +
+                            ")");
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir) {
@@ -139,10 +206,20 @@ Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir,
     return Status::Corruption("bad mask store manifest magic in " + dir);
   }
   MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
-  if (version != kManifestVersion) {
+  if (version != kManifestVersionSingle &&
+      version != kManifestVersionSharded) {
     return Status::Corruption("unsupported manifest version");
   }
   MS_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  int32_t num_shards = 1;
+  if (version == kManifestVersionSharded) {
+    MS_ASSIGN_OR_RETURN(uint32_t shards, r.GetU32());
+    if (shards < 1 || shards > static_cast<uint32_t>(kMaxShards)) {
+      return Status::Corruption("implausible shard count in manifest: " +
+                                std::to_string(shards));
+    }
+    num_shards = static_cast<int32_t>(shards);
+  }
   MS_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
 
   std::vector<MaskMeta> metas;
@@ -163,193 +240,9 @@ Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir,
     sizes.push_back(sz);
   }
 
-  MS_ASSIGN_OR_RETURN(auto data, RandomAccessFile::Open(MaskStoreDataPath(dir)));
-  return std::unique_ptr<MaskStore>(
-      new MaskStore(dir, opts, static_cast<StorageKind>(kind), std::move(metas),
-                    std::move(offsets), std::move(sizes), std::move(data)));
-}
-
-Status MaskStore::CheckId(MaskId id) const {
-  if (id < 0 || id >= num_masks()) {
-    return Status::NotFound("mask_id " + std::to_string(id) +
-                            " out of range [0, " + std::to_string(num_masks()) +
-                            ")");
-  }
-  return Status::OK();
-}
-
-Result<Mask> MaskStore::LoadMask(MaskId id) const {
-  MS_RETURN_NOT_OK(CheckId(id));
-  const MaskMeta& m = metas_[id];
-  const uint64_t nbytes = sizes_[id];
-
-  if (opts_.throttle) opts_.throttle->Acquire(nbytes);
-  masks_loaded_.fetch_add(1, std::memory_order_relaxed);
-  bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
-
-  if (kind_ == StorageKind::kRawFloat32) {
-    std::vector<float> values(static_cast<size_t>(m.width) * m.height);
-    if (values.size() * sizeof(float) != nbytes) {
-      return Status::Corruption("blob size mismatch for mask " +
-                                std::to_string(id));
-    }
-    MS_RETURN_NOT_OK(data_->ReadAt(offsets_[id], nbytes, values.data()));
-    return Mask::FromData(m.width, m.height, std::move(values));
-  }
-  std::string blob;
-  blob.resize(nbytes);
-  MS_RETURN_NOT_OK(data_->ReadAt(offsets_[id], nbytes, blob.data()));
-  return DecodeMask(blob);
-}
-
-Result<std::vector<Mask>> MaskStore::LoadMaskBatch(
-    const std::vector<MaskId>& ids) const {
-  std::vector<Mask> out(ids.size());
-  if (ids.empty()) return out;
-  for (MaskId id : ids) MS_RETURN_NOT_OK(CheckId(id));
-
-  // Sort by file offset: the store is append-ordered, so consecutive
-  // positions form contiguous (or nearly contiguous) runs; duplicate ids
-  // become adjacent and are decoded once.
-  std::vector<size_t> order(ids.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return offsets_[ids[a]] < offsets_[ids[b]];
-  });
-
-  masks_loaded_.fetch_add(ids.size(), std::memory_order_relaxed);
-
-  // Scratch for coalesced-over gap bytes. Gap slices may alias it: preadv
-  // fills destinations in order and the content is discarded.
-  std::vector<char> gap_buf;
-
-  struct RawDest {
-    size_t out_idx;
-    std::vector<float> values;
-  };
-  struct BlobDest {
-    size_t out_idx;
-    std::string bytes;
-  };
-
-  size_t pos = 0;
-  while (pos < order.size()) {
-    // Grow the run while the next blob starts within the gap threshold and
-    // the total span stays under the read cap (one oversized blob is still
-    // read whole).
-    const uint64_t run_start = offsets_[ids[order[pos]]];
-    uint64_t run_end = run_start + sizes_[ids[order[pos]]];
-    size_t end = pos + 1;
-    while (end < order.size()) {
-      const MaskId next = ids[order[end]];
-      if (offsets_[next] > run_end + opts_.batch_gap_bytes) break;
-      const uint64_t next_end =
-          std::max(run_end, offsets_[next] + sizes_[next]);
-      if (next_end - run_start > opts_.batch_max_bytes && next_end > run_end) {
-        break;
-      }
-      run_end = next_end;
-      ++end;
-    }
-
-    // One scatter read per run, directly into the destination buffers.
-    // All scratch is sized before any slice points into it: a reallocation
-    // would dangle the earlier slices.
-    uint64_t max_gap = 0;
-    {
-      uint64_t scan = run_start;
-      for (size_t p = pos; p < end; ++p) {
-        const MaskId id = ids[order[p]];
-        if (offsets_[id] > scan) {
-          max_gap = std::max(max_gap, offsets_[id] - scan);
-        }
-        scan = std::max(scan, offsets_[id] + sizes_[id]);
-      }
-    }
-    if (gap_buf.size() < max_gap) gap_buf.resize(max_gap);
-
-    std::vector<IoSlice> slices;
-    std::vector<RawDest> raw_dests;
-    std::vector<BlobDest> blob_dests;
-    raw_dests.reserve(end - pos);
-    blob_dests.reserve(end - pos);
-    std::vector<std::pair<size_t, size_t>> dups;  // (dup out idx, first idx)
-    uint64_t cursor = run_start;
-    size_t first_idx = order[pos];
-    for (size_t p = pos; p < end; ++p) {
-      const size_t i = order[p];
-      const MaskId id = ids[i];
-      if (p > pos && ids[order[p - 1]] == id) {
-        dups.emplace_back(i, first_idx);
-        continue;
-      }
-      first_idx = i;
-      if (offsets_[id] > cursor) {
-        slices.push_back(IoSlice{gap_buf.data(),
-                                 static_cast<size_t>(offsets_[id] - cursor)});
-      }
-      const size_t nbytes = sizes_[id];
-      if (kind_ == StorageKind::kRawFloat32) {
-        const MaskMeta& m = metas_[id];
-        std::vector<float> values(static_cast<size_t>(m.width) * m.height);
-        if (values.size() * sizeof(float) != nbytes) {
-          return Status::Corruption("blob size mismatch for mask " +
-                                    std::to_string(id));
-        }
-        raw_dests.push_back(RawDest{i, std::move(values)});
-        slices.push_back(IoSlice{raw_dests.back().values.data(), nbytes});
-      } else {
-        blob_dests.push_back(BlobDest{i, std::string(nbytes, '\0')});
-        slices.push_back(IoSlice{blob_dests.back().bytes.data(), nbytes});
-      }
-      cursor = offsets_[id] + nbytes;
-    }
-
-    const uint64_t span = run_end - run_start;
-    if (opts_.throttle) opts_.throttle->Acquire(span);
-    bytes_read_.fetch_add(span, std::memory_order_relaxed);
-    MS_RETURN_NOT_OK(data_->ReadVAt(run_start, std::move(slices)));
-
-    for (RawDest& d : raw_dests) {
-      const MaskMeta& m = metas_[ids[d.out_idx]];
-      MS_ASSIGN_OR_RETURN(out[d.out_idx], Mask::FromData(m.width, m.height,
-                                                         std::move(d.values)));
-    }
-    for (const BlobDest& d : blob_dests) {
-      MS_ASSIGN_OR_RETURN(out[d.out_idx],
-                          DecodeMask(d.bytes.data(), d.bytes.size()));
-    }
-    for (const auto& [dup_idx, src_idx] : dups) {
-      out[dup_idx] = out[src_idx];
-    }
-    pos = end;
-  }
-  return out;
-}
-
-Result<Mask> MaskStore::LoadMaskRows(MaskId id, int32_t y0, int32_t y1) const {
-  MS_RETURN_NOT_OK(CheckId(id));
-  if (kind_ != StorageKind::kRawFloat32) {
-    return Status::NotImplemented(
-        "partial reads require raw storage (compressed blobs decode whole)");
-  }
-  const MaskMeta& m = metas_[id];
-  if (y0 < 0 || y1 > m.height || y0 >= y1) {
-    return Status::InvalidArgument("row range [" + std::to_string(y0) + "," +
-                                   std::to_string(y1) + ") outside mask of height " +
-                                   std::to_string(m.height));
-  }
-  const size_t row_bytes = static_cast<size_t>(m.width) * sizeof(float);
-  const uint64_t offset = offsets_[id] + static_cast<uint64_t>(y0) * row_bytes;
-  const uint64_t nbytes = static_cast<uint64_t>(y1 - y0) * row_bytes;
-
-  if (opts_.throttle) opts_.throttle->Acquire(nbytes);
-  masks_loaded_.fetch_add(1, std::memory_order_relaxed);
-  bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
-
-  std::vector<float> values(static_cast<size_t>(m.width) * (y1 - y0));
-  MS_RETURN_NOT_OK(data_->ReadAt(offset, nbytes, values.data()));
-  return Mask::FromData(m.width, y1 - y0, std::move(values));
+  return ShardedMaskStore::Create(dir, opts, static_cast<StorageKind>(kind),
+                                  num_shards, std::move(metas),
+                                  std::move(offsets), std::move(sizes));
 }
 
 }  // namespace masksearch

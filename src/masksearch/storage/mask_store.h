@@ -1,13 +1,23 @@
 // MaskStore: the on-disk database of masks.
 //
-// This is the physical realization of MasksDatabaseView (§2.1): a packed
-// data file holding one blob per mask (raw float32 or codec-compressed) plus
-// a manifest with per-mask metadata and blob offsets. Mask ids are dense
-// indexes [0, N), assigned at append time.
+// This is the physical realization of MasksDatabaseView (§2.1): one or more
+// packed data files holding one blob per mask (raw float32 or
+// codec-compressed) plus a manifest with per-mask metadata and blob offsets.
+// Mask ids are dense indexes [0, N), assigned at append time.
 //
-// All reads pass through an optional DiskThrottle (see disk_throttle.h) and
-// are counted, which is how the evaluation harness measures "# masks loaded"
-// (Table 2) and FML (§4.4).
+// Two on-disk layouts share the manifest (docs/STORAGE_FORMAT.md):
+//   * single-file (manifest v1): all blobs in `masks.dat` — the original
+//     layout, still written by default and opened unchanged.
+//   * sharded (manifest v2): blobs split across `num_shards` files
+//     (`masks.<k>.dat`) by the deterministic placement shard = id % N, so
+//     batch reads can fan out across independent files/devices.
+//
+// `MaskStore` is the abstract read surface; `MaskStore::Open` sniffs the
+// manifest version and returns the right implementation (currently
+// ShardedMaskStore, which handles both layouts — a single-file store is its
+// 1-shard degenerate case). All reads pass through an optional DiskThrottle
+// (see disk_throttle.h) and are counted, which is how the evaluation harness
+// measures "# masks loaded" (Table 2) and FML (§4.4).
 
 #ifndef MASKSEARCH_STORAGE_MASK_STORE_H_
 #define MASKSEARCH_STORAGE_MASK_STORE_H_
@@ -20,6 +30,7 @@
 
 #include "masksearch/common/io.h"
 #include "masksearch/common/result.h"
+#include "masksearch/common/thread_pool.h"
 #include "masksearch/storage/codec.h"
 #include "masksearch/storage/disk_throttle.h"
 #include "masksearch/storage/mask.h"
@@ -38,6 +49,11 @@ class MaskStoreWriter {
   struct Options {
     StorageKind kind = StorageKind::kRawFloat32;
     CodecOptions codec;
+    /// Number of data-file shards. 1 (default) writes the original
+    /// single-file layout (`masks.dat`, manifest v1) byte-for-byte; > 1
+    /// writes `masks.<k>.dat` shard files and a v2 manifest. Placement is
+    /// deterministic: mask `id` lives in shard `id % num_shards`.
+    int32_t num_shards = 1;
   };
 
   /// \brief Starts a new store at `dir` (created if missing; existing store
@@ -49,70 +65,117 @@ class MaskStoreWriter {
   ~MaskStoreWriter();
 
   /// \brief Appends a mask; meta.mask_id is overwritten with the assigned
-  /// dense id, which is also returned.
+  /// dense id, which is also returned. meta.width/height are taken from the
+  /// mask.
   Result<MaskId> Append(MaskMeta meta, const Mask& mask);
 
-  /// \brief Writes the manifest and closes the data file.
+  /// \brief Appends an already-encoded blob verbatim (it must match the
+  /// writer's StorageKind; meta.width/height must describe the encoded
+  /// mask). Lets migration tools (ReshardMaskStore, replication) move blobs
+  /// without a decode + re-encode round trip — for the lossy codec that
+  /// also means bit-identical payloads.
+  Result<MaskId> AppendBlob(MaskMeta meta, const std::string& blob);
+
+  /// \brief Writes the manifest and closes the data file(s).
   Status Finish();
 
   int64_t num_masks() const { return static_cast<int64_t>(metas_.size()); }
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
 
  private:
   MaskStoreWriter(std::string dir, Options opts,
-                  std::unique_ptr<FileWriter> data);
+                  std::vector<std::unique_ptr<FileWriter>> shards);
+
+  /// Records the blob just written at `offset` in the shard owning `meta`'s
+  /// id and assigns the dense id.
+  Result<MaskId> Record(MaskMeta meta, uint64_t offset, uint64_t size);
 
   std::string dir_;
   Options opts_;
-  std::unique_ptr<FileWriter> data_;
+  std::vector<std::unique_ptr<FileWriter>> shards_;
   std::vector<MaskMeta> metas_;
-  std::vector<uint64_t> offsets_;
+  std::vector<uint64_t> offsets_;  ///< within the owning shard
   std::vector<uint64_t> sizes_;
   bool finished_ = false;
 };
 
-/// \brief Read-only handle to a mask store. Thread-safe for concurrent loads.
+/// \brief Read-only surface of a mask store. Thread-safe for concurrent
+/// loads. Obtain instances through MaskStore::Open, which detects the
+/// on-disk layout (single-file or sharded) from the manifest.
 class MaskStore {
  public:
   struct Options {
     /// Shared disk model; null means unthrottled.
     std::shared_ptr<DiskThrottle> throttle;
     /// Batch-I/O knobs for LoadMaskBatch: two blobs are coalesced into one
-    /// ReadAt when the byte gap between them is at most `batch_gap_bytes`,
+    /// read when the byte gap between them is at most `batch_gap_bytes`,
     /// and a coalesced read never exceeds `batch_max_bytes` (a single blob
-    /// larger than the cap is still read whole).
+    /// larger than the cap is still read whole). Applied per shard.
     uint64_t batch_gap_bytes = 64 * 1024;
     uint64_t batch_max_bytes = 8 * 1024 * 1024;
+    /// Pool on which LoadMaskBatch issues its per-shard coalesced reads
+    /// concurrently (one task per shard touched by the request). Null =
+    /// shards are read sequentially on the calling thread. Only pays off
+    /// when the device has queue depth to exploit (DiskThrottle
+    /// queue_depth > 1, or a real NVMe disk).
+    ThreadPool* io_pool = nullptr;
+    /// Deployment model of the throttle: false (default) = all shards share
+    /// `throttle` (one device, the paper's setup). true = every shard gets
+    /// its own DiskThrottle with `throttle`'s parameters — the scale-out
+    /// deployment where each shard file lives on its own disk, so shard
+    /// reads overlap in bandwidth as well as latency. Accounting
+    /// (total_bytes/total_requests) is then per shard device; the store's
+    /// own masks_loaded/bytes_read counters are unaffected.
+    bool throttle_per_shard = false;
   };
 
+  /// \brief Opens a store, sniffing the manifest version: v1 single-file
+  /// stores (the pre-sharding format) open unchanged as 1-shard stores.
   static Result<std::unique_ptr<MaskStore>> Open(const std::string& dir,
                                                  const Options& opts);
   static Result<std::unique_ptr<MaskStore>> Open(const std::string& dir);
+
+  virtual ~MaskStore() = default;
+
+  MaskStore(const MaskStore&) = delete;
+  MaskStore& operator=(const MaskStore&) = delete;
 
   int64_t num_masks() const { return static_cast<int64_t>(metas_.size()); }
   StorageKind kind() const { return kind_; }
   const std::string& dir() const { return dir_; }
 
-  /// \brief Metadata access never touches the data file (metadata lives in
+  /// \brief Number of data-file shards (1 for single-file stores).
+  virtual int32_t num_shards() const = 0;
+
+  /// \brief Metadata access never touches the data files (metadata lives in
   /// the catalog, §2.1).
   const MaskMeta& meta(MaskId id) const { return metas_[id]; }
   const std::vector<MaskMeta>& metas() const { return metas_; }
 
   /// \brief Loads a full mask from disk (throttled + counted).
-  Result<Mask> LoadMask(MaskId id) const;
+  virtual Result<Mask> LoadMask(MaskId id) const = 0;
 
-  /// \brief Loads a batch of masks with coalesced I/O: ids are sorted by
-  /// file offset and blobs closer than Options::batch_gap_bytes are fetched
-  /// in a single ReadAt (one modeled disk request instead of one per mask).
-  /// Returns masks in the order of `ids`; duplicates are allowed. Each id
-  /// counts as one mask loaded; bytes_read counts the bytes actually read,
-  /// including coalesced-over gaps.
-  Result<std::vector<Mask>> LoadMaskBatch(const std::vector<MaskId>& ids) const;
+  /// \brief Loads a batch of masks with coalesced I/O: the request is
+  /// partitioned by shard, ids are sorted by file offset within each shard,
+  /// and blobs closer than Options::batch_gap_bytes are fetched in a single
+  /// scatter read (one modeled disk request instead of one per mask). With
+  /// Options::io_pool set, the per-shard reads are issued concurrently.
+  /// Returns masks in the order of `ids`; duplicates are allowed and
+  /// decoded once. Each id counts as one mask loaded; bytes_read counts the
+  /// bytes actually read, including coalesced-over gaps.
+  virtual Result<std::vector<Mask>> LoadMaskBatch(
+      const std::vector<MaskId>& ids) const = 0;
 
   /// \brief Loads only the rows [y0, y1) of a raw-format mask — a contiguous
   /// byte range. Returns a Mask of height y1-y0 whose row 0 is mask row y0.
   /// Counts as a (partial) load. Compressed stores do not support partial
   /// reads (the whole blob must be decoded), mirroring real codecs.
-  Result<Mask> LoadMaskRows(MaskId id, int32_t y0, int32_t y1) const;
+  virtual Result<Mask> LoadMaskRows(MaskId id, int32_t y0, int32_t y1) const = 0;
+
+  /// \brief Reads the raw stored blob of mask `id` without decoding it.
+  /// Counted as bytes_read and one throttled request, but not as a mask
+  /// load (nothing is materialized). Used by migration/replication tools.
+  virtual Status ReadBlob(MaskId id, std::string* out) const = 0;
 
   /// \brief Stored blob size in bytes for mask `id`.
   uint64_t BlobSize(MaskId id) const { return sizes_[id]; }
@@ -121,9 +184,10 @@ class MaskStore {
   /// Computed once at Open.
   uint64_t TotalDataBytes() const { return total_data_bytes_; }
 
-  /// \brief Cumulative number of LoadMask/LoadMaskRows calls.
+  /// \brief Cumulative number of masks loaded (LoadMask / LoadMaskRows /
+  /// LoadMaskBatch entries, duplicates included).
   uint64_t masks_loaded() const { return masks_loaded_.load(); }
-  /// \brief Cumulative bytes read from the data file.
+  /// \brief Cumulative bytes read from the data file(s).
   uint64_t bytes_read() const { return bytes_read_.load(); }
   void ResetCounters() {
     masks_loaded_.store(0);
@@ -131,11 +195,11 @@ class MaskStore {
   }
 
   DiskThrottle* throttle() const { return opts_.throttle.get(); }
+  const Options& options() const { return opts_; }
 
- private:
+ protected:
   MaskStore(std::string dir, Options opts, StorageKind kind,
-            std::vector<MaskMeta> metas, std::vector<uint64_t> offsets,
-            std::vector<uint64_t> sizes, std::unique_ptr<RandomAccessFile> data);
+            std::vector<MaskMeta> metas, std::vector<uint64_t> sizes);
 
   Status CheckId(MaskId id) const;
 
@@ -143,10 +207,8 @@ class MaskStore {
   Options opts_;
   StorageKind kind_;
   std::vector<MaskMeta> metas_;
-  std::vector<uint64_t> offsets_;
   std::vector<uint64_t> sizes_;
   uint64_t total_data_bytes_ = 0;
-  std::unique_ptr<RandomAccessFile> data_;
   mutable std::atomic<uint64_t> masks_loaded_{0};
   mutable std::atomic<uint64_t> bytes_read_{0};
 };
@@ -154,6 +216,20 @@ class MaskStore {
 /// \brief Manifest and data file names inside a store directory.
 std::string MaskStoreManifestPath(const std::string& dir);
 std::string MaskStoreDataPath(const std::string& dir);
+/// \brief Data file of shard `shard` in an `num_shards`-way store
+/// (`masks.dat` when num_shards == 1, `masks.<shard>.dat` otherwise).
+std::string MaskStoreShardDataPath(const std::string& dir, int32_t shard,
+                                   int32_t num_shards);
+
+namespace internal {
+/// Serializes and writes the store manifest (v1 when num_shards == 1, v2
+/// otherwise). Shared by MaskStoreWriter::Finish and migration tools.
+Status WriteMaskStoreManifest(const std::string& dir, StorageKind kind,
+                              int32_t num_shards,
+                              const std::vector<MaskMeta>& metas,
+                              const std::vector<uint64_t>& offsets,
+                              const std::vector<uint64_t>& sizes);
+}  // namespace internal
 
 }  // namespace masksearch
 

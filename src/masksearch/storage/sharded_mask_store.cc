@@ -1,0 +1,293 @@
+#include "masksearch/storage/sharded_mask_store.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace masksearch {
+
+ShardedMaskStore::ShardedMaskStore(
+    std::string dir, Options opts, StorageKind kind,
+    std::vector<MaskMeta> metas, std::vector<uint64_t> offsets,
+    std::vector<uint64_t> sizes,
+    std::vector<std::unique_ptr<RandomAccessFile>> shards)
+    : MaskStore(std::move(dir), std::move(opts), kind, std::move(metas),
+                std::move(sizes)),
+      offsets_(std::move(offsets)),
+      shards_(std::move(shards)) {}
+
+Result<std::unique_ptr<MaskStore>> ShardedMaskStore::Create(
+    const std::string& dir, const Options& opts, StorageKind kind,
+    int32_t num_shards, std::vector<MaskMeta> metas,
+    std::vector<uint64_t> offsets, std::vector<uint64_t> sizes) {
+  std::vector<std::unique_ptr<RandomAccessFile>> shards;
+  shards.reserve(num_shards);
+  for (int32_t s = 0; s < num_shards; ++s) {
+    MS_ASSIGN_OR_RETURN(
+        auto file,
+        RandomAccessFile::Open(MaskStoreShardDataPath(dir, s, num_shards)));
+    shards.push_back(std::move(file));
+  }
+  auto store = std::unique_ptr<ShardedMaskStore>(new ShardedMaskStore(
+      dir, opts, kind, std::move(metas), std::move(offsets), std::move(sizes),
+      std::move(shards)));
+  if (opts.throttle_per_shard && opts.throttle != nullptr) {
+    // Scale-out deployment model: one device (throttle) per shard file,
+    // each with the shared throttle's parameters.
+    store->shard_throttles_.reserve(num_shards);
+    for (int32_t s = 0; s < num_shards; ++s) {
+      store->shard_throttles_.push_back(std::make_shared<DiskThrottle>(
+          opts.throttle->bytes_per_sec(), opts.throttle->latency_us(),
+          opts.throttle->queue_depth()));
+    }
+  }
+  return std::unique_ptr<MaskStore>(std::move(store));
+}
+
+Result<Mask> ShardedMaskStore::LoadMask(MaskId id) const {
+  MS_RETURN_NOT_OK(CheckId(id));
+  const MaskMeta& m = metas_[id];
+  const uint64_t nbytes = sizes_[id];
+  const int32_t shard = ShardOf(id);
+  const RandomAccessFile& data = *shards_[shard];
+
+  if (DiskThrottle* throttle = ThrottleFor(shard)) throttle->Acquire(nbytes);
+  masks_loaded_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
+
+  if (kind_ == StorageKind::kRawFloat32) {
+    std::vector<float> values(static_cast<size_t>(m.width) * m.height);
+    if (values.size() * sizeof(float) != nbytes) {
+      return Status::Corruption("blob size mismatch for mask " +
+                                std::to_string(id));
+    }
+    MS_RETURN_NOT_OK(data.ReadAt(offsets_[id], nbytes, values.data()));
+    return Mask::FromData(m.width, m.height, std::move(values));
+  }
+  std::string blob;
+  blob.resize(nbytes);
+  MS_RETURN_NOT_OK(data.ReadAt(offsets_[id], nbytes, blob.data()));
+  return DecodeMask(blob);
+}
+
+Status ShardedMaskStore::LoadShardRuns(int32_t shard,
+                                       const std::vector<MaskId>& ids,
+                                       const size_t* order, size_t count,
+                                       std::vector<Mask>* out) const {
+  const RandomAccessFile& file = *shards_[shard];
+  // Scratch for coalesced-over gap bytes. Gap slices may alias it: preadv
+  // fills destinations in order and the content is discarded.
+  std::vector<char> gap_buf;
+
+  struct RawDest {
+    size_t out_idx;
+    std::vector<float> values;
+  };
+  struct BlobDest {
+    size_t out_idx;
+    std::string bytes;
+  };
+
+  size_t pos = 0;
+  while (pos < count) {
+    // Grow the run while the next blob starts within the gap threshold and
+    // the total span stays under the read cap (one oversized blob is still
+    // read whole).
+    const uint64_t run_start = offsets_[ids[order[pos]]];
+    uint64_t run_end = run_start + sizes_[ids[order[pos]]];
+    size_t end = pos + 1;
+    while (end < count) {
+      const MaskId next = ids[order[end]];
+      if (offsets_[next] > run_end + opts_.batch_gap_bytes) break;
+      const uint64_t next_end =
+          std::max(run_end, offsets_[next] + sizes_[next]);
+      if (next_end - run_start > opts_.batch_max_bytes && next_end > run_end) {
+        break;
+      }
+      run_end = next_end;
+      ++end;
+    }
+
+    // One scatter read per run, directly into the destination buffers.
+    // All scratch is sized before any slice points into it: a reallocation
+    // would dangle the earlier slices.
+    uint64_t max_gap = 0;
+    {
+      uint64_t scan = run_start;
+      for (size_t p = pos; p < end; ++p) {
+        const MaskId id = ids[order[p]];
+        if (offsets_[id] > scan) {
+          max_gap = std::max(max_gap, offsets_[id] - scan);
+        }
+        scan = std::max(scan, offsets_[id] + sizes_[id]);
+      }
+    }
+    if (gap_buf.size() < max_gap) gap_buf.resize(max_gap);
+
+    std::vector<IoSlice> slices;
+    std::vector<RawDest> raw_dests;
+    std::vector<BlobDest> blob_dests;
+    raw_dests.reserve(end - pos);
+    blob_dests.reserve(end - pos);
+    std::vector<std::pair<size_t, size_t>> dups;  // (dup out idx, first idx)
+    uint64_t cursor = run_start;
+    size_t first_idx = order[pos];
+    for (size_t p = pos; p < end; ++p) {
+      const size_t i = order[p];
+      const MaskId id = ids[i];
+      if (p > pos && ids[order[p - 1]] == id) {
+        dups.emplace_back(i, first_idx);
+        continue;
+      }
+      first_idx = i;
+      if (offsets_[id] > cursor) {
+        slices.push_back(IoSlice{gap_buf.data(),
+                                 static_cast<size_t>(offsets_[id] - cursor)});
+      }
+      const size_t nbytes = sizes_[id];
+      if (kind_ == StorageKind::kRawFloat32) {
+        const MaskMeta& m = metas_[id];
+        std::vector<float> values(static_cast<size_t>(m.width) * m.height);
+        if (values.size() * sizeof(float) != nbytes) {
+          return Status::Corruption("blob size mismatch for mask " +
+                                    std::to_string(id));
+        }
+        raw_dests.push_back(RawDest{i, std::move(values)});
+        slices.push_back(IoSlice{raw_dests.back().values.data(), nbytes});
+      } else {
+        blob_dests.push_back(BlobDest{i, std::string(nbytes, '\0')});
+        slices.push_back(IoSlice{blob_dests.back().bytes.data(), nbytes});
+      }
+      cursor = offsets_[id] + nbytes;
+    }
+
+    const uint64_t span = run_end - run_start;
+    if (DiskThrottle* throttle = ThrottleFor(shard)) throttle->Acquire(span);
+    bytes_read_.fetch_add(span, std::memory_order_relaxed);
+    MS_RETURN_NOT_OK(file.ReadVAt(run_start, std::move(slices)));
+
+    for (RawDest& d : raw_dests) {
+      const MaskMeta& m = metas_[ids[d.out_idx]];
+      MS_ASSIGN_OR_RETURN((*out)[d.out_idx],
+                          Mask::FromData(m.width, m.height,
+                                         std::move(d.values)));
+    }
+    for (const BlobDest& d : blob_dests) {
+      MS_ASSIGN_OR_RETURN((*out)[d.out_idx],
+                          DecodeMask(d.bytes.data(), d.bytes.size()));
+    }
+    for (const auto& [dup_idx, src_idx] : dups) {
+      (*out)[dup_idx] = (*out)[src_idx];
+    }
+    pos = end;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Mask>> ShardedMaskStore::LoadMaskBatch(
+    const std::vector<MaskId>& ids) const {
+  std::vector<Mask> out(ids.size());
+  if (ids.empty()) return out;
+  for (MaskId id : ids) MS_RETURN_NOT_OK(CheckId(id));
+
+  // Sort by (shard, offset): each shard's slice becomes an append-ordered
+  // run sequence (duplicates adjacent, decoded once), and the slices are
+  // independent — one coalesced read loop per shard, issued concurrently
+  // when an io_pool is configured.
+  std::vector<size_t> order(ids.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const int32_t sa = ShardOf(ids[a]);
+    const int32_t sb = ShardOf(ids[b]);
+    if (sa != sb) return sa < sb;
+    return offsets_[ids[a]] < offsets_[ids[b]];
+  });
+
+  masks_loaded_.fetch_add(ids.size(), std::memory_order_relaxed);
+
+  // Contiguous per-shard slices of `order`.
+  struct ShardSlice {
+    int32_t shard;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<ShardSlice> slices;
+  for (size_t p = 0; p < order.size();) {
+    const int32_t shard = ShardOf(ids[order[p]]);
+    size_t end = p + 1;
+    while (end < order.size() && ShardOf(ids[order[end]]) == shard) ++end;
+    slices.push_back(ShardSlice{shard, p, end});
+    p = end;
+  }
+
+  std::vector<Status> statuses(slices.size(), Status::OK());
+  ParallelFor(slices.size() > 1 ? opts_.io_pool : nullptr, slices.size(),
+              [&](size_t s) {
+                const ShardSlice& sl = slices[s];
+                statuses[s] = LoadShardRuns(sl.shard, ids, &order[sl.begin],
+                                            sl.end - sl.begin, &out);
+              });
+  for (const Status& st : statuses) MS_RETURN_NOT_OK(st);
+  return out;
+}
+
+Result<Mask> ShardedMaskStore::LoadMaskRows(MaskId id, int32_t y0,
+                                            int32_t y1) const {
+  MS_RETURN_NOT_OK(CheckId(id));
+  if (kind_ != StorageKind::kRawFloat32) {
+    return Status::NotImplemented(
+        "partial reads require raw storage (compressed blobs decode whole)");
+  }
+  const MaskMeta& m = metas_[id];
+  if (y0 < 0 || y1 > m.height || y0 >= y1) {
+    return Status::InvalidArgument("row range [" + std::to_string(y0) + "," +
+                                   std::to_string(y1) +
+                                   ") outside mask of height " +
+                                   std::to_string(m.height));
+  }
+  const size_t row_bytes = static_cast<size_t>(m.width) * sizeof(float);
+  const uint64_t offset = offsets_[id] + static_cast<uint64_t>(y0) * row_bytes;
+  const uint64_t nbytes = static_cast<uint64_t>(y1 - y0) * row_bytes;
+  const int32_t shard = ShardOf(id);
+
+  if (DiskThrottle* throttle = ThrottleFor(shard)) throttle->Acquire(nbytes);
+  masks_loaded_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
+
+  std::vector<float> values(static_cast<size_t>(m.width) * (y1 - y0));
+  MS_RETURN_NOT_OK(
+      shards_[ShardOf(id)]->ReadAt(offset, nbytes, values.data()));
+  return Mask::FromData(m.width, y1 - y0, std::move(values));
+}
+
+Status ShardedMaskStore::ReadBlob(MaskId id, std::string* out) const {
+  MS_RETURN_NOT_OK(CheckId(id));
+  const uint64_t nbytes = sizes_[id];
+  const int32_t shard = ShardOf(id);
+  if (DiskThrottle* throttle = ThrottleFor(shard)) throttle->Acquire(nbytes);
+  bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
+  out->resize(nbytes);
+  return shards_[shard]->ReadAt(offsets_[id], nbytes, out->data());
+}
+
+Status ReshardMaskStore(const MaskStore& src, const std::string& dst_dir,
+                        int32_t num_shards) {
+  MaskStoreWriter::Options wopts;
+  wopts.kind = src.kind();
+  wopts.num_shards = num_shards;
+  MS_ASSIGN_OR_RETURN(auto writer, MaskStoreWriter::Create(dst_dir, wopts));
+  std::string blob;
+  for (MaskId id = 0; id < src.num_masks(); ++id) {
+    MS_RETURN_NOT_OK(src.ReadBlob(id, &blob));
+    MS_ASSIGN_OR_RETURN(MaskId assigned,
+                        writer->AppendBlob(src.meta(id), blob));
+    if (assigned != id) {
+      return Status::Internal("reshard id drift: wrote " +
+                              std::to_string(assigned) + " for " +
+                              std::to_string(id));
+    }
+  }
+  return writer->Finish();
+}
+
+}  // namespace masksearch

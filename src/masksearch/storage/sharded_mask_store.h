@@ -1,0 +1,87 @@
+// ShardedMaskStore: the MaskStore implementation behind MaskStore::Open.
+//
+// Holds one RandomAccessFile per data-file shard and a per-mask offset table
+// (offsets are within the owning shard; placement is the deterministic
+// shard = id % num_shards). A single-file (manifest v1) store is the 1-shard
+// degenerate case, so the pre-sharding format opens unchanged.
+//
+// LoadMaskBatch partitions a request by shard, sorts each shard's ids by
+// offset, coalesces nearby blobs into scatter reads (ReadVAt) exactly as the
+// single-file loader did, and — when Options::io_pool is set — issues the
+// per-shard read loops concurrently. On a device with queue depth (real
+// NVMe, or DiskThrottle queue_depth > 1) the concurrent shard reads overlap
+// their per-request latencies; see docs/PERFORMANCE.md.
+
+#ifndef MASKSEARCH_STORAGE_SHARDED_MASK_STORE_H_
+#define MASKSEARCH_STORAGE_SHARDED_MASK_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "masksearch/storage/mask_store.h"
+
+namespace masksearch {
+
+class ShardedMaskStore final : public MaskStore {
+ public:
+  /// \brief Opens the shard data files of a parsed manifest. Called by
+  /// MaskStore::Open; `offsets` are within-shard blob offsets.
+  static Result<std::unique_ptr<MaskStore>> Create(
+      const std::string& dir, const Options& opts, StorageKind kind,
+      int32_t num_shards, std::vector<MaskMeta> metas,
+      std::vector<uint64_t> offsets, std::vector<uint64_t> sizes);
+
+  int32_t num_shards() const override {
+    return static_cast<int32_t>(shards_.size());
+  }
+
+  Result<Mask> LoadMask(MaskId id) const override;
+  Result<std::vector<Mask>> LoadMaskBatch(
+      const std::vector<MaskId>& ids) const override;
+  Result<Mask> LoadMaskRows(MaskId id, int32_t y0, int32_t y1) const override;
+  Status ReadBlob(MaskId id, std::string* out) const override;
+
+ private:
+  ShardedMaskStore(std::string dir, Options opts, StorageKind kind,
+                   std::vector<MaskMeta> metas, std::vector<uint64_t> offsets,
+                   std::vector<uint64_t> sizes,
+                   std::vector<std::unique_ptr<RandomAccessFile>> shards);
+
+  int32_t ShardOf(MaskId id) const {
+    return static_cast<int32_t>(id % static_cast<MaskId>(shards_.size()));
+  }
+
+  /// The throttle modeling shard `shard`'s device: the per-shard throttle
+  /// under Options::throttle_per_shard, the shared one otherwise (may be
+  /// null = unthrottled).
+  DiskThrottle* ThrottleFor(int32_t shard) const {
+    if (!shard_throttles_.empty()) return shard_throttles_[shard].get();
+    return opts_.throttle.get();
+  }
+
+  /// Coalesced scatter-read loop over one shard's slice
+  /// [order, order + count) of the batch order (ids sorted by offset within
+  /// this shard), decoding into out[order[p]].
+  Status LoadShardRuns(int32_t shard, const std::vector<MaskId>& ids,
+                       const size_t* order, size_t count,
+                       std::vector<Mask>* out) const;
+
+  std::vector<uint64_t> offsets_;  ///< within the owning shard
+  std::vector<std::unique_ptr<RandomAccessFile>> shards_;
+  /// One modeled device per shard (Options::throttle_per_shard); empty when
+  /// all shards share Options::throttle.
+  std::vector<std::shared_ptr<DiskThrottle>> shard_throttles_;
+};
+
+/// \brief Rewrites the store at `src` into `dst_dir` with `num_shards` data
+/// files (1 converts a sharded store back to the single-file layout). Blobs
+/// are copied verbatim (no decode/re-encode); metadata, ids, and per-mask
+/// blob bytes are preserved exactly. Reads are counted on `src` as raw blob
+/// reads (bytes + requests, not mask loads).
+Status ReshardMaskStore(const MaskStore& src, const std::string& dst_dir,
+                        int32_t num_shards);
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_STORAGE_SHARDED_MASK_STORE_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 #include "masksearch/common/stopwatch.h"
 #include "masksearch/storage/disk_throttle.h"
@@ -56,6 +57,54 @@ TEST(DiskThrottleTest, ZeroByteAcquireCountsRequest) {
   t.Acquire(0);
   EXPECT_EQ(t.total_requests(), 1u);
   EXPECT_EQ(t.total_bytes(), 0u);
+}
+
+TEST(DiskThrottleTest, QueueDepthOverlapsLatency) {
+  // 8 concurrent latency-only requests: with queue_depth 8 their 20 ms
+  // latencies overlap (~20 ms wall); with queue_depth 1 they serialize
+  // (~160 ms wall).
+  DiskThrottle deep(0.0, /*latency_us=*/20000.0, /*queue_depth=*/8);
+  EXPECT_EQ(deep.queue_depth(), 8);
+  Stopwatch sw;
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+      threads.emplace_back([&] { deep.Acquire(1); });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const double overlapped = sw.ElapsedSeconds();
+  EXPECT_LT(overlapped, 0.12);
+
+  DiskThrottle serial(0.0, /*latency_us=*/20000.0, /*queue_depth=*/1);
+  sw.Restart();
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+      threads.emplace_back([&] { serial.Acquire(1); });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_GE(sw.ElapsedSeconds(), 0.12);
+}
+
+TEST(DiskThrottleTest, BandwidthSerializesAcrossQueueSlots) {
+  // Transfers share one bus regardless of queue depth: two concurrent 1 MiB
+  // reads at 10 MiB/s still take ~0.2 s of wall time.
+  DiskThrottle t(10.0 * 1024 * 1024, 0.0, /*queue_depth=*/4);
+  Stopwatch sw;
+  std::thread a([&] { t.Acquire(1024 * 1024); });
+  std::thread b([&] { t.Acquire(1024 * 1024); });
+  a.join();
+  b.join();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.15);
+}
+
+TEST(DiskThrottleTest, DefaultQueueDepthIsSerial) {
+  DiskThrottle t(0.0, 100.0);
+  EXPECT_EQ(t.queue_depth(), 1);
+  DiskThrottle clamped(0.0, 100.0, /*queue_depth=*/0);
+  EXPECT_EQ(clamped.queue_depth(), 1);
 }
 
 }  // namespace

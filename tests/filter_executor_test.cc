@@ -5,6 +5,7 @@
 
 #include "masksearch/baselines/full_scan.h"
 #include "masksearch/exec/filter_executor.h"
+#include "masksearch/storage/sharded_mask_store.h"
 #include "masksearch/workload/query_gen.h"
 #include "test_util.h"
 
@@ -208,6 +209,66 @@ TEST_F(FilterExecutorTest, RandomizedQueriesMatchReference) {
     ASSERT_EQ(got->mask_ids, want->mask_ids) << "query " << i;
     // The index never loads more than the baseline.
     ASSERT_LE(got->stats.masks_loaded, want->stats.masks_loaded);
+  }
+}
+
+TEST_F(FilterExecutorTest, StagedBatchedVerificationMatchesFused) {
+  // The staged path (batch_io, the default) and the fused per-mask path
+  // must agree on results and per-mask stats; only the I/O request pattern
+  // may differ. Also exercised with overlap (io_pool) and a small batch so
+  // several pipeline refills happen.
+  ThreadPool pool(4);
+  for (double threshold : {0.0, 100.0, 500.0}) {
+    const FilterQuery q = ObjectQuery(0.55, 1.0, threshold);
+    EngineOptions fused;
+    fused.batch_io = false;
+    fused.pool = &pool;
+    auto want = ExecuteFilter(*store_, index_.get(), q, fused);
+    ASSERT_TRUE(want.ok()) << want.status();
+
+    EngineOptions staged;
+    staged.pool = &pool;
+    staged.filter_verify_batch = 5;
+    auto got = ExecuteFilter(*store_, index_.get(), q, staged);
+    ASSERT_TRUE(got.ok()) << got.status();
+
+    EngineOptions overlapped = staged;
+    overlapped.io_pool = &pool;
+    auto got_overlap = ExecuteFilter(*store_, index_.get(), q, overlapped);
+    ASSERT_TRUE(got_overlap.ok()) << got_overlap.status();
+
+    for (const auto* r : {&*got, &*got_overlap}) {
+      EXPECT_EQ(r->mask_ids, want->mask_ids) << "threshold " << threshold;
+      EXPECT_EQ(r->stats.masks_loaded, want->stats.masks_loaded);
+      EXPECT_EQ(r->stats.pruned, want->stats.pruned);
+      EXPECT_EQ(r->stats.accepted_by_bounds, want->stats.accepted_by_bounds);
+      EXPECT_EQ(r->stats.candidates, want->stats.candidates);
+      EXPECT_EQ(r->stats.bytes_read, want->stats.bytes_read);
+    }
+  }
+}
+
+TEST_F(FilterExecutorTest, StagedPathOnShardedStoreMatchesReference) {
+  TempDir sharded_dir("filter_sharded");
+  MS_ASSERT_OK(ReshardMaskStore(*store_, sharded_dir.path(), 4));
+  ThreadPool io_pool(3);
+  MaskStore::Options sopts;
+  sopts.io_pool = &io_pool;
+  auto sharded = MaskStore::Open(sharded_dir.path(), sopts).ValueOrDie();
+
+  FullScanBaseline reference(store_.get());
+  ThreadPool pool(4);
+  EngineOptions opts;
+  opts.pool = &pool;
+  opts.io_pool = &io_pool;
+  opts.filter_verify_batch = 7;
+  for (double threshold : {50.0, 400.0}) {
+    const FilterQuery q = ObjectQuery(0.6, 1.0, threshold);
+    auto got = ExecuteFilter(*sharded, index_.get(), q, opts);
+    ASSERT_TRUE(got.ok()) << got.status();
+    auto want = reference.Filter(q);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got->mask_ids, want->mask_ids) << "threshold " << threshold;
   }
 }
 

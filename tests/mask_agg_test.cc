@@ -8,6 +8,7 @@
 #include "masksearch/baselines/full_scan.h"
 #include "masksearch/exec/mask_agg.h"
 #include "masksearch/index/chi_builder.h"
+#include "masksearch/storage/sharded_mask_store.h"
 #include "test_util.h"
 
 namespace masksearch {
@@ -236,24 +237,23 @@ TEST_F(MaskAggExecTest, InvalidQueriesRejected) {
 // Parallel batched verification must return byte-identical results to the
 // serial schedule, and its filter-stage stats must stay consistent: the
 // same groups are partitioned across pruned / accepted / candidates, with
-// batching only allowed to move groups from pruned to candidates (stale
-// heap at decision time — strictly conservative).
+// batching (and prefetch-ahead) only allowed to move groups from pruned to
+// candidates (stale heap at decision time — strictly conservative).
 class MaskAggParallelTest : public MaskAggExecTest {
  protected:
-  void ExpectParallelMatchesSerial(const MaskAggQuery& q) {
+  /// Runs the query under `parallel` and compares against the exact serial
+  /// schedule on the same store.
+  void ExpectMatchesSerial(const MaskStore& store, const MaskAggQuery& q,
+                           const EngineOptions& parallel) {
     EngineOptions serial;
     serial.pool = nullptr;  // batch size degenerates to 1: exact serial path
     DerivedIndexCache serial_cache(TestConfig());
-    auto want = ExecuteMaskAgg(*store_, index_.get(), &serial_cache, q, serial);
+    auto want = ExecuteMaskAgg(store, index_.get(), &serial_cache, q, serial);
     ASSERT_TRUE(want.ok()) << want.status();
 
-    ThreadPool pool(4);
-    EngineOptions parallel;
-    parallel.pool = &pool;
-    parallel.agg_verify_batch = 8;
     DerivedIndexCache parallel_cache(TestConfig());
     auto got =
-        ExecuteMaskAgg(*store_, index_.get(), &parallel_cache, q, parallel);
+        ExecuteMaskAgg(store, index_.get(), &parallel_cache, q, parallel);
     ASSERT_TRUE(got.ok()) << got.status();
 
     ASSERT_EQ(got->groups.size(), want->groups.size());
@@ -276,6 +276,41 @@ class MaskAggParallelTest : public MaskAggExecTest {
     EXPECT_GE(ps.candidates, ss.candidates);
     // Every group the serial run indexed is indexed by the parallel run too.
     EXPECT_GE(parallel_cache.size(), serial_cache.size());
+  }
+
+  void ExpectParallelMatchesSerial(const MaskAggQuery& q) {
+    ThreadPool pool(4);
+    EngineOptions parallel;
+    parallel.pool = &pool;
+    parallel.agg_verify_batch = 8;
+    ExpectMatchesSerial(*store_, q, parallel);
+  }
+
+  /// The overlapped pipeline (io_pool + prefetch-ahead) over a sharded copy
+  /// of the store, with shard-parallel batch reads — the full PR 3
+  /// configuration — must still match the serial schedule byte for byte.
+  void ExpectOverlappedShardedMatchesSerial(const MaskAggQuery& q) {
+    TempDir sharded_dir("maskagg_sharded");
+    MS_ASSERT_OK(ReshardMaskStore(*store_, sharded_dir.path(), 4));
+    ThreadPool pool(4);
+    ThreadPool io_pool(3);
+    MaskStore::Options sopts;
+    sopts.io_pool = &io_pool;
+    auto sharded = MaskStore::Open(sharded_dir.path(), sopts).ValueOrDie();
+
+    EngineOptions overlapped;
+    overlapped.pool = &pool;
+    overlapped.io_pool = &io_pool;
+    overlapped.agg_verify_batch = 4;
+    overlapped.inflight_batches = 2;
+    overlapped.prefetch_depth = 2;
+    ExpectMatchesSerial(*sharded, q, overlapped);
+
+    // io_pool aliasing the compute pool must also be safe (ParallelFor
+    // caller participation keeps nested loops deadlock-free).
+    EngineOptions aliased = overlapped;
+    aliased.io_pool = &pool;
+    ExpectMatchesSerial(*sharded, q, aliased);
   }
 };
 
@@ -302,6 +337,31 @@ TEST_F(MaskAggParallelTest, HavingOnlyDeterministic) {
   q.having_op = CompareOp::kGt;
   q.having_threshold = 50.0;
   ExpectParallelMatchesSerial(q);
+}
+
+TEST_F(MaskAggParallelTest, OverlappedShardedTopKDeterministic) {
+  for (MaskAggOp op : {MaskAggOp::kIntersectThreshold,
+                       MaskAggOp::kUnionThreshold, MaskAggOp::kAverage}) {
+    MaskAggQuery q = IntersectQuery(5);
+    q.op = op;
+    ExpectOverlappedShardedMatchesSerial(q);
+  }
+}
+
+TEST_F(MaskAggParallelTest, OverlappedShardedHavingOnlyDeterministic) {
+  MaskAggQuery q = IntersectQuery(0);
+  q.k.reset();
+  q.having_op = CompareOp::kGt;
+  q.having_threshold = 50.0;
+  ExpectOverlappedShardedMatchesSerial(q);
+}
+
+TEST_F(MaskAggParallelTest, OverlappedShardedAscendingWithHavingDeterministic) {
+  MaskAggQuery q = IntersectQuery(4);
+  q.descending = false;
+  q.having_op = CompareOp::kGt;
+  q.having_threshold = 10.0;
+  ExpectOverlappedShardedMatchesSerial(q);
 }
 
 TEST_F(MaskAggParallelTest, ParallelMatchesFullScanReference) {

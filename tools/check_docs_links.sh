@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Docs lint: every relative markdown link in README.md, ROADMAP.md, and
+# docs/*.md must resolve to an existing file (anchors are stripped; http(s)
+# and mailto links are skipped). Run from anywhere; CI runs it as the
+# docs-lint job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+for f in README.md ROADMAP.md docs/*.md; do
+  [ -f "$f" ] || continue
+  base="$(dirname "$f")"
+  # Extract the (target) of every markdown [text](target) link.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    target="${target%%#*}"          # drop anchors
+    [ -z "$target" ] && continue    # pure-anchor link
+    checked=$((checked + 1))
+    if [ ! -e "$base/$target" ] && [ ! -e "$target" ]; then
+      echo "broken link in $f: $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+echo "checked $checked relative links"
+exit $status

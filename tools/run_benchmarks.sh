@@ -65,4 +65,14 @@ done
 echo "bench JSON results:"
 ls -l "$JSON_DIR"/BENCH_*.json 2>/dev/null || echo "  (none written)"
 
+# The sharded-I/O and overlapped-pipeline benches must be part of the
+# micro-kernel run (guards against the perf-trajectory benches bit-rotting
+# out of the driver).
+for bench in BM_ShardedBatchIopBound BM_MaskAggVerifyPipeline; do
+  if ! grep -q "$bench" "$JSON_DIR/BENCH_micro_kernels.json" 2>/dev/null; then
+    echo "MISSING: $bench not in BENCH_micro_kernels.json" >&2
+    status=1
+  fi
+done
+
 exit $status
