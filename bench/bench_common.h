@@ -14,6 +14,13 @@
 //   --queue-depth=N        modeled device queue depth         (default 1,
 //                          the paper's fully serialized single-stream disk;
 //                          raise to model NVMe-style request parallelism)
+//   --cache-mib=F          buffer-pool cache budget for the throttled
+//                          store, MiB (default 0 = no cache; docs/CACHING.md)
+//   --cache-shards=N       buffer-pool lock stripes           (default 8)
+//   --warmup-passes=N      unmeasured passes before the measured run in
+//                          drivers with repeatable workloads   (default 0)
+//   --cold                 force a cold run (warmup-passes treated as 0);
+//                          the JSON records which mode ran either way
 //   --json-out=DIR         write BENCH_<driver>.json with the recorded
 //                          metrics + wall time (machine-readable results for
 //                          the CI artifact / perf trajectory)
@@ -40,16 +47,26 @@ struct BenchFlags {
   double bandwidth_mib = 125.0;
   double latency_us = 200.0;
   int queue_depth = 1;
+  double cache_mib = 0.0;    ///< buffer-pool budget (0 = uncached store)
+  int cache_shards = 8;      ///< buffer-pool lock stripes
+  int warmup_passes = 0;     ///< unmeasured passes before the measured run
+  bool cold = false;         ///< force warmup_passes = 0 (explicit cold run)
   int queries = 60;          ///< randomized-query count (Fig 8/9)
   int workload_queries = 40; ///< multi-query workload length (Fig 11)
   std::string json_out;      ///< directory for BENCH_<driver>.json ("" = off)
+
+  /// Warmup passes after applying --cold: the single source of truth for
+  /// whether a driver's measured run is cold or warm.
+  int EffectiveWarmupPasses() const { return cold ? 0 : warmup_passes; }
 
   static void PrintUsage(const char* prog) {
     std::fprintf(stderr,
                  "usage: %s [--data-dir=PATH] [--wilds-scale=F]\n"
                  "          [--imagenet-scale=F] [--bandwidth-mib=F]\n"
                  "          [--latency-us=F] [--queue-depth=N] [--queries=N]\n"
-                 "          [--workload-queries=N] [--json-out=DIR]\n",
+                 "          [--workload-queries=N] [--cache-mib=F]\n"
+                 "          [--cache-shards=N] [--warmup-passes=N] [--cold]\n"
+                 "          [--json-out=DIR]\n",
                  prog);
   }
 
@@ -60,6 +77,10 @@ struct BenchFlags {
       if (arg == "--help" || arg == "-h") {
         PrintUsage(argv[0]);
         std::exit(0);
+      }
+      if (arg == "--cold") {
+        f.cold = true;
+        continue;
       }
       auto eat = [&](const char* name, auto setter) {
         const std::string prefix = std::string("--") + name + "=";
@@ -81,6 +102,12 @@ struct BenchFlags {
               [&](const std::string& v) { f.latency_us = std::stod(v); }) ||
           eat("queue-depth",
               [&](const std::string& v) { f.queue_depth = std::stoi(v); }) ||
+          eat("cache-mib",
+              [&](const std::string& v) { f.cache_mib = std::stod(v); }) ||
+          eat("cache-shards",
+              [&](const std::string& v) { f.cache_shards = std::stoi(v); }) ||
+          eat("warmup-passes",
+              [&](const std::string& v) { f.warmup_passes = std::stoi(v); }) ||
           eat("queries",
               [&](const std::string& v) { f.queries = std::stoi(v); }) ||
           eat("workload-queries",
@@ -123,11 +150,15 @@ inline ChiConfig PaperChiConfig(const DatasetSpec& spec) {
 
 /// A dataset opened twice: unthrottled (for ETL / index building outside the
 /// measured region) and throttled (the modeled disk queries run against).
+/// With --cache-mib > 0 the throttled store sits behind a buffer-pool cache
+/// (docs/CACHING.md): share `cache` with SessionOptions::cache to run the
+/// session's CHI caches under the same budget.
 struct BenchData {
   DatasetSpec spec;
   std::string dir;
   std::shared_ptr<DiskThrottle> throttle;
-  std::unique_ptr<MaskStore> store;        ///< throttled
+  std::shared_ptr<BufferPool> cache;       ///< null without --cache-mib
+  std::unique_ptr<MaskStore> store;        ///< throttled (cached if enabled)
   std::unique_ptr<MaskStore> etl_store;    ///< unthrottled
 };
 
@@ -140,6 +171,10 @@ inline BenchData OpenDataset(BenchDataset d, const BenchFlags& flags) {
       flags.bandwidth_mib * 1024 * 1024, flags.latency_us, flags.queue_depth);
   MaskStore::Options topts;
   topts.throttle = data.throttle;
+  data.cache = BufferPool::MaybeCreate(
+      nullptr, static_cast<uint64_t>(flags.cache_mib * 1024 * 1024),
+      flags.cache_shards, CacheAdmission::kScanResistant);
+  topts.cache = data.cache;
   data.store = MaskStore::Open(data.dir, topts).ValueOrDie();
   data.etl_store = MaskStore::Open(data.dir).ValueOrDie();
   return data;
@@ -232,9 +267,24 @@ inline void RecordMetric(const std::string& name, double value) {
   JsonReport::Instance().Metric(name, value);
 }
 
+/// `supports_warmup`: pass true only from drivers that actually run
+/// --warmup-passes before measuring (currently bench_fig11_workloads). The
+/// JSON mode marker must record what *ran*, not what was requested: a
+/// driver that ignores the flag stays cold, so its JSON says cache_cold=1
+/// even if the user asked for warmup (with a warning to stderr).
 inline void PrintHeader(const BenchFlags& flags, const char* title,
-                        const char* paper_ref) {
+                        const char* paper_ref, bool supports_warmup = false) {
   JsonReport::Instance().Init(title, flags.json_out);
+  const int warmup = supports_warmup ? flags.EffectiveWarmupPasses() : 0;
+  if (!supports_warmup && flags.EffectiveWarmupPasses() > 0) {
+    std::fprintf(stderr,
+                 "%s: --warmup-passes is not implemented by this driver; "
+                 "the measured run (and its JSON) is cold\n",
+                 title);
+  }
+  RecordMetric("warmup_passes", warmup);
+  RecordMetric("cache_cold", warmup == 0 ? 1 : 0);
+  RecordMetric("cache_mib", flags.cache_mib);
   std::printf("==============================================================\n");
   std::printf("%s\n", title);
   std::printf("reproduces: %s\n", paper_ref);

@@ -400,6 +400,118 @@ void BM_MaskAggVerifyPipeline(benchmark::State& state) {
 BENCHMARK(BM_MaskAggVerifyPipeline)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// --- buffer-pool cache (PR 4, docs/CACHING.md) ---
+
+/// 64-mask store behind the paper's modeled disk (125 MiB/s, 200 µs per
+/// request), opened through a CachedMaskStore over an ample buffer pool.
+struct CachedScratchStore {
+  std::string dir;
+  std::shared_ptr<BufferPool> pool;
+  std::unique_ptr<MaskStore> store;
+
+  CachedScratchStore() {
+    dir = (std::filesystem::temp_directory_path() /
+           ("masksearch_bench_cache_" + std::to_string(::getpid())))
+              .string();
+    std::filesystem::remove_all(dir);
+    auto writer = MaskStoreWriter::Create(dir).ValueOrDie();
+    Rng rng(81);
+    for (int i = 0; i < 64; ++i) {
+      Mask m(112, 112);
+      for (float& v : m.mutable_data()) v = rng.NextFloat();
+      writer->Append(MaskMeta{}, m).ValueOrDie();
+    }
+    writer->Finish().CheckOK();
+    BufferPool::Options popts;
+    popts.budget_bytes = 64ull << 20;
+    pool = std::make_shared<BufferPool>(popts);
+    MaskStore::Options opts;
+    opts.throttle = std::make_shared<DiskThrottle>(125.0 * 1024 * 1024,
+                                                   /*latency_us=*/200.0);
+    opts.cache = pool;
+    store = MaskStore::Open(dir, opts).ValueOrDie();
+  }
+  ~CachedScratchStore() { std::filesystem::remove_all(dir); }
+
+  std::vector<MaskId> AllIds() const {
+    std::vector<MaskId> ids(64);
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<MaskId>(i);
+    return ids;
+  }
+};
+
+// Cold vs warm 64-mask batch against the modeled disk. The cold variant
+// clears the pool every iteration (every load pays the disk model plus the
+// insert); the warm variant touches the batch once up front, so every
+// measured pass is served from memory. Their ratio is the storage-to-memory
+// gap the cache closes on repeated fig11-style workloads (the acceptance
+// target is warm >= 3x faster than cold).
+void BM_CachedBatchLoadCold(benchmark::State& state) {
+  CachedScratchStore s;
+  const std::vector<MaskId> ids = s.AllIds();
+  for (auto _ : state) {
+    state.PauseTiming();
+    s.pool->Clear();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.store->LoadMaskBatch(ids).ValueOrDie());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          s.store->TotalDataBytes());
+}
+BENCHMARK(BM_CachedBatchLoadCold)->Unit(benchmark::kMillisecond);
+
+void BM_CachedBatchLoadWarm(benchmark::State& state) {
+  CachedScratchStore s;
+  const std::vector<MaskId> ids = s.AllIds();
+  (void)s.store->LoadMaskBatch(ids).ValueOrDie();  // warm the pool
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.store->LoadMaskBatch(ids).ValueOrDie());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          s.store->TotalDataBytes());
+  state.counters["hit_ratio"] = s.pool->Stats().HitRatio();
+}
+BENCHMARK(BM_CachedBatchLoadWarm)->Unit(benchmark::kMillisecond);
+
+// Repeated filter workload through the full cache stack: no IndexManager,
+// the bounded chi_cache supplying bounds and the mask-blob cache feeding
+// verification — the steady state of a fig11-style exploration session.
+// arg 0: cold (pool cleared each iteration; every pass reloads + rebuilds).
+// arg 1: warm (one unmeasured pass, then every measured pass runs at
+//        memory latency, mostly bound-decided).
+void BM_RepeatedFilterWarmCache(benchmark::State& state) {
+  const bool warm = state.range(0) == 1;
+  CachedScratchStore s;
+  ChiConfig cfg;
+  cfg.cell_width = cfg.cell_height = 14;
+  cfg.num_bins = 16;
+  ChiCache chi_cache(s.pool, cfg);
+  EngineOptions opts;
+  opts.chi_cache = &chi_cache;
+
+  FilterQuery q;
+  q.terms.push_back(
+      CpTerm{RoiSource::kFullMask, ROI(), ValueRange(0.5, 1.0)});
+  q.predicate = Predicate::Compare(CpExpr::Term(0), CompareOp::kGt,
+                                   112.0 * 112.0 * 0.55);
+  if (warm) {
+    ExecuteFilter(*s.store, nullptr, q, opts).status().CheckOK();
+  }
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      s.pool->Clear();
+      state.ResumeTiming();
+    }
+    auto r = ExecuteFilter(*s.store, nullptr, q, opts);
+    r.status().CheckOK();
+    benchmark::DoNotOptimize(r->mask_ids.data());
+  }
+  state.counters["hit_ratio"] = s.pool->Stats().HitRatio();
+}
+BENCHMARK(BM_RepeatedFilterWarmCache)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_BoundComputation(benchmark::State& state) {
   const int32_t side = static_cast<int32_t>(state.range(0));
   const Mask mask = MakeBlobMask(side, 4);

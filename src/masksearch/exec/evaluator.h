@@ -4,9 +4,11 @@
 #ifndef MASKSEARCH_EXEC_EVALUATOR_H_
 #define MASKSEARCH_EXEC_EVALUATOR_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "masksearch/cache/chi_cache.h"
 #include "masksearch/exec/options.h"
 #include "masksearch/exec/query_spec.h"
 #include "masksearch/index/bounds.h"
@@ -45,8 +47,47 @@ inline std::vector<double> TermExactFromMask(const Mask& mask,
   return out;
 }
 
-/// \brief Loads a mask (counted in `stats`) and, under incremental indexing,
-/// builds and registers its CHI (§3.6).
+/// \brief CHI used for filter-stage bounds: the IndexManager's when it has
+/// one, else the bounded EngineOptions::chi_cache's. IndexManager CHIs are
+/// returned as non-owning aliases (they are resident for the manager's
+/// lifetime); cache CHIs share ownership, so a concurrent eviction cannot
+/// dangle the caller. Bounds from either source are equally sound — the
+/// cache only restores pruning power the unbounded regimes would have had.
+inline std::shared_ptr<const Chi> ChiForBounds(const IndexManager* index,
+                                               ChiCache* chi_cache,
+                                               MaskId id) {
+  if (index != nullptr) {
+    if (const Chi* chi = index->Get(id)) {
+      return std::shared_ptr<const Chi>(std::shared_ptr<const void>(), chi);
+    }
+  }
+  if (chi_cache != nullptr) return chi_cache->Get(id);
+  return nullptr;
+}
+
+/// \brief Retains the CHI of a verification-loaded mask per the engine
+/// configuration: into the IndexManager under incremental indexing (§3.6,
+/// unbounded — the paper's MS-II), else into the bounded chi_cache when one
+/// is configured. `index` must already be gated on opts.use_index by the
+/// caller. Returns the number of CHIs built (0 or 1) for stats.
+inline int64_t RetainChiAfterLoad(IndexManager* index,
+                                  const EngineOptions& opts, MaskId id,
+                                  const Mask& mask) {
+  if (opts.build_missing && index != nullptr && !index->Has(id)) {
+    index->BuildAndPut(id, mask);
+    return 1;
+  }
+  if (opts.use_index && opts.chi_cache != nullptr &&
+      (index == nullptr || !index->IsResident(id)) &&
+      !opts.chi_cache->Contains(id)) {
+    opts.chi_cache->Put(id, BuildChi(mask, opts.chi_cache->config()));
+    return 1;
+  }
+  return 0;
+}
+
+/// \brief Loads a mask (counted in `stats`) and retains its CHI per
+/// RetainChiAfterLoad.
 inline Result<Mask> LoadForVerification(const MaskStore& store,
                                         IndexManager* index,
                                         const EngineOptions& opts, MaskId id,
@@ -54,10 +95,7 @@ inline Result<Mask> LoadForVerification(const MaskStore& store,
   MS_ASSIGN_OR_RETURN(Mask mask, store.LoadMask(id));
   stats->masks_loaded += 1;
   stats->bytes_read += static_cast<int64_t>(store.BlobSize(id));
-  if (opts.build_missing && index != nullptr && !index->Has(id)) {
-    index->BuildAndPut(id, mask);
-    stats->chis_built += 1;
-  }
+  stats->chis_built += RetainChiAfterLoad(index, opts, id, mask);
   return mask;
 }
 

@@ -20,8 +20,9 @@ enum class Outcome : uint8_t { kPruned, kAccepted, kVerifiedPass, kVerifiedFail,
 Outcome ClassifyFromBounds(const MaskStore& store, IndexManager* index,
                            const FilterQuery& query, const EngineOptions& opts,
                            MaskId id) {
-  if (opts.use_index && index != nullptr) {
-    if (const Chi* chi = index->Get(id)) {
+  if (opts.use_index) {
+    if (const std::shared_ptr<const Chi> chi =
+            internal::ChiForBounds(index, opts.chi_cache, id)) {
       const std::vector<Interval> bounds =
           internal::TermBoundsFromChi(*chi, store.meta(id), query.terms);
       switch (query.predicate.EvalBounds(bounds)) {
@@ -161,10 +162,10 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
       ParallelFor(n > 1 ? opts.pool : nullptr, n, [&](size_t j) {
         const size_t i = b.idxs[j];
         const MaskId id = ids[i];
-        if (opts.use_index && opts.build_missing && index != nullptr &&
-            !index->Has(id)) {
-          index->BuildAndPut(id, masks[j]);
-          built.fetch_add(1, std::memory_order_relaxed);
+        const int64_t built_now = internal::RetainChiAfterLoad(
+            opts.use_index ? index : nullptr, opts, id, masks[j]);
+        if (built_now > 0) {
+          built.fetch_add(built_now, std::memory_order_relaxed);
         }
         const std::vector<double> exact =
             internal::TermExactFromMask(masks[j], store.meta(id), query.terms);

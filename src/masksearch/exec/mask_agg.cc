@@ -62,14 +62,16 @@ std::vector<const float*> MaskPointers(const std::vector<Mask>& masks) {
   return ptrs;
 }
 
-/// Bounds on CP(derived, roi, range) from the members' individual CHIs, for
+/// Bounds on CP(derived, roi, range) from the members' individual CHIs —
+/// the IndexManager's or the bounded chi_cache's (docs/CACHING.md) — for
 /// thresholded INTERSECT / UNION (§3.4's monotone-aggregation extension).
 /// Returns an unbounded interval when the aggregation is not count-monotone
 /// or a member CHI is missing.
 Interval BoundsFromMembers(const MaskAggQuery& query, const MaskStore& store,
-                           IndexManager* index,
+                           IndexManager* index, const EngineOptions& opts,
                            const std::vector<MaskId>& members) {
-  if (query.op == MaskAggOp::kAverage || index == nullptr) {
+  if (query.op == MaskAggOp::kAverage ||
+      (index == nullptr && opts.chi_cache == nullptr)) {
     return Interval{-kInf, kInf};
   }
   const MaskMeta& first = store.meta(members.front());
@@ -84,7 +86,8 @@ Interval BoundsFromMembers(const MaskAggQuery& query, const MaskStore& store,
   int64_t sum_lower = 0;
   int64_t sum_upper = 0;
   for (MaskId id : members) {
-    const Chi* chi = index->Get(id);
+    const std::shared_ptr<const Chi> chi =
+        internal::ChiForBounds(index, opts.chi_cache, id);
     if (chi == nullptr) return Interval{-kInf, kInf};
     const CpBounds b = ComputeCpBounds(*chi, roi, above);
     min_upper = std::min(min_upper, b.upper);
@@ -133,19 +136,25 @@ Result<Mask> ComputeDerivedMask(MaskAggOp op, double threshold,
   return out;
 }
 
-const Chi* DerivedIndexCache::Get(int64_t group) const {
+std::shared_ptr<const Chi> DerivedIndexCache::Get(int64_t group) const {
+  if (pooled_ != nullptr) return pooled_->Get(group);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = chis_.find(group);
-  return it == chis_.end() ? nullptr : it->second.get();
+  return it == chis_.end() ? nullptr : it->second;
 }
 
 void DerivedIndexCache::Put(int64_t group, Chi chi) {
+  if (pooled_ != nullptr) {
+    pooled_->Put(group, std::move(chi));
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = chis_[group];
-  if (slot == nullptr) slot = std::make_unique<const Chi>(std::move(chi));
+  if (slot == nullptr) slot = std::make_shared<const Chi>(std::move(chi));
 }
 
 size_t DerivedIndexCache::size() const {
+  if (pooled_ != nullptr) return pooled_->size();
   std::lock_guard<std::mutex> lock(mu_);
   return chis_.size();
 }
@@ -202,14 +211,14 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
     GroupState gs{key, &members, Interval{-kInf, kInf}};
     if (opts.use_index) {
       // Prefer the derived mask's own CHI; fall back to member-CHI bounds.
-      const Chi* dchi =
+      const std::shared_ptr<const Chi> dchi =
           derived_cache != nullptr ? derived_cache->Get(key) : nullptr;
       if (dchi != nullptr) {
         const ROI roi = ResolveRoi(query.term, store.meta(members.front()));
         gs.bounds = Interval::FromBounds(
             ComputeCpBounds(*dchi, roi, query.term.range));
       } else {
-        gs.bounds = BoundsFromMembers(query, store, index, members);
+        gs.bounds = BoundsFromMembers(query, store, index, opts, members);
       }
     }
     states.push_back(gs);
@@ -227,12 +236,10 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
       for (MaskId id : members) {
         stats->bytes_read += static_cast<int64_t>(store.BlobSize(id));
       }
-      if (opts.use_index && opts.build_missing && index != nullptr) {
+      if (opts.use_index) {
         for (size_t i = 0; i < members.size(); ++i) {
-          if (!index->Has(members[i])) {
-            index->BuildAndPut(members[i], masks[i]);
-            stats->chis_built += 1;
-          }
+          stats->chis_built +=
+              internal::RetainChiAfterLoad(index, opts, members[i], masks[i]);
         }
       }
       return masks;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 
+#include "masksearch/cache/chi_cache.h"
 #include "masksearch/exec/options.h"
 #include "masksearch/exec/query_spec.h"
 #include "masksearch/index/index_manager.h"
@@ -29,19 +30,35 @@ Result<Mask> ComputeDerivedMask(MaskAggOp op, double threshold,
 /// \brief Cache of CHIs for derived masks, keyed by group value. One cache
 /// corresponds to one (MaskAggOp, threshold, selection) template; the
 /// Session keeps caches across queries to amortize builds.
+///
+/// Two backings: the default is an unbounded map (every derived CHI stays
+/// for the cache's lifetime — the pre-cache-subsystem behavior). With a
+/// BufferPool the entries are capacity-bounded and evicted under memory
+/// pressure (docs/CACHING.md); Get returns shared ownership, so a CHI
+/// remains valid for the caller even if it is evicted mid-use. First Put
+/// wins in both modes (builds are deterministic, the race is benign).
 class DerivedIndexCache {
  public:
   explicit DerivedIndexCache(ChiConfig config) : config_(config) {}
+  DerivedIndexCache(ChiConfig config, std::shared_ptr<BufferPool> pool)
+      : config_(config),
+        pooled_(pool == nullptr
+                    ? nullptr
+                    : std::make_unique<ChiCache>(std::move(pool), config,
+                                                 CacheSpace::kDerivedChi)) {}
 
   const ChiConfig& config() const { return config_; }
-  const Chi* Get(int64_t group) const;
+  std::shared_ptr<const Chi> Get(int64_t group) const;
   void Put(int64_t group, Chi chi);
   size_t size() const;
+  /// \brief Pool-backed (capacity-bounded) mode?
+  bool bounded() const { return pooled_ != nullptr; }
 
  private:
   ChiConfig config_;
+  std::unique_ptr<ChiCache> pooled_;  ///< null = unbounded map backing
   mutable std::mutex mu_;
-  std::map<int64_t, std::unique_ptr<const Chi>> chis_;
+  std::map<int64_t, std::shared_ptr<const Chi>> chis_;
 };
 
 /// \brief Ahead-of-time derived-index construction (§3.4: "the index for

@@ -7,6 +7,8 @@
 
 namespace masksearch {
 
+class ChiCache;
+
 /// \brief Knobs selecting between the paper's execution regimes.
 struct EngineOptions {
   /// Thread pool for the parallel filter stage (§3.2.1); null = inline.
@@ -74,6 +76,17 @@ struct EngineOptions {
   /// staler pruning decisions and more memory in flight. 0 = no extra
   /// depth.
   size_t prefetch_depth = 0;
+
+  /// Capacity-bounded individual-mask CHI cache (docs/CACHING.md). When
+  /// set, the filter stages of ExecuteFilter / ExecuteTopK / ExecuteMaskAgg
+  /// fall back to it for bounds when the IndexManager has no CHI, and
+  /// verification retains a loaded mask's CHI here when incremental
+  /// indexing (build_missing) is off — bounded incremental indexing.
+  /// Bounds stay sound regardless of evictions, so query results are
+  /// byte-identical with or without the cache; only pruning stats and I/O
+  /// counts improve. Null = no bounded CHI cache. Typically owned by the
+  /// Session (SessionOptions::cache).
+  ChiCache* chi_cache = nullptr;
 };
 
 }  // namespace masksearch

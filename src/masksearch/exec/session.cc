@@ -22,6 +22,20 @@ Result<std::unique_ptr<Session>> Session::Open(const MaskStore* store,
   auto session = std::unique_ptr<Session>(
       new Session(store, options, std::move(index)));
 
+  // Memory subsystem (docs/CACHING.md): resolve the buffer pool and stand
+  // up the bounded per-mask CHI cache hook. Derived-index caches pick the
+  // pool up lazily in derived_cache().
+  session->cache_ = BufferPool::MaybeCreate(
+      options.cache, options.cache_budget_bytes, options.cache_shards,
+      options.cache_admission);
+  // Incremental (MS-II) sessions retain every CHI in the IndexManager, so
+  // the bounded per-mask cache would never be consulted usefully there.
+  if (session->cache_ != nullptr && options.use_index &&
+      !options.incremental) {
+    session->chi_cache_ = std::make_unique<ChiCache>(
+        session->cache_, options.chi, CacheSpace::kMaskChi);
+  }
+
   if (options.use_index) {
     const bool have_file =
         !options.index_path.empty() && PathExists(options.index_path);
@@ -69,7 +83,7 @@ DerivedIndexCache* Session::derived_cache(MaskAggOp op, double threshold) {
       static_cast<int>(op), static_cast<int64_t>(std::llround(threshold * 1e9)));
   auto& slot = derived_caches_[key];
   if (slot == nullptr) {
-    slot = std::make_unique<DerivedIndexCache>(options_.chi);
+    slot = std::make_unique<DerivedIndexCache>(options_.chi, cache_);
   }
   return slot.get();
 }

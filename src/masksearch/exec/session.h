@@ -23,6 +23,8 @@
 #include <string>
 #include <utility>
 
+#include "masksearch/cache/buffer_pool.h"
+#include "masksearch/cache/chi_cache.h"
 #include "masksearch/exec/agg_executor.h"
 #include "masksearch/exec/filter_executor.h"
 #include "masksearch/exec/mask_agg.h"
@@ -53,6 +55,18 @@ struct SessionOptions {
   /// (§3.2 — CHIs read from disk on first use) instead of loading every CHI
   /// into memory up front. No bulk index build happens at open.
   bool attach_index = false;
+  /// Memory subsystem (docs/CACHING.md): buffer pool backing this session's
+  /// capacity-bounded CHI caches — the per-mask chi_cache hook
+  /// (EngineOptions::chi_cache) and the per-group derived-index caches.
+  /// Pass the same pool as MaskStore::Options::cache to run mask blobs and
+  /// CHIs under one byte budget. Null with cache_budget_bytes == 0 keeps
+  /// the unbounded legacy caches.
+  std::shared_ptr<BufferPool> cache;
+  /// Convenience: with `cache` null and a budget > 0, Open creates a
+  /// private pool with these knobs.
+  uint64_t cache_budget_bytes = 0;
+  int32_t cache_shards = 8;
+  CacheAdmission cache_admission = CacheAdmission::kScanResistant;
 };
 
 class Session {
@@ -76,8 +90,15 @@ class Session {
   const SessionOptions& options() const { return options_; }
 
   /// \brief Derived-mask CHI cache for a MASK_AGG template; caches persist
-  /// across queries within the session.
+  /// across queries within the session (capacity-bounded when the session
+  /// has a buffer pool).
   DerivedIndexCache* derived_cache(MaskAggOp op, double threshold);
+
+  /// \brief The session's buffer pool (null without one). Its CacheStats
+  /// cover every cache sharing the pool, including a CachedMaskStore's.
+  BufferPool* cache() const { return cache_.get(); }
+  /// \brief The bounded per-mask CHI cache hook (null without a pool).
+  ChiCache* chi_cache() const { return chi_cache_.get(); }
 
  private:
   Session(const MaskStore* store, SessionOptions options,
@@ -90,12 +111,15 @@ class Session {
     e.use_index = options_.use_index;
     e.build_missing = options_.use_index && options_.incremental;
     e.sort_by_bound = options_.sort_by_bound;
+    e.chi_cache = chi_cache_.get();
     return e;
   }
 
   const MaskStore* store_;
   SessionOptions options_;
   std::unique_ptr<IndexManager> index_;
+  std::shared_ptr<BufferPool> cache_;
+  std::unique_ptr<ChiCache> chi_cache_;
   std::map<std::pair<int, int64_t>, std::unique_ptr<DerivedIndexCache>>
       derived_caches_;
   double index_build_seconds_ = 0.0;

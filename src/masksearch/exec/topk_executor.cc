@@ -50,11 +50,13 @@ Result<TopKResult> ExecuteTopK(const MaskStore& store, IndexManager* index,
   result.stats.masks_targeted = static_cast<int64_t>(ids.size());
 
   // Pass 1 (filter-side): compute the order-expression interval of every
-  // indexed mask in parallel. Masks without a CHI get (-inf, +inf).
+  // indexed mask in parallel, falling back to the bounded chi_cache when
+  // the IndexManager has no CHI. Masks without either get (-inf, +inf).
   std::vector<Interval> intervals(ids.size(), Interval{-kInf, kInf});
-  if (opts.use_index && index != nullptr) {
+  if (opts.use_index && (index != nullptr || opts.chi_cache != nullptr)) {
     ParallelFor(opts.pool, ids.size(), [&](size_t i) {
-      if (const Chi* chi = index->Get(ids[i])) {
+      if (const std::shared_ptr<const Chi> chi =
+              internal::ChiForBounds(index, opts.chi_cache, ids[i])) {
         const std::vector<Interval> tb =
             internal::TermBoundsFromChi(*chi, store.meta(ids[i]), query.terms);
         intervals[i] = query.order_expr.EvalBounds(tb);

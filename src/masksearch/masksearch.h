@@ -18,6 +18,9 @@
 #ifndef MASKSEARCH_MASKSEARCH_H_
 #define MASKSEARCH_MASKSEARCH_H_
 
+#include "masksearch/cache/buffer_pool.h"
+#include "masksearch/cache/cached_mask_store.h"
+#include "masksearch/cache/chi_cache.h"
 #include "masksearch/common/random.h"
 #include "masksearch/common/result.h"
 #include "masksearch/common/stats.h"

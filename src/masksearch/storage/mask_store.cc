@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "masksearch/cache/cached_mask_store.h"
 #include "masksearch/common/serialize.h"
 #include "masksearch/storage/sharded_mask_store.h"
 
@@ -240,9 +241,21 @@ Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir,
     sizes.push_back(sz);
   }
 
-  return ShardedMaskStore::Create(dir, opts, static_cast<StorageKind>(kind),
-                                  num_shards, std::move(metas),
-                                  std::move(offsets), std::move(sizes));
+  MS_ASSIGN_OR_RETURN(
+      std::unique_ptr<MaskStore> store,
+      ShardedMaskStore::Create(dir, opts, static_cast<StorageKind>(kind),
+                               num_shards, std::move(metas),
+                               std::move(offsets), std::move(sizes)));
+
+  // Memory subsystem (docs/CACHING.md): with a pool configured, hand back
+  // the caching decorator instead of the raw store.
+  std::shared_ptr<BufferPool> pool =
+      BufferPool::MaybeCreate(opts.cache, opts.cache_budget_bytes,
+                              opts.cache_shards, opts.cache_admission);
+  if (pool != nullptr) {
+    return CachedMaskStore::Wrap(std::move(store), std::move(pool));
+  }
+  return store;
 }
 
 }  // namespace masksearch

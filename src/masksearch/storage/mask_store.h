@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "masksearch/cache/buffer_pool.h"
 #include "masksearch/common/io.h"
 #include "masksearch/common/result.h"
 #include "masksearch/common/thread_pool.h"
@@ -127,10 +128,25 @@ class MaskStore {
     /// (total_bytes/total_requests) is then per shard device; the store's
     /// own masks_loaded/bytes_read counters are unaffected.
     bool throttle_per_shard = false;
+    /// Buffer-pool cache of decoded masks (docs/CACHING.md). When `cache`
+    /// is set, Open wraps the store in a CachedMaskStore decorator serving
+    /// repeated loads from memory; sharing one pool across stores and a
+    /// Session's CHI caches runs them all under a single byte budget.
+    std::shared_ptr<BufferPool> cache;
+    /// Convenience: with `cache` null and a budget > 0, Open creates a
+    /// private pool with the knobs below and wraps the store in it.
+    uint64_t cache_budget_bytes = 0;
+    /// Lock stripes of the private pool (see BufferPool::Options::shards).
+    int32_t cache_shards = 8;
+    /// Admission policy of the private pool: kScanResistant keeps one-touch
+    /// full scans from flushing the re-referenced working set.
+    CacheAdmission cache_admission = CacheAdmission::kScanResistant;
   };
 
   /// \brief Opens a store, sniffing the manifest version: v1 single-file
   /// stores (the pre-sharding format) open unchanged as 1-shard stores.
+  /// With Options::cache (or cache_budget_bytes) set, the returned store is
+  /// wrapped in a CachedMaskStore decorator (docs/CACHING.md).
   static Result<std::unique_ptr<MaskStore>> Open(const std::string& dir,
                                                  const Options& opts);
   static Result<std::unique_ptr<MaskStore>> Open(const std::string& dir);
@@ -140,7 +156,12 @@ class MaskStore {
   MaskStore(const MaskStore&) = delete;
   MaskStore& operator=(const MaskStore&) = delete;
 
-  int64_t num_masks() const { return static_cast<int64_t>(metas_.size()); }
+  /// \brief Catalog accessors. Virtual so a decorator (CachedMaskStore)
+  /// can forward to the wrapped store instead of duplicating the per-mask
+  /// tables — at serving scale the catalog is tens of MB.
+  virtual int64_t num_masks() const {
+    return static_cast<int64_t>(metas_.size());
+  }
   StorageKind kind() const { return kind_; }
   const std::string& dir() const { return dir_; }
 
@@ -149,8 +170,8 @@ class MaskStore {
 
   /// \brief Metadata access never touches the data files (metadata lives in
   /// the catalog, §2.1).
-  const MaskMeta& meta(MaskId id) const { return metas_[id]; }
-  const std::vector<MaskMeta>& metas() const { return metas_; }
+  virtual const MaskMeta& meta(MaskId id) const { return metas_[id]; }
+  virtual const std::vector<MaskMeta>& metas() const { return metas_; }
 
   /// \brief Loads a full mask from disk (throttled + counted).
   virtual Result<Mask> LoadMask(MaskId id) const = 0;
@@ -178,18 +199,20 @@ class MaskStore {
   virtual Status ReadBlob(MaskId id, std::string* out) const = 0;
 
   /// \brief Stored blob size in bytes for mask `id`.
-  uint64_t BlobSize(MaskId id) const { return sizes_[id]; }
+  virtual uint64_t BlobSize(MaskId id) const { return sizes_[id]; }
 
   /// \brief Total bytes of all mask blobs (the "dataset size" of §4.1).
   /// Computed once at Open.
-  uint64_t TotalDataBytes() const { return total_data_bytes_; }
+  virtual uint64_t TotalDataBytes() const { return total_data_bytes_; }
 
   /// \brief Cumulative number of masks loaded (LoadMask / LoadMaskRows /
-  /// LoadMaskBatch entries, duplicates included).
-  uint64_t masks_loaded() const { return masks_loaded_.load(); }
+  /// LoadMaskBatch entries, duplicates included). A CachedMaskStore
+  /// forwards to the wrapped store, so the counters keep meaning physical
+  /// storage traffic: cache hits move neither counter.
+  virtual uint64_t masks_loaded() const { return masks_loaded_.load(); }
   /// \brief Cumulative bytes read from the data file(s).
-  uint64_t bytes_read() const { return bytes_read_.load(); }
-  void ResetCounters() {
+  virtual uint64_t bytes_read() const { return bytes_read_.load(); }
+  virtual void ResetCounters() {
     masks_loaded_.store(0);
     bytes_read_.store(0);
   }

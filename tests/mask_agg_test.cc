@@ -74,10 +74,10 @@ TEST(DerivedIndexCacheTest, PutGetAndFirstWins) {
   Rng rng(1);
   Mask m = RandomMask(&rng, 16, 16);
   cache.Put(7, BuildChi(m, TestConfig()));
-  const Chi* first = cache.Get(7);
+  const std::shared_ptr<const Chi> first = cache.Get(7);
   ASSERT_NE(first, nullptr);
   cache.Put(7, BuildChi(RandomMask(&rng, 16, 16), TestConfig()));
-  EXPECT_EQ(cache.Get(7), first);
+  EXPECT_EQ(cache.Get(7).get(), first.get());
   EXPECT_EQ(cache.size(), 1u);
 }
 

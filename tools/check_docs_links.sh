@@ -9,6 +9,16 @@ cd "$(dirname "$0")/.."
 
 status=0
 checked=0
+
+# The docs tree has a required core: a rename or deletion must fail CI even
+# if no page links to the victim yet.
+for doc in docs/ARCHITECTURE.md docs/STORAGE_FORMAT.md docs/PERFORMANCE.md \
+           docs/CACHING.md; do
+  if [ ! -f "$doc" ]; then
+    echo "missing required doc: $doc" >&2
+    status=1
+  fi
+done
 for f in README.md ROADMAP.md docs/*.md; do
   [ -f "$f" ] || continue
   base="$(dirname "$f")"

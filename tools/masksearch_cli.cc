@@ -18,12 +18,24 @@
 //   masksearch_cli shard --dir D --out D2 [--shards N]
 //       Rewrite a store with N data-file shards (blobs copied verbatim;
 //       --shards 1 converts back to the single-file layout).
+//
+//   masksearch_cli stats --dir D [--sql S] [--repeat N] [--cache-mib M]
+//                        [--cache-shards N] [--cache-admission all|scan]
+//       Open the store behind the buffer-pool cache (docs/CACHING.md),
+//       optionally run a query N times through a session sharing the pool,
+//       and print store counters + CacheStats (hit ratio, resident bytes,
+//       evictions, pins).
+//
+// The cache flags are also accepted by `query`: --cache-mib M enables a
+// shared buffer pool for the store's mask blobs and the session's CHI
+// caches.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "masksearch/exec/explain.h"
@@ -71,13 +83,17 @@ Args ParseArgs(int argc, char** argv) {
 int Usage(int exit_code = 2) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
                "masksearch_cli %s\n"
-               "usage: masksearch_cli <generate|info|query|explain> [options]\n"
+               "usage: masksearch_cli <generate|info|query|stats|explain>"
+               " [options]\n"
                "  generate --dir D [--images N] [--models M] [--width W]\n"
                "           [--height H] [--seed S] [--compressed]\n"
                "  info     --dir D\n"
                "  query    --dir D --sql S [--incremental] [--no-index]\n"
                "           [--cell C] [--bins B] [--index-path P] [--explain]\n"
-               "           [--limit-print K]\n"
+               "           [--limit-print K] [--cache-mib M]\n"
+               "           [--cache-shards N] [--cache-admission all|scan]\n"
+               "  stats    --dir D [--sql S] [--repeat N] [--cache-mib M]\n"
+               "           [--cache-shards N] [--cache-admission all|scan]\n"
                "  explain  --sql S\n"
                "  shard    --dir D --out D2 [--shards N]\n"
                "  import   --dir D --npy-dir P [--models M]\n"
@@ -85,6 +101,18 @@ int Usage(int exit_code = 2) {
                "  --help | --version\n",
                VersionString());
   return exit_code;
+}
+
+/// Buffer pool from the shared cache flags; null when --cache-mib is 0 /
+/// absent (`def_mib` lets `stats` default the cache on).
+std::shared_ptr<BufferPool> PoolFromArgs(const Args& args, int64_t def_mib) {
+  const int64_t mib = std::max<int64_t>(0, args.GetInt("cache-mib", def_mib));
+  return BufferPool::MaybeCreate(
+      nullptr, static_cast<uint64_t>(mib) << 20,
+      static_cast<int32_t>(args.GetInt("cache-shards", 8)),
+      args.Get("cache-admission", "scan") == "all"
+          ? CacheAdmission::kAdmitAll
+          : CacheAdmission::kScanResistant);
 }
 
 int RunGenerate(const Args& args) {
@@ -140,6 +168,41 @@ int RunInfo(const Args& args) {
   return 0;
 }
 
+/// SessionOptions shared by `query` and `stats`: CHI geometry defaulted
+/// from the store's mask size, regime flags, and the cache pool. Keeping
+/// this in one place guarantees `stats` measures the same session
+/// configuration `query` executes.
+SessionOptions SessionOptionsFromArgs(const Args& args, const MaskStore& s,
+                                      std::shared_ptr<BufferPool> pool) {
+  SessionOptions opts;
+  const int32_t side = s.num_masks() > 0 ? s.meta(0).width : 112;
+  opts.chi.cell_width = opts.chi.cell_height =
+      static_cast<int32_t>(args.GetInt("cell", std::max(1, side / 8)));
+  opts.chi.num_bins = static_cast<int32_t>(args.GetInt("bins", 16));
+  opts.incremental = args.Has("incremental");
+  opts.use_index = !args.Has("no-index");
+  opts.index_path = args.Get("index-path");
+  opts.attach_index = args.Has("attach-index");
+  opts.cache = std::move(pool);
+  return opts;
+}
+
+/// Executes a bound query of any kind, discarding the results (the
+/// cache-warming workload of `stats`).
+Status ExecuteBoundQuery(Session* session, const sql::BoundQuery& bound) {
+  switch (bound.kind) {
+    case sql::BoundQuery::Kind::kFilter:
+      return session->Filter(bound.filter).status();
+    case sql::BoundQuery::Kind::kTopK:
+      return session->TopK(bound.topk).status();
+    case sql::BoundQuery::Kind::kAggregation:
+      return session->Aggregate(bound.agg).status();
+    case sql::BoundQuery::Kind::kMaskAgg:
+      return session->MaskAggregate(bound.mask_agg).status();
+  }
+  return Status::Internal("unknown bound query kind");
+}
+
 std::string ExplainBound(const sql::BoundQuery& bound) {
   switch (bound.kind) {
     case sql::BoundQuery::Kind::kFilter:
@@ -185,6 +248,77 @@ int RunShard(const Args& args) {
               static_cast<long long>((*store)->num_masks()),
               (*store)->num_shards(), static_cast<long long>(shards),
               args.Get("out").c_str());
+  return 0;
+}
+
+/// Opens a store behind the buffer-pool cache, optionally runs one SQL
+/// query `--repeat` times through a session sharing the pool, and prints
+/// store counters + CacheStats — the observability surface of
+/// docs/CACHING.md. The default --repeat 2 makes warm-cache behavior (hit
+/// ratio > 0) visible immediately.
+int RunStats(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  const std::shared_ptr<BufferPool> pool =
+      PoolFromArgs(args, /*def_mib=*/256);
+  MaskStore::Options store_opts;
+  store_opts.cache = pool;
+  auto store = MaskStore::Open(args.Get("dir"), store_opts);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  const MaskStore& s = **store;
+
+  std::unique_ptr<Session> session;
+  if (args.Has("sql")) {
+    auto bound = sql::ParseAndBind(args.Get("sql"));
+    if (!bound.ok()) {
+      std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+      return 1;
+    }
+    auto opened =
+        Session::Open(store->get(), SessionOptionsFromArgs(args, s, pool));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "session failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    session = std::move(*opened);
+    const int64_t repeat = std::max<int64_t>(1, args.GetInt("repeat", 2));
+    for (int64_t r = 0; r < repeat; ++r) {
+      const Status st = ExecuteBoundQuery(session.get(), *bound);
+      if (!st.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("ran query %lld time(s)\n", static_cast<long long>(repeat));
+  }
+
+  std::printf("store: %s\n", s.dir().c_str());
+  std::printf("  masks: %lld  shards: %d  data: %.2f MiB (%s)\n",
+              static_cast<long long>(s.num_masks()), s.num_shards(),
+              s.TotalDataBytes() / 1048576.0,
+              s.kind() == StorageKind::kRawFloat32 ? "raw float32"
+                                                   : "compressed");
+  std::printf("  physical reads: %llu masks, %.2f MiB\n",
+              static_cast<unsigned long long>(s.masks_loaded()),
+              s.bytes_read() / 1048576.0);
+  if (pool != nullptr) {
+    const CacheStats stats = pool->Stats();
+    std::printf("cache: %s\n", stats.ToString().c_str());
+    if (const auto* cached = dynamic_cast<const CachedMaskStore*>(&s)) {
+      std::printf("  store blob traffic: %llu hits / %llu misses\n",
+                  static_cast<unsigned long long>(cached->cache_hits()),
+                  static_cast<unsigned long long>(cached->cache_misses()));
+    }
+    if (session != nullptr && session->chi_cache() != nullptr) {
+      std::printf("  resident per-mask CHIs: %zu\n",
+                  session->chi_cache()->size());
+    }
+  } else {
+    std::printf("cache: disabled (--cache-mib 0)\n");
+  }
   return 0;
 }
 
@@ -269,7 +403,12 @@ int RunExport(const Args& args) {
 
 int RunQuery(const Args& args) {
   if (!args.Has("dir") || !args.Has("sql")) return Usage();
-  auto store = MaskStore::Open(args.Get("dir"));
+  // One pool for the store's mask blobs and the session's CHI caches: a
+  // single byte budget (docs/CACHING.md).
+  const std::shared_ptr<BufferPool> pool = PoolFromArgs(args, /*def_mib=*/0);
+  MaskStore::Options store_opts;
+  store_opts.cache = pool;
+  auto store = MaskStore::Open(args.Get("dir"), store_opts);
   if (!store.ok()) {
     std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
     return 1;
@@ -283,15 +422,7 @@ int RunQuery(const Args& args) {
     std::printf("%s\n", ExplainBound(*bound).c_str());
   }
 
-  SessionOptions opts;
-  const int32_t side = (*store)->num_masks() > 0 ? (*store)->meta(0).width : 112;
-  opts.chi.cell_width = opts.chi.cell_height =
-      static_cast<int32_t>(args.GetInt("cell", std::max(1, side / 8)));
-  opts.chi.num_bins = static_cast<int32_t>(args.GetInt("bins", 16));
-  opts.incremental = args.Has("incremental");
-  opts.use_index = !args.Has("no-index");
-  opts.index_path = args.Get("index-path");
-  opts.attach_index = args.Has("attach-index");
+  const SessionOptions opts = SessionOptionsFromArgs(args, **store, pool);
   auto session = Session::Open(store->get(), opts);
   if (!session.ok()) {
     std::fprintf(stderr, "session failed: %s\n",
@@ -301,6 +432,16 @@ int RunQuery(const Args& args) {
   if (!opts.incremental && opts.use_index) {
     std::printf("-- index built in %.2fs\n", (*session)->index_build_seconds());
   }
+
+  // With a pool configured, report its stats on every exit path.
+  struct CacheReport {
+    const BufferPool* pool;
+    ~CacheReport() {
+      if (pool != nullptr) {
+        std::printf("-- cache: %s\n", pool->Stats().ToString().c_str());
+      }
+    }
+  } cache_report{pool.get()};
 
   const size_t print_limit =
       static_cast<size_t>(args.GetInt("limit-print", 20));
@@ -374,6 +515,7 @@ int main(int argc, char** argv) {
   if (args.command == "generate") return RunGenerate(args);
   if (args.command == "info") return RunInfo(args);
   if (args.command == "query") return RunQuery(args);
+  if (args.command == "stats") return RunStats(args);
   if (args.command == "explain") return RunExplain(args);
   if (args.command == "shard") return RunShard(args);
   if (args.command == "import") return RunImport(args);

@@ -65,12 +65,24 @@ done
 echo "bench JSON results:"
 ls -l "$JSON_DIR"/BENCH_*.json 2>/dev/null || echo "  (none written)"
 
-# The sharded-I/O and overlapped-pipeline benches must be part of the
-# micro-kernel run (guards against the perf-trajectory benches bit-rotting
-# out of the driver).
-for bench in BM_ShardedBatchIopBound BM_MaskAggVerifyPipeline; do
+# The sharded-I/O, overlapped-pipeline, and cold/warm cache benches must be
+# part of the micro-kernel run (guards against the perf-trajectory benches
+# bit-rotting out of the driver).
+for bench in BM_ShardedBatchIopBound BM_MaskAggVerifyPipeline \
+             BM_CachedBatchLoadCold BM_CachedBatchLoadWarm \
+             BM_RepeatedFilterWarmCache; do
   if ! grep -q "$bench" "$JSON_DIR/BENCH_micro_kernels.json" 2>/dev/null; then
     echo "MISSING: $bench not in BENCH_micro_kernels.json" >&2
+    status=1
+  fi
+done
+
+# Every narrative driver's JSON must record which cache mode ran (the
+# --warmup-passes / --cold satellite of the cache subsystem).
+for json in "$JSON_DIR"/BENCH_*.json; do
+  [ "$(basename "$json")" = BENCH_micro_kernels.json ] && continue
+  if ! grep -q '"cache_cold"' "$json"; then
+    echo "MISSING: cache_cold mode marker not in $(basename "$json")" >&2
     status=1
   fi
 done
