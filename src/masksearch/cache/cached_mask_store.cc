@@ -32,6 +32,19 @@ std::unique_ptr<MaskStore> CachedMaskStore::Wrap(
       new CachedMaskStore(std::move(inner), std::move(pool)));
 }
 
+size_t CachedMaskStore::CountResident(const std::vector<MaskId>& ids) const {
+  size_t resident = 0;
+  for (MaskId id : ids) {
+    // Contains is a pure probe: no hit/miss accounting, no promotion — a
+    // prefetch decision must not distort the cache statistics or the LRU
+    // order the real accesses will see.
+    if (id >= 0 && id < num_masks() && pool_->Contains(KeyFor(id))) {
+      ++resident;
+    }
+  }
+  return resident;
+}
+
 Result<BufferPool::Pin> CachedMaskStore::PinMask(MaskId id) const {
   BufferPool::Pin pin = pool_->Lookup(KeyFor(id));
   if (pin) {

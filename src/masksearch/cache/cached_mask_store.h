@@ -55,6 +55,8 @@ class CachedMaskStore final : public MaskStore {
     return inner_->TotalDataBytes();
   }
 
+  size_t CountResident(const std::vector<MaskId>& ids) const override;
+
   Result<Mask> LoadMask(MaskId id) const override;
   Result<std::vector<Mask>> LoadMaskBatch(
       const std::vector<MaskId>& ids) const override;

@@ -24,6 +24,13 @@ enum class StatusCode : int {
   kCorruption = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  /// The request was shed rather than queued (admission control): the
+  /// service is over its queue-depth or queued-bytes limit. Retryable.
+  kUnavailable = 8,
+  /// The request's deadline expired before (or while) it executed.
+  kDeadlineExceeded = 9,
+  /// The request was cancelled by its client or by service shutdown.
+  kCancelled = 10,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK", "IOError"...).
@@ -65,6 +72,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -80,6 +96,11 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// \brief "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -31,6 +31,24 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+    ++active_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    if (tasks_.empty() && active_ == 0) done_cv_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });

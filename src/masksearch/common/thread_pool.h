@@ -34,7 +34,20 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// \brief Blocks until all submitted tasks have completed.
+  ///
+  /// Never call this from inside a pool task: the caller would wait for
+  /// itself. Use TryRunOneTask / WaitHelping for cooperative waiting from
+  /// task context.
   void Wait();
+
+  /// \brief Pops one queued task and runs it on the calling thread; returns
+  /// false (without blocking) when the queue is empty. The task counts as
+  /// active for Wait() while it runs. This is the building block of
+  /// cooperative waiting: a thread that is itself a pool task (a service
+  /// worker dispatched onto a shared pool, a prefetch task awaiting nested
+  /// loads) drains queued work instead of blocking the only threads that
+  /// could complete it.
+  bool TryRunOneTask();
 
   /// \brief Process-wide default pool (lazily constructed, all cores).
   static ThreadPool* Default();

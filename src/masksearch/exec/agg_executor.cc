@@ -98,6 +98,8 @@ Result<AggResult> ExecuteAggregation(const MaskStore& store,
     return Status::InvalidArgument("aggregation query requires k > 0");
   }
 
+  MS_RETURN_NOT_OK(CheckControl(opts.control));
+
   Stopwatch timer;
   const std::vector<MaskId> ids = ResolveSelection(store, query.selection);
 
@@ -166,6 +168,8 @@ Result<AggResult> ExecuteAggregation(const MaskStore& store,
   if (!query.k.has_value()) {
     // HAVING-only: classic three-case filter at group granularity.
     for (const GroupState& gs : states) {
+      // Group boundary: the deadline/cancel checkpoint of this executor.
+      MS_RETURN_NOT_OK(CheckControl(opts.control));
       const Tri t =
           CompareBounds(gs.agg_bounds, *query.having_op, query.having_threshold);
       if (t == Tri::kFalse) {
@@ -206,6 +210,8 @@ Result<AggResult> ExecuteAggregation(const MaskStore& store,
   }
 
   for (size_t oi : order) {
+    // Group boundary: the deadline/cancel checkpoint of this executor.
+    MS_RETURN_NOT_OK(CheckControl(opts.control));
     const GroupState& gs = states[oi];
     // A group certainly failing the HAVING clause can never appear.
     if (query.having_op.has_value() &&

@@ -53,6 +53,8 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
         " but query defines only " + std::to_string(query.terms.size()));
   }
 
+  MS_RETURN_NOT_OK(CheckControl(opts.control));
+
   Stopwatch timer;
   const std::vector<MaskId> ids = ResolveSelection(store, query.selection);
 
@@ -60,6 +62,7 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
   std::atomic<int64_t> loaded{0};
   std::atomic<int64_t> bytes{0};
   std::atomic<int64_t> built{0};
+  std::atomic<int64_t> prefetch_skips{0};
   std::atomic<bool> failed{false};
 
   if (!opts.batch_io) {
@@ -120,9 +123,13 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
       std::vector<size_t> idxs;  ///< indices into ids/outcomes
       Result<std::vector<Mask>> masks = Status::Internal("not loaded");
       std::shared_ptr<Latch> done;
+      /// Cache-aware prefetch: every member was resident at Start time, so
+      /// no io_pool load was scheduled; the batch is loaded (from memory)
+      /// at Finish time instead.
+      std::vector<MaskId> deferred_ids;
     };
 
-    LatchDrainGuard drain_on_exit;
+    LatchDrainGuard drain_on_exit(opts.io_pool);
 
     auto StartLoad = [&](std::vector<size_t> idxs)
         -> std::shared_ptr<BatchLoad> {
@@ -132,6 +139,16 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
       batch_ids.reserve(b->idxs.size());
       for (size_t i : b->idxs) batch_ids.push_back(ids[i]);
       if (opts.io_pool != nullptr) {
+        // Cache-aware prefetch (docs/CACHING.md): a batch whose members are
+        // all resident needs no physical reads, so scheduling its load as
+        // an io_pool task would only queue a no-op behind real I/O. Serve
+        // it from memory at Finish time instead. The probe is advisory — an
+        // eviction in between degrades to a synchronous miss, nothing more.
+        if (store.CountResident(batch_ids) == batch_ids.size()) {
+          prefetch_skips.fetch_add(1, std::memory_order_relaxed);
+          b->deferred_ids = std::move(batch_ids);
+          return b;
+        }
         b->done = std::make_shared<Latch>(1);
         drain_on_exit.Add(b->done);
         opts.io_pool->Submit([&store, b, batch_ids] {
@@ -145,7 +162,11 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
     };
 
     auto FinishLoad = [&](BatchLoad& b) {
-      if (b.done != nullptr) b.done->Wait();
+      // Cooperative wait: a service worker running this executor may itself
+      // be a task of io_pool; helping drains queued loads instead of
+      // deadlocking the pool against its own pipeline.
+      if (b.done != nullptr) WaitHelping(b.done.get(), opts.io_pool);
+      if (!b.deferred_ids.empty()) b.masks = store.LoadMaskBatch(b.deferred_ids);
       const size_t n = b.idxs.size();
       loaded.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
       int64_t blob_bytes = 0;
@@ -183,6 +204,10 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
     size_t next = 0;
     std::deque<std::shared_ptr<BatchLoad>> inflight;
     while ((next < verify_idx.size() || !inflight.empty()) && !failed.load()) {
+      // Batch boundary: the only place a deadline/cancel can take effect,
+      // so a request overruns by at most one batch. drain_on_exit waits for
+      // in-flight loads before the typed status propagates.
+      MS_RETURN_NOT_OK(CheckControl(opts.control));
       while (inflight.size() < depth && next < verify_idx.size()) {
         const size_t take = std::min(batch, verify_idx.size() - next);
         inflight.push_back(StartLoad(std::vector<size_t>(
@@ -223,6 +248,7 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
   result.stats.masks_loaded = loaded.load();
   result.stats.bytes_read = bytes.load();
   result.stats.chis_built = built.load();
+  result.stats.prefetch_skipped = prefetch_skips.load();
   result.stats.seconds = timer.ElapsedSeconds();
   return result;
 }

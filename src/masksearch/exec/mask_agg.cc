@@ -188,6 +188,7 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
   if (query.k.has_value() && *query.k == 0) {
     return Status::InvalidArgument("mask-agg query requires k > 0");
   }
+  MS_RETURN_NOT_OK(CheckControl(opts.control));
 
   Stopwatch timer;
   const std::vector<MaskId> ids = ResolveSelection(store, query.selection);
@@ -314,6 +315,10 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
   struct GroupLoad {
     Result<std::vector<Mask>> masks = Status::Internal("not loaded");
     ExecStats stats;
+    /// Cache-aware prefetch: every member was resident at Start time, so no
+    /// io_pool load was scheduled — the group loads (from memory) at verify
+    /// time.
+    bool deferred = false;
   };
   struct Batch {
     std::vector<size_t> idxs;  ///< indices into `states`
@@ -325,25 +330,43 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
 
   // Every launched load task counts down one latch; the guard waits on all
   // of them before any return path, keeping the tasks' captured locals
-  // alive.
-  LatchDrainGuard drain_on_exit;
+  // alive (helping-drain: the guard may run on an io_pool task itself).
+  LatchDrainGuard drain_on_exit(opts.io_pool);
 
   auto StartBatch = [&](std::vector<size_t> idxs) -> Batch {
     Batch b;
     b.idxs = std::move(idxs);
     if (overlap && !b.idxs.empty()) {
       b.loads = std::make_shared<std::vector<GroupLoad>>(b.idxs.size());
-      b.done = std::make_shared<Latch>(b.idxs.size());
-      drain_on_exit.Add(b.done);
+      // Cache-aware prefetch (docs/CACHING.md): groups whose members are
+      // all resident need no physical reads — loading them via io_pool
+      // tasks would only queue no-ops behind real I/O. They load from
+      // memory at verify time instead; the latch counts only the groups
+      // with actual (potential) misses. The probe is advisory: an eviction
+      // in between degrades to a synchronous miss, nothing more.
+      std::vector<size_t> submit;
       for (size_t j = 0; j < b.idxs.size(); ++j) {
-        const std::vector<MaskId>* members = states[b.idxs[j]].members;
-        auto loads = b.loads;
-        auto done = b.done;
-        opts.io_pool->Submit([&, loads, done, members, j] {
-          GroupLoad& gl = (*loads)[j];
-          gl.masks = LoadMembers(*members, &gl.stats);
-          done->CountDown();
-        });
+        const std::vector<MaskId>& members = *states[b.idxs[j]].members;
+        if (store.CountResident(members) == members.size()) {
+          (*b.loads)[j].deferred = true;
+          ++result.stats.prefetch_skipped;  // StartBatch runs on one thread
+        } else {
+          submit.push_back(j);
+        }
+      }
+      if (!submit.empty()) {
+        b.done = std::make_shared<Latch>(submit.size());
+        drain_on_exit.Add(b.done);
+        for (size_t j : submit) {
+          const std::vector<MaskId>* members = states[b.idxs[j]].members;
+          auto loads = b.loads;
+          auto done = b.done;
+          opts.io_pool->Submit([&, loads, done, members, j] {
+            GroupLoad& gl = (*loads)[j];
+            gl.masks = LoadMembers(*members, &gl.stats);
+            done->CountDown();
+          });
+        }
       }
     }
     return b;
@@ -359,9 +382,15 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
     std::vector<ExecStats> local(n);
     std::vector<Status> statuses(n, Status::OK());
     if (b.loads != nullptr) {
-      b.done->Wait();
+      // Cooperative wait: a service worker running this executor may itself
+      // be a task of io_pool; helping drains queued loads instead of
+      // deadlocking the pool against its own pipeline.
+      if (b.done != nullptr) WaitHelping(b.done.get(), opts.io_pool);
       ParallelFor(n > 1 ? opts.pool : nullptr, n, [&](size_t j) {
         GroupLoad& gl = (*b.loads)[j];
+        if (gl.deferred) {
+          gl.masks = LoadMembers(*states[b.idxs[j]].members, &gl.stats);
+        }
         local[j] = gl.stats;
         if (!gl.masks.ok()) {
           statuses[j] = gl.masks.status();
@@ -440,6 +469,9 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
       size_t consumed = 0;
       std::deque<Batch> inflight;
       while (next < verify_idx.size() || !inflight.empty()) {
+        // Batch boundary: deadline/cancel checks live here (one batch of
+        // overrun at most); drain_on_exit settles in-flight loads first.
+        MS_RETURN_NOT_OK(CheckControl(opts.control));
         while (inflight.size() < depth && next < verify_idx.size()) {
           const size_t take = std::min(batch, verify_idx.size() - next);
           inflight.push_back(StartBatch(std::vector<size_t>(
@@ -541,6 +573,9 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
 
   std::deque<Batch> inflight;
   for (;;) {
+    // Batch boundary: deadline/cancel checks live here (one batch of
+    // overrun at most); drain_on_exit settles in-flight loads first.
+    MS_RETURN_NOT_OK(CheckControl(opts.control));
     while (inflight.size() < depth) {
       std::vector<size_t> idxs = FormNextBatch();
       if (idxs.empty()) break;

@@ -3,11 +3,52 @@
 #ifndef MASKSEARCH_EXEC_OPTIONS_H_
 #define MASKSEARCH_EXEC_OPTIONS_H_
 
+#include <atomic>
+#include <chrono>
+
+#include "masksearch/common/status.h"
 #include "masksearch/common/thread_pool.h"
 
 namespace masksearch {
 
 class ChiCache;
+
+/// \brief Per-request cancellation + deadline state (docs/SERVING.md).
+///
+/// Executors poll Check() at batch boundaries — between verification
+/// batches of the staged filter / mask-agg pipelines, between groups or
+/// heap updates of the scalar executors — and abort with a typed
+/// DeadlineExceeded / Cancelled status. Polling at batch granularity keeps
+/// the hot per-pixel loops branch-free: a request overruns its deadline by
+/// at most one batch of work. One QueryControl belongs to one request; it
+/// may be Cancel()ed from any thread while the request executes.
+struct QueryControl {
+  /// Absolute expiry; time_point::max() = no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::atomic<bool> cancelled{false};
+
+  void Cancel() { cancelled.store(true, std::memory_order_relaxed); }
+
+  bool HasDeadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+
+  Status Check() const {
+    if (cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (HasDeadline() && std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Check() of an optional control; OK when `control` is null.
+inline Status CheckControl(const QueryControl* control) {
+  return control == nullptr ? Status::OK() : control->Check();
+}
 
 /// \brief Knobs selecting between the paper's execution regimes.
 struct EngineOptions {
@@ -87,6 +128,12 @@ struct EngineOptions {
   /// counts improve. Null = no bounded CHI cache. Typically owned by the
   /// Session (SessionOptions::cache).
   ChiCache* chi_cache = nullptr;
+
+  /// Per-request deadline / cancellation state, polled at batch boundaries
+  /// (see QueryControl). Null = the request can neither expire nor be
+  /// cancelled. Owned by the caller (the service layer's request state);
+  /// must outlive the executor call.
+  const QueryControl* control = nullptr;
 };
 
 }  // namespace masksearch

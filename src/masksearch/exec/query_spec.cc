@@ -53,6 +53,7 @@ ExecStats& ExecStats::operator+=(const ExecStats& o) {
   masks_loaded += o.masks_loaded;
   bytes_read += o.bytes_read;
   chis_built += o.chis_built;
+  prefetch_skipped += o.prefetch_skipped;
   seconds += o.seconds;
   return *this;
 }
@@ -61,14 +62,16 @@ std::string ExecStats::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "targeted=%lld pruned=%lld accepted=%lld candidates=%lld "
-                "loaded=%lld bytes=%lld chis_built=%lld fml=%.4f t=%.3fs",
+                "loaded=%lld bytes=%lld chis_built=%lld prefetch_skips=%lld "
+                "fml=%.4f t=%.3fs",
                 static_cast<long long>(masks_targeted),
                 static_cast<long long>(pruned),
                 static_cast<long long>(accepted_by_bounds),
                 static_cast<long long>(candidates),
                 static_cast<long long>(masks_loaded),
                 static_cast<long long>(bytes_read),
-                static_cast<long long>(chis_built), FML(), seconds);
+                static_cast<long long>(chis_built),
+                static_cast<long long>(prefetch_skipped), FML(), seconds);
   return buf;
 }
 

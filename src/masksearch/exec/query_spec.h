@@ -54,6 +54,13 @@ struct ExecStats {
   int64_t bytes_read = 0;
   /// CHIs built during this query (incremental indexing, §3.6).
   int64_t chis_built = 0;
+  /// Overlapped-pipeline io_pool load tasks skipped because every mask they
+  /// would fetch was already resident in the buffer pool — the cache-aware
+  /// prefetch of docs/CACHING.md. One count per avoided load task, which is
+  /// the pipeline's load unit: a whole verification batch in the staged
+  /// filter, one group's members in mask-agg. Skipped loads are served from
+  /// memory at verify time without touching the io_pool or the disk.
+  int64_t prefetch_skipped = 0;
   double seconds = 0.0;
 
   /// Fraction of targeted masks loaded from disk (§4.4). Q4-style queries

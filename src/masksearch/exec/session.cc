@@ -59,28 +59,35 @@ Result<std::unique_ptr<Session>> Session::Open(const MaskStore* store,
   return session;
 }
 
-Result<FilterResult> Session::Filter(const FilterQuery& q) {
-  return ExecuteFilter(*store_, index_.get(), q, engine_options());
+Result<FilterResult> Session::Filter(const FilterQuery& q,
+                                     const QueryControl* control) {
+  return ExecuteFilter(*store_, index_.get(), q, engine_options(control));
 }
 
-Result<TopKResult> Session::TopK(const TopKQuery& q) {
-  return ExecuteTopK(*store_, index_.get(), q, engine_options());
+Result<TopKResult> Session::TopK(const TopKQuery& q,
+                                 const QueryControl* control) {
+  return ExecuteTopK(*store_, index_.get(), q, engine_options(control));
 }
 
-Result<AggResult> Session::Aggregate(const AggregationQuery& q) {
-  return ExecuteAggregation(*store_, index_.get(), q, engine_options());
+Result<AggResult> Session::Aggregate(const AggregationQuery& q,
+                                     const QueryControl* control) {
+  return ExecuteAggregation(*store_, index_.get(), q,
+                            engine_options(control));
 }
 
-Result<AggResult> Session::MaskAggregate(const MaskAggQuery& q) {
+Result<AggResult> Session::MaskAggregate(const MaskAggQuery& q,
+                                         const QueryControl* control) {
   DerivedIndexCache* cache =
       options_.use_index ? derived_cache(q.op, q.agg_threshold) : nullptr;
-  return ExecuteMaskAgg(*store_, index_.get(), cache, q, engine_options());
+  return ExecuteMaskAgg(*store_, index_.get(), cache, q,
+                        engine_options(control));
 }
 
 DerivedIndexCache* Session::derived_cache(MaskAggOp op, double threshold) {
   // Quantize the threshold so fp noise does not fragment the cache.
   const auto key = std::make_pair(
       static_cast<int>(op), static_cast<int64_t>(std::llround(threshold * 1e9)));
+  std::lock_guard<std::mutex> lock(derived_mu_);
   auto& slot = derived_caches_[key];
   if (slot == nullptr) {
     slot = std::make_unique<DerivedIndexCache>(options_.chi, cache_);

@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -48,6 +49,14 @@ struct SessionOptions {
   /// `pool`.
   ThreadPool* io_pool = nullptr;
   bool sort_by_bound = true;
+  /// Verification batch sizes (EngineOptions::filter_verify_batch /
+  /// agg_verify_batch; 0 = auto). Results are batch-size independent;
+  /// serving deployments pick smaller batches for finer-grained
+  /// deadline/cancel checks — executors poll QueryControl at batch
+  /// boundaries, so a request can overrun its deadline by at most one
+  /// batch of work (docs/SERVING.md).
+  size_t filter_verify_batch = 0;
+  size_t agg_verify_batch = 0;
   /// Optional CHI persistence file. If it exists it is loaded at open;
   /// Save() writes it.
   std::string index_path;
@@ -69,15 +78,30 @@ struct SessionOptions {
   CacheAdmission cache_admission = CacheAdmission::kScanResistant;
 };
 
+/// Thread safety: after Open returns, the query methods (Filter / TopK /
+/// Aggregate / MaskAggregate) are safe to call concurrently from many
+/// threads — the serving layer (docs/SERVING.md) runs its executor slots
+/// against one shared Session. The shared state they touch is concurrency-
+/// safe by construction: MaskStore loads, IndexManager lookup/registration,
+/// the BufferPool-backed caches, and the (mutex-guarded) derived-cache
+/// registry. Save() and the accessors are not synchronized against
+/// concurrent queries; call them from one thread at a quiescent point.
 class Session {
  public:
   static Result<std::unique_ptr<Session>> Open(const MaskStore* store,
                                                const SessionOptions& options);
 
-  Result<FilterResult> Filter(const FilterQuery& q);
-  Result<TopKResult> TopK(const TopKQuery& q);
-  Result<AggResult> Aggregate(const AggregationQuery& q);
-  Result<AggResult> MaskAggregate(const MaskAggQuery& q);
+  /// Query entry points. `control` (optional, caller-owned, must outlive
+  /// the call) carries the per-request deadline / cancellation state the
+  /// executors poll at batch boundaries (see QueryControl in options.h).
+  Result<FilterResult> Filter(const FilterQuery& q,
+                              const QueryControl* control = nullptr);
+  Result<TopKResult> TopK(const TopKQuery& q,
+                          const QueryControl* control = nullptr);
+  Result<AggResult> Aggregate(const AggregationQuery& q,
+                              const QueryControl* control = nullptr);
+  Result<AggResult> MaskAggregate(const MaskAggQuery& q,
+                                  const QueryControl* control = nullptr);
 
   /// \brief Wall seconds spent bulk-building indexes at open (0 for MS-II).
   double index_build_seconds() const { return index_build_seconds_; }
@@ -91,7 +115,8 @@ class Session {
 
   /// \brief Derived-mask CHI cache for a MASK_AGG template; caches persist
   /// across queries within the session (capacity-bounded when the session
-  /// has a buffer pool).
+  /// has a buffer pool). Thread-safe: concurrent MASK_AGG queries sharing
+  /// one template resolve to one cache instance.
   DerivedIndexCache* derived_cache(MaskAggOp op, double threshold);
 
   /// \brief The session's buffer pool (null without one). Its CacheStats
@@ -104,14 +129,17 @@ class Session {
   Session(const MaskStore* store, SessionOptions options,
           std::unique_ptr<IndexManager> index);
 
-  EngineOptions engine_options() const {
+  EngineOptions engine_options(const QueryControl* control = nullptr) const {
     EngineOptions e;
     e.pool = options_.pool;
     e.io_pool = options_.io_pool;
     e.use_index = options_.use_index;
     e.build_missing = options_.use_index && options_.incremental;
     e.sort_by_bound = options_.sort_by_bound;
+    e.filter_verify_batch = options_.filter_verify_batch;
+    e.agg_verify_batch = options_.agg_verify_batch;
     e.chi_cache = chi_cache_.get();
+    e.control = control;
     return e;
   }
 
@@ -120,6 +148,7 @@ class Session {
   std::unique_ptr<IndexManager> index_;
   std::shared_ptr<BufferPool> cache_;
   std::unique_ptr<ChiCache> chi_cache_;
+  std::mutex derived_mu_;  ///< guards derived_caches_ (concurrent MASK_AGG)
   std::map<std::pair<int, int64_t>, std::unique_ptr<DerivedIndexCache>>
       derived_caches_;
   double index_build_seconds_ = 0.0;

@@ -42,6 +42,8 @@ Result<TopKResult> ExecuteTopK(const MaskStore& store, IndexManager* index,
     return Status::InvalidArgument("ORDER BY expression references undefined CP term");
   }
 
+  MS_RETURN_NOT_OK(CheckControl(opts.control));
+
   Stopwatch timer;
   const std::vector<MaskId> ids = ResolveSelection(store, query.selection);
   const Better better{query.descending};
@@ -80,6 +82,9 @@ Result<TopKResult> ExecuteTopK(const MaskStore& store, IndexManager* index,
   // Pass 2: sequential scan maintaining the running top-k set R (Eq. 15).
   std::set<ScoredMask, Better> heap(better);
   for (size_t oi = 0; oi < order.size(); ++oi) {
+    // This executor has no batches; a stride of masks is its boundary for
+    // deadline/cancel checks (prunes are branch-only, loads dominate).
+    if ((oi & 31) == 0) MS_RETURN_NOT_OK(CheckControl(opts.control));
     const size_t i = order[oi];
     const MaskId id = ids[i];
     const Interval& iv = intervals[i];

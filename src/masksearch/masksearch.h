@@ -43,6 +43,10 @@
 #include "masksearch/query/expression.h"
 #include "masksearch/query/predicate.h"
 #include "masksearch/query/roi.h"
+#include "masksearch/service/query_service.h"
+#include "masksearch/service/request.h"
+#include "masksearch/service/scheduler.h"
+#include "masksearch/service/service_stats.h"
 #include "masksearch/sql/binder.h"
 #include "masksearch/sql/parser.h"
 #include "masksearch/storage/codec.h"

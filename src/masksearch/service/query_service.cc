@@ -1,0 +1,330 @@
+#include "masksearch/service/query_service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace masksearch {
+
+namespace {
+
+std::chrono::steady_clock::time_point DeadlineFor(double request_seconds,
+                                                  double default_seconds) {
+  // Request value 0 = inherit the service default; negative = explicitly
+  // none (even when a default exists).
+  const double effective =
+      request_seconds == 0 ? default_seconds : request_seconds;
+  if (effective <= 0) return std::chrono::steady_clock::time_point::max();
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(effective));
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+ServiceStatsRecorder::Outcome OutcomeOf(const Status& s) {
+  if (s.ok()) return ServiceStatsRecorder::Outcome::kCompleted;
+  if (s.IsDeadlineExceeded()) {
+    return ServiceStatsRecorder::Outcome::kDeadlineMissed;
+  }
+  if (s.IsCancelled()) return ServiceStatsRecorder::Outcome::kCancelled;
+  return ServiceStatsRecorder::Outcome::kFailed;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PendingQuery
+// ---------------------------------------------------------------------------
+
+Result<QueryResponse> PendingQuery::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  return result_;
+}
+
+bool PendingQuery::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void PendingQuery::Finish(Result<QueryResponse> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
+QueryService::QueryService(Session* session, QueryServiceOptions options)
+    : session_(session),
+      options_(options),
+      queue_(options.class_weights) {}
+
+Result<std::unique_ptr<QueryService>> QueryService::Start(
+    Session* session, const QueryServiceOptions& options) {
+  if (session == nullptr) return Status::InvalidArgument("null session");
+  QueryServiceOptions opts = options;
+  opts.num_workers = std::max<size_t>(1, opts.num_workers);
+  opts.max_queue_depth = std::max<size_t>(1, opts.max_queue_depth);
+  auto service =
+      std::unique_ptr<QueryService>(new QueryService(session, opts));
+  service->workers_.reserve(opts.num_workers);
+  for (size_t i = 0; i < opts.num_workers; ++i) {
+    service->workers_.emplace_back([s = service.get()] { s->WorkerLoop(); });
+  }
+  return service;
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+uint64_t QueryService::EstimateCostBytes(const ServiceRequest& request) const {
+  if (request.cost_bytes_hint > 0) return request.cost_bytes_hint;
+  // Catalog-only estimate: the bytes of every targeted blob — an upper
+  // bound on what verification could read (pruning only shrinks it). Never
+  // touches the data files.
+  const MaskStore& store = session_->store();
+  const Selection& sel = request.query.selection();
+  uint64_t bytes = 0;
+  if (!sel.mask_ids.empty()) {
+    for (MaskId id : sel.mask_ids) {
+      if (id >= 0 && id < store.num_masks()) bytes += store.BlobSize(id);
+    }
+    return bytes;
+  }
+  // Unconstrained selection (the common "whole view" query): the answer is
+  // the cached dataset size — keep the admission path O(1) rather than a
+  // per-Submit catalog walk.
+  if (sel.model_ids.empty() && sel.mask_types.empty() &&
+      sel.predicted_labels.empty()) {
+    return store.TotalDataBytes();
+  }
+  for (MaskId id = 0; id < store.num_masks(); ++id) {
+    if (sel.Matches(store.meta(id))) bytes += store.BlobSize(id);
+  }
+  return bytes;
+}
+
+Result<std::shared_ptr<PendingQuery>> QueryService::Submit(
+    ServiceRequest request) {
+  auto pending = std::shared_ptr<PendingQuery>(new PendingQuery());
+  pending->request_ = std::move(request);
+  pending->control_.deadline = DeadlineFor(pending->request_.deadline_seconds,
+                                           options_.default_deadline_seconds);
+
+  const PriorityClass cls = pending->request_.priority;
+  // Admission control: bounded queue depth and queued bytes. Both checks
+  // shed the request immediately with a retryable typed status instead of
+  // absorbing it into an unbounded queue. Shutdown and queue-depth are
+  // checked *before* the byte estimate, so the overload reject path — the
+  // case admission control exists to make cheap — never pays the catalog
+  // walk; the estimate itself runs outside the lock (it can be O(catalog)
+  // for metadata-constrained selections) and depth is re-checked after.
+  auto shed_check = [&]() -> Status {
+    if (shutdown_) {
+      return Status::Unavailable("query service is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      return Status::Unavailable(
+          "admission: queue depth limit reached (" +
+          std::to_string(options_.max_queue_depth) + " queued)");
+    }
+    return Status::OK();
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status st = shed_check();
+    if (!st.ok()) {
+      stats_.RecordRejected(cls);
+      return st;
+    }
+  }
+  pending->cost_bytes_ = EstimateCostBytes(pending->request_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status st = shed_check();  // state may have moved during the estimate
+    if (!st.ok()) {
+      stats_.RecordRejected(cls);
+      return st;
+    }
+    // The bytes limit skips an empty queue so one request larger than the
+    // whole budget is still servable (it will occupy the queue alone).
+    if (!queue_.empty() && queue_.queued_bytes() + pending->cost_bytes_ >
+                               options_.max_queued_bytes) {
+      stats_.RecordRejected(cls);
+      return Status::Unavailable(
+          "admission: queued-bytes limit reached (" +
+          std::to_string(queue_.queued_bytes()) + " + " +
+          std::to_string(pending->cost_bytes_) + " > " +
+          std::to_string(options_.max_queued_bytes) + ")");
+    }
+    stats_.RecordAdmitted(cls);
+    pending->submit_time_ = std::chrono::steady_clock::now();
+    ScheduledItem item;
+    item.tenant = pending->request_.tenant;
+    item.priority = cls;
+    item.cost_bytes = pending->cost_bytes_;
+    item.payload = pending;
+    queue_.Push(std::move(item));
+    peak_queued_ = std::max<uint64_t>(peak_queued_, queue_.size());
+  }
+  work_cv_.notify_one();
+  return pending;
+}
+
+Result<QueryResponse> QueryService::Execute(ServiceRequest request) {
+  MS_ASSIGN_OR_RETURN(std::shared_ptr<PendingQuery> pending,
+                      Submit(std::move(request)));
+  return pending->Wait();
+}
+
+void QueryService::Dispatch(const std::shared_ptr<PendingQuery>& pending) {
+  const double queue_seconds = SecondsSince(pending->submit_time_);
+  const PriorityClass cls = pending->request_.priority;
+
+  // Shed without executing when the request is already dead: its deadline
+  // expired while queued, or the client cancelled it.
+  Status pre = pending->control_.Check();
+  if (!pre.ok()) {
+    stats_.RecordOutcome(cls, OutcomeOf(pre), queue_seconds, queue_seconds);
+    pending->Finish(std::move(pre));
+    return;
+  }
+
+  QueryResponse response;
+  response.kind = pending->request_.query.kind;
+  response.queue_seconds = queue_seconds;
+  const auto exec_start = std::chrono::steady_clock::now();
+  Status status = Status::OK();
+  switch (pending->request_.query.kind) {
+    case QueryRequest::Kind::kFilter: {
+      auto r = session_->Filter(pending->request_.query.filter,
+                                &pending->control_);
+      if (r.ok()) {
+        response.filter = std::move(*r);
+      } else {
+        status = r.status();
+      }
+      break;
+    }
+    case QueryRequest::Kind::kTopK: {
+      auto r =
+          session_->TopK(pending->request_.query.topk, &pending->control_);
+      if (r.ok()) {
+        response.topk = std::move(*r);
+      } else {
+        status = r.status();
+      }
+      break;
+    }
+    case QueryRequest::Kind::kAggregation: {
+      auto r = session_->Aggregate(pending->request_.query.agg,
+                                   &pending->control_);
+      if (r.ok()) {
+        response.agg = std::move(*r);
+      } else {
+        status = r.status();
+      }
+      break;
+    }
+    case QueryRequest::Kind::kMaskAgg: {
+      auto r = session_->MaskAggregate(pending->request_.query.mask_agg,
+                                       &pending->control_);
+      if (r.ok()) {
+        response.agg = std::move(*r);
+      } else {
+        status = r.status();
+      }
+      break;
+    }
+  }
+  response.exec_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    exec_start)
+          .count();
+
+  const double total_seconds = SecondsSince(pending->submit_time_);
+  stats_.RecordOutcome(cls, OutcomeOf(status), queue_seconds, total_seconds);
+  if (status.ok()) {
+    pending->Finish(std::move(response));
+  } else {
+    pending->Finish(std::move(status));
+  }
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    ScheduledItem item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      queue_.Pop(&item);
+      ++running_;
+    }
+    Dispatch(std::static_pointer_cast<PendingQuery>(item.payload));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void QueryService::Shutdown() {
+  std::vector<std::shared_ptr<PendingQuery>> orphaned;
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Fail queued requests instead of running them: shutdown should not
+    // wait for a backlog, only for what is already executing.
+    ScheduledItem item;
+    while (queue_.Pop(&item)) {
+      orphaned.push_back(std::static_pointer_cast<PendingQuery>(item.payload));
+    }
+    // Claim the worker threads under the lock: a concurrent Shutdown (an
+    // explicit call racing the destructor) claims an empty vector and joins
+    // nothing, so no thread is ever joined twice.
+    to_join.swap(workers_);
+  }
+  work_cv_.notify_all();
+  // Draining the queue above may have made Drain()'s predicate true without
+  // any dispatch completing — wake its waiters too (lost-wakeup hazard).
+  idle_cv_.notify_all();
+  for (auto& pending : orphaned) {
+    stats_.RecordOutcome(pending->request_.priority,
+                         ServiceStatsRecorder::Outcome::kCancelled,
+                         SecondsSince(pending->submit_time_), 0);
+    pending->Finish(Status::Cancelled("query service shut down"));
+  }
+  for (auto& w : to_join) w.join();
+}
+
+ServiceStats QueryService::Stats() const {
+  uint64_t queued, bytes, peak;
+  size_t running;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued = queue_.size();
+    running = running_;
+    bytes = queue_.queued_bytes();
+    peak = peak_queued_;
+  }
+  return stats_.Snapshot(queued, running, bytes, peak);
+}
+
+}  // namespace masksearch

@@ -1,0 +1,159 @@
+// QueryService: the concurrent serving layer (docs/SERVING.md).
+//
+// Turns the single-session engine into a multi-client service: many
+// clients Submit() ServiceRequests; a bounded admission-controlled queue
+// feeds a FairScheduler (priority classes + per-tenant round-robin), which
+// dispatches onto a pool of worker threads — the executor slots. Every
+// slot runs the ordinary executors against ONE shared Session (one
+// MaskStore + BufferPool + CHI caches), so the memory subsystem's pinning
+// protocol and the overlapped I/O pipelines are exercised under real
+// contention. Results are byte-identical to serial execution: concurrency
+// changes scheduling, never values (tests/service_test.cc asserts this).
+//
+// Admission control: Submit never blocks. A request that would push the
+// queue past max_queue_depth or max_queued_bytes is shed immediately with
+// a typed Status (kUnavailable) the client can retry against — bounded
+// queues instead of unbounded latency.
+//
+// Deadlines & cancellation: each request carries a QueryControl. Expiry or
+// a client Cancel() takes effect at dispatch (the request is shed without
+// executing) and at executor batch boundaries (typed kDeadlineExceeded /
+// kCancelled mid-flight).
+
+#ifndef MASKSEARCH_SERVICE_QUERY_SERVICE_H_
+#define MASKSEARCH_SERVICE_QUERY_SERVICE_H_
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "masksearch/common/result.h"
+#include "masksearch/exec/session.h"
+#include "masksearch/service/request.h"
+#include "masksearch/service/scheduler.h"
+#include "masksearch/service/service_stats.h"
+
+namespace masksearch {
+
+struct QueryServiceOptions {
+  /// Executor slots: worker threads running queries concurrently against
+  /// the shared Session. Inter-query parallelism; each query additionally
+  /// uses whatever intra-query pools the Session was opened with (workers
+  /// and SessionOptions::pool share the machine's cores — a serving
+  /// deployment typically runs executors inline, pool = nullptr, and lets
+  /// the slot count provide the parallelism).
+  size_t num_workers = 4;
+  /// Admission limit: maximum requests waiting in the queue (dispatched
+  /// requests no longer count). Clamped to >= 1.
+  size_t max_queue_depth = 256;
+  /// Admission limit: maximum estimated bytes across queued requests. A
+  /// request is costed by its catalog selection (sum of targeted blob
+  /// sizes) unless it carries cost_bytes_hint. To keep a single oversized
+  /// request servable, the limit is not applied when the queue is empty.
+  uint64_t max_queued_bytes = 1ull << 30;
+  /// Deadline applied to requests that do not set their own
+  /// (ServiceRequest::deadline_seconds == 0). 0 = no default deadline.
+  double default_deadline_seconds = 0;
+  /// Dispatch weights of the priority classes (interactive, normal, batch)
+  /// for the scheduler's deficit round-robin. Zeros are clamped to 1.
+  std::array<uint32_t, kNumPriorityClasses> class_weights = {{8, 4, 1}};
+};
+
+/// \brief Handle to a submitted request. Wait() blocks until the terminal
+/// result (repeat-callable); Cancel() requests cancellation — a queued
+/// request is shed at dispatch, a running one aborts at its next executor
+/// batch boundary.
+class PendingQuery {
+ public:
+  Result<QueryResponse> Wait();
+  bool done() const;
+  void Cancel() { control_.Cancel(); }
+
+  TenantId tenant() const { return request_.tenant; }
+  PriorityClass priority() const { return request_.priority; }
+
+ private:
+  friend class QueryService;
+  PendingQuery() = default;
+
+  void Finish(Result<QueryResponse> result);
+
+  ServiceRequest request_;
+  QueryControl control_;
+  std::chrono::steady_clock::time_point submit_time_;
+  uint64_t cost_bytes_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Result<QueryResponse> result_ = Status::Internal("not finished");
+};
+
+class QueryService {
+ public:
+  /// \brief Starts the worker threads. `session` (non-null, caller-owned,
+  /// must outlive the service) is the shared engine state every slot
+  /// executes against.
+  static Result<std::unique_ptr<QueryService>> Start(
+      Session* session, const QueryServiceOptions& options);
+
+  /// \brief Stops accepting, cancels queued requests, waits for running
+  /// ones. Equivalent to Shutdown().
+  ~QueryService();
+
+  /// \brief Non-blocking admission. Returns the pending handle, or typed
+  /// kUnavailable when the request is shed by admission control (queue
+  /// depth / queued bytes) or the service is shutting down.
+  Result<std::shared_ptr<PendingQuery>> Submit(ServiceRequest request);
+
+  /// \brief Submit + Wait convenience for synchronous clients.
+  Result<QueryResponse> Execute(ServiceRequest request);
+
+  /// \brief Blocks until the queue is empty and every worker is idle.
+  void Drain();
+
+  /// \brief Stops accepting new work, fails queued requests with
+  /// kCancelled, waits for in-flight requests, joins the workers.
+  /// Idempotent and safe against a concurrent Shutdown (each caller claims
+  /// the worker threads under the lock; destruction itself must still not
+  /// race other method calls, as for any object).
+  void Shutdown();
+
+  /// \brief Counters, per-class percentiles, and queue gauges.
+  ServiceStats Stats() const;
+
+  Session* session() const { return session_; }
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  QueryService(Session* session, QueryServiceOptions options);
+
+  void WorkerLoop();
+  /// Runs one request on the calling worker thread and finishes its handle.
+  void Dispatch(const std::shared_ptr<PendingQuery>& pending);
+  /// Catalog-only byte estimate of a request (no data-file I/O).
+  uint64_t EstimateCostBytes(const ServiceRequest& request) const;
+
+  Session* session_;
+  QueryServiceOptions options_;
+  ServiceStatsRecorder stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: work available / stop
+  std::condition_variable idle_cv_;   ///< Drain: queue empty, workers idle
+  FairScheduler queue_;
+  size_t running_ = 0;
+  uint64_t peak_queued_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,72 @@
+#include "masksearch/service/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace masksearch {
+
+FairScheduler::FairScheduler(
+    const std::array<uint32_t, kNumPriorityClasses>& weights) {
+  // A zero weight would exclude the class from every refill cycle and
+  // starve it; clamp to 1 so "deprioritized" can never mean "never runs".
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    weights_[c] = std::max<uint32_t>(1, weights[c]);
+  }
+  credits_ = weights_;
+}
+
+void FairScheduler::Push(ScheduledItem item) {
+  ClassQueues& cq = classes_[static_cast<size_t>(item.priority)];
+  auto [it, fresh] = cq.per_tenant.try_emplace(item.tenant);
+  if (fresh || it->second.empty()) cq.rotation.push_back(item.tenant);
+  queued_bytes_ += item.cost_bytes;
+  it->second.push_back(std::move(item));
+  ++cq.size;
+  ++size_;
+}
+
+size_t FairScheduler::PickClass() {
+  // First pass: highest-priority backlogged class with credits left.
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    if (classes_[c].size > 0 && credits_[c] > 0) {
+      --credits_[c];
+      return c;
+    }
+  }
+  // Every backlogged class is out of credits: start a new refill cycle.
+  credits_ = weights_;
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    if (classes_[c].size > 0) {
+      --credits_[c];
+      return c;
+    }
+  }
+  return 0;  // unreachable: caller guarantees !empty()
+}
+
+bool FairScheduler::Pop(ScheduledItem* out) {
+  if (size_ == 0) return false;
+  ClassQueues& cq = classes_[PickClass()];
+
+  const TenantId tenant = cq.rotation.front();
+  cq.rotation.pop_front();
+  auto it = cq.per_tenant.find(tenant);
+  *out = std::move(it->second.front());
+  it->second.pop_front();
+  // One item per turn: a tenant with remaining work re-enters at the back
+  // of the rotation, so its backlog cannot monopolize the class. A drained
+  // tenant's entry is erased — state stays proportional to *pending*
+  // tenants, not to every tenant id ever seen.
+  if (!it->second.empty()) {
+    cq.rotation.push_back(tenant);
+  } else {
+    cq.per_tenant.erase(it);
+  }
+
+  --cq.size;
+  --size_;
+  queued_bytes_ -= out->cost_bytes;
+  return true;
+}
+
+}  // namespace masksearch

@@ -1,0 +1,85 @@
+// FairScheduler: the dispatch-order policy of the query service
+// (docs/SERVING.md).
+//
+// Two-level fairness, both deterministic and starvation-free:
+//
+//   * across priority classes: weighted deficit round-robin. Each class
+//     holds a credit counter refilled to its weight whenever every
+//     backlogged class is out of credits; each dispatch consumes one credit
+//     of the chosen class. While several classes are backlogged, dispatch
+//     slots divide in proportion to the weights (e.g. 8:4:1), and even the
+//     lowest class is guaranteed its share of every refill cycle — no
+//     starvation under sustained higher-priority load.
+//
+//   * across tenants within a class: round-robin over per-tenant FIFO
+//     queues, one item per turn. A tenant flooding the queue lengthens only
+//     its own backlog; other tenants keep dispatching one request per
+//     rotation. Within one tenant, requests stay FIFO.
+//
+// The scheduler is a pure policy object: not thread-safe (the QueryService
+// serializes access under its queue mutex) and unaware of deadlines or
+// cancellation — expired/cancelled items are popped normally and shed by
+// the worker at dispatch time, which keeps Pop O(classes + 1).
+
+#ifndef MASKSEARCH_SERVICE_SCHEDULER_H_
+#define MASKSEARCH_SERVICE_SCHEDULER_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "masksearch/service/request.h"
+
+namespace masksearch {
+
+/// \brief One queued unit of work. `payload` is opaque to the scheduler
+/// (the service stores its per-request state there); `cost_bytes` is the
+/// admission estimate, tracked so the service can bound total queued bytes.
+struct ScheduledItem {
+  TenantId tenant = 0;
+  PriorityClass priority = PriorityClass::kNormal;
+  uint64_t cost_bytes = 0;
+  std::shared_ptr<void> payload;
+};
+
+class FairScheduler {
+ public:
+  explicit FairScheduler(
+      const std::array<uint32_t, kNumPriorityClasses>& weights);
+
+  /// \brief Enqueues `item` at the tail of its tenant's FIFO.
+  void Push(ScheduledItem item);
+
+  /// \brief Dequeues the next item per the fairness policy. Returns false
+  /// when empty.
+  bool Pop(ScheduledItem* out);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// \brief Sum of cost_bytes over every queued item.
+  uint64_t queued_bytes() const { return queued_bytes_; }
+
+ private:
+  struct ClassQueues {
+    /// Tenants with pending work, in rotation order.
+    std::deque<TenantId> rotation;
+    std::unordered_map<TenantId, std::deque<ScheduledItem>> per_tenant;
+    size_t size = 0;
+  };
+
+  /// Picks the class to dispatch from, consuming one credit (refilling when
+  /// every backlogged class is dry). Requires !empty().
+  size_t PickClass();
+
+  std::array<uint32_t, kNumPriorityClasses> weights_;
+  std::array<uint32_t, kNumPriorityClasses> credits_;
+  std::array<ClassQueues, kNumPriorityClasses> classes_;
+  size_t size_ = 0;
+  uint64_t queued_bytes_ = 0;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_SERVICE_SCHEDULER_H_

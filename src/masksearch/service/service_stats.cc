@@ -1,0 +1,146 @@
+#include "masksearch/service/service_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "masksearch/common/stats.h"
+
+namespace masksearch {
+
+namespace {
+
+LatencySummary SummarizeLatency(std::vector<double> samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.p50 = Percentile(samples, 0.50);
+  s.p95 = Percentile(samples, 0.95);
+  s.p99 = Percentile(samples, 0.99);
+  s.max = samples.back();
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  return s;
+}
+
+}  // namespace
+
+std::string LatencySummary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+                static_cast<unsigned long long>(count), p50 * 1e3, p95 * 1e3,
+                p99 * 1e3, max * 1e3);
+  return buf;
+}
+
+std::string ServiceStats::ToString() const {
+  std::string out;
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "queued=%llu running=%llu queued_bytes=%llu peak_queued=%llu\n",
+                static_cast<unsigned long long>(queued_now),
+                static_cast<unsigned long long>(running_now),
+                static_cast<unsigned long long>(queued_bytes_now),
+                static_cast<unsigned long long>(peak_queued));
+  out += buf;
+  auto line = [&](const char* name, const ClassServiceStats& c) {
+    if (c.submitted == 0) return;
+    std::snprintf(buf, sizeof(buf),
+                  "%-12s submitted=%llu admitted=%llu rejected=%llu "
+                  "completed=%llu deadline_missed=%llu cancelled=%llu "
+                  "failed=%llu\n%-12s   wait: %s\n%-12s   latency: %s\n",
+                  name, static_cast<unsigned long long>(c.submitted),
+                  static_cast<unsigned long long>(c.admitted),
+                  static_cast<unsigned long long>(c.rejected),
+                  static_cast<unsigned long long>(c.completed),
+                  static_cast<unsigned long long>(c.deadline_missed),
+                  static_cast<unsigned long long>(c.cancelled),
+                  static_cast<unsigned long long>(c.failed), "",
+                  c.queue_wait.ToString().c_str(), "",
+                  c.latency.ToString().c_str());
+    out += buf;
+  };
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    line(PriorityClassToString(static_cast<PriorityClass>(c)), by_class[c]);
+  }
+  line("total", total);
+  return out;
+}
+
+void ServiceStatsRecorder::RecordRejected(PriorityClass c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassSamples& s = classes_[static_cast<size_t>(c)];
+  ++s.counters.submitted;
+  ++s.counters.rejected;
+}
+
+void ServiceStatsRecorder::RecordAdmitted(PriorityClass c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassSamples& s = classes_[static_cast<size_t>(c)];
+  ++s.counters.submitted;
+  ++s.counters.admitted;
+}
+
+void ServiceStatsRecorder::RecordOutcome(PriorityClass c, Outcome outcome,
+                                         double queue_seconds,
+                                         double total_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassSamples& s = classes_[static_cast<size_t>(c)];
+  s.queue_waits.push_back(queue_seconds);
+  switch (outcome) {
+    case Outcome::kCompleted:
+      ++s.counters.completed;
+      s.latencies.push_back(total_seconds);
+      break;
+    case Outcome::kDeadlineMissed:
+      ++s.counters.deadline_missed;
+      break;
+    case Outcome::kCancelled:
+      ++s.counters.cancelled;
+      break;
+    case Outcome::kFailed:
+      ++s.counters.failed;
+      break;
+  }
+}
+
+ServiceStats ServiceStatsRecorder::Snapshot(uint64_t queued_now,
+                                            uint64_t running_now,
+                                            uint64_t queued_bytes_now,
+                                            uint64_t peak_queued) const {
+  ServiceStats out;
+  out.queued_now = queued_now;
+  out.running_now = running_now;
+  out.queued_bytes_now = queued_bytes_now;
+  out.peak_queued = peak_queued;
+
+  std::vector<double> all_waits, all_latencies;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+      const ClassSamples& s = classes_[c];
+      out.by_class[c] = s.counters;
+      out.by_class[c].queue_wait = SummarizeLatency(s.queue_waits);
+      out.by_class[c].latency = SummarizeLatency(s.latencies);
+      all_waits.insert(all_waits.end(), s.queue_waits.begin(),
+                       s.queue_waits.end());
+      all_latencies.insert(all_latencies.end(), s.latencies.begin(),
+                           s.latencies.end());
+
+      out.total.submitted += s.counters.submitted;
+      out.total.admitted += s.counters.admitted;
+      out.total.rejected += s.counters.rejected;
+      out.total.completed += s.counters.completed;
+      out.total.deadline_missed += s.counters.deadline_missed;
+      out.total.cancelled += s.counters.cancelled;
+      out.total.failed += s.counters.failed;
+    }
+  }
+  out.total.queue_wait = SummarizeLatency(std::move(all_waits));
+  out.total.latency = SummarizeLatency(std::move(all_latencies));
+  return out;
+}
+
+}  // namespace masksearch

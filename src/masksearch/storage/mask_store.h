@@ -193,6 +193,19 @@ class MaskStore {
   /// reads (the whole blob must be decoded), mirroring real codecs.
   virtual Result<Mask> LoadMaskRows(MaskId id, int32_t y0, int32_t y1) const = 0;
 
+  /// \brief Number of `ids` currently resident in a memory cache in front
+  /// of this store — 0 for stores with no cache (this base implementation).
+  /// A residency *probe*: never touches the data files, never counts a
+  /// cache hit or miss, never promotes an entry. The overlapped prefetch
+  /// pipelines use it to skip scheduling io_pool loads for batches that are
+  /// fully resident (cache-aware prefetch, docs/CACHING.md). Advisory only:
+  /// an entry may be evicted between the probe and the load, which costs a
+  /// synchronous miss but never affects results.
+  virtual size_t CountResident(const std::vector<MaskId>& ids) const {
+    (void)ids;
+    return 0;
+  }
+
   /// \brief Reads the raw stored blob of mask `id` without decoding it.
   /// Counted as bytes_read and one throttled request, but not as a mask
   /// load (nothing is materialized). Used by migration/replication tools.

@@ -328,5 +328,60 @@ TEST(CachePinStressTest, ConcurrentMaskAggAndBatchLoads) {
   EXPECT_EQ(stats.pinned_entries, 0u);  // every pin was released
 }
 
+// Cache-aware prefetch (ROADMAP open item): once the working set is
+// resident, the overlapped pipelines must stop scheduling io_pool batch
+// loads — the ExecStats::prefetch_skipped counter proves the skips and the
+// wrapped store's physical counters prove no reads happened.
+TEST(CachePrefetchTest, WarmCacheSkipsPrefetchBatchLoads) {
+  TempDir dir("cache_prefetch");
+  auto plain = MakeStore(dir.path(), 14, 2, 40, 40, /*seed=*/37);
+
+  BufferPool::Options popts;
+  popts.budget_bytes = 64ull << 20;  // ample: everything stays resident
+  MaskStore::Options copts;
+  copts.cache = std::make_shared<BufferPool>(popts);
+  auto cached = MaskStore::Open(dir.path(), copts).ValueOrDie();
+
+  ThreadPool io(2);
+  EngineOptions opts;
+  opts.use_index = false;  // every mask verifies: maximal batch traffic
+  opts.io_pool = &io;
+  opts.filter_verify_batch = 8;
+  opts.agg_verify_batch = 4;
+
+  const FilterQuery fq = MakeFilter();
+  const FilterResult cold = ExecuteFilter(*cached, nullptr, fq, opts).ValueOrDie();
+  EXPECT_EQ(cold.stats.prefetch_skipped, 0);  // nothing resident yet
+  const uint64_t physical_after_cold = cached->masks_loaded();
+  EXPECT_GT(physical_after_cold, 0u);
+
+  const FilterResult warm = ExecuteFilter(*cached, nullptr, fq, opts).ValueOrDie();
+  EXPECT_EQ(warm.mask_ids, cold.mask_ids);  // results never change
+  EXPECT_GT(warm.stats.prefetch_skipped, 0);
+  // The skipped batch loads were true no-ops: zero new physical reads.
+  EXPECT_EQ(cached->masks_loaded(), physical_after_cold);
+
+  // Same contract for the per-group mask-agg pipeline.
+  const MaskAggQuery mq = MakeMaskAgg();
+  const AggResult agg_cold =
+      ExecuteMaskAgg(*cached, nullptr, nullptr, mq, opts).ValueOrDie();
+  const uint64_t physical_after_agg = cached->masks_loaded();
+  const AggResult agg_warm =
+      ExecuteMaskAgg(*cached, nullptr, nullptr, mq, opts).ValueOrDie();
+  ASSERT_EQ(agg_warm.groups.size(), agg_cold.groups.size());
+  for (size_t i = 0; i < agg_cold.groups.size(); ++i) {
+    EXPECT_EQ(agg_warm.groups[i].group, agg_cold.groups[i].group);
+    EXPECT_EQ(agg_warm.groups[i].value, agg_cold.groups[i].value);
+  }
+  EXPECT_GT(agg_warm.stats.prefetch_skipped, 0);
+  EXPECT_EQ(cached->masks_loaded(), physical_after_agg);
+
+  // An uncached store never reports residency, so the pipelines never skip.
+  auto uncached = MaskStore::Open(dir.path()).ValueOrDie();
+  const FilterResult raw = ExecuteFilter(*uncached, nullptr, fq, opts).ValueOrDie();
+  EXPECT_EQ(raw.stats.prefetch_skipped, 0);
+  EXPECT_EQ(raw.mask_ids, cold.mask_ids);
+}
+
 }  // namespace
 }  // namespace masksearch

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "masksearch/common/latch.h"
 #include "masksearch/common/thread_pool.h"
 #include "masksearch/exec/filter_executor.h"
 #include "test_util.h"
@@ -166,6 +167,96 @@ TEST(ThreadPoolTest, ParallelExecuteFilterMatchesSequential) {
     auto got = ExecuteFilter(*store, &index, q, parallel_opts);
     ASSERT_TRUE(got.ok()) << got.status();
     EXPECT_EQ(got->mask_ids, want->mask_ids) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskDrainsQueueOnCallerThread) {
+  ThreadPool pool(1);
+  // Park the lone worker so queued tasks can only run via the caller.
+  Latch parked(1);
+  Latch release(1);
+  pool.Submit([&] {
+    parked.CountDown();
+    release.Wait();
+  });
+  parked.Wait();
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  while (pool.TryRunOneTask()) {
+  }
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_FALSE(pool.TryRunOneTask());  // empty queue: false, no block
+  release.CountDown();
+  pool.Wait();
+}
+
+// Regression for the nested-submission deadlock the serving layer
+// surfaced: a task running ON the pool submits a sub-task to the SAME pool
+// and waits for it. With a blocking Latch::Wait and every worker occupied
+// by such waiters, the sub-tasks could never run. WaitHelping drains them
+// on the waiting thread instead.
+TEST(ThreadPoolTest, WaitHelpingFromPoolTaskCannotDeadlock) {
+  ThreadPool pool(1);  // worst case: the waiter occupies the only worker
+  Latch outer_done(1);
+  pool.Submit([&] {
+    auto inner = std::make_shared<Latch>(1);
+    pool.Submit([inner] { inner->CountDown(); });
+    WaitHelping(inner.get(), &pool);  // plain inner->Wait() would deadlock
+    outer_done.CountDown();
+  });
+  outer_done.Wait();
+  pool.Wait();
+}
+
+// The same hazard at executor scale: whole queries dispatched as tasks of
+// a pool that is ALSO the engine's io_pool (service workers sharing one
+// pool with the prefetch pipelines). Every pipeline wait must be a helping
+// wait for this to terminate with 2 workers and 6 concurrent queries.
+TEST(ThreadPoolTest, QueriesAsPoolTasksSharingEnginePoolsTerminate) {
+  TempDir dir("thread_pool_nested_svc");
+  auto store = MakeStore(dir.path(), /*num_images=*/12, /*num_models=*/2,
+                         /*w=*/48, /*h=*/48, /*seed=*/29);
+  ChiConfig cfg;
+  cfg.cell_width = 8;
+  cfg.cell_height = 8;
+  cfg.num_bins = 8;
+  IndexManager index(store->num_masks(), cfg);
+  ASSERT_TRUE(index.BuildAll(*store).ok());
+
+  FilterQuery q;
+  CpTerm term;
+  term.roi_source = RoiSource::kObjectBox;
+  term.range = ValueRange(0.5, 1.0);
+  q.terms.push_back(term);
+  q.predicate = Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, 100.0);
+
+  EngineOptions serial;
+  auto want = ExecuteFilter(*store, &index, q, serial);
+  ASSERT_TRUE(want.ok()) << want.status();
+
+  ThreadPool pool(2);
+  EngineOptions opts;
+  opts.pool = &pool;
+  opts.io_pool = &pool;  // aliased: loads and compute share the two workers
+  opts.filter_verify_batch = 4;
+
+  const int kQueries = 6;
+  std::vector<Result<FilterResult>> results(kQueries,
+                                            Status::Internal("not run"));
+  Latch done(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    pool.Submit([&, i] {
+      results[i] = ExecuteFilter(*store, &index, q, opts);
+      done.CountDown();
+    });
+  }
+  WaitHelping(&done, &pool);
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status();
+    EXPECT_EQ(results[i]->mask_ids, want->mask_ids) << "query " << i;
   }
 }
 

@@ -19,24 +19,47 @@
 //       Rewrite a store with N data-file shards (blobs copied verbatim;
 //       --shards 1 converts back to the single-file layout).
 //
-//   masksearch_cli stats --dir D [--sql S] [--repeat N] [--cache-mib M]
+//   masksearch_cli serve --dir D --script F [--clients N] [--workers W]
+//                        [--repeat R] [--queue-depth Q] [--max-queued-mib M]
+//                        [--deadline-ms M] [--verify-batch B] [--cache-mib M]
+//                        [--incremental] [--no-index]
+//       Replay a query script through the concurrent QueryService
+//       (docs/SERVING.md): N closed-loop clients each run the script R
+//       times against W executor slots sharing one session. Script lines
+//       are SQL statements, optionally prefixed by key=value directives:
+//         tenant=3 class=interactive deadline_ms=50 SELECT ... ;
+//       ('#' lines are comments; an unset tenant defaults to the client
+//       index). Prints ServiceStats (admission counters, per-class
+//       latency percentiles) and cache stats.
+//
+//   masksearch_cli stats --dir D [--sql S] [--repeat N] [--script F]
+//                        [--clients N] [--workers W] [--cache-mib M]
 //                        [--cache-shards N] [--cache-admission all|scan]
 //       Open the store behind the buffer-pool cache (docs/CACHING.md),
-//       optionally run a query N times through a session sharing the pool,
-//       and print store counters + CacheStats (hit ratio, resident bytes,
-//       evictions, pins).
+//       optionally run a query N times through a session sharing the pool
+//       (--sql) and/or replay a script through the QueryService
+//       (--script), and print one observability surface: store counters,
+//       CacheStats (hit ratio, resident bytes, evictions, pins), and
+//       service counters (admitted/rejected/deadline-missed, per-class
+//       p50/p95/p99).
 //
 // The cache flags are also accepted by `query`: --cache-mib M enables a
 // shared buffer pool for the store's mask blobs and the session's CHI
 // caches.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "masksearch/exec/explain.h"
 #include "masksearch/masksearch.h"
@@ -83,7 +106,7 @@ Args ParseArgs(int argc, char** argv) {
 int Usage(int exit_code = 2) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
                "masksearch_cli %s\n"
-               "usage: masksearch_cli <generate|info|query|stats|explain>"
+               "usage: masksearch_cli <generate|info|query|stats|serve|explain>"
                " [options]\n"
                "  generate --dir D [--images N] [--models M] [--width W]\n"
                "           [--height H] [--seed S] [--compressed]\n"
@@ -92,8 +115,13 @@ int Usage(int exit_code = 2) {
                "           [--cell C] [--bins B] [--index-path P] [--explain]\n"
                "           [--limit-print K] [--cache-mib M]\n"
                "           [--cache-shards N] [--cache-admission all|scan]\n"
-               "  stats    --dir D [--sql S] [--repeat N] [--cache-mib M]\n"
+               "  stats    --dir D [--sql S] [--repeat N] [--script F]\n"
+               "           [--clients N] [--workers W] [--cache-mib M]\n"
                "           [--cache-shards N] [--cache-admission all|scan]\n"
+               "  serve    --dir D --script F [--clients N] [--workers W]\n"
+               "           [--repeat R] [--queue-depth Q] [--max-queued-mib M]\n"
+               "           [--deadline-ms M] [--verify-batch B] [--cache-mib M]\n"
+               "           [--incremental] [--no-index]\n"
                "  explain  --sql S\n"
                "  shard    --dir D --out D2 [--shards N]\n"
                "  import   --dir D --npy-dir P [--models M]\n"
@@ -251,11 +279,255 @@ int RunShard(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve: replay a script through the QueryService (docs/SERVING.md)
+// ---------------------------------------------------------------------------
+
+/// One script line: optional `key=value` directives, then SQL.
+struct ScriptEntry {
+  std::string sql;
+  sql::BoundQuery bound;
+  TenantId tenant = -1;  ///< -1: default to the client index at replay time
+  PriorityClass priority = PriorityClass::kNormal;
+  double deadline_seconds = 0;  ///< 0 = service default
+};
+
+QueryRequest RequestFromBound(const sql::BoundQuery& bound) {
+  switch (bound.kind) {
+    case sql::BoundQuery::Kind::kFilter:
+      return QueryRequest::Filter(bound.filter);
+    case sql::BoundQuery::Kind::kTopK:
+      return QueryRequest::TopK(bound.topk);
+    case sql::BoundQuery::Kind::kAggregation:
+      return QueryRequest::Aggregation(bound.agg);
+    case sql::BoundQuery::Kind::kMaskAgg:
+      return QueryRequest::MaskAgg(bound.mask_agg);
+  }
+  return QueryRequest::Filter(bound.filter);  // unreachable
+}
+
+/// Parses a serve script: '#'-prefixed and blank lines are skipped; every
+/// other line is `[tenant=N] [class=C] [deadline_ms=X] SQL...`.
+Result<std::vector<ScriptEntry>> LoadScript(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open script: " + path);
+  std::vector<ScriptEntry> entries;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    ScriptEntry entry;
+    std::istringstream tokens(line);
+    std::string token;
+    std::string rest;
+    while (tokens >> token) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos || token.find('(') != std::string::npos) {
+        // First non-directive token: the remainder of the line is SQL.
+        std::string tail;
+        std::getline(tokens, tail);
+        rest = token + tail;
+        break;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      // Numeric directive values parse through strtod-style tail checking:
+      // a malformed value must yield the same typed per-line error shape as
+      // an unknown class, never an uncaught std::stoll exception.
+      auto parse_number = [&](double* out) {
+        char* end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+          return Status::InvalidArgument("script line " +
+                                         std::to_string(lineno) + ": bad " +
+                                         key + " value: " + value);
+        }
+        *out = v;
+        return Status::OK();
+      };
+      if (key == "tenant") {
+        double v = 0;
+        const Status st = parse_number(&v);
+        if (!st.ok()) return st;
+        entry.tenant = static_cast<TenantId>(v);
+      } else if (key == "class") {
+        auto cls = ParsePriorityClass(value);
+        if (!cls.ok()) {
+          return Status::InvalidArgument("script line " +
+                                         std::to_string(lineno) + ": " +
+                                         cls.status().message());
+        }
+        entry.priority = *cls;
+      } else if (key == "deadline_ms") {
+        double v = 0;
+        const Status st = parse_number(&v);
+        if (!st.ok()) return st;
+        entry.deadline_seconds = v / 1e3;
+      } else {
+        return Status::InvalidArgument("script line " +
+                                       std::to_string(lineno) +
+                                       ": unknown directive " + key);
+      }
+    }
+    if (rest.empty()) {
+      return Status::InvalidArgument("script line " + std::to_string(lineno) +
+                                     ": no SQL statement");
+    }
+    entry.sql = rest;
+    auto bound = sql::ParseAndBind(rest);
+    if (!bound.ok()) {
+      return Status::InvalidArgument("script line " + std::to_string(lineno) +
+                                     ": " + bound.status().message());
+    }
+    entry.bound = std::move(*bound);
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("script has no statements: " + path);
+  }
+  return entries;
+}
+
+/// Outcome tally of one replay run (shed/expired/cancelled are expected
+/// service behaviours; `hard_errors` are genuine failures).
+struct ReplayCounts {
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> cancelled{0};
+  std::atomic<uint64_t> hard_errors{0};
+};
+
+/// Replays `entries` through `service` with `clients` closed-loop client
+/// threads, `repeat` passes each.
+void ReplayScript(QueryService* service, const std::vector<ScriptEntry>& entries,
+                  int64_t clients, int64_t repeat, ReplayCounts* counts) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int64_t r = 0; r < repeat; ++r) {
+        for (const ScriptEntry& entry : entries) {
+          ServiceRequest req;
+          req.tenant = entry.tenant >= 0 ? entry.tenant : c;
+          req.priority = entry.priority;
+          req.deadline_seconds = entry.deadline_seconds;
+          req.query = RequestFromBound(entry.bound);
+          const auto result = service->Execute(std::move(req));
+          if (result.ok()) {
+            counts->completed.fetch_add(1);
+          } else if (result.status().IsUnavailable()) {
+            counts->shed.fetch_add(1);
+          } else if (result.status().IsDeadlineExceeded()) {
+            counts->deadline.fetch_add(1);
+          } else if (result.status().IsCancelled()) {
+            counts->cancelled.fetch_add(1);
+          } else {
+            if (counts->hard_errors.fetch_add(1) == 0) {
+              std::fprintf(stderr, "query failed: %s\n  sql: %s\n",
+                           result.status().ToString().c_str(),
+                           entry.sql.c_str());
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+/// Prints the service section of the observability surface (shared by
+/// `serve` and `stats --script`).
+void PrintServiceStats(const ServiceStats& stats) {
+  std::printf("service:\n%s", stats.ToString().c_str());
+}
+
+int RunServe(const Args& args) {
+  if (!args.Has("dir") || !args.Has("script")) return Usage();
+  auto entries = LoadScript(args.Get("script"));
+  if (!entries.ok()) {
+    std::fprintf(stderr, "%s\n", entries.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::shared_ptr<BufferPool> pool = PoolFromArgs(args, /*def_mib=*/256);
+  MaskStore::Options store_opts;
+  store_opts.cache = pool;
+  auto store = MaskStore::Open(args.Get("dir"), store_opts);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  SessionOptions sopts = SessionOptionsFromArgs(args, **store, pool);
+  // Serving default: modest verification batches give the executors
+  // frequent deadline/cancel checkpoints (results are batch-independent).
+  sopts.filter_verify_batch =
+      static_cast<size_t>(args.GetInt("verify-batch", 32));
+  sopts.agg_verify_batch = sopts.filter_verify_batch;
+  auto session = Session::Open(store->get(), sopts);
+  if (!session.ok()) {
+    std::fprintf(stderr, "session failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  if (!sopts.incremental && sopts.use_index) {
+    std::printf("-- index built in %.2fs\n", (*session)->index_build_seconds());
+  }
+
+  QueryServiceOptions qopts;
+  qopts.num_workers = static_cast<size_t>(args.GetInt("workers", 4));
+  qopts.max_queue_depth =
+      static_cast<size_t>(args.GetInt("queue-depth", 256));
+  qopts.max_queued_bytes =
+      static_cast<uint64_t>(args.GetInt("max-queued-mib", 1024)) << 20;
+  qopts.default_deadline_seconds = args.GetInt("deadline-ms", 0) / 1e3;
+  auto service = QueryService::Start(session->get(), qopts);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  const int64_t clients = std::max<int64_t>(1, args.GetInt("clients", 4));
+  const int64_t repeat = std::max<int64_t>(1, args.GetInt("repeat", 1));
+  std::printf("-- serving %zu statements to %lld client(s) x %lld pass(es), "
+              "%zu workers\n",
+              entries->size(), static_cast<long long>(clients),
+              static_cast<long long>(repeat), qopts.num_workers);
+  ReplayCounts counts;
+  Stopwatch wall;
+  ReplayScript(service->get(), *entries, clients, repeat, &counts);
+  const double seconds = wall.ElapsedSeconds();
+  (*service)->Drain();  // settle the gauges before the snapshot
+
+  const uint64_t total = counts.completed.load() + counts.shed.load() +
+                         counts.deadline.load() + counts.cancelled.load() +
+                         counts.hard_errors.load();
+  std::printf("-- %llu requests in %.3fs (%.1f qps): %llu completed, "
+              "%llu shed, %llu deadline-expired, %llu cancelled, %llu errors\n",
+              static_cast<unsigned long long>(total), seconds,
+              seconds > 0 ? static_cast<double>(total) / seconds : 0.0,
+              static_cast<unsigned long long>(counts.completed.load()),
+              static_cast<unsigned long long>(counts.shed.load()),
+              static_cast<unsigned long long>(counts.deadline.load()),
+              static_cast<unsigned long long>(counts.cancelled.load()),
+              static_cast<unsigned long long>(counts.hard_errors.load()));
+  PrintServiceStats((*service)->Stats());
+  if (pool != nullptr) {
+    std::printf("cache: %s\n", pool->Stats().ToString().c_str());
+  }
+  return counts.hard_errors.load() == 0 ? 0 : 1;
+}
+
 /// Opens a store behind the buffer-pool cache, optionally runs one SQL
-/// query `--repeat` times through a session sharing the pool, and prints
-/// store counters + CacheStats — the observability surface of
-/// docs/CACHING.md. The default --repeat 2 makes warm-cache behavior (hit
-/// ratio > 0) visible immediately.
+/// query `--repeat` times through a session sharing the pool (--sql)
+/// and/or replays a script through the QueryService (--script), and prints
+/// one observability surface across cache and service: store counters +
+/// CacheStats (docs/CACHING.md) + service counters (docs/SERVING.md). The
+/// default --repeat 2 makes warm-cache behavior (hit ratio > 0) visible
+/// immediately.
 int RunStats(const Args& args) {
   if (!args.Has("dir")) return Usage();
   const std::shared_ptr<BufferPool> pool =
@@ -295,6 +567,48 @@ int RunStats(const Args& args) {
     std::printf("ran query %lld time(s)\n", static_cast<long long>(repeat));
   }
 
+  // Service counters: replay a script through the QueryService so the
+  // operator sees admission / deadline / per-class latency behaviour next
+  // to the cache stats it produced. Hard query errors are reported in the
+  // exit code only *after* the observability sections print — this command
+  // exists to diagnose, so failure must not suppress the diagnostics.
+  bool served = false;
+  bool script_failed = false;
+  ServiceStats service_stats;
+  if (args.Has("script")) {
+    auto entries = LoadScript(args.Get("script"));
+    if (!entries.ok()) {
+      std::fprintf(stderr, "%s\n", entries.status().ToString().c_str());
+      return 1;
+    }
+    if (session == nullptr) {
+      auto opened =
+          Session::Open(store->get(), SessionOptionsFromArgs(args, s, pool));
+      if (!opened.ok()) {
+        std::fprintf(stderr, "session failed: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      session = std::move(*opened);
+    }
+    QueryServiceOptions qopts;
+    qopts.num_workers = static_cast<size_t>(args.GetInt("workers", 4));
+    auto service = QueryService::Start(session.get(), qopts);
+    if (!service.ok()) {
+      std::fprintf(stderr, "service failed: %s\n",
+                   service.status().ToString().c_str());
+      return 1;
+    }
+    ReplayCounts counts;
+    ReplayScript(service->get(), *entries,
+                 std::max<int64_t>(1, args.GetInt("clients", 4)),
+                 /*repeat=*/1, &counts);
+    script_failed = counts.hard_errors.load() > 0;
+    (*service)->Drain();  // settle the gauges before the snapshot
+    service_stats = (*service)->Stats();
+    served = true;
+  }
+
   std::printf("store: %s\n", s.dir().c_str());
   std::printf("  masks: %lld  shards: %d  data: %.2f MiB (%s)\n",
               static_cast<long long>(s.num_masks()), s.num_shards(),
@@ -319,7 +633,8 @@ int RunStats(const Args& args) {
   } else {
     std::printf("cache: disabled (--cache-mib 0)\n");
   }
-  return 0;
+  if (served) PrintServiceStats(service_stats);
+  return script_failed ? 1 : 0;
 }
 
 /// Imports a directory of .npy saliency maps into a mask store. Files are
@@ -516,6 +831,7 @@ int main(int argc, char** argv) {
   if (args.command == "info") return RunInfo(args);
   if (args.command == "query") return RunQuery(args);
   if (args.command == "stats") return RunStats(args);
+  if (args.command == "serve") return RunServe(args);
   if (args.command == "explain") return RunExplain(args);
   if (args.command == "shard") return RunShard(args);
   if (args.command == "import") return RunImport(args);
