@@ -353,6 +353,106 @@ void Run(const BenchFlags& flags) {
   RecordMetric("service_cache_hit_ratio", cs.HitRatio());
   RecordMetric("warm_prefetch_skips",
                static_cast<double>(warm.prefetch_skips));
+
+  // --- phase 4: sockets -----------------------------------------------------
+  // The same prepared-statement workload driven two ways against one
+  // catalog-served dataset: in-process Submit vs real loopback TCP through
+  // the wire protocol (docs/NETWORK.md), 8 closed-loop clients each. The
+  // ratio isolates protocol + poll-loop overhead; acceptance >= 0.9 on the
+  // modeled disk.
+  {
+    DatasetConfig config;
+    config.store.throttle = std::make_shared<DiskThrottle>(
+        flags.bandwidth_mib * 1024 * 1024, flags.latency_us, queue_depth);
+    config.store.batch_max_bytes = 1;
+    config.session.chi = PaperChiConfig(bench.spec);
+    config.session.index_path = bench.dir + "/serving_default.chi";
+    config.session.filter_verify_batch = 32;
+    config.session.agg_verify_batch = 16;
+    config.service.num_workers = 8;
+    config.service.max_queue_depth = 32;
+    Catalog catalog;
+    Dataset* dataset =
+        catalog.Register("serving", bench.dir, config).ValueOrDie();
+    auto server =
+        net::NetServer::Start(&catalog, net::NetServerOptions{}).ValueOrDie();
+
+    const std::string sql =
+        "SELECT mask_id FROM MasksDatabaseView "
+        "WHERE CP(mask, object, (?, 1.0)) > ?;";
+    auto params_for = [](size_t client, size_t i) {
+      return std::vector<double>{
+          0.5 + 0.05 * static_cast<double>(i % 8),
+          static_cast<double>((client * 41 + i * 37) % 800)};
+    };
+
+    auto run_inproc = [&](size_t clients) {
+      auto stmt = PreparedStatement::Prepare(sql).ValueOrDie();
+      std::atomic<uint64_t> done{0};
+      Stopwatch wall;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (size_t i = 0; i < requests_per_client; ++i) {
+            ServiceRequest req;
+            req.tenant = static_cast<TenantId>(c);
+            req.query = stmt->BindRequest(params_for(c, i)).ValueOrDie();
+            dataset->service()->Execute(std::move(req)).status().CheckOK();
+            done.fetch_add(1);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double s = wall.ElapsedSeconds();
+      return s > 0 ? static_cast<double>(done.load()) / s : 0.0;
+    };
+
+    auto run_socket = [&](size_t clients) {
+      std::atomic<uint64_t> done{0};
+      Stopwatch wall;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          auto client =
+              net::NetClient::Connect("127.0.0.1", server->port())
+                  .ValueOrDie();
+          auto handle = client->Prepare("serving", sql).ValueOrDie();
+          for (size_t i = 0; i < requests_per_client; ++i) {
+            client->Execute(handle.stmt_id, params_for(c, i))
+                .status()
+                .CheckOK();
+            done.fetch_add(1);
+          }
+          client->CloseStmt(handle.stmt_id).CheckOK();
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double s = wall.ElapsedSeconds();
+      return s > 0 ? static_cast<double>(done.load()) / s : 0.0;
+    };
+
+    const double inproc_qps = run_inproc(8);
+    const double sock1_qps = run_socket(1);
+    const double sock8_qps = run_socket(8);
+    server->Stop();
+    const double ratio = inproc_qps > 0 ? sock8_qps / inproc_qps : 0;
+    std::printf("\n[sockets] prepared statements on 127.0.0.1:%u: in-process "
+                "%6.1f qps, socket x1 %6.1f qps, socket x8 %6.1f qps "
+                "(%.2fx of in-process, target >= 0.9x)\n",
+                server->port(), inproc_qps, sock1_qps, sock8_qps, ratio);
+    const MetadataCache::CacheStats mstats = dataset->metadata()->stats();
+    std::printf("  metadata cache: %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(mstats.hits),
+                static_cast<unsigned long long>(mstats.misses));
+    RecordMetric("socket_inproc_qps", inproc_qps);
+    RecordMetric("socket_clients_8_qps", sock8_qps);
+    RecordMetric("socket_scaling_8x",
+                 sock1_qps > 0 ? sock8_qps / sock1_qps : 0);
+    RecordMetric("socket_vs_inproc_ratio", ratio);
+    catalog.ShutdownAll();
+  }
 }
 
 }  // namespace

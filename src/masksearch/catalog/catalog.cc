@@ -1,0 +1,70 @@
+#include "masksearch/catalog/catalog.h"
+
+#include <utility>
+
+namespace masksearch {
+
+Dataset::~Dataset() {
+  if (service_ != nullptr) service_->Shutdown();
+}
+
+Result<Dataset*> Catalog::Register(const std::string& name,
+                                   const std::string& dir,
+                                   const DatasetConfig& config) {
+  if (name.empty()) return Status::InvalidArgument("empty dataset name");
+  auto dataset = std::unique_ptr<Dataset>(new Dataset());
+  dataset->name_ = name;
+  dataset->dir_ = dir;
+  MS_ASSIGN_OR_RETURN(dataset->store_, MaskStore::Open(dir, config.store));
+  MS_ASSIGN_OR_RETURN(dataset->session_,
+                      Session::Open(dataset->store_.get(), config.session));
+  dataset->metadata_ = std::make_unique<MetadataCache>(dataset->store_.get(),
+                                                       config.metadata);
+  QueryServiceOptions service_opts = config.service;
+  if (!service_opts.cost_estimator) {
+    // The memoization seam: admission costing goes through the TTL'd
+    // metadata cache instead of the service's built-in catalog walk.
+    service_opts.cost_estimator =
+        [cache = dataset->metadata_.get()](const ServiceRequest& request) {
+          return cache->EstimateCostBytes(request);
+        };
+  }
+  MS_ASSIGN_OR_RETURN(
+      dataset->service_,
+      QueryService::Start(dataset->session_.get(), service_opts));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = datasets_.emplace(name, std::move(dataset));
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + name + "' is already registered");
+  }
+  return it->second.get();
+}
+
+Dataset* Catalog::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, dataset] : datasets_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datasets_.size();
+}
+
+void Catalog::ShutdownAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, dataset] : datasets_) {
+    if (dataset->service_ != nullptr) dataset->service_->Shutdown();
+  }
+}
+
+}  // namespace masksearch

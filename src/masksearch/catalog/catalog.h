@@ -1,0 +1,96 @@
+// Catalog: named datasets served by one process (docs/NETWORK.md).
+//
+// A Dataset bundles everything one logical table needs to be served: the
+// MaskStore, a shared Session (CHI caches + buffer pool), a QueryService
+// (admission, fair scheduling, executor slots), and a MetadataCache that
+// the catalog installs as the service's admission cost estimator — so the
+// O(catalog) selection-costing walk runs at most once per TTL window per
+// selection shape instead of on every Submit. The network server routes
+// each wire request to a dataset by name; replica-group routing in later
+// PRs plugs in at this seam.
+
+#ifndef MASKSEARCH_CATALOG_CATALOG_H_
+#define MASKSEARCH_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "masksearch/catalog/metadata_cache.h"
+#include "masksearch/exec/session.h"
+#include "masksearch/service/query_service.h"
+#include "masksearch/storage/mask_store.h"
+
+namespace masksearch {
+
+/// \brief Everything needed to open and serve one dataset. Pointer members
+/// inside the option structs (thread pools, shared buffer pools) stay
+/// caller-owned and must outlive the catalog.
+struct DatasetConfig {
+  MaskStore::Options store;
+  SessionOptions session;
+  QueryServiceOptions service;
+  MetadataCacheOptions metadata;
+};
+
+/// \brief One served dataset. Owned by the Catalog; pointers returned by
+/// the accessors are stable for the catalog's lifetime.
+class Dataset {
+ public:
+  ~Dataset();
+
+  const std::string& name() const { return name_; }
+  const std::string& dir() const { return dir_; }
+  Session* session() const { return session_.get(); }
+  QueryService* service() const { return service_.get(); }
+  MetadataCache* metadata() const { return metadata_.get(); }
+  const MaskStore& store() const { return *store_; }
+
+ private:
+  friend class Catalog;
+  Dataset() = default;
+
+  std::string name_;
+  std::string dir_;
+  // Destruction runs bottom-up: the service (joins its workers) goes before
+  // the session and store it executes against.
+  std::unique_ptr<MaskStore> store_;
+  std::unique_ptr<Session> session_;
+  std::unique_ptr<MetadataCache> metadata_;
+  std::unique_ptr<QueryService> service_;
+};
+
+/// \brief Thread-safe name → Dataset registry. Registration normally
+/// happens before serving starts, but late registration during serving is
+/// safe.
+class Catalog {
+ public:
+  Catalog() = default;
+  ~Catalog() { ShutdownAll(); }
+
+  /// \brief Opens the store at `dir`, starts its session + service, and
+  /// registers the bundle under `name`. Fails on duplicate names and on
+  /// any open error (nothing is registered then).
+  Result<Dataset*> Register(const std::string& name, const std::string& dir,
+                            const DatasetConfig& config);
+
+  /// \brief Null when `name` is not registered.
+  Dataset* Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+  /// \brief Stops every dataset's service (idempotent; also run by the
+  /// destructor). Datasets stay registered for post-shutdown inspection.
+  void ShutdownAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Dataset>> datasets_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_CATALOG_CATALOG_H_

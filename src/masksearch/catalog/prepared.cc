@@ -1,0 +1,39 @@
+#include "masksearch/catalog/prepared.h"
+
+#include "masksearch/sql/parser.h"
+
+namespace masksearch {
+
+QueryRequest RequestFromBound(const sql::BoundQuery& bound) {
+  switch (bound.kind) {
+    case sql::BoundQuery::Kind::kFilter:
+      return QueryRequest::Filter(bound.filter);
+    case sql::BoundQuery::Kind::kTopK:
+      return QueryRequest::TopK(bound.topk);
+    case sql::BoundQuery::Kind::kAggregation:
+      return QueryRequest::Aggregation(bound.agg);
+    case sql::BoundQuery::Kind::kMaskAgg:
+      return QueryRequest::MaskAgg(bound.mask_agg);
+  }
+  return QueryRequest::Filter(bound.filter);  // unreachable
+}
+
+Result<std::unique_ptr<PreparedStatement>> PreparedStatement::Prepare(
+    std::string sqltext) {
+  MS_ASSIGN_OR_RETURN(sql::SelectStmt stmt, sql::ParseSelect(sqltext));
+  return std::unique_ptr<PreparedStatement>(
+      new PreparedStatement(std::move(sqltext), std::move(stmt)));
+}
+
+Result<sql::BoundQuery> PreparedStatement::Bind(
+    const std::vector<double>& params) const {
+  return sql::Bind(stmt_, params);
+}
+
+Result<QueryRequest> PreparedStatement::BindRequest(
+    const std::vector<double>& params) const {
+  MS_ASSIGN_OR_RETURN(sql::BoundQuery bound, Bind(params));
+  return RequestFromBound(bound);
+}
+
+}  // namespace masksearch

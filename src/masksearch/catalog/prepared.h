@@ -1,0 +1,52 @@
+// PreparedStatement: parse once, execute many (docs/NETWORK.md).
+//
+// A statement is tokenized and parsed a single time at Prepare; each
+// Execute supplies values for its positional `?` placeholders and pays only
+// the (cheap) bind — classification, CP-term construction, selection
+// extraction — never the parse. The parsed AST is immutable after Prepare,
+// so one prepared statement can be bound concurrently from many threads;
+// this is the hot path of the wire protocol's EXECUTE message.
+
+#ifndef MASKSEARCH_CATALOG_PREPARED_H_
+#define MASKSEARCH_CATALOG_PREPARED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "masksearch/service/request.h"
+#include "masksearch/sql/binder.h"
+
+namespace masksearch {
+
+/// \brief Converts a bound SQL query into the service request payload.
+/// Shared by the CLI's script replay and the network server.
+QueryRequest RequestFromBound(const sql::BoundQuery& bound);
+
+class PreparedStatement {
+ public:
+  /// \brief Parses `sql`; fails on syntax errors. Binding errors (unknown
+  /// columns, bad shapes) surface at Bind, as they may depend on values.
+  static Result<std::unique_ptr<PreparedStatement>> Prepare(std::string sql);
+
+  const std::string& sql() const { return sql_; }
+  int num_params() const { return stmt_.num_params; }
+
+  /// \brief Binds one value set (`params.size() == num_params()`).
+  /// Thread-safe: reads the immutable AST only.
+  Result<sql::BoundQuery> Bind(const std::vector<double>& params) const;
+
+  /// \brief Bind + conversion into a submittable QueryRequest.
+  Result<QueryRequest> BindRequest(const std::vector<double>& params) const;
+
+ private:
+  PreparedStatement(std::string sql, sql::SelectStmt stmt)
+      : sql_(std::move(sql)), stmt_(std::move(stmt)) {}
+
+  std::string sql_;
+  sql::SelectStmt stmt_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_CATALOG_PREPARED_H_

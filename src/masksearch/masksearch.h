@@ -21,6 +21,9 @@
 #include "masksearch/cache/buffer_pool.h"
 #include "masksearch/cache/cached_mask_store.h"
 #include "masksearch/cache/chi_cache.h"
+#include "masksearch/catalog/catalog.h"
+#include "masksearch/catalog/metadata_cache.h"
+#include "masksearch/catalog/prepared.h"
 #include "masksearch/common/random.h"
 #include "masksearch/common/result.h"
 #include "masksearch/common/stats.h"
@@ -39,6 +42,9 @@
 #include "masksearch/index/index_manager.h"
 #include "masksearch/kernels/agg_kernels.h"
 #include "masksearch/kernels/chi_kernels.h"
+#include "masksearch/net/client.h"
+#include "masksearch/net/server.h"
+#include "masksearch/net/wire.h"
 #include "masksearch/query/cp.h"
 #include "masksearch/query/expression.h"
 #include "masksearch/query/predicate.h"

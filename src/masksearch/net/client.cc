@@ -1,0 +1,188 @@
+#include "masksearch/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace masksearch {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<NetClient>> NetClient::Connect(
+    const std::string& host, uint16_t port, const NetClientOptions& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("connect to " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.recv_timeout_seconds > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options.recv_timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (options.recv_timeout_seconds - std::floor(options.recv_timeout_seconds)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  return std::unique_ptr<NetClient>(new NetClient(fd, options));
+}
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::Unavailable("client is closed");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Response> NetClient::ReceiveResponse() {
+  if (fd_ < 0) return Status::Unavailable("client is closed");
+  std::string payload;
+  while (true) {
+    MS_ASSIGN_OR_RETURN(
+        bool complete,
+        TakeFrame(&recv_buf_, options_.max_frame_bytes, &payload));
+    if (complete) break;
+    char chunk[16384];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable("timed out waiting for a response");
+      }
+      return Errno("recv");
+    }
+    recv_buf_.append(chunk, static_cast<size_t>(n));
+  }
+  return DecodeResponse(payload);
+}
+
+Result<Response> NetClient::Call(Request request) {
+  request.request_id = next_request_id_++;
+  MS_RETURN_NOT_OK(SendRaw(EncodeFrame(EncodeRequest(request))));
+  MS_ASSIGN_OR_RETURN(Response response, ReceiveResponse());
+  if (response.request_id != request.request_id) {
+    return Status::Corruption(
+        "response id " + std::to_string(response.request_id) +
+        " does not match request id " + std::to_string(request.request_id));
+  }
+  return response;
+}
+
+Status NetClient::Ping() {
+  Request request;
+  request.type = MsgType::kPing;
+  MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  return response.ToStatus();
+}
+
+Result<Response> NetClient::Query(const std::string& dataset,
+                                  const std::string& sql, int64_t tenant,
+                                  PriorityClass priority,
+                                  double deadline_seconds) {
+  Request request;
+  request.type = MsgType::kQuery;
+  request.query.dataset = dataset;
+  request.query.sqltext = sql;
+  request.query.tenant = tenant;
+  request.query.priority = static_cast<uint8_t>(priority);
+  request.query.deadline_seconds = deadline_seconds;
+  MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  MS_RETURN_NOT_OK(response.ToStatus());
+  return response;
+}
+
+Result<NetClient::PreparedHandle> NetClient::Prepare(
+    const std::string& dataset, const std::string& sql) {
+  Request request;
+  request.type = MsgType::kPrepare;
+  request.prepare.dataset = dataset;
+  request.prepare.sqltext = sql;
+  MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  MS_RETURN_NOT_OK(response.ToStatus());
+  PreparedHandle handle;
+  handle.stmt_id = response.stmt_id;
+  handle.num_params = response.num_params;
+  return handle;
+}
+
+Result<Response> NetClient::Execute(uint64_t stmt_id,
+                                    const std::vector<double>& params,
+                                    int64_t tenant, PriorityClass priority,
+                                    double deadline_seconds) {
+  Request request;
+  request.type = MsgType::kExecute;
+  request.execute.stmt_id = stmt_id;
+  request.execute.tenant = tenant;
+  request.execute.priority = static_cast<uint8_t>(priority);
+  request.execute.deadline_seconds = deadline_seconds;
+  request.execute.params = params;
+  MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  MS_RETURN_NOT_OK(response.ToStatus());
+  return response;
+}
+
+Status NetClient::CloseStmt(uint64_t stmt_id) {
+  Request request;
+  request.type = MsgType::kCloseStmt;
+  request.stmt_id = stmt_id;
+  MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  return response.ToStatus();
+}
+
+Result<std::vector<DatasetInfo>> NetClient::ListDatasets() {
+  Request request;
+  request.type = MsgType::kListDatasets;
+  MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  MS_RETURN_NOT_OK(response.ToStatus());
+  return std::move(response.datasets);
+}
+
+}  // namespace net
+}  // namespace masksearch

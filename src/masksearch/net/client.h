@@ -1,0 +1,87 @@
+// NetClient: blocking client of the MaskSearch wire protocol
+// (docs/NETWORK.md). One connection, one RPC in flight at a time — the
+// shape bench_service's closed-loop clients and the CLI `client` command
+// need. Receives are bounded by a timeout (a socket client must never
+// block forever); a typed kUnavailable comes back when the server does not
+// answer in time. The raw Send/Receive pair is exposed for protocol tests
+// (truncated frames, garbage, mid-request disconnects).
+
+#ifndef MASKSEARCH_NET_CLIENT_H_
+#define MASKSEARCH_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "masksearch/net/wire.h"
+
+namespace masksearch {
+namespace net {
+
+struct NetClientOptions {
+  /// Receive timeout per response, in seconds; <= 0 waits forever.
+  double recv_timeout_seconds = 30;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class NetClient {
+ public:
+  static Result<std::unique_ptr<NetClient>> Connect(
+      const std::string& host, uint16_t port,
+      const NetClientOptions& options = {});
+
+  ~NetClient();
+
+  Status Ping();
+
+  /// \brief One-shot SQL. The returned Response is always OK-status (its
+  /// payload is the query result); a shed / failed / timed-out query comes
+  /// back as the typed error Status instead.
+  Result<Response> Query(const std::string& dataset, const std::string& sql,
+                         int64_t tenant = 0,
+                         PriorityClass priority = PriorityClass::kNormal,
+                         double deadline_seconds = 0);
+
+  struct PreparedHandle {
+    uint64_t stmt_id = 0;
+    uint32_t num_params = 0;
+  };
+  Result<PreparedHandle> Prepare(const std::string& dataset,
+                                 const std::string& sql);
+  Result<Response> Execute(uint64_t stmt_id,
+                           const std::vector<double>& params,
+                           int64_t tenant = 0,
+                           PriorityClass priority = PriorityClass::kNormal,
+                           double deadline_seconds = 0);
+  Status CloseStmt(uint64_t stmt_id);
+
+  Result<std::vector<DatasetInfo>> ListDatasets();
+
+  /// \brief Full request/response round-trip (request_id assigned here).
+  /// Unlike the typed wrappers, returns error *responses* as responses.
+  Result<Response> Call(Request request);
+
+  // ---- Raw access (protocol tests) ----
+
+  /// \brief Sends raw bytes as-is: no framing, no validation.
+  Status SendRaw(const std::string& bytes);
+  /// \brief Receives one frame and decodes it.
+  Result<Response> ReceiveResponse();
+  /// \brief Hard-closes the socket (mid-request disconnect tests).
+  void Close();
+
+ private:
+  explicit NetClient(int fd, const NetClientOptions& options)
+      : fd_(fd), options_(options) {}
+
+  int fd_ = -1;
+  NetClientOptions options_;
+  uint64_t next_request_id_ = 1;
+  std::string recv_buf_;
+};
+
+}  // namespace net
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_NET_CLIENT_H_

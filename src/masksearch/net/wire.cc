@@ -1,0 +1,324 @@
+#include "masksearch/net/wire.h"
+
+namespace masksearch {
+namespace net {
+
+namespace {
+
+void PutHeader(BufferWriter* w, MsgType type, uint64_t request_id) {
+  w->PutU8(kWireVersion);
+  w->PutU8(static_cast<uint8_t>(type));
+  w->PutU64(request_id);
+}
+
+Status CheckVersion(uint8_t version) {
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire version mismatch: got " +
+                                   std::to_string(version) + ", want " +
+                                   std::to_string(kWireVersion));
+  }
+  return Status::OK();
+}
+
+/// Bounds a count field against what the buffer could possibly hold, so a
+/// hostile length cannot drive a huge allocation before the read fails.
+Status CheckCount(uint64_t n, size_t element_bytes, const BufferReader& r) {
+  if (element_bytes > 0 && n > r.remaining() / element_bytes) {
+    return Status::Corruption("element count exceeds payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Response::ToStatus() const {
+  switch (static_cast<StatusCode>(status_code)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case StatusCode::kCorruption:
+      return Status::Corruption(message);
+    case StatusCode::kNotImplemented:
+      return Status::NotImplemented(message);
+    case StatusCode::kInternal:
+      return Status::Internal(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case StatusCode::kCancelled:
+      return Status::Cancelled(message);
+  }
+  return Status::Internal("unknown wire status code " +
+                          std::to_string(status_code) + ": " + message);
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  BufferWriter w;
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutBytes(payload.data(), payload.size());
+  return w.Release();
+}
+
+Result<bool> TakeFrame(std::string* buf, uint32_t max_frame_bytes,
+                       std::string* payload) {
+  if (buf->size() < kFrameHeaderBytes) return false;
+  BufferReader r(*buf);
+  MS_ASSIGN_OR_RETURN(uint32_t len, r.GetU32());
+  if (len == 0) return Status::InvalidArgument("empty frame");
+  if (len > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(len) + " bytes exceeds the " +
+        std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  if (buf->size() < kFrameHeaderBytes + len) return false;
+  payload->assign(*buf, kFrameHeaderBytes, len);
+  buf->erase(0, kFrameHeaderBytes + len);
+  return true;
+}
+
+std::string EncodeRequest(const Request& request) {
+  BufferWriter w;
+  PutHeader(&w, request.type, request.request_id);
+  switch (request.type) {
+    case MsgType::kPing:
+    case MsgType::kListDatasets:
+      break;
+    case MsgType::kQuery:
+      w.PutString(request.query.dataset);
+      w.PutString(request.query.sqltext);
+      w.PutI64(request.query.tenant);
+      w.PutU8(request.query.priority);
+      w.PutF64(request.query.deadline_seconds);
+      break;
+    case MsgType::kPrepare:
+      w.PutString(request.prepare.dataset);
+      w.PutString(request.prepare.sqltext);
+      break;
+    case MsgType::kExecute:
+      w.PutString(request.execute.dataset);
+      w.PutU64(request.execute.stmt_id);
+      w.PutI64(request.execute.tenant);
+      w.PutU8(request.execute.priority);
+      w.PutF64(request.execute.deadline_seconds);
+      w.PutU32(static_cast<uint32_t>(request.execute.params.size()));
+      for (double p : request.execute.params) w.PutF64(p);
+      break;
+    case MsgType::kCloseStmt:
+      w.PutU64(request.stmt_id);
+      break;
+    case MsgType::kResponse:
+      break;  // never encoded through this path
+  }
+  return w.Release();
+}
+
+Result<Request> DecodeRequest(const std::string& payload) {
+  BufferReader r(payload);
+  Request req;
+  MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  MS_RETURN_NOT_OK(CheckVersion(version));
+  MS_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  MS_ASSIGN_OR_RETURN(req.request_id, r.GetU64());
+  req.type = static_cast<MsgType>(type);
+  switch (req.type) {
+    case MsgType::kPing:
+    case MsgType::kListDatasets:
+      break;
+    case MsgType::kQuery: {
+      MS_ASSIGN_OR_RETURN(req.query.dataset, r.GetString());
+      MS_ASSIGN_OR_RETURN(req.query.sqltext, r.GetString());
+      MS_ASSIGN_OR_RETURN(req.query.tenant, r.GetI64());
+      MS_ASSIGN_OR_RETURN(req.query.priority, r.GetU8());
+      MS_ASSIGN_OR_RETURN(req.query.deadline_seconds, r.GetF64());
+      break;
+    }
+    case MsgType::kPrepare: {
+      MS_ASSIGN_OR_RETURN(req.prepare.dataset, r.GetString());
+      MS_ASSIGN_OR_RETURN(req.prepare.sqltext, r.GetString());
+      break;
+    }
+    case MsgType::kExecute: {
+      MS_ASSIGN_OR_RETURN(req.execute.dataset, r.GetString());
+      MS_ASSIGN_OR_RETURN(req.execute.stmt_id, r.GetU64());
+      MS_ASSIGN_OR_RETURN(req.execute.tenant, r.GetI64());
+      MS_ASSIGN_OR_RETURN(req.execute.priority, r.GetU8());
+      MS_ASSIGN_OR_RETURN(req.execute.deadline_seconds, r.GetF64());
+      MS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+      MS_RETURN_NOT_OK(CheckCount(n, sizeof(double), r));
+      req.execute.params.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        MS_ASSIGN_OR_RETURN(double p, r.GetF64());
+        req.execute.params.push_back(p);
+      }
+      break;
+    }
+    case MsgType::kCloseStmt: {
+      MS_ASSIGN_OR_RETURN(req.stmt_id, r.GetU64());
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown request type " +
+                                     std::to_string(type));
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after request body");
+  }
+  return req;
+}
+
+std::string EncodeResponse(const Response& response) {
+  BufferWriter w;
+  PutHeader(&w, MsgType::kResponse, response.request_id);
+  w.PutU8(response.status_code);
+  w.PutString(response.message);
+  w.PutU8(static_cast<uint8_t>(response.payload));
+  switch (response.payload) {
+    case PayloadKind::kNone:
+      break;
+    case PayloadKind::kQueryResult: {
+      const WireQueryResult& q = response.result;
+      w.PutU8(q.kind);
+      w.PutU32(static_cast<uint32_t>(q.mask_ids.size()));
+      for (int64_t id : q.mask_ids) w.PutI64(id);
+      w.PutU32(static_cast<uint32_t>(q.scored.size()));
+      for (const auto& [id, value] : q.scored) {
+        w.PutI64(id);
+        w.PutF64(value);
+      }
+      w.PutF64(q.queue_seconds);
+      w.PutF64(q.exec_seconds);
+      break;
+    }
+    case PayloadKind::kPrepareResult:
+      w.PutU64(response.stmt_id);
+      w.PutU32(response.num_params);
+      break;
+    case PayloadKind::kDatasetList:
+      w.PutU32(static_cast<uint32_t>(response.datasets.size()));
+      for (const DatasetInfo& d : response.datasets) {
+        w.PutString(d.name);
+        w.PutI64(d.num_masks);
+        w.PutU64(d.total_bytes);
+      }
+      break;
+  }
+  return w.Release();
+}
+
+Result<Response> DecodeResponse(const std::string& payload) {
+  BufferReader r(payload);
+  Response resp;
+  MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  MS_RETURN_NOT_OK(CheckVersion(version));
+  MS_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  if (static_cast<MsgType>(type) != MsgType::kResponse) {
+    return Status::InvalidArgument("expected a response message, got type " +
+                                   std::to_string(type));
+  }
+  MS_ASSIGN_OR_RETURN(resp.request_id, r.GetU64());
+  MS_ASSIGN_OR_RETURN(resp.status_code, r.GetU8());
+  MS_ASSIGN_OR_RETURN(resp.message, r.GetString());
+  MS_ASSIGN_OR_RETURN(uint8_t payload_kind, r.GetU8());
+  resp.payload = static_cast<PayloadKind>(payload_kind);
+  switch (resp.payload) {
+    case PayloadKind::kNone:
+      break;
+    case PayloadKind::kQueryResult: {
+      WireQueryResult& q = resp.result;
+      MS_ASSIGN_OR_RETURN(q.kind, r.GetU8());
+      MS_ASSIGN_OR_RETURN(uint32_t n_ids, r.GetU32());
+      MS_RETURN_NOT_OK(CheckCount(n_ids, sizeof(int64_t), r));
+      q.mask_ids.reserve(n_ids);
+      for (uint32_t i = 0; i < n_ids; ++i) {
+        MS_ASSIGN_OR_RETURN(int64_t id, r.GetI64());
+        q.mask_ids.push_back(id);
+      }
+      MS_ASSIGN_OR_RETURN(uint32_t n_scored, r.GetU32());
+      MS_RETURN_NOT_OK(CheckCount(n_scored, sizeof(int64_t) + sizeof(double), r));
+      q.scored.reserve(n_scored);
+      for (uint32_t i = 0; i < n_scored; ++i) {
+        MS_ASSIGN_OR_RETURN(int64_t id, r.GetI64());
+        MS_ASSIGN_OR_RETURN(double value, r.GetF64());
+        q.scored.emplace_back(id, value);
+      }
+      MS_ASSIGN_OR_RETURN(q.queue_seconds, r.GetF64());
+      MS_ASSIGN_OR_RETURN(q.exec_seconds, r.GetF64());
+      break;
+    }
+    case PayloadKind::kPrepareResult: {
+      MS_ASSIGN_OR_RETURN(resp.stmt_id, r.GetU64());
+      MS_ASSIGN_OR_RETURN(resp.num_params, r.GetU32());
+      break;
+    }
+    case PayloadKind::kDatasetList: {
+      MS_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+      MS_RETURN_NOT_OK(CheckCount(n, sizeof(uint32_t), r));
+      resp.datasets.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        DatasetInfo d;
+        MS_ASSIGN_OR_RETURN(d.name, r.GetString());
+        MS_ASSIGN_OR_RETURN(d.num_masks, r.GetI64());
+        MS_ASSIGN_OR_RETURN(d.total_bytes, r.GetU64());
+        resp.datasets.push_back(std::move(d));
+      }
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown response payload kind " +
+                                     std::to_string(payload_kind));
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after response body");
+  }
+  return resp;
+}
+
+Response ErrorResponse(uint64_t request_id, const Status& status) {
+  Response resp;
+  resp.request_id = request_id;
+  resp.status_code = static_cast<uint8_t>(status.code());
+  resp.message = status.message();
+  return resp;
+}
+
+Response QueryResultResponse(uint64_t request_id,
+                             const QueryResponse& response) {
+  Response resp;
+  resp.request_id = request_id;
+  resp.payload = PayloadKind::kQueryResult;
+  WireQueryResult& q = resp.result;
+  q.kind = static_cast<uint8_t>(response.kind);
+  q.queue_seconds = response.queue_seconds;
+  q.exec_seconds = response.exec_seconds;
+  switch (response.kind) {
+    case QueryRequest::Kind::kFilter:
+      q.mask_ids.assign(response.filter.mask_ids.begin(),
+                        response.filter.mask_ids.end());
+      break;
+    case QueryRequest::Kind::kTopK:
+      q.scored.reserve(response.topk.items.size());
+      for (const ScoredMask& item : response.topk.items) {
+        q.scored.emplace_back(item.mask_id, item.value);
+      }
+      break;
+    case QueryRequest::Kind::kAggregation:
+    case QueryRequest::Kind::kMaskAgg:
+      q.scored.reserve(response.agg.groups.size());
+      for (const ScoredGroup& g : response.agg.groups) {
+        q.scored.emplace_back(g.group, g.value);
+      }
+      break;
+  }
+  return resp;
+}
+
+}  // namespace net
+}  // namespace masksearch

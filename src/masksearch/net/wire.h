@@ -1,0 +1,156 @@
+// The MaskSearch wire protocol (docs/NETWORK.md).
+//
+// Framing: every message is one frame — a u32 little-endian payload length
+// followed by the payload. Payloads begin with a fixed header:
+//
+//   u8  version      (kWireVersion; mismatches are rejected)
+//   u8  msg_type     (MsgType)
+//   u64 request_id   (client-chosen; responses echo it, so a client may
+//                     pipeline many requests and match completions
+//                     arriving out of order)
+//
+// followed by the per-type body, encoded with the same little-endian
+// BufferWriter/BufferReader helpers as the on-disk formats. Frames are
+// bounded (NetServerOptions::max_frame_bytes); a peer announcing a larger
+// frame, a truncated body, or garbage is a protocol error — the server
+// answers with a typed error response where it still can, then closes the
+// connection, because a misframed stream cannot be resynchronized.
+//
+// Status travels as its numeric StatusCode plus message, so a client
+// recovers the same typed Status (kUnavailable = shed, retry; kDeadline-
+// Exceeded; kCancelled; ...) it would have gotten in-process.
+
+#ifndef MASKSEARCH_NET_WIRE_H_
+#define MASKSEARCH_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "masksearch/common/serialize.h"
+#include "masksearch/service/request.h"
+
+namespace masksearch {
+namespace net {
+
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 4;  ///< the u32 length prefix
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class MsgType : uint8_t {
+  kPing = 0,
+  kQuery = 1,         ///< one-shot SQL text
+  kPrepare = 2,       ///< parse once, get a statement id
+  kExecute = 3,       ///< run a prepared statement with bound parameters
+  kCloseStmt = 4,     ///< drop a prepared statement
+  kListDatasets = 5,  ///< catalog introspection
+  kResponse = 64,     ///< server → client
+};
+
+struct QueryCall {
+  std::string dataset;
+  std::string sqltext;
+  int64_t tenant = 0;
+  uint8_t priority = 1;  ///< PriorityClass
+  double deadline_seconds = 0;
+};
+
+struct PrepareCall {
+  std::string dataset;
+  std::string sqltext;
+};
+
+struct ExecuteCall {
+  std::string dataset;
+  uint64_t stmt_id = 0;
+  int64_t tenant = 0;
+  uint8_t priority = 1;
+  double deadline_seconds = 0;
+  std::vector<double> params;
+};
+
+/// \brief One decoded client→server message; the member named by `type`
+/// is meaningful.
+struct Request {
+  MsgType type = MsgType::kPing;
+  uint64_t request_id = 0;
+  QueryCall query;
+  PrepareCall prepare;
+  ExecuteCall execute;
+  uint64_t stmt_id = 0;  ///< kCloseStmt
+};
+
+/// \brief The executor result of a served query, flattened for the wire:
+/// filter → mask ids; top-k / aggregations → (id-or-group, value) pairs.
+struct WireQueryResult {
+  uint8_t kind = 0;  ///< QueryRequest::Kind
+  std::vector<int64_t> mask_ids;
+  std::vector<std::pair<int64_t, double>> scored;
+  double queue_seconds = 0;
+  double exec_seconds = 0;
+};
+
+struct DatasetInfo {
+  std::string name;
+  int64_t num_masks = 0;
+  uint64_t total_bytes = 0;
+};
+
+enum class PayloadKind : uint8_t {
+  kNone = 0,
+  kQueryResult = 1,
+  kPrepareResult = 2,
+  kDatasetList = 3,
+};
+
+/// \brief One server→client message. `status_code` is the numeric
+/// StatusCode of the request's outcome; the payload member named by
+/// `payload` is populated on success.
+struct Response {
+  uint64_t request_id = 0;
+  uint8_t status_code = 0;
+  std::string message;
+  PayloadKind payload = PayloadKind::kNone;
+  WireQueryResult result;               ///< kQueryResult
+  uint64_t stmt_id = 0;                 ///< kPrepareResult
+  uint32_t num_params = 0;              ///< kPrepareResult
+  std::vector<DatasetInfo> datasets;    ///< kDatasetList
+
+  bool ok() const { return status_code == 0; }
+  /// \brief Reconstructs the typed Status carried by this response.
+  Status ToStatus() const;
+};
+
+// ---- Framing ----
+
+/// \brief Wraps a payload in its length prefix.
+std::string EncodeFrame(const std::string& payload);
+
+/// \brief Incremental deframer: when `*buf` holds at least one complete
+/// frame, moves its payload into `*payload`, erases it from `*buf`, and
+/// returns true; false when more bytes are needed. An announced length of
+/// zero or beyond `max_frame_bytes` is a protocol error (typed
+/// InvalidArgument) — the stream cannot be trusted afterwards.
+Result<bool> TakeFrame(std::string* buf, uint32_t max_frame_bytes,
+                       std::string* payload);
+
+// ---- Messages ----
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(const std::string& payload);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(const std::string& payload);
+
+/// \brief Error response carrying a typed status.
+Response ErrorResponse(uint64_t request_id, const Status& status);
+
+/// \brief Success response wrapping an executor result.
+Response QueryResultResponse(uint64_t request_id,
+                             const QueryResponse& response);
+
+}  // namespace net
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_NET_WIRE_H_

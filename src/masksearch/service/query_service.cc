@@ -46,18 +46,44 @@ Result<QueryResponse> PendingQuery::Wait() {
   return result_;
 }
 
+Result<QueryResponse> PendingQuery::WaitFor(
+    std::chrono::steady_clock::duration timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [&] { return done_; })) {
+    return Status::Unavailable("result not ready");
+  }
+  return result_;
+}
+
 bool PendingQuery::done() const {
   std::lock_guard<std::mutex> lock(mu_);
   return done_;
 }
 
+void PendingQuery::NotifyDone(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!done_) {
+      on_done_ = std::move(fn);
+      return;
+    }
+  }
+  // Already finished: Finish() has fired (or will never see) the stored
+  // callback, so this one runs inline.
+  if (fn) fn();
+}
+
 void PendingQuery::Finish(Result<QueryResponse> result) {
+  std::function<void()> on_done;
   {
     std::lock_guard<std::mutex> lock(mu_);
     result_ = std::move(result);
     done_ = true;
+    on_done = std::move(on_done_);
+    on_done_ = nullptr;
   }
   cv_.notify_all();
+  if (on_done) on_done();
 }
 
 // ---------------------------------------------------------------------------
@@ -88,6 +114,7 @@ QueryService::~QueryService() { Shutdown(); }
 
 uint64_t QueryService::EstimateCostBytes(const ServiceRequest& request) const {
   if (request.cost_bytes_hint > 0) return request.cost_bytes_hint;
+  if (options_.cost_estimator) return options_.cost_estimator(request);
   // Catalog-only estimate: the bytes of every targeted blob — an upper
   // bound on what verification could read (pruning only shrinks it). Never
   // touches the data files.
@@ -128,11 +155,18 @@ Result<std::shared_ptr<PendingQuery>> QueryService::Submit(
   // case admission control exists to make cheap — never pays the catalog
   // walk; the estimate itself runs outside the lock (it can be O(catalog)
   // for metadata-constrained selections) and depth is re-checked after.
+  // Shutdown refusals and overload sheds land in distinct counters: only
+  // the latter means "retry later", and the bench overload sweep reads the
+  // shed ratio from `rejected` alone.
   auto shed_check = [&]() -> Status {
     if (shutdown_) {
+      stats_.RecordRejected(cls,
+                            ServiceStatsRecorder::RejectReason::kShutdown);
       return Status::Unavailable("query service is shutting down");
     }
     if (queue_.size() >= options_.max_queue_depth) {
+      stats_.RecordRejected(cls,
+                            ServiceStatsRecorder::RejectReason::kOverload);
       return Status::Unavailable(
           "admission: queue depth limit reached (" +
           std::to_string(options_.max_queue_depth) + " queued)");
@@ -141,25 +175,18 @@ Result<std::shared_ptr<PendingQuery>> QueryService::Submit(
   };
   {
     std::lock_guard<std::mutex> lock(mu_);
-    Status st = shed_check();
-    if (!st.ok()) {
-      stats_.RecordRejected(cls);
-      return st;
-    }
+    MS_RETURN_NOT_OK(shed_check());
   }
   pending->cost_bytes_ = EstimateCostBytes(pending->request_);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    Status st = shed_check();  // state may have moved during the estimate
-    if (!st.ok()) {
-      stats_.RecordRejected(cls);
-      return st;
-    }
+    MS_RETURN_NOT_OK(shed_check());  // state may have moved during the estimate
     // The bytes limit skips an empty queue so one request larger than the
     // whole budget is still servable (it will occupy the queue alone).
     if (!queue_.empty() && queue_.queued_bytes() + pending->cost_bytes_ >
                                options_.max_queued_bytes) {
-      stats_.RecordRejected(cls);
+      stats_.RecordRejected(cls,
+                            ServiceStatsRecorder::RejectReason::kOverload);
       return Status::Unavailable(
           "admission: queued-bytes limit reached (" +
           std::to_string(queue_.queued_bytes()) + " + " +

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -62,6 +63,12 @@ struct QueryServiceOptions {
   /// Dispatch weights of the priority classes (interactive, normal, batch)
   /// for the scheduler's deficit round-robin. Zeros are clamped to 1.
   std::array<uint32_t, kNumPriorityClasses> class_weights = {{8, 4, 1}};
+  /// Optional pluggable admission cost estimator, consulted after
+  /// cost_bytes_hint but before the built-in catalog walk. The catalog
+  /// layer installs its TTL'd metadata cache here so metadata-constrained
+  /// selections are costed O(1) on the hot path instead of walking every
+  /// mask per Submit. Must be thread-safe; runs outside the service lock.
+  std::function<uint64_t(const ServiceRequest&)> cost_estimator;
 };
 
 /// \brief Handle to a submitted request. Wait() blocks until the terminal
@@ -71,8 +78,20 @@ struct QueryServiceOptions {
 class PendingQuery {
  public:
   Result<QueryResponse> Wait();
+  /// \brief Bounded wait: the terminal result if it arrives within
+  /// `timeout`, else typed kUnavailable ("result not ready"). The request
+  /// keeps running — call again, or Cancel() and then Wait() for the
+  /// terminal status. A socket client uses this to never block forever.
+  Result<QueryResponse> WaitFor(std::chrono::steady_clock::duration timeout);
   bool done() const;
   void Cancel() { control_.Cancel(); }
+
+  /// \brief Registers a completion callback, invoked exactly once — from
+  /// the finishing worker thread, or inline when the request is already
+  /// done. The callback must not re-enter the handle's blocking waits. One
+  /// callback per handle (a second call replaces an unfired one); the
+  /// network server uses this to push responses without a parked thread.
+  void NotifyDone(std::function<void()> fn);
 
   TenantId tenant() const { return request_.tenant; }
   PriorityClass priority() const { return request_.priority; }
@@ -92,6 +111,7 @@ class PendingQuery {
   std::condition_variable cv_;
   bool done_ = false;
   Result<QueryResponse> result_ = Status::Internal("not finished");
+  std::function<void()> on_done_;  ///< fired by Finish, under no lock
 };
 
 class QueryService {

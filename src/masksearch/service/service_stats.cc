@@ -7,24 +7,37 @@
 
 namespace masksearch {
 
-namespace {
-
-LatencySummary SummarizeLatency(std::vector<double> samples) {
-  LatencySummary s;
-  s.count = samples.size();
-  if (samples.empty()) return s;
-  std::sort(samples.begin(), samples.end());
-  s.p50 = Percentile(samples, 0.50);
-  s.p95 = Percentile(samples, 0.95);
-  s.p99 = Percentile(samples, 0.99);
-  s.max = samples.back();
-  double sum = 0;
-  for (double v : samples) sum += v;
-  s.mean = sum / static_cast<double>(samples.size());
-  return s;
+void LatencyReservoir::Add(double v) {
+  ++count_;
+  sum_ += v;
+  max_ = std::max(max_, v);
+  if (samples_.size() < kCapacity) {
+    if (samples_.empty()) samples_.reserve(kCapacity);
+    samples_.push_back(v);
+    return;
+  }
+  // Algorithm R: keep each of the `count_` observations with equal
+  // probability kCapacity / count_.
+  rng_ ^= rng_ << 13;
+  rng_ ^= rng_ >> 7;
+  rng_ ^= rng_ << 17;
+  const uint64_t j = rng_ % count_;
+  if (j < kCapacity) samples_[j] = v;
 }
 
-}  // namespace
+LatencySummary LatencyReservoir::Summarize() const {
+  LatencySummary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = Percentile(sorted, 0.50);
+  s.p95 = Percentile(sorted, 0.95);
+  s.p99 = Percentile(sorted, 0.99);
+  s.mean = sum_ / static_cast<double>(count_);
+  s.max = max_;
+  return s;
+}
 
 std::string LatencySummary::ToString() const {
   char buf[160];
@@ -37,7 +50,7 @@ std::string LatencySummary::ToString() const {
 
 std::string ServiceStats::ToString() const {
   std::string out;
-  char buf[320];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "queued=%llu running=%llu queued_bytes=%llu peak_queued=%llu\n",
                 static_cast<unsigned long long>(queued_now),
@@ -49,11 +62,13 @@ std::string ServiceStats::ToString() const {
     if (c.submitted == 0) return;
     std::snprintf(buf, sizeof(buf),
                   "%-12s submitted=%llu admitted=%llu rejected=%llu "
-                  "completed=%llu deadline_missed=%llu cancelled=%llu "
-                  "failed=%llu\n%-12s   wait: %s\n%-12s   latency: %s\n",
+                  "rejected_shutdown=%llu completed=%llu deadline_missed=%llu "
+                  "cancelled=%llu failed=%llu\n%-12s   wait: %s\n"
+                  "%-12s   latency: %s\n",
                   name, static_cast<unsigned long long>(c.submitted),
                   static_cast<unsigned long long>(c.admitted),
                   static_cast<unsigned long long>(c.rejected),
+                  static_cast<unsigned long long>(c.rejected_shutdown),
                   static_cast<unsigned long long>(c.completed),
                   static_cast<unsigned long long>(c.deadline_missed),
                   static_cast<unsigned long long>(c.cancelled),
@@ -69,11 +84,16 @@ std::string ServiceStats::ToString() const {
   return out;
 }
 
-void ServiceStatsRecorder::RecordRejected(PriorityClass c) {
+void ServiceStatsRecorder::RecordRejected(PriorityClass c,
+                                          RejectReason reason) {
   std::lock_guard<std::mutex> lock(mu_);
   ClassSamples& s = classes_[static_cast<size_t>(c)];
   ++s.counters.submitted;
-  ++s.counters.rejected;
+  if (reason == RejectReason::kShutdown) {
+    ++s.counters.rejected_shutdown;
+  } else {
+    ++s.counters.rejected;
+  }
 }
 
 void ServiceStatsRecorder::RecordAdmitted(PriorityClass c) {
@@ -88,11 +108,13 @@ void ServiceStatsRecorder::RecordOutcome(PriorityClass c, Outcome outcome,
                                          double total_seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   ClassSamples& s = classes_[static_cast<size_t>(c)];
-  s.queue_waits.push_back(queue_seconds);
+  s.queue_waits.Add(queue_seconds);
+  total_queue_waits_.Add(queue_seconds);
   switch (outcome) {
     case Outcome::kCompleted:
       ++s.counters.completed;
-      s.latencies.push_back(total_seconds);
+      s.latencies.Add(total_seconds);
+      total_latencies_.Add(total_seconds);
       break;
     case Outcome::kDeadlineMissed:
       ++s.counters.deadline_missed;
@@ -116,30 +138,24 @@ ServiceStats ServiceStatsRecorder::Snapshot(uint64_t queued_now,
   out.queued_bytes_now = queued_bytes_now;
   out.peak_queued = peak_queued;
 
-  std::vector<double> all_waits, all_latencies;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t c = 0; c < kNumPriorityClasses; ++c) {
-      const ClassSamples& s = classes_[c];
-      out.by_class[c] = s.counters;
-      out.by_class[c].queue_wait = SummarizeLatency(s.queue_waits);
-      out.by_class[c].latency = SummarizeLatency(s.latencies);
-      all_waits.insert(all_waits.end(), s.queue_waits.begin(),
-                       s.queue_waits.end());
-      all_latencies.insert(all_latencies.end(), s.latencies.begin(),
-                           s.latencies.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    const ClassSamples& s = classes_[c];
+    out.by_class[c] = s.counters;
+    out.by_class[c].queue_wait = s.queue_waits.Summarize();
+    out.by_class[c].latency = s.latencies.Summarize();
 
-      out.total.submitted += s.counters.submitted;
-      out.total.admitted += s.counters.admitted;
-      out.total.rejected += s.counters.rejected;
-      out.total.completed += s.counters.completed;
-      out.total.deadline_missed += s.counters.deadline_missed;
-      out.total.cancelled += s.counters.cancelled;
-      out.total.failed += s.counters.failed;
-    }
+    out.total.submitted += s.counters.submitted;
+    out.total.admitted += s.counters.admitted;
+    out.total.rejected += s.counters.rejected;
+    out.total.rejected_shutdown += s.counters.rejected_shutdown;
+    out.total.completed += s.counters.completed;
+    out.total.deadline_missed += s.counters.deadline_missed;
+    out.total.cancelled += s.counters.cancelled;
+    out.total.failed += s.counters.failed;
   }
-  out.total.queue_wait = SummarizeLatency(std::move(all_waits));
-  out.total.latency = SummarizeLatency(std::move(all_latencies));
+  out.total.queue_wait = total_queue_waits_.Summarize();
+  out.total.latency = total_latencies_.Summarize();
   return out;
 }
 

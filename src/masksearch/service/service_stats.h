@@ -17,6 +17,8 @@
 namespace masksearch {
 
 /// \brief Percentile summary of one latency population, in seconds.
+/// `count`, `mean`, and `max` are exact (streamed); the percentiles are
+/// computed from a bounded uniform sample of the population.
 struct LatencySummary {
   uint64_t count = 0;
   double p50 = 0;
@@ -32,7 +34,8 @@ struct LatencySummary {
 struct ClassServiceStats {
   uint64_t submitted = 0;        ///< Submit calls (admitted + rejected)
   uint64_t admitted = 0;         ///< entered the queue
-  uint64_t rejected = 0;         ///< shed by admission control (Unavailable)
+  uint64_t rejected = 0;         ///< shed by overload admission (Unavailable)
+  uint64_t rejected_shutdown = 0;  ///< refused because the service is stopping
   uint64_t completed = 0;        ///< finished with an OK result
   uint64_t deadline_missed = 0;  ///< expired queued or mid-execution
   uint64_t cancelled = 0;        ///< client cancel or service shutdown
@@ -59,14 +62,41 @@ struct ServiceStats {
   std::string ToString() const;
 };
 
+/// \brief Bounded uniform sample of a latency population (reservoir
+/// sampling, Algorithm R) with exact streamed count / sum / max, so a
+/// long-running server holds O(1) stats memory no matter how many requests
+/// it dispatches. Below `kCapacity` observations the percentiles are exact.
+/// The replacement RNG is a deterministic xorshift so replay runs produce
+/// identical summaries.
+class LatencyReservoir {
+ public:
+  static constexpr size_t kCapacity = 4096;
+
+  void Add(double v);
+  uint64_t count() const { return count_; }
+
+  /// Percentiles from the sample, count/mean/max from the stream.
+  LatencySummary Summarize() const;
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+  uint64_t rng_ = 0x9e3779b97f4a7c15ull;
+  std::vector<double> samples_;
+};
+
 /// \brief Thread-safe recorder behind ServiceStats. The service records
 /// admission decisions and request outcomes; Snapshot computes percentiles
-/// from the retained samples. Sample vectors grow one double per dispatched
-/// request (16 bytes each) — bounded by workload size, not time, for the
-/// replay/bench use cases this serves.
+/// from bounded reservoirs (O(1) memory over the service lifetime).
 class ServiceStatsRecorder {
  public:
-  void RecordRejected(PriorityClass c);
+  /// Why admission refused a request: overload shedding (the retryable
+  /// signal bench overload sweeps count) vs. shutdown refusal (the service
+  /// is going away — retrying is pointless). Distinct counters so shed
+  /// ratios are not inflated by teardown.
+  enum class RejectReason { kOverload, kShutdown };
+  void RecordRejected(PriorityClass c, RejectReason reason);
   void RecordAdmitted(PriorityClass c);
 
   /// \brief Terminal accounting of a dispatched (or shed-at-dispatch)
@@ -85,12 +115,16 @@ class ServiceStatsRecorder {
  private:
   struct ClassSamples {
     ClassServiceStats counters;
-    std::vector<double> queue_waits;
-    std::vector<double> latencies;
+    LatencyReservoir queue_waits;
+    LatencyReservoir latencies;
   };
 
   mutable std::mutex mu_;
   std::array<ClassSamples, kNumPriorityClasses> classes_;
+  // The merged population is sampled at record time too: merging per-class
+  // reservoirs after the fact would need weighted resampling.
+  LatencyReservoir total_queue_waits_;
+  LatencyReservoir total_latencies_;
 };
 
 }  // namespace masksearch

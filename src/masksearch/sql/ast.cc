@@ -11,6 +11,8 @@ std::string Expr::ToString() const {
     }
     case Kind::kIdent:
       return ident;
+    case Kind::kParam:
+      return "?";
     case Kind::kCall: {
       std::string s = ident + "(";
       for (size_t i = 0; i < args.size(); ++i) {

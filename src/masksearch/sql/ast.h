@@ -29,13 +29,16 @@ using ExprPtr = std::unique_ptr<Expr>;
 /// \brief Expression node. `op` encodes binary/unary operators:
 /// '+','-','*','/' arithmetic; '<','>','l'(<=),'g'(>=),'=' comparisons;
 /// '&' AND, '|' OR, '!' NOT (unary), 'i' IN (rhs is a "list" call).
+/// kParam is a positional `?` placeholder; `param_index` is its 0-based
+/// position in statement order, resolved at bind time from a value vector.
 struct Expr {
-  enum class Kind { kNumber, kIdent, kBinary, kCall };
+  enum class Kind { kNumber, kIdent, kBinary, kCall, kParam };
 
   Kind kind = Kind::kNumber;
   double number = 0.0;
   std::string ident;  ///< identifier, or function name for kCall
   char op = 0;
+  int param_index = -1;  ///< position for kParam
   std::vector<ExprPtr> args;
 
   static ExprPtr Number(double v) {
@@ -65,6 +68,12 @@ struct Expr {
     e->args.push_back(std::move(rhs));
     return e;
   }
+  static ExprPtr Param(int index) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kParam;
+    e->param_index = index;
+    return e;
+  }
   static ExprPtr Unary(char op, ExprPtr operand) {
     auto e = std::make_unique<Expr>();
     e->kind = Kind::kBinary;
@@ -91,6 +100,7 @@ struct SelectStmt {
   ExprPtr order_by;      ///< may be null
   bool ascending = false;
   int64_t limit = -1;  ///< -1 when absent
+  int num_params = 0;  ///< count of `?` placeholders in statement order
 
   std::string ToString() const;
 };

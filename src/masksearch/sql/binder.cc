@@ -21,15 +21,23 @@ std::string Lower(const std::string& s) {
 }
 
 /// Constant-folds pure-arithmetic expressions; nullopt if the expression
-/// references anything non-constant.
-std::optional<double> EvalConst(const Expr& e) {
+/// references anything non-constant. `?` placeholders fold to their bound
+/// value when `params` is supplied, and are non-constant otherwise.
+std::optional<double> EvalConstImpl(const Expr& e,
+                                    const std::vector<double>* params) {
   switch (e.kind) {
     case Expr::Kind::kNumber:
       return e.number;
+    case Expr::Kind::kParam:
+      if (params != nullptr && e.param_index >= 0 &&
+          static_cast<size_t>(e.param_index) < params->size()) {
+        return (*params)[e.param_index];
+      }
+      return std::nullopt;
     case Expr::Kind::kBinary: {
       if (e.args.size() != 2) return std::nullopt;
-      auto l = EvalConst(*e.args[0]);
-      auto r = EvalConst(*e.args[1]);
+      auto l = EvalConstImpl(*e.args[0], params);
+      auto r = EvalConstImpl(*e.args[1], params);
       if (!l || !r) return std::nullopt;
       switch (e.op) {
         case '+':
@@ -55,10 +63,12 @@ bool IsCatalogColumn(const std::string& name) {
          n == "predicted_label";
 }
 
-/// True if the expression tree touches only catalog columns and constants.
+/// True if the expression tree touches only catalog columns and constants
+/// (a bound `?` counts as a constant).
 bool IsCatalogPredicate(const Expr& e) {
   switch (e.kind) {
     case Expr::Kind::kNumber:
+    case Expr::Kind::kParam:
       return true;
     case Expr::Kind::kIdent:
       return IsCatalogColumn(e.ident);
@@ -82,7 +92,8 @@ bool IsCatalogPredicate(const Expr& e) {
 /// Binder working state: accumulates CP terms and the alias environment.
 class Binder {
  public:
-  explicit Binder(const SelectStmt& stmt) : stmt_(stmt) {
+  Binder(const SelectStmt& stmt, const std::vector<double>* params)
+      : stmt_(stmt), params_(params) {
     for (const auto& item : stmt.items) {
       if (!item.star && !item.alias.empty() && item.expr != nullptr) {
         aliases_[Lower(item.alias)] = item.expr.get();
@@ -107,6 +118,11 @@ class Binder {
     switch (e.kind) {
       case Expr::Kind::kNumber:
         return CpExpr::Constant(e.number);
+      case Expr::Kind::kParam: {
+        auto v = EvalConst(e);
+        if (!v) return Status::InvalidArgument("unbound parameter");
+        return CpExpr::Constant(*v);
+      }
       case Expr::Kind::kIdent: {
         auto it = aliases_.find(Lower(e.ident));
         if (it == aliases_.end()) {
@@ -464,7 +480,13 @@ class Binder {
     return e;
   }
 
+  /// Member shadow of the free folder: sees this bind's parameter values.
+  std::optional<double> EvalConst(const Expr& e) const {
+    return EvalConstImpl(e, params_);
+  }
+
   const SelectStmt& stmt_;
+  const std::vector<double>* params_;  ///< null when binding without values
   std::map<std::string, const Expr*> aliases_;
   std::vector<CpTerm> terms_;
 };
@@ -647,7 +669,24 @@ Result<BoundQuery> Binder::Bind() {
 }  // namespace
 
 Result<BoundQuery> Bind(const SelectStmt& stmt) {
-  Binder binder(stmt);
+  if (stmt.num_params > 0) {
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(stmt.num_params) +
+        " parameter(s); bind with a value vector");
+  }
+  Binder binder(stmt, nullptr);
+  return binder.Bind();
+}
+
+Result<BoundQuery> Bind(const SelectStmt& stmt,
+                        const std::vector<double>& params) {
+  if (static_cast<int>(params.size()) != stmt.num_params) {
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(stmt.num_params) +
+        " parameter(s) but " + std::to_string(params.size()) +
+        " value(s) were bound");
+  }
+  Binder binder(stmt, &params);
   return binder.Bind();
 }
 

@@ -14,6 +14,7 @@
 #define MASKSEARCH_SQL_BINDER_H_
 
 #include <string>
+#include <vector>
 
 #include "masksearch/exec/query_spec.h"
 #include "masksearch/sql/ast.h"
@@ -30,8 +31,17 @@ struct BoundQuery {
   MaskAggQuery mask_agg;
 };
 
-/// \brief Binds a parsed statement.
+/// \brief Binds a parsed statement. Fails if the statement contains `?`
+/// placeholders (use the parameterized overload).
 Result<BoundQuery> Bind(const SelectStmt& stmt);
+
+/// \brief Binds a parsed statement, substituting `params[i]` for the i-th
+/// `?` placeholder. `params.size()` must equal `stmt.num_params`. A `?`
+/// is accepted anywhere a numeric constant is (CP ranges, ROI coordinates,
+/// MASK_AGG / HAVING thresholds, catalog values) — this is the execute-many
+/// half of a prepared statement: parse once, re-bind per value set.
+Result<BoundQuery> Bind(const SelectStmt& stmt,
+                        const std::vector<double>& params);
 
 /// \brief Convenience: tokenize + parse + bind.
 Result<BoundQuery> ParseAndBind(const std::string& sql);

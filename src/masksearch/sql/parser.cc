@@ -56,6 +56,7 @@ class Parser {
     if (Cur().type != TokenType::kEnd) {
       return Err("unexpected trailing input '" + Cur().text + "'");
     }
+    stmt.num_params = num_params_;
     return stmt;
   }
 
@@ -206,6 +207,10 @@ class Parser {
       Advance();
       return e;
     }
+    if (Cur().IsSymbol("?")) {  // positional parameter, indexed left-to-right
+      Advance();
+      return Expr::Param(num_params_++);
+    }
     if (Cur().IsSymbol("-")) {  // unary minus
       Advance();
       MS_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
@@ -309,6 +314,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int num_params_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,363 @@
+// Network-layer tests: wire codec round-trips, protocol-error handling
+// (truncated / oversized / garbage frames), disconnect behaviour, and
+// byte-identical results over real sockets vs in-process execution
+// (docs/NETWORK.md).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "masksearch/catalog/catalog.h"
+#include "masksearch/catalog/prepared.h"
+#include "masksearch/net/client.h"
+#include "masksearch/net/server.h"
+#include "masksearch/net/wire.h"
+#include "masksearch/sql/binder.h"
+#include "tests/test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::MakeStore;
+using testing_util::TempDir;
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+TEST(WireTest, RequestRoundTripsEveryType) {
+  net::Request req;
+  req.type = net::MsgType::kExecute;
+  req.request_id = 77;
+  req.execute.dataset = "d";
+  req.execute.stmt_id = 5;
+  req.execute.tenant = 3;
+  req.execute.priority = 2;
+  req.execute.deadline_seconds = 0.25;
+  req.execute.params = {0.5, 40.0, -1.5};
+
+  auto decoded = net::DecodeRequest(net::EncodeRequest(req)).ValueOrDie();
+  EXPECT_EQ(decoded.type, net::MsgType::kExecute);
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_EQ(decoded.execute.dataset, "d");
+  EXPECT_EQ(decoded.execute.stmt_id, 5u);
+  EXPECT_EQ(decoded.execute.tenant, 3);
+  EXPECT_EQ(decoded.execute.priority, 2);
+  EXPECT_DOUBLE_EQ(decoded.execute.deadline_seconds, 0.25);
+  EXPECT_EQ(decoded.execute.params, (std::vector<double>{0.5, 40.0, -1.5}));
+
+  net::Request query;
+  query.type = net::MsgType::kQuery;
+  query.request_id = 1;
+  query.query.dataset = "x";
+  query.query.sqltext = "SELECT 1;";
+  query.query.tenant = 9;
+  auto q = net::DecodeRequest(net::EncodeRequest(query)).ValueOrDie();
+  EXPECT_EQ(q.query.sqltext, "SELECT 1;");
+  EXPECT_EQ(q.query.tenant, 9);
+}
+
+TEST(WireTest, ResponseRoundTripsResultAndStatus) {
+  net::Response resp;
+  resp.request_id = 12;
+  resp.payload = net::PayloadKind::kQueryResult;
+  resp.result.kind = 0;
+  resp.result.mask_ids = {3, 1, 4, 1, 5};
+  resp.result.scored = {{2, 0.5}, {7, -1.0}};
+  resp.result.queue_seconds = 0.001;
+  resp.result.exec_seconds = 0.125;
+
+  auto decoded = net::DecodeResponse(net::EncodeResponse(resp)).ValueOrDie();
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.result.mask_ids, resp.result.mask_ids);
+  EXPECT_EQ(decoded.result.scored, resp.result.scored);
+  EXPECT_DOUBLE_EQ(decoded.result.exec_seconds, 0.125);
+
+  const net::Response error = net::ErrorResponse(
+      9, Status::DeadlineExceeded("too slow"));
+  auto err = net::DecodeResponse(net::EncodeResponse(error)).ValueOrDie();
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.ToStatus().IsDeadlineExceeded());
+  EXPECT_EQ(err.ToStatus().message(), "too slow");
+}
+
+TEST(WireTest, TakeFrameIsIncremental) {
+  const std::string payload = net::EncodeRequest(net::Request{});
+  const std::string frame = net::EncodeFrame(payload);
+
+  // Feed the frame byte by byte: no partial read ever yields a frame.
+  std::string buf, out;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    buf.push_back(frame[i]);
+    EXPECT_FALSE(net::TakeFrame(&buf, 1 << 20, &out).ValueOrDie());
+  }
+  buf.push_back(frame.back());
+  EXPECT_TRUE(net::TakeFrame(&buf, 1 << 20, &out).ValueOrDie());
+  EXPECT_EQ(out, payload);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(WireTest, OversizedAndEmptyFramesAreTyped) {
+  BufferWriter w;
+  w.PutU32(2048);
+  std::string buf = w.Release();
+  std::string out;
+  EXPECT_TRUE(net::TakeFrame(&buf, /*max_frame_bytes=*/1024, &out)
+                  .status()
+                  .IsInvalidArgument());
+
+  BufferWriter z;
+  z.PutU32(0);
+  buf = z.Release();
+  EXPECT_TRUE(net::TakeFrame(&buf, 1024, &out).status().IsInvalidArgument());
+}
+
+TEST(WireTest, TruncatedBodyIsCorruption) {
+  net::Request req;
+  req.type = net::MsgType::kQuery;
+  req.query.dataset = "d";
+  req.query.sqltext = "SELECT 1;";
+  std::string payload = net::EncodeRequest(req);
+  payload.resize(payload.size() / 2);  // chop the body mid-field
+  EXPECT_FALSE(net::DecodeRequest(payload).ok());
+}
+
+TEST(WireTest, TrailingBytesAreCorruption) {
+  std::string payload = net::EncodeRequest(net::Request{});
+  payload += "extra";
+  EXPECT_TRUE(net::DecodeRequest(payload).status().IsCorruption());
+}
+
+TEST(WireTest, VersionMismatchIsRejected) {
+  std::string payload = net::EncodeRequest(net::Request{});
+  payload[0] = static_cast<char>(net::kWireVersion + 1);
+  EXPECT_TRUE(net::DecodeRequest(payload).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Server + client over real sockets
+// ---------------------------------------------------------------------------
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("net");
+    { auto s = MakeStore(dir_->path(), 16, 2, 32, 32); }
+    DatasetConfig config;
+    config.session.chi.cell_width = config.session.chi.cell_height = 8;
+    config.session.chi.num_bins = 8;
+    config.service.num_workers = 2;
+    dataset_ = catalog_.Register("main", dir_->path(), config).ValueOrDie();
+
+    net::NetServerOptions opts;
+    opts.max_frame_bytes = 1 << 20;
+    server_ = net::NetServer::Start(&catalog_, opts).ValueOrDie();
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    catalog_.ShutdownAll();
+  }
+
+  std::unique_ptr<net::NetClient> Connect() {
+    net::NetClientOptions opts;
+    opts.recv_timeout_seconds = 10;
+    return net::NetClient::Connect("127.0.0.1", server_->port(), opts)
+        .ValueOrDie();
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  Catalog catalog_;
+  Dataset* dataset_ = nullptr;
+  std::unique_ptr<net::NetServer> server_;
+};
+
+constexpr char kFilterSql[] =
+    "SELECT mask_id FROM MasksDatabaseView "
+    "WHERE CP(mask, object, (0.6, 1.0)) > 40;";
+constexpr char kParamSql[] =
+    "SELECT mask_id FROM MasksDatabaseView "
+    "WHERE CP(mask, object, (?, 1.0)) > ?;";
+
+TEST_F(NetServerTest, PingAndListDatasets) {
+  auto client = Connect();
+  MS_ASSERT_OK(client->Ping());
+  auto datasets = client->ListDatasets().ValueOrDie();
+  ASSERT_EQ(datasets.size(), 1u);
+  EXPECT_EQ(datasets[0].name, "main");
+  EXPECT_EQ(datasets[0].num_masks, 32);
+  EXPECT_EQ(datasets[0].total_bytes, dataset_->store().TotalDataBytes());
+}
+
+TEST_F(NetServerTest, QueryMatchesInProcessExactly) {
+  const auto bound = sql::ParseAndBind(kFilterSql).ValueOrDie();
+  const auto expected =
+      dataset_->session()->Filter(bound.filter).ValueOrDie();
+
+  auto client = Connect();
+  auto resp = client->Query("main", kFilterSql).ValueOrDie();
+  ASSERT_EQ(resp.payload, net::PayloadKind::kQueryResult);
+  ASSERT_EQ(resp.result.mask_ids.size(), expected.mask_ids.size());
+  for (size_t i = 0; i < expected.mask_ids.size(); ++i) {
+    EXPECT_EQ(resp.result.mask_ids[i], expected.mask_ids[i]) << "index " << i;
+  }
+}
+
+TEST_F(NetServerTest, PreparedStatementLifecycle) {
+  auto client = Connect();
+  auto handle = client->Prepare("main", kParamSql).ValueOrDie();
+  EXPECT_EQ(handle.num_params, 2u);
+
+  // Two bindings, each matching its in-process answer exactly.
+  auto stmt = PreparedStatement::Prepare(kParamSql).ValueOrDie();
+  for (const std::vector<double>& params :
+       {std::vector<double>{0.6, 40}, std::vector<double>{0.9, 400}}) {
+    const auto expected =
+        dataset_->session()
+            ->Filter(stmt->Bind(params).ValueOrDie().filter)
+            .ValueOrDie();
+    auto resp = client->Execute(handle.stmt_id, params).ValueOrDie();
+    EXPECT_EQ(resp.result.mask_ids,
+              std::vector<int64_t>(expected.mask_ids.begin(),
+                                   expected.mask_ids.end()));
+  }
+
+  // Wrong arity is a typed error from the server, statement stays usable.
+  EXPECT_TRUE(client->Execute(handle.stmt_id, {0.5})
+                  .status()
+                  .IsInvalidArgument());
+  MS_EXPECT_OK(client->Execute(handle.stmt_id, {0.6, 40}).status());
+
+  MS_ASSERT_OK(client->CloseStmt(handle.stmt_id));
+  EXPECT_TRUE(
+      client->Execute(handle.stmt_id, {0.6, 40}).status().IsNotFound());
+}
+
+TEST_F(NetServerTest, ErrorsTravelTyped) {
+  auto client = Connect();
+  EXPECT_TRUE(client->Query("nope", kFilterSql).status().IsNotFound());
+  EXPECT_TRUE(
+      client->Query("main", "SELECT FROM").status().IsInvalidArgument());
+  EXPECT_TRUE(client->Execute(/*stmt_id=*/999, {}).status().IsNotFound());
+  // The connection survives typed errors.
+  MS_EXPECT_OK(client->Ping());
+}
+
+TEST_F(NetServerTest, OversizedFrameGetsErrorThenClose) {
+  auto client = Connect();
+  BufferWriter w;
+  w.PutU32((1 << 20) + 1);  // announce a frame beyond the server's limit
+  MS_ASSERT_OK(client->SendRaw(w.Release()));
+  auto resp = client->ReceiveResponse().ValueOrDie();
+  EXPECT_TRUE(resp.ToStatus().IsInvalidArgument());
+  // The stream is unresynchronizable: the server hangs up after the error.
+  EXPECT_TRUE(client->ReceiveResponse().status().IsUnavailable());
+  EXPECT_GE(server_->stats().protocol_errors, 1u);
+}
+
+TEST_F(NetServerTest, GarbageFrameGetsErrorThenClose) {
+  auto client = Connect();
+  MS_ASSERT_OK(client->SendRaw(net::EncodeFrame("\xff\xfegarbage bytes")));
+  auto resp = client->ReceiveResponse().ValueOrDie();
+  EXPECT_FALSE(resp.ok());
+  EXPECT_TRUE(client->ReceiveResponse().status().IsUnavailable());
+}
+
+TEST_F(NetServerTest, TruncatedBodyGetsErrorThenClose) {
+  net::Request req;
+  req.type = net::MsgType::kQuery;
+  req.request_id = 3;
+  req.query.dataset = "main";
+  req.query.sqltext = kFilterSql;
+  std::string payload = net::EncodeRequest(req);
+  payload.resize(payload.size() - 7);  // valid frame, truncated body
+
+  auto client = Connect();
+  MS_ASSERT_OK(client->SendRaw(net::EncodeFrame(payload)));
+  auto resp = client->ReceiveResponse().ValueOrDie();
+  EXPECT_FALSE(resp.ok());
+  EXPECT_TRUE(client->ReceiveResponse().status().IsUnavailable());
+}
+
+TEST_F(NetServerTest, MidRequestDisconnectLeavesServerHealthy) {
+  {
+    auto client = Connect();
+    net::Request req;
+    req.type = net::MsgType::kQuery;
+    req.request_id = 1;
+    req.query.dataset = "main";
+    req.query.sqltext = kFilterSql;
+    // Fire the query and hang up without reading the response; then a
+    // half-written frame from another client.
+    MS_ASSERT_OK(client->SendRaw(net::EncodeFrame(net::EncodeRequest(req))));
+    client->Close();
+  }
+  {
+    auto client = Connect();
+    BufferWriter w;
+    w.PutU32(64);  // announce 64 bytes, send 3, vanish
+    w.PutU8(1);
+    w.PutU8(1);
+    w.PutU8(1);
+    MS_ASSERT_OK(client->SendRaw(w.Release()));
+    client->Close();
+  }
+  // The server keeps serving new connections correctly.
+  auto client = Connect();
+  MS_ASSERT_OK(client->Ping());
+  auto resp = client->Query("main", kFilterSql).ValueOrDie();
+  EXPECT_EQ(resp.payload, net::PayloadKind::kQueryResult);
+}
+
+TEST_F(NetServerTest, ConcurrentClientsGetByteIdenticalResults) {
+  // Expected answers computed in-process, single-threaded, first.
+  auto stmt = PreparedStatement::Prepare(kParamSql).ValueOrDie();
+  std::vector<std::vector<double>> bindings;
+  std::vector<std::vector<MaskId>> expected;
+  for (int i = 0; i < 6; ++i) {
+    bindings.push_back({0.4 + 0.1 * i, 10.0 + 60.0 * i});
+    expected.push_back(dataset_->session()
+                           ->Filter(stmt->Bind(bindings.back())
+                                        .ValueOrDie()
+                                        .filter)
+                           .ValueOrDie()
+                           .mask_ids);
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Connect();
+      auto handle = client->Prepare("main", kParamSql).ValueOrDie();
+      for (int r = 0; r < kRounds; ++r) {
+        const size_t which = (c + r) % bindings.size();
+        auto resp = client->Execute(handle.stmt_id, bindings[which],
+                                    /*tenant=*/c)
+                        .ValueOrDie();
+        const std::vector<int64_t> want(expected[which].begin(),
+                                        expected[which].end());
+        if (resp.result.mask_ids != want) mismatches.fetch_add(1);
+      }
+      MS_EXPECT_OK(client->CloseStmt(handle.stmt_id));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server_->stats().protocol_errors, 0u);
+}
+
+TEST_F(NetServerTest, StopIsIdempotentWithLiveClients) {
+  auto client = Connect();
+  MS_ASSERT_OK(client->Ping());
+  server_->Stop();
+  server_->Stop();
+  // The closed server is visible client-side as a dead connection.
+  EXPECT_FALSE(client->Ping().ok());
+}
+
+}  // namespace
+}  // namespace masksearch

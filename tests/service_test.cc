@@ -9,8 +9,10 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "masksearch/common/thread_pool.h"
@@ -552,6 +554,134 @@ TEST(ServiceTest, SharedAliasedPoolsDoNotDeadlock) {
     pending.push_back(service->Submit(std::move(req)).ValueOrDie());
   }
   for (auto& p : pending) EXPECT_TRUE(p->Wait().ok());
+}
+
+// --- pending-query waiting and notification ---------------------------------
+
+TEST(ServiceTest, WaitForTimesOutTypedThenResolves) {
+  Harness h = Harness::Make("svc_waitfor", 0, /*latency_us=*/3000.0,
+                            /*use_index=*/false, /*overlapped=*/false,
+                            /*no_coalesce=*/true);
+  QueryServiceOptions sopts;
+  sopts.num_workers = 1;
+  auto service = QueryService::Start(h.session.get(), sopts).ValueOrDie();
+
+  Rng rng(121);
+  QueryGenOptions gen;
+  ServiceRequest req;
+  req.query = QueryRequest::Filter(GenerateFilterQuery(&rng, *h.store, gen));
+  auto p = service->Submit(std::move(req)).ValueOrDie();
+
+  // The modeled disk keeps the query busy for >= 100 ms: a 1 ms wait must
+  // time out typed — and the query KEEPS RUNNING (timeout is not Cancel).
+  const auto timed_out = p->WaitFor(std::chrono::milliseconds(1));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_TRUE(timed_out.status().IsUnavailable())
+      << timed_out.status().ToString();
+
+  const auto done = p->WaitFor(std::chrono::seconds(60));
+  MS_ASSERT_OK(done.status());
+  // A resolved handle answers WaitFor immediately, repeatably.
+  MS_EXPECT_OK(p->WaitFor(std::chrono::milliseconds(0)).status());
+  MS_EXPECT_OK(p->Wait().status());
+}
+
+TEST(ServiceTest, NotifyDoneFiresOnceOnCompletion) {
+  Harness h = Harness::Make("svc_notify", 0, /*latency_us=*/0);
+  auto service =
+      QueryService::Start(h.session.get(), QueryServiceOptions{}).ValueOrDie();
+
+  Rng rng(131);
+  QueryGenOptions gen;
+  ServiceRequest req;
+  req.query = QueryRequest::Filter(GenerateFilterQuery(&rng, *h.store, gen));
+  auto p = service->Submit(std::move(req)).ValueOrDie();
+
+  std::atomic<int> fired{0};
+  p->NotifyDone([&] { fired.fetch_add(1); });
+  MS_ASSERT_OK(p->Wait().status());
+  // Wait() returning only guarantees the result is set; the callback runs on
+  // the finishing worker thread and may trail by an instant. It must still
+  // fire exactly once.
+  for (int i = 0; i < 2000 && fired.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fired.load(), 1);
+
+  // Registration after completion runs the callback inline.
+  std::atomic<int> late{0};
+  p->NotifyDone([&] { late.fetch_add(1); });
+  EXPECT_EQ(late.load(), 1);
+}
+
+// --- stats: reject-reason split and bounded memory ---------------------------
+
+TEST(ServiceTest, RejectionCountersSplitShutdownFromOverload) {
+  Harness h = Harness::Make("svc_rej_split", 0, /*latency_us=*/2000.0,
+                            /*use_index=*/false);
+  QueryServiceOptions sopts;
+  sopts.num_workers = 1;
+  sopts.max_queue_depth = 1;
+  auto service = QueryService::Start(h.session.get(), sopts).ValueOrDie();
+
+  Rng rng(141);
+  QueryGenOptions gen;
+  auto make_req = [&] {
+    ServiceRequest req;
+    req.query = QueryRequest::Filter(GenerateFilterQuery(&rng, *h.store, gen));
+    return req;
+  };
+  // Burst past the depth-1 queue: overload sheds.
+  std::vector<std::shared_ptr<PendingQuery>> admitted;
+  for (int i = 0; i < 10; ++i) {
+    auto p = service->Submit(make_req());
+    if (p.ok()) admitted.push_back(*p);
+  }
+  for (auto& p : admitted) (void)p->Wait();
+  const ServiceStats mid = service->Stats();
+  EXPECT_GT(mid.total.rejected, 0u);
+  EXPECT_EQ(mid.total.rejected_shutdown, 0u);
+
+  // Shutdown-time rejects land in their own counter, not in overload.
+  service->Shutdown();
+  EXPECT_TRUE(service->Submit(make_req()).status().IsUnavailable());
+  EXPECT_TRUE(service->Submit(make_req()).status().IsUnavailable());
+  const ServiceStats after = service->Stats();
+  EXPECT_EQ(after.total.rejected, mid.total.rejected);
+  EXPECT_EQ(after.total.rejected_shutdown, 2u);
+  EXPECT_NE(after.ToString().find("rejected_shutdown=2"), std::string::npos);
+}
+
+TEST(ServiceTest, LatencyReservoirIsBoundedAndExact) {
+  // Far more samples than the reservoir holds: counts, mean, and max stay
+  // exact (streaming), percentiles come from the bounded reservoir.
+  LatencyReservoir r;
+  const size_t n = 50000;
+  ASSERT_GT(n, LatencyReservoir::kCapacity);
+  for (size_t i = 0; i < n; ++i) r.Add(static_cast<double>(i + 1));
+
+  EXPECT_EQ(r.count(), n);
+  const LatencySummary s = r.Summarize();
+  EXPECT_EQ(s.count, n);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(n));
+  EXPECT_NEAR(s.mean, (n + 1) / 2.0, 1e-6);
+  // Algorithm R keeps a uniform sample: the median estimate lands well
+  // inside the middle half for n >> capacity.
+  EXPECT_GT(s.p50, 0.25 * n);
+  EXPECT_LT(s.p50, 0.75 * n);
+  EXPECT_GE(s.p99, s.p95);
+  EXPECT_GE(s.p95, s.p50);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(ServiceTest, ReservoirSmallCountsAreExact) {
+  LatencyReservoir r;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) r.Add(v);
+  const LatencySummary s = r.Summarize();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);  // interpolated median of {1,2,3,4}
 }
 
 }  // namespace

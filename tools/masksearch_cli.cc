@@ -32,6 +32,19 @@
 //       index). Prints ServiceStats (admission counters, per-class
 //       latency percentiles) and cache stats.
 //
+//   masksearch_cli serve --dir D --port P [--bind A] [--name N]
+//                        [--workers W] [--queue-depth Q] [--cache-mib M] ...
+//       Network mode (docs/NETWORK.md): registers --dir as the named
+//       dataset N (default "default") in a catalog and serves the wire
+//       protocol on A:P until SIGINT/SIGTERM; --port 0 picks a free port
+//       (printed as "listening on A:P"). Exits 0 on a clean shutdown.
+//
+//   masksearch_cli client --port P [--host H] [--dataset D]
+//                         [--sql S | --prepare S --params "v1,v2" | --list]
+//                         [--repeat N] [--timeout-ms T]
+//       Socket client for a running `serve --port`: ping (default),
+//       one-shot SQL, prepared-statement replay, or dataset listing.
+//
 //   masksearch_cli stats --dir D [--sql S] [--repeat N] [--script F]
 //                        [--clients N] [--workers W] [--cache-mib M]
 //                        [--cache-shards N] [--cache-admission all|scan]
@@ -49,6 +62,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -106,8 +121,8 @@ Args ParseArgs(int argc, char** argv) {
 int Usage(int exit_code = 2) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
                "masksearch_cli %s\n"
-               "usage: masksearch_cli <generate|info|query|stats|serve|explain>"
-               " [options]\n"
+               "usage: masksearch_cli "
+               "<generate|info|query|stats|serve|client|explain> [options]\n"
                "  generate --dir D [--images N] [--models M] [--width W]\n"
                "           [--height H] [--seed S] [--compressed]\n"
                "  info     --dir D\n"
@@ -122,6 +137,12 @@ int Usage(int exit_code = 2) {
                "           [--repeat R] [--queue-depth Q] [--max-queued-mib M]\n"
                "           [--deadline-ms M] [--verify-batch B] [--cache-mib M]\n"
                "           [--incremental] [--no-index]\n"
+               "  serve    --dir D --port P [--bind A] [--name N]\n"
+               "           [--workers W] [--queue-depth Q] [--cache-mib M]\n"
+               "           [--max-conns C] [--incremental] [--no-index]\n"
+               "  client   --port P [--host H] [--dataset D] [--sql S]\n"
+               "           [--prepare S --params V] [--repeat N] [--list]\n"
+               "           [--timeout-ms T] [--limit-print K]\n"
                "  explain  --sql S\n"
                "  shard    --dir D --out D2 [--shards N]\n"
                "  import   --dir D --npy-dir P [--models M]\n"
@@ -292,20 +313,6 @@ struct ScriptEntry {
   double deadline_seconds = 0;  ///< 0 = service default
 };
 
-QueryRequest RequestFromBound(const sql::BoundQuery& bound) {
-  switch (bound.kind) {
-    case sql::BoundQuery::Kind::kFilter:
-      return QueryRequest::Filter(bound.filter);
-    case sql::BoundQuery::Kind::kTopK:
-      return QueryRequest::TopK(bound.topk);
-    case sql::BoundQuery::Kind::kAggregation:
-      return QueryRequest::Aggregation(bound.agg);
-    case sql::BoundQuery::Kind::kMaskAgg:
-      return QueryRequest::MaskAgg(bound.mask_agg);
-  }
-  return QueryRequest::Filter(bound.filter);  // unreachable
-}
-
 /// Parses a serve script: '#'-prefixed and blank lines are skipped; every
 /// other line is `[tenant=N] [class=C] [deadline_ms=X] SQL...`.
 Result<std::vector<ScriptEntry>> LoadScript(const std::string& path) {
@@ -444,7 +451,248 @@ void PrintServiceStats(const ServiceStats& stats) {
   std::printf("service:\n%s", stats.ToString().c_str());
 }
 
+// ---------------------------------------------------------------------------
+// serve --port / client: the socket server and its client (docs/NETWORK.md)
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+/// Network serve mode: registers --dir as one named dataset in a Catalog,
+/// starts the NetServer, and runs until SIGINT/SIGTERM — then shuts down
+/// cleanly (stats printed, in-flight queries drained or cancelled, exit 0).
+int RunServeNetwork(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  const std::shared_ptr<BufferPool> pool = PoolFromArgs(args, /*def_mib=*/256);
+
+  DatasetConfig config;
+  config.store.cache = pool;
+  config.session.cache = pool;
+  config.session.chi.cell_width = config.session.chi.cell_height =
+      static_cast<int32_t>(args.GetInt("cell", 14));
+  config.session.chi.num_bins = static_cast<int32_t>(args.GetInt("bins", 16));
+  config.session.incremental = args.Has("incremental");
+  config.session.use_index = !args.Has("no-index");
+  config.session.filter_verify_batch =
+      static_cast<size_t>(args.GetInt("verify-batch", 32));
+  config.session.agg_verify_batch = config.session.filter_verify_batch;
+  config.service.num_workers = static_cast<size_t>(args.GetInt("workers", 4));
+  config.service.max_queue_depth =
+      static_cast<size_t>(args.GetInt("queue-depth", 256));
+  config.service.max_queued_bytes =
+      static_cast<uint64_t>(args.GetInt("max-queued-mib", 1024)) << 20;
+  config.service.default_deadline_seconds = args.GetInt("deadline-ms", 0) / 1e3;
+
+  Catalog catalog;
+  const std::string name = args.Get("name", "default");
+  auto dataset = catalog.Register(name, args.Get("dir"), config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  net::NetServerOptions sopts;
+  sopts.bind_address = args.Get("bind", "127.0.0.1");
+  sopts.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  sopts.max_connections = static_cast<size_t>(args.GetInt("max-conns", 256));
+  auto server = net::NetServer::Start(&catalog, sopts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("-- dataset \"%s\": %lld masks, %.2f MiB\n", name.c_str(),
+              static_cast<long long>((*dataset)->store().num_masks()),
+              (*dataset)->store().TotalDataBytes() / 1048576.0);
+  // Scripts wait for this exact line before connecting.
+  std::printf("listening on %s:%u\n", sopts.bind_address.c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const net::NetServer::Stats net_stats = (*server)->stats();
+  (*server)->Stop();
+  std::printf("-- shutdown: %llu connections, %llu requests, "
+              "%llu protocol errors\n",
+              static_cast<unsigned long long>(net_stats.connections_accepted),
+              static_cast<unsigned long long>(net_stats.requests),
+              static_cast<unsigned long long>(net_stats.protocol_errors));
+  PrintServiceStats((*dataset)->service()->Stats());
+  const MetadataCache::CacheStats mstats = (*dataset)->metadata()->stats();
+  std::printf("metadata cache: %llu hits / %llu misses, %zu entries\n",
+              static_cast<unsigned long long>(mstats.hits),
+              static_cast<unsigned long long>(mstats.misses), mstats.entries);
+  if (pool != nullptr) {
+    std::printf("cache: %s\n", pool->Stats().ToString().c_str());
+  }
+  catalog.ShutdownAll();
+  return 0;
+}
+
+/// Prints a wire query result the way `query` prints in-process results.
+void PrintWireResult(const net::Response& resp, size_t print_limit) {
+  const net::WireQueryResult& q = resp.result;
+  switch (static_cast<QueryRequest::Kind>(q.kind)) {
+    case QueryRequest::Kind::kFilter:
+      std::printf("-- %zu masks match\n", q.mask_ids.size());
+      for (size_t i = 0; i < q.mask_ids.size() && i < print_limit; ++i) {
+        std::printf("mask %lld\n", static_cast<long long>(q.mask_ids[i]));
+      }
+      if (q.mask_ids.size() > print_limit) std::printf("...\n");
+      break;
+    case QueryRequest::Kind::kTopK:
+      for (size_t i = 0; i < q.scored.size() && i < print_limit; ++i) {
+        std::printf("%3zu. mask %lld  value %.4f\n", i + 1,
+                    static_cast<long long>(q.scored[i].first),
+                    q.scored[i].second);
+      }
+      break;
+    case QueryRequest::Kind::kAggregation:
+    case QueryRequest::Kind::kMaskAgg:
+      for (size_t i = 0; i < q.scored.size() && i < print_limit; ++i) {
+        std::printf("%3zu. group %lld  value %.4f\n", i + 1,
+                    static_cast<long long>(q.scored[i].first),
+                    q.scored[i].second);
+      }
+      break;
+  }
+  std::printf("-- queued %.1f ms, executed %.1f ms\n", q.queue_seconds * 1e3,
+              q.exec_seconds * 1e3);
+}
+
+/// Comma-separated parameter values for --params.
+Result<std::vector<double>> ParseParamList(const std::string& text) {
+  std::vector<double> params;
+  if (text.empty()) return params;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad parameter value: " + item);
+    }
+    params.push_back(v);
+  }
+  return params;
+}
+
+/// Socket client: ping (default), --list, one-shot --sql, or prepared
+/// replay (--prepare SQL --params "v1,v2" --repeat N).
+int RunClient(const Args& args) {
+  if (!args.Has("port")) return Usage();
+  net::NetClientOptions copts;
+  copts.recv_timeout_seconds = args.GetInt("timeout-ms", 30000) / 1e3;
+  auto client = net::NetClient::Connect(
+      args.Get("host", "127.0.0.1"),
+      static_cast<uint16_t>(args.GetInt("port", 0)), copts);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (args.Has("list")) {
+    auto datasets = (*client)->ListDatasets();
+    if (!datasets.ok()) {
+      std::fprintf(stderr, "%s\n", datasets.status().ToString().c_str());
+      return 1;
+    }
+    for (const net::DatasetInfo& d : *datasets) {
+      std::printf("%s: %lld masks, %.2f MiB\n", d.name.c_str(),
+                  static_cast<long long>(d.num_masks),
+                  d.total_bytes / 1048576.0);
+    }
+    return 0;
+  }
+
+  const std::string dataset = args.Get("dataset", "default");
+  const int64_t repeat = std::max<int64_t>(1, args.GetInt("repeat", 1));
+  const size_t print_limit =
+      static_cast<size_t>(args.GetInt("limit-print", 10));
+
+  if (args.Has("prepare")) {
+    auto handle = (*client)->Prepare(dataset, args.Get("prepare"));
+    if (!handle.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   handle.status().ToString().c_str());
+      return 1;
+    }
+    auto params = ParseParamList(args.Get("params"));
+    if (!params.ok()) {
+      std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("-- prepared statement %llu (%u parameters)\n",
+                static_cast<unsigned long long>(handle->stmt_id),
+                handle->num_params);
+    Stopwatch wall;
+    net::Response last;
+    for (int64_t r = 0; r < repeat; ++r) {
+      auto resp = (*client)->Execute(handle->stmt_id, *params);
+      if (!resp.ok()) {
+        std::fprintf(stderr, "execute failed: %s\n",
+                     resp.status().ToString().c_str());
+        return 1;
+      }
+      last = std::move(*resp);
+    }
+    const double seconds = wall.ElapsedSeconds();
+    std::printf("-- %lld execution(s) in %.3fs (%.1f qps)\n",
+                static_cast<long long>(repeat), seconds,
+                seconds > 0 ? static_cast<double>(repeat) / seconds : 0.0);
+    PrintWireResult(last, print_limit);
+    const Status closed = (*client)->CloseStmt(handle->stmt_id);
+    if (!closed.ok()) {
+      std::fprintf(stderr, "close failed: %s\n", closed.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (args.Has("sql")) {
+    net::Response last;
+    Stopwatch wall;
+    for (int64_t r = 0; r < repeat; ++r) {
+      auto resp = (*client)->Query(dataset, args.Get("sql"));
+      if (!resp.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     resp.status().ToString().c_str());
+        return 1;
+      }
+      last = std::move(*resp);
+    }
+    const double seconds = wall.ElapsedSeconds();
+    if (repeat > 1) {
+      std::printf("-- %lld queries in %.3fs (%.1f qps)\n",
+                  static_cast<long long>(repeat), seconds,
+                  seconds > 0 ? static_cast<double>(repeat) / seconds : 0.0);
+    }
+    PrintWireResult(last, print_limit);
+    return 0;
+  }
+
+  const Status st = (*client)->Ping();
+  if (!st.ok()) {
+    std::fprintf(stderr, "ping failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("pong from %s:%lld\n", args.Get("host", "127.0.0.1").c_str(),
+              static_cast<long long>(args.GetInt("port", 0)));
+  return 0;
+}
+
 int RunServe(const Args& args) {
+  // --port switches serve into network mode (docs/NETWORK.md); without it
+  // the command remains the in-process script replay below.
+  if (args.Has("port")) return RunServeNetwork(args);
   if (!args.Has("dir") || !args.Has("script")) return Usage();
   auto entries = LoadScript(args.Get("script"));
   if (!entries.ok()) {
@@ -832,6 +1080,7 @@ int main(int argc, char** argv) {
   if (args.command == "query") return RunQuery(args);
   if (args.command == "stats") return RunStats(args);
   if (args.command == "serve") return RunServe(args);
+  if (args.command == "client") return RunClient(args);
   if (args.command == "explain") return RunExplain(args);
   if (args.command == "shard") return RunShard(args);
   if (args.command == "import") return RunImport(args);

@@ -79,11 +79,15 @@ done
 
 # The serving-layer driver must record both arrival modes (closed-loop
 # client sweep + open-loop rate sweep), the scaling headline, admission
-# rejects, and per-class latency percentiles (docs/SERVING.md).
+# rejects, per-class latency percentiles (docs/SERVING.md), and the
+# socket phase — prepared statements over real loopback sockets vs the
+# identical in-process path (docs/NETWORK.md).
 for key in closed_scaling_8x closed_clients_8_qps closed8_p99_ms \
            closed8_interactive_p50_ms open_rate_0_offered_qps \
            open_rate_2_rejected open_rate_0_p99_ms warm_qps \
-           service_cache_hit_ratio; do
+           service_cache_hit_ratio socket_inproc_qps \
+           socket_clients_8_qps socket_scaling_8x \
+           socket_vs_inproc_ratio; do
   if ! grep -q "\"$key\"" "$JSON_DIR/BENCH_bench_service.json" 2>/dev/null; then
     echo "MISSING: $key not in BENCH_bench_service.json" >&2
     status=1
