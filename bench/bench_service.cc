@@ -28,11 +28,28 @@
 //   3. warm cache: the closed-loop mix repeated through a buffer-pool
 //      cache; records warm_qps, the service cache hit ratio, and the
 //      cache-aware prefetch skips.
+//   4. sockets: the same work over loopback TCP vs in-process.
+//   5. replicated tier (docs/REPLICATION.md): closed-loop load routed
+//      across 2 and 4 in-process replicas (each with its own modeled disk
+//      and executor slots) — records replica_2_qps / replica_4_qps and the
+//      2→4 scaling — plus a failover segment that script-kills a replica
+//      mid-run and records failover_error_budget, the typed errors that
+//      leaked past the router's retry budget (0 when failover absorbs the
+//      kill).
+//
+// The open loop additionally measures client-observed latency-under-SLO
+// per priority class (interactive 50 ms, normal 250 ms, batch 2 s on the
+// modeled disk): slo_attainment = completed-within-SLO / offered, with
+// admission sheds counted as misses.
 
+#include <array>
 #include <cinttypes>
 #include <thread>
 
 #include "bench_common.h"
+#include "masksearch/replica/fault_injector.h"
+#include "masksearch/replica/replica_group.h"
+#include "masksearch/replica/router.h"
 
 namespace masksearch {
 namespace bench {
@@ -158,15 +175,30 @@ std::vector<ServiceRequest> ClientStream(const MaskStore& store,
   return out;
 }
 
+/// Client-observed latency SLOs per priority class on the modeled disk:
+/// interactive 50 ms, normal 250 ms, batch 2 s (index order matches
+/// PriorityClass).
+constexpr std::array<double, kNumPriorityClasses> kSloSeconds = {0.05, 0.25,
+                                                                 2.0};
+
 struct PhaseResult {
   double seconds = 0;
   uint64_t completed = 0;
   uint64_t rejected = 0;
   ServiceStats stats;
   int64_t prefetch_skips = 0;
+  /// Open loop only: per-class requests completed OK within kSloSeconds /
+  /// requests offered (admission sheds count as offered misses).
+  std::array<uint64_t, kNumPriorityClasses> slo_within{};
+  std::array<uint64_t, kNumPriorityClasses> slo_offered{};
 
   double qps() const {
     return seconds > 0 ? static_cast<double>(completed) / seconds : 0;
+  }
+  double slo_attainment(size_t cls) const {
+    return slo_offered[cls] > 0
+               ? static_cast<double>(slo_within[cls]) / slo_offered[cls]
+               : 1.0;
   }
 };
 
@@ -221,6 +253,16 @@ PhaseResult RunOpenLoop(Session* session, double rate_qps, size_t n) {
   const std::vector<ServiceRequest> stream =
       ClientStream(session->store(), /*client=*/99, n);
 
+  // SLO accounting is client-observed: the clock starts at Submit and stops
+  // in the NotifyDone callback (fired from the finishing worker), so queue
+  // wait, execution, and modeled I/O all count. Heap-shared so a straggling
+  // callback can never outlive the counters; reads happen after Drain(),
+  // when every finishing worker has run its callback.
+  struct SloAccum {
+    std::array<std::atomic<uint64_t>, kNumPriorityClasses> within{};
+  };
+  auto slo = std::make_shared<SloAccum>();
+
   PhaseResult result;
   Rng rng(271828);
   std::vector<std::shared_ptr<PendingQuery>> pending;
@@ -235,12 +277,29 @@ PhaseResult RunOpenLoop(Session* session, double rate_qps, size_t n) {
         std::chrono::duration<double>(gap));
     ServiceRequest req = stream[i];
     req.tenant = static_cast<TenantId>(i % 4);
+    const size_t cls = static_cast<size_t>(req.priority);
+    ++result.slo_offered[cls];
     auto p = service->Submit(std::move(req));
     if (p.ok()) {
+      const auto submitted = std::chrono::steady_clock::now();
+      // weak_ptr breaks the handle->callback->handle cycle; by the time the
+      // callback fires the result is set, so Wait() returns without blocking.
+      std::weak_ptr<PendingQuery> weak = *p;
+      (*p)->NotifyDone([slo, cls, submitted, weak] {
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          submitted)
+                .count();
+        auto handle = weak.lock();
+        if (handle && handle->Wait().ok() && secs <= kSloSeconds[cls]) {
+          slo->within[cls].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
       pending.push_back(*p);
     } else {
       ++result.rejected;  // admission shed (kUnavailable): the open-loop
-                          // overload signal, counted not retried
+                          // overload signal, counted not retried — and an
+                          // SLO miss for its class
     }
   }
   for (auto& p : pending) (void)p->Wait();
@@ -248,6 +307,9 @@ PhaseResult RunOpenLoop(Session* session, double rate_qps, size_t n) {
   service->Drain();
   result.stats = service->Stats();
   result.completed = result.stats.total.completed;
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    result.slo_within[c] = slo->within[c].load();
+  }
   return result;
 }
 
@@ -336,6 +398,15 @@ void Run(const BenchFlags& flags) {
     RecordMetric(prefix + "_qps", r.qps());
     RecordMetric(prefix + "_rejected", static_cast<double>(r.rejected));
     RecordLatencies(prefix, r.stats);
+    std::printf("    SLO attainment:");
+    for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+      const std::string cls =
+          PriorityClassToString(static_cast<PriorityClass>(c));
+      RecordMetric(prefix + "_slo_attainment_" + cls, r.slo_attainment(c));
+      std::printf(" %s %.3f (<= %.0f ms)", cls.c_str(), r.slo_attainment(c),
+                  kSloSeconds[c] * 1e3);
+    }
+    std::printf("\n");
   }
 
   // --- phase 3: warm cache --------------------------------------------------
@@ -452,6 +523,115 @@ void Run(const BenchFlags& flags) {
                  sock1_qps > 0 ? sock8_qps / sock1_qps : 0);
     RecordMetric("socket_vs_inproc_ratio", ratio);
     catalog.ShutdownAll();
+  }
+
+  // --- phase 5: replicated tier ---------------------------------------------
+  // Closed-loop load routed across N in-process replicas of the serving
+  // dataset. Each replica gets its OWN modeled disk (a fresh DiskThrottle)
+  // and its own executor slots — the whole point of replication is more
+  // devices behind the tier, so sharing one throttle would measure nothing.
+  // Routing keys are spread per-request (not per-statement) so the load
+  // actually fans out across the ring; with per-statement affinity a small
+  // statement set would collapse onto one replica.
+  {
+    auto open_replica = [&](ReplicaGroup* group, const std::string& name) {
+      ReplicaConfig config;
+      config.store.throttle = std::make_shared<DiskThrottle>(
+          flags.bandwidth_mib * 1024 * 1024, flags.latency_us, queue_depth);
+      config.store.batch_max_bytes = 1;
+      config.session.chi = PaperChiConfig(bench.spec);
+      config.session.index_path = bench.dir + "/serving_default.chi";
+      config.session.filter_verify_batch = 32;
+      config.session.agg_verify_batch = 16;
+      config.service.num_workers = 4;
+      config.service.max_queue_depth = 64;
+      group->Add(InProcessReplica::Open(name, bench.dir, config).ValueOrDie())
+          .CheckOK();
+    };
+
+    // Runs 2*replicas closed-loop clients through a Router; `fault_spec`
+    // (optional) script-kills a replica mid-run. Returns qps; client-visible
+    // errors (what leaked past the retry budget) land in *errors_out.
+    auto run_replicated = [&](size_t replicas, const std::string& fault_spec,
+                              uint64_t* errors_out, RouterStats* stats_out) {
+      ReplicaGroup group;
+      for (size_t r = 0; r < replicas; ++r) {
+        open_replica(&group, "r" + std::to_string(r));
+      }
+      FaultInjector injector;
+      RouterOptions ropts;
+      ropts.failure_threshold = 1;
+      ropts.probe_interval_seconds = 0.01;
+      ropts.max_attempts = 4;
+      ropts.backoff_base_seconds = 0.0005;
+      if (!fault_spec.empty()) {
+        injector.Schedule(FaultInjector::Parse(fault_spec).ValueOrDie());
+        ropts.fault_injector = &injector;
+      }
+      Router router(&group, ropts);
+
+      const size_t clients = 2 * replicas;
+      std::atomic<uint64_t> done{0};
+      std::atomic<uint64_t> errors{0};
+      Stopwatch wall;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          const std::vector<ServiceRequest> stream = ClientStream(
+              bench.session->store(), static_cast<int64_t>(c),
+              requests_per_client);
+          for (size_t i = 0; i < stream.size(); ++i) {
+            RoutedRequest req;
+            req.service = stream[i];
+            req.routing_key =
+                (c * 0x9E3779B9ull + i * 0x85EBCA6Bull) | 1;  // spread
+            if (router.Execute(req).ok()) {
+              done.fetch_add(1);
+            } else {
+              errors.fetch_add(1);  // leaked past the failover budget
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double s = wall.ElapsedSeconds();
+      if (stats_out) *stats_out = router.Stats();
+      if (errors_out) *errors_out = errors.load();
+      router.Shutdown();
+      group.StopAll();
+      return s > 0 ? static_cast<double>(done.load()) / s : 0.0;
+    };
+
+    const double q2 = run_replicated(2, "", nullptr, nullptr);
+    const double q4 = run_replicated(4, "", nullptr, nullptr);
+    const double rep_scaling = q2 > 0 ? q4 / q2 : 0;
+    std::printf("\n[replicated tier] 2 replicas %6.1f qps, 4 replicas %6.1f "
+                "qps (%.2fx, near-linear target)\n", q2, q4, rep_scaling);
+    RecordMetric("replica_2_qps", q2);
+    RecordMetric("replica_4_qps", q4);
+    RecordMetric("replica_scaling_4v2", rep_scaling);
+
+    // Failover segment: kill one of two replicas halfway through the run.
+    // Correctness of survivor bytes is the test suite's job (replica_test,
+    // failure_injection_test); the bench records the operational envelope —
+    // throughput across the kill and the error budget the clients saw.
+    const uint64_t total = 4 * requests_per_client;
+    uint64_t leaked = 0;
+    RouterStats fstats;
+    const double fq = run_replicated(
+        2, "kill:r0:" + std::to_string(std::max<uint64_t>(1, total / 2)),
+        &leaked, &fstats);
+    std::printf("  failover (kill r0 mid-run): %6.1f qps, client errors "
+                "%llu/%llu, retries %llu, failovers %llu, shed %llu\n",
+                fq, static_cast<unsigned long long>(leaked),
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(fstats.retries),
+                static_cast<unsigned long long>(fstats.failovers),
+                static_cast<unsigned long long>(fstats.shed));
+    RecordMetric("failover_qps", fq);
+    RecordMetric("failover_error_budget", static_cast<double>(leaked));
+    RecordMetric("failover_retries", static_cast<double>(fstats.retries));
   }
 }
 

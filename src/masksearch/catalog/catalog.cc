@@ -8,6 +8,12 @@ Dataset::~Dataset() {
   if (service_ != nullptr) service_->Shutdown();
 }
 
+Result<std::shared_ptr<PendingQuery>> Dataset::Submit(
+    ServiceRequest request, const std::string& sqltext) {
+  if (submitter_) return submitter_(std::move(request), sqltext);
+  return service_->Submit(std::move(request));
+}
+
 Result<Dataset*> Catalog::Register(const std::string& name,
                                    const std::string& dir,
                                    const DatasetConfig& config) {

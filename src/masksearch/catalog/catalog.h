@@ -6,12 +6,16 @@
 // the catalog installs as the service's admission cost estimator — so the
 // O(catalog) selection-costing walk runs at most once per TTL window per
 // selection shape instead of on every Submit. The network server routes
-// each wire request to a dataset by name; replica-group routing in later
-// PRs plugs in at this seam.
+// each wire request to a dataset by name, then through Dataset::Submit —
+// the replication seam: by default work goes straight to the dataset's own
+// QueryService, but a replicated deployment installs a submitter (the
+// replica layer's AttachRouter) and every wire query is then routed across
+// the replica group with health checks and failover (docs/REPLICATION.md).
 
 #ifndef MASKSEARCH_CATALOG_CATALOG_H_
 #define MASKSEARCH_CATALOG_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +52,23 @@ class Dataset {
   MetadataCache* metadata() const { return metadata_.get(); }
   const MaskStore& store() const { return *store_; }
 
+  /// \brief Replacement submission path (the replication seam). Takes the
+  /// request plus its SQL text when known — text a router needs to re-issue
+  /// the query to a remote replica and to pin cache-affine placement.
+  using Submitter = std::function<Result<std::shared_ptr<PendingQuery>>(
+      ServiceRequest request, const std::string& sqltext)>;
+
+  /// \brief Installs `submitter` as the dataset's submission path (empty
+  /// restores the default). Install before serving starts: the hook itself
+  /// is not guarded against concurrent Submit calls.
+  void set_submitter(Submitter submitter) { submitter_ = std::move(submitter); }
+
+  /// \brief Submits through the installed submitter, or directly to the
+  /// dataset's own QueryService when none is installed. This is the path
+  /// the network server uses for every wire query.
+  Result<std::shared_ptr<PendingQuery>> Submit(
+      ServiceRequest request, const std::string& sqltext = std::string());
+
  private:
   friend class Catalog;
   Dataset() = default;
@@ -60,6 +81,7 @@ class Dataset {
   std::unique_ptr<Session> session_;
   std::unique_ptr<MetadataCache> metadata_;
   std::unique_ptr<QueryService> service_;
+  Submitter submitter_;
 };
 
 /// \brief Thread-safe name → Dataset registry. Registration normally

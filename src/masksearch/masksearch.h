@@ -49,6 +49,10 @@
 #include "masksearch/query/expression.h"
 #include "masksearch/query/predicate.h"
 #include "masksearch/query/roi.h"
+#include "masksearch/replica/fault_injector.h"
+#include "masksearch/replica/replica.h"
+#include "masksearch/replica/replica_group.h"
+#include "masksearch/replica/router.h"
 #include "masksearch/service/query_service.h"
 #include "masksearch/service/request.h"
 #include "masksearch/service/scheduler.h"

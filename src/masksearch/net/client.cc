@@ -7,9 +7,12 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace masksearch {
@@ -21,10 +24,23 @@ Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
-}  // namespace
+/// splitmix64-style finalizer for deterministic retry jitter.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
-Result<std::unique_ptr<NetClient>> NetClient::Connect(
-    const std::string& host, uint16_t port, const NetClientOptions& options) {
+/// A failure of the transport itself (vs. a typed error the server sent).
+/// Worth closing the socket and redialing.
+bool TransportFailure(const Status& status) {
+  return status.IsIOError() || status.IsUnavailable();
+}
+
+/// Dials host:port and applies the socket options. Returns the fd.
+Result<int> Dial(const std::string& host, uint16_t port,
+                 const NetClientOptions& options) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
 
@@ -50,8 +66,28 @@ Result<std::unique_ptr<NetClient>> NetClient::Connect(
         (options.recv_timeout_seconds - std::floor(options.recv_timeout_seconds)) * 1e6);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
+  return fd;
+}
 
-  return std::unique_ptr<NetClient>(new NetClient(fd, options));
+}  // namespace
+
+Result<std::unique_ptr<NetClient>> NetClient::Connect(
+    const std::string& host, uint16_t port, const NetClientOptions& options) {
+  MS_ASSIGN_OR_RETURN(int fd, Dial(host, port, options));
+  return std::unique_ptr<NetClient>(new NetClient(fd, host, port, options));
+}
+
+Status NetClient::Reconnect() {
+  Close();
+  recv_buf_.clear();  // a fresh connection has no stale bytes
+  auto fd = Dial(host_, port_, options_);
+  if (!fd.ok()) {
+    ++retry_stats_.reconnect_failures;
+    return fd.status();
+  }
+  fd_ = *fd;
+  ++retry_stats_.reconnects;
+  return Status::OK();
 }
 
 NetClient::~NetClient() { Close(); }
@@ -105,14 +141,68 @@ Result<Response> NetClient::ReceiveResponse() {
 
 Result<Response> NetClient::Call(Request request) {
   request.request_id = next_request_id_++;
-  MS_RETURN_NOT_OK(SendRaw(EncodeFrame(EncodeRequest(request))));
-  MS_ASSIGN_OR_RETURN(Response response, ReceiveResponse());
-  if (response.request_id != request.request_id) {
-    return Status::Corruption(
-        "response id " + std::to_string(response.request_id) +
-        " does not match request id " + std::to_string(request.request_id));
+  const std::string frame = EncodeFrame(EncodeRequest(request));
+  const int attempts = 1 + std::max(0, options_.max_retries);
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retry_stats_.retries;
+      double delay = options_.retry_backoff_seconds *
+                     std::pow(2.0, static_cast<double>(attempt - 1));
+      delay = std::min(delay, options_.retry_backoff_max_seconds);
+      const double frac =
+          static_cast<double>(
+              Mix(request.request_id ^
+                  (0x2545f4914f6cdd1dull * static_cast<uint64_t>(attempt))) >>
+              11) /
+          static_cast<double>(1ull << 53);
+      delay *= 0.5 + 0.5 * frac;
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+    }
+    if (fd_ < 0) {
+      // Dropped (or never-opened) transport: redial before resending. Only
+      // reachable with a retry budget — a one-shot client fails fast.
+      Status reconnected = Reconnect();
+      if (!reconnected.ok()) {
+        last = reconnected;
+        continue;
+      }
+    }
+    Status sent = SendRaw(frame);
+    if (!sent.ok()) {
+      last = sent;
+      if (!TransportFailure(sent)) return sent;
+      Close();
+      continue;
+    }
+    Result<Response> response = ReceiveResponse();
+    if (!response.ok()) {
+      last = response.status();
+      if (!TransportFailure(last)) return last;  // e.g. kCorruption decode
+      // Close even on a timeout: a late response must die with the
+      // connection, never be read as the answer to the *next* request.
+      Close();
+      continue;
+    }
+    if (response->request_id != request.request_id) {
+      Close();
+      return Status::Corruption(
+          "response id " + std::to_string(response->request_id) +
+          " does not match request id " + std::to_string(request.request_id));
+    }
+    // Server-side shed (admission control / shutting down): retryable on
+    // the live connection. The final attempt returns the error response
+    // itself — Call's contract is to surface error responses as responses.
+    if (response->ToStatus().IsUnavailable() && attempt + 1 < attempts) {
+      ++retry_stats_.unavailable_retries;
+      last = response->ToStatus();
+      continue;
+    }
+    return response;
   }
-  return response;
+  return last;
 }
 
 Status NetClient::Ping() {

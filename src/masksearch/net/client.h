@@ -5,6 +5,16 @@
 // block forever); a typed kUnavailable comes back when the server does not
 // answer in time. The raw Send/Receive pair is exposed for protocol tests
 // (truncated frames, garbage, mid-request disconnects).
+//
+// Retries (opt-in, max_retries > 0): Call() transparently survives the two
+// retryable failure shapes. A transport failure (connection closed, send
+// or receive error, receive timeout) closes the socket and redials —
+// bounded reconnect, so a restarted server is picked up without the caller
+// noticing. A server-side kUnavailable response (admission shed) is
+// retried on the live connection. Both paths sleep a jittered exponential
+// backoff between attempts (deterministic — hashed from request id and
+// attempt, no RNG state) and give up after the budget, returning the last
+// typed error. retry_stats() exposes what happened for tests and ops.
 
 #ifndef MASKSEARCH_NET_CLIENT_H_
 #define MASKSEARCH_NET_CLIENT_H_
@@ -23,6 +33,15 @@ struct NetClientOptions {
   /// Receive timeout per response, in seconds; <= 0 waits forever.
   double recv_timeout_seconds = 30;
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Extra Call() attempts past the first (0 = strictly one-shot, the
+  /// protocol-test shape). Transport failures reconnect before resending;
+  /// kUnavailable responses retry in place.
+  int max_retries = 0;
+  /// Jittered exponential backoff between retry attempts: attempt k sleeps
+  /// base * 2^(k-1) capped at max, scaled by a deterministic jitter in
+  /// [0.5, 1.0).
+  double retry_backoff_seconds = 0.005;
+  double retry_backoff_max_seconds = 0.25;
 };
 
 class NetClient {
@@ -58,8 +77,18 @@ class NetClient {
 
   Result<std::vector<DatasetInfo>> ListDatasets();
 
-  /// \brief Full request/response round-trip (request_id assigned here).
-  /// Unlike the typed wrappers, returns error *responses* as responses.
+  /// \brief Counters of the bounded-retry machinery (monotonic).
+  struct RetryStats {
+    uint64_t retries = 0;      ///< extra attempts past the first
+    uint64_t reconnects = 0;   ///< successful redials of a dropped socket
+    uint64_t reconnect_failures = 0;
+    uint64_t unavailable_retries = 0;  ///< retries of a kUnavailable response
+  };
+  RetryStats retry_stats() const { return retry_stats_; }
+
+  /// \brief Full request/response round-trip (request_id assigned here),
+  /// with bounded reconnect/retry per NetClientOptions. Unlike the typed
+  /// wrappers, returns error *responses* as responses.
   Result<Response> Call(Request request);
 
   // ---- Raw access (protocol tests) ----
@@ -72,13 +101,20 @@ class NetClient {
   void Close();
 
  private:
-  explicit NetClient(int fd, const NetClientOptions& options)
-      : fd_(fd), options_(options) {}
+  NetClient(int fd, std::string host, uint16_t port,
+            const NetClientOptions& options)
+      : fd_(fd), host_(std::move(host)), port_(port), options_(options) {}
+
+  /// Redials host_:port_ after a transport failure (retry path).
+  Status Reconnect();
 
   int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
   NetClientOptions options_;
   uint64_t next_request_id_ = 1;
   std::string recv_buf_;
+  RetryStats retry_stats_;
 };
 
 }  // namespace net

@@ -130,7 +130,9 @@ void NetServer::Stop() {
     core_->Wake();
     if (io_thread_.joinable()) io_thread_.join();
     // The loop has exited; connections_ is safe to touch from here.
-    for (auto& [fd, conn] : connections_) CloseConnection(conn);
+    for (auto& [fd, conn] : connections_) {
+      CloseConnection(conn, /*count_abnormal=*/false);
+    }
     connections_.clear();
     if (listen_fd_ >= 0) ::close(listen_fd_);
     listen_fd_ = -1;
@@ -151,6 +153,8 @@ NetServer::Stats NetServer::stats() const {
   s.connections_accepted = core_->connections_accepted.load();
   s.requests = core_->requests.load();
   s.protocol_errors = core_->protocol_errors.load();
+  s.abnormal_disconnects = core_->abnormal_disconnects.load();
+  s.poll_eintr = core_->poll_eintr.load();
   return s;
 }
 
@@ -174,7 +178,14 @@ void NetServer::Loop() {
 
     const int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/1000);
     if (stop_.load()) return;
-    if (n <= 0) continue;  // timeout or EINTR
+    if (n < 0) {
+      // Signal delivery (EINTR) is not a quiet timeout: count it and
+      // re-poll immediately — fd state is unknown, nothing may be handled.
+      // Any other poll() failure is transient; re-polling is all there is.
+      if (errno == EINTR) core_->poll_eintr.fetch_add(1);
+      continue;
+    }
+    if (n == 0) continue;  // quiet tick: no readiness, nothing to do
 
     if (fds[0].revents & POLLIN) {
       char drain[256];
@@ -307,7 +318,7 @@ void NetServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       sreq.priority = static_cast<PriorityClass>(call.priority);
       sreq.deadline_seconds = call.deadline_seconds;
       sreq.query = RequestFromBound(*bound);
-      SubmitQuery(conn, id, call.dataset, std::move(sreq));
+      SubmitQuery(conn, id, call.dataset, std::move(sreq), call.sqltext);
       return;
     }
     case MsgType::kPrepare: {
@@ -366,7 +377,11 @@ void NetServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       sreq.priority = static_cast<PriorityClass>(call.priority);
       sreq.deadline_seconds = call.deadline_seconds;
       sreq.query = std::move(*query);
-      SubmitQuery(conn, id, stmt_dataset, std::move(sreq));
+      // The statement's text (not the bound form) travels with the request:
+      // a router forwarding to a remote replica re-binds there, and the
+      // text keeps repeated executions cache-affine to one replica.
+      SubmitQuery(conn, id, stmt_dataset, std::move(sreq),
+                  it->second->sql());
       return;
     }
     case MsgType::kCloseStmt: {
@@ -390,7 +405,8 @@ void NetServer::HandleRequest(const std::shared_ptr<Connection>& conn,
 void NetServer::SubmitQuery(const std::shared_ptr<Connection>& conn,
                             uint64_t request_id,
                             const std::string& dataset_name,
-                            ServiceRequest service_request) {
+                            ServiceRequest service_request,
+                            const std::string& sqltext) {
   Dataset* ds = catalog_->Find(dataset_name);
   if (ds == nullptr) {
     core_->Push(conn, ErrorResponse(request_id,
@@ -398,7 +414,7 @@ void NetServer::SubmitQuery(const std::shared_ptr<Connection>& conn,
                                                      dataset_name + "'")));
     return;
   }
-  auto submitted = ds->service()->Submit(std::move(service_request));
+  auto submitted = ds->Submit(std::move(service_request), sqltext);
   if (!submitted.ok()) {
     core_->Push(conn, ErrorResponse(request_id, submitted.status()));
     return;
@@ -445,13 +461,21 @@ void NetServer::TryFlush(const std::shared_ptr<Connection>& conn) {
   if (close_now) CloseConnection(conn);
 }
 
-void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn,
+                                bool count_abnormal) {
   std::map<uint64_t, std::shared_ptr<PendingQuery>> in_flight;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->closed) return;
     conn->closed = true;
     in_flight.swap(conn->in_flight);
+    // Abnormal = the peer vanished mid-request: queries still in flight, a
+    // partial frame in the read buffer, or responses it never drained.
+    if (count_abnormal &&
+        (!in_flight.empty() || !conn->read_buf.empty() ||
+         !conn->write_buf.empty())) {
+      core_->abnormal_disconnects.fetch_add(1);
+    }
     if (conn->fd >= 0) ::close(conn->fd);
     conn->fd = -1;
   }

@@ -63,6 +63,13 @@ class NetServer {
     uint64_t connections_accepted = 0;
     uint64_t requests = 0;
     uint64_t protocol_errors = 0;
+    /// Connections that dropped mid-request: in-flight queries, a partial
+    /// frame, or unflushed responses at close. A clean quiesced close does
+    /// not count. (Server-initiated Stop() closes never count.)
+    uint64_t abnormal_disconnects = 0;
+    /// poll() interruptions by signal delivery — distinct from quiet
+    /// timeout ticks; a SIGTERM-driven shutdown typically shows one.
+    uint64_t poll_eintr = 0;
   };
   Stats stats() const;
 
@@ -77,6 +84,8 @@ class NetServer {
     std::atomic<uint64_t> connections_accepted{0};
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> abnormal_disconnects{0};
+    std::atomic<uint64_t> poll_eintr{0};
 
     void Wake();
     /// Appends one encoded response frame to the connection (dropped when
@@ -93,12 +102,18 @@ class NetServer {
   void HandleReadable(const std::shared_ptr<Connection>& conn);
   void HandleRequest(const std::shared_ptr<Connection>& conn,
                      const Request& request);
+  /// Submits through Dataset::Submit — the replication seam: a dataset
+  /// with an attached router fans this out across its replica group.
+  /// `sqltext` rides along so routed work can reach remote replicas.
   void SubmitQuery(const std::shared_ptr<Connection>& conn,
                    uint64_t request_id, const std::string& dataset_name,
-                   ServiceRequest service_request);
+                   ServiceRequest service_request, const std::string& sqltext);
   /// Flushes as much buffered output as the socket accepts.
   void TryFlush(const std::shared_ptr<Connection>& conn);
-  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  /// `count_abnormal` distinguishes peer-side drops (counted when the
+  /// connection dies mid-request) from server-initiated Stop() closes.
+  void CloseConnection(const std::shared_ptr<Connection>& conn,
+                       bool count_abnormal = true);
 
   Catalog* catalog_;
   NetServerOptions options_;

@@ -1,0 +1,113 @@
+#include "masksearch/replica/fault_injector.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace masksearch {
+
+void FaultInjector::Schedule(Fault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(fault));
+}
+
+Status FaultInjector::OnRoute(ReplicaGroup* group, const Replica& replica) {
+  std::shared_ptr<Replica> to_kill;
+  Status injected = Status::OK();
+  double stall_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t seq = ++seq_;
+    stats_.requests_seen = seq;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      Fault& f = *it;
+      if (seq < f.at_request) {
+        ++it;
+        continue;
+      }
+      bool erase = false;
+      switch (f.kind) {
+        case FaultKind::kKill:
+          // Fires once, at the first routed request at/after the trigger,
+          // regardless of which replica that request targets.
+          if (group != nullptr) to_kill = group->Find(f.replica);
+          ++stats_.kills_fired;
+          erase = true;
+          break;
+        case FaultKind::kError:
+          if (replica.name() == f.replica && injected.ok()) {
+            injected = f.error;
+            ++stats_.errors_injected;
+            if (f.count > 0 && --f.count == 0) erase = true;
+          }
+          break;
+        case FaultKind::kStall:
+          if (replica.name() == f.replica) {
+            stall_ms += f.stall_ms;
+            ++stats_.stalls_injected;
+            if (f.count > 0 && --f.count == 0) erase = true;
+          }
+          break;
+      }
+      it = erase ? pending_.erase(it) : std::next(it);
+    }
+  }
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(stall_ms * 1000)));
+  }
+  if (to_kill != nullptr) (void)to_kill->Stop();
+  return injected;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<Fault> FaultInjector::Parse(const std::string& spec) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() < 3) {
+    return Status::InvalidArgument(
+        "fault spec '" + spec + "': want kind:replica:at[:count_or_ms]");
+  }
+  Fault f;
+  if (parts[0] == "kill") {
+    f.kind = FaultKind::kKill;
+  } else if (parts[0] == "error") {
+    f.kind = FaultKind::kError;
+  } else if (parts[0] == "stall") {
+    f.kind = FaultKind::kStall;
+  } else {
+    return Status::InvalidArgument("fault spec '" + spec +
+                                   "': unknown kind '" + parts[0] + "'");
+  }
+  f.replica = parts[1];
+  f.at_request = std::strtoull(parts[2].c_str(), nullptr, 10);
+  if (parts.size() >= 4) {
+    if (f.kind == FaultKind::kStall) {
+      f.stall_ms = std::strtod(parts[3].c_str(), nullptr);
+      f.count = 0;  // stall every request unless a 5th field bounds it
+      if (parts.size() >= 5) f.count = std::strtoull(parts[4].c_str(), nullptr, 10);
+    } else {
+      f.count = std::strtoull(parts[3].c_str(), nullptr, 10);
+    }
+  } else if (f.kind == FaultKind::kStall) {
+    return Status::InvalidArgument("fault spec '" + spec +
+                                   "': stall needs stall:replica:at:ms");
+  }
+  return f;
+}
+
+}  // namespace masksearch

@@ -1,0 +1,82 @@
+// FaultInjector: deterministic scripted faults for the replicated tier
+// (docs/REPLICATION.md).
+//
+// Tests and bench_service script failures at exact points in the request
+// stream instead of relying on timing: "kill replica r1 when the router has
+// routed 40 requests", "fail the next 5 requests that land on r0 with an IO
+// error", "stall r2 for 20 ms per request". The router consults the
+// injector once per routed attempt (OnRoute), which
+//
+//   * fires any armed kill whose trigger count has been reached — the named
+//     replica's Stop() runs right there, deterministically mid-load;
+//   * returns an injected error for the routed replica when an error fault
+//     is active (consuming one of its charges), exercising the failover
+//     path without touching the engine;
+//   * sleeps the scripted stall, exercising timeout/slow-replica handling.
+//
+// The global sequence number is the total routed-attempt count, so a script
+// is reproducible for a fixed workload regardless of wall-clock speed.
+
+#ifndef MASKSEARCH_REPLICA_FAULT_INJECTOR_H_
+#define MASKSEARCH_REPLICA_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "masksearch/replica/replica_group.h"
+
+namespace masksearch {
+
+enum class FaultKind : uint8_t {
+  kKill,   ///< Stop() the named replica at the trigger point
+  kError,  ///< fail requests routed to the named replica with `error`
+  kStall,  ///< sleep `stall_ms` per request routed to the named replica
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kError;
+  std::string replica;      ///< target replica name
+  uint64_t at_request = 0;  ///< arm once the global routed count reaches this
+  /// kError: how many requests to fail after arming (0 = every one).
+  uint64_t count = 1;
+  double stall_ms = 0;  ///< kStall: per-request delay
+  Status error = Status::Unavailable("injected fault");
+};
+
+class FaultInjector {
+ public:
+  /// \brief Counters of what actually fired (tests assert against these).
+  struct Stats {
+    uint64_t requests_seen = 0;
+    uint64_t kills_fired = 0;
+    uint64_t errors_injected = 0;
+    uint64_t stalls_injected = 0;
+  };
+
+  void Schedule(Fault fault);
+
+  /// \brief Router hook, called once per routed attempt *before* the
+  /// request reaches `replica`. Advances the global sequence, fires due
+  /// kills against `group`, applies stalls, and returns the injected error
+  /// when one is due for this replica (OK otherwise).
+  Status OnRoute(ReplicaGroup* group, const Replica& replica);
+
+  Stats stats() const;
+
+  /// \brief Parses "kind:replica:at[:count_or_ms]" (CLI / CI scripting),
+  /// e.g. "kill:r1:40", "error:r0:10:5", "stall:r2:0:20".
+  static Result<Fault> Parse(const std::string& spec);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Fault> pending_;
+  uint64_t seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_REPLICA_FAULT_INJECTOR_H_

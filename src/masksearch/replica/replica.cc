@@ -1,0 +1,245 @@
+#include "masksearch/replica/replica.h"
+
+#include <utility>
+
+namespace masksearch {
+
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t n, uint64_t h = 0xcbf29ce484222325ull) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t HashString(const std::string& s, uint64_t seed) {
+  return Fnv1a(s.data(), s.size(), seed ^ 0xcbf29ce484222325ull);
+}
+
+}  // namespace
+
+uint64_t RoutedRequest::Key() const {
+  if (routing_key != 0) return routing_key;
+  if (!sqltext.empty()) return HashString(sqltext, 0) | 1;
+  // Bound-only requests: hash the query kind + its selection. Requests over
+  // the same subset share a key, so their working set stays on one replica.
+  uint64_t h = Fnv1a(&service.query.kind, sizeof(service.query.kind));
+  const Selection& sel = service.query.selection();
+  auto mix = [&h](const auto& vec) {
+    if (!vec.empty()) h = Fnv1a(vec.data(), vec.size() * sizeof(vec[0]), h);
+  };
+  mix(sel.model_ids);
+  mix(sel.predicted_labels);
+  mix(sel.mask_ids);
+  return h | 1;  // 0 is the "derive me" sentinel
+}
+
+// ---------------------------------------------------------------------------
+// InProcessReplica
+// ---------------------------------------------------------------------------
+
+InProcessReplica::InProcessReplica(std::string name, std::string dir,
+                                   ReplicaConfig config)
+    : Replica(std::move(name)), dir_(std::move(dir)), config_(std::move(config)) {}
+
+Result<std::unique_ptr<InProcessReplica>> InProcessReplica::Open(
+    const std::string& name, const std::string& dir,
+    const ReplicaConfig& config) {
+  auto replica = std::unique_ptr<InProcessReplica>(
+      new InProcessReplica(name, dir, config));
+  MS_ASSIGN_OR_RETURN(replica->store_, MaskStore::Open(dir, config.store));
+  MS_ASSIGN_OR_RETURN(replica->session_,
+                      Session::Open(replica->store_.get(), config.session));
+  MS_RETURN_NOT_OK(replica->Start());
+  return replica;
+}
+
+InProcessReplica::~InProcessReplica() { (void)Stop(); }
+
+Status InProcessReplica::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (service_ != nullptr) return Status::OK();
+  MS_ASSIGN_OR_RETURN(std::unique_ptr<QueryService> service,
+                      QueryService::Start(session_.get(), config_.service));
+  service_ = std::move(service);
+  return Status::OK();
+}
+
+Status InProcessReplica::Stop() {
+  std::shared_ptr<QueryService> service;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    service.swap(service_);
+  }
+  // Shutdown outside the lock: it waits for running queries, and a racing
+  // Execute may hold its own reference until its Wait resolves.
+  if (service != nullptr) service->Shutdown();
+  return Status::OK();
+}
+
+bool InProcessReplica::alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return service_ != nullptr;
+}
+
+std::shared_ptr<QueryService> InProcessReplica::service() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return service_;
+}
+
+Status InProcessReplica::Ping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (service_ == nullptr) {
+    return Status::Unavailable("replica '" + name() + "' is stopped");
+  }
+  return Status::OK();
+}
+
+Result<QueryResponse> InProcessReplica::Execute(const RoutedRequest& request) {
+  std::shared_ptr<QueryService> service;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    service = service_;
+  }
+  if (service == nullptr) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("replica '" + name() + "' is stopped");
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  Result<QueryResponse> result = service->Execute(request.service);
+  if (!result.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+ReplicaCounters InProcessReplica::counters() const {
+  ReplicaCounters c;
+  c.executed = executed_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// RemoteReplica
+// ---------------------------------------------------------------------------
+
+RemoteReplica::RemoteReplica(std::string name, std::string host, uint16_t port,
+                             std::string dataset,
+                             net::NetClientOptions options)
+    : Replica(std::move(name)),
+      host_(std::move(host)),
+      port_(port),
+      dataset_(std::move(dataset)),
+      options_(options) {}
+
+RemoteReplica::~RemoteReplica() { (void)Stop(); }
+
+Result<net::NetClient*> RemoteReplica::Client() {
+  // Caller holds mu_.
+  if (stopped_) {
+    return Status::Unavailable("replica '" + name() + "' is stopped");
+  }
+  if (client_ == nullptr) {
+    MS_ASSIGN_OR_RETURN(client_,
+                        net::NetClient::Connect(host_, port_, options_));
+  }
+  return client_.get();
+}
+
+Status RemoteReplica::Ping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto client = Client();
+  if (!client.ok()) return client.status();
+  const Status st = (*client)->Ping();
+  // A dead socket is not worth keeping: drop it so the next probe (or the
+  // half-open recovery trial) reconnects from scratch.
+  if (!st.ok()) client_.reset();
+  return st;
+}
+
+Result<QueryResponse> RemoteReplica::Execute(const RoutedRequest& request) {
+  if (request.sqltext.empty()) {
+    return Status::InvalidArgument(
+        "remote replica '" + name() +
+        "' needs RoutedRequest::sqltext (bound queries do not travel)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto client = Client();
+  if (!client.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return client.status();
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  auto resp = (*client)->Query(
+      dataset_, request.sqltext, request.service.tenant,
+      request.service.priority, request.service.deadline_seconds);
+  if (!resp.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (resp.status().IsIOError() || resp.status().IsUnavailable()) {
+      client_.reset();  // reconnect on the next call
+    }
+    return resp.status();
+  }
+
+  // Unflatten the wire result into the in-process response shape, so the
+  // router's callers see one type regardless of replica locality.
+  QueryResponse out;
+  out.kind = static_cast<QueryRequest::Kind>(resp->result.kind);
+  out.queue_seconds = resp->result.queue_seconds;
+  out.exec_seconds = resp->result.exec_seconds;
+  switch (out.kind) {
+    case QueryRequest::Kind::kFilter:
+      out.filter.mask_ids.assign(resp->result.mask_ids.begin(),
+                                 resp->result.mask_ids.end());
+      break;
+    case QueryRequest::Kind::kTopK:
+      out.topk.items.reserve(resp->result.scored.size());
+      for (const auto& [id, value] : resp->result.scored) {
+        ScoredMask item;
+        item.mask_id = id;
+        item.value = value;
+        out.topk.items.push_back(item);
+      }
+      break;
+    case QueryRequest::Kind::kAggregation:
+    case QueryRequest::Kind::kMaskAgg:
+      out.agg.groups.reserve(resp->result.scored.size());
+      for (const auto& [group, value] : resp->result.scored) {
+        ScoredGroup g;
+        g.group = group;
+        g.value = value;
+        out.agg.groups.push_back(g);
+      }
+      break;
+  }
+  return out;
+}
+
+Status RemoteReplica::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  client_.reset();
+  return Status::OK();
+}
+
+Status RemoteReplica::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = false;
+  return Status::OK();
+}
+
+bool RemoteReplica::alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !stopped_;
+}
+
+ReplicaCounters RemoteReplica::counters() const {
+  ReplicaCounters c;
+  c.executed = executed_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace masksearch

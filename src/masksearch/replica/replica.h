@@ -1,0 +1,181 @@
+// Replica: one engine behind the replicated serving tier
+// (docs/REPLICATION.md).
+//
+// A replica is the unit the Router routes to and the FaultInjector kills:
+// something that can answer a ServiceRequest, answer a health probe, and be
+// stopped/restarted online. Two implementations share the interface:
+//
+//   * InProcessReplica — owns a full engine bundle (MaskStore + Session +
+//     QueryService, each with its own cache and executor slots). The shape
+//     every test and the bench harness use; N of them over one read-only
+//     store directory are byte-identical replicas of the same data.
+//   * RemoteReplica — a thin proxy speaking the PR-6 wire protocol
+//     (docs/NETWORK.md) to a server that may live in another process. Uses
+//     the NetClient's bounded reconnect/retry path, so a dropped socket is
+//     a typed error, never a hang.
+//
+// Stop() is the kill switch: after it, Execute/Ping return typed
+// kUnavailable until Start() brings the replica back. Queries already
+// running when Stop() is called complete with correct bytes (an in-process
+// QueryService shutdown drains executing work and fails only what was still
+// queued) — a dying replica may lose work, never corrupt it.
+
+#ifndef MASKSEARCH_REPLICA_REPLICA_H_
+#define MASKSEARCH_REPLICA_REPLICA_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "masksearch/cache/buffer_pool.h"
+#include "masksearch/exec/session.h"
+#include "masksearch/net/client.h"
+#include "masksearch/service/query_service.h"
+#include "masksearch/storage/mask_store.h"
+
+namespace masksearch {
+
+/// \brief One routed unit of work. `service` carries the bound query an
+/// in-process replica executes; `sqltext` (optional) lets a RemoteReplica
+/// re-issue the same query over the wire and pins the routing key — the
+/// same statement always hashes to the same ring position, so repeated
+/// queries keep hitting the replica whose cache is warm for them.
+struct RoutedRequest {
+  ServiceRequest service;
+  std::string sqltext;
+  /// 0 = derive from sqltext (when present) or from the query's selection +
+  /// kind. Non-zero values are used as-is (tests pin placements with this).
+  uint64_t routing_key = 0;
+
+  /// \brief The effective consistent-hash key of this request.
+  uint64_t Key() const;
+};
+
+/// \brief Point-in-time counters of one replica (physical traffic only;
+/// the router's own retry counters live in RouterStats).
+struct ReplicaCounters {
+  uint64_t executed = 0;  ///< Execute calls that reached the engine
+  uint64_t failed = 0;    ///< Execute calls that returned a non-OK status
+};
+
+class Replica {
+ public:
+  explicit Replica(std::string name) : name_(std::move(name)) {}
+  virtual ~Replica() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Health probe. OK while the replica can serve; a typed
+  /// kUnavailable (or IO error for a remote peer) otherwise. Must be cheap:
+  /// the health checker calls it on every probe tick.
+  virtual Status Ping() = 0;
+
+  /// \brief Runs one request to completion on this replica (blocking; the
+  /// replica's own scheduler provides concurrency). A stopped replica
+  /// answers typed kUnavailable immediately — fail fast, never hang.
+  virtual Result<QueryResponse> Execute(const RoutedRequest& request) = 0;
+
+  /// \brief Kill switch: stop serving. Running queries finish, queued ones
+  /// fail typed; later Execute/Ping return kUnavailable. Idempotent.
+  virtual Status Stop() = 0;
+
+  /// \brief Brings a stopped replica back into service (half-open recovery
+  /// probes see it on their next tick). Idempotent when already alive.
+  virtual Status Start() = 0;
+
+  virtual bool alive() const = 0;
+
+  virtual ReplicaCounters counters() const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// \brief Engine bundle of one in-process replica. Pointer members inside
+/// the option structs (thread pools, shared throttles) stay caller-owned.
+struct ReplicaConfig {
+  MaskStore::Options store;
+  SessionOptions session;
+  QueryServiceOptions service;
+};
+
+class InProcessReplica final : public Replica {
+ public:
+  /// \brief Opens `dir` and starts the bundle. The replica owns everything
+  /// it opens; `dir` must outlive it on disk (stores read lazily).
+  static Result<std::unique_ptr<InProcessReplica>> Open(
+      const std::string& name, const std::string& dir,
+      const ReplicaConfig& config);
+
+  ~InProcessReplica() override;
+
+  Status Ping() override;
+  Result<QueryResponse> Execute(const RoutedRequest& request) override;
+  Status Stop() override;
+  Status Start() override;
+  bool alive() const override;
+  ReplicaCounters counters() const override;
+
+  Session* session() const { return session_.get(); }
+  const MaskStore& store() const { return *store_; }
+  /// \brief The live service (null while stopped). For stats inspection;
+  /// routing goes through Execute.
+  std::shared_ptr<QueryService> service() const;
+
+ private:
+  InProcessReplica(std::string name, std::string dir, ReplicaConfig config);
+
+  std::string dir_;
+  ReplicaConfig config_;
+  std::unique_ptr<MaskStore> store_;
+  std::unique_ptr<Session> session_;
+
+  // The service is handed out as shared_ptr so an Execute racing Stop()
+  // keeps the object alive; Shutdown() itself drains executing queries.
+  mutable std::mutex mu_;
+  std::shared_ptr<QueryService> service_;
+
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> failed_{0};
+};
+
+/// \brief Proxy replica speaking the wire protocol to `host:port`
+/// (typically a child process running `masksearch_cli serve --port`).
+/// Execute requires RoutedRequest::sqltext — the bound in-process form does
+/// not travel over the wire. One connection, guarded by a mutex (the wire
+/// client is one-RPC-at-a-time); the client's reconnect/retry options are
+/// honoured, so a restarted server is picked up transparently.
+class RemoteReplica final : public Replica {
+ public:
+  RemoteReplica(std::string name, std::string host, uint16_t port,
+                std::string dataset, net::NetClientOptions options = {});
+  ~RemoteReplica() override;
+
+  Status Ping() override;
+  Result<QueryResponse> Execute(const RoutedRequest& request) override;
+  Status Stop() override;   ///< drops the connection; Execute fails typed
+  Status Start() override;  ///< allows reconnection on the next call
+  bool alive() const override;
+  ReplicaCounters counters() const override;
+
+ private:
+  /// Connects lazily; returns the live client or a typed error.
+  Result<net::NetClient*> Client();
+
+  std::string host_;
+  uint16_t port_;
+  std::string dataset_;
+  net::NetClientOptions options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<net::NetClient> client_;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> failed_{0};
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_REPLICA_REPLICA_H_

@@ -1,0 +1,98 @@
+#include "masksearch/replica/replica_group.h"
+
+#include <utility>
+
+#include "masksearch/storage/sharded_mask_store.h"
+
+namespace masksearch {
+
+Status ReplicaGroup::Add(std::shared_ptr<Replica> replica) {
+  if (replica == nullptr) return Status::InvalidArgument("null replica");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : replicas_) {
+    if (r->name() == replica->name()) {
+      return Status::AlreadyExists("replica '" + replica->name() +
+                                   "' is already in the group");
+    }
+  }
+  replicas_.push_back(std::move(replica));
+  ++version_;
+  return Status::OK();
+}
+
+Status ReplicaGroup::AddInProcess(const std::string& prefix,
+                                  const std::string& dir,
+                                  const ReplicaConfig& config,
+                                  size_t replicas) {
+  for (size_t i = 0; i < replicas; ++i) {
+    MS_ASSIGN_OR_RETURN(
+        std::shared_ptr<Replica> replica,
+        InProcessReplica::Open(prefix + std::to_string(i), dir, config));
+    MS_RETURN_NOT_OK(Add(std::move(replica)));
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Replica>> ReplicaGroup::AddFromSnapshot(
+    const MaskStore& src, const std::string& name, const std::string& dir,
+    const ReplicaConfig& config) {
+  // Blob-verbatim snapshot shipping: the copy preserves ids, metadata, and
+  // bytes exactly, so the joining replica is indistinguishable from the
+  // source for every query. The source is read-only during serving, so the
+  // copy is a consistent snapshot by construction.
+  MS_RETURN_NOT_OK(ReshardMaskStore(src, dir, src.num_shards()));
+  MS_ASSIGN_OR_RETURN(std::shared_ptr<Replica> replica,
+                      InProcessReplica::Open(name, dir, config));
+  MS_RETURN_NOT_OK(Add(replica));
+  return replica;
+}
+
+Status ReplicaGroup::Remove(const std::string& name) {
+  std::shared_ptr<Replica> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = replicas_.begin(); it != replicas_.end(); ++it) {
+      if ((*it)->name() == name) {
+        victim = *it;
+        replicas_.erase(it);
+        ++version_;
+        break;
+      }
+    }
+  }
+  if (victim == nullptr) {
+    return Status::NotFound("no replica named '" + name + "'");
+  }
+  // Drain outside the lock: Stop waits for running queries, and routers may
+  // be snapshotting membership concurrently.
+  return victim->Stop();
+}
+
+std::shared_ptr<Replica> ReplicaGroup::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : replicas_) {
+    if (r->name() == name) return r;
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<Replica>> ReplicaGroup::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_;
+}
+
+size_t ReplicaGroup::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_.size();
+}
+
+uint64_t ReplicaGroup::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+void ReplicaGroup::StopAll() {
+  for (const auto& replica : Snapshot()) (void)replica->Stop();
+}
+
+}  // namespace masksearch

@@ -1,0 +1,72 @@
+// ReplicaGroup: membership of the replicated serving tier
+// (docs/REPLICATION.md).
+//
+// Owns the replicas and supports online membership changes: Add/Remove are
+// safe while a Router is actively routing (the router snapshots membership
+// per request and rebuilds its hash ring when the group's version moves).
+// A joining replica warms from a consistent snapshot: AddFromSnapshot ships
+// the source store's blobs verbatim (ReshardMaskStore — round-trip exact,
+// even for the lossy codec) into the new replica's directory, then opens a
+// full engine bundle over the copy. Removal drains: the replica stops
+// accepting, running queries finish, then it leaves the ring.
+
+#ifndef MASKSEARCH_REPLICA_REPLICA_GROUP_H_
+#define MASKSEARCH_REPLICA_REPLICA_GROUP_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "masksearch/replica/replica.h"
+
+namespace masksearch {
+
+class ReplicaGroup {
+ public:
+  ReplicaGroup() = default;
+
+  /// \brief Registers a replica (name-unique). The group shares ownership;
+  /// handles returned by Snapshot/Find stay valid after removal.
+  Status Add(std::shared_ptr<Replica> replica);
+
+  /// \brief Opens `replicas` InProcessReplicas named `<prefix>0..N-1`, all
+  /// over the same read-only store directory — byte-identical replicas with
+  /// independent sessions, caches, and executor slots.
+  Status AddInProcess(const std::string& prefix, const std::string& dir,
+                      const ReplicaConfig& config, size_t replicas);
+
+  /// \brief Online join: ships a consistent snapshot of `src` into `dir`
+  /// (blob-verbatim, ReshardMaskStore-style), opens a fresh replica bundle
+  /// over the copy, and registers it. The joining replica starts cold — its
+  /// cache warms from live traffic once the router sees it.
+  Result<std::shared_ptr<Replica>> AddFromSnapshot(const MaskStore& src,
+                                                   const std::string& name,
+                                                   const std::string& dir,
+                                                   const ReplicaConfig& config);
+
+  /// \brief Online leave: stops the replica (drains running work) and drops
+  /// it from membership. NotFound when no such replica.
+  Status Remove(const std::string& name);
+
+  std::shared_ptr<Replica> Find(const std::string& name) const;
+  std::vector<std::shared_ptr<Replica>> Snapshot() const;
+  size_t size() const;
+
+  /// \brief Monotonic membership version; bumps on Add/Remove so routers
+  /// know to rebuild their rings.
+  uint64_t version() const;
+
+  /// \brief Stops every replica (running queries drain). Membership stays
+  /// for post-mortem inspection.
+  void StopAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Replica>> replicas_;
+  uint64_t version_ = 1;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_REPLICA_REPLICA_GROUP_H_

@@ -98,6 +98,7 @@ class PendingQuery {
 
  private:
   friend class QueryService;
+  friend class Router;  ///< the replica tier mints handles for routed work
   PendingQuery() = default;
 
   void Finish(Result<QueryResponse> result);

@@ -313,5 +313,42 @@ TEST(CatalogTest, InstallsMetadataCacheAsCostEstimator) {
   catalog.ShutdownAll();
 }
 
+TEST(CatalogTest, SubmitDefaultsToOwnServiceAndHonorsSubmitter) {
+  TempDir dir("cat_submit");
+  { auto s = MakeStore(dir.path(), 8, 1, 16, 16); }
+  Catalog catalog;
+  Dataset* d = catalog.Register("d", dir.path(), SmallConfig()).ValueOrDie();
+
+  const std::string sql =
+      "SELECT mask_id FROM MasksDatabaseView "
+      "WHERE CP(mask, object, (0.5, 1.0)) > 1;";
+  auto bound = sql::ParseAndBind(sql).ValueOrDie();
+
+  // Without a submitter installed, Submit is the dataset's own service.
+  ServiceRequest req;
+  req.query = RequestFromBound(bound);
+  auto pending = d->Submit(std::move(req), sql).ValueOrDie();
+  MS_EXPECT_OK(pending->Wait().status());
+
+  // With one installed (the replication seam, docs/REPLICATION.md), every
+  // Submit — and the sqltext that keeps routing cache-affine — goes
+  // through it instead.
+  int calls = 0;
+  std::string seen_sql;
+  d->set_submitter([&](ServiceRequest r, const std::string& text)
+                       -> Result<std::shared_ptr<PendingQuery>> {
+    ++calls;
+    seen_sql = text;
+    return d->service()->Submit(std::move(r));
+  });
+  ServiceRequest req2;
+  req2.query = RequestFromBound(bound);
+  auto routed = d->Submit(std::move(req2), sql).ValueOrDie();
+  MS_EXPECT_OK(routed->Wait().status());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_sql, sql);
+  catalog.ShutdownAll();
+}
+
 }  // namespace
 }  // namespace masksearch

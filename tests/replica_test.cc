@@ -1,0 +1,461 @@
+// Replicated-tier tests (docs/REPLICATION.md): routing affinity, health
+// state machine, failover under scripted kills, online join via snapshot
+// shipping, and the fault-injection gate — 2+ replicas under concurrent
+// load, one killed mid-run, zero wrong results, bounded typed errors, and
+// the router back to full throughput afterwards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "masksearch/catalog/catalog.h"
+#include "masksearch/catalog/prepared.h"
+#include "masksearch/net/client.h"
+#include "masksearch/net/server.h"
+#include "masksearch/replica/fault_injector.h"
+#include "masksearch/replica/replica_group.h"
+#include "masksearch/replica/router.h"
+#include "masksearch/sql/binder.h"
+#include "tests/test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::MakeStore;
+using testing_util::TempDir;
+
+constexpr char kFilterSql[] =
+    "SELECT mask_id FROM MasksDatabaseView "
+    "WHERE CP(mask, object, (0.6, 1.0)) > 40;";
+constexpr char kFilterSql2[] =
+    "SELECT mask_id FROM MasksDatabaseView "
+    "WHERE CP(mask, object, (0.8, 1.0)) > 10;";
+
+ReplicaConfig SmallConfig() {
+  ReplicaConfig config;
+  config.service.num_workers = 2;
+  return config;
+}
+
+/// A routed filter request carrying its SQL text (the wire shape).
+RoutedRequest FilterRequest(const std::string& sql) {
+  RoutedRequest routed;
+  routed.sqltext = sql;
+  routed.service.query = RequestFromBound(sql::ParseAndBind(sql).ValueOrDie());
+  return routed;
+}
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("replica");
+    store_ = MakeStore(dir_->path() + "/store", 16, 2, 32, 32);
+  }
+
+  /// Ground truth straight through a fresh session on the source store.
+  FilterResult Direct(const std::string& sql) {
+    auto session = Session::Open(store_.get(), {}).ValueOrDie();
+    const auto bound = sql::ParseAndBind(sql).ValueOrDie();
+    return session->Filter(bound.filter).ValueOrDie();
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<MaskStore> store_;
+};
+
+TEST_F(ReplicaTest, RoutedRequestKeyIsStableAndOverridable) {
+  RoutedRequest a = FilterRequest(kFilterSql);
+  RoutedRequest b = FilterRequest(kFilterSql);
+  RoutedRequest c = FilterRequest(kFilterSql2);
+  EXPECT_EQ(a.Key(), b.Key());
+  EXPECT_NE(a.Key(), c.Key());
+  a.routing_key = 1234;
+  EXPECT_EQ(a.Key(), 1234u);
+
+  // Bound-only requests (no SQL text) still get a selection-derived key.
+  RoutedRequest bare = FilterRequest(kFilterSql);
+  bare.sqltext.clear();
+  EXPECT_NE(bare.Key(), 0u);
+  RoutedRequest bare2 = FilterRequest(kFilterSql);
+  bare2.sqltext.clear();
+  EXPECT_EQ(bare.Key(), bare2.Key());
+}
+
+TEST_F(ReplicaTest, InProcessReplicaStopsAndRestartsTyped) {
+  auto replica = InProcessReplica::Open("r0", dir_->path() + "/store",
+                                        SmallConfig())
+                     .ValueOrDie();
+  MS_ASSERT_OK(replica->Ping());
+  const auto expected = Direct(kFilterSql);
+  auto resp = replica->Execute(FilterRequest(kFilterSql)).ValueOrDie();
+  EXPECT_EQ(resp.filter.mask_ids, expected.mask_ids);
+
+  MS_ASSERT_OK(replica->Stop());
+  EXPECT_FALSE(replica->alive());
+  EXPECT_TRUE(replica->Ping().IsUnavailable());
+  EXPECT_TRUE(
+      replica->Execute(FilterRequest(kFilterSql)).status().IsUnavailable());
+
+  MS_ASSERT_OK(replica->Start());
+  EXPECT_TRUE(replica->alive());
+  auto again = replica->Execute(FilterRequest(kFilterSql)).ValueOrDie();
+  EXPECT_EQ(again.filter.mask_ids, expected.mask_ids);
+}
+
+TEST_F(ReplicaTest, GroupMembershipIsNameUniqueAndVersioned) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 3));
+  EXPECT_EQ(group.size(), 3u);
+  const uint64_t v = group.version();
+
+  auto dup = InProcessReplica::Open("r1", dir_->path() + "/store",
+                                    SmallConfig())
+                 .ValueOrDie();
+  EXPECT_TRUE(group.Add(std::move(dup)).IsAlreadyExists());
+
+  EXPECT_TRUE(group.Remove("nope").IsNotFound());
+  MS_ASSERT_OK(group.Remove("r1"));
+  EXPECT_EQ(group.size(), 2u);
+  EXPECT_GT(group.version(), v);
+  EXPECT_EQ(group.Find("r1"), nullptr);
+  EXPECT_NE(group.Find("r0"), nullptr);
+  group.StopAll();
+}
+
+TEST_F(ReplicaTest, SnapshotJoinServesIdenticalBytes) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 1));
+  auto joined = group
+                    .AddFromSnapshot(*store_, "joiner",
+                                     dir_->path() + "/joiner", SmallConfig())
+                    .ValueOrDie();
+  EXPECT_EQ(group.size(), 2u);
+
+  const auto expected = Direct(kFilterSql);
+  auto resp = joined->Execute(FilterRequest(kFilterSql)).ValueOrDie();
+  EXPECT_EQ(resp.filter.mask_ids, expected.mask_ids);
+  group.StopAll();
+}
+
+TEST_F(ReplicaTest, RouterKeepsAKeyOnOneReplica) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 3));
+  Router router(&group);
+
+  const auto expected = Direct(kFilterSql);
+  for (int i = 0; i < 8; ++i) {
+    auto resp = router.Execute(FilterRequest(kFilterSql)).ValueOrDie();
+    EXPECT_EQ(resp.filter.mask_ids, expected.mask_ids);
+  }
+  // Shard affinity: every attempt landed on the same replica.
+  size_t replicas_hit = 0;
+  for (const auto& r : router.Stats().replicas) {
+    if (r.routed > 0) ++replicas_hit;
+  }
+  EXPECT_EQ(replicas_hit, 1u);
+  router.Shutdown();
+  group.StopAll();
+}
+
+TEST_F(ReplicaTest, FailoverSurvivesAKilledReplicaWithCorrectBytes) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 3));
+  RouterOptions opts;
+  opts.backoff_base_seconds = 0;  // keep the test fast
+  Router router(&group, opts);
+
+  const auto expected = Direct(kFilterSql);
+  MS_ASSERT_OK(router.Execute(FilterRequest(kFilterSql)).status());
+
+  // Kill whichever replica owns this key, then re-issue the same query.
+  std::string owner;
+  for (const auto& r : router.Stats().replicas) {
+    if (r.routed > 0) owner = r.name;
+  }
+  ASSERT_FALSE(owner.empty());
+  MS_ASSERT_OK(group.Find(owner)->Stop());
+
+  auto resp = router.Execute(FilterRequest(kFilterSql)).ValueOrDie();
+  EXPECT_EQ(resp.filter.mask_ids, expected.mask_ids);
+
+  const RouterStats stats = router.Stats();
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+  router.Shutdown();
+  group.StopAll();
+}
+
+TEST_F(ReplicaTest, AllReplicasDownShedsTypedWithoutHanging) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 2));
+  RouterOptions opts;
+  opts.failure_threshold = 1;
+  opts.backoff_base_seconds = 0;
+  Router router(&group, opts);
+  group.StopAll();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = router.Execute(FilterRequest(kFilterSql)).status();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_GE(router.Stats().shed, 1u);
+  router.Shutdown();
+}
+
+TEST_F(ReplicaTest, HealthRecoversThroughHalfOpenProbes) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 2));
+  RouterOptions opts;
+  opts.failure_threshold = 1;
+  opts.probe_interval_seconds = 0.01;
+  opts.backoff_base_seconds = 0;
+  Router router(&group, opts);
+
+  MS_ASSERT_OK(group.Find("r0")->Stop());
+  // The prober marks r0 unhealthy, then half-open; once it restarts, a
+  // successful trial brings it back to healthy.
+  auto wait_for_health = [&](ReplicaHealth want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (const auto& r : router.Stats().replicas) {
+        if (r.name == "r0" && r.health == want) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  };
+  EXPECT_TRUE(wait_for_health(ReplicaHealth::kUnhealthy));
+  MS_ASSERT_OK(group.Find("r0")->Start());
+  EXPECT_TRUE(wait_for_health(ReplicaHealth::kHealthy));
+
+  const auto expected = Direct(kFilterSql);
+  auto resp = router.Execute(FilterRequest(kFilterSql)).ValueOrDie();
+  EXPECT_EQ(resp.filter.mask_ids, expected.mask_ids);
+  router.Shutdown();
+  group.StopAll();
+}
+
+TEST_F(ReplicaTest, FaultInjectorParsesSpecs) {
+  auto kill = FaultInjector::Parse("kill:r1:40").ValueOrDie();
+  EXPECT_EQ(kill.kind, FaultKind::kKill);
+  EXPECT_EQ(kill.replica, "r1");
+  EXPECT_EQ(kill.at_request, 40u);
+
+  auto error = FaultInjector::Parse("error:r0:10:5").ValueOrDie();
+  EXPECT_EQ(error.kind, FaultKind::kError);
+  EXPECT_EQ(error.count, 5u);
+
+  auto stall = FaultInjector::Parse("stall:r2:0:20").ValueOrDie();
+  EXPECT_EQ(stall.kind, FaultKind::kStall);
+  EXPECT_DOUBLE_EQ(stall.stall_ms, 20.0);
+
+  EXPECT_TRUE(FaultInjector::Parse("kill:r1").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultInjector::Parse("boom:r1:1").status().IsInvalidArgument());
+  EXPECT_TRUE(FaultInjector::Parse("stall:r1:1").status().IsInvalidArgument());
+}
+
+TEST_F(ReplicaTest, InjectedErrorsFailOverWithinBudget) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 2));
+  FaultInjector injector;
+  RouterOptions opts;
+  opts.fault_injector = &injector;
+  opts.backoff_base_seconds = 0;
+  Router router(&group, opts);
+
+  // Find the key's owner, then script one injected error against it: the
+  // first attempt fails typed, the failover attempt succeeds elsewhere.
+  MS_ASSERT_OK(router.Execute(FilterRequest(kFilterSql)).status());
+  std::string owner;
+  for (const auto& r : router.Stats().replicas) {
+    if (r.routed > 0) owner = r.name;
+  }
+  Fault fault;
+  fault.kind = FaultKind::kError;
+  fault.replica = owner;
+  fault.at_request = 0;
+  fault.count = 1;
+  injector.Schedule(fault);
+
+  const auto expected = Direct(kFilterSql);
+  auto resp = router.Execute(FilterRequest(kFilterSql)).ValueOrDie();
+  EXPECT_EQ(resp.filter.mask_ids, expected.mask_ids);
+  EXPECT_EQ(injector.stats().errors_injected, 1u);
+  EXPECT_EQ(router.Stats().injected, 1u);
+  router.Shutdown();
+  group.StopAll();
+}
+
+// The fault-injection gate: 2 replicas under concurrent closed-loop load, a
+// scripted kill mid-run. Every completed request must carry correct bytes,
+// the typed-error count stays within the retry-budget bound (here: zero —
+// failover absorbs the kill entirely), and throughput resumes on the
+// survivor.
+TEST_F(ReplicaTest, ScriptedKillMidLoadKeepsEveryResultCorrect) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 2));
+  FaultInjector injector;
+  Fault fault;
+  fault.kind = FaultKind::kKill;
+  fault.replica = "r0";
+  fault.at_request = 40;
+  injector.Schedule(fault);
+
+  RouterOptions opts;
+  opts.fault_injector = &injector;
+  opts.failure_threshold = 1;
+  opts.backoff_base_seconds = 0;
+  opts.max_attempts = 4;
+  Router router(&group, opts);
+
+  const std::vector<std::string> sqls = {kFilterSql, kFilterSql2};
+  std::vector<FilterResult> expected;
+  for (const auto& sql : sqls) expected.push_back(Direct(sql));
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+  std::atomic<int> wrong{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t which = static_cast<size_t>(t + i) % sqls.size();
+        auto resp = router.Execute(FilterRequest(sqls[which]));
+        if (!resp.ok()) {
+          ++errors;
+          continue;
+        }
+        if (resp->filter.mask_ids != expected[which].mask_ids) ++wrong;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wrong.load(), 0);  // never wrong bytes
+  EXPECT_EQ(errors.load(), 0) << "failover must absorb the kill";
+  EXPECT_EQ(injector.stats().kills_fired, 1u);
+  EXPECT_FALSE(group.Find("r0")->alive());
+
+  // Throughput resumes: the survivor serves new keys immediately.
+  const auto expected2 = Direct(kFilterSql2);
+  auto resp = router.Execute(FilterRequest(kFilterSql2)).ValueOrDie();
+  EXPECT_EQ(resp.filter.mask_ids, expected2.mask_ids);
+  EXPECT_GE(router.Stats().succeeded,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  router.Shutdown();
+  group.StopAll();
+}
+
+TEST_F(ReplicaTest, AsyncSubmitCompletesHandles) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 2));
+  Router router(&group);
+
+  const auto expected = Direct(kFilterSql);
+  std::vector<std::shared_ptr<PendingQuery>> pending;
+  for (int i = 0; i < 16; ++i) {
+    pending.push_back(router.Submit(FilterRequest(kFilterSql)).ValueOrDie());
+  }
+  for (auto& p : pending) {
+    auto resp = p->Wait().ValueOrDie();
+    EXPECT_EQ(resp.filter.mask_ids, expected.mask_ids);
+  }
+  router.Shutdown();
+  EXPECT_TRUE(router.Submit(FilterRequest(kFilterSql))
+                  .status()
+                  .IsUnavailable());
+  group.StopAll();
+}
+
+TEST_F(ReplicaTest, OnlineMembershipChangeWhileRouting) {
+  ReplicaGroup group;
+  MS_ASSERT_OK(group.AddInProcess("r", dir_->path() + "/store",
+                                  SmallConfig(), 2));
+  RouterOptions opts;
+  opts.backoff_base_seconds = 0;
+  Router router(&group, opts);
+
+  const auto expected = Direct(kFilterSql);
+  MS_ASSERT_OK(router.Execute(FilterRequest(kFilterSql)).status());
+
+  // Join a third replica from a snapshot, remove one original, and keep
+  // serving correct bytes throughout — the ring follows the membership.
+  ASSERT_TRUE(group
+                  .AddFromSnapshot(*store_, "joiner",
+                                   dir_->path() + "/join2", SmallConfig())
+                  .ok());
+  auto resp = router.Execute(FilterRequest(kFilterSql)).ValueOrDie();
+  EXPECT_EQ(resp.filter.mask_ids, expected.mask_ids);
+
+  MS_ASSERT_OK(group.Remove("r0"));
+  for (int i = 0; i < 4; ++i) {
+    auto after = router.Execute(FilterRequest(kFilterSql)).ValueOrDie();
+    EXPECT_EQ(after.filter.mask_ids, expected.mask_ids);
+  }
+  router.Shutdown();
+  group.StopAll();
+}
+
+// RemoteReplica end-to-end: a router whose member speaks the real wire
+// protocol to an in-process NetServer, byte-identical to direct execution.
+TEST_F(ReplicaTest, RemoteReplicaRoutesOverRealSockets) {
+  Catalog catalog;
+  DatasetConfig config;
+  config.service.num_workers = 2;
+  Dataset* ds =
+      catalog.Register("main", dir_->path() + "/store", config).ValueOrDie();
+  net::NetServerOptions server_opts;
+  server_opts.port = 0;
+  auto server = net::NetServer::Start(&catalog, server_opts).ValueOrDie();
+
+  ReplicaGroup group;
+  net::NetClientOptions client_opts;
+  client_opts.recv_timeout_seconds = 10;
+  client_opts.max_retries = 2;
+  MS_ASSERT_OK(group.Add(std::make_shared<RemoteReplica>(
+      "remote0", "127.0.0.1", server->port(), "main", client_opts)));
+  RouterOptions opts;
+  opts.backoff_base_seconds = 0;
+  Router router(&group, opts);
+
+  const auto bound = sql::ParseAndBind(kFilterSql).ValueOrDie();
+  const auto expected = ds->session()->Filter(bound.filter).ValueOrDie();
+  auto resp = router.Execute(FilterRequest(kFilterSql)).ValueOrDie();
+  EXPECT_EQ(resp.filter.mask_ids.size(), expected.mask_ids.size());
+  for (size_t i = 0; i < expected.mask_ids.size(); ++i) {
+    EXPECT_EQ(resp.filter.mask_ids[i], expected.mask_ids[i]) << "i=" << i;
+  }
+
+  // Bound-only requests cannot travel: typed error, not a hang.
+  RoutedRequest bare = FilterRequest(kFilterSql);
+  bare.sqltext.clear();
+  EXPECT_TRUE(group.Find("remote0")
+                  ->Execute(bare)
+                  .status()
+                  .IsInvalidArgument());
+
+  router.Shutdown();
+  server->Stop();
+  catalog.ShutdownAll();
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -13,7 +13,8 @@ checked=0
 # The docs tree has a required core: a rename or deletion must fail CI even
 # if no page links to the victim yet.
 for doc in docs/ARCHITECTURE.md docs/STORAGE_FORMAT.md docs/PERFORMANCE.md \
-           docs/CACHING.md docs/SERVING.md docs/NETWORK.md; do
+           docs/CACHING.md docs/SERVING.md docs/NETWORK.md \
+           docs/REPLICATION.md; do
   if [ ! -f "$doc" ]; then
     echo "missing required doc: $doc" >&2
     status=1

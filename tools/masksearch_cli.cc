@@ -33,11 +33,19 @@
 //       latency percentiles) and cache stats.
 //
 //   masksearch_cli serve --dir D --port P [--bind A] [--name N]
-//                        [--workers W] [--queue-depth Q] [--cache-mib M] ...
+//                        [--workers W] [--queue-depth Q] [--cache-mib M]
+//                        [--replicas N] [--fault SPEC[,SPEC...]]
+//                        [--failure-threshold K] [--probe-interval-ms T]
+//                        [--max-attempts A] ...
 //       Network mode (docs/NETWORK.md): registers --dir as the named
 //       dataset N (default "default") in a catalog and serves the wire
 //       protocol on A:P until SIGINT/SIGTERM; --port 0 picks a free port
 //       (printed as "listening on A:P"). Exits 0 on a clean shutdown.
+//       --replicas N >= 2 serves through a replicated tier
+//       (docs/REPLICATION.md): N in-process replicas of --dir behind a
+//       health-checked router with failover; --fault arms scripted faults
+//       ("kill:r1:40", "error:r0:10:5", "stall:r2:0:20") for the CI
+//       fault-injection smoke.
 //
 //   masksearch_cli client --port P [--host H] [--dataset D]
 //                         [--sql S | --prepare S --params "v1,v2" | --list]
@@ -140,6 +148,9 @@ int Usage(int exit_code = 2) {
                "  serve    --dir D --port P [--bind A] [--name N]\n"
                "           [--workers W] [--queue-depth Q] [--cache-mib M]\n"
                "           [--max-conns C] [--incremental] [--no-index]\n"
+               "           [--replicas N] [--fault SPEC[,SPEC...]]\n"
+               "           [--failure-threshold K] [--probe-interval-ms T]\n"
+               "           [--max-attempts A]\n"
                "  client   --port P [--host H] [--dataset D] [--sql S]\n"
                "           [--prepare S --params V] [--repeat N] [--list]\n"
                "           [--timeout-ms T] [--limit-print K]\n"
@@ -493,6 +504,52 @@ int RunServeNetwork(const Args& args) {
     return 1;
   }
 
+  // --replicas N puts a replicated tier (docs/REPLICATION.md) behind the
+  // wire protocol: N in-process replicas of --dir, health-checked routing
+  // with failover, installed as the dataset's submission path. --fault
+  // schedules scripted faults ("kill:r1:40", comma-separated) against the
+  // tier — the CI fault-injection smoke uses it to kill a replica mid-replay
+  // and assert clients see only typed errors.
+  const int replicas = static_cast<int>(args.GetInt("replicas", 0));
+  ReplicaGroup group;
+  FaultInjector injector;
+  std::unique_ptr<Router> router;
+  if (replicas > 1) {
+    ReplicaConfig rconfig;
+    rconfig.store = config.store;
+    rconfig.session = config.session;
+    rconfig.service = config.service;
+    if (Status s = group.AddInProcess("r", args.Get("dir"), rconfig,
+                                      static_cast<size_t>(replicas));
+        !s.ok()) {
+      std::fprintf(stderr, "replica open failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    RouterOptions ropts;
+    ropts.failure_threshold =
+        static_cast<int>(args.GetInt("failure-threshold", 1));
+    ropts.probe_interval_seconds = args.GetInt("probe-interval-ms", 20) / 1e3;
+    ropts.max_attempts = static_cast<int>(args.GetInt("max-attempts", 4));
+    ropts.num_workers = config.service.num_workers;
+    for (std::stringstream faults(args.Get("fault")); faults.good();) {
+      std::string spec;
+      if (!std::getline(faults, spec, ',') || spec.empty()) break;
+      auto fault = FaultInjector::Parse(spec);
+      if (!fault.ok()) {
+        std::fprintf(stderr, "bad --fault spec \"%s\": %s\n", spec.c_str(),
+                     fault.status().ToString().c_str());
+        return 1;
+      }
+      injector.Schedule(*fault);
+      ropts.fault_injector = &injector;
+    }
+    router = std::make_unique<Router>(&group, ropts);
+    AttachRouter(*dataset, router.get());
+    std::printf("-- replicated tier: %d replicas of \"%s\"%s\n", replicas,
+                args.Get("dir").c_str(),
+                ropts.fault_injector ? " (fault injection armed)" : "");
+  }
+
   net::NetServerOptions sopts;
   sopts.bind_address = args.Get("bind", "127.0.0.1");
   sopts.port = static_cast<uint16_t>(args.GetInt("port", 0));
@@ -525,6 +582,32 @@ int RunServeNetwork(const Args& args) {
               static_cast<unsigned long long>(net_stats.connections_accepted),
               static_cast<unsigned long long>(net_stats.requests),
               static_cast<unsigned long long>(net_stats.protocol_errors));
+  if (router != nullptr) {
+    const RouterStats rstats = router->Stats();
+    std::printf("-- router: %llu routed, %llu succeeded, %llu retries, "
+                "%llu failovers, %llu shed, %llu injected\n",
+                static_cast<unsigned long long>(rstats.routed),
+                static_cast<unsigned long long>(rstats.succeeded),
+                static_cast<unsigned long long>(rstats.retries),
+                static_cast<unsigned long long>(rstats.failovers),
+                static_cast<unsigned long long>(rstats.shed),
+                static_cast<unsigned long long>(rstats.injected));
+    for (const RouterReplicaStats& r : rstats.replicas) {
+      std::printf("   replica %-8s %-10s routed %llu, failed %llu\n",
+                  r.name.c_str(), ToString(r.health),
+                  static_cast<unsigned long long>(r.routed),
+                  static_cast<unsigned long long>(r.failed));
+    }
+    const FaultInjector::Stats fstats = injector.stats();
+    if (fstats.requests_seen > 0) {
+      std::printf("   faults: %llu kills, %llu errors, %llu stalls\n",
+                  static_cast<unsigned long long>(fstats.kills_fired),
+                  static_cast<unsigned long long>(fstats.errors_injected),
+                  static_cast<unsigned long long>(fstats.stalls_injected));
+    }
+    router->Shutdown();
+    group.StopAll();
+  }
   PrintServiceStats((*dataset)->service()->Stats());
   const MetadataCache::CacheStats mstats = (*dataset)->metadata()->stats();
   std::printf("metadata cache: %llu hits / %llu misses, %zu entries\n",

@@ -79,15 +79,22 @@ done
 
 # The serving-layer driver must record both arrival modes (closed-loop
 # client sweep + open-loop rate sweep), the scaling headline, admission
-# rejects, per-class latency percentiles (docs/SERVING.md), and the
-# socket phase — prepared statements over real loopback sockets vs the
-# identical in-process path (docs/NETWORK.md).
+# rejects, per-class latency percentiles and latency-under-SLO attainment
+# (docs/SERVING.md), the socket phase — prepared statements over real
+# loopback sockets vs the identical in-process path (docs/NETWORK.md) —
+# and the replicated tier: 2- and 4-replica scaling plus the failover
+# error budget from a scripted mid-run kill (docs/REPLICATION.md).
 for key in closed_scaling_8x closed_clients_8_qps closed8_p99_ms \
            closed8_interactive_p50_ms open_rate_0_offered_qps \
            open_rate_2_rejected open_rate_0_p99_ms warm_qps \
            service_cache_hit_ratio socket_inproc_qps \
            socket_clients_8_qps socket_scaling_8x \
-           socket_vs_inproc_ratio; do
+           socket_vs_inproc_ratio \
+           open_rate_0_slo_attainment_interactive \
+           open_rate_1_slo_attainment_normal \
+           open_rate_2_slo_attainment_batch \
+           replica_2_qps replica_4_qps replica_scaling_4v2 \
+           failover_qps failover_error_budget; do
   if ! grep -q "\"$key\"" "$JSON_DIR/BENCH_bench_service.json" 2>/dev/null; then
     echo "MISSING: $key not in BENCH_bench_service.json" >&2
     status=1
