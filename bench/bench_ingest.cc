@@ -1,0 +1,229 @@
+// bench_ingest: streaming-ingest throughput and query latency under ingest
+// (docs/INGEST.md) — the MS-II regime at the write path.
+//
+// Phases:
+//   1. pure ingest: one writer appending masks back-to-back with periodic
+//      epoch publishes; records ingest_masks_per_sec, ingest_mb_per_sec,
+//      publish_p99_ms (the epoch-publication pause), and chis_built (the
+//      CHI-on-ingest coverage).
+//   2. ingest while serving: the same writer stream racing closed-loop
+//      query clients through a QueryService that resolves the epoch
+//      snapshot at admission; records query_p50_while_ingesting_ms,
+//      query_p99_while_ingesting_ms, query_qps_while_ingesting,
+//      ingest_masks_per_sec_while_serving, and epochs_published — the
+//      interference profile between the write and read paths.
+//
+// The store is unthrottled on purpose: the phase-2 number isolates the
+// engine-side interference (epoch pinning, shared caches, publish pauses),
+// not a modeled disk.
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace masksearch {
+namespace bench {
+namespace {
+
+struct IngestBenchConfig {
+  int64_t total_masks = 2000;
+  int64_t masks_per_epoch = 100;
+  int mask_side = 40;
+  int num_clients = 4;
+};
+
+IngestBenchConfig ConfigFor(const BenchFlags& flags) {
+  IngestBenchConfig cfg;
+  // --workload-queries scales the run (the smoke lane passes 2).
+  cfg.total_masks = 50ll * flags.workload_queries;
+  cfg.masks_per_epoch = std::max<int64_t>(10, cfg.total_masks / 20);
+  return cfg;
+}
+
+IngestorOptions MakeIngestOptions(const BenchFlags& flags,
+                                  const IngestBenchConfig& cfg) {
+  IngestorOptions opts;
+  opts.num_shards = 4;
+  opts.chi.cell_width = opts.chi.cell_height = std::max(1, cfg.mask_side / 8);
+  opts.chi.num_bins = 16;
+  opts.cache_budget_bytes =
+      flags.cache_mib > 0
+          ? static_cast<uint64_t>(flags.cache_mib * 1024 * 1024)
+          : 64ull << 20;
+  opts.cache_shards = flags.cache_shards;
+  return opts;
+}
+
+/// One writer pass: appends `total` masks, publishing every
+/// `masks_per_epoch`. Returns per-publish pause times (seconds).
+std::vector<double> RunWriter(Ingestor* ingestor,
+                              const IngestBenchConfig& cfg, uint64_t seed) {
+  Rng rng(seed);
+  SaliencySpec spec;
+  spec.width = spec.height = cfg.mask_side;
+  std::vector<double> publish_seconds;
+  for (int64_t i = 0; i < cfg.total_masks; ++i) {
+    const ROI box = GenerateObjectBox(&rng, cfg.mask_side, cfg.mask_side);
+    Mask mask = GenerateSaliencyMask(&rng, spec, box, rng.NextBool(0.3));
+    MaskMeta meta;
+    meta.image_id = i;
+    meta.model_id = 0;
+    meta.mask_type = MaskType::kSaliencyMap;
+    meta.object_box = box;
+    ingestor->Append(meta, mask).ValueOrDie();
+    if ((i + 1) % cfg.masks_per_epoch == 0) {
+      Stopwatch pause;
+      ingestor->Publish().CheckOK();
+      publish_seconds.push_back(pause.ElapsedSeconds());
+    }
+  }
+  Stopwatch pause;
+  ingestor->Publish().CheckOK();
+  publish_seconds.push_back(pause.ElapsedSeconds());
+  return publish_seconds;
+}
+
+FilterQuery BenchQuery(Rng* rng, int mask_side) {
+  FilterQuery q;
+  CpTerm term;
+  term.roi_source = rng->NextBool(0.5) ? RoiSource::kObjectBox
+                                       : RoiSource::kConstant;
+  const int32_t x0 = static_cast<int32_t>(rng->UniformInt(0, mask_side / 2));
+  const int32_t y0 = static_cast<int32_t>(rng->UniformInt(0, mask_side / 2));
+  term.constant_roi = ROI{x0, y0, x0 + mask_side / 2, y0 + mask_side / 2};
+  term.range = ValueRange{0.6, 1.0};
+  q.terms = {term};
+  q.predicate = Predicate::Compare(CpExpr::Term(0), CompareOp::kGt,
+                                   rng->NextDouble() * mask_side * 4);
+  return q;
+}
+
+void Run(const BenchFlags& flags) {
+  const IngestBenchConfig cfg = ConfigFor(flags);
+  PrintHeader(flags, "bench_ingest",
+              "streaming ingest under the serving layer (docs/INGEST.md)");
+
+  // --- phase 1: pure ingest throughput --------------------------------
+  {
+    const std::string dir = flags.data_dir + "/ingest_bench_pure";
+    std::filesystem::remove_all(dir);
+    auto ingestor =
+        Ingestor::Create(dir, MakeIngestOptions(flags, cfg)).ValueOrDie();
+    Stopwatch timer;
+    std::vector<double> publishes = RunWriter(ingestor.get(), cfg, 99);
+    const double seconds = timer.ElapsedSeconds();
+    const double masks_per_sec = cfg.total_masks / seconds;
+    const double bytes = static_cast<double>(cfg.total_masks) *
+                         cfg.mask_side * cfg.mask_side * sizeof(float);
+    std::sort(publishes.begin(), publishes.end());
+    const double publish_p99_ms = Percentile(publishes, 0.99) * 1e3;
+    const IngestStats stats = ingestor->Stats();
+    std::printf("phase 1 (pure ingest): %lld masks in %.3fs = %.0f masks/s "
+                "(%.1f MB/s), %lld epochs, publish p99 %.2f ms, %lld CHIs\n",
+                static_cast<long long>(cfg.total_masks), seconds,
+                masks_per_sec, bytes / seconds / 1e6,
+                static_cast<long long>(stats.epoch), publish_p99_ms,
+                static_cast<long long>(stats.chis_built));
+    RecordMetric("ingest_masks_per_sec", masks_per_sec);
+    RecordMetric("ingest_mb_per_sec", bytes / seconds / 1e6);
+    RecordMetric("publish_p99_ms", publish_p99_ms);
+    RecordMetric("chis_built", static_cast<double>(stats.chis_built));
+  }
+
+  // --- phase 2: ingest while serving ----------------------------------
+  {
+    const std::string dir = flags.data_dir + "/ingest_bench_serve";
+    std::filesystem::remove_all(dir);
+    auto ingestor =
+        Ingestor::Create(dir, MakeIngestOptions(flags, cfg)).ValueOrDie();
+    // Seed epoch 1 so the first queries have data to chew on.
+    {
+      IngestBenchConfig seed_cfg = cfg;
+      seed_cfg.total_masks = cfg.masks_per_epoch;
+      (void)RunWriter(ingestor.get(), seed_cfg, 7);
+    }
+
+    QueryServiceOptions sopts;
+    sopts.num_workers = cfg.num_clients;
+    sopts.session_resolver = [ing = ingestor.get()]() -> SessionLease {
+      std::shared_ptr<const Snapshot> snap = ing->snapshot();
+      SessionLease lease;
+      lease.session = snap->session();
+      lease.epoch = snap->epoch();
+      lease.pin = std::move(snap);
+      return lease;
+    };
+    auto service = QueryService::Start(nullptr, sopts).ValueOrDie();
+
+    std::atomic<bool> writer_done{false};
+    double writer_seconds = 0;
+    std::thread writer([&] {
+      Stopwatch timer;
+      (void)RunWriter(ingestor.get(), cfg, 1234);
+      writer_seconds = timer.ElapsedSeconds();
+      writer_done.store(true, std::memory_order_release);
+    });
+
+    std::vector<std::vector<double>> client_latencies(cfg.num_clients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < cfg.num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(5000 + c);
+        while (!writer_done.load(std::memory_order_acquire)) {
+          ServiceRequest req;
+          req.tenant = c;
+          req.query = QueryRequest::Filter(BenchQuery(&rng, cfg.mask_side));
+          Stopwatch timer;
+          auto pending = service->Submit(req);
+          if (!pending.ok()) continue;  // shed: retry
+          auto response = (*pending)->Wait();
+          if (!response.ok()) continue;
+          client_latencies[c].push_back(timer.ElapsedSeconds());
+        }
+      });
+    }
+    writer.join();
+    for (auto& t : clients) t.join();
+    service->Drain();
+
+    std::vector<double> latencies;
+    for (const auto& per_client : client_latencies) {
+      latencies.insert(latencies.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double p50_ms =
+        latencies.empty() ? 0 : Percentile(latencies, 0.5) * 1e3;
+    const double p99_ms =
+        latencies.empty() ? 0 : Percentile(latencies, 0.99) * 1e3;
+    const double qps =
+        writer_seconds > 0 ? latencies.size() / writer_seconds : 0;
+    const double write_rate =
+        writer_seconds > 0 ? cfg.total_masks / writer_seconds : 0;
+    const IngestStats stats = ingestor->Stats();
+    std::printf(
+        "phase 2 (ingest while serving): %zu queries at %.0f qps "
+        "(p50 %.2f ms, p99 %.2f ms) against %.0f masks/s ingest, "
+        "%lld epochs published\n",
+        latencies.size(), qps, p50_ms, p99_ms, write_rate,
+        static_cast<long long>(stats.epoch));
+    RecordMetric("query_p50_while_ingesting_ms", p50_ms);
+    RecordMetric("query_p99_while_ingesting_ms", p99_ms);
+    RecordMetric("query_qps_while_ingesting", qps);
+    RecordMetric("ingest_masks_per_sec_while_serving", write_rate);
+    RecordMetric("epochs_published", static_cast<double>(stats.epoch));
+    service->Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace masksearch
+
+int main(int argc, char** argv) {
+  masksearch::bench::Run(masksearch::bench::BenchFlags::Parse(argc, argv));
+  return 0;
+}

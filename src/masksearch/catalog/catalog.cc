@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "masksearch/common/io.h"
+
 namespace masksearch {
 
 Dataset::~Dataset() {
@@ -12,6 +14,22 @@ Result<std::shared_ptr<PendingQuery>> Dataset::Submit(
     ServiceRequest request, const std::string& sqltext) {
   if (submitter_) return submitter_(std::move(request), sqltext);
   return service_->Submit(std::move(request));
+}
+
+Result<MaskId> Dataset::Ingest(MaskMeta meta, const Mask& mask) {
+  if (!live()) {
+    return Status::InvalidArgument("dataset '" + name_ +
+                                      "' is not a live (ingesting) dataset");
+  }
+  return ingestor_->Append(meta, mask);
+}
+
+Status Dataset::Publish() {
+  if (!live()) {
+    return Status::InvalidArgument("dataset '" + name_ +
+                                      "' is not a live (ingesting) dataset");
+  }
+  return ingestor_->Publish();
 }
 
 Result<Dataset*> Catalog::Register(const std::string& name,
@@ -38,6 +56,50 @@ Result<Dataset*> Catalog::Register(const std::string& name,
   MS_ASSIGN_OR_RETURN(
       dataset->service_,
       QueryService::Start(dataset->session_.get(), service_opts));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = datasets_.emplace(name, std::move(dataset));
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + name + "' is already registered");
+  }
+  return it->second.get();
+}
+
+Result<Dataset*> Catalog::RegisterLive(const std::string& name,
+                                       const std::string& dir,
+                                       const LiveDatasetConfig& config) {
+  if (name.empty()) return Status::InvalidArgument("empty dataset name");
+  auto dataset = std::unique_ptr<Dataset>(new Dataset());
+  dataset->name_ = name;
+  dataset->dir_ = dir;
+  // Resume an existing store (with torn-tail recovery) when a manifest is
+  // already there; otherwise start a fresh empty one at epoch 0.
+  if (PathExists(MaskStoreManifestPath(dir))) {
+    MS_ASSIGN_OR_RETURN(dataset->ingestor_,
+                        Ingestor::Open(dir, config.ingest));
+  } else {
+    MS_ASSIGN_OR_RETURN(dataset->ingestor_,
+                        Ingestor::Create(dir, config.ingest));
+  }
+
+  QueryServiceOptions service_opts = config.service;
+  // Epoch-snapshot resolution (docs/INGEST.md): each admitted request pins
+  // the snapshot current *now*; the lease keeps it alive until the request
+  // finishes, however many epochs get published meanwhile. Admission
+  // costing runs against the lease's byte-stable catalog (the service's
+  // built-in walk), so no TTL'd metadata cache is installed for live
+  // datasets.
+  service_opts.session_resolver =
+      [ingestor = dataset->ingestor_.get()]() -> SessionLease {
+    std::shared_ptr<const Snapshot> snap = ingestor->snapshot();
+    SessionLease lease;
+    lease.session = snap->session();
+    lease.epoch = snap->epoch();
+    lease.pin = std::move(snap);
+    return lease;
+  };
+  MS_ASSIGN_OR_RETURN(dataset->service_,
+                      QueryService::Start(nullptr, service_opts));
 
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = datasets_.emplace(name, std::move(dataset));

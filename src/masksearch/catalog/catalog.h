@@ -24,6 +24,7 @@
 
 #include "masksearch/catalog/metadata_cache.h"
 #include "masksearch/exec/session.h"
+#include "masksearch/ingest/ingestor.h"
 #include "masksearch/service/query_service.h"
 #include "masksearch/storage/mask_store.h"
 
@@ -39,6 +40,14 @@ struct DatasetConfig {
   MetadataCacheOptions metadata;
 };
 
+/// \brief Configuration of a *live* (ingesting) dataset: the ingestor owns
+/// the store files and the snapshot machinery; the service resolves every
+/// request against the current epoch's snapshot (docs/INGEST.md).
+struct LiveDatasetConfig {
+  IngestorOptions ingest;
+  QueryServiceOptions service;
+};
+
 /// \brief One served dataset. Owned by the Catalog; pointers returned by
 /// the accessors are stable for the catalog's lifetime.
 class Dataset {
@@ -51,6 +60,24 @@ class Dataset {
   QueryService* service() const { return service_.get(); }
   MetadataCache* metadata() const { return metadata_.get(); }
   const MaskStore& store() const { return *store_; }
+
+  /// \brief True for datasets registered with RegisterLive: the store is
+  /// ingesting, `store()`/`session()`/`metadata()` are unset (null), and
+  /// queries resolve the current epoch snapshot at admission instead.
+  bool live() const { return ingestor_ != nullptr; }
+  Ingestor* ingestor() const { return ingestor_.get(); }
+  /// \brief Current published epoch (0 for fixed datasets).
+  int64_t epoch() const { return live() ? ingestor_->epoch() : 0; }
+  /// \brief Current published snapshot (null for fixed datasets).
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return live() ? ingestor_->snapshot() : nullptr;
+  }
+
+  /// \brief INSERT path of a live dataset: appends `mask`, invisible until
+  /// Publish(). Typed kInvalidArgument on a fixed dataset.
+  Result<MaskId> Ingest(MaskMeta meta, const Mask& mask);
+  /// \brief Publishes appended masks as the next epoch (live datasets only).
+  Status Publish();
 
   /// \brief Replacement submission path (the replication seam). Takes the
   /// request plus its SQL text when known — text a router needs to re-issue
@@ -76,10 +103,13 @@ class Dataset {
   std::string name_;
   std::string dir_;
   // Destruction runs bottom-up: the service (joins its workers) goes before
-  // the session and store it executes against.
+  // the session and store it executes against. For live datasets the
+  // ingestor replaces the fixed store/session pair; the service's leases
+  // pin snapshots, and Shutdown drains them before the ingestor dies.
   std::unique_ptr<MaskStore> store_;
   std::unique_ptr<Session> session_;
   std::unique_ptr<MetadataCache> metadata_;
+  std::unique_ptr<Ingestor> ingestor_;
   std::unique_ptr<QueryService> service_;
   Submitter submitter_;
 };
@@ -97,6 +127,15 @@ class Catalog {
   /// any open error (nothing is registered then).
   Result<Dataset*> Register(const std::string& name, const std::string& dir,
                             const DatasetConfig& config);
+
+  /// \brief Registers a *live* (ingesting) dataset at `dir`: resumes an
+  /// existing store there (Ingestor::Open, torn-tail recovery included) or
+  /// creates a fresh empty one, then starts a QueryService whose every
+  /// request resolves the current epoch snapshot at admission
+  /// (docs/INGEST.md). INSERTs go through Dataset::Ingest + Publish.
+  Result<Dataset*> RegisterLive(const std::string& name,
+                                const std::string& dir,
+                                const LiveDatasetConfig& config);
 
   /// \brief Null when `name` is not registered.
   Dataset* Find(const std::string& name) const;

@@ -27,6 +27,38 @@ Status WriteFile(const std::string& path, const std::string& contents) {
   return w->Close();
 }
 
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  // Same-directory temp file so the rename is within one filesystem.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  MS_ASSIGN_OR_RETURN(auto w, FileWriter::Create(tmp));
+  Status st = w->Append(contents);
+  if (st.ok()) st = w->Flush();
+  if (st.ok()) st = w->Close();
+  if (!st.ok()) {
+    (void)RemoveFileIfExists(tmp);
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status rename_st = Status::IOError(Errno("rename", path));
+    (void)RemoveFileIfExists(tmp);
+    return rename_st;
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  MS_ASSIGN_OR_RETURN(uint64_t current, FileSize(path));
+  if (size > current) {
+    return Status::InvalidArgument(
+        "truncate '" + path + "' to " + std::to_string(size) +
+        " would grow the file (current size " + std::to_string(current) + ")");
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IOError(Errno("truncate", path));
+  }
+  return Status::OK();
+}
+
 Result<std::string> ReadFile(const std::string& path) {
   MS_ASSIGN_OR_RETURN(auto f, RandomAccessFile::Open(path));
   std::string out;
@@ -149,6 +181,14 @@ Result<std::unique_ptr<FileWriter>> FileWriter::Create(const std::string& path) 
   return std::unique_ptr<FileWriter>(new FileWriter(f, path));
 }
 
+Result<std::unique_ptr<FileWriter>> FileWriter::OpenAppend(
+    const std::string& path) {
+  MS_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return Status::IOError(Errno("fopen", path));
+  return std::unique_ptr<FileWriter>(new FileWriter(f, path, size));
+}
+
 FileWriter::~FileWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
@@ -160,6 +200,15 @@ Status FileWriter::Append(const void* data, size_t n) {
     return Status::IOError(Errno("fwrite", path_));
   }
   bytes_written_ += n;
+  return Status::OK();
+}
+
+Status FileWriter::Flush() {
+  if (file_ == nullptr) return Status::Internal("flush after close");
+  if (std::fflush(file_) != 0) return Status::IOError(Errno("fflush", path_));
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError(Errno("fsync", path_));
+  }
   return Status::OK();
 }
 

@@ -17,6 +17,18 @@ namespace masksearch {
 /// \brief Writes `contents` to `path`, replacing any existing file.
 Status WriteFile(const std::string& path, const std::string& contents);
 
+/// \brief Atomically replaces `path` with `contents`: the bytes are written
+/// to a temp file in the same directory, fsynced, and renamed over `path`.
+/// A crash at any point leaves either the old file or the new one, never a
+/// torn mix — the property manifest publication relies on
+/// (docs/STORAGE_FORMAT.md, "Durability ordering").
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// \brief Truncates the file at `path` to `size` bytes (which must not
+/// exceed the current size). Torn-append recovery uses this to drop a
+/// partial tail that was never covered by a published manifest.
+Status TruncateFile(const std::string& path, uint64_t size);
+
 /// \brief Reads the entire file at `path`.
 Result<std::string> ReadFile(const std::string& path);
 
@@ -73,6 +85,10 @@ class RandomAccessFile {
 class FileWriter {
  public:
   static Result<std::unique_ptr<FileWriter>> Create(const std::string& path);
+  /// \brief Opens an existing file for appending; bytes_written() starts at
+  /// the current file size. The ingest layer reopens shard data files this
+  /// way after recovery so appends resume exactly at the durable tail.
+  static Result<std::unique_ptr<FileWriter>> OpenAppend(const std::string& path);
   ~FileWriter();
 
   FileWriter(const FileWriter&) = delete;
@@ -80,11 +96,16 @@ class FileWriter {
 
   Status Append(const void* data, size_t n);
   Status Append(const std::string& data) { return Append(data.data(), data.size()); }
+  /// \brief Flushes buffered bytes and fsyncs them to the device. Epoch
+  /// publication calls this on every shard *before* writing the manifest,
+  /// so a manifest never references bytes that could be lost in a crash.
+  Status Flush();
   Status Close();
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
-  FileWriter(std::FILE* f, std::string path) : file_(f), path_(std::move(path)) {}
+  FileWriter(std::FILE* f, std::string path, uint64_t offset = 0)
+      : file_(f), path_(std::move(path)), bytes_written_(offset) {}
   std::FILE* file_;
   std::string path_;
   uint64_t bytes_written_ = 0;

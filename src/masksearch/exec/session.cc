@@ -28,10 +28,16 @@ Result<std::unique_ptr<Session>> Session::Open(const MaskStore* store,
   session->cache_ = BufferPool::MaybeCreate(
       options.cache, options.cache_budget_bytes, options.cache_shards,
       options.cache_admission);
+  if (options.shared_chi_cache != nullptr &&
+      !(options.shared_chi_cache->config() == options.chi)) {
+    return Status::InvalidArgument(
+        "shared_chi_cache config differs from the session's ChiConfig");
+  }
   // Incremental (MS-II) sessions retain every CHI in the IndexManager, so
   // the bounded per-mask cache would never be consulted usefully there.
+  // A shared external cache supersedes the private one.
   if (session->cache_ != nullptr && options.use_index &&
-      !options.incremental) {
+      options.shared_chi_cache == nullptr && !options.incremental) {
     session->chi_cache_ = std::make_unique<ChiCache>(
         session->cache_, options.chi, CacheSpace::kMaskChi);
   }

@@ -76,6 +76,13 @@ struct SessionOptions {
   uint64_t cache_budget_bytes = 0;
   int32_t cache_shards = 8;
   CacheAdmission cache_admission = CacheAdmission::kScanResistant;
+  /// External bounded per-mask CHI cache (caller-owned, must outlive the
+  /// session; its ChiConfig must equal `chi`). When set it becomes the
+  /// EngineOptions::chi_cache hook instead of a session-private cache — the
+  /// ingest layer shares one cache of ingest-built CHIs across every
+  /// epoch's snapshot session, so CHIs built at append time keep pruning
+  /// for all later epochs (docs/INGEST.md).
+  ChiCache* shared_chi_cache = nullptr;
 };
 
 /// Thread safety: after Open returns, the query methods (Filter / TopK /
@@ -122,8 +129,13 @@ class Session {
   /// \brief The session's buffer pool (null without one). Its CacheStats
   /// cover every cache sharing the pool, including a CachedMaskStore's.
   BufferPool* cache() const { return cache_.get(); }
-  /// \brief The bounded per-mask CHI cache hook (null without a pool).
-  ChiCache* chi_cache() const { return chi_cache_.get(); }
+  /// \brief The bounded per-mask CHI cache hook: the shared external cache
+  /// when SessionOptions::shared_chi_cache is set, else the session-private
+  /// one (null without a pool).
+  ChiCache* chi_cache() const {
+    return options_.shared_chi_cache != nullptr ? options_.shared_chi_cache
+                                                : chi_cache_.get();
+  }
 
  private:
   Session(const MaskStore* store, SessionOptions options,
@@ -138,7 +150,7 @@ class Session {
     e.sort_by_bound = options_.sort_by_bound;
     e.filter_verify_batch = options_.filter_verify_batch;
     e.agg_verify_batch = options_.agg_verify_batch;
-    e.chi_cache = chi_cache_.get();
+    e.chi_cache = chi_cache();
     e.control = control;
     return e;
   }

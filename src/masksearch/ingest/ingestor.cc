@@ -1,0 +1,319 @@
+#include "masksearch/ingest/ingestor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "masksearch/cache/cached_mask_store.h"
+#include "masksearch/index/chi_builder.h"
+#include "masksearch/storage/codec.h"
+#include "masksearch/storage/sharded_mask_store.h"
+
+namespace masksearch {
+
+namespace {
+constexpr int32_t kMaxIngestShards = 4096;  // mirrors the manifest limit
+}  // namespace
+
+std::string IngestEpochPath(const std::string& dir) {
+  return dir + "/ingest.epoch";
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+Snapshot::~Snapshot() {
+  if (live_ != nullptr) live_->fetch_sub(1, std::memory_order_acq_rel);
+}
+
+// ---------------------------------------------------------------------------
+// Ingestor
+// ---------------------------------------------------------------------------
+
+std::string IngestStats::ToString() const {
+  return "epoch=" + std::to_string(epoch) +
+         " appended=" + std::to_string(appended) +
+         " published=" + std::to_string(published) +
+         " chis_built=" + std::to_string(chis_built) +
+         " live_snapshots=" + std::to_string(live_snapshots) +
+         " torn_bytes_recovered=" + std::to_string(torn_bytes_recovered);
+}
+
+Ingestor::Ingestor(std::string dir, IngestorOptions opts)
+    : dir_(std::move(dir)), opts_(std::move(opts)), kind_(opts_.kind) {}
+
+Ingestor::~Ingestor() = default;
+
+Result<std::unique_ptr<Ingestor>> Ingestor::Create(const std::string& dir,
+                                                   const IngestorOptions& opts) {
+  if (opts.num_shards < 1 || opts.num_shards > kMaxIngestShards) {
+    return Status::InvalidArgument("num_shards must be in [1, " +
+                                   std::to_string(kMaxIngestShards) +
+                                   "], got " + std::to_string(opts.num_shards));
+  }
+  if (!opts.chi.Valid()) {
+    return Status::InvalidArgument("invalid CHI config: " +
+                                   opts.chi.ToString());
+  }
+  MS_RETURN_NOT_OK(CreateDirs(dir));
+  auto ing = std::unique_ptr<Ingestor>(new Ingestor(dir, opts));
+  ing->shards_.reserve(opts.num_shards);
+  for (int32_t s = 0; s < opts.num_shards; ++s) {
+    MS_ASSIGN_OR_RETURN(
+        auto w,
+        FileWriter::Create(MaskStoreShardDataPath(dir, s, opts.num_shards)));
+    ing->shards_.push_back(std::move(w));
+  }
+  ing->pool_ = BufferPool::MaybeCreate(opts.cache, opts.cache_budget_bytes,
+                                       opts.cache_shards, opts.cache_admission);
+  if (ing->pool_ != nullptr && opts.build_chi_on_ingest) {
+    ing->chi_cache_ = std::make_unique<ChiCache>(ing->pool_, opts.chi,
+                                                 CacheSpace::kMaskChi);
+  }
+  ing->live_ = std::make_shared<std::atomic<int64_t>>(0);
+  // Publish epoch 0 — the empty store — so a service can resolve a snapshot
+  // before the first real Publish().
+  {
+    std::lock_guard<std::mutex> lock(ing->write_mu_);
+    MS_RETURN_NOT_OK(ing->PublishLocked(0));
+  }
+  return ing;
+}
+
+Result<std::unique_ptr<Ingestor>> Ingestor::Open(const std::string& dir,
+                                                 const IngestorOptions& opts) {
+  if (!opts.chi.Valid()) {
+    return Status::InvalidArgument("invalid CHI config: " +
+                                   opts.chi.ToString());
+  }
+  MS_ASSIGN_OR_RETURN(internal::ParsedManifest parsed,
+                      internal::ReadMaskStoreManifest(dir));
+  auto ing = std::unique_ptr<Ingestor>(new Ingestor(dir, opts));
+  ing->kind_ = parsed.kind;
+
+  // Recovery: the manifest is the durable watermark. A shard file may have
+  // a tail past what the manifest references (a torn append that never
+  // published) — truncate it away. A shard file *shorter* than the manifest
+  // requires lost published bytes: typed Corruption, never papered over.
+  std::vector<uint64_t> required(parsed.num_shards, 0);
+  for (size_t id = 0; id < parsed.sizes.size(); ++id) {
+    const size_t shard = id % static_cast<size_t>(parsed.num_shards);
+    required[shard] = std::max(required[shard],
+                               parsed.offsets[id] + parsed.sizes[id]);
+  }
+  for (int32_t s = 0; s < parsed.num_shards; ++s) {
+    const std::string path = MaskStoreShardDataPath(dir, s, parsed.num_shards);
+    MS_ASSIGN_OR_RETURN(uint64_t size, FileSize(path));
+    if (size < required[s]) {
+      return Status::Corruption(
+          "shard file '" + path + "' is shorter than the manifest requires (" +
+          std::to_string(size) + " < " + std::to_string(required[s]) +
+          " bytes): published data lost");
+    }
+    if (size > required[s]) {
+      MS_RETURN_NOT_OK(TruncateFile(path, required[s]));
+      ing->torn_bytes_recovered_ += size - required[s];
+    }
+    MS_ASSIGN_OR_RETURN(auto w, FileWriter::OpenAppend(path));
+    ing->shards_.push_back(std::move(w));
+  }
+
+  // Resume the epoch counter from the sidecar (0 when absent — a store
+  // written by MaskStoreWriter that is being made live for the first time).
+  int64_t epoch = 0;
+  if (PathExists(IngestEpochPath(dir))) {
+    MS_ASSIGN_OR_RETURN(std::string text, ReadFile(IngestEpochPath(dir)));
+    char* end = nullptr;
+    epoch = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || epoch < 0) {
+      return Status::Corruption("unparseable epoch sidecar: '" + text + "'");
+    }
+  }
+
+  ing->pool_ = BufferPool::MaybeCreate(opts.cache, opts.cache_budget_bytes,
+                                       opts.cache_shards, opts.cache_admission);
+  if (ing->pool_ != nullptr && opts.build_chi_on_ingest) {
+    ing->chi_cache_ = std::make_unique<ChiCache>(ing->pool_, opts.chi,
+                                                 CacheSpace::kMaskChi);
+  }
+  ing->live_ = std::make_shared<std::atomic<int64_t>>(0);
+
+  ing->metas_ = std::move(parsed.metas);
+  ing->offsets_ = std::move(parsed.offsets);
+  ing->sizes_ = std::move(parsed.sizes);
+  ing->appended_.store(static_cast<int64_t>(ing->metas_.size()),
+                       std::memory_order_release);
+
+  // Install the recovered snapshot without republishing: the on-disk state
+  // already is the last durable epoch.
+  MS_ASSIGN_OR_RETURN(
+      std::shared_ptr<const Snapshot> snap,
+      ing->BuildSnapshot(epoch, ing->metas_, ing->offsets_, ing->sizes_));
+  {
+    std::lock_guard<std::mutex> lock(ing->snap_mu_);
+    ing->current_ = std::move(snap);
+  }
+  ing->epoch_.store(epoch, std::memory_order_release);
+  ing->watermark_.store(static_cast<int64_t>(ing->metas_.size()),
+                        std::memory_order_release);
+  return ing;
+}
+
+Result<MaskId> Ingestor::AppendEncoded(MaskMeta meta,
+                                       const std::string& payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("cannot append empty blob");
+  }
+  std::lock_guard<std::mutex> lock(write_mu_);
+  meta.mask_id = static_cast<MaskId>(metas_.size());
+  FileWriter* data = shards_[meta.mask_id % num_shards()].get();
+  const uint64_t offset = data->bytes_written();
+  MS_RETURN_NOT_OK(data->Append(payload));
+  offsets_.push_back(offset);
+  sizes_.push_back(payload.size());
+  metas_.push_back(meta);
+  appended_.store(static_cast<int64_t>(metas_.size()),
+                  std::memory_order_release);
+  return meta.mask_id;
+}
+
+void Ingestor::BuildIngestChi(MaskId id, const Mask& mask) {
+  if (chi_cache_ == nullptr) return;
+  chi_cache_->Put(id, BuildChi(mask, opts_.chi));
+  chis_built_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<MaskId> Ingestor::Append(MaskMeta meta, const Mask& mask) {
+  if (mask.Empty()) return Status::InvalidArgument("cannot append empty mask");
+  meta.width = mask.width();
+  meta.height = mask.height();
+  // Encode outside the write lock; only the file append is serialized.
+  std::string payload;
+  if (kind_ == StorageKind::kRawFloat32) {
+    payload.assign(reinterpret_cast<const char*>(mask.data().data()),
+                   mask.ByteSize());
+  } else {
+    payload = EncodeMask(mask, opts_.codec);
+  }
+  MS_ASSIGN_OR_RETURN(MaskId id, AppendEncoded(meta, payload));
+  // CHI build on ingest (§3.6 at the write path): the pixels are already in
+  // memory, so the one-pass build happens now instead of on first query.
+  BuildIngestChi(id, mask);
+  return id;
+}
+
+Result<MaskId> Ingestor::AppendBlob(MaskMeta meta, const std::string& blob) {
+  if (kind_ == StorageKind::kRawFloat32 &&
+      blob.size() != static_cast<size_t>(meta.width) * meta.height *
+                         sizeof(float)) {
+    return Status::InvalidArgument(
+        "raw blob size does not match meta width x height");
+  }
+  MS_ASSIGN_OR_RETURN(MaskId id, AppendEncoded(meta, blob));
+  if (chi_cache_ != nullptr) {
+    // Decode to index. A blob that does not decode is still appended
+    // verbatim (the writer contract); it just gets no ingest-time CHI.
+    Result<Mask> decoded =
+        kind_ == StorageKind::kRawFloat32
+            ? [&]() -> Result<Mask> {
+                std::vector<float> values(blob.size() / sizeof(float));
+                std::memcpy(values.data(), blob.data(), blob.size());
+                return Mask::FromData(meta.width, meta.height,
+                                      std::move(values));
+              }()
+            : DecodeMask(blob);
+    if (decoded.ok()) BuildIngestChi(id, *decoded);
+  }
+  return id;
+}
+
+Result<std::shared_ptr<const Snapshot>> Ingestor::BuildSnapshot(
+    int64_t epoch, std::vector<MaskMeta> metas, std::vector<uint64_t> offsets,
+    std::vector<uint64_t> sizes) const {
+  const int64_t watermark = static_cast<int64_t>(metas.size());
+  MaskStore::Options store_opts = opts_.store;
+  store_opts.cache = nullptr;  // wrapping is done here, not by Open
+  store_opts.cache_budget_bytes = 0;
+  MS_ASSIGN_OR_RETURN(
+      std::unique_ptr<MaskStore> store,
+      ShardedMaskStore::Create(dir_, store_opts, kind_, num_shards(),
+                               std::move(metas), std::move(offsets),
+                               std::move(sizes)));
+  if (pool_ != nullptr) {
+    // Fresh owner per epoch: the blob cache starts cold for each snapshot
+    // (the epoch-keyed invalidation rule, docs/INGEST.md) while the CHI
+    // cache — keyed by immutable mask id — stays warm across epochs.
+    store = CachedMaskStore::Wrap(std::move(store), pool_);
+  }
+
+  SessionOptions sess = opts_.session;
+  sess.chi = opts_.chi;
+  sess.incremental = true;  // never bulk-build at snapshot open
+  sess.index_path.clear();
+  sess.attach_index = false;
+  sess.cache = pool_;
+  sess.cache_budget_bytes = 0;
+  sess.shared_chi_cache = chi_cache_.get();
+  MS_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                      Session::Open(store.get(), sess));
+
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->epoch_ = epoch;
+  snap->watermark_ = watermark;
+  snap->store_ = std::move(store);
+  snap->session_ = std::move(session);
+  snap->live_ = live_;
+  live_->fetch_add(1, std::memory_order_acq_rel);
+  return std::shared_ptr<const Snapshot>(std::move(snap));
+}
+
+Status Ingestor::PublishLocked(int64_t next_epoch) {
+  // Durability ordering: (1) every shard's appended bytes are flushed and
+  // fsynced, (2) the manifest referencing them is atomically renamed into
+  // place, (3) the epoch sidecar advances. A crash between any two steps
+  // leaves a store that opens consistently at the previous (or just-
+  // published) epoch.
+  for (auto& shard : shards_) MS_RETURN_NOT_OK(shard->Flush());
+  MS_RETURN_NOT_OK(internal::WriteMaskStoreManifest(
+      dir_, kind_, num_shards(), metas_, offsets_, sizes_));
+  MS_RETURN_NOT_OK(
+      WriteFileAtomic(IngestEpochPath(dir_), std::to_string(next_epoch)));
+
+  MS_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snap,
+                      BuildSnapshot(next_epoch, metas_, offsets_, sizes_));
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    current_ = std::move(snap);
+  }
+  epoch_.store(next_epoch, std::memory_order_release);
+  watermark_.store(static_cast<int64_t>(metas_.size()),
+                   std::memory_order_release);
+  return Status::OK();
+}
+
+Status Ingestor::Publish() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return PublishLocked(epoch_.load(std::memory_order_acquire) + 1);
+}
+
+std::shared_ptr<const Snapshot> Ingestor::snapshot() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return current_;
+}
+
+IngestStats Ingestor::Stats() const {
+  IngestStats s;
+  s.epoch = epoch();
+  s.appended = appended();
+  s.published = watermark();
+  s.chis_built = chis_built_.load(std::memory_order_relaxed);
+  // The ingestor's own reference to the current snapshot is not "live" work.
+  s.live_snapshots =
+      std::max<int64_t>(0, live_->load(std::memory_order_acquire) - 1);
+  s.torn_bytes_recovered = torn_bytes_recovered_;
+  return s;
+}
+
+}  // namespace masksearch

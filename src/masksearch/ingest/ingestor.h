@@ -1,0 +1,241 @@
+// Streaming ingest with epoch-snapshot visibility (docs/INGEST.md).
+//
+// An Ingestor makes the corpus live: writers append mask blobs to the
+// sharded store's data files while queries keep serving. Appended masks are
+// invisible until Publish(), which flushes + fsyncs the shard files, writes
+// the manifest atomically, and installs a new immutable Snapshot — a pinned
+// {mask-count watermark, offset-table prefix, CHI generation} triple. Every
+// in-flight query executes against the Snapshot it was admitted with, so it
+// reads one byte-stable view of the store no matter how many epochs writers
+// publish while it runs.
+//
+// Durability ordering (docs/STORAGE_FORMAT.md): data bytes are fsynced
+// before the manifest that references them is renamed into place, and the
+// manifest itself is the publication point. A crash mid-append therefore
+// leaves at most a torn *unpublished* tail, which Open() truncates away —
+// recovery lands exactly on the last durable epoch.
+//
+// Index maintenance: each appended mask's CHI is built at ingest time into
+// a shared, capacity-bounded ChiCache (the bounded incremental-indexing
+// machinery of docs/CACHING.md). CHIs are keyed by mask id and mask blobs
+// are immutable once appended, so entries never go stale across epochs —
+// the cache-invalidation rule is per *store generation*, not per epoch:
+// each epoch's CachedMaskStore opens under a fresh BufferPool owner id
+// (cold blob cache, conservative under future compaction), while the CHI
+// cache's owner survives until a compaction rewrites mask ids (the
+// follow-up seam).
+//
+// Thread safety: Append/AppendBlob/Publish may be called from many writer
+// threads; snapshot()/epoch()/watermark()/Stats() from any thread.
+
+#ifndef MASKSEARCH_INGEST_INGESTOR_H_
+#define MASKSEARCH_INGEST_INGESTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "masksearch/cache/buffer_pool.h"
+#include "masksearch/cache/chi_cache.h"
+#include "masksearch/common/result.h"
+#include "masksearch/exec/session.h"
+#include "masksearch/storage/mask_store.h"
+
+namespace masksearch {
+
+class Ingestor;
+
+/// \brief Sidecar file holding the epoch counter (see docs/INGEST.md).
+std::string IngestEpochPath(const std::string& dir);
+
+/// \brief One published epoch: an immutable, byte-stable view of the store.
+///
+/// Holding a shared_ptr<const Snapshot> *is* the pin: the snapshot's store
+/// handle (offset-table prefix over the shard files) and session (CHI state)
+/// stay alive exactly as long as references exist, and the live-snapshot
+/// counter the unpin tests read drops as soon as the last one is released —
+/// retention is bounded by in-flight work, never by epochs published.
+class Snapshot {
+ public:
+  ~Snapshot();
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// \brief Epoch number this snapshot was published as (0 = the empty
+  /// store published at Create, or whatever epoch Open() recovered).
+  int64_t epoch() const { return epoch_; }
+  /// \brief Mask-count watermark: ids [0, watermark) are visible.
+  int64_t watermark() const { return watermark_; }
+  /// \brief The byte-stable read surface (a CachedMaskStore when the
+  /// ingestor has a buffer pool).
+  const MaskStore& store() const { return *store_; }
+  /// \brief Execution handle over store(): incremental mode (no bulk
+  /// build), sharing the ingestor's buffer pool and ingest-built CHI cache.
+  Session* session() const { return session_.get(); }
+
+ private:
+  friend class Ingestor;
+  Snapshot() = default;
+
+  int64_t epoch_ = 0;
+  int64_t watermark_ = 0;
+  std::unique_ptr<MaskStore> store_;
+  std::unique_ptr<Session> session_;
+  std::shared_ptr<std::atomic<int64_t>> live_;  ///< shared live counter
+};
+
+struct IngestorOptions {
+  /// Physical encoding + shard fan-out of the store (Create only; Open
+  /// takes both from the existing manifest).
+  StorageKind kind = StorageKind::kRawFloat32;
+  CodecOptions codec;
+  int32_t num_shards = 1;
+
+  /// CHI geometry of the ingest-built indexes and every snapshot session.
+  ChiConfig chi;
+  /// Build each appended mask's CHI into the shared ChiCache at ingest time
+  /// (MS-II at the write path: the one-pass build cost is paid while the
+  /// mask bytes are already in memory). Requires a buffer pool; with
+  /// neither `cache` nor a budget configured no CHIs are built on ingest
+  /// and queries fall back to building them on first load.
+  bool build_chi_on_ingest = true;
+
+  /// Shared buffer pool: snapshot mask-blob caches + the ingest CHI cache
+  /// run under this one byte budget. Null with a budget > 0 creates a
+  /// private pool (the MaybeCreate pattern every surface uses).
+  std::shared_ptr<BufferPool> cache;
+  uint64_t cache_budget_bytes = 256ull << 20;
+  int32_t cache_shards = 8;
+  CacheAdmission cache_admission = CacheAdmission::kScanResistant;
+
+  /// Template for each snapshot's MaskStore handle (throttle, batch-I/O
+  /// knobs). The cache fields are overridden by the shared pool above.
+  MaskStore::Options store;
+  /// Template for each snapshot's Session (thread pools, verify batches).
+  /// chi / incremental / index_path / cache fields are overridden: snapshot
+  /// sessions always open incrementally (no bulk build) over the shared
+  /// pool and CHI cache.
+  SessionOptions session;
+};
+
+/// \brief Point-in-time counters of an Ingestor.
+struct IngestStats {
+  int64_t epoch = 0;            ///< last published epoch
+  int64_t appended = 0;         ///< masks appended (published or not)
+  int64_t published = 0;        ///< mask-count watermark of `epoch`
+  int64_t chis_built = 0;       ///< CHIs built at ingest time
+  int64_t live_snapshots = 0;   ///< snapshots currently referenced
+  uint64_t torn_bytes_recovered = 0;  ///< truncated by Open()'s recovery
+
+  std::string ToString() const;
+};
+
+class Ingestor {
+ public:
+  /// \brief Starts a new live store at `dir` (replacing existing store
+  /// files) and publishes epoch 0 — the empty snapshot — so a service can
+  /// resolve a view before the first Publish().
+  static Result<std::unique_ptr<Ingestor>> Create(const std::string& dir,
+                                                  const IngestorOptions& opts);
+
+  /// \brief Resumes ingest over an existing store directory. Recovery
+  /// first: any shard-file tail past what the manifest references (a torn
+  /// unpublished append) is truncated away, and the ingestor resumes from
+  /// the last durable epoch. A shard file *shorter* than the manifest
+  /// requires is a typed Corruption — published bytes are gone, which
+  /// recovery must never paper over.
+  static Result<std::unique_ptr<Ingestor>> Open(const std::string& dir,
+                                                const IngestorOptions& opts);
+
+  ~Ingestor();
+
+  Ingestor(const Ingestor&) = delete;
+  Ingestor& operator=(const Ingestor&) = delete;
+
+  /// \brief Appends a mask (thread-safe). The assigned dense id is
+  /// invisible to queries until the next Publish(). meta.mask_id is
+  /// overwritten with the assigned id; width/height are taken from `mask`.
+  Result<MaskId> Append(MaskMeta meta, const Mask& mask);
+
+  /// \brief Appends an already-encoded blob verbatim (must match the
+  /// store's StorageKind; meta.width/height must describe the encoded
+  /// mask). The replication/migration ingest path.
+  Result<MaskId> AppendBlob(MaskMeta meta, const std::string& blob);
+
+  /// \brief Publishes everything appended so far as the next epoch:
+  /// flush + fsync shard data, atomically write the manifest and epoch
+  /// sidecar, install a fresh Snapshot. Appends are blocked for the
+  /// duration (the write lock is held); queries are not — they keep
+  /// reading their pinned snapshots.
+  Status Publish();
+
+  /// \brief The current published snapshot (never null after Create/Open).
+  /// The returned reference is the pin; copy it per admitted query and drop
+  /// it when the query finishes.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  int64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  /// \brief Masks visible at the current epoch.
+  int64_t watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+  /// \brief Masks appended so far, including unpublished ones.
+  int64_t appended() const { return appended_.load(std::memory_order_acquire); }
+
+  IngestStats Stats() const;
+
+  const std::string& dir() const { return dir_; }
+  StorageKind kind() const { return kind_; }
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
+  BufferPool* cache() const { return pool_.get(); }
+  /// \brief The shared ingest-built CHI cache (null without a pool).
+  ChiCache* chi_cache() const { return chi_cache_.get(); }
+
+ private:
+  Ingestor(std::string dir, IngestorOptions opts);
+
+  /// Appends `payload` for `meta` under the write lock; returns the id.
+  Result<MaskId> AppendEncoded(MaskMeta meta, const std::string& payload);
+  /// Builds `mask`'s CHI into the shared cache (no-op without one).
+  void BuildIngestChi(MaskId id, const Mask& mask);
+  /// Publishes the tables as `next_epoch` and installs the snapshot.
+  /// Caller holds write_mu_.
+  Status PublishLocked(int64_t next_epoch);
+  /// Builds the Snapshot object for the given prefix tables.
+  Result<std::shared_ptr<const Snapshot>> BuildSnapshot(
+      int64_t epoch, std::vector<MaskMeta> metas,
+      std::vector<uint64_t> offsets, std::vector<uint64_t> sizes) const;
+
+  std::string dir_;
+  IngestorOptions opts_;
+  StorageKind kind_ = StorageKind::kRawFloat32;
+
+  std::shared_ptr<BufferPool> pool_;
+  std::unique_ptr<ChiCache> chi_cache_;
+  std::shared_ptr<std::atomic<int64_t>> live_;
+
+  /// Writer state: shard appenders + the growing offset tables.
+  mutable std::mutex write_mu_;
+  std::vector<std::unique_ptr<FileWriter>> shards_;
+  std::vector<MaskMeta> metas_;
+  std::vector<uint64_t> offsets_;  ///< within the owning shard
+  std::vector<uint64_t> sizes_;
+
+  /// Published state: the current snapshot, swapped whole at Publish.
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const Snapshot> current_;
+
+  std::atomic<int64_t> epoch_{0};
+  std::atomic<int64_t> watermark_{0};
+  std::atomic<int64_t> appended_{0};
+  std::atomic<int64_t> chis_built_{0};
+  uint64_t torn_bytes_recovered_ = 0;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_INGEST_INGESTOR_H_

@@ -40,6 +40,7 @@
 #include "masksearch/index/chi.h"
 #include "masksearch/index/chi_builder.h"
 #include "masksearch/index/index_manager.h"
+#include "masksearch/ingest/ingestor.h"
 #include "masksearch/kernels/agg_kernels.h"
 #include "masksearch/kernels/chi_kernels.h"
 #include "masksearch/net/client.h"

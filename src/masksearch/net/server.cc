@@ -294,8 +294,16 @@ void NetServer::HandleRequest(const std::shared_ptr<Connection>& conn,
         if (ds == nullptr) continue;
         DatasetInfo info;
         info.name = name;
-        info.num_masks = ds->metadata()->num_masks();
-        info.total_bytes = ds->metadata()->total_data_bytes();
+        if (ds->live()) {
+          // Live datasets have no metadata cache; report the current
+          // published snapshot's view (the one queries admitted now see).
+          std::shared_ptr<const Snapshot> snap = ds->snapshot();
+          info.num_masks = snap->store().num_masks();
+          info.total_bytes = snap->store().TotalDataBytes();
+        } else {
+          info.num_masks = ds->metadata()->num_masks();
+          info.total_bytes = ds->metadata()->total_data_bytes();
+        }
         resp.datasets.push_back(std::move(info));
       }
       core_->Push(conn, resp);

@@ -75,12 +75,20 @@ void PendingQuery::NotifyDone(std::function<void()> fn) {
 
 void PendingQuery::Finish(Result<QueryResponse> result) {
   std::function<void()> on_done;
+  SessionLease released;
   {
     std::lock_guard<std::mutex> lock(mu_);
     result_ = std::move(result);
     done_ = true;
     on_done = std::move(on_done_);
     on_done_ = nullptr;
+    // Drop the lease now, not at handle destruction: a client may hold the
+    // handle long after Wait(), and snapshot retention must end with the
+    // request (the "unpins promptly" invariant, docs/INGEST.md). The pin
+    // is destroyed outside the lock — releasing the last reference to a
+    // Snapshot tears down a store + session.
+    released = std::move(lease_);
+    lease_ = SessionLease{};
   }
   cv_.notify_all();
   if (on_done) on_done();
@@ -97,7 +105,10 @@ QueryService::QueryService(Session* session, QueryServiceOptions options)
 
 Result<std::unique_ptr<QueryService>> QueryService::Start(
     Session* session, const QueryServiceOptions& options) {
-  if (session == nullptr) return Status::InvalidArgument("null session");
+  if (session == nullptr && !options.session_resolver) {
+    return Status::InvalidArgument(
+        "null session (only allowed with a session_resolver)");
+  }
   QueryServiceOptions opts = options;
   opts.num_workers = std::max<size_t>(1, opts.num_workers);
   opts.max_queue_depth = std::max<size_t>(1, opts.max_queue_depth);
@@ -112,13 +123,14 @@ Result<std::unique_ptr<QueryService>> QueryService::Start(
 
 QueryService::~QueryService() { Shutdown(); }
 
-uint64_t QueryService::EstimateCostBytes(const ServiceRequest& request) const {
+uint64_t QueryService::EstimateCostBytes(const ServiceRequest& request,
+                                         const Session& session) const {
   if (request.cost_bytes_hint > 0) return request.cost_bytes_hint;
   if (options_.cost_estimator) return options_.cost_estimator(request);
   // Catalog-only estimate: the bytes of every targeted blob — an upper
   // bound on what verification could read (pruning only shrinks it). Never
   // touches the data files.
-  const MaskStore& store = session_->store();
+  const MaskStore& store = session.store();
   const Selection& sel = request.query.selection();
   uint64_t bytes = 0;
   if (!sel.mask_ids.empty()) {
@@ -146,6 +158,18 @@ Result<std::shared_ptr<PendingQuery>> QueryService::Submit(
   pending->request_ = std::move(request);
   pending->control_.deadline = DeadlineFor(pending->request_.deadline_seconds,
                                            options_.default_deadline_seconds);
+  // Epoch-snapshot resolution happens at admission: the request is bound to
+  // the store view published *now* and keeps it (pinned) no matter how many
+  // epochs writers publish before it executes.
+  if (options_.session_resolver) {
+    pending->lease_ = options_.session_resolver();
+    if (pending->lease_.session == nullptr) {
+      return Status::Unavailable("session resolver returned no session");
+    }
+  } else {
+    pending->lease_.session = session_;
+  }
+  pending->epoch_ = pending->lease_.epoch;
 
   const PriorityClass cls = pending->request_.priority;
   // Admission control: bounded queue depth and queued bytes. Both checks
@@ -177,7 +201,8 @@ Result<std::shared_ptr<PendingQuery>> QueryService::Submit(
     std::lock_guard<std::mutex> lock(mu_);
     MS_RETURN_NOT_OK(shed_check());
   }
-  pending->cost_bytes_ = EstimateCostBytes(pending->request_);
+  pending->cost_bytes_ =
+      EstimateCostBytes(pending->request_, *pending->lease_.session);
   {
     std::lock_guard<std::mutex> lock(mu_);
     MS_RETURN_NOT_OK(shed_check());  // state may have moved during the estimate
@@ -231,10 +256,13 @@ void QueryService::Dispatch(const std::shared_ptr<PendingQuery>& pending) {
   response.queue_seconds = queue_seconds;
   const auto exec_start = std::chrono::steady_clock::now();
   Status status = Status::OK();
+  // The lease resolved at admission, not the service's fixed session: for a
+  // live dataset this is the pinned epoch snapshot the request must read.
+  Session* session = pending->lease_.session;
   switch (pending->request_.query.kind) {
     case QueryRequest::Kind::kFilter: {
-      auto r = session_->Filter(pending->request_.query.filter,
-                                &pending->control_);
+      auto r = session->Filter(pending->request_.query.filter,
+                               &pending->control_);
       if (r.ok()) {
         response.filter = std::move(*r);
       } else {
@@ -244,7 +272,7 @@ void QueryService::Dispatch(const std::shared_ptr<PendingQuery>& pending) {
     }
     case QueryRequest::Kind::kTopK: {
       auto r =
-          session_->TopK(pending->request_.query.topk, &pending->control_);
+          session->TopK(pending->request_.query.topk, &pending->control_);
       if (r.ok()) {
         response.topk = std::move(*r);
       } else {
@@ -253,8 +281,8 @@ void QueryService::Dispatch(const std::shared_ptr<PendingQuery>& pending) {
       break;
     }
     case QueryRequest::Kind::kAggregation: {
-      auto r = session_->Aggregate(pending->request_.query.agg,
-                                   &pending->control_);
+      auto r = session->Aggregate(pending->request_.query.agg,
+                                  &pending->control_);
       if (r.ok()) {
         response.agg = std::move(*r);
       } else {
@@ -263,8 +291,8 @@ void QueryService::Dispatch(const std::shared_ptr<PendingQuery>& pending) {
       break;
     }
     case QueryRequest::Kind::kMaskAgg: {
-      auto r = session_->MaskAggregate(pending->request_.query.mask_agg,
-                                       &pending->control_);
+      auto r = session->MaskAggregate(pending->request_.query.mask_agg,
+                                      &pending->control_);
       if (r.ok()) {
         response.agg = std::move(*r);
       } else {

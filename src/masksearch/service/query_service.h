@@ -41,6 +41,19 @@
 
 namespace masksearch {
 
+/// \brief A resolved, pinned execution context for one admitted request —
+/// the ingest layer's epoch-snapshot seam (docs/INGEST.md). `session` is
+/// the engine state the request executes against; `pin` is an opaque
+/// reference keeping that state alive (a Snapshot for live datasets) and is
+/// released when the request finishes, so snapshot retention is bounded by
+/// in-flight work. `epoch` labels the visibility point the request was
+/// admitted at.
+struct SessionLease {
+  Session* session = nullptr;
+  int64_t epoch = 0;
+  std::shared_ptr<const void> pin;
+};
+
 struct QueryServiceOptions {
   /// Executor slots: worker threads running queries concurrently against
   /// the shared Session. Inter-query parallelism; each query additionally
@@ -69,6 +82,15 @@ struct QueryServiceOptions {
   /// selections are costed O(1) on the hot path instead of walking every
   /// mask per Submit. Must be thread-safe; runs outside the service lock.
   std::function<uint64_t(const ServiceRequest&)> cost_estimator;
+  /// Epoch-snapshot resolution (docs/INGEST.md): when set, every request
+  /// resolves its execution context here at admission instead of using the
+  /// service's fixed Session — a live (ingesting) dataset returns the
+  /// current published snapshot's session, pinned for the request's
+  /// lifetime, so the query reads one byte-stable epoch no matter how many
+  /// epochs writers publish while it runs. Must be thread-safe and return a
+  /// lease with a non-null session; runs outside the service lock. With a
+  /// resolver installed the service's own Session may be null.
+  std::function<SessionLease()> session_resolver;
 };
 
 /// \brief Handle to a submitted request. Wait() blocks until the terminal
@@ -95,6 +117,9 @@ class PendingQuery {
 
   TenantId tenant() const { return request_.tenant; }
   PriorityClass priority() const { return request_.priority; }
+  /// \brief Epoch the request was admitted at (0 for fixed-session
+  /// services). Stable for the handle's lifetime — readable after Wait().
+  int64_t epoch() const { return epoch_; }
 
  private:
   friend class QueryService;
@@ -107,6 +132,10 @@ class PendingQuery {
   QueryControl control_;
   std::chrono::steady_clock::time_point submit_time_;
   uint64_t cost_bytes_ = 0;
+  /// Execution context resolved at admission; the pin (and session pointer)
+  /// are dropped in Finish so snapshot retention ends with the request.
+  SessionLease lease_;
+  int64_t epoch_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -117,9 +146,10 @@ class PendingQuery {
 
 class QueryService {
  public:
-  /// \brief Starts the worker threads. `session` (non-null, caller-owned,
-  /// must outlive the service) is the shared engine state every slot
-  /// executes against.
+  /// \brief Starts the worker threads. `session` (caller-owned, must
+  /// outlive the service) is the shared engine state every slot executes
+  /// against; it may be null only when options.session_resolver is set, in
+  /// which case each request executes against its resolved lease instead.
   static Result<std::unique_ptr<QueryService>> Start(
       Session* session, const QueryServiceOptions& options);
 
@@ -157,8 +187,10 @@ class QueryService {
   void WorkerLoop();
   /// Runs one request on the calling worker thread and finishes its handle.
   void Dispatch(const std::shared_ptr<PendingQuery>& pending);
-  /// Catalog-only byte estimate of a request (no data-file I/O).
-  uint64_t EstimateCostBytes(const ServiceRequest& request) const;
+  /// Catalog-only byte estimate of a request (no data-file I/O), against
+  /// the catalog of the store the request will actually execute on.
+  uint64_t EstimateCostBytes(const ServiceRequest& request,
+                             const Session& session) const;
 
   Session* session_;
   QueryServiceOptions options_;

@@ -79,7 +79,51 @@ Status WriteMaskStoreManifest(const std::string& dir, StorageKind kind,
     w.PutU64(offsets[i]);
     w.PutU64(sizes[i]);
   }
-  return WriteFile(MaskStoreManifestPath(dir), w.buffer());
+  // Atomic replace: readers (and a crash) see the old manifest or the new
+  // one, never a torn mix — the manifest is the store's publication point.
+  return WriteFileAtomic(MaskStoreManifestPath(dir), w.buffer());
+}
+
+Result<ParsedManifest> ReadMaskStoreManifest(const std::string& dir) {
+  MS_ASSIGN_OR_RETURN(std::string manifest,
+                      ReadFile(MaskStoreManifestPath(dir)));
+  BufferReader r(manifest);
+  MS_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kManifestMagic) {
+    return Status::Corruption("bad mask store manifest magic in " + dir);
+  }
+  MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kManifestVersionSingle &&
+      version != kManifestVersionSharded) {
+    return Status::Corruption("unsupported manifest version");
+  }
+  ParsedManifest parsed;
+  MS_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  parsed.kind = static_cast<StorageKind>(kind);
+  if (version == kManifestVersionSharded) {
+    MS_ASSIGN_OR_RETURN(uint32_t shards, r.GetU32());
+    if (shards < 1 || shards > static_cast<uint32_t>(kMaxShards)) {
+      return Status::Corruption("implausible shard count in manifest: " +
+                                std::to_string(shards));
+    }
+    parsed.num_shards = static_cast<int32_t>(shards);
+  }
+  MS_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  parsed.metas.reserve(count);
+  parsed.offsets.reserve(count);
+  parsed.sizes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MS_ASSIGN_OR_RETURN(MaskMeta m, GetMeta(&r));
+    if (m.mask_id != static_cast<MaskId>(i)) {
+      return Status::Corruption("non-dense mask_id in manifest");
+    }
+    parsed.metas.push_back(m);
+    MS_ASSIGN_OR_RETURN(uint64_t off, r.GetU64());
+    MS_ASSIGN_OR_RETURN(uint64_t sz, r.GetU64());
+    parsed.offsets.push_back(off);
+    parsed.sizes.push_back(sz);
+  }
+  return parsed;
 }
 
 }  // namespace internal
@@ -165,7 +209,14 @@ Result<MaskId> MaskStoreWriter::AppendBlob(MaskMeta meta,
 Status MaskStoreWriter::Finish() {
   if (finished_) return Status::OK();
   finished_ = true;
-  for (auto& shard : shards_) MS_RETURN_NOT_OK(shard->Close());
+  // Durability ordering (docs/STORAGE_FORMAT.md): blob bytes reach the
+  // device before the manifest that references them is published. A
+  // reopened store can therefore never see an offset-table entry whose
+  // bytes were lost — the manifest is always the trailing edge.
+  for (auto& shard : shards_) {
+    MS_RETURN_NOT_OK(shard->Flush());
+    MS_RETURN_NOT_OK(shard->Close());
+  }
   return internal::WriteMaskStoreManifest(dir_, opts_.kind, num_shards(),
                                           metas_, offsets_, sizes_);
 }
@@ -199,53 +250,14 @@ Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir) {
 
 Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir,
                                                    const Options& opts) {
-  MS_ASSIGN_OR_RETURN(std::string manifest,
-                      ReadFile(MaskStoreManifestPath(dir)));
-  BufferReader r(manifest);
-  MS_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
-  if (magic != kManifestMagic) {
-    return Status::Corruption("bad mask store manifest magic in " + dir);
-  }
-  MS_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
-  if (version != kManifestVersionSingle &&
-      version != kManifestVersionSharded) {
-    return Status::Corruption("unsupported manifest version");
-  }
-  MS_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
-  int32_t num_shards = 1;
-  if (version == kManifestVersionSharded) {
-    MS_ASSIGN_OR_RETURN(uint32_t shards, r.GetU32());
-    if (shards < 1 || shards > static_cast<uint32_t>(kMaxShards)) {
-      return Status::Corruption("implausible shard count in manifest: " +
-                                std::to_string(shards));
-    }
-    num_shards = static_cast<int32_t>(shards);
-  }
-  MS_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
-
-  std::vector<MaskMeta> metas;
-  std::vector<uint64_t> offsets;
-  std::vector<uint64_t> sizes;
-  metas.reserve(count);
-  offsets.reserve(count);
-  sizes.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    MS_ASSIGN_OR_RETURN(MaskMeta m, GetMeta(&r));
-    if (m.mask_id != static_cast<MaskId>(i)) {
-      return Status::Corruption("non-dense mask_id in manifest");
-    }
-    metas.push_back(m);
-    MS_ASSIGN_OR_RETURN(uint64_t off, r.GetU64());
-    MS_ASSIGN_OR_RETURN(uint64_t sz, r.GetU64());
-    offsets.push_back(off);
-    sizes.push_back(sz);
-  }
-
+  MS_ASSIGN_OR_RETURN(internal::ParsedManifest parsed,
+                      internal::ReadMaskStoreManifest(dir));
   MS_ASSIGN_OR_RETURN(
       std::unique_ptr<MaskStore> store,
-      ShardedMaskStore::Create(dir, opts, static_cast<StorageKind>(kind),
-                               num_shards, std::move(metas),
-                               std::move(offsets), std::move(sizes)));
+      ShardedMaskStore::Create(dir, opts, parsed.kind, parsed.num_shards,
+                               std::move(parsed.metas),
+                               std::move(parsed.offsets),
+                               std::move(parsed.sizes)));
 
   // Memory subsystem (docs/CACHING.md): with a pool configured, hand back
   // the caching decorator instead of the raw store.

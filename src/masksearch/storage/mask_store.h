@@ -141,6 +141,13 @@ class MaskStore {
     /// Admission policy of the private pool: kScanResistant keeps one-touch
     /// full scans from flushing the re-referenced working set.
     CacheAdmission cache_admission = CacheAdmission::kScanResistant;
+    /// Open-time extent check: every manifested blob must fit inside its
+    /// shard file, else Open fails with a typed Corruption. Off by default
+    /// — the lazy contract lets a store with one damaged shard keep serving
+    /// the healthy shards (reads into the damaged one fail individually).
+    /// The ingest layer's recovery path (Ingestor::Open) always performs
+    /// this check before resuming appends.
+    bool validate_extents = false;
   };
 
   /// \brief Opens a store, sniffing the manifest version: v1 single-file
@@ -259,12 +266,30 @@ std::string MaskStoreShardDataPath(const std::string& dir, int32_t shard,
 
 namespace internal {
 /// Serializes and writes the store manifest (v1 when num_shards == 1, v2
-/// otherwise). Shared by MaskStoreWriter::Finish and migration tools.
+/// otherwise). Shared by MaskStoreWriter::Finish, the ingest layer's epoch
+/// publication, and migration tools. The write is atomic (temp file +
+/// fsync + rename): a crashed publish leaves the previous manifest intact,
+/// never a torn one.
 Status WriteMaskStoreManifest(const std::string& dir, StorageKind kind,
                               int32_t num_shards,
                               const std::vector<MaskMeta>& metas,
                               const std::vector<uint64_t>& offsets,
                               const std::vector<uint64_t>& sizes);
+
+/// Parsed store manifest: the catalog tables MaskStore::Open and the ingest
+/// layer's resume path both need.
+struct ParsedManifest {
+  StorageKind kind = StorageKind::kRawFloat32;
+  int32_t num_shards = 1;
+  std::vector<MaskMeta> metas;
+  std::vector<uint64_t> offsets;  ///< within the owning shard
+  std::vector<uint64_t> sizes;
+};
+
+/// Reads and validates the manifest at `dir` (magic, version, dense ids).
+/// Any structural damage — truncation mid-entry included — is a typed
+/// Corruption error.
+Result<ParsedManifest> ReadMaskStoreManifest(const std::string& dir);
 }  // namespace internal
 
 }  // namespace masksearch

@@ -28,6 +28,23 @@ Result<std::unique_ptr<MaskStore>> ShardedMaskStore::Create(
         RandomAccessFile::Open(MaskStoreShardDataPath(dir, s, num_shards)));
     shards.push_back(std::move(file));
   }
+  // Optional strict open: every manifested blob must fit inside its shard
+  // file. A data file shorter than the manifest requires (a torn write that
+  // ate into published bytes) is then a typed Corruption at open instead of
+  // a per-read error discovered mid-query. Default-off to preserve the lazy
+  // contract: one damaged shard fails only its own reads.
+  for (size_t id = 0; opts.validate_extents && id < sizes.size(); ++id) {
+    const auto& file =
+        *shards[static_cast<size_t>(id) % static_cast<size_t>(num_shards)];
+    if (offsets[id] + sizes[id] > file.size()) {
+      return Status::Corruption(
+          "shard file '" + file.path() + "' is shorter than the manifest " +
+          "requires: mask " + std::to_string(id) + " needs bytes [" +
+          std::to_string(offsets[id]) + ", " +
+          std::to_string(offsets[id] + sizes[id]) + ") but the file has " +
+          std::to_string(file.size()));
+    }
+  }
   auto store = std::unique_ptr<ShardedMaskStore>(new ShardedMaskStore(
       dir, opts, kind, std::move(metas), std::move(offsets), std::move(sizes),
       std::move(shards)));

@@ -8,6 +8,7 @@
 #include "masksearch/index/chi_builder.h"
 #include "masksearch/index/chi_store.h"
 #include "masksearch/index/index_manager.h"
+#include "masksearch/ingest/ingestor.h"
 #include "masksearch/storage/codec.h"
 #include "masksearch/storage/npy.h"
 #include "test_util.h"
@@ -114,6 +115,167 @@ TEST(CorruptionFuzzTest, NpyTruncationSweep) {
     auto r = DecodeNpy(blob.substr(0, cut));
     EXPECT_FALSE(r.ok()) << "cut at " << cut;
   }
+}
+
+// ---------------------------------------------------------------------
+// Torn-append recovery (docs/INGEST.md): a crash mid-append leaves bytes
+// past what the manifest references. Reopening through the ingest layer
+// must land exactly on the last durable epoch — truncating the torn tail,
+// never crashing, never serving a silent short read. Damage *below* the
+// published watermark is a typed Corruption.
+// ---------------------------------------------------------------------
+
+IngestorOptions FuzzIngestOptions() {
+  IngestorOptions opts;
+  opts.chi.cell_width = opts.chi.cell_height = 8;
+  opts.chi.num_bins = 4;
+  opts.num_shards = 2;
+  opts.cache_budget_bytes = 1ull << 20;
+  return opts;
+}
+
+/// Publishes `n` masks and returns the per-epoch filter baseline.
+std::unique_ptr<Ingestor> MakePublished(const std::string& dir, Rng* rng,
+                                        int64_t n) {
+  auto ingestor = Ingestor::Create(dir, FuzzIngestOptions()).ValueOrDie();
+  for (int64_t i = 0; i < n; ++i) {
+    MaskMeta meta;
+    meta.image_id = i;
+    auto id = ingestor->Append(meta, BlobMask(rng, 16, 16));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+  }
+  EXPECT_TRUE(ingestor->Publish().ok());
+  return ingestor;
+}
+
+TEST(CorruptionFuzzTest, TornAppendMidBlobRecoversToDurableEpoch) {
+  Rng rng(7);
+  TempDir dir("fuzz_torn");
+  {
+    auto ingestor = MakePublished(dir.path(), &rng, 6);
+    // Unpublished appends: crash before Publish. Sweep several torn
+    // lengths, including a cut mid-blob.
+    for (int64_t i = 0; i < 3; ++i) {
+      MaskMeta meta;
+      (void)ingestor->Append(meta, BlobMask(&rng, 16, 16)).ValueOrDie();
+    }
+    // "Crash": drop the ingestor without publishing.
+  }
+  // Additionally tear the tail mid-blob: chop a few bytes off the larger
+  // shard file so the torn region ends inside a blob.
+  const std::string shard0 = MaskStoreShardDataPath(dir.path(), 0, 2);
+  const uint64_t size = FileSize(shard0).ValueOrDie();
+  MS_ASSERT_OK(TruncateFile(shard0, size - 3));
+
+  auto reopened = Ingestor::Open(dir.path(), FuzzIngestOptions()).ValueOrDie();
+  EXPECT_EQ(reopened->epoch(), 1);
+  EXPECT_EQ(reopened->watermark(), 6);
+  EXPECT_GT(reopened->Stats().torn_bytes_recovered, 0u);
+  // Every published mask reads back fully — no silent short reads.
+  const MaskStore& store = reopened->snapshot()->store();
+  ASSERT_EQ(store.num_masks(), 6);
+  for (MaskId id = 0; id < 6; ++id) {
+    auto mask = store.LoadMask(id);
+    ASSERT_TRUE(mask.ok()) << mask.status().ToString();
+    EXPECT_EQ(mask->NumPixels(), 16 * 16);
+  }
+  // And ingest resumes cleanly on the truncated files.
+  MaskMeta meta;
+  (void)reopened->Append(meta, BlobMask(&rng, 16, 16)).ValueOrDie();
+  MS_ASSERT_OK(reopened->Publish());
+  EXPECT_EQ(reopened->watermark(), 7);
+}
+
+TEST(CorruptionFuzzTest, TornAppendTruncationSweep) {
+  // Sweep every truncation point of the torn (unpublished) tail: recovery
+  // must succeed at each, always landing on the durable watermark.
+  Rng rng(8);
+  TempDir base("fuzz_sweep");
+  {
+    auto ingestor = MakePublished(base.path(), &rng, 4);
+    for (int64_t i = 0; i < 2; ++i) {
+      MaskMeta meta;
+      (void)ingestor->Append(meta, BlobMask(&rng, 16, 16)).ValueOrDie();
+    }
+  }
+  const std::string shard1 = MaskStoreShardDataPath(base.path(), 1, 2);
+  const std::string full_bytes = ReadFile(shard1).ValueOrDie();
+  // Durable bytes of shard 1 = what the manifest requires of it.
+  auto parsed = internal::ReadMaskStoreManifest(base.path()).ValueOrDie();
+  uint64_t durable = 0;
+  for (size_t id = 0; id < parsed.sizes.size(); ++id) {
+    if (id % 2 == 1) {
+      durable = std::max(durable, parsed.offsets[id] + parsed.sizes[id]);
+    }
+  }
+  ASSERT_GT(full_bytes.size(), durable);
+  // Each recovery truncates the shard back to `durable`; rewrite the torn
+  // tail before every cut so the sweep covers each truncation point.
+  for (uint64_t cut = full_bytes.size(); cut >= durable;
+       cut = cut >= 37 ? cut - 37 : 0) {
+    MS_ASSERT_OK(WriteFile(shard1, full_bytes.substr(0, cut)));
+    auto reopened = Ingestor::Open(base.path(), FuzzIngestOptions());
+    ASSERT_TRUE(reopened.ok()) << "cut at " << cut << ": "
+                               << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->watermark(), 4);
+    if (cut == 0) break;
+  }
+}
+
+TEST(CorruptionFuzzTest, TornBelowWatermarkIsTypedCorruption) {
+  // Damage that eats into *published* bytes must never be papered over:
+  // typed Corruption, not a crash, not a short read.
+  Rng rng(9);
+  TempDir dir("fuzz_below");
+  { MakePublished(dir.path(), &rng, 6); }
+  const std::string shard0 = MaskStoreShardDataPath(dir.path(), 0, 2);
+  const uint64_t size = FileSize(shard0).ValueOrDie();
+  for (uint64_t cut : {size / 2, uint64_t{1}, uint64_t{0}}) {
+    MS_ASSERT_OK(TruncateFile(shard0, cut));
+    auto reopened = Ingestor::Open(dir.path(), FuzzIngestOptions());
+    ASSERT_FALSE(reopened.ok()) << "cut at " << cut;
+    EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption)
+        << reopened.status().ToString();
+  }
+}
+
+TEST(CorruptionFuzzTest, TornManifestEntrySweepNeverCrashes) {
+  // Truncate the *manifest* mid-offset-table entry: the atomic-publish
+  // protocol means a real crash can't produce this, but a damaged disk
+  // can — every cut must be a clean typed error through the ingest path.
+  Rng rng(10);
+  TempDir dir("fuzz_manifest");
+  { MakePublished(dir.path(), &rng, 5); }
+  const std::string manifest =
+      ReadFile(MaskStoreManifestPath(dir.path())).ValueOrDie();
+  for (size_t cut = 0; cut < manifest.size(); cut += 19) {
+    MS_ASSERT_OK(WriteFile(MaskStoreManifestPath(dir.path()),
+                           manifest.substr(0, cut)));
+    auto reopened = Ingestor::Open(dir.path(), FuzzIngestOptions());
+    EXPECT_FALSE(reopened.ok()) << "cut at " << cut;
+  }
+  // Restoring the manifest restores the store.
+  MS_ASSERT_OK(WriteFile(MaskStoreManifestPath(dir.path()), manifest));
+  auto reopened = Ingestor::Open(dir.path(), FuzzIngestOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->watermark(), 5);
+}
+
+TEST(CorruptionFuzzTest, EpochSidecarCorruptionIsTyped) {
+  Rng rng(11);
+  TempDir dir("fuzz_sidecar");
+  { MakePublished(dir.path(), &rng, 3); }
+  MS_ASSERT_OK(WriteFile(IngestEpochPath(dir.path()), "not-a-number"));
+  auto reopened = Ingestor::Open(dir.path(), FuzzIngestOptions());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+  // A *missing* sidecar is not corruption: stores made live for the first
+  // time start at epoch 0.
+  MS_ASSERT_OK(RemoveFileIfExists(IngestEpochPath(dir.path())));
+  auto fresh = Ingestor::Open(dir.path(), FuzzIngestOptions());
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ((*fresh)->epoch(), 0);
+  EXPECT_EQ((*fresh)->watermark(), 3);
 }
 
 TEST(CorruptionFuzzTest, RandomBytesNeverCrashAnyDecoder) {

@@ -1,0 +1,391 @@
+// Ingest-while-serving stress battery (docs/INGEST.md): N writer threads
+// append + publish epochs through one Ingestor while M reader threads push
+// a mixed filter / top-k / scalar-agg / mask-agg stream through a
+// QueryService resolving the epoch snapshot at admission. Invariants:
+//
+//   1. Zero wrong bytes per epoch: every result id is below the watermark
+//      of the epoch the query was admitted at, and replaying the query
+//      serially against a store rebuilt from exactly that epoch's prefix
+//      yields byte-identical results.
+//   2. Watermarks are monotonically non-decreasing across epochs.
+//   3. Snapshot retention is bounded by in-flight work: when the run
+//      drains, no superseded snapshot stays pinned.
+//
+// Tier1 runs a capped configuration; MASKSEARCH_STRESS_HEAVY=1 (the `slow`
+// CTest lane) scales up writers, readers, and epochs. The ASan/TSan CI
+// lanes run both.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "masksearch/ingest/ingestor.h"
+#include "masksearch/service/query_service.h"
+#include "masksearch/workload/query_gen.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::BlobMask;
+using testing_util::TempDir;
+
+bool HeavyMode() {
+  const char* env = std::getenv("MASKSEARCH_STRESS_HEAVY");
+  return env != nullptr && env[0] == '1';
+}
+
+struct StressConfig {
+  int num_writers = 2;
+  int num_readers = 3;
+  int epochs_per_writer = 4;
+  int masks_per_epoch = 8;
+  int queries_per_reader = 24;
+};
+
+StressConfig MakeConfig() {
+  StressConfig cfg;
+  if (HeavyMode()) {
+    cfg.num_writers = 4;
+    cfg.num_readers = 6;
+    cfg.epochs_per_writer = 8;
+    cfg.masks_per_epoch = 16;
+    cfg.queries_per_reader = 120;
+  }
+  return cfg;
+}
+
+ChiConfig TestConfig() {
+  ChiConfig cfg;
+  cfg.cell_width = cfg.cell_height = 8;
+  cfg.num_bins = 8;
+  return cfg;
+}
+
+/// Deterministic mixed-kind query stream that does not depend on the store
+/// contents (the store is growing underneath the readers).
+QueryRequest MakeQuery(Rng* rng) {
+  CpTerm term;
+  term.roi_source = rng->NextBool(0.4) ? RoiSource::kObjectBox
+                                       : RoiSource::kConstant;
+  const int32_t x0 = static_cast<int32_t>(rng->UniformInt(0, 16));
+  const int32_t y0 = static_cast<int32_t>(rng->UniformInt(0, 16));
+  term.constant_roi =
+      ROI{x0, y0, x0 + static_cast<int32_t>(rng->UniformInt(4, 16)),
+          y0 + static_cast<int32_t>(rng->UniformInt(4, 16))};
+  term.range = ValueRange{rng->NextDouble() * 0.5, 1.0};
+  const double threshold = rng->NextDouble() * 64;
+
+  switch (rng->UniformInt(0, 3)) {
+    case 0: {
+      FilterQuery q;
+      q.terms = {term};
+      q.predicate =
+          Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, threshold);
+      return QueryRequest::Filter(std::move(q));
+    }
+    case 1: {
+      TopKQuery q;
+      q.terms = {term};
+      q.order_expr = CpExpr::Term(0);
+      q.k = 1 + static_cast<size_t>(rng->UniformInt(0, 10));
+      q.descending = rng->NextBool();
+      return QueryRequest::TopK(std::move(q));
+    }
+    case 2: {
+      AggregationQuery q;
+      q.term = term;
+      q.op = rng->NextBool() ? ScalarAggOp::kAvg : ScalarAggOp::kMax;
+      q.group_key = GroupKey::kImageId;
+      q.k = 8;
+      return QueryRequest::Aggregation(std::move(q));
+    }
+    default: {
+      MaskAggQuery q;
+      q.op = rng->NextBool() ? MaskAggOp::kIntersectThreshold
+                             : MaskAggOp::kUnionThreshold;
+      q.agg_threshold = 0.5;
+      q.term = term;
+      q.group_key = GroupKey::kImageId;
+      q.k = 5;
+      return QueryRequest::MaskAgg(std::move(q));
+    }
+  }
+}
+
+/// Largest mask id referenced anywhere in a response, -1 when none.
+MaskId MaxReferencedId(const QueryResponse& r) {
+  MaskId max_id = -1;
+  switch (r.kind) {
+    case QueryRequest::Kind::kFilter:
+      for (MaskId id : r.filter.mask_ids) max_id = std::max(max_id, id);
+      break;
+    case QueryRequest::Kind::kTopK:
+      for (const ScoredMask& item : r.topk.items)
+        max_id = std::max(max_id, item.mask_id);
+      break;
+    case QueryRequest::Kind::kAggregation:
+    case QueryRequest::Kind::kMaskAgg:
+      // Groups are image ids; writers assign image_id = mask id here, so
+      // the same visibility bound applies.
+      for (const ScoredGroup& g : r.agg.groups) max_id = std::max(max_id, g.group);
+      break;
+  }
+  return max_id;
+}
+
+void ExpectSameResponse(const QueryResponse& expected,
+                        const QueryResponse& got, int64_t epoch,
+                        size_t query_index) {
+  ASSERT_EQ(expected.kind, got.kind);
+  switch (expected.kind) {
+    case QueryRequest::Kind::kFilter:
+      EXPECT_EQ(expected.filter.mask_ids, got.filter.mask_ids)
+          << "epoch " << epoch << " query " << query_index;
+      break;
+    case QueryRequest::Kind::kTopK:
+      ASSERT_EQ(expected.topk.items.size(), got.topk.items.size())
+          << "epoch " << epoch << " query " << query_index;
+      for (size_t i = 0; i < expected.topk.items.size(); ++i) {
+        EXPECT_EQ(expected.topk.items[i].mask_id, got.topk.items[i].mask_id)
+            << "epoch " << epoch << " query " << query_index << " item " << i;
+        EXPECT_EQ(expected.topk.items[i].value, got.topk.items[i].value)
+            << "epoch " << epoch << " query " << query_index << " item " << i;
+      }
+      break;
+    case QueryRequest::Kind::kAggregation:
+    case QueryRequest::Kind::kMaskAgg:
+      ASSERT_EQ(expected.agg.groups.size(), got.agg.groups.size())
+          << "epoch " << epoch << " query " << query_index;
+      for (size_t i = 0; i < expected.agg.groups.size(); ++i) {
+        EXPECT_EQ(expected.agg.groups[i].group, got.agg.groups[i].group)
+            << "epoch " << epoch << " query " << query_index << " group " << i;
+        EXPECT_EQ(expected.agg.groups[i].value, got.agg.groups[i].value)
+            << "epoch " << epoch << " query " << query_index << " group " << i;
+      }
+      break;
+  }
+}
+
+/// One observed (epoch, query, response) triple for the replay oracle.
+struct Observation {
+  int64_t epoch = 0;
+  uint64_t query_seed = 0;
+  QueryResponse response;
+};
+
+TEST(IngestServeStressTest, WritersAndReadersZeroWrongBytes) {
+  const StressConfig cfg = MakeConfig();
+  TempDir dir("ingest_stress");
+
+  IngestorOptions iopts;
+  iopts.chi = TestConfig();
+  iopts.num_shards = 3;
+  // Tiny budget on purpose: cache thrash + eviction churn under ingest.
+  iopts.cache_budget_bytes = 2ull << 20;
+  auto ingestor = Ingestor::Create(dir.path(), iopts).ValueOrDie();
+
+  QueryServiceOptions sopts;
+  sopts.num_workers = 3;
+  sopts.session_resolver = [ing = ingestor.get()]() -> SessionLease {
+    std::shared_ptr<const Snapshot> snap = ing->snapshot();
+    SessionLease lease;
+    lease.session = snap->session();
+    lease.epoch = snap->epoch();
+    lease.pin = std::move(snap);
+    return lease;
+  };
+  auto service = QueryService::Start(nullptr, sopts).ValueOrDie();
+
+  // --- concurrent phase -------------------------------------------------
+  std::atomic<bool> writers_done{false};
+  // Exact epoch -> watermark pairs, recorded at publish time. publish_mu
+  // serializes publishes, so reading the pair right after Publish() is the
+  // pair that publish installed (appends from other writers race freely —
+  // a publish sweeps in whatever was appended so far, which is exactly why
+  // the watermark must be recorded, not derived).
+  std::mutex publish_mu;
+  std::map<int64_t, int64_t> epoch_watermark;
+  epoch_watermark.emplace(0, 0);  // epoch 0: the empty store
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < cfg.num_writers; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      for (int e = 0; e < cfg.epochs_per_writer; ++e) {
+        for (int m = 0; m < cfg.masks_per_epoch; ++m) {
+          Mask mask = BlobMask(&rng, 32, 32);
+          MaskMeta meta;
+          meta.model_id = 0;
+          meta.mask_type = MaskType::kSaliencyMap;
+          auto id = ingestor->Append(meta, mask);
+          ASSERT_TRUE(id.ok()) << id.status().ToString();
+        }
+        std::lock_guard<std::mutex> lock(publish_mu);
+        const int64_t before = ingestor->watermark();
+        MS_ASSERT_OK(ingestor->Publish());
+        const int64_t after = ingestor->watermark();
+        EXPECT_GE(after, before) << "watermark regressed";
+        epoch_watermark[ingestor->epoch()] = after;
+      }
+    });
+  }
+
+  std::mutex obs_mu;
+  std::vector<Observation> observations;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < cfg.num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(2000 + r);
+      for (int i = 0; i < cfg.queries_per_reader || !writers_done.load();
+           ++i) {
+        if (i >= cfg.queries_per_reader * 4) break;  // bounded overrun
+        const uint64_t seed = rng.UniformInt(0, 1 << 30);
+        Rng qrng(seed);
+        ServiceRequest req;
+        req.tenant = r;
+        req.query = MakeQuery(&qrng);
+        auto pending = service->Submit(req);
+        if (!pending.ok()) continue;  // shed by admission control: fine
+        auto response = (*pending)->Wait();
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        const int64_t epoch = (*pending)->epoch();
+        // Invariant 1a, online half: nothing beyond the admitted epoch's
+        // watermark is ever visible.
+        std::lock_guard<std::mutex> lock(obs_mu);
+        observations.push_back({epoch, seed, std::move(*response)});
+      }
+    });
+  }
+
+  for (auto& t : writers) t.join();
+  writers_done.store(true);
+  for (auto& t : readers) t.join();
+  service->Drain();
+
+  const int64_t total =
+      int64_t{cfg.num_writers} * cfg.epochs_per_writer * cfg.masks_per_epoch;
+  EXPECT_EQ(ingestor->watermark(), total);
+  EXPECT_GE(ingestor->epoch(), cfg.epochs_per_writer);
+
+  // --- replay oracle ----------------------------------------------------
+  // Per distinct observed epoch: rebuild a store holding exactly that
+  // epoch's byte-identical prefix [0, watermark(e)) of the final store,
+  // replay every query admitted at that epoch serially, and demand
+  // byte-identical responses — zero wrong bytes per epoch.
+  auto final_store = MaskStore::Open(dir.path()).ValueOrDie();
+
+  for (const Observation& obs : observations) {
+    ASSERT_TRUE(epoch_watermark.count(obs.epoch))
+        << "query admitted at an epoch that was never published: "
+        << obs.epoch;
+  }
+  for (const auto& [epoch, watermark] : epoch_watermark) {
+    ASSERT_GE(watermark, 0);
+    // Rebuild the epoch's byte-exact prefix store.
+    TempDir replay_dir("ingest_replay_" + std::to_string(epoch));
+    MaskStoreWriter::Options wopts;
+    wopts.num_shards = 3;
+    auto writer =
+        MaskStoreWriter::Create(replay_dir.path(), wopts).ValueOrDie();
+    for (int64_t id = 0; id < watermark; ++id) {
+      std::string blob;
+      MS_ASSERT_OK(final_store->ReadBlob(id, &blob));
+      MaskMeta meta = final_store->meta(id);
+      writer->AppendBlob(meta, blob).ValueOrDie();
+    }
+    MS_ASSERT_OK(writer->Finish());
+    auto replay_store = MaskStore::Open(replay_dir.path()).ValueOrDie();
+    SessionOptions sess;
+    sess.chi = TestConfig();
+    auto session = Session::Open(replay_store.get(), sess).ValueOrDie();
+
+    for (const Observation& obs : observations) {
+      if (obs.epoch != epoch) continue;
+      const MaskId max_id = MaxReferencedId(obs.response);
+      EXPECT_LT(max_id, watermark)
+          << "epoch " << epoch << " leaked a later mask";
+      Rng qrng(obs.query_seed);
+      const QueryRequest query = MakeQuery(&qrng);
+      QueryResponse serial;
+      serial.kind = query.kind;
+      switch (query.kind) {
+        case QueryRequest::Kind::kFilter:
+          serial.filter = session->Filter(query.filter).ValueOrDie();
+          break;
+        case QueryRequest::Kind::kTopK:
+          serial.topk = session->TopK(query.topk).ValueOrDie();
+          break;
+        case QueryRequest::Kind::kAggregation:
+          serial.agg = session->Aggregate(query.agg).ValueOrDie();
+          break;
+        case QueryRequest::Kind::kMaskAgg:
+          serial.agg = session->MaskAggregate(query.mask_agg).ValueOrDie();
+          break;
+      }
+      ExpectSameResponse(serial, obs.response, epoch, obs.query_seed);
+    }
+  }
+
+  // Invariant 3: nothing but the current snapshot stays pinned.
+  EXPECT_EQ(ingestor->Stats().live_snapshots, 0);
+  service->Shutdown();
+}
+
+/// Publishes racing the resolver: admission must always observe a fully
+/// published snapshot (epoch and watermark move atomically together).
+TEST(IngestServeStressTest, AdmissionAlwaysSeesConsistentSnapshot) {
+  const StressConfig cfg = MakeConfig();
+  TempDir dir("ingest_consistent");
+  IngestorOptions iopts;
+  iopts.chi = TestConfig();
+  iopts.num_shards = 2;
+  iopts.cache_budget_bytes = 2ull << 20;
+  auto ingestor = Ingestor::Create(dir.path(), iopts).ValueOrDie();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(7);
+    const int epochs = cfg.epochs_per_writer * cfg.num_writers;
+    for (int e = 0; e < epochs; ++e) {
+      for (int m = 0; m < cfg.masks_per_epoch; ++m) {
+        MaskMeta meta;
+        auto id = ingestor->Append(meta, BlobMask(&rng, 16, 16));
+        ASSERT_TRUE(id.ok());
+      }
+      MS_ASSERT_OK(ingestor->Publish());
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> observers;
+  for (int r = 0; r < cfg.num_readers; ++r) {
+    observers.emplace_back([&] {
+      int64_t last_epoch = -1;
+      int64_t last_watermark = -1;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::shared_ptr<const Snapshot> snap = ingestor->snapshot();
+        // Monotone: epoch and watermark never move backwards, and the
+        // snapshot's store is exactly its watermark.
+        EXPECT_GE(snap->epoch(), last_epoch);
+        EXPECT_GE(snap->watermark(), last_watermark);
+        EXPECT_EQ(snap->store().num_masks(), snap->watermark());
+        last_epoch = snap->epoch();
+        last_watermark = snap->watermark();
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : observers) t.join();
+  EXPECT_EQ(ingestor->Stats().live_snapshots, 0);
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -53,6 +53,16 @@
 //       Socket client for a running `serve --port`: ping (default),
 //       one-shot SQL, prepared-statement replay, or dataset listing.
 //
+//   masksearch_cli ingest --dir D [--count N] [--epochs K] [--shards S]
+//                         [--width W] [--bins B] [--seed S] [--compressed]
+//                         [--serve-queries N] [--clients C] [--cache-mib M]
+//       Streaming ingest (docs/INGEST.md): append N synthetic masks to
+//       --dir across K atomic epoch publishes, creating the store on
+//       first use and resuming at the last durable epoch otherwise.
+//       --serve-queries N races N queries per client against the
+//       publishes through a snapshot-pinning QueryService — the
+//       ingest-while-serving smoke.
+//
 //   masksearch_cli stats --dir D [--sql S] [--repeat N] [--script F]
 //                        [--clients N] [--workers W] [--cache-mib M]
 //                        [--cache-shards N] [--cache-admission all|scan]
@@ -130,7 +140,8 @@ int Usage(int exit_code = 2) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
                "masksearch_cli %s\n"
                "usage: masksearch_cli "
-               "<generate|info|query|stats|serve|client|explain> [options]\n"
+               "<generate|info|query|stats|serve|client|ingest|explain> "
+               "[options]\n"
                "  generate --dir D [--images N] [--models M] [--width W]\n"
                "           [--height H] [--seed S] [--compressed]\n"
                "  info     --dir D\n"
@@ -154,6 +165,10 @@ int Usage(int exit_code = 2) {
                "  client   --port P [--host H] [--dataset D] [--sql S]\n"
                "           [--prepare S --params V] [--repeat N] [--list]\n"
                "           [--timeout-ms T] [--limit-print K]\n"
+               "  ingest   --dir D [--count N] [--epochs K] [--shards S]\n"
+               "           [--width W] [--bins B] [--seed S] [--compressed]\n"
+               "           [--serve-queries N] [--clients C] [--cache-mib M]\n"
+               "           [--cache-shards N]\n"
                "  explain  --sql S\n"
                "  shard    --dir D --out D2 [--shards N]\n"
                "  import   --dir D --npy-dir P [--models M]\n"
@@ -1144,6 +1159,155 @@ int RunQuery(const Args& args) {
   return 1;
 }
 
+/// Streaming ingest (docs/INGEST.md): appends --count synthetic saliency
+/// masks to --dir across --epochs atomic epoch publishes. Creates the
+/// store on first use; resumes at the last durable epoch otherwise (torn
+/// unpublished tails are truncated on open). With --serve-queries N the
+/// publishes race N filter queries per client through a QueryService that
+/// pins the current epoch snapshot at admission — the ingest-while-serving
+/// CI smoke.
+int RunIngest(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  const std::string dir = args.Get("dir");
+  const int64_t count = std::max<int64_t>(1, args.GetInt("count", 200));
+  const int64_t epochs = std::max<int64_t>(1, args.GetInt("epochs", 4));
+  const int32_t side = static_cast<int32_t>(args.GetInt("width", 64));
+
+  IngestorOptions iopts;
+  iopts.num_shards = static_cast<int32_t>(args.GetInt("shards", 4));
+  if (args.Has("compressed")) iopts.kind = StorageKind::kCompressed;
+  iopts.chi.cell_width = iopts.chi.cell_height = std::max(1, side / 8);
+  iopts.chi.num_bins = static_cast<int32_t>(args.GetInt("bins", 16));
+  iopts.cache_budget_bytes =
+      static_cast<uint64_t>(std::max<int64_t>(0, args.GetInt("cache-mib", 64)))
+      << 20;
+  iopts.cache_shards = static_cast<int32_t>(args.GetInt("cache-shards", 8));
+
+  const bool resume = std::filesystem::exists(MaskStoreManifestPath(dir));
+  auto opened = resume ? Ingestor::Open(dir, iopts)
+                       : Ingestor::Create(dir, iopts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "ingest open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  Ingestor& ing = **opened;
+  std::printf("%s %s at epoch %lld (watermark %lld)\n",
+              resume ? "resumed" : "created", dir.c_str(),
+              static_cast<long long>(ing.epoch()),
+              static_cast<long long>(ing.watermark()));
+
+  // The read side: closed-loop clients each running --serve-queries filter
+  // queries against whatever epoch admission pins while the writer below
+  // keeps publishing.
+  const int64_t serve_queries = args.GetInt("serve-queries", 0);
+  const int num_clients =
+      static_cast<int>(std::max<int64_t>(1, args.GetInt("clients", 2)));
+  std::unique_ptr<QueryService> service;
+  std::vector<std::thread> clients;
+  std::atomic<int64_t> queries_ok{0};
+  std::atomic<int64_t> queries_failed{0};
+  if (serve_queries > 0) {
+    QueryServiceOptions sopts;
+    sopts.num_workers = num_clients;
+    sopts.session_resolver = [&ing]() -> SessionLease {
+      std::shared_ptr<const Snapshot> snap = ing.snapshot();
+      SessionLease lease;
+      lease.session = snap->session();
+      lease.epoch = snap->epoch();
+      lease.pin = std::move(snap);
+      return lease;
+    };
+    auto started = QueryService::Start(nullptr, sopts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "service start failed: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(*started);
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(static_cast<uint64_t>(9000 + c));
+        for (int64_t i = 0; i < serve_queries; ++i) {
+          FilterQuery q;
+          CpTerm term;
+          term.roi_source = RoiSource::kConstant;
+          term.constant_roi = ROI{0, 0, side / 2, side / 2};
+          term.range = ValueRange{0.5, 1.0};
+          q.terms = {term};
+          q.predicate = Predicate::Compare(CpExpr::Term(0), CompareOp::kGt,
+                                           rng.NextDouble() * side);
+          ServiceRequest req;
+          req.tenant = c;
+          req.query = QueryRequest::Filter(q);
+          auto pending = service->Submit(req);
+          if (!pending.ok()) {
+            ++queries_failed;
+            continue;
+          }
+          auto response = (*pending)->Wait();
+          (response.ok() ? queries_ok : queries_failed)++;
+        }
+      });
+    }
+  }
+
+  // The write side: --count appends across --epochs publishes, image ids
+  // continuing from the resumed watermark.
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  SaliencySpec spec;
+  spec.width = spec.height = side;
+  const int64_t per_epoch = std::max<int64_t>(1, (count + epochs - 1) / epochs);
+  const int64_t base = ing.watermark();
+  Stopwatch timer;
+  for (int64_t i = 0; i < count; ++i) {
+    const ROI box = GenerateObjectBox(&rng, side, side);
+    Mask mask = GenerateSaliencyMask(&rng, spec, box, rng.NextBool(0.3));
+    MaskMeta meta;
+    meta.image_id = base + i;
+    meta.model_id = 0;
+    meta.mask_type = MaskType::kSaliencyMap;
+    meta.object_box = box;
+    auto id = ing.Append(meta, mask);
+    if (!id.ok()) {
+      std::fprintf(stderr, "append failed: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    if ((i + 1) % per_epoch == 0 || i + 1 == count) {
+      const Status st = ing.Publish();
+      if (!st.ok()) {
+        std::fprintf(stderr, "publish failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  for (auto& t : clients) t.join();
+  if (service != nullptr) service->Drain();
+
+  std::printf("ingested %lld masks in %.3fs (%.0f masks/s), now at epoch "
+              "%lld (watermark %lld)\n",
+              static_cast<long long>(count), seconds,
+              seconds > 0 ? count / seconds : 0.0,
+              static_cast<long long>(ing.epoch()),
+              static_cast<long long>(ing.watermark()));
+  std::printf("-- %s\n", ing.Stats().ToString().c_str());
+  if (serve_queries > 0) {
+    std::printf("served %lld queries while ingesting (%lld failed)\n",
+                static_cast<long long>(queries_ok.load()),
+                static_cast<long long>(queries_failed.load()));
+    if (service != nullptr) service->Shutdown();
+    // The smoke contract: the read side must have made progress.
+    if (queries_ok.load() == 0) {
+      std::fprintf(stderr, "no queries succeeded while ingesting\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace masksearch
 
@@ -1165,6 +1329,7 @@ int main(int argc, char** argv) {
   if (args.command == "serve") return RunServe(args);
   if (args.command == "client") return RunClient(args);
   if (args.command == "explain") return RunExplain(args);
+  if (args.command == "ingest") return RunIngest(args);
   if (args.command == "shard") return RunShard(args);
   if (args.command == "import") return RunImport(args);
   if (args.command == "export") return RunExport(args);
