@@ -7,6 +7,9 @@
 namespace masksearch {
 
 Dataset::~Dataset() {
+  // Stop background maintenance first so no compaction swap lands while
+  // the service drains its in-flight (snapshot-pinning) queries.
+  if (scheduler_ != nullptr) (void)scheduler_->Stop();
   if (service_ != nullptr) service_->Shutdown();
 }
 
@@ -30,6 +33,22 @@ Status Dataset::Publish() {
                                       "' is not a live (ingesting) dataset");
   }
   return ingestor_->Publish();
+}
+
+Status Dataset::Delete(MaskId id) {
+  if (!live()) {
+    return Status::InvalidArgument("dataset '" + name_ +
+                                      "' is not a live (ingesting) dataset");
+  }
+  return ingestor_->Delete(id);
+}
+
+Status Dataset::Compact() {
+  if (!live()) {
+    return Status::InvalidArgument("dataset '" + name_ +
+                                      "' is not a live (ingesting) dataset");
+  }
+  return scheduler_->CompactNow();
 }
 
 Result<Dataset*> Catalog::Register(const std::string& name,
@@ -73,14 +92,20 @@ Result<Dataset*> Catalog::RegisterLive(const std::string& name,
   dataset->name_ = name;
   dataset->dir_ = dir;
   // Resume an existing store (with torn-tail recovery) when a manifest is
-  // already there; otherwise start a fresh empty one at epoch 0.
-  if (PathExists(MaskStoreManifestPath(dir))) {
+  // already there; otherwise start a fresh empty one at epoch 0. A
+  // compacted store keeps its manifest under the current generation's
+  // directory, so the probe has to resolve the generation sidecar first.
+  MS_ASSIGN_OR_RETURN(const int64_t gen, ReadStoreGeneration(dir));
+  if (PathExists(MaskStoreManifestPath(GenerationDir(dir, gen)))) {
     MS_ASSIGN_OR_RETURN(dataset->ingestor_,
                         Ingestor::Open(dir, config.ingest));
   } else {
     MS_ASSIGN_OR_RETURN(dataset->ingestor_,
                         Ingestor::Create(dir, config.ingest));
   }
+  dataset->scheduler_ = std::make_unique<MaintenanceScheduler>(
+      dataset->ingestor_.get(), config.maintain);
+  if (config.start_maintenance) dataset->scheduler_->Start();
 
   QueryServiceOptions service_opts = config.service;
   // Epoch-snapshot resolution (docs/INGEST.md): each admitted request pins

@@ -25,6 +25,7 @@
 #include "masksearch/catalog/metadata_cache.h"
 #include "masksearch/exec/session.h"
 #include "masksearch/ingest/ingestor.h"
+#include "masksearch/maintain/scheduler.h"
 #include "masksearch/service/query_service.h"
 #include "masksearch/storage/mask_store.h"
 
@@ -46,6 +47,11 @@ struct DatasetConfig {
 struct LiveDatasetConfig {
   IngestorOptions ingest;
   QueryServiceOptions service;
+  MaintenanceOptions maintain;
+  /// Launch the MaintenanceScheduler's background thread at registration.
+  /// Off by default: Dataset::Compact() still works (inline single-flight),
+  /// and tests that script compaction explicitly stay deterministic.
+  bool start_maintenance = false;
 };
 
 /// \brief One served dataset. Owned by the Catalog; pointers returned by
@@ -78,6 +84,16 @@ class Dataset {
   Result<MaskId> Ingest(MaskMeta meta, const Mask& mask);
   /// \brief Publishes appended masks as the next epoch (live datasets only).
   Status Publish();
+  /// \brief DELETE path of a live dataset: tombstones `id` (current
+  /// generation's physical id space); the mask vanishes at the next
+  /// Publish(). Typed kInvalidArgument on a fixed dataset.
+  Status Delete(MaskId id);
+  /// \brief Runs a compaction (single-flight through the dataset's
+  /// MaintenanceScheduler, inline when no background thread is running) and
+  /// blocks for its outcome. Typed kInvalidArgument on a fixed dataset.
+  Status Compact();
+  /// \brief Maintenance counters (live datasets only; null otherwise).
+  MaintenanceScheduler* maintenance() const { return scheduler_.get(); }
 
   /// \brief Replacement submission path (the replication seam). Takes the
   /// request plus its SQL text when known — text a router needs to re-issue
@@ -105,11 +121,17 @@ class Dataset {
   // Destruction runs bottom-up: the service (joins its workers) goes before
   // the session and store it executes against. For live datasets the
   // ingestor replaces the fixed store/session pair; the service's leases
-  // pin snapshots, and Shutdown drains them before the ingestor dies.
+  // pin snapshots, and Shutdown drains them before the ingestor dies. The
+  // maintenance scheduler sits between ingestor and service so its thread
+  // (which compacts through the ingestor) is joined after the service
+  // stops but before the ingestor goes away; ~Dataset also stops it
+  // explicitly, ahead of service shutdown, so no compaction starts while
+  // queries drain.
   std::unique_ptr<MaskStore> store_;
   std::unique_ptr<Session> session_;
   std::unique_ptr<MetadataCache> metadata_;
   std::unique_ptr<Ingestor> ingestor_;
+  std::unique_ptr<MaintenanceScheduler> scheduler_;
   std::unique_ptr<QueryService> service_;
   Submitter submitter_;
 };

@@ -95,6 +95,13 @@ Status RemoveFileIfExists(const std::string& path) {
   return Status::OK();
 }
 
+Status RemovePathRecursive(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("remove_all '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
 Result<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path) {
   int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);

@@ -44,6 +44,12 @@ Status CreateDirs(const std::string& path);
 /// \brief Removes a file if it exists; OK if it does not.
 Status RemoveFileIfExists(const std::string& path);
 
+/// \brief Removes `path` and everything under it (rm -rf); OK if it does
+/// not exist. Generation garbage collection uses this to drop retired
+/// store generations once their last snapshot pin drains
+/// (docs/COMPACTION.md).
+Status RemovePathRecursive(const std::string& path);
+
 /// \brief One destination of a scatter read (see ReadVAt).
 struct IoSlice {
   void* data = nullptr;

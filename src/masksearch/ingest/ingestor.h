@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,9 +48,43 @@
 namespace masksearch {
 
 class Ingestor;
+class Compactor;
 
 /// \brief Sidecar file holding the epoch counter (see docs/INGEST.md).
 std::string IngestEpochPath(const std::string& dir);
+
+/// \brief Reference-counted handle on one store generation's on-disk files
+/// (docs/COMPACTION.md). The ingestor and every Snapshot built over the
+/// generation share one handle; when a compaction swaps the generation out
+/// it calls Retire(), and the destructor of the *last* reference deletes
+/// the files — so a retired generation stays on disk exactly as long as a
+/// pinned snapshot still reads from it, and vanishes when the pin drains.
+class GenerationHandle {
+ public:
+  /// `root` is the generation's directory. Generation 0 shares the store's
+  /// top-level directory with the sidecars and later generations, so its
+  /// retirement deletes only the store files (manifest, shard data,
+  /// tombstone sidecar — `num_shards` names them); generations > 0 own
+  /// their `gen-<g>/` directory outright and are removed recursively.
+  GenerationHandle(std::string root, int64_t gen, int32_t num_shards);
+  ~GenerationHandle();
+
+  GenerationHandle(const GenerationHandle&) = delete;
+  GenerationHandle& operator=(const GenerationHandle&) = delete;
+
+  /// \brief Marks the generation superseded: its files are deleted when the
+  /// last handle reference is released.
+  void Retire() { retired_.store(true, std::memory_order_release); }
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
+  const std::string& root() const { return root_; }
+  int64_t generation() const { return gen_; }
+
+ private:
+  std::string root_;
+  int64_t gen_ = 0;
+  int32_t num_shards_ = 1;
+  std::atomic<bool> retired_{false};
+};
 
 /// \brief One published epoch: an immutable, byte-stable view of the store.
 ///
@@ -68,8 +103,13 @@ class Snapshot {
   /// \brief Epoch number this snapshot was published as (0 = the empty
   /// store published at Create, or whatever epoch Open() recovered).
   int64_t epoch() const { return epoch_; }
-  /// \brief Mask-count watermark: ids [0, watermark) are visible.
+  /// \brief Mask-count watermark: *visible* ids [0, watermark) are visible —
+  /// tombstoned masks are excluded from the count and the id space.
   int64_t watermark() const { return watermark_; }
+  /// \brief Store generation this snapshot reads (docs/COMPACTION.md). The
+  /// snapshot's GenerationHandle reference keeps the generation's files on
+  /// disk even after a compaction retires it.
+  int64_t generation() const { return gen_; }
   /// \brief The byte-stable read surface (a CachedMaskStore when the
   /// ingestor has a buffer pool).
   const MaskStore& store() const { return *store_; }
@@ -79,12 +119,32 @@ class Snapshot {
 
  private:
   friend class Ingestor;
+  friend class Compactor;
   Snapshot() = default;
 
   int64_t epoch_ = 0;
   int64_t watermark_ = 0;
+  int64_t gen_ = 0;
+  /// Physical masks of the generation covered by this snapshot (the prefix
+  /// a compaction's catch-up copy resumes after).
+  int64_t phys_end_ = 0;
+  /// Physical ids tombstoned at publication, sorted; the visible id space
+  /// is the physical one with these removed (empty = identity mapping).
+  std::vector<MaskId> tombstones_;
   std::unique_ptr<MaskStore> store_;
   std::unique_ptr<Session> session_;
+  /// Keep-alive for the raw shared_chi_cache pointer session_ holds: the
+  /// ingestor rotates its CHI cache on deletes/compactions, and the old
+  /// cache must outlive every pinned session still reading through it.
+  std::shared_ptr<ChiCache> chi_;
+  /// Pool + blob-cache owner id of store_'s CachedMaskStore wrapper. The
+  /// destructor erases the owner *after* store_ is destroyed — entries a
+  /// racing batch held pinned while the wrapper's own erase ran are swept
+  /// here, so a dropped snapshot's cached bytes always return to the pool.
+  std::shared_ptr<BufferPool> pool_;
+  uint64_t blob_owner_ = 0;
+  bool has_blob_owner_ = false;
+  std::shared_ptr<GenerationHandle> gen_handle_;
   std::shared_ptr<std::atomic<int64_t>> live_;  ///< shared live counter
 };
 
@@ -125,11 +185,14 @@ struct IngestorOptions {
 /// \brief Point-in-time counters of an Ingestor.
 struct IngestStats {
   int64_t epoch = 0;            ///< last published epoch
-  int64_t appended = 0;         ///< masks appended (published or not)
-  int64_t published = 0;        ///< mask-count watermark of `epoch`
+  int64_t appended = 0;         ///< masks appended in this generation
+  int64_t published = 0;        ///< visible-mask watermark of `epoch`
   int64_t chis_built = 0;       ///< CHIs built at ingest time
   int64_t live_snapshots = 0;   ///< snapshots currently referenced
   uint64_t torn_bytes_recovered = 0;  ///< truncated by Open()'s recovery
+  int64_t generation = 0;       ///< current store generation
+  int64_t tombstones = 0;       ///< deleted masks not yet compacted away
+  uint64_t dead_bytes = 0;      ///< bytes held by tombstoned blobs
 
   std::string ToString() const;
 };
@@ -166,6 +229,21 @@ class Ingestor {
   /// mask). The replication/migration ingest path.
   Result<MaskId> AppendBlob(MaskMeta meta, const std::string& blob);
 
+  /// \brief Tombstones mask `id` (thread-safe). `id` addresses the current
+  /// generation's physical id space — the ids Append/AppendBlob returned
+  /// since the last compaction (a compaction renumbers the survivors
+  /// densely). The mask vanishes from query results at the next Publish();
+  /// snapshots pinned before that keep seeing it byte-identically. The
+  /// bytes stay on disk as dead weight until a compaction rewrites the
+  /// generation (docs/COMPACTION.md). Out-of-range ids are a typed
+  /// InvalidArgument; an already-deleted id is a typed NotFound.
+  Status Delete(MaskId id);
+
+  /// \brief Metadata recorded for physical id `id` of the current
+  /// generation (InvalidArgument when out of range). Deleted masks keep
+  /// their metadata until compacted away.
+  Result<MaskMeta> AppendedMeta(MaskId id) const;
+
   /// \brief Publishes everything appended so far as the next epoch:
   /// flush + fsync shard data, atomically write the manifest and epoch
   /// sidecar, install a fresh Snapshot. Appends are blocked for the
@@ -179,12 +257,26 @@ class Ingestor {
   std::shared_ptr<const Snapshot> snapshot() const;
 
   int64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
-  /// \brief Masks visible at the current epoch.
+  /// \brief Visible masks at the current epoch (tombstoned ones excluded).
   int64_t watermark() const {
     return watermark_.load(std::memory_order_acquire);
   }
-  /// \brief Masks appended so far, including unpublished ones.
+  /// \brief Masks appended to the current generation, including
+  /// unpublished and tombstoned ones.
   int64_t appended() const { return appended_.load(std::memory_order_acquire); }
+  /// \brief Current store generation (bumped by each compaction).
+  int64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  /// \brief Tombstoned-but-not-yet-compacted masks.
+  int64_t tombstone_count() const {
+    return tombstone_count_.load(std::memory_order_acquire);
+  }
+  /// \brief Bytes held on disk by tombstoned blobs (reclaimed by the next
+  /// compaction).
+  uint64_t dead_bytes() const {
+    return dead_bytes_.load(std::memory_order_acquire);
+  }
 
   IngestStats Stats() const;
 
@@ -193,37 +285,76 @@ class Ingestor {
   int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
   BufferPool* cache() const { return pool_.get(); }
   /// \brief The shared ingest-built CHI cache (null without a pool).
-  ChiCache* chi_cache() const { return chi_cache_.get(); }
+  /// Rotated — replaced with a fresh, empty cache — whenever a delete or a
+  /// compaction changes the visible-id mapping; pinned snapshots keep the
+  /// cache object they were published with.
+  ChiCache* chi_cache() const {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    return chi_cache_.get();
+  }
 
  private:
+  friend class Compactor;
+
   Ingestor(std::string dir, IngestorOptions opts);
 
-  /// Appends `payload` for `meta` under the write lock; returns the id.
-  Result<MaskId> AppendEncoded(MaskMeta meta, const std::string& payload);
-  /// Builds `mask`'s CHI into the shared cache (no-op without one).
-  void BuildIngestChi(MaskId id, const Mask& mask);
+  /// Appends `payload` for `meta` under the write lock; returns the
+  /// physical id. `visible_id` (the id the mask will carry at the next
+  /// publish, given the tombstones known now) and `chi` (the CHI cache
+  /// current at append time) are captured under the same lock so the
+  /// ingest-time CHI build stays consistent with a racing Delete's cache
+  /// rotation.
+  Result<MaskId> AppendEncoded(MaskMeta meta, const std::string& payload,
+                               MaskId* visible_id,
+                               std::shared_ptr<ChiCache>* chi);
+  /// Builds `mask`'s CHI keyed by `visible_id` into `chi` (no-op if null).
+  void BuildIngestChi(const std::shared_ptr<ChiCache>& chi, MaskId visible_id,
+                      const Mask& mask);
   /// Publishes the tables as `next_epoch` and installs the snapshot.
   /// Caller holds write_mu_.
   Status PublishLocked(int64_t next_epoch);
-  /// Builds the Snapshot object for the given prefix tables.
+  /// Builds the Snapshot object for the given physical prefix tables and
+  /// tombstone set (sorted physical ids to hide).
   Result<std::shared_ptr<const Snapshot>> BuildSnapshot(
       int64_t epoch, std::vector<MaskMeta> metas,
-      std::vector<uint64_t> offsets, std::vector<uint64_t> sizes) const;
+      std::vector<uint64_t> offsets, std::vector<uint64_t> sizes,
+      std::vector<MaskId> tombstones) const;
+  /// Replaces chi_cache_ with a fresh empty cache (caller holds write_mu_).
+  /// Old caches stay alive through the snapshots that hold them.
+  void RotateChiCacheLocked();
+  /// Compaction phase B (called by Compactor with no locks held): under
+  /// the write lock, catch-up-copies the physical ids appended after
+  /// `base` into `writer` (skipping tombstones), finishes the new
+  /// generation at `dst_dir`, flips the generation sidecar (the atomic
+  /// swap point), swaps the in-memory writer state over to the new
+  /// generation, retires the old GenerationHandle, rotates the CHI cache,
+  /// and publishes the next epoch. On success fills `catchup_copied` /
+  /// `catchup_bytes` / `dropped` / `reclaimed_bytes` with the catch-up
+  /// counts and the dead weight the swap shed.
+  Status SwapGeneration(MaskStoreWriter* writer, const Snapshot& base,
+                        const std::string& dst_dir, int64_t dst_gen,
+                        int64_t* catchup_copied, uint64_t* catchup_bytes,
+                        int64_t* dropped, uint64_t* reclaimed_bytes);
 
   std::string dir_;
   IngestorOptions opts_;
   StorageKind kind_ = StorageKind::kRawFloat32;
 
   std::shared_ptr<BufferPool> pool_;
-  std::unique_ptr<ChiCache> chi_cache_;
   std::shared_ptr<std::atomic<int64_t>> live_;
 
-  /// Writer state: shard appenders + the growing offset tables.
+  /// Writer state: shard appenders + the growing offset tables, all for
+  /// the current generation (gen_dir_). Tombstones are physical ids.
   mutable std::mutex write_mu_;
   std::vector<std::unique_ptr<FileWriter>> shards_;
   std::vector<MaskMeta> metas_;
   std::vector<uint64_t> offsets_;  ///< within the owning shard
   std::vector<uint64_t> sizes_;
+  std::set<MaskId> tombstones_;
+  bool tombstones_dirty_ = false;  ///< sidecar rewrite needed at publish
+  std::string gen_dir_;            ///< current generation root
+  std::shared_ptr<GenerationHandle> gen_handle_;
+  std::shared_ptr<ChiCache> chi_cache_;  ///< under write_mu_ (rotated)
 
   /// Published state: the current snapshot, swapped whole at Publish.
   mutable std::mutex snap_mu_;
@@ -233,6 +364,9 @@ class Ingestor {
   std::atomic<int64_t> watermark_{0};
   std::atomic<int64_t> appended_{0};
   std::atomic<int64_t> chis_built_{0};
+  std::atomic<int64_t> generation_{0};
+  std::atomic<int64_t> tombstone_count_{0};
+  std::atomic<uint64_t> dead_bytes_{0};
   uint64_t torn_bytes_recovered_ = 0;
 };
 

@@ -1,0 +1,170 @@
+#include "masksearch/maintain/scheduler.h"
+
+#include <chrono>
+#include <utility>
+
+namespace masksearch {
+
+std::string MaintenanceStats::ToString() const {
+  std::string s =
+      "generation=" + std::to_string(generation) +
+      " compactions_completed=" + std::to_string(compactions_completed) +
+      " compactions_failed=" + std::to_string(compactions_failed) +
+      " requests_coalesced=" + std::to_string(requests_coalesced) +
+      " last_compaction_ms=" + std::to_string(last_compaction_ms) +
+      " last_swap_pause_ms=" + std::to_string(last_swap_pause_ms) +
+      " dead_bytes_reclaimed_total=" +
+      std::to_string(dead_bytes_reclaimed_total) +
+      " masks_dropped_total=" + std::to_string(masks_dropped_total);
+  if (!last_error.empty()) s += " last_error=\"" + last_error + "\"";
+  return s;
+}
+
+MaintenanceScheduler::MaintenanceScheduler(Ingestor* ingestor,
+                                           MaintenanceOptions opts)
+    : ingestor_(ingestor), opts_(opts), compactor_(ingestor, opts.compactor) {}
+
+MaintenanceScheduler::~MaintenanceScheduler() { (void)Stop(); }
+
+void MaintenanceScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  worker_ = std::thread(&MaintenanceScheduler::WorkerLoop, this);
+}
+
+Status MaintenanceScheduler::Stop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_) return Status::OK();
+  if (stopping_) {
+    // Another Stop is draining; wait for it.
+    done_cv_.wait(lock, [&] { return !started_; });
+    return Status::OK();
+  }
+  stopping_ = true;
+  std::thread t = std::move(worker_);
+  work_cv_.notify_all();
+  lock.unlock();
+  if (t.joinable()) t.join();
+  lock.lock();
+  started_ = false;
+  stopping_ = false;
+  done_cv_.notify_all();
+  return Status::OK();
+}
+
+bool MaintenanceScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !stopping_;
+}
+
+bool MaintenanceScheduler::TriggerFires(const IngestStats& s) const {
+  if (opts_.tombstone_ratio_trigger > 0.0 && s.appended > 0 &&
+      s.tombstones >= opts_.min_tombstones &&
+      static_cast<double>(s.tombstones) / static_cast<double>(s.appended) >=
+          opts_.tombstone_ratio_trigger) {
+    return true;
+  }
+  if (opts_.dead_bytes_trigger > 0 &&
+      s.dead_bytes >= opts_.dead_bytes_trigger) {
+    return true;
+  }
+  return false;
+}
+
+void MaintenanceScheduler::RunOne(std::unique_lock<std::mutex>* lock) {
+  // Everything requested up to here is covered by this run (single-flight
+  // coalescing); requests arriving while it runs get the next one.
+  const int64_t target = request_seq_;
+  pending_ = false;
+  lock->unlock();
+  Result<CompactionStats> run = compactor_.Compact();
+  lock->lock();
+  if (target > completed_seq_) completed_seq_ = target;
+  last_run_ok_ = run.ok();
+  if (!run.ok()) last_error_ = run.status().ToString();
+  done_cv_.notify_all();
+}
+
+void MaintenanceScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait_for(lock,
+                      std::chrono::milliseconds(opts_.check_interval_ms),
+                      [&] { return stopping_ || pending_; });
+    if (pending_) {
+      // Drain semantics: a queued request runs even when stopping.
+      RunOne(&lock);
+      continue;
+    }
+    if (stopping_) return;
+    const IngestStats s = ingestor_->Stats();
+    if (TriggerFires(s)) RunOne(&lock);
+  }
+}
+
+Status MaintenanceScheduler::CompactNow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_) {
+    // Inline mode: no background thread, run synchronously right here.
+    lock.unlock();
+    Result<CompactionStats> run = compactor_.Compact();
+    if (!run.ok()) {
+      lock.lock();
+      last_error_ = run.status().ToString();
+      return run.status();
+    }
+    return Status::OK();
+  }
+  if (stopping_) {
+    return Status::Cancelled("maintenance scheduler is stopping");
+  }
+  if (pending_) {
+    ++coalesced_;
+  } else {
+    pending_ = true;
+  }
+  const int64_t my_seq = ++request_seq_;
+  work_cv_.notify_one();
+  done_cv_.wait(lock,
+                [&] { return completed_seq_ >= my_seq || !started_; });
+  if (completed_seq_ < my_seq) {
+    return Status::Cancelled(
+        "maintenance scheduler stopped before the request ran");
+  }
+  if (!last_run_ok_) {
+    return Status::Internal("compaction failed: " + last_error_);
+  }
+  return Status::OK();
+}
+
+void MaintenanceScheduler::RequestCompact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || stopping_) return;
+  if (pending_) {
+    ++coalesced_;
+  } else {
+    pending_ = true;
+  }
+  ++request_seq_;
+  work_cv_.notify_one();
+}
+
+MaintenanceStats MaintenanceScheduler::Stats() const {
+  const MaintenanceCounters c = compactor_.Counters();
+  MaintenanceStats s;
+  s.generation = ingestor_->generation();
+  s.compactions_completed = c.compactions_completed;
+  s.compactions_failed = c.compactions_failed;
+  s.last_compaction_ms = c.last_compaction_ms;
+  s.last_swap_pause_ms = c.last_swap_pause_ms;
+  s.dead_bytes_reclaimed_total = c.dead_bytes_reclaimed_total;
+  s.masks_dropped_total = c.masks_dropped_total;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.requests_coalesced = coalesced_;
+  s.last_error = last_error_;
+  return s;
+}
+
+}  // namespace masksearch

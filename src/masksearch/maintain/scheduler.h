@@ -1,0 +1,118 @@
+// MaintenanceScheduler: the background maintenance thread
+// (docs/COMPACTION.md).
+//
+// Watches a live Ingestor and runs Compactor rewrites when the trigger
+// policy fires — tombstone ratio, dead-bytes threshold, or an explicit
+// request — with typed single-flight semantics: requests arriving while a
+// compaction is queued coalesce into one run, requests arriving while one
+// is *running* get exactly the next run, and Stop() drains (finishes the
+// in-flight run plus any queued request) before joining the thread.
+//
+// Without Start(), CompactNow() degrades to a synchronous inline
+// compaction — the mode `masksearch_cli compact` and one-shot callers use.
+
+#ifndef MASKSEARCH_MAINTAIN_SCHEDULER_H_
+#define MASKSEARCH_MAINTAIN_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "masksearch/maintain/compactor.h"
+
+namespace masksearch {
+
+struct MaintenanceOptions {
+  CompactorOptions compactor;
+  /// Auto-compact when tombstones / appended masks reaches this ratio
+  /// (and min_tombstones is met). <= 0 disables the ratio trigger.
+  double tombstone_ratio_trigger = 0.25;
+  /// Auto-compact when dead bytes reach this many. 0 disables.
+  uint64_t dead_bytes_trigger = 0;
+  /// Floor below which the ratio trigger never fires — compacting a
+  /// five-mask store because one died is churn, not maintenance.
+  int64_t min_tombstones = 4;
+  /// Poll cadence of the trigger policy.
+  int64_t check_interval_ms = 50;
+};
+
+/// \brief Point-in-time view of the scheduler + compactor counters.
+struct MaintenanceStats {
+  int64_t generation = 0;
+  int64_t compactions_completed = 0;
+  int64_t compactions_failed = 0;
+  int64_t requests_coalesced = 0;
+  double last_compaction_ms = 0.0;
+  double last_swap_pause_ms = 0.0;
+  uint64_t dead_bytes_reclaimed_total = 0;
+  int64_t masks_dropped_total = 0;
+  std::string last_error;  ///< last failed run's status (empty = none)
+
+  std::string ToString() const;
+};
+
+class MaintenanceScheduler {
+ public:
+  /// `ingestor` must outlive the scheduler.
+  explicit MaintenanceScheduler(Ingestor* ingestor,
+                                MaintenanceOptions opts = {});
+  ~MaintenanceScheduler();  ///< Stop()s if still running
+
+  MaintenanceScheduler(const MaintenanceScheduler&) = delete;
+  MaintenanceScheduler& operator=(const MaintenanceScheduler&) = delete;
+
+  /// \brief Launches the background thread (idempotent).
+  void Start();
+
+  /// \brief Drains and joins the background thread: the in-flight
+  /// compaction finishes, a queued request runs, then the thread exits.
+  /// Idempotent; OK when never started.
+  Status Stop();
+
+  /// \brief Requests a compaction and blocks until one that *started at or
+  /// after this call* completes. Concurrent callers coalesce onto the same
+  /// run. Returns the run's status; typed Cancelled when the scheduler is
+  /// stopped before the request is served. Without Start(), runs the
+  /// compaction inline on the calling thread.
+  Status CompactNow();
+
+  /// \brief Fire-and-forget compaction request (coalesces like
+  /// CompactNow). No-op without Start().
+  void RequestCompact();
+
+  MaintenanceStats Stats() const;
+  Compactor* compactor() { return &compactor_; }
+  bool running() const;
+
+ private:
+  void WorkerLoop();
+  /// True when the trigger policy wants a compaction for `s`.
+  bool TriggerFires(const IngestStats& s) const;
+  /// Runs one compaction and records its outcome; `lock` is held on entry
+  /// and exit, released around the run itself.
+  void RunOne(std::unique_lock<std::mutex>* lock);
+
+  Ingestor* ingestor_;
+  MaintenanceOptions opts_;
+  Compactor compactor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< wakes the worker
+  std::condition_variable done_cv_;   ///< wakes CompactNow waiters
+  std::thread worker_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool pending_ = false;       ///< a request is queued (not yet started)
+  int64_t request_seq_ = 0;    ///< bumped per explicit request
+  int64_t completed_seq_ = 0;  ///< highest request seq a finished run covers
+  int64_t coalesced_ = 0;
+  bool last_run_ok_ = true;  ///< outcome of the most recent run
+  std::string last_error_;
+};
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_MAINTAIN_SCHEDULER_H_

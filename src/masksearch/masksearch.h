@@ -42,6 +42,8 @@
 #include "masksearch/index/index_manager.h"
 #include "masksearch/ingest/ingestor.h"
 #include "masksearch/kernels/agg_kernels.h"
+#include "masksearch/maintain/compactor.h"
+#include "masksearch/maintain/scheduler.h"
 #include "masksearch/kernels/chi_kernels.h"
 #include "masksearch/net/client.h"
 #include "masksearch/net/server.h"
@@ -62,6 +64,7 @@
 #include "masksearch/sql/parser.h"
 #include "masksearch/storage/codec.h"
 #include "masksearch/storage/disk_throttle.h"
+#include "masksearch/storage/filtered_mask_store.h"
 #include "masksearch/storage/mask.h"
 #include "masksearch/storage/mask_store.h"
 #include "masksearch/storage/sharded_mask_store.h"

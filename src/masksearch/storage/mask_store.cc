@@ -1,10 +1,13 @@
 #include "masksearch/storage/mask_store.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "masksearch/cache/cached_mask_store.h"
 #include "masksearch/common/serialize.h"
+#include "masksearch/storage/filtered_mask_store.h"
 #include "masksearch/storage/sharded_mask_store.h"
 
 namespace masksearch {
@@ -250,14 +253,28 @@ Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir) {
 
 Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir,
                                                    const Options& opts) {
+  // Generation resolution (docs/COMPACTION.md): a compacted store's current
+  // data lives under gen-<g>/; the top-level sidecar names it. A plain
+  // pre-compaction store has no sidecar and resolves to `dir` itself.
+  MS_ASSIGN_OR_RETURN(int64_t gen, ReadStoreGeneration(dir));
+  const std::string root = GenerationDir(dir, gen);
   MS_ASSIGN_OR_RETURN(internal::ParsedManifest parsed,
-                      internal::ReadMaskStoreManifest(dir));
+                      internal::ReadMaskStoreManifest(root));
   MS_ASSIGN_OR_RETURN(
       std::unique_ptr<MaskStore> store,
-      ShardedMaskStore::Create(dir, opts, parsed.kind, parsed.num_shards,
+      ShardedMaskStore::Create(root, opts, parsed.kind, parsed.num_shards,
                                std::move(parsed.metas),
                                std::move(parsed.offsets),
                                std::move(parsed.sizes)));
+
+  // Tombstoned masks (deleted but not yet compacted away) are hidden by the
+  // filtering decorator, which renumbers visible ids densely.
+  MS_ASSIGN_OR_RETURN(std::vector<MaskId> tombstones,
+                      ReadMaskStoreTombstones(root));
+  if (!tombstones.empty()) {
+    MS_ASSIGN_OR_RETURN(store, FilteredMaskStore::Wrap(std::move(store),
+                                                       tombstones));
+  }
 
   // Memory subsystem (docs/CACHING.md): with a pool configured, hand back
   // the caching decorator instead of the raw store.
@@ -268,6 +285,90 @@ Result<std::unique_ptr<MaskStore>> MaskStore::Open(const std::string& dir,
     return CachedMaskStore::Wrap(std::move(store), std::move(pool));
   }
   return store;
+}
+
+// ---------------------------------------------------------------------------
+// Generations and tombstones (docs/COMPACTION.md)
+// ---------------------------------------------------------------------------
+
+std::string IngestGenerationPath(const std::string& dir) {
+  return dir + "/ingest.generation";
+}
+
+std::string GenerationDir(const std::string& dir, int64_t gen) {
+  if (gen <= 0) return dir;
+  return dir + "/gen-" + std::to_string(gen);
+}
+
+Result<int64_t> ReadStoreGeneration(const std::string& dir) {
+  const std::string path = IngestGenerationPath(dir);
+  if (!PathExists(path)) return int64_t{0};
+  MS_ASSIGN_OR_RETURN(std::string body, ReadFile(path));
+  errno = 0;
+  char* end = nullptr;
+  const long long gen = std::strtoll(body.c_str(), &end, 10);
+  while (end != nullptr && (*end == '\n' || *end == '\r' || *end == ' ')) ++end;
+  if (errno != 0 || end == body.c_str() || (end != nullptr && *end != '\0') ||
+      gen < 0) {
+    return Status::Corruption("unparseable generation sidecar '" + path + "'");
+  }
+  return static_cast<int64_t>(gen);
+}
+
+std::string MaskStoreTombstonePath(const std::string& gen_root) {
+  return gen_root + "/ingest.tombstones";
+}
+
+Result<std::vector<MaskId>> ReadMaskStoreTombstones(
+    const std::string& gen_root) {
+  const std::string path = MaskStoreTombstonePath(gen_root);
+  if (!PathExists(path)) return std::vector<MaskId>{};
+  MS_ASSIGN_OR_RETURN(std::string body, ReadFile(path));
+  std::vector<MaskId> ids;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string line = body.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = eol + 1;
+    if (first) {
+      first = false;
+      if (line != "tombstones v1") {
+        return Status::Corruption("bad tombstone sidecar header in '" + path +
+                                  "'");
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    errno = 0;
+    char* end = nullptr;
+    const long long id = std::strtoll(line.c_str(), &end, 10);
+    if (errno != 0 || end == line.c_str() || *end != '\0' || id < 0) {
+      return Status::Corruption("unparseable tombstone entry '" + line +
+                                "' in '" + path + "'");
+    }
+    ids.push_back(static_cast<MaskId>(id));
+  }
+  if (first) {
+    return Status::Corruption("empty tombstone sidecar '" + path + "'");
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+Status WriteMaskStoreTombstones(const std::string& gen_root,
+                                std::vector<MaskId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::string body = "tombstones v1\n";
+  for (MaskId id : ids) {
+    body += std::to_string(id);
+    body += '\n';
+  }
+  return WriteFileAtomic(MaskStoreTombstonePath(gen_root), body);
 }
 
 }  // namespace masksearch

@@ -264,6 +264,44 @@ std::string MaskStoreDataPath(const std::string& dir);
 std::string MaskStoreShardDataPath(const std::string& dir, int32_t shard,
                                    int32_t num_shards);
 
+// ---------------------------------------------------------------------------
+// Store generations (docs/COMPACTION.md)
+//
+// A compaction rewrites the live masks into a fresh *generation* of the
+// store and atomically swaps it in. Generation 0 is the store root itself
+// (full backward compatibility: a never-compacted store has no generation
+// sidecar and no gen-* subdirectories); generation g > 0 lives in
+// `<dir>/gen-<g>/` with its own manifest, shard data files, and tombstone
+// sidecar. The top-level `ingest.generation` sidecar names the current
+// generation; flipping it (atomic write) IS the swap point.
+// ---------------------------------------------------------------------------
+
+/// \brief Top-level sidecar naming the current store generation.
+std::string IngestGenerationPath(const std::string& dir);
+
+/// \brief Root directory of generation `gen` (`dir` itself for gen 0).
+std::string GenerationDir(const std::string& dir, int64_t gen);
+
+/// \brief Reads the current generation of the store at `dir`. A missing
+/// sidecar is generation 0 (pre-compaction stores); an unparseable one is a
+/// typed Corruption.
+Result<int64_t> ReadStoreGeneration(const std::string& dir);
+
+/// \brief Tombstone sidecar inside a generation root. Records the physical
+/// mask ids deleted from that generation; published atomically alongside
+/// the manifest at epoch publication (docs/COMPACTION.md).
+std::string MaskStoreTombstonePath(const std::string& gen_root);
+
+/// \brief Reads the tombstone sidecar of a generation root. A missing file
+/// is an empty set; structural damage is a typed Corruption. Ids are
+/// returned sorted and deduplicated.
+Result<std::vector<MaskId>> ReadMaskStoreTombstones(const std::string& gen_root);
+
+/// \brief Atomically writes the tombstone sidecar (`ids` need not be
+/// sorted; the file is written sorted + deduplicated).
+Status WriteMaskStoreTombstones(const std::string& gen_root,
+                                std::vector<MaskId> ids);
+
 namespace internal {
 /// Serializes and writes the store manifest (v1 when num_shards == 1, v2
 /// otherwise). Shared by MaskStoreWriter::Finish, the ingest layer's epoch

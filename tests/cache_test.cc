@@ -13,6 +13,7 @@
 #include "masksearch/cache/cached_mask_store.h"
 #include "masksearch/cache/chi_cache.h"
 #include "masksearch/index/chi_builder.h"
+#include "masksearch/ingest/ingestor.h"
 #include "masksearch/storage/sharded_mask_store.h"
 #include "test_util.h"
 
@@ -427,6 +428,50 @@ TEST(CachedMaskStoreTest, ReshardedStoreOpensWithColdCache) {
   }
   EXPECT_EQ(cached_out->cache_hits(), 0u);  // every first touch was a miss
   EXPECT_EQ(cached_out->cache_misses(), 9u);
+}
+
+TEST(CachedMaskStoreTest, DroppedSnapshotReturnsPoolBytesToBaseline) {
+  // Regression (docs/COMPACTION.md): every Snapshot's CachedMaskStore runs
+  // under a fresh BufferPool owner id, and dropping the last snapshot pin
+  // must erase that owner — including entries a racing reader still held
+  // pinned while the wrapper's own erase ran (the snapshot destructor
+  // sweeps again after the store is gone). Otherwise each published epoch
+  // leaks its blob-cache bytes into the shared pool forever.
+  auto pool = std::make_shared<BufferPool>([] {
+    BufferPool::Options opts;
+    opts.budget_bytes = 8ull << 20;
+    opts.shards = 1;
+    return opts;
+  }());
+  IngestorOptions iopts;
+  iopts.chi.cell_width = iopts.chi.cell_height = 8;
+  iopts.chi.num_bins = 8;
+  iopts.num_shards = 2;
+  iopts.cache = pool;
+  TempDir dir("cachedstore_snapshot_baseline");
+  auto ingestor = Ingestor::Create(dir.path(), iopts).ValueOrDie();
+  Rng rng(7);
+  for (int i = 0; i < 6; ++i) {
+    MaskMeta meta;
+    (void)ingestor->Append(meta, RandomMask(&rng, 16, 16)).ValueOrDie();
+  }
+  MS_ASSERT_OK(ingestor->Publish());
+  const uint64_t baseline = pool->Stats().resident_bytes;
+
+  std::shared_ptr<const Snapshot> pinned = ingestor->snapshot();
+  // Warm the pinned snapshot's blob cache; keep one batch pinned while the
+  // next epoch supersedes it (the racing-reader half of the regression).
+  for (MaskId id = 0; id < 6; ++id) (void)pinned->store().LoadMask(id);
+  EXPECT_GT(pool->Stats().resident_bytes, baseline);
+  {
+    auto batch = pinned->store().LoadMaskBatch({0, 3}).ValueOrDie();
+    (void)batch;
+    MS_ASSERT_OK(ingestor->Publish());  // supersede while the batch is live
+  }
+  pinned.reset();
+  // The superseded snapshot's owner is fully swept: back to baseline.
+  EXPECT_EQ(pool->Stats().resident_bytes, baseline);
+  EXPECT_EQ(ingestor->Stats().live_snapshots, 0);
 }
 
 }  // namespace

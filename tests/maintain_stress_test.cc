@@ -1,0 +1,479 @@
+// Compact-while-ingesting-while-serving stress battery
+// (docs/COMPACTION.md): N writer threads append + publish epochs while a
+// maintenance thread scripts deletes and generation-rewrite compactions
+// and M reader threads push a mixed query stream through a QueryService
+// resolving the epoch snapshot at admission. Invariants:
+//
+//   1. Zero wrong bytes per epoch: replaying every query serially against
+//      a store rebuilt from the *recorded* visible masks of the epoch it
+//      was admitted at yields byte-identical responses. (Recording at
+//      publish time is essential — compaction renumbers ids, so no prefix
+//      of the final store reproduces an old epoch.)
+//   2. Tombstone visibility: a deleted mask vanishes exactly at the next
+//      publish and never resurfaces, while snapshots pinned earlier keep
+//      serving it byte-identically (the replay oracle covers both sides).
+//   3. Retired generation directories are deleted only after the last
+//      pinned snapshot drains; when the run drains, only the final
+//      generation's files remain and no superseded snapshot stays pinned.
+//
+// Tier1 runs a capped configuration; MASKSEARCH_STRESS_HEAVY=1 (the `slow`
+// CTest lane) scales up writers, readers, epochs, and compactions. The
+// ASan/TSan CI lanes run both.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "masksearch/ingest/ingestor.h"
+#include "masksearch/maintain/compactor.h"
+#include "masksearch/service/query_service.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::BlobMask;
+using testing_util::TempDir;
+
+bool HeavyMode() {
+  const char* env = std::getenv("MASKSEARCH_STRESS_HEAVY");
+  return env != nullptr && env[0] == '1';
+}
+
+struct StressConfig {
+  int num_writers = 2;
+  int num_readers = 3;
+  int epochs_per_writer = 4;
+  int masks_per_epoch = 8;
+  int queries_per_reader = 24;
+  int maintenance_rounds = 4;    ///< delete+publish rounds
+  int compact_every = 2;         ///< compaction every k-th round (>= 2 runs)
+  int deletes_per_round = 3;
+};
+
+StressConfig MakeConfig() {
+  StressConfig cfg;
+  if (HeavyMode()) {
+    cfg.num_writers = 4;
+    cfg.num_readers = 6;
+    cfg.epochs_per_writer = 8;
+    cfg.masks_per_epoch = 16;
+    cfg.queries_per_reader = 120;
+    cfg.maintenance_rounds = 6;
+    cfg.deletes_per_round = 5;
+  }
+  return cfg;
+}
+
+ChiConfig TestConfig() {
+  ChiConfig cfg;
+  cfg.cell_width = cfg.cell_height = 8;
+  cfg.num_bins = 8;
+  return cfg;
+}
+
+/// Deterministic mixed-kind query stream independent of store contents.
+QueryRequest MakeQuery(Rng* rng) {
+  CpTerm term;
+  term.roi_source = rng->NextBool(0.4) ? RoiSource::kObjectBox
+                                       : RoiSource::kConstant;
+  const int32_t x0 = static_cast<int32_t>(rng->UniformInt(0, 16));
+  const int32_t y0 = static_cast<int32_t>(rng->UniformInt(0, 16));
+  term.constant_roi =
+      ROI{x0, y0, x0 + static_cast<int32_t>(rng->UniformInt(4, 16)),
+          y0 + static_cast<int32_t>(rng->UniformInt(4, 16))};
+  term.range = ValueRange{rng->NextDouble() * 0.5, 1.0};
+  const double threshold = rng->NextDouble() * 64;
+
+  switch (rng->UniformInt(0, 3)) {
+    case 0: {
+      FilterQuery q;
+      q.terms = {term};
+      q.predicate =
+          Predicate::Compare(CpExpr::Term(0), CompareOp::kGt, threshold);
+      return QueryRequest::Filter(std::move(q));
+    }
+    case 1: {
+      TopKQuery q;
+      q.terms = {term};
+      q.order_expr = CpExpr::Term(0);
+      q.k = 1 + static_cast<size_t>(rng->UniformInt(0, 10));
+      q.descending = rng->NextBool();
+      return QueryRequest::TopK(std::move(q));
+    }
+    case 2: {
+      AggregationQuery q;
+      q.term = term;
+      q.op = rng->NextBool() ? ScalarAggOp::kAvg : ScalarAggOp::kMax;
+      q.group_key = GroupKey::kImageId;
+      q.k = 8;
+      return QueryRequest::Aggregation(std::move(q));
+    }
+    default: {
+      MaskAggQuery q;
+      q.op = rng->NextBool() ? MaskAggOp::kIntersectThreshold
+                             : MaskAggOp::kUnionThreshold;
+      q.agg_threshold = 0.5;
+      q.term = term;
+      q.group_key = GroupKey::kImageId;
+      q.k = 5;
+      return QueryRequest::MaskAgg(std::move(q));
+    }
+  }
+}
+
+void ExpectSameResponse(const QueryResponse& expected,
+                        const QueryResponse& got, int64_t epoch,
+                        uint64_t query_seed) {
+  ASSERT_EQ(expected.kind, got.kind);
+  switch (expected.kind) {
+    case QueryRequest::Kind::kFilter:
+      EXPECT_EQ(expected.filter.mask_ids, got.filter.mask_ids)
+          << "epoch " << epoch << " seed " << query_seed;
+      break;
+    case QueryRequest::Kind::kTopK:
+      ASSERT_EQ(expected.topk.items.size(), got.topk.items.size())
+          << "epoch " << epoch << " seed " << query_seed;
+      for (size_t i = 0; i < expected.topk.items.size(); ++i) {
+        EXPECT_EQ(expected.topk.items[i].mask_id, got.topk.items[i].mask_id)
+            << "epoch " << epoch << " seed " << query_seed << " item " << i;
+        EXPECT_EQ(expected.topk.items[i].value, got.topk.items[i].value)
+            << "epoch " << epoch << " seed " << query_seed << " item " << i;
+      }
+      break;
+    case QueryRequest::Kind::kAggregation:
+    case QueryRequest::Kind::kMaskAgg:
+      ASSERT_EQ(expected.agg.groups.size(), got.agg.groups.size())
+          << "epoch " << epoch << " seed " << query_seed;
+      for (size_t i = 0; i < expected.agg.groups.size(); ++i) {
+        EXPECT_EQ(expected.agg.groups[i].group, got.agg.groups[i].group)
+            << "epoch " << epoch << " seed " << query_seed << " group " << i;
+        EXPECT_EQ(expected.agg.groups[i].value, got.agg.groups[i].value)
+            << "epoch " << epoch << " seed " << query_seed << " group " << i;
+      }
+      break;
+  }
+}
+
+struct Observation {
+  int64_t epoch = 0;
+  uint64_t query_seed = 0;
+  QueryResponse response;
+};
+
+/// The serials (stable writer-assigned ids carried in image_id) visible at
+/// one published epoch, in visible-id order. Replaying an epoch = appending
+/// serial_blobs[serial] for each serial, in order.
+using EpochRecord = std::vector<int64_t>;
+
+TEST(MaintainStressTest, CompactionsUnderIngestAndServeZeroWrongBytes) {
+  const StressConfig cfg = MakeConfig();
+  TempDir dir("maintain_stress");
+
+  IngestorOptions iopts;
+  iopts.chi = TestConfig();
+  iopts.num_shards = 3;
+  // Tiny budget on purpose: cache thrash + eviction churn under ingest.
+  iopts.cache_budget_bytes = 2ull << 20;
+  auto ingestor = Ingestor::Create(dir.path(), iopts).ValueOrDie();
+  Compactor compactor(ingestor.get());
+
+  QueryServiceOptions sopts;
+  sopts.num_workers = 3;
+  sopts.session_resolver = [ing = ingestor.get()]() -> SessionLease {
+    std::shared_ptr<const Snapshot> snap = ing->snapshot();
+    SessionLease lease;
+    lease.session = snap->session();
+    lease.epoch = snap->epoch();
+    lease.pin = std::move(snap);
+    return lease;
+  };
+  auto service = QueryService::Start(nullptr, sopts).ValueOrDie();
+
+  // --- shared recording state -------------------------------------------
+  // serial -> raw blob bytes, recorded at append time. Serials are globally
+  // unique and ride in MaskMeta::image_id, so they survive every renumber.
+  std::mutex blob_mu;
+  std::map<int64_t, std::string> serial_blobs;
+  std::atomic<int64_t> next_serial{0};
+
+  // publish_mu serializes every Publish()/Compact() with the recording of
+  // the epoch it installed, so epoch_records is exact.
+  std::mutex publish_mu;
+  std::map<int64_t, EpochRecord> epoch_records;
+  epoch_records.emplace(0, EpochRecord{});  // epoch 0: the empty store
+
+  auto record_current_epoch = [&] {  // caller holds publish_mu
+    std::shared_ptr<const Snapshot> snap = ingestor->snapshot();
+    EpochRecord serials;
+    serials.reserve(snap->watermark());
+    for (int64_t v = 0; v < snap->watermark(); ++v) {
+      serials.push_back(snap->store().meta(v).image_id);
+    }
+    epoch_records[snap->epoch()] = std::move(serials);
+  };
+
+  // --- concurrent phase -------------------------------------------------
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < cfg.num_writers; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      for (int e = 0; e < cfg.epochs_per_writer; ++e) {
+        for (int m = 0; m < cfg.masks_per_epoch; ++m) {
+          Mask mask = BlobMask(&rng, 32, 32);
+          const int64_t serial = next_serial.fetch_add(1);
+          MaskMeta meta;
+          meta.image_id = serial;
+          meta.model_id = 0;
+          meta.mask_type = MaskType::kSaliencyMap;
+          {
+            std::lock_guard<std::mutex> lock(blob_mu);
+            serial_blobs[serial] =
+                std::string(reinterpret_cast<const char*>(mask.data().data()),
+                            mask.ByteSize());
+          }
+          auto id = ingestor->Append(meta, mask);
+          ASSERT_TRUE(id.ok()) << id.status().ToString();
+        }
+        std::lock_guard<std::mutex> lock(publish_mu);
+        MS_ASSERT_OK(ingestor->Publish());
+        record_current_epoch();
+      }
+    });
+  }
+
+  // Maintenance thread: scripted deletes + publishes + >= 2 compactions,
+  // all racing the writers' appends and the readers' pinned queries.
+  int64_t compactions_done = 0;
+  std::thread maintenance([&] {
+    Rng rng(31337);
+    for (int round = 0; round < cfg.maintenance_rounds; ++round) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      {
+        std::lock_guard<std::mutex> lock(publish_mu);
+        const int64_t appended = ingestor->appended();
+        int deleted = 0;
+        for (int attempt = 0;
+             attempt < cfg.deletes_per_round * 4 &&
+             deleted < cfg.deletes_per_round && appended > 0;
+             ++attempt) {
+          const MaskId victim =
+              static_cast<MaskId>(rng.UniformInt(0, appended - 1));
+          const Status st = ingestor->Delete(victim);
+          if (st.ok()) {
+            ++deleted;
+          } else {
+            // Racing double-delete: typed NotFound, never anything else.
+            ASSERT_EQ(st.code(), StatusCode::kNotFound) << st.ToString();
+          }
+        }
+        MS_ASSERT_OK(ingestor->Publish());
+        record_current_epoch();
+      }
+      if ((round + 1) % cfg.compact_every == 0) {
+        std::lock_guard<std::mutex> lock(publish_mu);
+        auto stats = compactor.Compact();
+        ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+        ++compactions_done;
+        // The swap published a fresh epoch in the new generation.
+        record_current_epoch();
+      }
+    }
+  });
+
+  std::mutex obs_mu;
+  std::vector<Observation> observations;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < cfg.num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(2000 + r);
+      for (int i = 0; i < cfg.queries_per_reader || !writers_done.load();
+           ++i) {
+        if (i >= cfg.queries_per_reader * 4) break;  // bounded overrun
+        const uint64_t seed = rng.UniformInt(0, 1 << 30);
+        Rng qrng(seed);
+        ServiceRequest req;
+        req.tenant = r;
+        req.query = MakeQuery(&qrng);
+        auto pending = service->Submit(req);
+        if (!pending.ok()) continue;  // shed by admission control: fine
+        auto response = (*pending)->Wait();
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        const int64_t epoch = (*pending)->epoch();
+        std::lock_guard<std::mutex> lock(obs_mu);
+        observations.push_back({epoch, seed, std::move(*response)});
+      }
+    });
+  }
+
+  for (auto& t : writers) t.join();
+  writers_done.store(true);
+  maintenance.join();
+  for (auto& t : readers) t.join();
+  service->Drain();
+
+  ASSERT_GE(compactions_done, 2) << "the script must exercise >= 2 swaps";
+  EXPECT_EQ(ingestor->generation(), compactions_done);
+  EXPECT_EQ(compactor.Counters().compactions_completed, compactions_done);
+
+  // --- replay oracle ----------------------------------------------------
+  // Per distinct observed epoch: rebuild a store holding exactly the
+  // recorded visible masks of that epoch (compaction renumbers ids, so the
+  // final store's prefix cannot stand in), replay every query admitted at
+  // that epoch serially, and demand byte-identical responses.
+  for (const Observation& obs : observations) {
+    ASSERT_TRUE(epoch_records.count(obs.epoch))
+        << "query admitted at an epoch that was never recorded: "
+        << obs.epoch;
+  }
+  for (const auto& [epoch, serials] : epoch_records) {
+    bool any = false;
+    for (const Observation& obs : observations) any |= obs.epoch == epoch;
+    if (!any) continue;
+
+    TempDir replay_dir("maintain_replay_" + std::to_string(epoch));
+    MaskStoreWriter::Options wopts;
+    wopts.num_shards = 3;
+    auto writer =
+        MaskStoreWriter::Create(replay_dir.path(), wopts).ValueOrDie();
+    for (const int64_t serial : serials) {
+      MaskMeta meta;
+      meta.image_id = serial;
+      meta.model_id = 0;
+      meta.mask_type = MaskType::kSaliencyMap;
+      meta.width = 32;
+      meta.height = 32;
+      writer->AppendBlob(meta, serial_blobs.at(serial)).ValueOrDie();
+    }
+    MS_ASSERT_OK(writer->Finish());
+    auto replay_store = MaskStore::Open(replay_dir.path()).ValueOrDie();
+    SessionOptions sess;
+    sess.chi = TestConfig();
+    auto session = Session::Open(replay_store.get(), sess).ValueOrDie();
+
+    for (const Observation& obs : observations) {
+      if (obs.epoch != epoch) continue;
+      Rng qrng(obs.query_seed);
+      const QueryRequest query = MakeQuery(&qrng);
+      QueryResponse serial_resp;
+      serial_resp.kind = query.kind;
+      switch (query.kind) {
+        case QueryRequest::Kind::kFilter:
+          serial_resp.filter = session->Filter(query.filter).ValueOrDie();
+          break;
+        case QueryRequest::Kind::kTopK:
+          serial_resp.topk = session->TopK(query.topk).ValueOrDie();
+          break;
+        case QueryRequest::Kind::kAggregation:
+          serial_resp.agg = session->Aggregate(query.agg).ValueOrDie();
+          break;
+        case QueryRequest::Kind::kMaskAgg:
+          serial_resp.agg =
+              session->MaskAggregate(query.mask_agg).ValueOrDie();
+          break;
+      }
+      ExpectSameResponse(serial_resp, obs.response, epoch, obs.query_seed);
+    }
+  }
+
+  // --- retention invariants ---------------------------------------------
+  // Every query drained, so no superseded snapshot stays pinned and every
+  // retired generation's directory is gone; only the current one remains.
+  EXPECT_EQ(ingestor->Stats().live_snapshots, 0);
+  const int64_t current_gen = ingestor->generation();
+  for (int64_t g = 1; g < current_gen; ++g) {
+    EXPECT_FALSE(std::filesystem::exists(GenerationDir(dir.path(), g)))
+        << "retired generation " << g << " was not GC'd";
+  }
+  EXPECT_TRUE(
+      std::filesystem::is_directory(GenerationDir(dir.path(), current_gen)));
+  EXPECT_FALSE(PathExists(MaskStoreManifestPath(dir.path())))
+      << "generation 0's files were not GC'd";
+  service->Shutdown();
+
+  // The final store reopens read-only with exactly the last epoch's view.
+  const EpochRecord& last = epoch_records.rbegin()->second;
+  auto final_store = MaskStore::Open(dir.path()).ValueOrDie();
+  ASSERT_EQ(final_store->num_masks(), static_cast<int64_t>(last.size()));
+  for (size_t v = 0; v < last.size(); ++v) {
+    EXPECT_EQ(final_store->meta(v).image_id, last[v]);
+    std::string blob;
+    MS_ASSERT_OK(final_store->ReadBlob(static_cast<MaskId>(v), &blob));
+    EXPECT_EQ(blob, serial_blobs.at(last[v])) << "visible id " << v;
+  }
+}
+
+/// Generation swaps racing the resolver: admission must always observe a
+/// fully published snapshot whose store matches its watermark, and
+/// generations/epochs move forward only.
+TEST(MaintainStressTest, SwapAlwaysPresentsConsistentSnapshot) {
+  const StressConfig cfg = MakeConfig();
+  TempDir dir("maintain_swap_consistent");
+  IngestorOptions iopts;
+  iopts.chi = TestConfig();
+  iopts.num_shards = 2;
+  iopts.cache_budget_bytes = 2ull << 20;
+  auto ingestor = Ingestor::Create(dir.path(), iopts).ValueOrDie();
+  Compactor compactor(ingestor.get());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(7);
+    const int rounds = cfg.maintenance_rounds * 2;
+    for (int e = 0; e < rounds; ++e) {
+      for (int m = 0; m < cfg.masks_per_epoch; ++m) {
+        MaskMeta meta;
+        meta.image_id = e * cfg.masks_per_epoch + m;
+        auto id = ingestor->Append(meta, BlobMask(&rng, 16, 16));
+        ASSERT_TRUE(id.ok());
+      }
+      if (ingestor->appended() > 2) {
+        MS_ASSERT_OK(ingestor->Delete(ingestor->appended() - 2));
+      }
+      MS_ASSERT_OK(ingestor->Publish());
+      auto stats = compactor.Compact();
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> observers;
+  for (int r = 0; r < cfg.num_readers; ++r) {
+    observers.emplace_back([&] {
+      int64_t last_epoch = -1;
+      int64_t last_gen = -1;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::shared_ptr<const Snapshot> snap = ingestor->snapshot();
+        EXPECT_GE(snap->epoch(), last_epoch);
+        EXPECT_GE(snap->generation(), last_gen);
+        EXPECT_EQ(snap->store().num_masks(), snap->watermark());
+        // A pinned snapshot's store stays readable across swaps: load the
+        // last visible mask (generation files must still be on disk).
+        if (snap->watermark() > 0) {
+          auto mask = snap->store().LoadMask(snap->watermark() - 1);
+          EXPECT_TRUE(mask.ok()) << mask.status().ToString();
+        }
+        last_epoch = snap->epoch();
+        last_gen = snap->generation();
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : observers) t.join();
+  EXPECT_EQ(ingestor->Stats().live_snapshots, 0);
+  EXPECT_EQ(ingestor->generation(), cfg.maintenance_rounds * 2);
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -1,0 +1,522 @@
+// Background-maintenance suite (docs/COMPACTION.md): tombstone deletes
+// with epoch-snapshot visibility, generation-rewrite compaction, pinned
+// snapshots surviving the swap, generation-file GC after the last pin
+// drains, crash-orphan cleanup, and the MaintenanceScheduler's trigger /
+// single-flight / drain semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "masksearch/catalog/catalog.h"
+#include "masksearch/ingest/ingestor.h"
+#include "masksearch/maintain/compactor.h"
+#include "masksearch/maintain/scheduler.h"
+#include "masksearch/storage/filtered_mask_store.h"
+#include "test_util.h"
+
+namespace masksearch {
+namespace {
+
+using testing_util::BlobMask;
+using testing_util::TempDir;
+
+ChiConfig TestConfig() {
+  ChiConfig cfg;
+  cfg.cell_width = cfg.cell_height = 8;
+  cfg.num_bins = 8;
+  return cfg;
+}
+
+IngestorOptions TestIngestOptions() {
+  IngestorOptions opts;
+  opts.chi = TestConfig();
+  opts.num_shards = 3;
+  opts.cache_budget_bytes = 8ull << 20;
+  return opts;
+}
+
+MaskMeta MetaFor(int64_t serial) {
+  MaskMeta meta;
+  meta.image_id = serial;  // stable serial: survives compaction renumbering
+  meta.model_id = 0;
+  meta.mask_type = MaskType::kSaliencyMap;
+  return meta;
+}
+
+/// Appends `n` deterministic masks tagged with serials [first, first + n)
+/// and records their raw bytes into `blobs_by_serial`.
+void AppendMasks(Ingestor* ingestor, Rng* rng, int64_t n, int64_t first,
+                 std::map<int64_t, std::string>* blobs_by_serial) {
+  for (int64_t i = 0; i < n; ++i) {
+    Mask mask = BlobMask(rng, 32, 32);
+    auto id = ingestor->Append(MetaFor(first + i), mask);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    if (blobs_by_serial != nullptr) {
+      (*blobs_by_serial)[first + i] =
+          std::string(reinterpret_cast<const char*>(mask.data().data()),
+                      mask.ByteSize());
+    }
+  }
+}
+
+/// Asserts the snapshot's visible masks are exactly `serials`, in order,
+/// and every blob is byte-identical to what the writer appended.
+void ExpectVisible(const Snapshot& snap,
+                   const std::vector<int64_t>& serials,
+                   const std::map<int64_t, std::string>& blobs_by_serial) {
+  ASSERT_EQ(snap.watermark(), static_cast<int64_t>(serials.size()));
+  ASSERT_EQ(snap.store().num_masks(), static_cast<int64_t>(serials.size()));
+  for (size_t v = 0; v < serials.size(); ++v) {
+    const MaskMeta& meta = snap.store().meta(static_cast<MaskId>(v));
+    EXPECT_EQ(meta.image_id, serials[v]) << "visible id " << v;
+    EXPECT_EQ(meta.mask_id, static_cast<MaskId>(v));
+    std::string blob;
+    MS_ASSERT_OK(snap.store().ReadBlob(static_cast<MaskId>(v), &blob));
+    const auto it = blobs_by_serial.find(serials[v]);
+    ASSERT_NE(it, blobs_by_serial.end());
+    EXPECT_EQ(blob, it->second) << "visible id " << v << " bytes differ";
+  }
+}
+
+TEST(MaintainTest, DeleteIsInvisibleAtNextPublishOnly) {
+  TempDir dir("maintain_delete");
+  auto ingestor = Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+  Rng rng(11);
+  std::map<int64_t, std::string> blobs;
+  AppendMasks(ingestor.get(), &rng, 6, 0, &blobs);
+  MS_ASSERT_OK(ingestor->Publish());
+  auto pinned = ingestor->snapshot();
+  ExpectVisible(*pinned, {0, 1, 2, 3, 4, 5}, blobs);
+
+  MS_ASSERT_OK(ingestor->Delete(2));
+  MS_ASSERT_OK(ingestor->Delete(4));
+  // Not yet published: the current snapshot still serves all six.
+  ExpectVisible(*ingestor->snapshot(), {0, 1, 2, 3, 4, 5}, blobs);
+  EXPECT_EQ(ingestor->tombstone_count(), 2);
+  EXPECT_GT(ingestor->dead_bytes(), 0u);
+
+  MS_ASSERT_OK(ingestor->Publish());
+  // Survivors renumber densely; the pinned pre-delete snapshot is frozen.
+  ExpectVisible(*ingestor->snapshot(), {0, 1, 3, 5}, blobs);
+  ExpectVisible(*pinned, {0, 1, 2, 3, 4, 5}, blobs);
+  EXPECT_EQ(ingestor->watermark(), 4);
+}
+
+TEST(MaintainTest, DeleteErrorsAreTyped) {
+  TempDir dir("maintain_delete_typed");
+  auto ingestor = Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+  Rng rng(13);
+  AppendMasks(ingestor.get(), &rng, 3, 0, nullptr);
+  EXPECT_EQ(ingestor->Delete(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ingestor->Delete(3).code(), StatusCode::kInvalidArgument);
+  MS_ASSERT_OK(ingestor->Delete(1));
+  EXPECT_EQ(ingestor->Delete(1).code(), StatusCode::kNotFound);
+}
+
+TEST(MaintainTest, TombstonesSurviveReopen) {
+  TempDir dir("maintain_reopen");
+  Rng rng(17);
+  std::map<int64_t, std::string> blobs;
+  {
+    auto ingestor =
+        Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+    AppendMasks(ingestor.get(), &rng, 5, 0, &blobs);
+    MS_ASSERT_OK(ingestor->Delete(0));
+    MS_ASSERT_OK(ingestor->Delete(3));
+    MS_ASSERT_OK(ingestor->Publish());
+  }
+  auto reopened = Ingestor::Open(dir.path(), TestIngestOptions()).ValueOrDie();
+  EXPECT_EQ(reopened->tombstone_count(), 2);
+  EXPECT_GT(reopened->dead_bytes(), 0u);
+  ExpectVisible(*reopened->snapshot(), {1, 2, 4}, blobs);
+
+  // The read-only MaskStore::Open path applies the same tombstone filter.
+  auto store = MaskStore::Open(dir.path()).ValueOrDie();
+  EXPECT_EQ(store->num_masks(), 3);
+  EXPECT_EQ(store->meta(0).image_id, 1);
+  EXPECT_EQ(store->meta(2).image_id, 4);
+}
+
+TEST(MaintainTest, CompactionDropsTombstonesAndReclaims) {
+  TempDir dir("maintain_compact");
+  auto ingestor = Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+  Rng rng(19);
+  std::map<int64_t, std::string> blobs;
+  AppendMasks(ingestor.get(), &rng, 10, 0, &blobs);
+  MS_ASSERT_OK(ingestor->Delete(1));
+  MS_ASSERT_OK(ingestor->Delete(7));
+  MS_ASSERT_OK(ingestor->Publish());
+
+  Compactor compactor(ingestor.get());
+  const CompactionStats stats = compactor.Compact().ValueOrDie();
+  EXPECT_EQ(stats.generation, 1);
+  EXPECT_EQ(stats.masks_copied, 8);
+  EXPECT_EQ(stats.masks_dropped, 2);
+  EXPECT_GT(stats.dead_bytes_reclaimed, 0u);
+  EXPECT_GE(stats.total_ms, stats.swap_pause_ms);
+
+  EXPECT_EQ(ingestor->generation(), 1);
+  EXPECT_EQ(ingestor->tombstone_count(), 0);
+  EXPECT_EQ(ingestor->dead_bytes(), 0u);
+  ExpectVisible(*ingestor->snapshot(), {0, 2, 3, 4, 5, 6, 8, 9}, blobs);
+
+  // The new generation directory exists; persisted counters are readable.
+  EXPECT_TRUE(std::filesystem::is_directory(GenerationDir(dir.path(), 1)));
+  const MaintenanceCounters counters =
+      ReadMaintenanceCounters(dir.path()).ValueOrDie();
+  EXPECT_EQ(counters.compactions_completed, 1);
+  EXPECT_EQ(counters.last_generation, 1);
+  EXPECT_GT(counters.dead_bytes_reclaimed_total, 0u);
+
+  // Ingest continues in the new generation: fresh physical id space.
+  AppendMasks(ingestor.get(), &rng, 2, 100, &blobs);
+  MS_ASSERT_OK(ingestor->Publish());
+  ExpectVisible(*ingestor->snapshot(), {0, 2, 3, 4, 5, 6, 8, 9, 100, 101},
+                blobs);
+}
+
+TEST(MaintainTest, PinnedSnapshotKeepsOldGenerationAliveUntilDrained) {
+  TempDir dir("maintain_pin_gc");
+  auto ingestor = Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+  Rng rng(23);
+  std::map<int64_t, std::string> blobs;
+  AppendMasks(ingestor.get(), &rng, 8, 0, &blobs);
+  MS_ASSERT_OK(ingestor->Delete(5));
+  MS_ASSERT_OK(ingestor->Publish());
+
+  auto pinned = ingestor->snapshot();  // generation 0, post-delete epoch
+  EXPECT_EQ(pinned->generation(), 0);
+
+  Compactor compactor(ingestor.get());
+  MS_ASSERT_OK(compactor.Compact().status());
+  EXPECT_EQ(ingestor->snapshot()->generation(), 1);
+
+  // Old generation 0 files stay on disk while the pin reads them...
+  const std::string gen0_manifest = MaskStoreManifestPath(dir.path());
+  EXPECT_TRUE(PathExists(gen0_manifest));
+  ExpectVisible(*pinned, {0, 1, 2, 3, 4, 6, 7}, blobs);
+
+  // ...and vanish when the last pin drains.
+  pinned.reset();
+  EXPECT_FALSE(PathExists(gen0_manifest));
+  EXPECT_EQ(ingestor->Stats().live_snapshots, 0);
+
+  // The compacted store reopens cleanly at generation 1.
+  auto reopened = Ingestor::Open(dir.path(), TestIngestOptions()).ValueOrDie();
+  EXPECT_EQ(reopened->generation(), 1);
+  ExpectVisible(*reopened->snapshot(), {0, 1, 2, 3, 4, 6, 7}, blobs);
+}
+
+TEST(MaintainTest, RepeatedCompactionsRetireEachOlderGeneration) {
+  TempDir dir("maintain_gen_chain");
+  auto ingestor = Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+  Rng rng(29);
+  std::map<int64_t, std::string> blobs;
+  Compactor compactor(ingestor.get());
+  int64_t next_serial = 0;
+  for (int round = 0; round < 3; ++round) {
+    AppendMasks(ingestor.get(), &rng, 4, next_serial, &blobs);
+    next_serial += 4;
+    MS_ASSERT_OK(ingestor->Delete(ingestor->appended() - 1));
+    MS_ASSERT_OK(ingestor->Publish());
+    MS_ASSERT_OK(compactor.Compact().status());
+    EXPECT_EQ(ingestor->generation(), round + 1);
+    // With no pins outstanding, only the current generation dir survives.
+    for (int g = 1; g <= round; ++g) {
+      EXPECT_FALSE(std::filesystem::exists(GenerationDir(dir.path(), g)))
+          << "generation " << g << " not GC'd after round " << round;
+    }
+    EXPECT_TRUE(
+        std::filesystem::is_directory(GenerationDir(dir.path(), round + 1)));
+  }
+  EXPECT_EQ(ingestor->watermark(), 9);
+  const MaintenanceCounters counters =
+      ReadMaintenanceCounters(dir.path()).ValueOrDie();
+  EXPECT_EQ(counters.compactions_completed, 3);
+}
+
+TEST(MaintainTest, CompactionCanReshard) {
+  TempDir dir("maintain_reshard");
+  IngestorOptions opts = TestIngestOptions();
+  opts.num_shards = 2;
+  auto ingestor = Ingestor::Create(dir.path(), opts).ValueOrDie();
+  Rng rng(31);
+  std::map<int64_t, std::string> blobs;
+  AppendMasks(ingestor.get(), &rng, 9, 0, &blobs);
+  MS_ASSERT_OK(ingestor->Delete(4));
+  MS_ASSERT_OK(ingestor->Publish());
+  EXPECT_EQ(ingestor->num_shards(), 2);
+
+  CompactorOptions copts;
+  copts.target_num_shards = 5;
+  Compactor compactor(ingestor.get(), copts);
+  MS_ASSERT_OK(compactor.Compact().status());
+  EXPECT_EQ(ingestor->num_shards(), 5);
+  ExpectVisible(*ingestor->snapshot(), {0, 1, 2, 3, 5, 6, 7, 8}, blobs);
+
+  // Reopen takes the new fan-out from the generation's manifest.
+  auto pin = ingestor->snapshot();
+  ingestor.reset();
+  pin.reset();
+  auto reopened = Ingestor::Open(dir.path(), opts).ValueOrDie();
+  EXPECT_EQ(reopened->num_shards(), 5);
+  ExpectVisible(*reopened->snapshot(), {0, 1, 2, 3, 5, 6, 7, 8}, blobs);
+}
+
+TEST(MaintainTest, OpenSweepsOrphanedGenerationDirs) {
+  TempDir dir("maintain_orphan");
+  Rng rng(37);
+  std::map<int64_t, std::string> blobs;
+  {
+    auto ingestor =
+        Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+    AppendMasks(ingestor.get(), &rng, 4, 0, &blobs);
+    MS_ASSERT_OK(ingestor->Publish());
+  }
+  // Simulate a compaction that crashed before flipping the generation
+  // sidecar: a half-written gen-1 directory with no sidecar pointing at it.
+  const std::string orphan = GenerationDir(dir.path(), 1);
+  std::filesystem::create_directories(orphan);
+  MS_ASSERT_OK(WriteFileAtomic(orphan + "/masks.0.dat", "torn"));
+
+  auto reopened = Ingestor::Open(dir.path(), TestIngestOptions()).ValueOrDie();
+  EXPECT_EQ(reopened->generation(), 0);
+  EXPECT_FALSE(std::filesystem::exists(orphan)) << "orphan dir not swept";
+  ExpectVisible(*reopened->snapshot(), {0, 1, 2, 3}, blobs);
+}
+
+TEST(MaintainTest, FilteredStoreTranslatesAndRejectsBadTombstones) {
+  TempDir dir("maintain_filtered");
+  auto store = testing_util::MakeStore(dir.path(), 6, 1, 16, 16);
+  const std::string blob3 = [&] {
+    std::string b;
+    store->ReadBlob(3, &b).CheckOK();
+    return b;
+  }();
+
+  auto filtered =
+      FilteredMaskStore::Wrap(std::move(store), {1, 4}).ValueOrDie();
+  EXPECT_EQ(filtered->num_masks(), 4);
+  // visible 2 -> physical 3
+  EXPECT_EQ(filtered->meta(2).image_id, 3);
+  std::string blob;
+  MS_ASSERT_OK(filtered->ReadBlob(2, &blob));
+  EXPECT_EQ(blob, blob3);
+  // Past-the-watermark reads are typed (the base store's NotFound).
+  EXPECT_EQ(filtered->LoadMask(4).status().code(), StatusCode::kNotFound);
+
+  // Out-of-range and duplicate tombstones are typed InvalidArgument.
+  auto store2 = testing_util::MakeStore(dir.file("s2"), 3, 1, 16, 16);
+  EXPECT_EQ(FilteredMaskStore::Wrap(std::move(store2), {3}).status().code(),
+            StatusCode::kInvalidArgument);
+  auto store3 = testing_util::MakeStore(dir.file("s3"), 3, 1, 16, 16);
+  EXPECT_EQ(
+      FilteredMaskStore::Wrap(std::move(store3), {1, 1}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(MaintainTest, TombstoneSidecarRoundTripsAndRejectsGarbage) {
+  TempDir dir("maintain_sidecar");
+  MS_ASSERT_OK(WriteMaskStoreTombstones(dir.path(), {5, 1, 3, 1}));
+  const auto ids = ReadMaskStoreTombstones(dir.path()).ValueOrDie();
+  EXPECT_EQ(ids, (std::vector<MaskId>{1, 3, 5}));
+
+  MS_ASSERT_OK(WriteFileAtomic(MaskStoreTombstonePath(dir.path()),
+                               "tombstones v1\n1\nnonsense\n"));
+  EXPECT_EQ(ReadMaskStoreTombstones(dir.path()).status().code(),
+            StatusCode::kCorruption);
+  MS_ASSERT_OK(
+      WriteFileAtomic(MaskStoreTombstonePath(dir.path()), "wrong header\n"));
+  EXPECT_EQ(ReadMaskStoreTombstones(dir.path()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(MaintainTest, SchedulerCompactNowInlineWithoutStart) {
+  TempDir dir("maintain_inline");
+  auto ingestor = Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+  Rng rng(41);
+  std::map<int64_t, std::string> blobs;
+  AppendMasks(ingestor.get(), &rng, 6, 0, &blobs);
+  MS_ASSERT_OK(ingestor->Delete(0));
+  MS_ASSERT_OK(ingestor->Publish());
+
+  MaintenanceScheduler scheduler(ingestor.get());
+  EXPECT_FALSE(scheduler.running());
+  MS_ASSERT_OK(scheduler.CompactNow());
+  EXPECT_EQ(ingestor->generation(), 1);
+  const MaintenanceStats stats = scheduler.Stats();
+  EXPECT_EQ(stats.generation, 1);
+  EXPECT_EQ(stats.compactions_completed, 1);
+  EXPECT_EQ(stats.compactions_failed, 0);
+}
+
+TEST(MaintainTest, SchedulerTriggerFiresOnTombstoneRatio) {
+  TempDir dir("maintain_trigger");
+  auto ingestor = Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+  Rng rng(43);
+  std::map<int64_t, std::string> blobs;
+  AppendMasks(ingestor.get(), &rng, 10, 0, &blobs);
+  MS_ASSERT_OK(ingestor->Publish());
+
+  MaintenanceOptions mopts;
+  mopts.tombstone_ratio_trigger = 0.3;
+  mopts.min_tombstones = 4;
+  mopts.check_interval_ms = 5;
+  MaintenanceScheduler scheduler(ingestor.get(), mopts);
+  scheduler.Start();
+  EXPECT_TRUE(scheduler.running());
+
+  // Below both the ratio and the floor: no compaction may fire.
+  MS_ASSERT_OK(ingestor->Delete(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(ingestor->generation(), 0);
+
+  // Cross the threshold (4 of 10 >= 0.3, floor met): the trigger fires and
+  // keeps firing until the published tombstones are compacted away (a swap
+  // racing an unpublished delete carries it into the new generation, so
+  // convergence — not a single run — is the invariant).
+  MS_ASSERT_OK(ingestor->Delete(1));
+  MS_ASSERT_OK(ingestor->Delete(2));
+  MS_ASSERT_OK(ingestor->Delete(3));
+  MS_ASSERT_OK(ingestor->Publish());
+  for (int spin = 0;
+       spin < 400 &&
+       (ingestor->generation() == 0 || ingestor->tombstone_count() != 0);
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(ingestor->generation(), 1);
+  EXPECT_EQ(ingestor->tombstone_count(), 0);
+  EXPECT_EQ(ingestor->watermark(), 6);
+  MS_ASSERT_OK(scheduler.Stop());
+  EXPECT_FALSE(scheduler.running());
+}
+
+TEST(MaintainTest, SchedulerCoalescesConcurrentRequests) {
+  TempDir dir("maintain_coalesce");
+  auto ingestor = Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+  Rng rng(47);
+  std::map<int64_t, std::string> blobs;
+  AppendMasks(ingestor.get(), &rng, 8, 0, &blobs);
+  MS_ASSERT_OK(ingestor->Publish());
+
+  MaintenanceOptions mopts;
+  mopts.tombstone_ratio_trigger = 0.0;  // explicit requests only
+  MaintenanceScheduler scheduler(ingestor.get(), mopts);
+  scheduler.Start();
+
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 6; ++i) {
+    callers.emplace_back([&] {
+      if (!scheduler.CompactNow().ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Six requests ran as far fewer generation rewrites (single-flight), and
+  // every blocked caller still observed a completed run.
+  const int64_t gen = ingestor->generation();
+  EXPECT_GE(gen, 1);
+  EXPECT_LE(gen, 6);
+  MS_ASSERT_OK(scheduler.Stop());
+  const MaintenanceStats stats = scheduler.Stats();
+  EXPECT_EQ(stats.compactions_completed, gen);
+
+  // Stopped scheduler: CompactNow is a typed Cancelled... once stopped,
+  // Start() again works (idempotent lifecycle).
+  scheduler.Start();
+  MS_ASSERT_OK(scheduler.CompactNow());
+  MS_ASSERT_OK(scheduler.Stop());
+}
+
+TEST(MaintainTest, SchedulerStopDrainsQueuedRequest) {
+  TempDir dir("maintain_drain");
+  auto ingestor = Ingestor::Create(dir.path(), TestIngestOptions()).ValueOrDie();
+  Rng rng(53);
+  std::map<int64_t, std::string> blobs;
+  AppendMasks(ingestor.get(), &rng, 4, 0, &blobs);
+  MS_ASSERT_OK(ingestor->Publish());
+
+  MaintenanceOptions mopts;
+  mopts.tombstone_ratio_trigger = 0.0;
+  mopts.check_interval_ms = 1000;  // only explicit wakeups
+  MaintenanceScheduler scheduler(ingestor.get(), mopts);
+  scheduler.Start();
+  scheduler.RequestCompact();
+  MS_ASSERT_OK(scheduler.Stop());
+  // The queued request ran before the thread exited.
+  EXPECT_GE(ingestor->generation(), 1);
+}
+
+TEST(MaintainTest, CatalogDeleteCompactAndTypedErrors) {
+  TempDir dir("maintain_catalog");
+  Catalog catalog;
+  LiveDatasetConfig config;
+  config.ingest = TestIngestOptions();
+  config.service.num_workers = 2;
+  Dataset* ds =
+      catalog.RegisterLive("live", dir.file("live"), config).ValueOrDie();
+  Rng rng(59);
+  for (int i = 0; i < 8; ++i) {
+    MS_ASSERT_OK(ds->Ingest(MetaFor(i), BlobMask(&rng, 32, 32)).status());
+  }
+  MS_ASSERT_OK(ds->Delete(3));
+  MS_ASSERT_OK(ds->Publish());
+  EXPECT_EQ(ds->snapshot()->watermark(), 7);
+  MS_ASSERT_OK(ds->Compact());
+  EXPECT_EQ(ds->ingestor()->generation(), 1);
+  ASSERT_NE(ds->maintenance(), nullptr);
+  EXPECT_EQ(ds->maintenance()->Stats().compactions_completed, 1);
+
+  // Fixed datasets reject the maintenance verbs with typed errors.
+  TempDir fixed_dir("maintain_catalog_fixed");
+  testing_util::MakeStore(fixed_dir.path(), 4, 1, 32, 32);
+  DatasetConfig fixed_config;
+  fixed_config.session.chi = TestConfig();
+  fixed_config.service.num_workers = 1;
+  Dataset* fixed =
+      catalog.Register("fixed", fixed_dir.path(), fixed_config).ValueOrDie();
+  EXPECT_EQ(fixed->Delete(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fixed->Compact().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MaintainTest, CatalogRegisterLiveResumesCompactedStore) {
+  TempDir dir("maintain_catalog_resume");
+  Rng rng(61);
+  {
+    Catalog catalog;
+    LiveDatasetConfig config;
+    config.ingest = TestIngestOptions();
+    config.service.num_workers = 1;
+    Dataset* ds =
+        catalog.RegisterLive("live", dir.path(), config).ValueOrDie();
+    for (int i = 0; i < 6; ++i) {
+      MS_ASSERT_OK(
+          ds->Ingest(MetaFor(i), BlobMask(&rng, 32, 32)).status());
+    }
+    MS_ASSERT_OK(ds->Delete(2));
+    MS_ASSERT_OK(ds->Publish());
+    MS_ASSERT_OK(ds->Compact());
+  }
+  // Re-registration must resume the compacted generation, not create a
+  // fresh empty store over it.
+  Catalog catalog;
+  LiveDatasetConfig config;
+  config.ingest = TestIngestOptions();
+  config.service.num_workers = 1;
+  Dataset* ds = catalog.RegisterLive("live", dir.path(), config).ValueOrDie();
+  EXPECT_EQ(ds->ingestor()->generation(), 1);
+  EXPECT_EQ(ds->snapshot()->watermark(), 5);
+}
+
+}  // namespace
+}  // namespace masksearch

@@ -56,12 +56,22 @@
 //   masksearch_cli ingest --dir D [--count N] [--epochs K] [--shards S]
 //                         [--width W] [--bins B] [--seed S] [--compressed]
 //                         [--serve-queries N] [--clients C] [--cache-mib M]
+//                         [--delete-every N] [--compact-every E]
 //       Streaming ingest (docs/INGEST.md): append N synthetic masks to
 //       --dir across K atomic epoch publishes, creating the store on
 //       first use and resuming at the last durable epoch otherwise.
 //       --serve-queries N races N queries per client against the
 //       publishes through a snapshot-pinning QueryService — the
-//       ingest-while-serving smoke.
+//       ingest-while-serving smoke. --delete-every N tombstones every
+//       N-th appended mask; --compact-every E runs a generation-rewrite
+//       compaction (docs/COMPACTION.md) after every E-th publish — the
+//       compact-while-ingesting-while-serving smoke.
+//
+//   masksearch_cli compact --dir D [--shards S] [--throttle-mib M]
+//       One-shot generation-rewrite compaction of a live store
+//       (docs/COMPACTION.md): drops tombstoned masks, optionally
+//       re-shards to S data files, and atomically swaps the new
+//       generation in. --throttle-mib bounds the bulk-copy bandwidth.
 //
 //   masksearch_cli stats --dir D [--sql S] [--repeat N] [--script F]
 //                        [--clients N] [--workers W] [--cache-mib M]
@@ -140,8 +150,8 @@ int Usage(int exit_code = 2) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
                "masksearch_cli %s\n"
                "usage: masksearch_cli "
-               "<generate|info|query|stats|serve|client|ingest|explain> "
-               "[options]\n"
+               "<generate|info|query|stats|serve|client|ingest|compact|"
+               "explain> [options]\n"
                "  generate --dir D [--images N] [--models M] [--width W]\n"
                "           [--height H] [--seed S] [--compressed]\n"
                "  info     --dir D\n"
@@ -168,7 +178,9 @@ int Usage(int exit_code = 2) {
                "  ingest   --dir D [--count N] [--epochs K] [--shards S]\n"
                "           [--width W] [--bins B] [--seed S] [--compressed]\n"
                "           [--serve-queries N] [--clients C] [--cache-mib M]\n"
-               "           [--cache-shards N]\n"
+               "           [--cache-shards N] [--delete-every N]\n"
+               "           [--compact-every E]\n"
+               "  compact  --dir D [--shards S] [--throttle-mib M]\n"
                "  explain  --sql S\n"
                "  shard    --dir D --out D2 [--shards N]\n"
                "  import   --dir D --npy-dir P [--models M]\n"
@@ -874,6 +886,60 @@ int RunServe(const Args& args) {
 /// CacheStats (docs/CACHING.md) + service counters (docs/SERVING.md). The
 /// default --repeat 2 makes warm-cache behavior (hit ratio > 0) visible
 /// immediately.
+/// Offline maintenance view of a store directory (docs/COMPACTION.md):
+/// current generation, live/tombstoned counts, dead bytes, and the
+/// persisted compaction counters. All read from sidecars — no ingestor is
+/// opened, so this works on a store another process is serving.
+void PrintMaintenanceSection(const std::string& dir) {
+  auto gen = ReadStoreGeneration(dir);
+  if (!gen.ok()) {
+    std::printf("maintenance: unreadable (%s)\n",
+                gen.status().ToString().c_str());
+    return;
+  }
+  const std::string gen_root = GenerationDir(dir, *gen);
+  int64_t tombstoned = 0;
+  uint64_t dead_bytes = 0;
+  int64_t physical = -1;
+  if (auto tombstones = ReadMaskStoreTombstones(gen_root); tombstones.ok()) {
+    tombstoned = static_cast<int64_t>(tombstones->size());
+    if (auto manifest = internal::ReadMaskStoreManifest(gen_root);
+        manifest.ok()) {
+      physical = static_cast<int64_t>(manifest->sizes.size());
+      for (const MaskId t : *tombstones) {
+        if (t >= 0 && t < physical) dead_bytes += manifest->sizes[t];
+      }
+    }
+  }
+  std::printf("maintenance:\n");
+  std::printf("  generation: %lld\n", static_cast<long long>(*gen));
+  if (physical >= 0) {
+    std::printf("  live masks: %lld  tombstoned: %lld  dead bytes: %.2f MiB\n",
+                static_cast<long long>(physical - tombstoned),
+                static_cast<long long>(tombstoned), dead_bytes / 1048576.0);
+  }
+  auto counters = ReadMaintenanceCounters(dir);
+  if (!counters.ok()) {
+    std::printf("  counters: unreadable (%s)\n",
+                counters.status().ToString().c_str());
+    return;
+  }
+  std::printf("  compactions completed: %lld (%lld failed)\n",
+              static_cast<long long>(counters->compactions_completed),
+              static_cast<long long>(counters->compactions_failed));
+  if (counters->compactions_completed > 0) {
+    std::printf("  last compaction: %.2f ms (swap pause %.2f ms), "
+                "to generation %lld\n",
+                counters->last_compaction_ms, counters->last_swap_pause_ms,
+                static_cast<long long>(counters->last_generation));
+    std::printf("  totals: %.2f MiB copied, %.2f MiB reclaimed, "
+                "%lld masks dropped\n",
+                counters->bytes_copied_total / 1048576.0,
+                counters->dead_bytes_reclaimed_total / 1048576.0,
+                static_cast<long long>(counters->masks_dropped_total));
+  }
+}
+
 int RunStats(const Args& args) {
   if (!args.Has("dir")) return Usage();
   const std::shared_ptr<BufferPool> pool =
@@ -964,6 +1030,7 @@ int RunStats(const Args& args) {
   std::printf("  physical reads: %llu masks, %.2f MiB\n",
               static_cast<unsigned long long>(s.masks_loaded()),
               s.bytes_read() / 1048576.0);
+  PrintMaintenanceSection(args.Get("dir"));
   if (pool != nullptr) {
     const CacheStats stats = pool->Stats();
     std::printf("cache: %s\n", stats.ToString().c_str());
@@ -1183,7 +1250,13 @@ int RunIngest(const Args& args) {
       << 20;
   iopts.cache_shards = static_cast<int32_t>(args.GetInt("cache-shards", 8));
 
-  const bool resume = std::filesystem::exists(MaskStoreManifestPath(dir));
+  // Generation-aware resume probe: a compacted store keeps its manifest in
+  // the current generation directory, not the store root.
+  bool resume = false;
+  if (auto gen = ReadStoreGeneration(dir); gen.ok()) {
+    resume = std::filesystem::exists(
+        MaskStoreManifestPath(GenerationDir(dir, *gen)));
+  }
   auto opened = resume ? Ingestor::Open(dir, iopts)
                        : Ingestor::Create(dir, iopts);
   if (!opened.ok()) {
@@ -1253,7 +1326,17 @@ int RunIngest(const Args& args) {
   }
 
   // The write side: --count appends across --epochs publishes, image ids
-  // continuing from the resumed watermark.
+  // continuing from the resumed watermark. --delete-every N tombstones
+  // every N-th appended mask right after its append (before any compaction
+  // can renumber it); --compact-every E rewrites the store into a fresh
+  // generation after every E-th publish.
+  const int64_t delete_every = args.GetInt("delete-every", 0);
+  const int64_t compact_every = args.GetInt("compact-every", 0);
+  Compactor compactor(&ing);
+  int64_t deletes_done = 0;
+  int64_t publishes_done = 0;
+  int64_t compactions_done = 0;
+  int64_t compactions_failed = 0;
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
   SaliencySpec spec;
   spec.width = spec.height = side;
@@ -1274,11 +1357,32 @@ int RunIngest(const Args& args) {
                    id.status().ToString().c_str());
       return 1;
     }
+    if (delete_every > 0 && (i + 1) % delete_every == 0) {
+      const Status st = ing.Delete(*id);
+      if (!st.ok()) {
+        std::fprintf(stderr, "delete failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      ++deletes_done;
+    }
     if ((i + 1) % per_epoch == 0 || i + 1 == count) {
       const Status st = ing.Publish();
       if (!st.ok()) {
         std::fprintf(stderr, "publish failed: %s\n", st.ToString().c_str());
         return 1;
+      }
+      ++publishes_done;
+      if (compact_every > 0 && publishes_done % compact_every == 0) {
+        auto stats = compactor.Compact();
+        if (stats.ok()) {
+          ++compactions_done;
+          std::printf("completed compaction: %s\n",
+                      stats->ToString().c_str());
+        } else {
+          ++compactions_failed;
+          std::fprintf(stderr, "compaction failed: %s\n",
+                       stats.status().ToString().c_str());
+        }
       }
     }
   }
@@ -1294,6 +1398,15 @@ int RunIngest(const Args& args) {
               static_cast<long long>(ing.epoch()),
               static_cast<long long>(ing.watermark()));
   std::printf("-- %s\n", ing.Stats().ToString().c_str());
+  if (delete_every > 0 || compact_every > 0) {
+    const MaintenanceCounters mc = compactor.Counters();
+    std::printf("deleted %lld masks, reclaimed %.2f MiB\n",
+                static_cast<long long>(deletes_done),
+                mc.dead_bytes_reclaimed_total / 1048576.0);
+    std::printf("compactions completed: %lld (%lld failed)\n",
+                static_cast<long long>(compactions_done),
+                static_cast<long long>(compactions_failed));
+  }
   if (serve_queries > 0) {
     std::printf("served %lld queries while ingesting (%lld failed)\n",
                 static_cast<long long>(queries_ok.load()),
@@ -1305,6 +1418,53 @@ int RunIngest(const Args& args) {
       return 1;
     }
   }
+  return 0;
+}
+
+// One offline compaction run: open the store's current generation, rewrite
+// its live masks into the next one (optionally re-sharding), and report the
+// stats. The same Compactor the maintenance scheduler drives online.
+int RunCompact(const Args& args) {
+  if (!args.Has("dir")) return Usage();
+  const std::string dir = args.Get("dir");
+
+  auto gen = ReadStoreGeneration(dir);
+  if (!gen.ok() ||
+      !std::filesystem::exists(MaskStoreManifestPath(GenerationDir(dir, *gen)))) {
+    std::fprintf(stderr, "no mask store at %s\n", dir.c_str());
+    return 1;
+  }
+  IngestorOptions iopts;
+  auto opened = Ingestor::Open(dir, iopts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  Ingestor& ing = **opened;
+
+  CompactorOptions copts;
+  copts.target_num_shards = static_cast<int32_t>(args.GetInt("shards", 0));
+  if (args.Has("throttle-mib")) {
+    copts.throttle_bytes_per_sec =
+        static_cast<double>(args.GetInt("throttle-mib", 256)) * 1048576.0;
+  }
+  Compactor compactor(&ing, copts);
+  auto stats = compactor.Compact();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "compaction failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("completed compaction: generation %lld, copied %lld masks "
+              "(%.2f MiB), dropped %lld, reclaimed %.2f MiB in %.2f ms "
+              "(swap pause %.2f ms)\n",
+              static_cast<long long>(stats->generation),
+              static_cast<long long>(stats->masks_copied),
+              stats->bytes_copied / 1048576.0,
+              static_cast<long long>(stats->masks_dropped),
+              stats->dead_bytes_reclaimed / 1048576.0, stats->total_ms,
+              stats->swap_pause_ms);
   return 0;
 }
 
@@ -1330,6 +1490,7 @@ int main(int argc, char** argv) {
   if (args.command == "client") return RunClient(args);
   if (args.command == "explain") return RunExplain(args);
   if (args.command == "ingest") return RunIngest(args);
+  if (args.command == "compact") return RunCompact(args);
   if (args.command == "shard") return RunShard(args);
   if (args.command == "import") return RunImport(args);
   if (args.command == "export") return RunExport(args);

@@ -101,18 +101,28 @@ for key in closed_scaling_8x closed_clients_8_qps closed8_p99_ms \
   fi
 done
 
-# The streaming-ingest driver must record both phases: pure ingest
-# throughput + publish pauses, and the query-latency/throughput
-# interference profile while ingesting (docs/INGEST.md).
+# The streaming-ingest driver must record all three phases: pure ingest
+# throughput + publish pauses, the query-latency/throughput interference
+# profile while ingesting (docs/INGEST.md), and the compact-under-load
+# maintenance profile (docs/COMPACTION.md) — including a non-zero
+# dead_bytes_reclaimed, proving the tombstone -> compaction path sheds
+# real disk weight.
 for key in ingest_masks_per_sec ingest_mb_per_sec publish_p99_ms \
            chis_built query_p50_while_ingesting_ms \
            query_p99_while_ingesting_ms query_qps_while_ingesting \
-           ingest_masks_per_sec_while_serving epochs_published; do
+           ingest_masks_per_sec_while_serving epochs_published \
+           compact_mb_per_sec dead_bytes_reclaimed \
+           query_p99_while_compacting_ms compact_swap_pause_p99_ms; do
   if ! grep -q "\"$key\"" "$JSON_DIR/BENCH_bench_ingest.json" 2>/dev/null; then
     echo "MISSING: $key not in BENCH_bench_ingest.json" >&2
     status=1
   fi
 done
+if grep -q '"dead_bytes_reclaimed": 0,\?$' \
+    "$JSON_DIR/BENCH_bench_ingest.json" 2>/dev/null; then
+  echo "FAILED: dead_bytes_reclaimed is zero — compaction reclaimed nothing" >&2
+  status=1
+fi
 
 # Every narrative driver's JSON must record which cache mode ran (the
 # --warmup-passes / --cold satellite of the cache subsystem).
