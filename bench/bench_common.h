@@ -31,11 +31,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "masksearch/masksearch.h"
+#include "masksearch/version.h"
 
 namespace masksearch {
 namespace bench {
@@ -240,6 +242,18 @@ class JsonReport {
     const std::string path = out_dir_ + "/BENCH_" + driver_ + ".json";
     std::string json = "{\n  \"driver\": \"" + driver_ + "\",\n";
     char buf[64];
+    // Provenance stamps: which commit, when, and at what optimization
+    // level these numbers were produced. Without them a BENCH_*.json in
+    // the perf-trajectory artifact is unattributable.
+    json += "  \"git_sha\": \"" + std::string(GitSha()) + "\",\n";
+    {
+      const std::time_t now = std::time(nullptr);
+      std::tm utc{};
+      gmtime_r(&now, &utc);
+      std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+      json += "  \"utc_timestamp\": \"" + std::string(buf) + "\",\n";
+    }
+    json += "  \"build_type\": \"" + std::string(BuildTypeString()) + "\",\n";
     std::snprintf(buf, sizeof(buf), "%.6f", start_.ElapsedSeconds());
     json += "  \"wall_seconds\": " + std::string(buf) + ",\n";
     json += "  \"metrics\": {";

@@ -36,6 +36,14 @@
 //      mid-run and records failover_error_budget, the typed errors that
 //      leaked past the router's retry budget (0 when failover absorbs the
 //      kill).
+//   6. tracing overhead (docs/OBSERVABILITY.md): warm closed-loop qps
+//      untraced vs 1% trace sampling vs full tracing with a slow-query
+//      log; records tracing_{disabled,sampled,full}_overhead_pct — the
+//      acceptance gates that observability stays near-free.
+//   7. record/replay: a loopback-TCP session recorded at wire admission,
+//      then replayed closed-loop through the same catalog; records
+//      replay_mix_exact (replay reproduces the recorded request count and
+//      per-class mix exactly).
 //
 // The open loop additionally measures client-observed latency-under-SLO
 // per priority class (interactive 50 ms, normal 250 ms, batch 2 s on the
@@ -203,11 +211,17 @@ struct PhaseResult {
 };
 
 /// Closed loop: `clients` threads, each issuing its stream back-to-back.
+/// `trace_sample_rate` / `slow_log` switch on the observability path for
+/// the tracing-overhead phase; the defaults leave it off.
 PhaseResult RunClosedLoop(Session* session, size_t clients,
-                          size_t requests_per_client) {
+                          size_t requests_per_client,
+                          double trace_sample_rate = 0,
+                          obs::SlowQueryLog* slow_log = nullptr) {
   QueryServiceOptions qopts;
   qopts.num_workers = clients;
   qopts.max_queue_depth = 4 * clients;
+  qopts.trace_sample_rate = trace_sample_rate;
+  qopts.slow_query_log = slow_log;
   auto service = QueryService::Start(session, qopts).ValueOrDie();
 
   std::vector<std::vector<ServiceRequest>> streams;
@@ -632,6 +646,129 @@ void Run(const BenchFlags& flags) {
     RecordMetric("failover_qps", fq);
     RecordMetric("failover_error_budget", static_cast<double>(leaked));
     RecordMetric("failover_retries", static_cast<double>(fstats.retries));
+  }
+
+  // --- phase 6: tracing overhead --------------------------------------------
+  // The observability acceptance gate (docs/OBSERVABILITY.md): the tracing
+  // spine must be near-free. Four measured warm-cache closed-loop passes
+  // over the already-warm pool: an untraced baseline, a second untraced
+  // pass (what "disabled" costs is indistinguishable from run-to-run
+  // noise, and this records that noise floor), 1% sampling, and full
+  // tracing with a slow-query log attached (every request traced and
+  // offered; the sky-high threshold keeps the ring empty so render cost
+  // stays out of the measurement). Overheads are relative to the baseline,
+  // clamped at 0 when the instrumented run came out faster.
+  {
+    // One unmeasured pass first: phases 4/5 ran against other stores, so
+    // this settles the pool back to steady state before the baseline.
+    RunClosedLoop(cached.session.get(), 4, requests_per_client);
+    const PhaseResult base =
+        RunClosedLoop(cached.session.get(), 4, requests_per_client);
+    const PhaseResult disabled =
+        RunClosedLoop(cached.session.get(), 4, requests_per_client);
+    const PhaseResult sampled =
+        RunClosedLoop(cached.session.get(), 4, requests_per_client,
+                      /*trace_sample_rate=*/0.01);
+    obs::SlowQueryLog::Options lopts;
+    lopts.threshold_seconds = 3600.0;
+    lopts.capacity = 16;
+    obs::SlowQueryLog slow_log(lopts);
+    const PhaseResult full =
+        RunClosedLoop(cached.session.get(), 4, requests_per_client,
+                      /*trace_sample_rate=*/1.0, &slow_log);
+    auto overhead_pct = [](double baseline, double measured) {
+      if (baseline <= 0) return 0.0;
+      return std::max(0.0, (baseline - measured) / baseline * 100.0);
+    };
+    const double disabled_pct = overhead_pct(base.qps(), disabled.qps());
+    const double sampled_pct = overhead_pct(base.qps(), sampled.qps());
+    const double full_pct = overhead_pct(base.qps(), full.qps());
+    std::printf("\n[tracing overhead] warm closed loop x4 clients: untraced "
+                "%6.1f qps, untraced again %6.1f qps (%.2f%%), 1%% sampling "
+                "%6.1f qps (%.2f%%, target < 5%%), full trace + slow log "
+                "%6.1f qps (%.2f%%)\n",
+                base.qps(), disabled.qps(), disabled_pct, sampled.qps(),
+                sampled_pct, full.qps(), full_pct);
+    RecordMetric("warm_qps_untraced", base.qps());
+    RecordMetric("warm_qps_traced", sampled.qps());
+    RecordMetric("warm_qps_full_trace", full.qps());
+    RecordMetric("tracing_disabled_overhead_pct", disabled_pct);
+    RecordMetric("tracing_sampled_overhead_pct", sampled_pct);
+    RecordMetric("tracing_full_overhead_pct", full_pct);
+  }
+
+  // --- phase 7: record / replay ---------------------------------------------
+  // A live session served over loopback TCP is recorded at wire admission
+  // (docs/OBSERVABILITY.md), then the recorded trace is replayed closed-loop
+  // through the same catalog. replay_mix_exact is the acceptance gate: the
+  // replay must reproduce the recorded request count and per-class mix
+  // exactly (1 = exact, 0 = drift).
+  {
+    DatasetConfig config;
+    config.store.throttle = std::make_shared<DiskThrottle>(
+        flags.bandwidth_mib * 1024 * 1024, flags.latency_us, queue_depth);
+    config.store.batch_max_bytes = 1;
+    config.session.chi = PaperChiConfig(bench.spec);
+    config.session.index_path = bench.dir + "/serving_default.chi";
+    config.session.filter_verify_batch = 32;
+    config.session.agg_verify_batch = 16;
+    config.service.num_workers = 8;
+    config.service.max_queue_depth = 64;
+    Catalog catalog;
+    catalog.Register("serving", bench.dir, config).ValueOrDie();
+
+    const std::string trace_path = flags.data_dir + "/serving_session.trace";
+    auto recorder = obs::TraceRecorder::Open(trace_path).ValueOrDie();
+    net::NetServerOptions sopts;
+    sopts.recorder = recorder.get();
+    auto server = net::NetServer::Start(&catalog, sopts).ValueOrDie();
+
+    const size_t n_record = 3 * requests_per_client;
+    std::array<uint64_t, kNumPriorityClasses> sent_by_class{};
+    auto client =
+        net::NetClient::Connect("127.0.0.1", server->port()).ValueOrDie();
+    for (size_t i = 0; i < n_record; ++i) {
+      const auto priority =
+          static_cast<PriorityClass>(i % kNumPriorityClasses);
+      ++sent_by_class[static_cast<size_t>(priority)];
+      const std::string sql =
+          "SELECT mask_id FROM MasksDatabaseView "
+          "WHERE CP(mask, object, (0.5, 1.0)) > " +
+          std::to_string(100 + 37 * (i % 16)) + ";";
+      client->Query("serving", sql, static_cast<int64_t>(i % 4), priority)
+          .status()
+          .CheckOK();
+    }
+    client.reset();
+    server->Stop();
+    recorder->Flush();
+    RecordMetric("record_requests", static_cast<double>(recorder->recorded()));
+
+    ReplayOptions ropts;
+    ropts.open_loop = false;
+    ropts.closed_loop_clients = 4;
+    const ReplayStats rstats =
+        ReplayTraceFile(&catalog, trace_path, ropts).ValueOrDie();
+    bool mix_exact = rstats.submitted == n_record;
+    for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+      if (rstats.by_class[c] != sent_by_class[c]) mix_exact = false;
+    }
+    const double replay_qps = rstats.wall_seconds > 0
+                                  ? static_cast<double>(rstats.completed) /
+                                        rstats.wall_seconds
+                                  : 0;
+    std::printf("\n[record/replay] recorded %llu wire requests, replayed "
+                "%llu (completed %llu, failed %llu) at %6.1f qps; per-class "
+                "mix %s\n",
+                static_cast<unsigned long long>(recorder->recorded()),
+                static_cast<unsigned long long>(rstats.submitted),
+                static_cast<unsigned long long>(rstats.completed),
+                static_cast<unsigned long long>(rstats.failed), replay_qps,
+                mix_exact ? "exact" : "DRIFTED");
+    RecordMetric("replay_requests", static_cast<double>(rstats.submitted));
+    RecordMetric("replay_qps", replay_qps);
+    RecordMetric("replay_mix_exact", mix_exact ? 1 : 0);
+    catalog.ShutdownAll();
   }
 }
 

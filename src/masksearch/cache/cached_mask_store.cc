@@ -5,12 +5,45 @@
 #include <utility>
 #include <vector>
 
+#include "masksearch/obs/metrics.h"
+#include "masksearch/obs/trace.h"
+
 namespace masksearch {
 
 namespace {
 
 uint64_t ChargeFor(const Mask& mask) {
   return mask.ByteSize() + kCacheEntryOverheadBytes;
+}
+
+/// Process-wide mirrors of the per-store hit/miss counters
+/// (docs/OBSERVABILITY.md). Registry pointers are stable for the process
+/// lifetime, so caching them in a static is safe across ResetForTest.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  CacheMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    hits = reg.GetCounter("ms_cache_mask_hits_total");
+    misses = reg.GetCounter("ms_cache_mask_misses_total");
+  }
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+void CountHit(std::atomic<uint64_t>& local) {
+  local.fetch_add(1, std::memory_order_relaxed);
+  Metrics().hits->Inc();
+  obs::Trace::CurrentAddCount("cache_hits", 1);
+}
+
+void CountMiss(std::atomic<uint64_t>& local) {
+  local.fetch_add(1, std::memory_order_relaxed);
+  Metrics().misses->Inc();
+  obs::Trace::CurrentAddCount("cache_misses", 1);
 }
 
 }  // namespace
@@ -48,10 +81,11 @@ size_t CachedMaskStore::CountResident(const std::vector<MaskId>& ids) const {
 Result<BufferPool::Pin> CachedMaskStore::PinMask(MaskId id) const {
   BufferPool::Pin pin = pool_->Lookup(KeyFor(id));
   if (pin) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    CountHit(hits_);
     return pin;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  CountMiss(misses_);
+  MS_TRACE_SPAN("cache_miss_load");
   MS_ASSIGN_OR_RETURN(Mask mask, inner_->LoadMask(id));
   auto value = std::make_shared<const Mask>(std::move(mask));
   const uint64_t bytes = ChargeFor(*value);
@@ -93,15 +127,16 @@ Result<std::vector<Mask>> CachedMaskStore::LoadMaskBatch(
   for (size_t u = 0; u < uniq.size(); ++u) {
     pins[u] = pool_->Lookup(KeyFor(uniq[u]));
     if (pins[u]) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      CountHit(hits_);
     } else {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      CountMiss(misses_);
       missing.push_back(uniq[u]);
       missing_slot.push_back(u);
     }
   }
 
   if (!missing.empty()) {
+    MS_TRACE_SPAN("cache_miss_load");
     // One coalesced, shard-parallel inner batch for all misses.
     MS_ASSIGN_OR_RETURN(std::vector<Mask> loaded,
                         inner_->LoadMaskBatch(missing));
@@ -135,10 +170,10 @@ Result<Mask> CachedMaskStore::LoadMaskRows(MaskId id, int32_t y0,
   }
   BufferPool::Pin pin = pool_->Lookup(KeyFor(id));
   if (!pin) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    CountMiss(misses_);
     return inner_->LoadMaskRows(id, y0, y1);
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  CountHit(hits_);
   const Mask& full = *static_cast<const Mask*>(pin.get());
   std::vector<float> values(static_cast<size_t>(m.width) * (y1 - y0));
   std::memcpy(values.data(), full.row(y0), values.size() * sizeof(float));

@@ -7,6 +7,11 @@
 namespace masksearch {
 
 Dataset::~Dataset() {
+  // The collector reads the session / pool / ingestor below — detach it
+  // before anything it scrapes is torn down.
+  if (metrics_collector_ != 0) {
+    obs::MetricsRegistry::Default().RemoveCollector(metrics_collector_);
+  }
   // Stop background maintenance first so no compaction swap lands while
   // the service drains its in-flight (snapshot-pinning) queries.
   if (scheduler_ != nullptr) (void)scheduler_->Stop();
@@ -76,6 +81,32 @@ Result<Dataset*> Catalog::Register(const std::string& name,
       dataset->service_,
       QueryService::Start(dataset->session_.get(), service_opts));
 
+  // Cache gauges whose truth lives in the pool / session, refreshed at
+  // scrape time (docs/OBSERVABILITY.md). Labeled per dataset so a catalog
+  // serving several stores stays distinguishable.
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    const std::string label = "{dataset=\"" + name + "\"}";
+    std::shared_ptr<BufferPool> pool = config.store.cache;
+    ChiCache* chi = dataset->session_->chi_cache();
+    obs::Gauge* hit_ratio =
+        reg.GetGauge("ms_cache_buffer_pool_hit_ratio" + label);
+    obs::Gauge* resident =
+        reg.GetGauge("ms_cache_buffer_pool_resident_bytes" + label);
+    obs::Gauge* chi_resident = reg.GetGauge("ms_cache_chi_resident" + label);
+    dataset->metrics_collector_ =
+        reg.AddCollector([pool, chi, hit_ratio, resident, chi_resident] {
+          if (pool != nullptr) {
+            const CacheStats s = pool->Stats();
+            hit_ratio->Set(s.HitRatio());
+            resident->Set(static_cast<double>(s.resident_bytes));
+          }
+          if (chi != nullptr) {
+            chi_resident->Set(static_cast<double>(chi->size()));
+          }
+        });
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = datasets_.emplace(name, std::move(dataset));
   if (!inserted) {
@@ -125,6 +156,26 @@ Result<Dataset*> Catalog::RegisterLive(const std::string& name,
   };
   MS_ASSIGN_OR_RETURN(dataset->service_,
                       QueryService::Start(nullptr, service_opts));
+
+  // Live-dataset gauges: the published epoch and the shared ingest CHI
+  // cache's residency, read through the current snapshot at scrape time.
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    const std::string label = "{dataset=\"" + name + "\"}";
+    Ingestor* ingestor = dataset->ingestor_.get();
+    obs::Gauge* epoch = reg.GetGauge("ms_live_epoch" + label);
+    obs::Gauge* chi_resident = reg.GetGauge("ms_cache_chi_resident" + label);
+    dataset->metrics_collector_ =
+        reg.AddCollector([ingestor, epoch, chi_resident] {
+          epoch->Set(static_cast<double>(ingestor->epoch()));
+          std::shared_ptr<const Snapshot> snap = ingestor->snapshot();
+          if (snap != nullptr && snap->session() != nullptr &&
+              snap->session()->chi_cache() != nullptr) {
+            chi_resident->Set(
+                static_cast<double>(snap->session()->chi_cache()->size()));
+          }
+        });
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = datasets_.emplace(name, std::move(dataset));

@@ -26,6 +26,7 @@
 #include "masksearch/exec/session.h"
 #include "masksearch/ingest/ingestor.h"
 #include "masksearch/maintain/scheduler.h"
+#include "masksearch/obs/metrics.h"
 #include "masksearch/service/query_service.h"
 #include "masksearch/storage/mask_store.h"
 
@@ -134,6 +135,11 @@ class Dataset {
   std::unique_ptr<MaintenanceScheduler> scheduler_;
   std::unique_ptr<QueryService> service_;
   Submitter submitter_;
+  /// Scrape-time collector refreshing this dataset's cache gauges
+  /// (buffer-pool hit ratio / residency, CHI-cache residency, live epoch)
+  /// in the default MetricsRegistry; removed first in ~Dataset, before the
+  /// components the callback reads die. 0 = none registered.
+  size_t metrics_collector_ = 0;
 };
 
 /// \brief Thread-safe name → Dataset registry. Registration normally

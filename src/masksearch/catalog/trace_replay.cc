@@ -1,0 +1,189 @@
+#include "masksearch/catalog/trace_replay.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "masksearch/catalog/prepared.h"
+#include "masksearch/sql/binder.h"
+
+namespace masksearch {
+
+namespace {
+
+/// One trace line, bound and ready to submit.
+struct BoundReplayRequest {
+  Dataset* dataset = nullptr;
+  ServiceRequest sreq;
+  std::string sqltext;
+  double at_ms = 0;
+};
+
+/// Binding happens up front, on the caller's thread: a replay measures the
+/// serving path, so parse/bind cost must not ride inside the arrival
+/// process. Per-line failures come back as a count, not an error — a
+/// recorded workload may contain lines a schema change broke.
+Result<std::vector<BoundReplayRequest>> BindAll(
+    Catalog* catalog, const std::vector<obs::RecordedRequest>& requests,
+    const ReplayOptions& options, ReplayStats* stats) {
+  std::vector<BoundReplayRequest> bound;
+  bound.reserve(requests.size());
+  for (const obs::RecordedRequest& r : requests) {
+    const std::string& name =
+        options.dataset_override.empty() ? r.dataset : options.dataset_override;
+    Dataset* ds = catalog->Find(name);
+    if (ds == nullptr) {
+      return Status::NotFound("replay: unknown dataset '" + name + "'");
+    }
+    BoundReplayRequest b;
+    b.dataset = ds;
+    b.at_ms = r.at_ms;
+    b.sqltext = r.sql;
+    b.sreq.tenant = r.tenant;
+    b.sreq.trace_id = r.trace_id;
+    if (r.deadline_ms > 0) b.sreq.deadline_seconds = r.deadline_ms * 1e-3;
+    auto priority = ParsePriorityClass(r.priority_class);
+    if (!priority.ok()) return priority.status();
+    b.sreq.priority = *priority;
+    if (r.params.empty()) {
+      auto parsed = sql::ParseAndBind(r.sql);
+      if (!parsed.ok()) {
+        ++stats->failed;
+        continue;
+      }
+      b.sreq.query = RequestFromBound(*parsed);
+    } else {
+      auto stmt = PreparedStatement::Prepare(r.sql);
+      if (!stmt.ok()) {
+        ++stats->failed;
+        continue;
+      }
+      auto query = (*stmt)->BindRequest(r.params);
+      if (!query.ok()) {
+        ++stats->failed;
+        continue;
+      }
+      b.sreq.query = std::move(*query);
+    }
+    bound.push_back(std::move(b));
+  }
+  return bound;
+}
+
+}  // namespace
+
+Result<ReplayStats> ReplayTrace(
+    Catalog* catalog, const std::vector<obs::RecordedRequest>& requests,
+    const ReplayOptions& options) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  if (requests.empty()) {
+    return Status::InvalidArgument("replay: empty trace");
+  }
+  if (options.speed <= 0) {
+    return Status::InvalidArgument("replay: speed must be positive");
+  }
+  ReplayStats stats;
+  MS_ASSIGN_OR_RETURN(std::vector<BoundReplayRequest> bound,
+                      BindAll(catalog, requests, options, &stats));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::mutex mu;
+  auto finish = [&](const Result<QueryResponse>& result) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (result.ok()) {
+      ++stats.completed;
+    } else {
+      ++stats.failed;
+    }
+  };
+
+  if (options.open_loop) {
+    // One dispatcher reproduces the arrival process; completions are
+    // counted from the services' worker threads via NotifyDone. Arrival
+    // offsets are rebased to the first recorded request: at_ms counts from
+    // the recorder's open (server start), and the dead air before the
+    // session's first request is not part of its load shape.
+    double base_ms = bound.empty() ? 0 : bound.front().at_ms;
+    for (const BoundReplayRequest& b : bound) {
+      base_ms = std::min(base_ms, b.at_ms);
+    }
+    std::atomic<uint64_t> outstanding{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    for (BoundReplayRequest& b : bound) {
+      const auto due =
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       (b.at_ms - base_ms) / options.speed));
+      std::this_thread::sleep_until(due);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats.submitted;
+        ++stats.by_class[static_cast<size_t>(b.sreq.priority)];
+      }
+      auto submitted = b.dataset->Submit(std::move(b.sreq), b.sqltext);
+      if (!submitted.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats.failed;
+        continue;
+      }
+      outstanding.fetch_add(1);
+      std::shared_ptr<PendingQuery> pending = *submitted;
+      pending->NotifyDone([&, pending] {
+        finish(pending->Wait());
+        if (outstanding.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          done_cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return outstanding.load() == 0; });
+  } else {
+    const int clients = std::max(1, options.closed_loop_clients);
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= bound.size()) return;
+          BoundReplayRequest& b = bound[i];
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            ++stats.submitted;
+            ++stats.by_class[static_cast<size_t>(b.sreq.priority)];
+          }
+          auto submitted = b.dataset->Submit(std::move(b.sreq), b.sqltext);
+          if (!submitted.ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            ++stats.failed;
+            continue;
+          }
+          finish((*submitted)->Wait());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return stats;
+}
+
+Result<ReplayStats> ReplayTraceFile(Catalog* catalog, const std::string& path,
+                                    const ReplayOptions& options) {
+  MS_ASSIGN_OR_RETURN(std::vector<obs::RecordedRequest> requests,
+                      obs::LoadTrace(path));
+  return ReplayTrace(catalog, requests, options);
+}
+
+}  // namespace masksearch

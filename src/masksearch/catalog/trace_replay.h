@@ -1,0 +1,64 @@
+// Trace replayer (docs/OBSERVABILITY.md): re-issues a recorded serve
+// session (obs/recorder.h) against a catalog. Two drive modes:
+//
+//  - open loop (default): one dispatcher thread reproduces the recorded
+//    arrival process — request i is submitted at at_ms[i] / speed after
+//    start, whether or not earlier requests have finished. This replays
+//    the load shape, including bursts that shed.
+//  - closed loop: N clients issue the recorded requests in order, each
+//    waiting for its request to finish before taking the next. This
+//    replays the work, not the timing — the bench_service shape.
+//
+// Either way the replay preserves the recorded request count and per-class
+// mix exactly: every line becomes exactly one submission, counted under
+// its recorded priority class.
+
+#ifndef MASKSEARCH_CATALOG_TRACE_REPLAY_H_
+#define MASKSEARCH_CATALOG_TRACE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "masksearch/catalog/catalog.h"
+#include "masksearch/obs/recorder.h"
+
+namespace masksearch {
+
+struct ReplayOptions {
+  /// Reproduce recorded arrival times (true) or drive closed-loop (false).
+  bool open_loop = true;
+  /// Open-loop time scale: 2.0 replays at twice the recorded rate.
+  double speed = 1.0;
+  /// Closed-loop concurrency.
+  int closed_loop_clients = 4;
+  /// Dataset override: when nonempty, every request targets this dataset
+  /// instead of the one recorded (replaying a production trace against a
+  /// local copy under another name).
+  std::string dataset_override;
+};
+
+struct ReplayStats {
+  uint64_t submitted = 0;  ///< every successfully bound + admitted request
+  uint64_t completed = 0;  ///< finished OK
+  uint64_t failed = 0;     ///< bind errors, sheds, execution failures
+  /// Submissions per recorded priority class, indexed by PriorityClass.
+  uint64_t by_class[kNumPriorityClasses] = {};
+  double wall_seconds = 0;
+};
+
+/// \brief Replays `requests` against `catalog` per `options`. Fails fast
+/// on an empty trace or an unknown dataset; per-request errors (a line
+/// whose SQL no longer parses, a shed under open-loop burst) are counted
+/// in `failed`, not fatal.
+Result<ReplayStats> ReplayTrace(Catalog* catalog,
+                                const std::vector<obs::RecordedRequest>& requests,
+                                const ReplayOptions& options = {});
+
+/// \brief LoadTrace + ReplayTrace convenience.
+Result<ReplayStats> ReplayTraceFile(Catalog* catalog, const std::string& path,
+                                    const ReplayOptions& options = {});
+
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_CATALOG_TRACE_REPLAY_H_

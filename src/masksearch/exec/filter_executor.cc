@@ -7,6 +7,7 @@
 #include "masksearch/common/latch.h"
 #include "masksearch/common/stopwatch.h"
 #include "masksearch/exec/evaluator.h"
+#include "masksearch/obs/trace.h"
 
 namespace masksearch {
 
@@ -65,11 +66,16 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
   std::atomic<int64_t> prefetch_skips{0};
   std::atomic<bool> failed{false};
 
+  // Pool tasks below run on threads without the request's trace installed;
+  // capture it here and reinstall inside each task (docs/OBSERVABILITY.md).
+  obs::Trace* const trace = obs::Trace::Current();
+
   if (!opts.batch_io) {
     // Fused per-mask path: a mask that cannot be decided from bounds is
     // loaded immediately by the same task. One modeled disk request per
     // verified mask — the pre-batching schedule, kept for comparison runs.
     ParallelFor(opts.pool, ids.size(), [&](size_t i) {
+      obs::TraceScope trace_scope(trace);
       if (failed.load(std::memory_order_relaxed)) return;
       const MaskId id = ids[i];
       outcomes[i] = ClassifyFromBounds(store, index, query, opts, id);
@@ -105,9 +111,12 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
     // mask_agg.cc — the load unit here is a whole batch rather than a
     // group and there is no fold/pruning interplay, but scheduling
     // semantics changes must be mirrored there.
-    ParallelFor(opts.pool, ids.size(), [&](size_t i) {
-      outcomes[i] = ClassifyFromBounds(store, index, query, opts, ids[i]);
-    });
+    {
+      MS_TRACE_SPAN("filter_classify");
+      ParallelFor(opts.pool, ids.size(), [&](size_t i) {
+        outcomes[i] = ClassifyFromBounds(store, index, query, opts, ids[i]);
+      });
+    }
     std::vector<size_t> verify_idx;
     for (size_t i = 0; i < ids.size(); ++i) {
       if (outcomes[i] == Outcome::kVerifiedFail) verify_idx.push_back(i);
@@ -151,7 +160,9 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
         }
         b->done = std::make_shared<Latch>(1);
         drain_on_exit.Add(b->done);
-        opts.io_pool->Submit([&store, b, batch_ids] {
+        opts.io_pool->Submit([&store, b, batch_ids, trace] {
+          obs::TraceScope trace_scope(trace);
+          MS_TRACE_SPAN("io_load_batch");
           b->masks = store.LoadMaskBatch(batch_ids);
           b->done->CountDown();
         });
@@ -162,11 +173,17 @@ Result<FilterResult> ExecuteFilter(const MaskStore& store, IndexManager* index,
     };
 
     auto FinishLoad = [&](BatchLoad& b) {
-      // Cooperative wait: a service worker running this executor may itself
-      // be a task of io_pool; helping drains queued loads instead of
-      // deadlocking the pool against its own pipeline.
-      if (b.done != nullptr) WaitHelping(b.done.get(), opts.io_pool);
-      if (!b.deferred_ids.empty()) b.masks = store.LoadMaskBatch(b.deferred_ids);
+      {
+        MS_TRACE_SPAN("io_wait");
+        // Cooperative wait: a service worker running this executor may
+        // itself be a task of io_pool; helping drains queued loads instead
+        // of deadlocking the pool against its own pipeline.
+        if (b.done != nullptr) WaitHelping(b.done.get(), opts.io_pool);
+        if (!b.deferred_ids.empty()) {
+          b.masks = store.LoadMaskBatch(b.deferred_ids);
+        }
+      }
+      MS_TRACE_SPAN("filter_verify");
       const size_t n = b.idxs.size();
       loaded.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
       int64_t blob_bytes = 0;

@@ -11,6 +11,7 @@
 #include "masksearch/exec/evaluator.h"
 #include "masksearch/index/chi_builder.h"
 #include "masksearch/kernels/agg_kernels.h"
+#include "masksearch/obs/trace.h"
 
 namespace masksearch {
 
@@ -297,6 +298,10 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
     return ComputeGroup(gs, std::move(masks), stats);
   };
 
+  // Pool tasks below run on threads without the request's trace installed;
+  // capture it here and reinstall inside each task (docs/OBSERVABILITY.md).
+  obs::Trace* const trace = obs::Trace::Current();
+
   // ---- overlapped verification pipeline ----
   //
   // With opts.io_pool set, a batch's member loads are issued as io_pool
@@ -361,7 +366,9 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
           const std::vector<MaskId>* members = states[b.idxs[j]].members;
           auto loads = b.loads;
           auto done = b.done;
-          opts.io_pool->Submit([&, loads, done, members, j] {
+          opts.io_pool->Submit([&, loads, done, members, j, trace] {
+            obs::TraceScope trace_scope(trace);
+            MS_TRACE_SPAN("io_load_group");
             GroupLoad& gl = (*loads)[j];
             gl.masks = LoadMembers(*members, &gl.stats);
             done->CountDown();
@@ -382,11 +389,16 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
     std::vector<ExecStats> local(n);
     std::vector<Status> statuses(n, Status::OK());
     if (b.loads != nullptr) {
-      // Cooperative wait: a service worker running this executor may itself
-      // be a task of io_pool; helping drains queued loads instead of
-      // deadlocking the pool against its own pipeline.
-      if (b.done != nullptr) WaitHelping(b.done.get(), opts.io_pool);
+      {
+        MS_TRACE_SPAN("io_wait");
+        // Cooperative wait: a service worker running this executor may
+        // itself be a task of io_pool; helping drains queued loads instead
+        // of deadlocking the pool against its own pipeline.
+        if (b.done != nullptr) WaitHelping(b.done.get(), opts.io_pool);
+      }
+      MS_TRACE_SPAN("agg_verify");
       ParallelFor(n > 1 ? opts.pool : nullptr, n, [&](size_t j) {
+        obs::TraceScope trace_scope(trace);
         GroupLoad& gl = (*b.loads)[j];
         if (gl.deferred) {
           gl.masks = LoadMembers(*states[b.idxs[j]].members, &gl.stats);
@@ -405,7 +417,9 @@ Result<AggResult> ExecuteMaskAgg(const MaskStore& store, IndexManager* index,
         }
       });
     } else {
+      MS_TRACE_SPAN("agg_verify");
       ParallelFor(n > 1 ? opts.pool : nullptr, n, [&](size_t j) {
+        obs::TraceScope trace_scope(trace);
         Result<double> v = VerifyGroup(states[b.idxs[j]], &local[j]);
         if (v.ok()) {
           (*values)[j] = *v;

@@ -7,6 +7,7 @@
 
 #include "masksearch/common/stopwatch.h"
 #include "masksearch/exec/evaluator.h"
+#include "masksearch/obs/trace.h"
 
 namespace masksearch {
 
@@ -56,6 +57,7 @@ Result<TopKResult> ExecuteTopK(const MaskStore& store, IndexManager* index,
   // the IndexManager has no CHI. Masks without either get (-inf, +inf).
   std::vector<Interval> intervals(ids.size(), Interval{-kInf, kInf});
   if (opts.use_index && (index != nullptr || opts.chi_cache != nullptr)) {
+    MS_TRACE_SPAN("topk_bounds");
     ParallelFor(opts.pool, ids.size(), [&](size_t i) {
       if (const std::shared_ptr<const Chi> chi =
               internal::ChiForBounds(index, opts.chi_cache, ids[i])) {
@@ -80,6 +82,7 @@ Result<TopKResult> ExecuteTopK(const MaskStore& store, IndexManager* index,
   }
 
   // Pass 2: sequential scan maintaining the running top-k set R (Eq. 15).
+  MS_TRACE_SPAN("topk_scan");
   std::set<ScoredMask, Better> heap(better);
   for (size_t oi = 0; oi < order.size(); ++oi) {
     // This executor has no batches; a stride of masks is its boundary for

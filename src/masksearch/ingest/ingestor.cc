@@ -8,6 +8,7 @@
 
 #include "masksearch/cache/cached_mask_store.h"
 #include "masksearch/index/chi_builder.h"
+#include "masksearch/obs/metrics.h"
 #include "masksearch/storage/codec.h"
 #include "masksearch/storage/filtered_mask_store.h"
 #include "masksearch/storage/sharded_mask_store.h"
@@ -16,6 +17,28 @@ namespace masksearch {
 
 namespace {
 constexpr int32_t kMaxIngestShards = 4096;  // mirrors the manifest limit
+
+/// Process-wide ingest counters (docs/OBSERVABILITY.md), aggregated over
+/// every live Ingestor. Pointer caching is safe: registry instruments are
+/// stable for the process lifetime.
+struct IngestMetricsT {
+  obs::Counter* masks_appended;
+  obs::Counter* bytes_appended;
+  obs::Counter* epochs_published;
+  obs::Gauge* visible_masks;
+  IngestMetricsT() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    masks_appended = reg.GetCounter("ms_ingest_masks_appended_total");
+    bytes_appended = reg.GetCounter("ms_ingest_bytes_appended_total");
+    epochs_published = reg.GetCounter("ms_ingest_epochs_published_total");
+    visible_masks = reg.GetGauge("ms_ingest_visible_masks");
+  }
+};
+
+IngestMetricsT& IngestMetrics() {
+  static IngestMetricsT m;
+  return m;
+}
 
 /// Removes every `gen-<g>` subdirectory of `dir` except the one named by
 /// `keep_gen` (when > 0). Crashed compactions leave a half-built next
@@ -308,6 +331,8 @@ Result<MaskId> Ingestor::AppendEncoded(MaskMeta meta,
   FileWriter* data = shards_[meta.mask_id % num_shards()].get();
   const uint64_t offset = data->bytes_written();
   MS_RETURN_NOT_OK(data->Append(payload));
+  IngestMetrics().masks_appended->Inc();
+  IngestMetrics().bytes_appended->Inc(payload.size());
   offsets_.push_back(offset);
   sizes_.push_back(payload.size());
   metas_.push_back(meta);
@@ -511,6 +536,9 @@ Status Ingestor::PublishLocked(int64_t next_epoch) {
   watermark_.store(
       static_cast<int64_t>(metas_.size() - tombstones_.size()),
       std::memory_order_release);
+  IngestMetrics().epochs_published->Inc();
+  IngestMetrics().visible_masks->Set(
+      static_cast<double>(metas_.size() - tombstones_.size()));
   return Status::OK();
 }
 

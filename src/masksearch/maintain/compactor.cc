@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "masksearch/obs/metrics.h"
+
 namespace masksearch {
 
 namespace {
@@ -132,6 +134,7 @@ void Compactor::Persist() {
 Result<CompactionStats> Compactor::Compact() {
   std::lock_guard<std::mutex> lock(mu_);
   Result<CompactionStats> result = CompactLocked();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   if (result.ok()) {
     counters_.compactions_completed += 1;
     counters_.bytes_copied_total += result->bytes_copied;
@@ -140,8 +143,16 @@ Result<CompactionStats> Compactor::Compact() {
     counters_.last_compaction_ms = result->total_ms;
     counters_.last_swap_pause_ms = result->swap_pause_ms;
     counters_.last_generation = result->generation;
+    reg.GetCounter("ms_maintain_compactions_total")->Inc();
+    reg.GetCounter("ms_maintain_bytes_copied_total")
+        ->Inc(result->bytes_copied);
+    reg.GetCounter("ms_maintain_dead_bytes_reclaimed_total")
+        ->Inc(result->dead_bytes_reclaimed);
+    reg.GetHistogram("ms_maintain_swap_pause_seconds")
+        ->Observe(result->swap_pause_ms * 1e-3);
   } else {
     counters_.compactions_failed += 1;
+    reg.GetCounter("ms_maintain_compactions_failed_total")->Inc();
   }
   Persist();
   return result;

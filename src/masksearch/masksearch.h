@@ -24,6 +24,7 @@
 #include "masksearch/catalog/catalog.h"
 #include "masksearch/catalog/metadata_cache.h"
 #include "masksearch/catalog/prepared.h"
+#include "masksearch/catalog/trace_replay.h"
 #include "masksearch/common/random.h"
 #include "masksearch/common/result.h"
 #include "masksearch/common/stats.h"
@@ -48,6 +49,11 @@
 #include "masksearch/net/client.h"
 #include "masksearch/net/server.h"
 #include "masksearch/net/wire.h"
+#include "masksearch/obs/histogram.h"
+#include "masksearch/obs/metrics.h"
+#include "masksearch/obs/recorder.h"
+#include "masksearch/obs/slow_query_log.h"
+#include "masksearch/obs/trace.h"
 #include "masksearch/query/cp.h"
 #include "masksearch/query/expression.h"
 #include "masksearch/query/predicate.h"

@@ -215,7 +215,7 @@ Status NetClient::Ping() {
 Result<Response> NetClient::Query(const std::string& dataset,
                                   const std::string& sql, int64_t tenant,
                                   PriorityClass priority,
-                                  double deadline_seconds) {
+                                  double deadline_seconds, uint64_t trace_id) {
   Request request;
   request.type = MsgType::kQuery;
   request.query.dataset = dataset;
@@ -223,6 +223,7 @@ Result<Response> NetClient::Query(const std::string& dataset,
   request.query.tenant = tenant;
   request.query.priority = static_cast<uint8_t>(priority);
   request.query.deadline_seconds = deadline_seconds;
+  request.query.trace_id = trace_id;
   MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
   MS_RETURN_NOT_OK(response.ToStatus());
   return response;
@@ -245,7 +246,8 @@ Result<NetClient::PreparedHandle> NetClient::Prepare(
 Result<Response> NetClient::Execute(uint64_t stmt_id,
                                     const std::vector<double>& params,
                                     int64_t tenant, PriorityClass priority,
-                                    double deadline_seconds) {
+                                    double deadline_seconds,
+                                    uint64_t trace_id) {
   Request request;
   request.type = MsgType::kExecute;
   request.execute.stmt_id = stmt_id;
@@ -253,6 +255,7 @@ Result<Response> NetClient::Execute(uint64_t stmt_id,
   request.execute.priority = static_cast<uint8_t>(priority);
   request.execute.deadline_seconds = deadline_seconds;
   request.execute.params = params;
+  request.execute.trace_id = trace_id;
   MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
   MS_RETURN_NOT_OK(response.ToStatus());
   return response;
@@ -272,6 +275,24 @@ Result<std::vector<DatasetInfo>> NetClient::ListDatasets() {
   MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
   MS_RETURN_NOT_OK(response.ToStatus());
   return std::move(response.datasets);
+}
+
+Result<std::string> NetClient::Metrics(bool json) {
+  Request request;
+  request.type = MsgType::kMetrics;
+  request.metrics_format =
+      json ? MetricsFormat::kJson : MetricsFormat::kPrometheus;
+  MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  MS_RETURN_NOT_OK(response.ToStatus());
+  return std::move(response.text);
+}
+
+Result<std::string> NetClient::SlowQueries() {
+  Request request;
+  request.type = MsgType::kTrace;
+  MS_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  MS_RETURN_NOT_OK(response.ToStatus());
+  return std::move(response.text);
 }
 
 }  // namespace net

@@ -60,7 +60,7 @@ class NetClient {
   Result<Response> Query(const std::string& dataset, const std::string& sql,
                          int64_t tenant = 0,
                          PriorityClass priority = PriorityClass::kNormal,
-                         double deadline_seconds = 0);
+                         double deadline_seconds = 0, uint64_t trace_id = 0);
 
   struct PreparedHandle {
     uint64_t stmt_id = 0;
@@ -72,10 +72,18 @@ class NetClient {
                            const std::vector<double>& params,
                            int64_t tenant = 0,
                            PriorityClass priority = PriorityClass::kNormal,
-                           double deadline_seconds = 0);
+                           double deadline_seconds = 0, uint64_t trace_id = 0);
   Status CloseStmt(uint64_t stmt_id);
 
   Result<std::vector<DatasetInfo>> ListDatasets();
+
+  /// \brief Scrapes the server's metrics registry (Prometheus text, or
+  /// JSON when `json` is set).
+  Result<std::string> Metrics(bool json = false);
+
+  /// \brief Dumps the server's slow-query log; typed NotFound when the
+  /// server runs without one.
+  Result<std::string> SlowQueries();
 
   /// \brief Counters of the bounded-retry machinery (monotonic).
   struct RetryStats {

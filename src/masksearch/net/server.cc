@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "masksearch/catalog/prepared.h"
+#include "masksearch/obs/metrics.h"
 
 namespace masksearch {
 namespace net {
@@ -277,6 +278,9 @@ void NetServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
 
 void NetServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                               const Request& request) {
+  static obs::Counter* requests_total =
+      obs::MetricsRegistry::Default().GetCounter("ms_net_requests_total");
+  requests_total->Inc();
   const uint64_t id = request.request_id;
   switch (request.type) {
     case MsgType::kPing: {
@@ -325,7 +329,14 @@ void NetServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       sreq.tenant = call.tenant;
       sreq.priority = static_cast<PriorityClass>(call.priority);
       sreq.deadline_seconds = call.deadline_seconds;
+      sreq.trace_id = call.trace_id;
       sreq.query = RequestFromBound(*bound);
+      if (options_.recorder != nullptr) {
+        options_.recorder->Record(call.dataset, call.tenant,
+                                  PriorityClassToString(sreq.priority),
+                                  call.deadline_seconds, call.trace_id,
+                                  /*params=*/{}, call.sqltext);
+      }
       SubmitQuery(conn, id, call.dataset, std::move(sreq), call.sqltext);
       return;
     }
@@ -384,7 +395,14 @@ void NetServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       sreq.tenant = call.tenant;
       sreq.priority = static_cast<PriorityClass>(call.priority);
       sreq.deadline_seconds = call.deadline_seconds;
+      sreq.trace_id = call.trace_id;
       sreq.query = std::move(*query);
+      if (options_.recorder != nullptr) {
+        options_.recorder->Record(stmt_dataset, call.tenant,
+                                  PriorityClassToString(sreq.priority),
+                                  call.deadline_seconds, call.trace_id,
+                                  call.params, it->second->sql());
+      }
       // The statement's text (not the bound form) travels with the request:
       // a router forwarding to a remote replica re-binds there, and the
       // text keeps repeated executions cache-affine to one replica.
@@ -397,6 +415,32 @@ void NetServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       conn->stmt_dataset.erase(request.stmt_id);
       Response resp;
       resp.request_id = id;
+      core_->Push(conn, resp);
+      return;
+    }
+    case MsgType::kMetrics: {
+      Response resp;
+      resp.request_id = id;
+      resp.payload = PayloadKind::kText;
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      resp.text = request.metrics_format == MetricsFormat::kJson
+                      ? reg.Json()
+                      : reg.PrometheusText();
+      core_->Push(conn, resp);
+      return;
+    }
+    case MsgType::kTrace: {
+      if (options_.slow_log == nullptr) {
+        core_->Push(conn, ErrorResponse(
+                              id, Status::NotFound(
+                                      "server has no slow-query log "
+                                      "(serve without --slow-ms?)")));
+        return;
+      }
+      Response resp;
+      resp.request_id = id;
+      resp.payload = PayloadKind::kText;
+      resp.text = options_.slow_log->Render();
       core_->Push(conn, resp);
       return;
     }

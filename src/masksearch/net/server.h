@@ -31,6 +31,8 @@
 
 #include "masksearch/catalog/catalog.h"
 #include "masksearch/net/wire.h"
+#include "masksearch/obs/recorder.h"
+#include "masksearch/obs/slow_query_log.h"
 
 namespace masksearch {
 namespace net {
@@ -41,6 +43,12 @@ struct NetServerOptions {
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
   size_t max_connections = 256;  ///< excess accepts are closed immediately
   int listen_backlog = 64;
+  /// Backs the wire TRACE command; caller-owned, may be null. Typically the
+  /// same log the datasets' QueryServiceOptions point at.
+  obs::SlowQueryLog* slow_log = nullptr;
+  /// When set, every admitted query/execute is appended as a replayable
+  /// trace line. Caller-owned, may be null.
+  obs::TraceRecorder* recorder = nullptr;
 };
 
 class NetServer {

@@ -97,6 +97,7 @@ std::string EncodeRequest(const Request& request) {
       w.PutI64(request.query.tenant);
       w.PutU8(request.query.priority);
       w.PutF64(request.query.deadline_seconds);
+      w.PutU64(request.query.trace_id);
       break;
     case MsgType::kPrepare:
       w.PutString(request.prepare.dataset);
@@ -110,9 +111,15 @@ std::string EncodeRequest(const Request& request) {
       w.PutF64(request.execute.deadline_seconds);
       w.PutU32(static_cast<uint32_t>(request.execute.params.size()));
       for (double p : request.execute.params) w.PutF64(p);
+      w.PutU64(request.execute.trace_id);
       break;
     case MsgType::kCloseStmt:
       w.PutU64(request.stmt_id);
+      break;
+    case MsgType::kMetrics:
+      w.PutU8(static_cast<uint8_t>(request.metrics_format));
+      break;
+    case MsgType::kTrace:
       break;
     case MsgType::kResponse:
       break;  // never encoded through this path
@@ -138,6 +145,7 @@ Result<Request> DecodeRequest(const std::string& payload) {
       MS_ASSIGN_OR_RETURN(req.query.tenant, r.GetI64());
       MS_ASSIGN_OR_RETURN(req.query.priority, r.GetU8());
       MS_ASSIGN_OR_RETURN(req.query.deadline_seconds, r.GetF64());
+      MS_ASSIGN_OR_RETURN(req.query.trace_id, r.GetU64());
       break;
     }
     case MsgType::kPrepare: {
@@ -158,12 +166,24 @@ Result<Request> DecodeRequest(const std::string& payload) {
         MS_ASSIGN_OR_RETURN(double p, r.GetF64());
         req.execute.params.push_back(p);
       }
+      MS_ASSIGN_OR_RETURN(req.execute.trace_id, r.GetU64());
       break;
     }
     case MsgType::kCloseStmt: {
       MS_ASSIGN_OR_RETURN(req.stmt_id, r.GetU64());
       break;
     }
+    case MsgType::kMetrics: {
+      MS_ASSIGN_OR_RETURN(uint8_t format, r.GetU8());
+      if (format > static_cast<uint8_t>(MetricsFormat::kJson)) {
+        return Status::InvalidArgument("unknown metrics format " +
+                                       std::to_string(format));
+      }
+      req.metrics_format = static_cast<MetricsFormat>(format);
+      break;
+    }
+    case MsgType::kTrace:
+      break;
     default:
       return Status::InvalidArgument("unknown request type " +
                                      std::to_string(type));
@@ -208,6 +228,9 @@ std::string EncodeResponse(const Response& response) {
         w.PutI64(d.num_masks);
         w.PutU64(d.total_bytes);
       }
+      break;
+    case PayloadKind::kText:
+      w.PutString(response.text);
       break;
   }
   return w.Release();
@@ -269,6 +292,10 @@ Result<Response> DecodeResponse(const std::string& payload) {
         MS_ASSIGN_OR_RETURN(d.total_bytes, r.GetU64());
         resp.datasets.push_back(std::move(d));
       }
+      break;
+    }
+    case PayloadKind::kText: {
+      MS_ASSIGN_OR_RETURN(resp.text, r.GetString());
       break;
     }
     default:

@@ -34,7 +34,7 @@
 namespace masksearch {
 namespace net {
 
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 4;  ///< the u32 length prefix
 inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
 
@@ -45,7 +45,15 @@ enum class MsgType : uint8_t {
   kExecute = 3,       ///< run a prepared statement with bound parameters
   kCloseStmt = 4,     ///< drop a prepared statement
   kListDatasets = 5,  ///< catalog introspection
+  kMetrics = 6,       ///< scrape the server's metrics registry (v2)
+  kTrace = 7,         ///< dump the server's slow-query log (v2)
   kResponse = 64,     ///< server → client
+};
+
+/// \brief Rendering requested by a kMetrics call.
+enum class MetricsFormat : uint8_t {
+  kPrometheus = 0,
+  kJson = 1,
 };
 
 struct QueryCall {
@@ -54,6 +62,10 @@ struct QueryCall {
   int64_t tenant = 0;
   uint8_t priority = 1;  ///< PriorityClass
   double deadline_seconds = 0;
+  /// Client-minted trace id. Nonzero forces the server to trace this
+  /// request under the same id, so a client span shows up verbatim in the
+  /// server's slow-query log.
+  uint64_t trace_id = 0;
 };
 
 struct PrepareCall {
@@ -68,6 +80,7 @@ struct ExecuteCall {
   uint8_t priority = 1;
   double deadline_seconds = 0;
   std::vector<double> params;
+  uint64_t trace_id = 0;  ///< see QueryCall::trace_id
 };
 
 /// \brief One decoded client→server message; the member named by `type`
@@ -79,6 +92,7 @@ struct Request {
   PrepareCall prepare;
   ExecuteCall execute;
   uint64_t stmt_id = 0;  ///< kCloseStmt
+  MetricsFormat metrics_format = MetricsFormat::kPrometheus;  ///< kMetrics
 };
 
 /// \brief The executor result of a served query, flattened for the wire:
@@ -102,6 +116,7 @@ enum class PayloadKind : uint8_t {
   kQueryResult = 1,
   kPrepareResult = 2,
   kDatasetList = 3,
+  kText = 4,  ///< metrics scrape or slow-query dump (v2)
 };
 
 /// \brief One server→client message. `status_code` is the numeric
@@ -116,6 +131,7 @@ struct Response {
   uint64_t stmt_id = 0;                 ///< kPrepareResult
   uint32_t num_params = 0;              ///< kPrepareResult
   std::vector<DatasetInfo> datasets;    ///< kDatasetList
+  std::string text;                     ///< kText
 
   bool ok() const { return status_code == 0; }
   /// \brief Reconstructs the typed Status carried by this response.

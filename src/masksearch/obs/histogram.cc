@@ -1,0 +1,80 @@
+#include "masksearch/obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace masksearch {
+namespace obs {
+
+size_t LogHistogram::BucketIndex(double v) {
+  if (!(v > 0) || std::isnan(v)) return 0;
+  const double e = std::log2(v) * kBucketsPerOctave;
+  const long idx = static_cast<long>(std::floor(e)) -
+                   static_cast<long>(kMinOctave) * kBucketsPerOctave;
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long>(kNumBuckets)) return kNumBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+double LogHistogram::BucketLower(size_t i) {
+  return std::exp2(
+      (static_cast<double>(i) / kBucketsPerOctave) + kMinOctave);
+}
+
+void LogHistogram::Record(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[BucketIndex(v)];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void LogHistogram::Reset() { *this = LogHistogram(); }
+
+double LogHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank convention matches common Percentile() on a sorted sample: the
+  // target order statistic is q * (n - 1), zero-based.
+  const double rank = q * static_cast<double>(count_ - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i];
+    if (n == 0) continue;
+    if (rank < static_cast<double>(seen + n)) {
+      // Geometric interpolation across the bucket: observations are
+      // modeled log-uniform within their bucket. position ∈ [0, 1).
+      const double position =
+          (rank - static_cast<double>(seen) + 0.5) / static_cast<double>(n);
+      const double lo = BucketLower(i);
+      const double hi = BucketUpper(i);
+      double v = lo * std::pow(hi / lo, std::min(1.0, position));
+      // The exact extremes bound every estimate; this also makes the
+      // single-observation and all-equal cases exact.
+      return std::min(std::max(v, min_), max_);
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+}  // namespace obs
+}  // namespace masksearch

@@ -1,0 +1,214 @@
+#include "masksearch/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace masksearch {
+namespace obs {
+
+namespace {
+
+/// Splits "base{labels}" into its base name and the "{labels}" suffix
+/// (empty when the name carries none).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+/// "base{a="b"}" + (quantile, 0.95) -> base{a="b",quantile="0.95"}.
+std::string WithQuantile(const std::string& base, const std::string& labels,
+                         const char* q) {
+  if (labels.empty()) {
+    return base + "{quantile=\"" + q + "\"}";
+  }
+  return base + labels.substr(0, labels.size() - 1) + ",quantile=\"" + q +
+         "\"}";
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  // Threads stripe across the cells round-robin by creation order; any
+  // distribution works, this one is allocation-free and deterministic.
+  static std::atomic<size_t> next{0};
+  thread_local size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx % kShards;
+}
+
+void Histogram::Observe(double v) {
+  Shard& s = shards_[Counter::ShardIndex() % kShards];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.h.Record(v);
+}
+
+LogHistogram Histogram::Snapshot() const {
+  LogHistogram out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.Merge(s.h);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.h.Reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed
+  return *r;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+size_t MetricsRegistry::AddCollector(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t handle = next_collector_++;
+  collectors_.emplace_back(handle, std::move(fn));
+  return handle;
+}
+
+void MetricsRegistry::RemoveCollector(size_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(
+      std::remove_if(collectors_.begin(), collectors_.end(),
+                     [&](const auto& c) { return c.first == handle; }),
+      collectors_.end());
+}
+
+void MetricsRegistry::RunCollectors() {
+  // Copied out: collectors call GetGauge, which takes the registry lock.
+  std::vector<std::function<void()>> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns.reserve(collectors_.size());
+    for (const auto& c : collectors_) fns.push_back(c.second);
+  }
+  for (const auto& fn : fns) fn();
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() {
+  RunCollectors();
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, static_cast<double>(c->Value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, g->Value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    const LogHistogram snap = h->Snapshot();
+    out.push_back({name + ".count", static_cast<double>(snap.count())});
+    out.push_back({name + ".sum", snap.sum()});
+    out.push_back({name + ".mean", snap.Mean()});
+    out.push_back({name + ".min", snap.min()});
+    out.push_back({name + ".max", snap.max()});
+    out.push_back({name + ".p50", snap.Percentile(0.50)});
+    out.push_back({name + ".p95", snap.Percentile(0.95)});
+    out.push_back({name + ".p99", snap.Percentile(0.99)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() {
+  RunCollectors();
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string base, labels, last_base;
+
+  for (const auto& [name, c] : counters_) {
+    SplitLabels(name, &base, &labels);
+    if (base != last_base) {
+      out += "# TYPE " + base + " counter\n";
+      last_base = base;
+    }
+    out += name + " " + std::to_string(c->Value()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, g] : gauges_) {
+    SplitLabels(name, &base, &labels);
+    if (base != last_base) {
+      out += "# TYPE " + base + " gauge\n";
+      last_base = base;
+    }
+    out += name + " " + FormatDouble(g->Value()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, h] : histograms_) {
+    SplitLabels(name, &base, &labels);
+    if (base != last_base) {
+      out += "# TYPE " + base + " summary\n";
+      last_base = base;
+    }
+    const LogHistogram snap = h->Snapshot();
+    out += WithQuantile(base, labels, "0.5") + " " +
+           FormatDouble(snap.Percentile(0.50)) + "\n";
+    out += WithQuantile(base, labels, "0.95") + " " +
+           FormatDouble(snap.Percentile(0.95)) + "\n";
+    out += WithQuantile(base, labels, "0.99") + " " +
+           FormatDouble(snap.Percentile(0.99)) + "\n";
+    out += base + "_sum" + labels + " " + FormatDouble(snap.sum()) + "\n";
+    out += base + "_count" + labels + " " + std::to_string(snap.count()) +
+           "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Json() {
+  const std::vector<Sample> samples = Samples();
+  std::string out = "{";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "  \"" + samples[i].name + "\": " + FormatDouble(samples[i].value);
+  }
+  out += samples.empty() ? "}\n" : "\n}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace masksearch

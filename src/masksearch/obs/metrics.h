@@ -1,0 +1,156 @@
+// MetricsRegistry: process-wide named counters, gauges, and histograms
+// (docs/OBSERVABILITY.md). The hot path is near-free: Counter::Inc is one
+// relaxed fetch_add on a per-thread-sharded cache line; Histogram::Observe
+// locks one thread-sharded uncontended mutex around a LogHistogram record.
+// Snapshots (Prometheus text / JSON exposition) merge the shards at scrape
+// time — scraping pays, recording does not.
+//
+// Naming: metric names may embed Prometheus-style labels directly, e.g.
+//   ms_service_completed_total{class="interactive"}
+// Each distinct name is one independent instrument; the renderers group
+// series sharing a base name under one # TYPE line. Instrument pointers
+// returned by Get* are stable for the registry's lifetime (the process,
+// for Default()), so callers cache them at construction and never look up
+// on the hot path.
+//
+// Collectors: scrape-time callbacks that refresh gauges whose truth lives
+// elsewhere (buffer-pool residency, queue depth). Registered by the serving
+// wiring, removed on teardown (AddCollector returns the removal handle).
+
+#ifndef MASKSEARCH_OBS_METRICS_H_
+#define MASKSEARCH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "masksearch/obs/histogram.h"
+
+namespace masksearch {
+namespace obs {
+
+/// \brief Monotonic counter with per-thread-sharded cells: concurrent Inc
+/// calls from different threads touch different cache lines.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Inc(uint64_t n = 1) {
+    cells_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+  /// \brief The calling thread's stable stripe (shared by Histogram).
+  static size_t ShardIndex();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kShards> cells_;
+};
+
+/// \brief Last-writer-wins point-in-time value.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// \brief Thread-safe LogHistogram: observations go to a thread-sharded
+/// sub-histogram under its own (uncontended) mutex; Snapshot merges the
+/// shards exactly.
+class Histogram {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Observe(double v);
+  LogHistogram Snapshot() const;
+  void Reset();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    LogHistogram h;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+class MetricsRegistry {
+ public:
+  /// \brief The process-wide registry every instrumented layer records to.
+  static MetricsRegistry& Default();
+
+  /// \brief Instrument lookup, creating on first use. Returned pointers are
+  /// stable for the registry's lifetime; cache them, don't re-lookup on hot
+  /// paths.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// \brief Registers a scrape-time callback (typically: read some
+  /// component's stats and Set gauges). Returns a handle for
+  /// RemoveCollector — call it before the component the callback reads is
+  /// destroyed.
+  size_t AddCollector(std::function<void()> fn);
+  void RemoveCollector(size_t handle);
+
+  /// \brief One flattened scalar of the current state (counters and gauges
+  /// by name; histograms expanded to name+suffix). Sorted by name.
+  struct Sample {
+    std::string name;
+    double value = 0;
+  };
+  /// \brief Runs collectors, then samples every instrument.
+  std::vector<Sample> Samples();
+
+  /// \brief Prometheus text exposition (runs collectors first).
+  std::string PrometheusText();
+  /// \brief Flat JSON object {"name": value, ...} (runs collectors first).
+  std::string Json();
+
+  /// \brief Zeroes every instrument's value (pointers stay valid — the
+  /// instruments themselves are never destroyed). Test isolation only.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::pair<size_t, std::function<void()>>> collectors_;
+  size_t next_collector_ = 1;
+
+  void RunCollectors();
+};
+
+}  // namespace obs
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_OBS_METRICS_H_

@@ -1,0 +1,183 @@
+#include "masksearch/obs/recorder.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "masksearch/common/io.h"
+
+namespace masksearch {
+namespace obs {
+
+namespace {
+
+constexpr const char kHeader[] = "# masksearch-trace v1\n";
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::string path, std::FILE* f)
+    : path_(std::move(path)),
+      file_(f),
+      start_(std::chrono::steady_clock::now()) {}
+
+Result<std::unique_ptr<TraceRecorder>> TraceRecorder::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::fputs(kHeader, f);
+  return std::unique_ptr<TraceRecorder>(new TraceRecorder(path, f));
+}
+
+TraceRecorder::~TraceRecorder() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void TraceRecorder::Record(const std::string& dataset, int64_t tenant,
+                           const std::string& priority_class,
+                           double deadline_seconds, uint64_t trace_id,
+                           const std::vector<double>& params,
+                           const std::string& sql) {
+  RecordedRequest r;
+  r.at_ms = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+  r.dataset = dataset;
+  r.tenant = tenant;
+  r.priority_class = priority_class;
+  r.deadline_ms = deadline_seconds * 1e3;
+  r.trace_id = trace_id;
+  r.params = params;
+  r.sql = sql;
+  const std::string line = EncodeRecordedRequest(r);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  ++recorded_;
+}
+
+uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+void TraceRecorder::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+std::string EncodeRecordedRequest(const RecordedRequest& r) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", r.at_ms);
+  std::string line = std::string("at_ms=") + buf;
+  line += " dataset=" + r.dataset;
+  line += " tenant=" + std::to_string(r.tenant);
+  line += " class=" + r.priority_class;
+  if (r.deadline_ms != 0) line += " deadline_ms=" + FormatDouble(r.deadline_ms);
+  if (r.trace_id != 0) line += " trace=" + std::to_string(r.trace_id);
+  if (!r.params.empty()) {
+    line += " params=";
+    for (size_t i = 0; i < r.params.size(); ++i) {
+      if (i > 0) line += ',';
+      line += FormatDouble(r.params[i]);
+    }
+  }
+  // sql= is last and runs to end of line: SQL text may contain spaces,
+  // commas, and '=' freely. Newlines cannot appear (one line per request).
+  line += " sql=" + r.sql;
+  return line;
+}
+
+Result<RecordedRequest> ParseRecordedRequest(const std::string& line) {
+  RecordedRequest r;
+  bool saw_sql = false;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) break;
+    const size_t eq = line.find('=', pos);
+    if (eq == std::string::npos) {
+      return Status::Corruption("trace line token without '=': " +
+                                line.substr(pos));
+    }
+    const std::string key = line.substr(pos, eq - pos);
+    if (key == "sql") {
+      r.sql = line.substr(eq + 1);
+      saw_sql = true;
+      break;
+    }
+    size_t end = line.find(' ', eq + 1);
+    if (end == std::string::npos) end = line.size();
+    const std::string value = line.substr(eq + 1, end - eq - 1);
+    if (key == "at_ms") {
+      r.at_ms = std::strtod(value.c_str(), nullptr);
+    } else if (key == "dataset") {
+      r.dataset = value;
+    } else if (key == "tenant") {
+      r.tenant = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "class") {
+      r.priority_class = value;
+    } else if (key == "deadline_ms") {
+      r.deadline_ms = std::strtod(value.c_str(), nullptr);
+    } else if (key == "trace") {
+      r.trace_id = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "params") {
+      size_t p = 0;
+      while (p < value.size()) {
+        size_t comma = value.find(',', p);
+        if (comma == std::string::npos) comma = value.size();
+        r.params.push_back(
+            std::strtod(value.substr(p, comma - p).c_str(), nullptr));
+        p = comma + 1;
+      }
+    } else {
+      return Status::Corruption("unknown trace line key '" + key + "'");
+    }
+    pos = end;
+  }
+  if (!saw_sql || r.sql.empty()) {
+    return Status::Corruption("trace line without sql=: " + line);
+  }
+  if (r.dataset.empty()) {
+    return Status::Corruption("trace line without dataset=: " + line);
+  }
+  return r;
+}
+
+Result<std::vector<RecordedRequest>> LoadTrace(const std::string& path) {
+  MS_ASSIGN_OR_RETURN(std::string contents, ReadFile(path));
+  std::vector<RecordedRequest> out;
+  size_t pos = 0;
+  size_t lineno = 0;
+  while (pos < contents.size()) {
+    size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) nl = contents.size();
+    ++lineno;
+    std::string line = contents.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    auto parsed = ParseRecordedRequest(line);
+    if (!parsed.ok()) {
+      return Status::Corruption("trace '" + path + "' line " +
+                                std::to_string(lineno) + ": " +
+                                parsed.status().message());
+    }
+    out.push_back(std::move(*parsed));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace masksearch

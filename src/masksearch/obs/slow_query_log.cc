@@ -1,0 +1,66 @@
+#include "masksearch/obs/slow_query_log.h"
+
+#include <cstdio>
+
+namespace masksearch {
+namespace obs {
+
+SlowQueryLog::SlowQueryLog() : SlowQueryLog(Options()) {}
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(options) {}
+
+void SlowQueryLog::Offer(SlowQueryEntry entry) {
+  if (entry.total_seconds < options_.threshold_seconds) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string SlowQueryLog::Render() const {
+  const std::vector<SlowQueryEntry> entries = Entries();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "slow-query log: %zu entries (threshold %.3fms, %llu "
+                "recorded)\n",
+                entries.size(), options_.threshold_seconds * 1e3,
+                static_cast<unsigned long long>(recorded()));
+  out += buf;
+  for (const SlowQueryEntry& e : entries) {
+    std::snprintf(buf, sizeof(buf),
+                  "trace=%llu tenant=%lld class=%s status=%s epoch=%lld "
+                  "total=%.3fms queue=%.3fms exec=%.3fms\n",
+                  static_cast<unsigned long long>(e.trace_id),
+                  static_cast<long long>(e.tenant), e.priority_class.c_str(),
+                  e.status.c_str(), static_cast<long long>(e.epoch),
+                  e.total_seconds * 1e3, e.queue_seconds * 1e3,
+                  e.exec_seconds * 1e3);
+    out += buf;
+    for (const Trace::Span& s : e.spans) {
+      std::snprintf(buf, sizeof(buf), "  span %-24s n=%-8llu %.3fms\n",
+                    s.name.c_str(), static_cast<unsigned long long>(s.count),
+                    s.total_seconds * 1e3);
+      out += buf;
+    }
+    for (const auto& [name, n] : e.counts) {
+      std::snprintf(buf, sizeof(buf), "  count %-23s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(n));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace masksearch

@@ -1,0 +1,73 @@
+// SlowQueryLog: bounded ring of the most recent over-threshold requests,
+// each with its full span breakdown (docs/OBSERVABILITY.md). The service
+// offers every traced request; the log keeps the ones whose total latency
+// crossed the threshold. A threshold of zero records everything — the shape
+// the trace-propagation tests and `masksearch_cli client --slow` use.
+
+#ifndef MASKSEARCH_OBS_SLOW_QUERY_LOG_H_
+#define MASKSEARCH_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "masksearch/obs/trace.h"
+
+namespace masksearch {
+namespace obs {
+
+struct SlowQueryEntry {
+  uint64_t trace_id = 0;
+  int64_t tenant = 0;
+  std::string priority_class;
+  std::string status;  ///< "ok" or the failure status string
+  int64_t epoch = 0;
+  double total_seconds = 0;
+  double queue_seconds = 0;
+  double exec_seconds = 0;
+  std::vector<Trace::Span> spans;
+  std::vector<std::pair<std::string, uint64_t>> counts;
+};
+
+class SlowQueryLog {
+ public:
+  struct Options {
+    /// Requests at or above this total latency are kept (0 keeps all).
+    double threshold_seconds = 0.1;
+    /// Ring capacity; older entries are dropped first.
+    size_t capacity = 128;
+  };
+
+  SlowQueryLog();
+  explicit SlowQueryLog(Options options);
+
+  double threshold_seconds() const { return options_.threshold_seconds; }
+
+  /// \brief Offers one finished request. Kept only when entry.total_seconds
+  /// >= threshold.
+  void Offer(SlowQueryEntry entry);
+
+  /// \brief Over-threshold requests seen (monotonic, survives ring
+  /// eviction).
+  uint64_t recorded() const;
+
+  std::vector<SlowQueryEntry> Entries() const;
+
+  /// \brief Human-readable dump, one block per entry — what the wire TRACE
+  /// command and `client --slow` print.
+  std::string Render() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> ring_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace obs
+}  // namespace masksearch
+
+#endif  // MASKSEARCH_OBS_SLOW_QUERY_LOG_H_

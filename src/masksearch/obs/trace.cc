@@ -1,0 +1,76 @@
+#include "masksearch/obs/trace.h"
+
+#include <atomic>
+
+namespace masksearch {
+namespace obs {
+
+namespace {
+thread_local Trace* g_current_trace = nullptr;
+}  // namespace
+
+void Trace::AddSpan(const char* name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Span& s : spans_) {
+    if (s.name == name) {
+      ++s.count;
+      s.total_seconds += seconds;
+      return;
+    }
+  }
+  spans_.push_back(Span{name, 1, seconds});
+}
+
+void Trace::AddCount(const char* name, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counts_) {
+    if (c.first == name) {
+      c.second += n;
+      return;
+    }
+  }
+  counts_.emplace_back(name, n);
+}
+
+std::vector<Trace::Span> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Trace::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+double Trace::SpanSeconds(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Span& s : spans_) {
+    if (s.name == name) return s.total_seconds;
+  }
+  return 0;
+}
+
+Trace* Trace::Current() { return g_current_trace; }
+
+uint64_t Trace::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Trace::ShouldSample(uint64_t id, double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  // Fibonacci-hash the id into [0, 2^32) and compare against the rate
+  // threshold — deterministic, uniform enough for sampling, no RNG state.
+  const uint64_t h = (id * 0x9e3779b97f4a7c15ull) >> 32;
+  return static_cast<double>(h) < rate * 4294967296.0;
+}
+
+TraceScope::TraceScope(Trace* trace) : prev_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { g_current_trace = prev_; }
+
+}  // namespace obs
+}  // namespace masksearch

@@ -1,0 +1,139 @@
+// Request tracing (docs/OBSERVABILITY.md). A Trace is one request's span
+// ledger: named wall-time spans (queue wait, per-shard I/O, decode, kernel
+// time) and named counts (cache hits/misses), aggregated by name so a
+// request touching 10k masks stays O(#span-names), not O(#events).
+//
+// Propagation is a thread-local current-trace pointer, not a parameter on
+// every signature: the service installs a TraceScope around Dispatch, and
+// the overlapped pipelines capture Trace::Current() when they schedule I/O
+// onto a pool thread and reinstall it inside the task. Instrumentation
+// points use MS_TRACE_SPAN / Trace::CurrentAddCount — when no trace is
+// installed (the sampled-out and tracing-off cases) each is a single
+// thread-local null check. Compiling with MASKSEARCH_OBS_NOTRACE removes
+// the span macro bodies entirely.
+//
+// Sampling: ShouldSample(id, rate) is a deterministic hash test so a given
+// trace id samples identically on every replica that sees it.
+
+#ifndef MASKSEARCH_OBS_TRACE_H_
+#define MASKSEARCH_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace masksearch {
+namespace obs {
+
+class Trace {
+ public:
+  explicit Trace(uint64_t id) : id_(id) {}
+
+  uint64_t id() const { return id_; }
+
+  /// \brief One aggregated span: `total_seconds` over `count` occurrences
+  /// of the named section.
+  struct Span {
+    std::string name;
+    uint64_t count = 0;
+    double total_seconds = 0;
+  };
+
+  /// \brief Adds `seconds` under `name` (thread-safe; spans arrive from
+  /// pool threads concurrently).
+  void AddSpan(const char* name, double seconds);
+  /// \brief Adds `n` to the named count annotation (cache hits, bytes...).
+  void AddCount(const char* name, uint64_t n);
+
+  std::vector<Span> spans() const;
+  std::vector<std::pair<std::string, uint64_t>> counts() const;
+
+  /// \brief Total seconds recorded under `name` (0 when absent).
+  double SpanSeconds(const std::string& name) const;
+
+  /// \brief The calling thread's installed trace (null = not tracing).
+  static Trace* Current();
+
+  /// \brief Adds to a named count on the current trace, if any.
+  static void CurrentAddCount(const char* name, uint64_t n) {
+    if (Trace* t = Current()) t->AddCount(name, n);
+  }
+
+  /// \brief Process-unique nonzero trace id.
+  static uint64_t NextId();
+
+  /// \brief Deterministic sampling decision: true for a `rate` fraction of
+  /// ids (rate >= 1 samples everything, <= 0 nothing).
+  static bool ShouldSample(uint64_t id, double rate);
+
+ private:
+  const uint64_t id_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::vector<std::pair<std::string, uint64_t>> counts_;
+};
+
+/// \brief RAII: installs `trace` as the calling thread's current trace for
+/// the scope (null is fine — the scope is then a no-op installing "not
+/// tracing", which is exactly what a pool task propagating a null capture
+/// wants).
+class TraceScope {
+ public:
+  explicit TraceScope(Trace* trace);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* prev_;
+};
+
+/// \brief RAII span: measures its own lifetime and adds it to the current
+/// trace. When no trace is installed the constructor is one TLS load and
+/// the destructor a null check.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : trace_(Trace::Current()) {
+    if (trace_ != nullptr) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedSpan() {
+    if (trace_ != nullptr) {
+      trace_->AddSpan(
+          name_, std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Trace* trace_;
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace masksearch
+
+// MS_TRACE_SPAN("name"): times the rest of the enclosing block as a span on
+// the current trace. Compiles out under MASKSEARCH_OBS_NOTRACE.
+#ifndef MASKSEARCH_OBS_NOTRACE
+#define MS_OBS_CONCAT_INNER(a, b) a##b
+#define MS_OBS_CONCAT(a, b) MS_OBS_CONCAT_INNER(a, b)
+#define MS_TRACE_SPAN(name) \
+  ::masksearch::obs::ScopedSpan MS_OBS_CONCAT(ms_obs_span_, __LINE__)(name)
+#else
+#define MS_TRACE_SPAN(name) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // MASKSEARCH_OBS_TRACE_H_

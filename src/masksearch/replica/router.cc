@@ -5,9 +5,38 @@
 #include <cmath>
 #include <utility>
 
+#include "masksearch/obs/metrics.h"
+
 namespace masksearch {
 
 namespace {
+
+/// Process-wide mirrors of the router counters (docs/OBSERVABILITY.md);
+/// aggregated over every Router in the process.
+struct RouterMetrics {
+  obs::Counter* routed;
+  obs::Counter* succeeded;
+  obs::Counter* retries;
+  obs::Counter* failovers;
+  obs::Counter* shed;
+  obs::Counter* injected;
+  obs::Counter* transitions;
+  RouterMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    routed = reg.GetCounter("ms_replica_routed_total");
+    succeeded = reg.GetCounter("ms_replica_succeeded_total");
+    retries = reg.GetCounter("ms_replica_retries_total");
+    failovers = reg.GetCounter("ms_replica_failovers_total");
+    shed = reg.GetCounter("ms_replica_shed_total");
+    injected = reg.GetCounter("ms_replica_faults_injected_total");
+    transitions = reg.GetCounter("ms_replica_health_transitions_total");
+  }
+};
+
+RouterMetrics& Metrics() {
+  static RouterMetrics m;
+  return m;
+}
 
 uint64_t Fnv1a(const void* data, size_t n, uint64_t h = 0xcbf29ce484222325ull) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
@@ -132,6 +161,7 @@ void Router::RecordSuccess(size_t member_index) {
   if (m.health != ReplicaHealth::kHealthy) {
     m.health = ReplicaHealth::kHealthy;
     ++m.transitions;
+    Metrics().transitions->Inc();
     ring_dirty_ = true;
   }
 }
@@ -146,11 +176,13 @@ void Router::RecordFailure(size_t member_index) {
       m.consecutive_failures >= options_.failure_threshold) {
     m.health = ReplicaHealth::kUnhealthy;
     ++m.transitions;
+    Metrics().transitions->Inc();
     ring_dirty_ = true;
   } else if (m.health == ReplicaHealth::kHalfOpen) {
     // Failed its recovery trial: back to unhealthy until the next probe.
     m.health = ReplicaHealth::kUnhealthy;
     ++m.transitions;
+    Metrics().transitions->Inc();
   }
 }
 
@@ -160,6 +192,7 @@ Result<QueryResponse> Router::Execute(const RoutedRequest& request) {
     std::lock_guard<std::mutex> lock(mu_);
     ++routed_;
   }
+  Metrics().routed->Inc();
   std::vector<std::string> tried;
   std::string prev_name;
   Status last = Status::Unavailable("no healthy replicas");
@@ -189,8 +222,14 @@ Result<QueryResponse> Router::Execute(const RoutedRequest& request) {
       replica = PickLocked(key, tried, &member_index);
       if (replica != nullptr) {
         ++members_[member_index].routed;
-        if (attempt > 0) ++retries_;
-        if (!prev_name.empty() && prev_name != replica->name()) ++failovers_;
+        if (attempt > 0) {
+          ++retries_;
+          Metrics().retries->Inc();
+        }
+        if (!prev_name.empty() && prev_name != replica->name()) {
+          ++failovers_;
+          Metrics().failovers->Inc();
+        }
       }
     }
     if (replica == nullptr) break;  // budget left, but nowhere to send it
@@ -204,11 +243,13 @@ Result<QueryResponse> Router::Execute(const RoutedRequest& request) {
         injected.ok() ? replica->Execute(request) : injected;
     if (result.ok()) {
       RecordSuccess(member_index);
+      Metrics().succeeded->Inc();
       std::lock_guard<std::mutex> lock(mu_);
       ++succeeded_;
       return result;
     }
     if (!injected.ok()) {
+      Metrics().injected->Inc();
       std::lock_guard<std::mutex> lock(mu_);
       ++injected_;
     }
@@ -220,6 +261,7 @@ Result<QueryResponse> Router::Execute(const RoutedRequest& request) {
     last = result.status();
     tried.push_back(replica->name());
   }
+  Metrics().shed->Inc();
   std::lock_guard<std::mutex> lock(mu_);
   ++shed_;
   return Status::Unavailable("request shed after failover: " +
@@ -236,6 +278,7 @@ Result<std::shared_ptr<PendingQuery>> Router::Submit(RoutedRequest request) {
       return Status::Unavailable("router is shut down");
     }
     if (queue_.size() >= options_.max_queue_depth) {
+      Metrics().shed->Inc();
       std::lock_guard<std::mutex> stats_lock(mu_);
       ++shed_;
       return Status::Unavailable("router queue is full (" +
@@ -269,6 +312,7 @@ void Router::ProbeLoop() {
         if (m.health == ReplicaHealth::kUnhealthy) {
           m.health = ReplicaHealth::kHalfOpen;
           ++m.transitions;
+          Metrics().transitions->Inc();
         }
         to_probe.emplace_back(i, m.replica);
       }

@@ -171,6 +171,21 @@ Result<std::shared_ptr<PendingQuery>> QueryService::Submit(
   }
   pending->epoch_ = pending->lease_.epoch;
 
+  // Tracing decision at admission (docs/OBSERVABILITY.md): an explicit
+  // client trace_id always traces; otherwise the id is minted here and the
+  // sampling hash decides. A slow-query log traces everything — it needs
+  // the span breakdown of whichever requests turn out slow.
+  {
+    const uint64_t id = pending->request_.trace_id != 0
+                            ? pending->request_.trace_id
+                            : obs::Trace::NextId();
+    const bool forced =
+        pending->request_.trace_id != 0 || options_.slow_query_log != nullptr;
+    if (forced || obs::Trace::ShouldSample(id, options_.trace_sample_rate)) {
+      pending->trace_ = std::make_unique<obs::Trace>(id);
+    }
+  }
+
   const PriorityClass cls = pending->request_.priority;
   // Admission control: bounded queue depth and queued bytes. Both checks
   // shed the request immediately with a retryable typed status instead of
@@ -241,12 +256,23 @@ Result<QueryResponse> QueryService::Execute(ServiceRequest request) {
 void QueryService::Dispatch(const std::shared_ptr<PendingQuery>& pending) {
   const double queue_seconds = SecondsSince(pending->submit_time_);
   const PriorityClass cls = pending->request_.priority;
+  // Install the request's trace on this worker thread for the whole
+  // execution: every MS_TRACE_SPAN below (executors, cache, storage) lands
+  // in it. Null trace = every instrumentation point is one TLS null check.
+  obs::TraceScope trace_scope(pending->trace_.get());
+  if (pending->trace_) {
+    // "queue_wait" + "exec" partition the request's life, so the slow-log
+    // invariant "top-level spans sum to total latency" holds by
+    // construction (tests/trace_replay_test.cc asserts it).
+    pending->trace_->AddSpan("queue_wait", queue_seconds);
+  }
 
   // Shed without executing when the request is already dead: its deadline
   // expired while queued, or the client cancelled it.
   Status pre = pending->control_.Check();
   if (!pre.ok()) {
     stats_.RecordOutcome(cls, OutcomeOf(pre), queue_seconds, queue_seconds);
+    OfferSlowLog(*pending, pre, queue_seconds, 0, queue_seconds);
     pending->Finish(std::move(pre));
     return;
   }
@@ -305,14 +331,39 @@ void QueryService::Dispatch(const std::shared_ptr<PendingQuery>& pending) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     exec_start)
           .count();
+  if (pending->trace_) {
+    pending->trace_->AddSpan("exec", response.exec_seconds);
+  }
 
   const double total_seconds = SecondsSince(pending->submit_time_);
   stats_.RecordOutcome(cls, OutcomeOf(status), queue_seconds, total_seconds);
+  OfferSlowLog(*pending, status, queue_seconds, response.exec_seconds,
+               total_seconds);
   if (status.ok()) {
     pending->Finish(std::move(response));
   } else {
     pending->Finish(std::move(status));
   }
+}
+
+void QueryService::OfferSlowLog(const PendingQuery& pending,
+                                const Status& status, double queue_seconds,
+                                double exec_seconds,
+                                double total_seconds) const {
+  obs::SlowQueryLog* log = options_.slow_query_log;
+  if (log == nullptr || !pending.trace_) return;
+  obs::SlowQueryEntry e;
+  e.trace_id = pending.trace_->id();
+  e.tenant = pending.request_.tenant;
+  e.priority_class = PriorityClassToString(pending.request_.priority);
+  e.status = StatusCodeToString(status.code());
+  e.epoch = pending.epoch_;
+  e.total_seconds = total_seconds;
+  e.queue_seconds = queue_seconds;
+  e.exec_seconds = exec_seconds;
+  e.spans = pending.trace_->spans();
+  e.counts = pending.trace_->counts();
+  log->Offer(std::move(e));
 }
 
 void QueryService::WorkerLoop() {

@@ -35,6 +35,8 @@
 
 #include "masksearch/common/result.h"
 #include "masksearch/exec/session.h"
+#include "masksearch/obs/slow_query_log.h"
+#include "masksearch/obs/trace.h"
 #include "masksearch/service/request.h"
 #include "masksearch/service/scheduler.h"
 #include "masksearch/service/service_stats.h"
@@ -91,6 +93,17 @@ struct QueryServiceOptions {
   /// lease with a non-null session; runs outside the service lock. With a
   /// resolver installed the service's own Session may be null.
   std::function<SessionLease()> session_resolver;
+  /// Fraction of requests traced (docs/OBSERVABILITY.md): a sampled request
+  /// carries an obs::Trace through its whole execution, collecting span
+  /// timings from every instrumented layer. 0 (the default) traces nothing
+  /// — the hot path then pays one thread-local null check per
+  /// instrumentation point. Requests arriving with an explicit trace_id are
+  /// always traced regardless of the rate.
+  double trace_sample_rate = 0;
+  /// When set, *every* request is traced and its span breakdown offered to
+  /// this log (kept if total latency >= the log's threshold). Caller-owned;
+  /// must outlive the service.
+  obs::SlowQueryLog* slow_query_log = nullptr;
 };
 
 /// \brief Handle to a submitted request. Wait() blocks until the terminal
@@ -120,6 +133,9 @@ class PendingQuery {
   /// \brief Epoch the request was admitted at (0 for fixed-session
   /// services). Stable for the handle's lifetime — readable after Wait().
   int64_t epoch() const { return epoch_; }
+  /// \brief The request's trace (null when not sampled). Stable after
+  /// Wait(); spans keep accumulating while the request runs.
+  const obs::Trace* trace() const { return trace_.get(); }
 
  private:
   friend class QueryService;
@@ -132,6 +148,10 @@ class PendingQuery {
   QueryControl control_;
   std::chrono::steady_clock::time_point submit_time_;
   uint64_t cost_bytes_ = 0;
+  /// Span ledger of a sampled request (null otherwise). Owned by the
+  /// handle, NOT dropped in Finish: the slow-query log snapshots it first
+  /// and callers may inspect it after Wait().
+  std::unique_ptr<obs::Trace> trace_;
   /// Execution context resolved at admission; the pin (and session pointer)
   /// are dropped in Finish so snapshot retention ends with the request.
   SessionLease lease_;
@@ -187,6 +207,12 @@ class QueryService {
   void WorkerLoop();
   /// Runs one request on the calling worker thread and finishes its handle.
   void Dispatch(const std::shared_ptr<PendingQuery>& pending);
+  /// Offers a finished traced request's span breakdown to the slow-query
+  /// log, if one is configured. Must run before Finish (clients may destroy
+  /// the handle once done).
+  void OfferSlowLog(const PendingQuery& pending, const Status& status,
+                    double queue_seconds, double exec_seconds,
+                    double total_seconds) const;
   /// Catalog-only byte estimate of a request (no data-file I/O), against
   /// the catalog of the store the request will actually execute on.
   uint64_t EstimateCostBytes(const ServiceRequest& request,

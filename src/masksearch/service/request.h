@@ -120,6 +120,11 @@ struct ServiceRequest {
   /// Admission-control cost estimate in bytes; 0 lets the service estimate
   /// from the selection (sum of targeted blob sizes — catalog-only, no I/O).
   uint64_t cost_bytes_hint = 0;
+  /// Client-supplied trace id (docs/OBSERVABILITY.md). 0 lets the service
+  /// mint one when the request is sampled; nonzero forces the request to be
+  /// traced under this id, so a client span id is visible end-to-end in the
+  /// server's slow-query log.
+  uint64_t trace_id = 0;
 };
 
 /// \brief The executor result of a completed request. The member named by

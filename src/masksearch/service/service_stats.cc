@@ -1,41 +1,18 @@
 #include "masksearch/service/service_stats.h"
 
-#include <algorithm>
 #include <cstdio>
-
-#include "masksearch/common/stats.h"
 
 namespace masksearch {
 
-void LatencyReservoir::Add(double v) {
-  ++count_;
-  sum_ += v;
-  max_ = std::max(max_, v);
-  if (samples_.size() < kCapacity) {
-    if (samples_.empty()) samples_.reserve(kCapacity);
-    samples_.push_back(v);
-    return;
-  }
-  // Algorithm R: keep each of the `count_` observations with equal
-  // probability kCapacity / count_.
-  rng_ ^= rng_ << 13;
-  rng_ ^= rng_ >> 7;
-  rng_ ^= rng_ << 17;
-  const uint64_t j = rng_ % count_;
-  if (j < kCapacity) samples_[j] = v;
-}
-
-LatencySummary LatencyReservoir::Summarize() const {
+LatencySummary LatencySummary::FromHistogram(const obs::LogHistogram& h) {
   LatencySummary s;
-  s.count = count_;
-  if (count_ == 0) return s;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  s.p50 = Percentile(sorted, 0.50);
-  s.p95 = Percentile(sorted, 0.95);
-  s.p99 = Percentile(sorted, 0.99);
-  s.mean = sum_ / static_cast<double>(count_);
-  s.max = max_;
+  s.count = h.count();
+  if (s.count == 0) return s;
+  s.p50 = h.Percentile(0.50);
+  s.p95 = h.Percentile(0.95);
+  s.p99 = h.Percentile(0.99);
+  s.mean = h.Mean();
+  s.max = h.max();
   return s;
 }
 
@@ -84,10 +61,32 @@ std::string ServiceStats::ToString() const {
   return out;
 }
 
+ServiceStatsRecorder::ServiceStatsRecorder() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    const std::string label = std::string("{class=\"") +
+                              PriorityClassToString(static_cast<PriorityClass>(c)) +
+                              "\"}";
+    ClassMetrics& m = metrics_[c];
+    m.submitted = reg.GetCounter("ms_service_submitted_total" + label);
+    m.rejected = reg.GetCounter("ms_service_rejected_total" + label);
+    m.completed = reg.GetCounter("ms_service_completed_total" + label);
+    m.deadline_missed =
+        reg.GetCounter("ms_service_deadline_missed_total" + label);
+    m.cancelled = reg.GetCounter("ms_service_cancelled_total" + label);
+    m.failed = reg.GetCounter("ms_service_failed_total" + label);
+    m.queue_wait = reg.GetHistogram("ms_service_queue_wait_seconds" + label);
+    m.latency = reg.GetHistogram("ms_service_latency_seconds" + label);
+  }
+}
+
 void ServiceStatsRecorder::RecordRejected(PriorityClass c,
                                           RejectReason reason) {
+  const size_t i = static_cast<size_t>(c);
+  metrics_[i].submitted->Inc();
+  if (reason == RejectReason::kOverload) metrics_[i].rejected->Inc();
   std::lock_guard<std::mutex> lock(mu_);
-  ClassSamples& s = classes_[static_cast<size_t>(c)];
+  ClassSamples& s = classes_[i];
   ++s.counters.submitted;
   if (reason == RejectReason::kShutdown) {
     ++s.counters.rejected_shutdown;
@@ -97,8 +96,10 @@ void ServiceStatsRecorder::RecordRejected(PriorityClass c,
 }
 
 void ServiceStatsRecorder::RecordAdmitted(PriorityClass c) {
+  const size_t i = static_cast<size_t>(c);
+  metrics_[i].submitted->Inc();
   std::lock_guard<std::mutex> lock(mu_);
-  ClassSamples& s = classes_[static_cast<size_t>(c)];
+  ClassSamples& s = classes_[i];
   ++s.counters.submitted;
   ++s.counters.admitted;
 }
@@ -106,15 +107,31 @@ void ServiceStatsRecorder::RecordAdmitted(PriorityClass c) {
 void ServiceStatsRecorder::RecordOutcome(PriorityClass c, Outcome outcome,
                                          double queue_seconds,
                                          double total_seconds) {
+  const size_t i = static_cast<size_t>(c);
+  const ClassMetrics& m = metrics_[i];
+  m.queue_wait->Observe(queue_seconds);
+  switch (outcome) {
+    case Outcome::kCompleted:
+      m.completed->Inc();
+      m.latency->Observe(total_seconds);
+      break;
+    case Outcome::kDeadlineMissed:
+      m.deadline_missed->Inc();
+      break;
+    case Outcome::kCancelled:
+      m.cancelled->Inc();
+      break;
+    case Outcome::kFailed:
+      m.failed->Inc();
+      break;
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  ClassSamples& s = classes_[static_cast<size_t>(c)];
-  s.queue_waits.Add(queue_seconds);
-  total_queue_waits_.Add(queue_seconds);
+  ClassSamples& s = classes_[i];
+  s.queue_waits.Record(queue_seconds);
   switch (outcome) {
     case Outcome::kCompleted:
       ++s.counters.completed;
-      s.latencies.Add(total_seconds);
-      total_latencies_.Add(total_seconds);
+      s.latencies.Record(total_seconds);
       break;
     case Outcome::kDeadlineMissed:
       ++s.counters.deadline_missed;
@@ -139,11 +156,16 @@ ServiceStats ServiceStatsRecorder::Snapshot(uint64_t queued_now,
   out.peak_queued = peak_queued;
 
   std::lock_guard<std::mutex> lock(mu_);
+  // The aggregate is an exact histogram merge of the per-class populations
+  // — the property the log-bucketed representation buys over sampling
+  // reservoirs, which would need weighted resampling here.
+  obs::LogHistogram total_queue_waits;
+  obs::LogHistogram total_latencies;
   for (size_t c = 0; c < kNumPriorityClasses; ++c) {
     const ClassSamples& s = classes_[c];
     out.by_class[c] = s.counters;
-    out.by_class[c].queue_wait = s.queue_waits.Summarize();
-    out.by_class[c].latency = s.latencies.Summarize();
+    out.by_class[c].queue_wait = LatencySummary::FromHistogram(s.queue_waits);
+    out.by_class[c].latency = LatencySummary::FromHistogram(s.latencies);
 
     out.total.submitted += s.counters.submitted;
     out.total.admitted += s.counters.admitted;
@@ -153,9 +175,11 @@ ServiceStats ServiceStatsRecorder::Snapshot(uint64_t queued_now,
     out.total.deadline_missed += s.counters.deadline_missed;
     out.total.cancelled += s.counters.cancelled;
     out.total.failed += s.counters.failed;
+    total_queue_waits.Merge(s.queue_waits);
+    total_latencies.Merge(s.latencies);
   }
-  out.total.queue_wait = total_queue_waits_.Summarize();
-  out.total.latency = total_latencies_.Summarize();
+  out.total.queue_wait = LatencySummary::FromHistogram(total_queue_waits);
+  out.total.latency = LatencySummary::FromHistogram(total_latencies);
   return out;
 }
 

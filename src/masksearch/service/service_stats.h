@@ -2,6 +2,13 @@
 // (docs/SERVING.md). Counters and latency percentiles per priority class,
 // plus point-in-time queue gauges; the CLI `stats`/`serve` commands and
 // bench_service print and record these.
+//
+// The latency populations live in obs::LogHistogram (docs/OBSERVABILITY.md)
+// — the shared log-bucketed histogram type — so per-class populations merge
+// *exactly* into the all-classes aggregate at snapshot time, and the same
+// numbers surface through the process metrics registry
+// (ms_service_latency_seconds{class=...} et al), which the recorder also
+// feeds.
 
 #ifndef MASKSEARCH_SERVICE_SERVICE_STATS_H_
 #define MASKSEARCH_SERVICE_SERVICE_STATS_H_
@@ -10,15 +17,16 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
-#include <vector>
 
+#include "masksearch/obs/histogram.h"
+#include "masksearch/obs/metrics.h"
 #include "masksearch/service/request.h"
 
 namespace masksearch {
 
 /// \brief Percentile summary of one latency population, in seconds.
-/// `count`, `mean`, and `max` are exact (streamed); the percentiles are
-/// computed from a bounded uniform sample of the population.
+/// `count`, `mean`, and `max` are exact (streamed); the percentiles carry
+/// the histogram's bounded relative error (~9%, exact at the extremes).
 struct LatencySummary {
   uint64_t count = 0;
   double p50 = 0;
@@ -26,6 +34,9 @@ struct LatencySummary {
   double p99 = 0;
   double mean = 0;
   double max = 0;
+
+  /// \brief Summarizes a histogram population.
+  static LatencySummary FromHistogram(const obs::LogHistogram& h);
 
   std::string ToString() const;  ///< "n=… p50=…ms p95=…ms p99=…ms max=…ms"
 };
@@ -50,7 +61,8 @@ struct ClassServiceStats {
 /// \brief Point-in-time service counters (one Snapshot call).
 struct ServiceStats {
   std::array<ClassServiceStats, kNumPriorityClasses> by_class;
-  /// Aggregate over all classes (percentiles over the merged population).
+  /// Aggregate over all classes (exact histogram merge of the per-class
+  /// populations).
   ClassServiceStats total;
 
   // Queue gauges.
@@ -62,35 +74,15 @@ struct ServiceStats {
   std::string ToString() const;
 };
 
-/// \brief Bounded uniform sample of a latency population (reservoir
-/// sampling, Algorithm R) with exact streamed count / sum / max, so a
-/// long-running server holds O(1) stats memory no matter how many requests
-/// it dispatches. Below `kCapacity` observations the percentiles are exact.
-/// The replacement RNG is a deterministic xorshift so replay runs produce
-/// identical summaries.
-class LatencyReservoir {
- public:
-  static constexpr size_t kCapacity = 4096;
-
-  void Add(double v);
-  uint64_t count() const { return count_; }
-
-  /// Percentiles from the sample, count/mean/max from the stream.
-  LatencySummary Summarize() const;
-
- private:
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double max_ = 0;
-  uint64_t rng_ = 0x9e3779b97f4a7c15ull;
-  std::vector<double> samples_;
-};
-
 /// \brief Thread-safe recorder behind ServiceStats. The service records
 /// admission decisions and request outcomes; Snapshot computes percentiles
-/// from bounded reservoirs (O(1) memory over the service lifetime).
+/// from the per-class histograms (O(1) memory over the service lifetime)
+/// and merges them exactly into the aggregate. Every event is mirrored to
+/// the process metrics registry.
 class ServiceStatsRecorder {
  public:
+  ServiceStatsRecorder();
+
   /// Why admission refused a request: overload shedding (the retryable
   /// signal bench overload sweeps count) vs. shutdown refusal (the service
   /// is going away — retrying is pointless). Distinct counters so shed
@@ -115,16 +107,26 @@ class ServiceStatsRecorder {
  private:
   struct ClassSamples {
     ClassServiceStats counters;
-    LatencyReservoir queue_waits;
-    LatencyReservoir latencies;
+    obs::LogHistogram queue_waits;
+    obs::LogHistogram latencies;
+  };
+
+  /// Process-registry mirrors of one class's counters (cached pointers —
+  /// no registry lookup on the record path).
+  struct ClassMetrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* deadline_missed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* latency = nullptr;
   };
 
   mutable std::mutex mu_;
   std::array<ClassSamples, kNumPriorityClasses> classes_;
-  // The merged population is sampled at record time too: merging per-class
-  // reservoirs after the fact would need weighted resampling.
-  LatencyReservoir total_queue_waits_;
-  LatencyReservoir total_latencies_;
+  std::array<ClassMetrics, kNumPriorityClasses> metrics_;
 };
 
 }  // namespace masksearch

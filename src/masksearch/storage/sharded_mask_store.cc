@@ -4,7 +4,34 @@
 #include <numeric>
 #include <utility>
 
+#include "masksearch/obs/metrics.h"
+#include "masksearch/obs/trace.h"
+
 namespace masksearch {
+
+namespace {
+
+/// Process-wide read counters (docs/OBSERVABILITY.md), on top of the
+/// per-store masks_loaded_/bytes_read_ atomics. Registry pointers are
+/// stable, so the static cache is safe across ResetForTest.
+struct StorageMetrics {
+  obs::Counter* read_ops;      ///< physical read calls (one per run/blob)
+  obs::Counter* masks_loaded;  ///< masks materialized from disk
+  obs::Counter* bytes_read;
+  StorageMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    read_ops = reg.GetCounter("ms_storage_read_ops_total");
+    masks_loaded = reg.GetCounter("ms_storage_masks_loaded_total");
+    bytes_read = reg.GetCounter("ms_storage_read_bytes_total");
+  }
+};
+
+StorageMetrics& Metrics() {
+  static StorageMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ShardedMaskStore::ShardedMaskStore(
     std::string dir, Options opts, StorageKind kind,
@@ -68,9 +95,14 @@ Result<Mask> ShardedMaskStore::LoadMask(MaskId id) const {
   const int32_t shard = ShardOf(id);
   const RandomAccessFile& data = *shards_[shard];
 
+  MS_TRACE_SPAN("storage_read");
   if (DiskThrottle* throttle = ThrottleFor(shard)) throttle->Acquire(nbytes);
   masks_loaded_.fetch_add(1, std::memory_order_relaxed);
   bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
+  Metrics().read_ops->Inc();
+  Metrics().masks_loaded->Inc();
+  Metrics().bytes_read->Inc(nbytes);
+  obs::Trace::CurrentAddCount("storage_bytes_read", nbytes);
 
   if (kind_ == StorageKind::kRawFloat32) {
     std::vector<float> values(static_cast<size_t>(m.width) * m.height);
@@ -181,8 +213,12 @@ Status ShardedMaskStore::LoadShardRuns(int32_t shard,
     const uint64_t span = run_end - run_start;
     if (DiskThrottle* throttle = ThrottleFor(shard)) throttle->Acquire(span);
     bytes_read_.fetch_add(span, std::memory_order_relaxed);
+    Metrics().read_ops->Inc();
+    Metrics().bytes_read->Inc(span);
+    obs::Trace::CurrentAddCount("storage_bytes_read", span);
     MS_RETURN_NOT_OK(file.ReadVAt(run_start, std::move(slices)));
 
+    MS_TRACE_SPAN("decode");
     for (RawDest& d : raw_dests) {
       const MaskMeta& m = metas_[ids[d.out_idx]];
       MS_ASSIGN_OR_RETURN((*out)[d.out_idx],
@@ -221,6 +257,7 @@ Result<std::vector<Mask>> ShardedMaskStore::LoadMaskBatch(
   });
 
   masks_loaded_.fetch_add(ids.size(), std::memory_order_relaxed);
+  Metrics().masks_loaded->Inc(ids.size());
 
   // Contiguous per-shard slices of `order`.
   struct ShardSlice {
@@ -238,8 +275,13 @@ Result<std::vector<Mask>> ShardedMaskStore::LoadMaskBatch(
   }
 
   std::vector<Status> statuses(slices.size(), Status::OK());
+  // Per-shard reads may land on io_pool threads: carry the caller's trace
+  // across so each shard's I/O records its own "shard_read" span.
+  obs::Trace* const trace = obs::Trace::Current();
   ParallelFor(slices.size() > 1 ? opts_.io_pool : nullptr, slices.size(),
               [&](size_t s) {
+                obs::TraceScope trace_scope(trace);
+                MS_TRACE_SPAN("shard_read");
                 const ShardSlice& sl = slices[s];
                 statuses[s] = LoadShardRuns(sl.shard, ids, &order[sl.begin],
                                             sl.end - sl.begin, &out);
@@ -270,6 +312,9 @@ Result<Mask> ShardedMaskStore::LoadMaskRows(MaskId id, int32_t y0,
   if (DiskThrottle* throttle = ThrottleFor(shard)) throttle->Acquire(nbytes);
   masks_loaded_.fetch_add(1, std::memory_order_relaxed);
   bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
+  Metrics().read_ops->Inc();
+  Metrics().masks_loaded->Inc();
+  Metrics().bytes_read->Inc(nbytes);
 
   std::vector<float> values(static_cast<size_t>(m.width) * (y1 - y0));
   MS_RETURN_NOT_OK(
@@ -283,6 +328,8 @@ Status ShardedMaskStore::ReadBlob(MaskId id, std::string* out) const {
   const int32_t shard = ShardOf(id);
   if (DiskThrottle* throttle = ThrottleFor(shard)) throttle->Acquire(nbytes);
   bytes_read_.fetch_add(nbytes, std::memory_order_relaxed);
+  Metrics().read_ops->Inc();
+  Metrics().bytes_read->Inc(nbytes);
   out->resize(nbytes);
   return shards_[shard]->ReadAt(offsets_[id], nbytes, out->data());
 }

@@ -82,6 +82,55 @@ TEST(WireTest, ResponseRoundTripsResultAndStatus) {
   EXPECT_EQ(err.ToStatus().message(), "too slow");
 }
 
+TEST(WireTest, TraceIdRoundTripsOnQueryAndExecute) {
+  net::Request query;
+  query.type = net::MsgType::kQuery;
+  query.query.dataset = "x";
+  query.query.sqltext = "SELECT 1;";
+  query.query.trace_id = 0xDEADBEEFCAFEull;
+  EXPECT_EQ(net::DecodeRequest(net::EncodeRequest(query))
+                .ValueOrDie()
+                .query.trace_id,
+            0xDEADBEEFCAFEull);
+
+  net::Request exec;
+  exec.type = net::MsgType::kExecute;
+  exec.execute.dataset = "x";
+  exec.execute.stmt_id = 1;
+  exec.execute.trace_id = 42;
+  EXPECT_EQ(net::DecodeRequest(net::EncodeRequest(exec))
+                .ValueOrDie()
+                .execute.trace_id,
+            42u);
+}
+
+TEST(WireTest, MetricsAndTraceRequestsRoundTrip) {
+  net::Request metrics;
+  metrics.type = net::MsgType::kMetrics;
+  metrics.metrics_format = net::MetricsFormat::kJson;
+  auto decoded = net::DecodeRequest(net::EncodeRequest(metrics)).ValueOrDie();
+  EXPECT_EQ(decoded.type, net::MsgType::kMetrics);
+  EXPECT_EQ(decoded.metrics_format, net::MetricsFormat::kJson);
+
+  net::Request trace;
+  trace.type = net::MsgType::kTrace;
+  trace.request_id = 5;
+  auto t = net::DecodeRequest(net::EncodeRequest(trace)).ValueOrDie();
+  EXPECT_EQ(t.type, net::MsgType::kTrace);
+  EXPECT_EQ(t.request_id, 5u);
+}
+
+TEST(WireTest, TextResponseRoundTrips) {
+  net::Response resp;
+  resp.request_id = 3;
+  resp.payload = net::PayloadKind::kText;
+  resp.text = "# TYPE ms_service_completed_total counter\n"
+              "ms_service_completed_total 7\n";
+  auto decoded = net::DecodeResponse(net::EncodeResponse(resp)).ValueOrDie();
+  EXPECT_EQ(decoded.payload, net::PayloadKind::kText);
+  EXPECT_EQ(decoded.text, resp.text);
+}
+
 TEST(WireTest, TakeFrameIsIncremental) {
   const std::string payload = net::EncodeRequest(net::Request{});
   const std::string frame = net::EncodeFrame(payload);

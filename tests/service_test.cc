@@ -652,36 +652,57 @@ TEST(ServiceTest, RejectionCountersSplitShutdownFromOverload) {
   EXPECT_NE(after.ToString().find("rejected_shutdown=2"), std::string::npos);
 }
 
-TEST(ServiceTest, LatencyReservoirIsBoundedAndExact) {
-  // Far more samples than the reservoir holds: counts, mean, and max stay
-  // exact (streaming), percentiles come from the bounded reservoir.
-  LatencyReservoir r;
+TEST(ServiceTest, LatencySummaryFromHistogramIsBoundedAndExact) {
+  // O(1)-memory histogram over many samples: count, mean, and max are
+  // exact (streamed); percentiles carry the log-bucket relative error.
+  obs::LogHistogram h;
   const size_t n = 50000;
-  ASSERT_GT(n, LatencyReservoir::kCapacity);
-  for (size_t i = 0; i < n; ++i) r.Add(static_cast<double>(i + 1));
+  // Latencies 1ms..50s — inside the histogram's bucketed range.
+  for (size_t i = 0; i < n; ++i) h.Record((i + 1) * 1e-3);
 
-  EXPECT_EQ(r.count(), n);
-  const LatencySummary s = r.Summarize();
+  EXPECT_EQ(h.count(), n);
+  const LatencySummary s = LatencySummary::FromHistogram(h);
   EXPECT_EQ(s.count, n);
-  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(n));
-  EXPECT_NEAR(s.mean, (n + 1) / 2.0, 1e-6);
-  // Algorithm R keeps a uniform sample: the median estimate lands well
-  // inside the middle half for n >> capacity.
-  EXPECT_GT(s.p50, 0.25 * n);
-  EXPECT_LT(s.p50, 0.75 * n);
+  EXPECT_DOUBLE_EQ(s.max, n * 1e-3);
+  EXPECT_NEAR(s.mean, (n + 1) / 2.0 * 1e-3, 1e-6);
+  // Percentiles of the uniform population land within the histogram's
+  // bounded relative error of the true order statistics.
+  EXPECT_NEAR(s.p50, 0.50 * n * 1e-3, 0.10 * 0.50 * n * 1e-3);
+  EXPECT_NEAR(s.p95, 0.95 * n * 1e-3, 0.10 * 0.95 * n * 1e-3);
   EXPECT_GE(s.p99, s.p95);
   EXPECT_GE(s.p95, s.p50);
   EXPECT_LE(s.p99, s.max);
 }
 
-TEST(ServiceTest, ReservoirSmallCountsAreExact) {
-  LatencyReservoir r;
-  for (double v : {4.0, 1.0, 3.0, 2.0}) r.Add(v);
-  const LatencySummary s = r.Summarize();
+TEST(ServiceTest, LatencySummarySmallCountsStayWithinBucketError) {
+  obs::LogHistogram h;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) h.Record(v);
+  const LatencySummary s = LatencySummary::FromHistogram(h);
   EXPECT_EQ(s.count, 4u);
   EXPECT_DOUBLE_EQ(s.mean, 2.5);
   EXPECT_DOUBLE_EQ(s.max, 4.0);
-  EXPECT_DOUBLE_EQ(s.p50, 2.5);  // interpolated median of {1,2,3,4}
+  // Median of {1,2,3,4}: bucket interpolation, not exact — within the
+  // ~9% relative error bound around the interpolated value 2.5.
+  EXPECT_NEAR(s.p50, 2.5, 0.25 * 2.5);
+
+  // Degenerate populations are exact: empty, single-sample, all-equal.
+  const LatencySummary empty =
+      LatencySummary::FromHistogram(obs::LogHistogram());
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+
+  obs::LogHistogram one;
+  one.Record(0.125);
+  const LatencySummary single = LatencySummary::FromHistogram(one);
+  EXPECT_DOUBLE_EQ(single.p50, 0.125);
+  EXPECT_DOUBLE_EQ(single.p99, 0.125);
+
+  obs::LogHistogram merged;
+  merged.Merge(h);
+  merged.Merge(one);
+  EXPECT_EQ(merged.count(), 5u);
+  EXPECT_DOUBLE_EQ(merged.max(), 4.0);
+  EXPECT_DOUBLE_EQ(merged.min(), 0.125);
 }
 
 }  // namespace

@@ -14,7 +14,8 @@ checked=0
 # if no page links to the victim yet.
 for doc in docs/ARCHITECTURE.md docs/STORAGE_FORMAT.md docs/PERFORMANCE.md \
            docs/CACHING.md docs/SERVING.md docs/NETWORK.md \
-           docs/REPLICATION.md docs/INGEST.md docs/COMPACTION.md; do
+           docs/REPLICATION.md docs/INGEST.md docs/COMPACTION.md \
+           docs/OBSERVABILITY.md; do
   if [ ! -f "$doc" ]; then
     echo "missing required doc: $doc" >&2
     status=1

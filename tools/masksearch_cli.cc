@@ -45,13 +45,27 @@
 //       (docs/REPLICATION.md): N in-process replicas of --dir behind a
 //       health-checked router with failover; --fault arms scripted faults
 //       ("kill:r1:40", "error:r0:10:5", "stall:r2:0:20") for the CI
-//       fault-injection smoke.
+//       fault-injection smoke. Observability (docs/OBSERVABILITY.md):
+//       --slow-ms N keeps a slow-query log (wire TRACE / client --slow),
+//       --trace-sample R samples traces, --record F captures the session
+//       as a replayable trace file.
 //
 //   masksearch_cli client --port P [--host H] [--dataset D]
-//                         [--sql S | --prepare S --params "v1,v2" | --list]
-//                         [--repeat N] [--timeout-ms T]
+//                         [--sql S | --prepare S --params "v1,v2" | --list
+//                          | --metrics [--json] | --slow]
+//                         [--repeat N] [--timeout-ms T] [--trace-id T]
 //       Socket client for a running `serve --port`: ping (default),
-//       one-shot SQL, prepared-statement replay, or dataset listing.
+//       one-shot SQL, prepared-statement replay, dataset listing, a
+//       metrics scrape, or a slow-query-log dump. --trace-id forces the
+//       server to trace the query under the given id.
+//
+//   masksearch_cli replay --dir D --trace F [--closed-loop] [--speed X]
+//                         [--clients N] [--workers W] [--cache-mib M]
+//       Replay a session recorded by `serve --port --record F`
+//       (docs/OBSERVABILITY.md): open loop reproduces the recorded
+//       arrival times (scaled by --speed), --closed-loop drives the same
+//       requests through N closed-loop clients. Preserves the recorded
+//       request count and per-class mix exactly.
 //
 //   masksearch_cli ingest --dir D [--count N] [--epochs K] [--shards S]
 //                         [--width W] [--bins B] [--seed S] [--compressed]
@@ -82,7 +96,9 @@
 //       (--script), and print one observability surface: store counters,
 //       CacheStats (hit ratio, resident bytes, evictions, pins), and
 //       service counters (admitted/rejected/deadline-missed, per-class
-//       p50/p95/p99).
+//       p50/p95/p99). --metrics [--json] appends the process metrics
+//       registry; --watch S [--watch-count N] loops, re-running the --sql
+//       workload each tick and printing only the samples that moved.
 //
 // The cache flags are also accepted by `query`: --cache-mib M enables a
 // shared buffer pool for the store's mask blobs and the session's CHI
@@ -151,7 +167,7 @@ int Usage(int exit_code = 2) {
                "masksearch_cli %s\n"
                "usage: masksearch_cli "
                "<generate|info|query|stats|serve|client|ingest|compact|"
-               "explain> [options]\n"
+               "replay|explain> [options]\n"
                "  generate --dir D [--images N] [--models M] [--width W]\n"
                "           [--height H] [--seed S] [--compressed]\n"
                "  info     --dir D\n"
@@ -162,6 +178,7 @@ int Usage(int exit_code = 2) {
                "  stats    --dir D [--sql S] [--repeat N] [--script F]\n"
                "           [--clients N] [--workers W] [--cache-mib M]\n"
                "           [--cache-shards N] [--cache-admission all|scan]\n"
+               "           [--metrics [--json]] [--watch S [--watch-count N]]\n"
                "  serve    --dir D --script F [--clients N] [--workers W]\n"
                "           [--repeat R] [--queue-depth Q] [--max-queued-mib M]\n"
                "           [--deadline-ms M] [--verify-batch B] [--cache-mib M]\n"
@@ -171,10 +188,14 @@ int Usage(int exit_code = 2) {
                "           [--max-conns C] [--incremental] [--no-index]\n"
                "           [--replicas N] [--fault SPEC[,SPEC...]]\n"
                "           [--failure-threshold K] [--probe-interval-ms T]\n"
-               "           [--max-attempts A]\n"
+               "           [--max-attempts A] [--record F] [--slow-ms N]\n"
+               "           [--trace-sample R]\n"
                "  client   --port P [--host H] [--dataset D] [--sql S]\n"
                "           [--prepare S --params V] [--repeat N] [--list]\n"
-               "           [--timeout-ms T] [--limit-print K]\n"
+               "           [--timeout-ms T] [--limit-print K] [--trace-id T]\n"
+               "           [--metrics [--json]] [--slow]\n"
+               "  replay   --dir D --trace F [--closed-loop] [--speed X]\n"
+               "           [--clients N] [--workers W] [--cache-mib M]\n"
                "  ingest   --dir D [--count N] [--epochs K] [--shards S]\n"
                "           [--width W] [--bins B] [--seed S] [--compressed]\n"
                "           [--serve-queries N] [--clients C] [--cache-mib M]\n"
@@ -504,7 +525,32 @@ int RunServeNetwork(const Args& args) {
   if (!args.Has("dir")) return Usage();
   const std::shared_ptr<BufferPool> pool = PoolFromArgs(args, /*def_mib=*/256);
 
+  // Observability wiring (docs/OBSERVABILITY.md): --slow-ms N keeps a
+  // slow-query log of requests over N ms (and forces every request to be
+  // traced so the log carries full span breakdowns); --trace-sample R
+  // samples a fraction of requests into traces without the log;
+  // --record FILE captures every admitted request as a replayable trace.
+  std::unique_ptr<obs::SlowQueryLog> slow_log;
+  if (args.Has("slow-ms")) {
+    obs::SlowQueryLog::Options lopts;
+    lopts.threshold_seconds = args.GetInt("slow-ms", 100) / 1e3;
+    slow_log = std::make_unique<obs::SlowQueryLog>(lopts);
+  }
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (args.Has("record")) {
+    auto opened = obs::TraceRecorder::Open(args.Get("record"));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "record failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    recorder = std::move(*opened);
+  }
+
   DatasetConfig config;
+  config.service.slow_query_log = slow_log.get();
+  config.service.trace_sample_rate =
+      std::strtod(args.Get("trace-sample", "0").c_str(), nullptr);
   config.store.cache = pool;
   config.session.cache = pool;
   config.session.chi.cell_width = config.session.chi.cell_height =
@@ -581,6 +627,8 @@ int RunServeNetwork(const Args& args) {
   sopts.bind_address = args.Get("bind", "127.0.0.1");
   sopts.port = static_cast<uint16_t>(args.GetInt("port", 0));
   sopts.max_connections = static_cast<size_t>(args.GetInt("max-conns", 256));
+  sopts.slow_log = slow_log.get();
+  sopts.recorder = recorder.get();
   auto server = net::NetServer::Start(&catalog, sopts);
   if (!server.ok()) {
     std::fprintf(stderr, "server failed: %s\n",
@@ -642,6 +690,17 @@ int RunServeNetwork(const Args& args) {
               static_cast<unsigned long long>(mstats.misses), mstats.entries);
   if (pool != nullptr) {
     std::printf("cache: %s\n", pool->Stats().ToString().c_str());
+  }
+  if (slow_log != nullptr) {
+    std::printf("-- slow-query log: %llu over %.0f ms\n",
+                static_cast<unsigned long long>(slow_log->recorded()),
+                slow_log->threshold_seconds() * 1e3);
+  }
+  if (recorder != nullptr) {
+    recorder->Flush();
+    std::printf("-- recorded %llu requests to %s\n",
+                static_cast<unsigned long long>(recorder->recorded()),
+                recorder->path().c_str());
   }
   catalog.ShutdownAll();
   return 0;
@@ -709,6 +768,27 @@ int RunClient(const Args& args) {
     return 1;
   }
 
+  if (args.Has("metrics")) {
+    auto text = (*client)->Metrics(args.Has("json"));
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", text->c_str());
+    if (!text->empty() && text->back() != '\n') std::printf("\n");
+    return 0;
+  }
+
+  if (args.Has("slow")) {
+    auto text = (*client)->SlowQueries();
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", text->c_str());
+    return 0;
+  }
+
   if (args.Has("list")) {
     auto datasets = (*client)->ListDatasets();
     if (!datasets.ok()) {
@@ -770,8 +850,12 @@ int RunClient(const Args& args) {
   if (args.Has("sql")) {
     net::Response last;
     Stopwatch wall;
+    const uint64_t trace_id =
+        static_cast<uint64_t>(args.GetInt("trace-id", 0));
     for (int64_t r = 0; r < repeat; ++r) {
-      auto resp = (*client)->Query(dataset, args.Get("sql"));
+      auto resp = (*client)->Query(dataset, args.Get("sql"), /*tenant=*/0,
+                                   PriorityClass::kNormal,
+                                   /*deadline_seconds=*/0, trace_id);
       if (!resp.ok()) {
         std::fprintf(stderr, "query failed: %s\n",
                      resp.status().ToString().c_str());
@@ -1047,6 +1131,57 @@ int RunStats(const Args& args) {
     std::printf("cache: disabled (--cache-mib 0)\n");
   }
   if (served) PrintServiceStats(service_stats);
+
+  // --metrics dumps the process-wide registry (every layer the commands
+  // above exercised recorded into it); --json switches the exposition.
+  if (args.Has("metrics")) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    const std::string text = args.Has("json") ? reg.Json()
+                                              : reg.PrometheusText();
+    std::printf("%s", text.c_str());
+    if (!text.empty() && text.back() != '\n') std::printf("\n");
+  }
+
+  // --watch S: incremental refresh loop — re-run the --sql workload each
+  // tick and print only the registry samples that moved, as deltas. Runs
+  // until SIGINT, or --watch-count ticks (the testable shape).
+  if (args.Has("watch")) {
+    const double interval =
+        std::max(0.0, std::strtod(args.Get("watch", "2").c_str(), nullptr));
+    const int64_t ticks = args.GetInt("watch-count", 0);
+    std::signal(SIGINT, HandleStopSignal);
+    std::vector<obs::MetricsRegistry::Sample> prev =
+        obs::MetricsRegistry::Default().Samples();
+    for (int64_t tick = 0; (ticks <= 0 || tick < ticks) && !g_stop_requested;
+         ++tick) {
+      if (interval > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+      }
+      if (session != nullptr && args.Has("sql")) {
+        if (auto bound = sql::ParseAndBind(args.Get("sql")); bound.ok()) {
+          (void)ExecuteBoundQuery(session.get(), *bound);
+        }
+      }
+      std::vector<obs::MetricsRegistry::Sample> cur =
+          obs::MetricsRegistry::Default().Samples();
+      std::printf("-- watch tick %lld\n", static_cast<long long>(tick + 1));
+      // Samples() is sorted by name; walk both snapshots in step. A name
+      // only in `cur` is a new instrument (delta = its whole value).
+      size_t i = 0;
+      for (const obs::MetricsRegistry::Sample& sample : cur) {
+        while (i < prev.size() && prev[i].name < sample.name) ++i;
+        const double before =
+            (i < prev.size() && prev[i].name == sample.name) ? prev[i].value
+                                                             : 0;
+        if (sample.value != before) {
+          std::printf("  %s %.6g (%+.6g)\n", sample.name.c_str(), sample.value,
+                      sample.value - before);
+        }
+      }
+      std::fflush(stdout);
+      prev = std::move(cur);
+    }
+  }
   return script_failed ? 1 : 0;
 }
 
@@ -1468,6 +1603,75 @@ int RunCompact(const Args& args) {
   return 0;
 }
 
+/// Replays a recorded serve session (serve --port --record F) against the
+/// store, in-process: registers --dir as a catalog dataset and drives the
+/// trace through catalog::ReplayTrace (docs/OBSERVABILITY.md). Open loop
+/// reproduces the recorded arrival times (scaled by --speed); --closed-loop
+/// replays the same requests through N closed-loop clients instead.
+int RunReplay(const Args& args) {
+  if (!args.Has("dir") || !args.Has("trace")) return Usage();
+  auto requests = obs::LoadTrace(args.Get("trace"));
+  if (!requests.ok()) {
+    std::fprintf(stderr, "%s\n", requests.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::shared_ptr<BufferPool> pool = PoolFromArgs(args, /*def_mib=*/256);
+  DatasetConfig config;
+  config.store.cache = pool;
+  config.session.cache = pool;
+  config.session.incremental = args.Has("incremental");
+  config.session.use_index = !args.Has("no-index");
+  config.service.num_workers = static_cast<size_t>(args.GetInt("workers", 4));
+  config.service.max_queue_depth =
+      static_cast<size_t>(args.GetInt("queue-depth", 256));
+
+  Catalog catalog;
+  const std::string name = args.Get("name", "default");
+  auto dataset = catalog.Register(name, args.Get("dir"), config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  ReplayOptions ropts;
+  ropts.open_loop = !args.Has("closed-loop");
+  ropts.speed = std::strtod(args.Get("speed", "1").c_str(), nullptr);
+  ropts.closed_loop_clients =
+      static_cast<int>(args.GetInt("clients", 4));
+  // A recorded trace names the dataset it was served from; replaying into
+  // a local catalog re-targets every line at the dataset registered here.
+  ropts.dataset_override = name;
+  auto stats = ReplayTrace(&catalog, *requests, ropts);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("-- replayed %zu recorded requests (%s, speed %.2gx)\n",
+              requests->size(), ropts.open_loop ? "open loop" : "closed loop",
+              ropts.speed);
+  std::printf("-- %llu submitted, %llu completed, %llu failed in %.3fs "
+              "(%.1f qps)\n",
+              static_cast<unsigned long long>(stats->submitted),
+              static_cast<unsigned long long>(stats->completed),
+              static_cast<unsigned long long>(stats->failed),
+              stats->wall_seconds,
+              stats->wall_seconds > 0 ? stats->submitted / stats->wall_seconds
+                                      : 0.0);
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    if (stats->by_class[c] == 0) continue;
+    std::printf("   class %-12s %llu\n",
+                PriorityClassToString(static_cast<PriorityClass>(c)),
+                static_cast<unsigned long long>(stats->by_class[c]));
+  }
+  PrintServiceStats((*dataset)->service()->Stats());
+  catalog.ShutdownAll();
+  return stats->completed > 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace masksearch
 
@@ -1491,6 +1695,7 @@ int main(int argc, char** argv) {
   if (args.command == "explain") return RunExplain(args);
   if (args.command == "ingest") return RunIngest(args);
   if (args.command == "compact") return RunCompact(args);
+  if (args.command == "replay") return RunReplay(args);
   if (args.command == "shard") return RunShard(args);
   if (args.command == "import") return RunImport(args);
   if (args.command == "export") return RunExport(args);

@@ -62,6 +62,17 @@ for driver in "$BUILD_DIR"/bench/bench_*; do
   fi
 done
 
+# The narrative drivers stamp provenance themselves (bench_common.h); the
+# google-benchmark JSON is written by its own harness, so inject the same
+# stamps into its context block here.
+if [ -f "$JSON_DIR/BENCH_micro_kernels.json" ]; then
+  sha="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  ts="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  bt="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null)"
+  sed -i "s|^  \"context\": {|  \"context\": {\n    \"git_sha\": \"$sha\",\n    \"utc_timestamp\": \"$ts\",\n    \"build_type\": \"${bt:-unknown}\",|" \
+    "$JSON_DIR/BENCH_micro_kernels.json"
+fi
+
 echo "bench JSON results:"
 ls -l "$JSON_DIR"/BENCH_*.json 2>/dev/null || echo "  (none written)"
 
@@ -83,7 +94,10 @@ done
 # (docs/SERVING.md), the socket phase — prepared statements over real
 # loopback sockets vs the identical in-process path (docs/NETWORK.md) —
 # and the replicated tier: 2- and 4-replica scaling plus the failover
-# error budget from a scripted mid-run kill (docs/REPLICATION.md).
+# error budget from a scripted mid-run kill (docs/REPLICATION.md) — plus
+# the observability gates: tracing-overhead percentages against the
+# untraced warm baseline and the record/replay fidelity marker
+# (docs/OBSERVABILITY.md).
 for key in closed_scaling_8x closed_clients_8_qps closed8_p99_ms \
            closed8_interactive_p50_ms open_rate_0_offered_qps \
            open_rate_2_rejected open_rate_0_p99_ms warm_qps \
@@ -94,11 +108,26 @@ for key in closed_scaling_8x closed_clients_8_qps closed8_p99_ms \
            open_rate_1_slo_attainment_normal \
            open_rate_2_slo_attainment_batch \
            replica_2_qps replica_4_qps replica_scaling_4v2 \
-           failover_qps failover_error_budget; do
+           failover_qps failover_error_budget \
+           warm_qps_untraced warm_qps_traced \
+           tracing_disabled_overhead_pct tracing_sampled_overhead_pct \
+           record_requests replay_requests replay_mix_exact; do
   if ! grep -q "\"$key\"" "$JSON_DIR/BENCH_bench_service.json" 2>/dev/null; then
     echo "MISSING: $key not in BENCH_bench_service.json" >&2
     status=1
   fi
+done
+
+# Every bench JSON must carry its provenance stamps: which commit, when,
+# and at what optimization level the numbers were produced.
+for f in "$JSON_DIR"/BENCH_*.json; do
+  [ -e "$f" ] || continue
+  for key in git_sha utc_timestamp build_type; do
+    if ! grep -q "\"$key\"" "$f"; then
+      echo "MISSING: $key not in $(basename "$f")" >&2
+      status=1
+    fi
+  done
 done
 
 # The streaming-ingest driver must record all three phases: pure ingest
